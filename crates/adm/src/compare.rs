@@ -1,0 +1,171 @@
+//! Total ordering over ADM values.
+//!
+//! Sort, group-by, and B-tree index operators need a total order across
+//! *all* values, including mixed types. The order is:
+//!
+//! `missing < null < boolean < numeric (int/double compared numerically)
+//! < string < datetime < duration < point < rectangle < circle < array
+//! < object`
+//!
+//! Within numerics, `Int` and `Double` compare by numeric value, so
+//! `Int(2) == Double(2.0)` — matching the equality used by hash join and
+//! group-by (see the `Hash` impl in [`crate::value`]).
+
+use std::cmp::Ordering;
+
+use crate::value::{Object, Point, Value};
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Missing => 0,
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Double(_) => 3,
+        Value::Str(_) => 4,
+        Value::DateTime(_) => 5,
+        Value::Duration(_) => 6,
+        Value::Point(_) => 7,
+        Value::Rectangle(_) => 8,
+        Value::Circle(_) => 9,
+        Value::Array(_) => 10,
+        Value::Object(_) => 11,
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // NaNs sort highest so the order stays total.
+    a.partial_cmp(&b).unwrap_or_else(|| {
+        if a.is_nan() && b.is_nan() {
+            Ordering::Equal
+        } else if a.is_nan() {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        }
+    })
+}
+
+fn cmp_numeric(a: &Value, b: &Value) -> Ordering {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        _ => cmp_f64(a.as_f64().unwrap(), b.as_f64().unwrap()),
+    }
+}
+
+fn cmp_point(a: &Point, b: &Point) -> Ordering {
+    cmp_f64(a.x, b.x).then_with(|| cmp_f64(a.y, b.y))
+}
+
+fn cmp_object(a: &Object, b: &Object) -> Ordering {
+    // Objects compare by sorted field name, then field value. This is an
+    // arbitrary-but-total tiebreak; real SQL++ makes object comparison an
+    // error, but a total order keeps sort operators simple.
+    let mut ka: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+    let mut kb: Vec<&str> = b.iter().map(|(k, _)| k).collect();
+    ka.sort_unstable();
+    kb.sort_unstable();
+    for (x, y) in ka.iter().zip(kb.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => match total_cmp(a.get(x).unwrap(), b.get(y).unwrap()) {
+                Ordering::Equal => {}
+                ord => return ord,
+            },
+            ord => return ord,
+        }
+    }
+    ka.len().cmp(&kb.len())
+}
+
+/// Compares two ADM values under the total order described in the module
+/// docs.
+pub fn total_cmp(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Missing, Value::Missing) | (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::DateTime(x), Value::DateTime(y)) => x.cmp(y),
+        (Value::Duration(x), Value::Duration(y)) => x.cmp(y),
+        (Value::Point(x), Value::Point(y)) => cmp_point(x, y),
+        (Value::Rectangle(x), Value::Rectangle(y)) => {
+            cmp_point(&x.low, &y.low).then_with(|| cmp_point(&x.high, &y.high))
+        }
+        (Value::Circle(x), Value::Circle(y)) => {
+            cmp_point(&x.center, &y.center).then_with(|| cmp_f64(x.radius, y.radius))
+        }
+        (Value::Array(x), Value::Array(y)) => {
+            for (u, v) in x.iter().zip(y.iter()) {
+                match total_cmp(u, v) {
+                    Ordering::Equal => {}
+                    ord => return ord,
+                }
+            }
+            x.len().cmp(&y.len())
+        }
+        (Value::Object(x), Value::Object(y)) => cmp_object(x, y),
+        // Same rank, mixed int/double.
+        _ => cmp_numeric(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_order() {
+        let vals = [
+            Value::Missing,
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(0),
+            Value::str(""),
+            Value::DateTime(0),
+            Value::Duration(0),
+            Value::point(0.0, 0.0),
+            Value::Array(vec![]),
+            Value::Object(Object::new()),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(total_cmp(&w[0], &w[1]), Ordering::Less, "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn numeric_mixed() {
+        assert_eq!(total_cmp(&Value::Int(2), &Value::Double(2.0)), Ordering::Equal);
+        assert_eq!(total_cmp(&Value::Int(2), &Value::Double(2.5)), Ordering::Less);
+        assert_eq!(total_cmp(&Value::Double(3.1), &Value::Int(3)), Ordering::Greater);
+    }
+
+    #[test]
+    fn arrays_lexicographic() {
+        let a = Value::Array(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::Array(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::Array(vec![Value::Int(1)]);
+        assert_eq!(total_cmp(&a, &b), Ordering::Less);
+        assert_eq!(total_cmp(&c, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn objects_field_order_insensitive_equality() {
+        let a = Value::object([("x", Value::Int(1)), ("y", Value::Int(2))]);
+        let b = Value::object([("y", Value::Int(2)), ("x", Value::Int(1))]);
+        assert_eq!(total_cmp(&a, &b), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_sorts_greatest_among_numbers() {
+        assert_eq!(
+            total_cmp(&Value::Double(f64::NAN), &Value::Double(f64::INFINITY)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            total_cmp(&Value::Double(f64::NAN), &Value::Double(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+}

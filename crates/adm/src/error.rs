@@ -1,0 +1,45 @@
+//! Error type shared by ADM parsing, typing, and function evaluation.
+
+use std::fmt;
+
+/// Errors produced while parsing, validating, or operating on ADM values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmError {
+    /// Malformed JSON/ADM text; carries a byte offset and a message.
+    Parse { offset: usize, message: String },
+    /// A record did not conform to its (open) datatype.
+    Type(String),
+    /// A builtin function was applied to arguments of the wrong type.
+    FunctionArg { function: &'static str, message: String },
+    /// A field path referenced a component on a non-object value.
+    BadPath(String),
+}
+
+impl AdmError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(offset: usize, message: impl Into<String>) -> Self {
+        AdmError::Parse { offset, message: message.into() }
+    }
+
+    /// Convenience constructor for function-argument errors.
+    pub fn arg(function: &'static str, message: impl Into<String>) -> Self {
+        AdmError::FunctionArg { function, message: message.into() }
+    }
+}
+
+impl fmt::Display for AdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            AdmError::Type(m) => write!(f, "type error: {m}"),
+            AdmError::FunctionArg { function, message } => {
+                write!(f, "bad argument to {function}(): {message}")
+            }
+            AdmError::BadPath(p) => write!(f, "cannot navigate path through non-object: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmError {}

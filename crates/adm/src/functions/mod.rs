@@ -1,0 +1,336 @@
+//! Builtin function library used by SQL++ expressions and UDFs.
+//!
+//! Each submodule exposes typed Rust entry points; [`dispatch`] maps a
+//! SQL++ function name and evaluated arguments to the right builtin, and
+//! is the single binding point used by the query engine's expression
+//! evaluator.
+
+pub mod numeric;
+pub mod similarity;
+pub mod spatial;
+pub mod string;
+pub mod temporal;
+
+use crate::error::AdmError;
+use crate::value::Value;
+use crate::Result;
+
+/// Names of all builtin functions, for catalog listings and diagnostics.
+pub const BUILTIN_NAMES: &[&str] = &[
+    "contains",
+    "lowercase",
+    "uppercase",
+    "starts_with",
+    "string_length",
+    "edit_distance",
+    "edit_distance_check",
+    "create_point",
+    "create_circle",
+    "create_rectangle",
+    "spatial_intersect",
+    "spatial_distance",
+    "abs",
+    "round",
+    "floor",
+    "ceiling",
+    "get_x",
+    "get_y",
+    "len",
+    "substring",
+    "trim",
+    "split",
+    "array_sum",
+    "array_min",
+    "array_max",
+    "to_double",
+    "duration",
+    "exists",
+];
+
+/// Evaluates builtin `name` over already-evaluated `args`.
+///
+/// Unknown propagation follows SQL++: if any argument is `Missing` the
+/// result is `Missing`; if any is `Null` the result is `Null` (except
+/// for functions defined on unknowns, like `exists`).
+pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
+    // `exists` is defined on all inputs including unknowns.
+    if name == "exists" {
+        let [a] = expect_arity::<1>(name, args)?;
+        return Ok(Value::Bool(match a {
+            Value::Array(items) => !items.is_empty(),
+            Value::Missing | Value::Null => false,
+            _ => true,
+        }));
+    }
+    if args.iter().any(|a| matches!(a, Value::Missing)) {
+        return Ok(Value::Missing);
+    }
+    if args.iter().any(|a| matches!(a, Value::Null)) {
+        return Ok(Value::Null);
+    }
+    match name {
+        "contains" => {
+            let [s, sub] = expect_arity::<2>(name, args)?;
+            Ok(Value::Bool(string::contains(as_str(name, s)?, as_str(name, sub)?)))
+        }
+        "lowercase" => {
+            let [s] = expect_arity::<1>(name, args)?;
+            Ok(Value::Str(string::lowercase(as_str(name, s)?)))
+        }
+        "uppercase" => {
+            let [s] = expect_arity::<1>(name, args)?;
+            Ok(Value::Str(string::uppercase(as_str(name, s)?)))
+        }
+        "starts_with" => {
+            let [s, p] = expect_arity::<2>(name, args)?;
+            Ok(Value::Bool(as_str(name, s)?.starts_with(as_str(name, p)?)))
+        }
+        "string_length" => {
+            let [s] = expect_arity::<1>(name, args)?;
+            Ok(Value::Int(as_str(name, s)?.chars().count() as i64))
+        }
+        "edit_distance" => {
+            let [a, b] = expect_arity::<2>(name, args)?;
+            Ok(Value::Int(similarity::edit_distance(as_str(name, a)?, as_str(name, b)?) as i64))
+        }
+        "edit_distance_check" => {
+            let [a, b, t] = expect_arity::<3>(name, args)?;
+            let t = as_int(name, t)?;
+            let within =
+                similarity::edit_distance_within(as_str(name, a)?, as_str(name, b)?, t.max(0) as usize);
+            Ok(Value::Bool(within))
+        }
+        "create_point" => {
+            let [x, y] = expect_arity::<2>(name, args)?;
+            Ok(spatial::create_point(as_f64(name, x)?, as_f64(name, y)?))
+        }
+        "create_circle" => {
+            let [c, r] = expect_arity::<2>(name, args)?;
+            spatial::create_circle(c, as_f64(name, r)?)
+        }
+        "create_rectangle" => {
+            let [a, b] = expect_arity::<2>(name, args)?;
+            spatial::create_rectangle(a, b)
+        }
+        "spatial_intersect" => {
+            let [a, b] = expect_arity::<2>(name, args)?;
+            spatial::spatial_intersect(a, b).map(Value::Bool)
+        }
+        "spatial_distance" => {
+            let [a, b] = expect_arity::<2>(name, args)?;
+            spatial::spatial_distance(a, b).map(Value::Double)
+        }
+        "abs" => {
+            let [a] = expect_arity::<1>(name, args)?;
+            numeric::abs(a)
+        }
+        "round" | "floor" | "ceiling" => {
+            let [a] = expect_arity::<1>(name, args)?;
+            match a {
+                Value::Int(i) => Ok(Value::Int(*i)),
+                Value::Double(d) => Ok(Value::Double(match name {
+                    "round" => d.round(),
+                    "floor" => d.floor(),
+                    _ => d.ceil(),
+                })),
+                other => Err(AdmError::arg("round", format!("expected numeric, got {}", other.type_name()))),
+            }
+        }
+        "substring" => {
+            // substring(s, start [, len]) — 0-based, by Unicode scalar.
+            if args.len() != 2 && args.len() != 3 {
+                return Err(AdmError::arg("arity", "substring() expects 2 or 3 arguments"));
+            }
+            let s = as_str(name, &args[0])?;
+            let start = as_int(name, &args[1])?.max(0) as usize;
+            let taken: String = match args.get(2) {
+                Some(l) => {
+                    let l = as_int(name, l)?.max(0) as usize;
+                    s.chars().skip(start).take(l).collect()
+                }
+                None => s.chars().skip(start).collect(),
+            };
+            Ok(Value::Str(taken))
+        }
+        "trim" => {
+            let [s] = expect_arity::<1>(name, args)?;
+            Ok(Value::str(as_str(name, s)?.trim()))
+        }
+        "split" => {
+            let [s, sep] = expect_arity::<2>(name, args)?;
+            let sep = as_str(name, sep)?;
+            if sep.is_empty() {
+                return Err(AdmError::arg("split", "separator must be non-empty"));
+            }
+            Ok(Value::Array(
+                as_str(name, s)?.split(sep).map(Value::str).collect(),
+            ))
+        }
+        "array_sum" | "array_min" | "array_max" => {
+            let [a] = expect_arity::<1>(name, args)?;
+            let items = a
+                .as_array()
+                .ok_or_else(|| AdmError::arg("array_fn", format!("{name}() expected array, got {}", a.type_name())))?;
+            let known: Vec<&Value> = items.iter().filter(|v| !v.is_unknown()).collect();
+            if known.is_empty() {
+                return Ok(Value::Null);
+            }
+            match name {
+                "array_sum" => {
+                    let mut acc = Value::Int(0);
+                    for v in known {
+                        acc = numeric::arith(numeric::ArithOp::Add, &acc, v)?;
+                    }
+                    Ok(acc)
+                }
+                "array_min" => Ok(known.into_iter().min().unwrap().clone()),
+                _ => Ok(known.into_iter().max().unwrap().clone()),
+            }
+        }
+        "get_x" => {
+            let [p] = expect_arity::<1>(name, args)?;
+            let p = p.as_point().ok_or_else(|| AdmError::arg("get_x", "expected point"))?;
+            Ok(Value::Double(p.x))
+        }
+        "get_y" => {
+            let [p] = expect_arity::<1>(name, args)?;
+            let p = p.as_point().ok_or_else(|| AdmError::arg("get_y", "expected point"))?;
+            Ok(Value::Double(p.y))
+        }
+        "len" => {
+            let [a] = expect_arity::<1>(name, args)?;
+            match a {
+                Value::Array(items) => Ok(Value::Int(items.len() as i64)),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(AdmError::arg("len", format!("expected array or string, got {}", other.type_name()))),
+            }
+        }
+        "to_double" => {
+            let [a] = expect_arity::<1>(name, args)?;
+            a.as_f64()
+                .map(Value::Double)
+                .ok_or_else(|| AdmError::arg("to_double", "expected numeric"))
+        }
+        "duration" => {
+            let [s] = expect_arity::<1>(name, args)?;
+            temporal::parse_duration(as_str(name, s)?).map(Value::Duration)
+        }
+        other => Err(AdmError::arg("dispatch", format!("unknown function '{other}'"))),
+    }
+}
+
+fn expect_arity<'a, const N: usize>(name: &str, args: &'a [Value]) -> Result<&'a [Value; N]> {
+    args.try_into().map_err(|_| {
+        AdmError::arg(
+            "arity",
+            format!("{name}() expects {N} argument(s), got {}", args.len()),
+        )
+    })
+}
+
+fn as_str<'a>(name: &str, v: &'a Value) -> Result<&'a str> {
+    v.as_str()
+        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected string, got {}", v.type_name())))
+}
+
+fn as_f64(name: &str, v: &Value) -> Result<f64> {
+    v.as_f64()
+        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected numeric, got {}", v.type_name())))
+}
+
+fn as_int(name: &str, v: &Value) -> Result<i64> {
+    v.as_int()
+        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected int, got {}", v.type_name())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_propagates() {
+        let r = dispatch("contains", &[Value::Missing, Value::str("x")]).unwrap();
+        assert_eq!(r, Value::Missing);
+    }
+
+    #[test]
+    fn null_propagates() {
+        let r = dispatch("contains", &[Value::Null, Value::str("x")]).unwrap();
+        assert_eq!(r, Value::Null);
+    }
+
+    #[test]
+    fn missing_beats_null() {
+        let r = dispatch("contains", &[Value::Missing, Value::Null]).unwrap();
+        assert_eq!(r, Value::Missing);
+    }
+
+    #[test]
+    fn exists_defined_on_unknowns() {
+        assert_eq!(dispatch("exists", &[Value::Missing]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            dispatch("exists", &[Value::Array(vec![Value::Int(1)])]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(dispatch("exists", &[Value::Array(vec![])]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(dispatch("contains", &[Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        assert!(dispatch("frobnicate", &[]).is_err());
+    }
+
+    #[test]
+    fn contains_dispatch() {
+        let r = dispatch("contains", &[Value::str("a bomb here"), Value::str("bomb")]).unwrap();
+        assert_eq!(r, Value::Bool(true));
+    }
+
+    #[test]
+    fn rounding_family() {
+        assert_eq!(dispatch("round", &[Value::Double(2.5)]).unwrap(), Value::Double(3.0));
+        assert_eq!(dispatch("floor", &[Value::Double(2.9)]).unwrap(), Value::Double(2.0));
+        assert_eq!(dispatch("ceiling", &[Value::Double(2.1)]).unwrap(), Value::Double(3.0));
+        assert_eq!(dispatch("round", &[Value::Int(7)]).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn substring_variants() {
+        let s = Value::str("héllo world");
+        assert_eq!(
+            dispatch("substring", &[s.clone(), Value::Int(1), Value::Int(4)]).unwrap(),
+            Value::str("éllo")
+        );
+        assert_eq!(
+            dispatch("substring", &[s, Value::Int(6)]).unwrap(),
+            Value::str("world")
+        );
+    }
+
+    #[test]
+    fn split_and_trim() {
+        assert_eq!(
+            dispatch("split", &[Value::str("a|b|c"), Value::str("|")]).unwrap(),
+            Value::Array(vec![Value::str("a"), Value::str("b"), Value::str("c")])
+        );
+        assert_eq!(dispatch("trim", &[Value::str("  x ")]).unwrap(), Value::str("x"));
+        assert!(dispatch("split", &[Value::str("a"), Value::str("")]).is_err());
+    }
+
+    #[test]
+    fn array_aggregates() {
+        let arr = Value::Array(vec![Value::Int(3), Value::Null, Value::Int(5)]);
+        assert_eq!(dispatch("array_sum", &[arr.clone()]).unwrap(), Value::Int(8));
+        assert_eq!(dispatch("array_min", &[arr.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(dispatch("array_max", &[arr]).unwrap(), Value::Int(5));
+        assert_eq!(
+            dispatch("array_sum", &[Value::Array(vec![Value::Null])]).unwrap(),
+            Value::Null
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Numeric builtins and the arithmetic kernel used by the expression
+//! evaluator (`+ - * / %` with int/double promotion and temporal
+//! overloads).
+
+use crate::error::AdmError;
+use crate::functions::temporal;
+use crate::value::Value;
+use crate::Result;
+
+/// Binary arithmetic operator selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// Evaluates `a <op> b` with SQL++ unknown propagation and numeric
+/// promotion; `+`/`-` additionally accept datetime/duration operands.
+pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value> {
+    if matches!(a, Value::Missing) || matches!(b, Value::Missing) {
+        return Ok(Value::Missing);
+    }
+    if matches!(a, Value::Null) || matches!(b, Value::Null) {
+        return Ok(Value::Null);
+    }
+    // Temporal overloads first.
+    match op {
+        ArithOp::Add => {
+            if let Some(v) = temporal::add(a, b) {
+                return Ok(v);
+            }
+        }
+        ArithOp::Sub => {
+            if let Some(v) = temporal::sub(a, b) {
+                return Ok(v);
+            }
+        }
+        _ => {}
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => int_arith(op, *x, *y),
+        _ => {
+            let (x, y) = (
+                a.as_f64().ok_or_else(|| bad(op, a, b))?,
+                b.as_f64().ok_or_else(|| bad(op, a, b))?,
+            );
+            Ok(Value::Double(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+                ArithOp::Mod => x % y,
+            }))
+        }
+    }
+}
+
+fn int_arith(op: ArithOp, x: i64, y: i64) -> Result<Value> {
+    Ok(match op {
+        ArithOp::Add => Value::Int(x.wrapping_add(y)),
+        ArithOp::Sub => Value::Int(x.wrapping_sub(y)),
+        ArithOp::Mul => Value::Int(x.wrapping_mul(y)),
+        // Integer division by zero is an evaluation error, not a panic.
+        ArithOp::Div => {
+            if y == 0 {
+                return Err(AdmError::arg("div", "division by zero"));
+            }
+            if x % y == 0 {
+                Value::Int(x / y)
+            } else {
+                Value::Double(x as f64 / y as f64)
+            }
+        }
+        ArithOp::Mod => {
+            if y == 0 {
+                return Err(AdmError::arg("mod", "modulo by zero"));
+            }
+            Value::Int(x % y)
+        }
+    })
+}
+
+fn bad(op: ArithOp, a: &Value, b: &Value) -> AdmError {
+    AdmError::arg(
+        "arith",
+        format!("cannot apply {:?} to {} and {}", op, a.type_name(), b.type_name()),
+    )
+}
+
+/// Absolute value of a numeric.
+pub fn abs(v: &Value) -> Result<Value> {
+    match v {
+        Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+        Value::Double(d) => Ok(Value::Double(d.abs())),
+        other => Err(AdmError::arg("abs", format!("expected numeric, got {}", other.type_name()))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_promotion() {
+        assert_eq!(arith(ArithOp::Add, &Value::Int(2), &Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Int(2), &Value::Double(0.5)).unwrap(),
+            Value::Double(2.5)
+        );
+    }
+
+    #[test]
+    fn exact_int_division_stays_int() {
+        assert_eq!(arith(ArithOp::Div, &Value::Int(6), &Value::Int(3)).unwrap(), Value::Int(2));
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Double(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        assert!(arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(arith(ArithOp::Mod, &Value::Int(1), &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn unknown_propagation() {
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Missing, &Value::Int(1)).unwrap(),
+            Value::Missing
+        );
+        assert_eq!(arith(ArithOp::Mul, &Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn datetime_plus_duration() {
+        let r = arith(ArithOp::Add, &Value::DateTime(100), &Value::Duration(50)).unwrap();
+        assert_eq!(r, Value::DateTime(150));
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        assert!(arith(ArithOp::Add, &Value::str("a"), &Value::Int(1)).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Spatial builtins: the `create_*` constructors, `spatial_intersect`,
+//! and `spatial_distance` (paper Appendix E–H use all of these).
+
+use crate::error::AdmError;
+use crate::value::{Circle, Point, Rectangle, Value};
+use crate::Result;
+
+pub fn create_point(x: f64, y: f64) -> Value {
+    Value::Point(Point::new(x, y))
+}
+
+/// `create_circle(point, radius)`.
+pub fn create_circle(center: &Value, radius: f64) -> Result<Value> {
+    let c = center
+        .as_point()
+        .ok_or_else(|| AdmError::arg("create_circle", "first argument must be a point"))?;
+    if radius < 0.0 {
+        return Err(AdmError::arg("create_circle", "radius must be non-negative"));
+    }
+    Ok(Value::Circle(Circle::new(*c, radius)))
+}
+
+/// `create_rectangle(low_point, high_point)`.
+pub fn create_rectangle(a: &Value, b: &Value) -> Result<Value> {
+    match (a.as_point(), b.as_point()) {
+        (Some(p), Some(q)) => Ok(Value::Rectangle(Rectangle::new(*p, *q))),
+        _ => Err(AdmError::arg("create_rectangle", "arguments must be points")),
+    }
+}
+
+/// `spatial_intersect(a, b)` over any combination of point / rectangle /
+/// circle. Symmetric.
+pub fn spatial_intersect(a: &Value, b: &Value) -> Result<bool> {
+    use Value::*;
+    Ok(match (a, b) {
+        (Point(p), Point(q)) => p == q,
+        (Point(p), Rectangle(r)) | (Rectangle(r), Point(p)) => r.contains_point(p),
+        (Point(p), Circle(c)) | (Circle(c), Point(p)) => c.contains_point(p),
+        (Rectangle(r), Rectangle(s)) => r.intersects_rect(s),
+        (Rectangle(r), Circle(c)) | (Circle(c), Rectangle(r)) => rect_circle_intersect(r, c),
+        (Circle(c), Circle(d)) => c.center.distance(&d.center) <= c.radius + d.radius,
+        _ => {
+            return Err(AdmError::arg(
+                "spatial_intersect",
+                format!("unsupported types {} / {}", a.type_name(), b.type_name()),
+            ))
+        }
+    })
+}
+
+/// Distance between two points (the paper's `spatial_distance` orders
+/// religious buildings by distance from a tweet).
+pub fn spatial_distance(a: &Value, b: &Value) -> Result<f64> {
+    match (a.as_point(), b.as_point()) {
+        (Some(p), Some(q)) => Ok(p.distance(q)),
+        _ => Err(AdmError::arg("spatial_distance", "arguments must be points")),
+    }
+}
+
+fn rect_circle_intersect(r: &Rectangle, c: &Circle) -> bool {
+    // Distance from circle center to the rectangle, clamped per axis.
+    let cx = c.center.x.clamp(r.low.x, r.high.x);
+    let cy = c.center.y.clamp(r.low.y, r.high.y);
+    c.contains_point(&Point::new(cx, cy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_in_circle() {
+        let c = create_circle(&create_point(0.0, 0.0), 1.5).unwrap();
+        assert!(spatial_intersect(&create_point(1.0, 1.0), &c).unwrap());
+        assert!(!spatial_intersect(&create_point(1.2, 1.2), &c).unwrap());
+    }
+
+    #[test]
+    fn point_in_rectangle() {
+        let r = create_rectangle(&create_point(0.0, 0.0), &create_point(2.0, 2.0)).unwrap();
+        assert!(spatial_intersect(&r, &create_point(1.0, 2.0)).unwrap());
+        assert!(!spatial_intersect(&r, &create_point(2.1, 1.0)).unwrap());
+    }
+
+    #[test]
+    fn rect_circle_edge() {
+        let r = create_rectangle(&create_point(0.0, 0.0), &create_point(1.0, 1.0)).unwrap();
+        let c_far = create_circle(&create_point(3.0, 0.5), 1.9).unwrap();
+        let c_near = create_circle(&create_point(3.0, 0.5), 2.0).unwrap();
+        assert!(!spatial_intersect(&r, &c_far).unwrap());
+        assert!(spatial_intersect(&r, &c_near).unwrap());
+    }
+
+    #[test]
+    fn symmetric() {
+        let c = create_circle(&create_point(0.0, 0.0), 1.0).unwrap();
+        let p = create_point(0.5, 0.5);
+        assert_eq!(
+            spatial_intersect(&p, &c).unwrap(),
+            spatial_intersect(&c, &p).unwrap()
+        );
+    }
+
+    #[test]
+    fn distance() {
+        let d = spatial_distance(&create_point(0.0, 0.0), &create_point(3.0, 4.0)).unwrap();
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_radius_rejected() {
+        assert!(create_circle(&create_point(0.0, 0.0), -1.0).is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! String builtins (`contains`, case mapping, special-character removal).
+
+/// Substring containment (the paper's tweet safety check:
+/// `contains(tweet.text, "bomb")`).
+pub fn contains(haystack: &str, needle: &str) -> bool {
+    haystack.contains(needle)
+}
+
+pub fn lowercase(s: &str) -> String {
+    s.to_lowercase()
+}
+
+pub fn uppercase(s: &str) -> String {
+    s.to_uppercase()
+}
+
+/// Removes every non-ASCII-alphabetic character and lowercases the rest —
+/// the paper's `testlib#removeSpecial` Java UDF (Figure 35), used by the
+/// Fuzzy Suspects enrichment.
+pub fn remove_special(s: &str) -> String {
+    s.chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_basic() {
+        assert!(contains("let there be light", "light"));
+        assert!(!contains("let there be light", "dark"));
+        assert!(contains("anything", ""));
+    }
+
+    #[test]
+    fn remove_special_strips_and_lowercases() {
+        assert_eq!(remove_special("J@ne_D03!"), "jned");
+        assert_eq!(remove_special("Ada Lovelace"), "adalovelace");
+        assert_eq!(remove_special("1234"), "");
+        assert_eq!(remove_special("héllo"), "hllo");
+    }
+
+    #[test]
+    fn case_mapping() {
+        assert_eq!(lowercase("AbC"), "abc");
+        assert_eq!(uppercase("AbC"), "ABC");
+    }
+}

@@ -1,0 +1,138 @@
+//! Temporal builtins: ISO-8601-ish duration parsing and datetime
+//! arithmetic (Worrisome Tweets: `t.created_at < a.attack_datetime +
+//! duration("P2M")`).
+
+use crate::error::AdmError;
+use crate::value::Value;
+use crate::Result;
+
+const MS_PER_SEC: i64 = 1_000;
+const MS_PER_MIN: i64 = 60 * MS_PER_SEC;
+const MS_PER_HOUR: i64 = 60 * MS_PER_MIN;
+const MS_PER_DAY: i64 = 24 * MS_PER_HOUR;
+/// Months normalize to 30 days — a documented simplification; the paper's
+/// query only needs "the past two months" as a coarse window.
+const MS_PER_MONTH: i64 = 30 * MS_PER_DAY;
+const MS_PER_YEAR: i64 = 365 * MS_PER_DAY;
+
+/// Parses a duration like `P2M`, `P10D`, `PT3H30M`, `P1Y2M3DT4H5M6S` into
+/// milliseconds.
+pub fn parse_duration(s: &str) -> Result<i64> {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'P') {
+        return Err(AdmError::arg("duration", format!("'{s}' must start with 'P'")));
+    }
+    let mut ms: i64 = 0;
+    let mut time_part = false;
+    let mut num_start: Option<usize> = None;
+    let mut saw_component = false;
+    let mut saw_time_component = false;
+    for (i, &b) in bytes.iter().enumerate().skip(1) {
+        match b {
+            b'T' => {
+                if time_part || num_start.is_some() {
+                    return Err(AdmError::arg("duration", format!("misplaced 'T' in '{s}'")));
+                }
+                time_part = true;
+            }
+            b'0'..=b'9' => {
+                if num_start.is_none() {
+                    num_start = Some(i);
+                }
+            }
+            unit => {
+                let start = num_start
+                    .take()
+                    .ok_or_else(|| AdmError::arg("duration", format!("unit without number in '{s}'")))?;
+                let n: i64 = s[start..i]
+                    .parse()
+                    .map_err(|_| AdmError::arg("duration", format!("bad number in '{s}'")))?;
+                let per = match (unit, time_part) {
+                    (b'Y', false) => MS_PER_YEAR,
+                    (b'M', false) => MS_PER_MONTH,
+                    (b'D', false) => MS_PER_DAY,
+                    (b'W', false) => 7 * MS_PER_DAY,
+                    (b'H', true) => MS_PER_HOUR,
+                    (b'M', true) => MS_PER_MIN,
+                    (b'S', true) => MS_PER_SEC,
+                    _ => {
+                        return Err(AdmError::arg(
+                            "duration",
+                            format!("unknown unit '{}' in '{s}'", unit as char),
+                        ))
+                    }
+                };
+                ms += n * per;
+                saw_component = true;
+                saw_time_component |= time_part;
+            }
+        }
+    }
+    if num_start.is_some() || !saw_component || (time_part && !saw_time_component) {
+        return Err(AdmError::arg("duration", format!("incomplete duration '{s}'")));
+    }
+    Ok(ms)
+}
+
+/// `datetime + duration` / `datetime - duration` / `datetime - datetime`.
+pub fn add(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::DateTime(t), Value::Duration(d)) | (Value::Duration(d), Value::DateTime(t)) => {
+            Some(Value::DateTime(t + d))
+        }
+        (Value::Duration(x), Value::Duration(y)) => Some(Value::Duration(x + y)),
+        _ => None,
+    }
+}
+
+pub fn sub(a: &Value, b: &Value) -> Option<Value> {
+    match (a, b) {
+        (Value::DateTime(t), Value::Duration(d)) => Some(Value::DateTime(t - d)),
+        (Value::DateTime(t), Value::DateTime(u)) => Some(Value::Duration(t - u)),
+        (Value::Duration(x), Value::Duration(y)) => Some(Value::Duration(x - y)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2m() {
+        assert_eq!(parse_duration("P2M").unwrap(), 2 * MS_PER_MONTH);
+    }
+
+    #[test]
+    fn composite() {
+        assert_eq!(
+            parse_duration("P1Y2M3DT4H5M6S").unwrap(),
+            MS_PER_YEAR + 2 * MS_PER_MONTH + 3 * MS_PER_DAY + 4 * MS_PER_HOUR + 5 * MS_PER_MIN + 6 * MS_PER_SEC
+        );
+    }
+
+    #[test]
+    fn time_only() {
+        assert_eq!(parse_duration("PT90S").unwrap(), 90 * MS_PER_SEC);
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        for bad in ["", "2M", "P", "PX", "P2", "PT2D", "P2MT"] {
+            assert!(parse_duration(bad).is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn datetime_arithmetic() {
+        let t = Value::DateTime(1_000_000);
+        let d = Value::Duration(500);
+        assert_eq!(add(&t, &d), Some(Value::DateTime(1_000_500)));
+        assert_eq!(sub(&t, &d), Some(Value::DateTime(999_500)));
+        assert_eq!(
+            sub(&Value::DateTime(2_000), &Value::DateTime(500)),
+            Some(Value::Duration(1_500))
+        );
+        assert_eq!(add(&t, &Value::Int(5)), None);
+    }
+}

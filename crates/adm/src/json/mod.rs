@@ -1,0 +1,117 @@
+//! JSON codec for ADM values.
+//!
+//! The feed parser of the ingestion pipeline (paper §2.3: "a parser,
+//! which translates the ingested bytes into ADM records") is built on
+//! [`parse`]. The printer is the inverse; ADM-only types (datetime,
+//! duration, point, rectangle, circle) are encoded with a one-field
+//! extension object — `{"~point": [x, y]}` — so every ADM value
+//! round-trips through text. Plain JSON input never produces these types
+//! unless it spells the extension form explicitly.
+
+mod parser;
+mod printer;
+
+pub use parser::{parse, Parser};
+pub use printer::{to_string, write_value};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{Circle, Point, Rectangle, Value};
+
+    fn roundtrip(v: &Value) -> Value {
+        parse(to_string(v).as_bytes()).expect("roundtrip parse")
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse(b"null").unwrap(), Value::Null);
+        assert_eq!(parse(b"true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(b"false").unwrap(), Value::Bool(false));
+        assert_eq!(parse(b"42").unwrap(), Value::Int(42));
+        assert_eq!(parse(b"-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse(b"2.5").unwrap(), Value::Double(2.5));
+        assert_eq!(parse(b"1e3").unwrap(), Value::Double(1000.0));
+        assert_eq!(parse(b"\"hi\"").unwrap(), Value::str("hi"));
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = parse(br#"{"id": 0, "text": "Let there be light", "tags": [1, 2]}"#).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("id"), Some(&Value::Int(0)));
+        assert_eq!(o.get("tags").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            parse(br#""a\"b\\c\ndA""#).unwrap(),
+            Value::str("a\"b\\c\nd\u{41}")
+        );
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        assert!(parse(br#"{"a":1,"a":2}"#).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse(b"1 2").is_err());
+        assert!(parse(b"{} x").is_err());
+    }
+
+    #[test]
+    fn unterminated_rejected() {
+        assert!(parse(b"{\"a\": 1").is_err());
+        assert!(parse(b"[1, 2").is_err());
+        assert!(parse(b"\"abc").is_err());
+    }
+
+    #[test]
+    fn extension_types_roundtrip() {
+        let vals = [
+            Value::DateTime(1_556_000_000_000),
+            Value::Duration(5_184_000_000),
+            Value::Point(Point::new(1.5, -2.25)),
+            Value::Rectangle(Rectangle::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0))),
+            Value::Circle(Circle::new(Point::new(1.0, 1.0), 1.5)),
+        ];
+        for v in &vals {
+            assert_eq!(&roundtrip(v), v, "roundtrip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn object_roundtrip_preserves_order() {
+        let v = parse(br#"{"z": 1, "a": {"nested": [true, null]}}"#).unwrap();
+        assert_eq!(to_string(&v), r#"{"z": 1, "a": {"nested": [true, null]}}"#);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = parse("\"héllo ☃\"".as_bytes()).unwrap();
+        assert_eq!(v, Value::str("héllo ☃"));
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn deep_nesting_within_limit() {
+        let mut s = String::new();
+        for _ in 0..100 {
+            s.push('[');
+        }
+        s.push('1');
+        for _ in 0..100 {
+            s.push(']');
+        }
+        assert!(parse(s.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn pathological_nesting_rejected() {
+        let s = "[".repeat(100_000);
+        assert!(parse(s.as_bytes()).is_err());
+    }
+}

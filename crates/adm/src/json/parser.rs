@@ -1,0 +1,299 @@
+//! A hand-written, allocation-conscious JSON parser producing ADM values.
+
+use crate::error::AdmError;
+use crate::value::{Circle, Object, Point, Rectangle, Value};
+use crate::Result;
+
+/// Maximum nesting depth admitted before the parser bails out; protects
+/// the ingestion pipeline from stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 512;
+
+/// Parses one complete JSON document from `input`; trailing non-whitespace
+/// is an error.
+pub fn parse(input: &[u8]) -> Result<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(AdmError::parse(p.pos, "trailing characters after document"));
+    }
+    Ok(v)
+}
+
+/// Incremental JSON parser over a byte slice.
+///
+/// Exposed so the feed parser can report precise error offsets for
+/// malformed records without re-scanning.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub fn new(input: &'a [u8]) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            Some(x) => Err(AdmError::parse(
+                self.pos - 1,
+                format!("expected '{}', found '{}'", b as char, x as char),
+            )),
+            None => Err(AdmError::parse(self.pos, format!("expected '{}', found end", b as char))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.input[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(AdmError::parse(self.pos, format!("expected '{kw}'")))
+        }
+    }
+
+    /// Parses a single value at the current position.
+    pub fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(AdmError::parse(self.pos, "nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(AdmError::parse(self.pos, format!("unexpected '{}'", b as char))),
+            None => Err(AdmError::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut obj = Object::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(obj));
+        }
+        loop {
+            self.skip_ws();
+            let key_off = self.pos;
+            let key = self.parse_string()?;
+            if obj.get(&key).is_some() {
+                return Err(AdmError::parse(key_off, format!("duplicate field \"{key}\"")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value(depth + 1)?;
+            obj.push_unchecked(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(AdmError::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+        Ok(decode_extension(obj))
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut arr = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(arr));
+        }
+        loop {
+            arr.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(AdmError::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+        Ok(Value::Array(arr))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Fast path: copy runs of plain bytes between escapes.
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(AdmError::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.str_slice(run_start, self.pos)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.str_slice(run_start, self.pos)?);
+                    self.pos += 1;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| AdmError::parse(self.pos, "unterminated escape"))?;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: require a following \uXXXX low surrogate.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(AdmError::parse(self.pos, "invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(c)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(ch.ok_or_else(|| {
+                                AdmError::parse(self.pos, "invalid unicode escape")
+                            })?);
+                        }
+                        _ => return Err(AdmError::parse(self.pos - 1, "invalid escape")),
+                    }
+                    run_start = self.pos;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(AdmError::parse(self.pos, "control character in string"))
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn str_slice(&self, start: usize, end: usize) -> Result<&'a str> {
+        std::str::from_utf8(&self.input[start..end])
+            .map_err(|_| AdmError::parse(start, "invalid UTF-8 in string"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| AdmError::parse(self.pos, "unterminated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| AdmError::parse(self.pos - 1, "invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_double = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self.str_slice(start, self.pos)?;
+        if is_double {
+            text.parse::<f64>()
+                .map(Value::Double)
+                .map_err(|_| AdmError::parse(start, format!("invalid number '{text}'")))
+        } else {
+            // Integers that overflow i64 degrade to double, as AsterixDB's
+            // JSON parser also widens out-of-range integers.
+            text.parse::<i64>().map(Value::Int).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Double)
+                    .map_err(|_| AdmError::parse(start, format!("invalid number '{text}'")))
+            })
+        }
+    }
+}
+
+/// Recognizes the `{"~type": payload}` extension encoding and converts it
+/// into the corresponding ADM-only value; other objects pass through.
+fn decode_extension(obj: Object) -> Value {
+    if obj.len() != 1 {
+        return Value::Object(obj);
+    }
+    let (key, val) = obj.iter().next().unwrap();
+    let decoded = match (key, val) {
+        ("~datetime", Value::Int(ms)) => Some(Value::DateTime(*ms)),
+        ("~duration", Value::Int(ms)) => Some(Value::Duration(*ms)),
+        ("~point", Value::Array(a)) if a.len() == 2 => match (a[0].as_f64(), a[1].as_f64()) {
+            (Some(x), Some(y)) => Some(Value::Point(Point::new(x, y))),
+            _ => None,
+        },
+        ("~rectangle", Value::Array(a)) if a.len() == 4 => {
+            let c: Vec<Option<f64>> = a.iter().map(Value::as_f64).collect();
+            match (c[0], c[1], c[2], c[3]) {
+                (Some(x1), Some(y1), Some(x2), Some(y2)) => Some(Value::Rectangle(
+                    Rectangle::new(Point::new(x1, y1), Point::new(x2, y2)),
+                )),
+                _ => None,
+            }
+        }
+        ("~circle", Value::Array(a)) if a.len() == 3 => {
+            match (a[0].as_f64(), a[1].as_f64(), a[2].as_f64()) {
+                (Some(x), Some(y), Some(r)) => {
+                    Some(Value::Circle(Circle::new(Point::new(x, y), r)))
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    };
+    decoded.unwrap_or(Value::Object(obj))
+}

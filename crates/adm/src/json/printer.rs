@@ -1,0 +1,115 @@
+//! JSON printer for ADM values (inverse of [`super::parse`]).
+
+use std::fmt::Write;
+
+use crate::value::Value;
+
+/// Serializes a value to a JSON string using the ADM extension encoding
+/// for non-JSON types.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::with_capacity(v.approx_size());
+    write_value(&mut out, v);
+    out
+}
+
+/// Appends the JSON rendering of `v` to `out`.
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        // `Missing` has no JSON spelling; it only arises from absent-field
+        // access and prints as null if it escapes to output.
+        Value::Missing | Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => write_f64(out, *d),
+        Value::Str(s) => write_string(out, s),
+        Value::DateTime(ms) => {
+            let _ = write!(out, "{{\"~datetime\": {ms}}}");
+        }
+        Value::Duration(ms) => {
+            let _ = write!(out, "{{\"~duration\": {ms}}}");
+        }
+        Value::Point(p) => {
+            out.push_str("{\"~point\": [");
+            write_f64(out, p.x);
+            out.push_str(", ");
+            write_f64(out, p.y);
+            out.push_str("]}");
+        }
+        Value::Rectangle(r) => {
+            out.push_str("{\"~rectangle\": [");
+            for (i, c) in [r.low.x, r.low.y, r.high.x, r.high.y].iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_f64(out, *c);
+            }
+            out.push_str("]}");
+        }
+        Value::Circle(c) => {
+            out.push_str("{\"~circle\": [");
+            write_f64(out, c.center.x);
+            out.push_str(", ");
+            write_f64(out, c.center.y);
+            out.push_str(", ");
+            write_f64(out, c.radius);
+            out.push_str("]}");
+        }
+        Value::Array(a) => {
+            out.push('[');
+            for (i, e) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, e);
+            }
+            out.push(']');
+        }
+        Value::Object(o) => {
+            out.push('{');
+            for (i, (k, e)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, e);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, d: f64) {
+    if d.is_finite() {
+        if d.fract() == 0.0 && d.abs() < 1e15 {
+            // Keep a decimal point so the value re-parses as a double.
+            let _ = write!(out, "{d:.1}");
+        } else {
+            let _ = write!(out, "{d}");
+        }
+    } else {
+        // JSON has no spelling for non-finite numbers.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

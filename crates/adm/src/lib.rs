@@ -1,0 +1,36 @@
+//! # idea-adm — the AsterixDB Data Model (ADM)
+//!
+//! ADM is a superset of JSON used by AsterixDB to manage stored data
+//! (paper §2.1). Beyond the JSON scalar types it adds `datetime`,
+//! `duration`, and the spatial types `point`, `rectangle`, and `circle`,
+//! plus complex objects with nesting and collections.
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — the runtime representation of an ADM instance, with a
+//!   total order ([`compare::total_cmp`]) used by sort/group operators and
+//!   equality/hash semantics used by hash joins and hash aggregation;
+//! * [`Datatype`] — *open* datatypes: a minimal, extensible description of
+//!   stored records (required fields only; extra fields always admitted);
+//! * [`json`] — a byte-level JSON parser and printer (the feed parser of
+//!   the ingestion pipeline is built on this; ADM-only types round-trip
+//!   through a `{"~type": ...}` extension encoding);
+//! * [`functions`] — the builtin function library used by SQL++
+//!   enrichment UDFs: string, similarity (edit distance), spatial,
+//!   temporal and numeric functions;
+//! * [`path`] — field-path access (`t.user.screen_name`).
+
+pub mod compare;
+pub mod error;
+pub mod functions;
+pub mod json;
+pub mod path;
+pub mod types;
+pub mod value;
+
+pub use error::AdmError;
+pub use types::{Datatype, FieldDef, TypeTag};
+pub use value::{Circle, Object, Point, Rectangle, Value};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AdmError>;

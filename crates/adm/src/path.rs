@@ -1,0 +1,98 @@
+//! Field-path navigation (`t.user.screen_name`).
+//!
+//! SQL++ field access on a missing field yields `Missing` rather than an
+//! error; navigating *through* a non-object scalar is also `Missing`
+//! under SQL++'s permissive semantics (the enrichment pipeline must not
+//! abort a whole batch because one tweet lacks a field).
+
+use crate::value::Value;
+
+/// A pre-split field path. Paths are parsed once at plan-build time and
+/// then evaluated per record, so navigation itself never allocates.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldPath {
+    parts: Vec<String>,
+}
+
+impl FieldPath {
+    /// Builds a path from components: `FieldPath::new(["user", "name"])`.
+    pub fn new<I, S>(parts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        FieldPath { parts: parts.into_iter().map(Into::into).collect() }
+    }
+
+    /// Parses a dotted path string: `"user.screen_name"`.
+    pub fn parse(dotted: &str) -> Self {
+        FieldPath::new(dotted.split('.'))
+    }
+
+    /// One-component path.
+    pub fn single(name: impl Into<String>) -> Self {
+        FieldPath { parts: vec![name.into()] }
+    }
+
+    pub fn parts(&self) -> &[String] {
+        &self.parts
+    }
+
+    /// Navigates `root`, returning `Missing` for any absent step.
+    pub fn get<'v>(&self, root: &'v Value) -> &'v Value {
+        static MISSING: Value = Value::Missing;
+        let mut cur = root;
+        for p in &self.parts {
+            match cur {
+                Value::Object(o) => match o.get(p) {
+                    Some(v) => cur = v,
+                    None => return &MISSING,
+                },
+                _ => return &MISSING,
+            }
+        }
+        cur
+    }
+}
+
+impl std::fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.parts.join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_access() {
+        let rec = Value::object([(
+            "user",
+            Value::object([("screen_name", Value::str("ada"))]),
+        )]);
+        assert_eq!(
+            FieldPath::parse("user.screen_name").get(&rec),
+            &Value::str("ada")
+        );
+    }
+
+    #[test]
+    fn absent_field_is_missing() {
+        let rec = Value::object([("id", Value::Int(1))]);
+        assert_eq!(FieldPath::parse("country").get(&rec), &Value::Missing);
+        assert_eq!(FieldPath::parse("user.name").get(&rec), &Value::Missing);
+    }
+
+    #[test]
+    fn through_scalar_is_missing() {
+        let rec = Value::object([("id", Value::Int(1))]);
+        assert_eq!(FieldPath::parse("id.sub").get(&rec), &Value::Missing);
+    }
+
+    #[test]
+    fn empty_tail_returns_value() {
+        let rec = Value::Int(7);
+        assert_eq!(FieldPath::new(Vec::<String>::new()).get(&rec), &Value::Int(7));
+    }
+}

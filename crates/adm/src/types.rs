@@ -1,0 +1,186 @@
+//! Open datatypes (paper §2.1, Figure 1).
+//!
+//! A [`Datatype`] is a *minimal, extensible* description of stored
+//! records: it names the required fields and their types; records may
+//! carry any number of additional fields ("open" semantics). `CREATE
+//! TYPE TweetType AS OPEN { id: int64, text: string }` becomes a
+//! `Datatype` with two required [`FieldDef`]s.
+
+use crate::error::AdmError;
+use crate::value::Value;
+use crate::Result;
+
+/// The static type of a field in a datatype declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeTag {
+    Boolean,
+    Int64,
+    Double,
+    String,
+    DateTime,
+    Duration,
+    Point,
+    Rectangle,
+    Circle,
+    Array,
+    Object,
+    /// Accepts any value (used for fields declared without a concrete type).
+    Any,
+}
+
+impl TypeTag {
+    /// Whether `v` conforms to this tag. `Int64` values conform to
+    /// `Double` fields (numeric widening); `Null` conforms to nothing —
+    /// required fields must be present and non-null, matching AsterixDB's
+    /// closed-field semantics for declared fields.
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (TypeTag::Any, _) => !matches!(v, Value::Missing),
+            (TypeTag::Boolean, Value::Bool(_)) => true,
+            (TypeTag::Int64, Value::Int(_)) => true,
+            (TypeTag::Double, Value::Double(_) | Value::Int(_)) => true,
+            (TypeTag::String, Value::Str(_)) => true,
+            (TypeTag::DateTime, Value::DateTime(_)) => true,
+            (TypeTag::Duration, Value::Duration(_)) => true,
+            (TypeTag::Point, Value::Point(_)) => true,
+            (TypeTag::Rectangle, Value::Rectangle(_)) => true,
+            (TypeTag::Circle, Value::Circle(_)) => true,
+            (TypeTag::Array, Value::Array(_)) => true,
+            (TypeTag::Object, Value::Object(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Parses a type name as it appears in DDL (`int64`, `string`, ...).
+    pub fn from_ddl_name(name: &str) -> Option<TypeTag> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "boolean" | "bool" => TypeTag::Boolean,
+            "int64" | "int" | "bigint" => TypeTag::Int64,
+            "double" | "float" => TypeTag::Double,
+            "string" => TypeTag::String,
+            "datetime" => TypeTag::DateTime,
+            "duration" => TypeTag::Duration,
+            "point" => TypeTag::Point,
+            "rectangle" => TypeTag::Rectangle,
+            "circle" => TypeTag::Circle,
+            "array" => TypeTag::Array,
+            "object" => TypeTag::Object,
+            "any" => TypeTag::Any,
+            _ => return None,
+        })
+    }
+}
+
+/// One required field of an open datatype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    pub name: String,
+    pub tag: TypeTag,
+}
+
+/// An open datatype: `CREATE TYPE <name> AS OPEN { ... }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datatype {
+    pub name: String,
+    pub fields: Vec<FieldDef>,
+}
+
+impl Datatype {
+    pub fn new(name: impl Into<String>) -> Self {
+        Datatype { name: name.into(), fields: Vec::new() }
+    }
+
+    /// Adds a required field (builder style).
+    pub fn field(mut self, name: impl Into<String>, tag: TypeTag) -> Self {
+        self.fields.push(FieldDef { name: name.into(), tag });
+        self
+    }
+
+    /// Validates a record against this datatype: it must be an object and
+    /// every required field must be present with a conforming value.
+    /// Extra fields are always admitted (open semantics).
+    pub fn validate(&self, record: &Value) -> Result<()> {
+        let obj = record.as_object().ok_or_else(|| {
+            AdmError::Type(format!(
+                "datatype {} requires an object, got {}",
+                self.name,
+                record.type_name()
+            ))
+        })?;
+        for f in &self.fields {
+            match obj.get(&f.name) {
+                None => {
+                    return Err(AdmError::Type(format!(
+                        "record is missing required field \"{}\" of type {}",
+                        f.name, self.name
+                    )))
+                }
+                Some(v) if !f.tag.admits(v) => {
+                    return Err(AdmError::Type(format!(
+                        "field \"{}\" of type {} expects {:?}, got {}",
+                        f.name,
+                        self.name,
+                        f.tag,
+                        v.type_name()
+                    )))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet_type() -> Datatype {
+        Datatype::new("TweetType")
+            .field("id", TypeTag::Int64)
+            .field("text", TypeTag::String)
+    }
+
+    #[test]
+    fn open_type_admits_extra_fields() {
+        let t = tweet_type();
+        let rec = Value::object([
+            ("id", Value::Int(1)),
+            ("text", Value::str("hello")),
+            ("country", Value::str("US")),
+        ]);
+        assert!(t.validate(&rec).is_ok());
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let t = tweet_type();
+        let rec = Value::object([("id", Value::Int(1))]);
+        assert!(t.validate(&rec).is_err());
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let t = tweet_type();
+        let rec = Value::object([("id", Value::str("x")), ("text", Value::str("hello"))]);
+        assert!(t.validate(&rec).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_double_field() {
+        let t = Datatype::new("T").field("score", TypeTag::Double);
+        assert!(t.validate(&Value::object([("score", Value::Int(3))])).is_ok());
+    }
+
+    #[test]
+    fn non_object_rejected() {
+        assert!(tweet_type().validate(&Value::Int(3)).is_err());
+    }
+
+    #[test]
+    fn ddl_names_parse() {
+        assert_eq!(TypeTag::from_ddl_name("int64"), Some(TypeTag::Int64));
+        assert_eq!(TypeTag::from_ddl_name("STRING"), Some(TypeTag::String));
+        assert_eq!(TypeTag::from_ddl_name("pointy"), None);
+    }
+}

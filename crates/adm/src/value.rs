@@ -1,0 +1,531 @@
+//! The ADM [`Value`] type and its complex/spatial components.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::compare::total_cmp;
+
+/// A 2-D point (paper: `create_point(lat, lon)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle given by two corner points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rectangle {
+    pub low: Point,
+    pub high: Point,
+}
+
+impl Rectangle {
+    /// Builds a rectangle, normalizing the corners so `low <= high`
+    /// component-wise.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rectangle {
+            low: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            high: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.low.x && p.x <= self.high.x && p.y >= self.low.y && p.y <= self.high.y
+    }
+
+    pub fn intersects_rect(&self, o: &Rectangle) -> bool {
+        self.low.x <= o.high.x
+            && self.high.x >= o.low.x
+            && self.low.y <= o.high.y
+            && self.high.y >= o.low.y
+    }
+}
+
+/// A circle given by a center and radius (paper: `create_circle`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    pub center: Point,
+    pub radius: f64,
+}
+
+impl Circle {
+    pub fn new(center: Point, radius: f64) -> Self {
+        Circle { center, radius }
+    }
+
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.center.distance(p) <= self.radius
+    }
+
+    /// The minimum bounding rectangle of this circle (used by R-tree probes).
+    pub fn mbr(&self) -> Rectangle {
+        Rectangle::new(
+            Point::new(self.center.x - self.radius, self.center.y - self.radius),
+            Point::new(self.center.x + self.radius, self.center.y + self.radius),
+        )
+    }
+}
+
+/// An ADM object: an insertion-ordered collection of named fields.
+///
+/// Objects in the ingestion pipeline are small (tens of fields), so field
+/// lookup is a linear scan over a `Vec` — faster in practice than hashing
+/// for this size and it preserves the field order of the source record,
+/// which AsterixDB also does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Object::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Object { fields: Vec::with_capacity(n) }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Gets a field by name, or `None` if absent.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Sets a field, replacing any existing field of the same name
+    /// (the paper's Java UDF `addField`).
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| *k == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+    }
+
+    /// Appends a field without checking for duplicates. Callers must know
+    /// the name is fresh (e.g. the JSON parser rejects duplicates itself).
+    pub fn push_unchecked(&mut self, name: impl Into<String>, value: Value) {
+        self.fields.push((name.into(), value));
+    }
+
+    /// Removes a field by name, returning its value if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        let idx = self.fields.iter().position(|(k, _)| k == name)?;
+        Some(self.fields.remove(idx).1)
+    }
+
+    /// Iterates fields in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges all fields of `other` into `self` (`SELECT t.*, extra`).
+    pub fn extend_from(&mut self, other: &Object) {
+        for (k, v) in other.iter() {
+            self.set(k, v.clone());
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Object {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut o = Object::new();
+        for (k, v) in iter {
+            o.set(k, v);
+        }
+        o
+    }
+}
+
+/// A runtime ADM instance.
+///
+/// `Missing` is distinct from `Null`: a missing field access yields
+/// `Missing` (SQL++ semantics), while an explicit JSON `null` yields
+/// `Null`. Both are admissible in records; comparisons place
+/// `Missing < Null <` everything else.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    #[default]
+    Missing,
+    Null,
+    Bool(bool),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    /// Milliseconds since the Unix epoch.
+    DateTime(i64),
+    /// A duration in milliseconds (months are normalized to 30 days, as a
+    /// documented simplification of ISO-8601 `P2M`-style durations).
+    Duration(i64),
+    Point(Point),
+    Rectangle(Rectangle),
+    Circle(Circle),
+    Array(Vec<Value>),
+    Object(Object),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Builds an object from `(name, value)` pairs.
+    pub fn object<I, K>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (K, Value)>,
+        K: Into<String>,
+    {
+        Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a point value.
+    pub fn point(x: f64, y: f64) -> Value {
+        Value::Point(Point::new(x, y))
+    }
+
+    /// True for `Missing` and `Null`.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Value::Missing | Value::Null)
+    }
+
+    /// SQL truthiness: only `Bool(true)` is true; unknowns are false.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view: ints widen to doubles.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_object_mut(&mut self) -> Option<&mut Object> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_point(&self) -> Option<&Point> {
+        match self {
+            Value::Point(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// A short name for the runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Missing => "missing",
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "int64",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::DateTime(_) => "datetime",
+            Value::Duration(_) => "duration",
+            Value::Point(_) => "point",
+            Value::Rectangle(_) => "rectangle",
+            Value::Circle(_) => "circle",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the LSM memtable
+    /// budget and by workload sizing.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Missing | Value::Null | Value::Bool(_) => 1,
+            Value::Int(_) | Value::Double(_) | Value::DateTime(_) | Value::Duration(_) => 8,
+            Value::Str(s) => s.len() + 8,
+            Value::Point(_) => 16,
+            Value::Rectangle(_) | Value::Circle(_) => 32,
+            Value::Array(a) => 8 + a.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Object(o) => {
+                8 + o
+                    .iter()
+                    .map(|(k, v)| k.len() + 8 + v.approx_size())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        total_cmp(self, other)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Hashing must agree with `total_cmp` equality: ints and doubles
+        // that compare equal hash identically (integral doubles hash as
+        // their integer value).
+        match self {
+            Value::Missing => state.write_u8(0),
+            Value::Null => state.write_u8(1),
+            Value::Bool(b) => {
+                state.write_u8(2);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(3);
+                i.hash(state);
+            }
+            Value::Double(d) => {
+                if d.fract() == 0.0 && *d >= i64::MIN as f64 && *d <= i64::MAX as f64 {
+                    state.write_u8(3);
+                    (*d as i64).hash(state);
+                } else {
+                    state.write_u8(4);
+                    d.to_bits().hash(state);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(5);
+                s.hash(state);
+            }
+            Value::DateTime(t) => {
+                state.write_u8(6);
+                t.hash(state);
+            }
+            Value::Duration(d) => {
+                state.write_u8(7);
+                d.hash(state);
+            }
+            Value::Point(p) => {
+                state.write_u8(8);
+                p.x.to_bits().hash(state);
+                p.y.to_bits().hash(state);
+            }
+            Value::Rectangle(r) => {
+                state.write_u8(9);
+                r.low.x.to_bits().hash(state);
+                r.low.y.to_bits().hash(state);
+                r.high.x.to_bits().hash(state);
+                r.high.y.to_bits().hash(state);
+            }
+            Value::Circle(c) => {
+                state.write_u8(10);
+                c.center.x.to_bits().hash(state);
+                c.center.y.to_bits().hash(state);
+                c.radius.to_bits().hash(state);
+            }
+            Value::Array(a) => {
+                state.write_u8(11);
+                state.write_usize(a.len());
+                for v in a {
+                    v.hash(state);
+                }
+            }
+            Value::Object(o) => {
+                // Field order is not significant for equality, so hash a
+                // commutative combination of per-field hashes.
+                state.write_u8(12);
+                state.write_usize(o.len());
+                let mut acc: u64 = 0;
+                for (k, v) in o.iter() {
+                    let mut h = std::collections::hash_map::DefaultHasher::new();
+                    k.hash(&mut h);
+                    v.hash(&mut h);
+                    acc = acc.wrapping_add(h.finish());
+                }
+                state.write_u64(acc);
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Self {
+        Value::Array(a)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::json::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn object_set_replaces() {
+        let mut o = Object::new();
+        o.set("a", Value::Int(1));
+        o.set("b", Value::Int(2));
+        o.set("a", Value::Int(3));
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.get("a"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn object_preserves_insertion_order() {
+        let mut o = Object::new();
+        o.set("z", Value::Int(1));
+        o.set("a", Value::Int(2));
+        let keys: Vec<&str> = o.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn int_double_equal_hash_consistent() {
+        let a = Value::Int(42);
+        let b = Value::Double(42.0);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn object_hash_field_order_insensitive() {
+        let mut a = Object::new();
+        a.set("x", Value::Int(1));
+        a.set("y", Value::str("s"));
+        let mut b = Object::new();
+        b.set("y", Value::str("s"));
+        b.set("x", Value::Int(1));
+        assert_eq!(hash_of(&Value::Object(a)), hash_of(&Value::Object(b)));
+    }
+
+    #[test]
+    fn circle_mbr_contains_circle_points() {
+        let c = Circle::new(Point::new(1.0, 2.0), 1.5);
+        let m = c.mbr();
+        assert!(m.contains_point(&Point::new(2.5, 2.0)));
+        assert!(m.contains_point(&Point::new(1.0, 0.5)));
+        assert!(!m.contains_point(&Point::new(3.0, 2.0)));
+    }
+
+    #[test]
+    fn rectangle_normalizes_corners() {
+        let r = Rectangle::new(Point::new(5.0, 1.0), Point::new(1.0, 5.0));
+        assert_eq!(r.low, Point::new(1.0, 1.0));
+        assert_eq!(r.high, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Bool(false).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(!Value::Int(1).is_true());
+    }
+
+    #[test]
+    fn approx_size_grows_with_content() {
+        let small = Value::object([("id", Value::Int(1))]);
+        let big = Value::object([("id", Value::Int(1)), ("text", Value::str("x".repeat(100)))]);
+        assert!(big.approx_size() > small.approx_size());
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the ADM value model: total-order laws,
+//! hash/equality agreement, and JSON round-tripping.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use idea_adm::json;
+use idea_adm::value::{Object, Point, Value};
+use proptest::prelude::*;
+
+/// Strategy for arbitrary ADM values (finite doubles only: JSON has no
+/// spelling for NaN/inf, and the total-order laws are tested for NaN
+/// separately in unit tests).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Double),
+        "[a-zA-Z0-9 _#€é]{0,12}".prop_map(Value::str),
+        any::<i32>().prop_map(|t| Value::DateTime(t as i64)),
+        any::<i32>().prop_map(|d| Value::Duration(d as i64)),
+        ((-90.0f64..90.0), (-180.0f64..180.0)).prop_map(|(x, y)| Value::Point(Point::new(x, y))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|fields| {
+                let mut o = Object::new();
+                for (k, v) in fields {
+                    o.set(k, v);
+                }
+                Value::Object(o)
+            }),
+        ]
+    })
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let text = json::to_string(&v);
+        let back = json::parse(text.as_bytes()).expect("printed JSON must re-parse");
+        prop_assert_eq!(back.cmp(&v), Ordering::Equal, "roundtrip changed value: {}", text);
+    }
+
+    #[test]
+    fn total_order_reflexive(v in arb_value()) {
+        prop_assert_eq!(v.cmp(&v), Ordering::Equal);
+    }
+
+    #[test]
+    fn total_order_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn total_order_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0].cmp(&v[1]) != Ordering::Greater);
+        prop_assert!(v[1].cmp(&v[2]) != Ordering::Greater);
+        prop_assert!(v[0].cmp(&v[2]) != Ordering::Greater);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        if a.cmp(&b) == Ordering::Equal {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn edit_distance_symmetric(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        use idea_adm::functions::similarity::edit_distance;
+        prop_assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn edit_distance_triangle(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+        use idea_adm::functions::similarity::edit_distance;
+        prop_assert!(edit_distance(&a, &c) <= edit_distance(&a, &b) + edit_distance(&b, &c));
+    }
+
+    #[test]
+    fn edit_distance_within_agrees(a in "[a-z]{0,10}", b in "[a-z]{0,10}", t in 0usize..6) {
+        use idea_adm::functions::similarity::{edit_distance, edit_distance_within};
+        prop_assert_eq!(edit_distance_within(&a, &b, t), edit_distance(&a, &b) <= t);
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = json::parse(&bytes);
+    }
+
+    #[test]
+    fn duration_parse_never_panics(s in "\\PC{0,16}") {
+        let _ = idea_adm::functions::temporal::parse_duration(&s);
+    }
+}

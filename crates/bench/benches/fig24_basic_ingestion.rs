@@ -1,0 +1,68 @@
+//! Figure 24 — 10M-tweet basic ingestion speed-up over 1–24 nodes.
+//!
+//! Series: Static Ingestion, Balanced Static, Dynamic 1X/4X/16X,
+//! Balanced Dynamic 1X/4X/16X (batch sizes 420/1680/6720 records/job).
+//!
+//! The node sweep runs on the calibrated cluster model (this host has
+//! one core — see DESIGN.md); a real-engine 3-node spot check validates
+//! the static-vs-dynamic ordering the model predicts.
+
+use idea_bench::{calibrate_cost_model, table::fmt_rate, Table, BATCH_16X, BATCH_1X, BATCH_4X};
+use idea_clustersim::{simulate, PipelineKind, SimConfig};
+
+fn main() {
+    let cost = calibrate_cost_model().with_paper_control_plane();
+    println!("cost model (measured CPU costs + paper-era control plane): {cost:?}");
+    let total = idea_bench::env_sim_tweets() * 10; // Fig 24 uses 10M in the paper
+
+    let nodes_axis = [1usize, 2, 3, 4, 5, 6, 12, 18, 24];
+    let mut table = Table::new(
+        ["series"].into_iter().map(String::from).chain(nodes_axis.iter().map(|n| n.to_string())),
+    );
+
+    let mut series = |label: &str, balanced: bool, pipeline: PipelineKind, batch: u64| {
+        let mut row = vec![label.to_owned()];
+        for &n in &nodes_axis {
+            let cfg = SimConfig {
+                pipeline,
+                ..SimConfig::basic(n, balanced, batch, total)
+            };
+            row.push(fmt_rate(simulate(&cost, &cfg).throughput));
+        }
+        table.row(row);
+    };
+
+    series("Static Ingestion", false, PipelineKind::Static, BATCH_1X);
+    series("Balanced Static", true, PipelineKind::Static, BATCH_1X);
+    series("Dynamic 1X", false, PipelineKind::Dynamic, BATCH_1X);
+    series("Dynamic 4X", false, PipelineKind::Dynamic, BATCH_4X);
+    series("Dynamic 16X", false, PipelineKind::Dynamic, BATCH_16X);
+    series("Balanced Dynamic 1X", true, PipelineKind::Dynamic, BATCH_1X);
+    series("Balanced Dynamic 4X", true, PipelineKind::Dynamic, BATCH_4X);
+    series("Balanced Dynamic 16X", true, PipelineKind::Dynamic, BATCH_16X);
+
+    table.print(&format!(
+        "Figure 24: basic ingestion throughput (records/s), {total} tweets, cluster model"
+    ));
+
+    // Real-engine spot check (3 nodes, small record count): the new
+    // framework without UDFs should be within a small factor of the old
+    // one — the decoupling overhead the paper measures.
+    let tweets = idea_bench::env_tweets();
+    let scale = idea_workload::WorkloadScale::tiny();
+    let mk = |mode| {
+        idea_bench::run_enrichment(
+            &idea_bench::EnrichmentRun::new(None, tweets, scale).nodes(3).mode(mode),
+        )
+    };
+    let stat = mk(idea_core::PipelineMode::Static);
+    let dyn_ = mk(idea_core::PipelineMode::Decoupled);
+    let mut spot = Table::new(["pipeline", "throughput (rec/s)", "computing jobs"]);
+    spot.row(["static (old framework)".into(), fmt_rate(stat.throughput), "0".to_owned()]);
+    spot.row([
+        "decoupled (new framework)".into(),
+        fmt_rate(dyn_.throughput),
+        dyn_.computing_jobs.to_string(),
+    ]);
+    spot.print(&format!("Figure 24 spot check: real engine, 3 nodes, {tweets} tweets"));
+}

@@ -1,0 +1,57 @@
+//! Figure 25 — 1M-tweet enrichment throughput on 6 nodes (log scale in
+//! the paper): the five §7.2 use cases × {Static Java, Dynamic Java
+//! 1X/4X/16X, Dynamic SQL++ 1X/4X/16X}. Real engine.
+
+use idea_bench::{
+    run_enrichment, table::fmt_rate, EnrichmentRun, Table, UdfFlavor, BATCH_16X, BATCH_1X,
+    BATCH_4X,
+};
+use idea_core::PipelineMode;
+use idea_workload::{ScenarioKey, WorkloadScale};
+
+fn main() {
+    let tweets = idea_bench::env_tweets();
+    let scale = WorkloadScale::scaled(idea_bench::env_ref_scale());
+    println!(
+        "Figure 25 config: {tweets} tweets, ref scale {} (SafetyRatings = {})",
+        idea_bench::env_ref_scale(),
+        scale.safety_ratings
+    );
+
+    let mut table = Table::new([
+        "use case",
+        "Static Java",
+        "Dyn Java 1X",
+        "Dyn Java 4X",
+        "Dyn Java 16X",
+        "Dyn SQL++ 1X",
+        "Dyn SQL++ 4X",
+        "Dyn SQL++ 16X",
+    ]);
+
+    for key in ScenarioKey::FIGURE25 {
+        // The heavier joins get fewer tweets so the sweep stays tractable.
+        let n_tweets = match key {
+            ScenarioKey::FuzzySuspects | ScenarioKey::NearbyMonuments => tweets / 2,
+            _ => tweets,
+        }
+        .max(200);
+        let base = EnrichmentRun::new(Some(key), n_tweets, scale);
+        let run = |flavor: UdfFlavor, mode: PipelineMode, batch: u64| {
+            let r = run_enrichment(&base.clone().flavor(flavor).mode(mode).batch_size(batch));
+            fmt_rate(r.throughput)
+        };
+        table.row([
+            key.label().to_owned(),
+            run(UdfFlavor::Native, PipelineMode::Static, BATCH_1X),
+            run(UdfFlavor::Native, PipelineMode::Decoupled, BATCH_1X),
+            run(UdfFlavor::Native, PipelineMode::Decoupled, BATCH_4X),
+            run(UdfFlavor::Native, PipelineMode::Decoupled, BATCH_16X),
+            run(UdfFlavor::Sqlpp, PipelineMode::Decoupled, BATCH_1X),
+            run(UdfFlavor::Sqlpp, PipelineMode::Decoupled, BATCH_4X),
+            run(UdfFlavor::Sqlpp, PipelineMode::Decoupled, BATCH_16X),
+        ]);
+    }
+
+    table.print("Figure 25: enrichment throughput (records/s), 6 nodes, real engine");
+}

@@ -1,0 +1,35 @@
+//! Figure 26 — refresh periods (seconds per computing job) of the
+//! Dynamic SQL++ configurations across batch sizes. Real engine.
+
+use idea_bench::{run_enrichment, EnrichmentRun, Table, BATCH_16X, BATCH_1X, BATCH_4X};
+use idea_workload::{ScenarioKey, WorkloadScale};
+
+fn main() {
+    let tweets = idea_bench::env_tweets();
+    let scale = WorkloadScale::scaled(idea_bench::env_ref_scale());
+
+    let mut table =
+        Table::new(["use case", "SQL++ 1X (s)", "SQL++ 4X (s)", "SQL++ 16X (s)", "jobs @16X"]);
+    for key in ScenarioKey::FIGURE25 {
+        let n_tweets = match key {
+            ScenarioKey::FuzzySuspects | ScenarioKey::NearbyMonuments => tweets / 2,
+            _ => tweets,
+        }
+        .max(200);
+        let base = EnrichmentRun::new(Some(key), n_tweets, scale);
+        let refresh = |batch: u64| run_enrichment(&base.clone().batch_size(batch));
+        let r1 = refresh(BATCH_1X);
+        let r4 = refresh(BATCH_4X);
+        let r16 = refresh(BATCH_16X);
+        table.row([
+            key.label().to_owned(),
+            format!("{:.4}", r1.avg_refresh_period.as_secs_f64()),
+            format!("{:.4}", r4.avg_refresh_period.as_secs_f64()),
+            format!("{:.4}", r16.avg_refresh_period.as_secs_f64()),
+            r16.computing_jobs.to_string(),
+        ]);
+    }
+    table.print("Figure 26: refresh period per batch size, 6 nodes, real engine");
+    println!("(paper shape: refresh periods grow with batch size; Fuzzy Suspects and");
+    println!(" Nearby Monuments dominate because per-record work is high)");
+}

@@ -1,0 +1,30 @@
+//! Figure 29 — the complex-UDF comparison: {Nearby Monuments,
+//! Suspicious Names, Tweet Context, Worrisome Tweets} × batch
+//! 1X/4X/16X, 100K tweets, 6 nodes. Real engine.
+
+use idea_bench::{
+    run_enrichment, table::fmt_rate, EnrichmentRun, Table, BATCH_16X, BATCH_1X, BATCH_4X,
+};
+use idea_workload::{ScenarioKey, WorkloadScale};
+
+fn main() {
+    let tweets = (idea_bench::env_tweets() / 2).max(200);
+    let scale = WorkloadScale::scaled(idea_bench::env_ref_scale());
+
+    let mut table = Table::new(["use case", "Dyn 1X", "Dyn 4X", "Dyn 16X"]);
+    for key in ScenarioKey::FIGURE29 {
+        let base = EnrichmentRun::new(Some(key), tweets, scale);
+        let run = |batch| fmt_rate(run_enrichment(&base.clone().batch_size(batch)).throughput);
+        table.row([
+            key.label().to_owned(),
+            run(BATCH_1X),
+            run(BATCH_4X),
+            run(BATCH_16X),
+        ]);
+    }
+    table.print(&format!(
+        "Figure 29: complex-UDF throughput (records/s), {tweets} tweets, 6 nodes, real engine"
+    ));
+    println!("(paper shape: Tweet Context benefits most from batching — its");
+    println!(" reference-to-reference joins amortize; the others join sequentially)");
+}

@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks over the substrates: the per-operation
+//! costs that feed the cluster-model calibration.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use idea_adm::functions::similarity::{edit_distance, edit_distance_within};
+use idea_adm::value::{Circle, Point};
+use idea_adm::Value;
+use idea_query::{apply_function, Catalog, ExecContext};
+use idea_storage::dataset::{Dataset, DatasetConfig};
+use idea_storage::index::RTree;
+use idea_workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea_workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+fn bench_json(c: &mut Criterion) {
+    let gen = TweetGenerator::new(1);
+    let tweet = gen.generate(42);
+    c.bench_function("json_parse_tweet", |b| {
+        b.iter(|| idea_adm::json::parse(std::hint::black_box(tweet.as_bytes())).unwrap())
+    });
+    let parsed = idea_adm::json::parse(tweet.as_bytes()).unwrap();
+    c.bench_function("json_print_tweet", |b| {
+        b.iter(|| idea_adm::json::to_string(std::hint::black_box(&parsed)))
+    });
+}
+
+fn bench_lsm(c: &mut Criterion) {
+    let dt = idea_adm::Datatype::new("T").field("id", idea_adm::TypeTag::Int64);
+    c.bench_function("lsm_upsert", |b| {
+        let ds = Dataset::new("D", dt.clone(), "id", DatasetConfig::default());
+        let mut i = 0i64;
+        b.iter(|| {
+            ds.upsert(Value::object([("id", Value::Int(i % 10_000)), ("v", Value::Int(i))]))
+                .unwrap();
+            i += 1;
+        })
+    });
+    let ds = Dataset::new("D2", dt, "id", DatasetConfig::default());
+    for i in 0..10_000i64 {
+        ds.insert(Value::object([("id", Value::Int(i))])).unwrap();
+    }
+    ds.flush();
+    c.bench_function("lsm_point_get", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            std::hint::black_box(ds.get(&Value::Int(i % 10_000)));
+            i += 7;
+        })
+    });
+    c.bench_function("lsm_snapshot_scan_10k", |b| {
+        b.iter(|| {
+            let snap = ds.snapshot();
+            std::hint::black_box(snap.iter().count())
+        })
+    });
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut t = RTree::new();
+    for i in 0..50_000i64 {
+        let x = (i % 500) as f64 * 0.36 - 90.0;
+        let y = (i / 500) as f64 * 3.6 - 180.0;
+        t.insert(Point::new(x, y), Value::Int(i));
+    }
+    c.bench_function("rtree_probe_50k", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            let cx = ((i * 37) % 180 - 90) as f64;
+            let cy = ((i * 73) % 360 - 180) as f64;
+            i += 1;
+            std::hint::black_box(t.query_circle(&Circle::new(Point::new(cx, cy), 1.5)).len())
+        })
+    });
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let (a, b_) = ("johnathansmithson", "jonathansmythsen");
+    c.bench_function("edit_distance_full", |b| {
+        b.iter(|| edit_distance(std::hint::black_box(a), std::hint::black_box(b_)))
+    });
+    c.bench_function("edit_distance_banded_t4", |b| {
+        b.iter(|| edit_distance_within(std::hint::black_box(a), std::hint::black_box(b_), 4))
+    });
+}
+
+fn bench_enrichment(c: &mut Criterion) {
+    // Per-record hash-join probe (the Safety Rating steady state) and
+    // the per-batch build, separately.
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let scale = WorkloadScale::scaled(0.01);
+    let sc = setup_scenario(&catalog, ScenarioKey::SafetyRating, &scale, 7).unwrap();
+    let gen = TweetGenerator::new(5);
+    let tweets: Vec<Value> =
+        (0..64).map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap()).collect();
+
+    c.bench_function("enrich_probe_safety_rating", |b| {
+        let mut ctx = ExecContext::new(catalog.clone());
+        apply_function(&mut ctx, &sc.function, &[tweets[0].clone()]).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            let t = &tweets[i % tweets.len()];
+            i += 1;
+            apply_function(&mut ctx, &sc.function, std::hint::black_box(std::slice::from_ref(t)))
+                .unwrap()
+        })
+    });
+    c.bench_function("enrich_build_safety_rating", |b| {
+        // A fresh context per iteration: measures the per-batch state
+        // rebuild that Model 2 pays.
+        b.iter_batched(
+            || ExecContext::new(catalog.clone()),
+            |mut ctx| {
+                apply_function(&mut ctx, &sc.function, &[tweets[0].clone()]).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hash_vs_index(c: &mut Criterion) {
+    // Spatial enrichment with and without the R-tree (the Figure 31
+    // naive-vs-indexed contrast at micro scale).
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let scale = WorkloadScale { monuments: 20_000, ..WorkloadScale::tiny() };
+    let sc = setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).unwrap();
+    idea_query::run_sqlpp(
+        &catalog,
+        r#"CREATE FUNCTION naiveNearby(t) {
+            LET nearby_monuments =
+                (SELECT VALUE m.monument_id FROM monumentList /*+ noindex */ m
+                 WHERE spatial_intersect(m.monument_location,
+                     create_circle(create_point(t.latitude, t.longitude), 1.5)))
+            SELECT t.*, nearby_monuments
+        };"#,
+    )
+    .unwrap();
+    let gen = TweetGenerator::new(6);
+    let tweets: Vec<Value> =
+        (0..32).map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap()).collect();
+
+    let mut ctx = ExecContext::new(catalog.clone());
+    let mut i = 0;
+    c.bench_function("spatial_probe_rtree_20k", |b| {
+        b.iter(|| {
+            let t = &tweets[i % tweets.len()];
+            i += 1;
+            apply_function(&mut ctx, &sc.function, std::slice::from_ref(t)).unwrap()
+        })
+    });
+    // Warm the naive materialization once, then measure per-record scans.
+    apply_function(&mut ctx, "naiveNearby", &[tweets[0].clone()]).unwrap();
+    c.bench_function("spatial_scan_naive_20k", |b| {
+        b.iter(|| {
+            let t = &tweets[i % tweets.len()];
+            i += 1;
+            apply_function(&mut ctx, "naiveNearby", std::slice::from_ref(t)).unwrap()
+        })
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_json, bench_lsm, bench_rtree, bench_edit_distance,
+              bench_enrichment, bench_hash_vs_index
+}
+criterion_main!(benches);
+
+// Silence the unused-import lint for Arc on configurations where the
+// macro expansion does not use it.
+#[allow(dead_code)]
+fn _keep(_: Arc<()>) {}

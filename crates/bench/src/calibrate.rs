@@ -1,0 +1,219 @@
+//! Calibration: measure real-engine per-operation costs on this host
+//! and build the [`CostModel`] the cluster model runs with.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use idea_clustersim::{CostModel, EnrichKind};
+use idea_query::{apply_function, Catalog, ExecContext};
+use idea_workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea_workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+/// Measured costs for one enrichment scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCosts {
+    /// Seconds to build the per-batch state (hash tables /
+    /// materializations) over the *whole* reference data.
+    pub build_total: f64,
+    /// Steady-state seconds per enriched record (state already built).
+    pub per_record: f64,
+    /// Total reference rows the scenario loads.
+    pub ref_rows: u64,
+}
+
+impl ScenarioCosts {
+    /// The simulator's enrichment kind for this scenario, with measured
+    /// constants.
+    pub fn enrich_kind(&self, key: ScenarioKey) -> EnrichKind {
+        match key {
+            // Equality/aggregate joins and the compiled multi-join plans:
+            // records are repartitioned, each node enriches its share
+            // against per-batch-built state.
+            ScenarioKey::SafetyCheck
+            | ScenarioKey::SafetyRating
+            | ScenarioKey::ReligiousPopulation
+            | ScenarioKey::LargestReligions
+            | ScenarioKey::SuspiciousNames
+            | ScenarioKey::TweetContext
+            | ScenarioKey::WorrisomeTweets => EnrichKind::HashJoin { per_probe: self.per_record },
+            // Similarity join and the hinted no-index spatial join scan
+            // reference partitions per record (records broadcast).
+            ScenarioKey::FuzzySuspects | ScenarioKey::NaiveNearbyMonuments => {
+                EnrichKind::ScanJoin { per_row: self.per_record / self.ref_rows.max(1) as f64 }
+            }
+            // The pure index-nested-loop join broadcasts incoming tweets
+            // to every node's local R-tree (§7.4.2).
+            ScenarioKey::NearbyMonuments => EnrichKind::IndexJoin { per_probe: self.per_record },
+        }
+    }
+
+    /// Per-reference-row build cost.
+    pub fn build_per_row(&self) -> f64 {
+        self.build_total / self.ref_rows.max(1) as f64
+    }
+}
+
+/// Measures a scenario's build and per-record costs on a single-node
+/// catalog.
+pub fn calibrate_scenario(key: ScenarioKey, scale: &WorkloadScale, sample: u64) -> ScenarioCosts {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).expect("datasets");
+    let sc = setup_scenario(&catalog, key, scale, 7).expect("scenario");
+    let ref_rows = ref_rows_of(&catalog, key);
+    let gen = TweetGenerator::new(13);
+    let tweets: Vec<_> = (0..sample.max(2))
+        .map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap())
+        .collect();
+
+    let mut ctx = ExecContext::new(catalog.clone());
+    // First record pays the state build.
+    let t0 = Instant::now();
+    apply_function(&mut ctx, &sc.function, &[tweets[0].clone()]).unwrap();
+    let first = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    for t in &tweets[1..] {
+        apply_function(&mut ctx, &sc.function, &[t.clone()]).unwrap();
+    }
+    let per_record = t1.elapsed().as_secs_f64() / (tweets.len() - 1) as f64;
+
+    ScenarioCosts {
+        build_total: (first - per_record).max(0.0),
+        per_record,
+        ref_rows,
+    }
+}
+
+fn ref_rows_of(catalog: &Arc<Catalog>, key: ScenarioKey) -> u64 {
+    // Count the primary reference dataset (the dominant build input).
+    catalog
+        .dataset(key.primary_reference())
+        .map(|d| d.len() as u64)
+        .unwrap_or(0)
+}
+
+/// Measures the pipeline's per-record costs (parse, store, adapter) and
+/// control-plane costs (task dispatch), returning the base cost model
+/// (enrichment costs come from [`calibrate_scenario`]).
+pub fn calibrate_cost_model() -> CostModel {
+    let gen = TweetGenerator::new(17);
+    let raw: Vec<String> = gen.batch(0, 2_000);
+
+    // Parse cost.
+    let t = Instant::now();
+    let parsed: Vec<idea_adm::Value> =
+        raw.iter().map(|r| idea_adm::json::parse(r.as_bytes()).unwrap()).collect();
+    let parse_per_record = t.elapsed().as_secs_f64() / raw.len() as f64;
+
+    // Store cost (fresh single-partition dataset, LSM upserts).
+    let catalog = Catalog::new(1);
+    idea_query::run_sqlpp(
+        &catalog,
+        "CREATE TYPE T AS OPEN { id: int64 }; CREATE DATASET D(T) PRIMARY KEY id;",
+    )
+    .unwrap();
+    let ds = catalog.dataset("D").unwrap();
+    let t = Instant::now();
+    for rec in &parsed {
+        ds.upsert(rec.clone()).unwrap();
+    }
+    let store_per_record = t.elapsed().as_secs_f64() / parsed.len() as f64;
+
+    // Adapter/framing cost: dominated by a clone + queue push; measure a
+    // comparable copy.
+    let t = Instant::now();
+    let mut sink = Vec::with_capacity(raw.len());
+    for r in &raw {
+        sink.push(idea_adm::Value::Str(r.clone()));
+    }
+    std::hint::black_box(&sink);
+    let adapter_per_record = t.elapsed().as_secs_f64() / raw.len() as f64;
+
+    // Control-plane: invoke an empty predeployed job repeatedly on 1 and
+    // 4 nodes; the per-node slope is the dispatch cost.
+    let per_job = |nodes: usize| -> f64 {
+        let cluster = idea_hyracks::Cluster::with_nodes(nodes);
+        let spec = empty_job();
+        let id = cluster.deploy_job(spec);
+        let reps = 30;
+        let t = Instant::now();
+        for _ in 0..reps {
+            cluster.invoke_deployed(id, idea_adm::Value::Missing).unwrap().join().unwrap();
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+    let j1 = per_job(1);
+    let j4 = per_job(4);
+    // 3 stages per job: slope per task = (j4 - j1) / (3 * (4 - 1)).
+    let task_dispatch = ((j4 - j1) / 9.0).max(1e-6);
+    let job_fixed = (j1 - 3.0 * task_dispatch).max(1e-5);
+
+    CostModel {
+        adapter_per_record: adapter_per_record.max(1e-8),
+        parse_per_record,
+        build_per_row: 0.5e-6, // replaced per scenario by ScenarioCosts
+        build_fixed: 2.0e-4,
+        store_per_record,
+        task_dispatch,
+        task_start: task_dispatch, // same order; message delivery
+        job_fixed,
+        // The paper's testbed hardware: ~450-byte records over Gigabit
+        // Ethernet. These stay as modeled constants — our in-process
+        // "network" is memcpy-fast, so measuring it would erase the
+        // intake bottleneck the paper's Figure 24 exposes (see
+        // DESIGN.md's substitution table).
+        record_bytes: 450.0,
+        network_bytes_per_sec: 125.0e6,
+    }
+}
+
+fn empty_job() -> idea_hyracks::JobSpec {
+    use idea_hyracks::{ConnectorSpec, Frame, FrameSink, JobSpec, Operator, TaskContext};
+    struct Noop;
+    impl Operator for Noop {
+        fn next_frame(
+            &mut self,
+            _f: Frame,
+            _o: &mut dyn FrameSink,
+            _c: &mut TaskContext,
+        ) -> idea_hyracks::Result<()> {
+            Ok(())
+        }
+        fn run_source(
+            &mut self,
+            _o: &mut dyn FrameSink,
+            _c: &mut TaskContext,
+        ) -> idea_hyracks::Result<()> {
+            Ok(())
+        }
+    }
+    JobSpec::new("calibration")
+        .stage("a", ConnectorSpec::OneToOne, Arc::new(|_: &TaskContext| Box::new(Noop) as _))
+        .stage("b", ConnectorSpec::OneToOne, Arc::new(|_: &TaskContext| Box::new(Noop) as _))
+        .stage("c", ConnectorSpec::OneToOne, Arc::new(|_: &TaskContext| Box::new(Noop) as _))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_sane_costs() {
+        let cm = calibrate_cost_model();
+        assert!(cm.parse_per_record > 0.0 && cm.parse_per_record < 1e-3);
+        assert!(cm.store_per_record > 0.0 && cm.store_per_record < 1e-2);
+        assert!(cm.task_dispatch > 0.0);
+    }
+
+    #[test]
+    fn scenario_calibration_runs() {
+        let costs =
+            calibrate_scenario(ScenarioKey::SafetyRating, &WorkloadScale::tiny(), 50);
+        assert!(costs.per_record > 0.0);
+        assert!(costs.ref_rows > 0);
+        assert!(matches!(
+            costs.enrich_kind(ScenarioKey::SafetyRating),
+            EnrichKind::HashJoin { .. }
+        ));
+    }
+}

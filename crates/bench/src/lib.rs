@@ -1,0 +1,44 @@
+//! # idea-bench — the experiment harness
+//!
+//! One bench target per evaluation figure (see DESIGN.md's experiment
+//! index). Figures on a fixed 6-node cluster (25, 26, 27, 29) run the
+//! **real engine**; scale-out figures (24, 28, 30, 31) run the
+//! **cluster model** with constants calibrated from the real engine on
+//! this host (see `calibrate`).
+//!
+//! Knobs (environment variables, all optional):
+//!
+//! * `IDEA_TWEETS` — tweets per enrichment run (default 2000);
+//! * `IDEA_REF_SCALE` — reference-data scale factor vs the paper
+//!   (default 0.01, i.e. SafetyRatings = 5000 records);
+//! * `IDEA_SIM_TWEETS` — virtual tweets for simulated figures
+//!   (default 100000).
+
+pub mod calibrate;
+pub mod harness;
+pub mod table;
+
+pub use calibrate::{calibrate_cost_model, calibrate_scenario, ScenarioCosts};
+pub use harness::{run_enrichment, EnrichmentRun, UdfFlavor};
+pub use table::Table;
+
+/// Tweets per real-engine run.
+pub fn env_tweets() -> u64 {
+    std::env::var("IDEA_TWEETS").ok().and_then(|v| v.parse().ok()).unwrap_or(10_000)
+}
+
+/// Reference-data scale factor vs the paper's sizes.
+pub fn env_ref_scale() -> f64 {
+    std::env::var("IDEA_REF_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01)
+}
+
+/// Virtual tweets for simulated figures.
+pub fn env_sim_tweets() -> u64 {
+    std::env::var("IDEA_SIM_TWEETS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000)
+}
+
+/// The paper's batch sizes: 1X, 4X, 16X (records each node's collector
+/// pulls per computing job).
+pub const BATCH_1X: u64 = 420;
+pub const BATCH_4X: u64 = 1_680;
+pub const BATCH_16X: u64 = 6_720;

@@ -1,0 +1,502 @@
+//! The virtual-time pipeline model.
+
+/// How the enrichment UDF consumes reference data (paper §4.3.4's three
+/// cases, as realized in the evaluation's UDFs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnrichKind {
+    /// No UDF: the computing job only moves data (Figure 24).
+    None,
+    /// Hash join with a *replicated* build (what the real engine does:
+    /// every node scans the full reference snapshot into its own table
+    /// once per invocation); tweets are repartitioned so each node
+    /// probes `records/N` of the invocation.
+    HashJoin {
+        /// Per-record probe + residual cost (seconds).
+        per_probe: f64,
+    },
+    /// Index nested-loop join: probes a live index. Incoming records are
+    /// *broadcast* ("the Index Nested Loop Join algorithm needed to
+    /// broadcast the incoming tweets to all nodes", §7.4.2), so every
+    /// node probes every record of the batch.
+    IndexJoin {
+        /// Per-record index probe cost (seconds).
+        per_probe: f64,
+    },
+    /// Partitioned scan join (the `noindex` naive variant): each node
+    /// scans its local reference partition for every record of the
+    /// batch (records broadcast, reference partitioned).
+    ScanJoin {
+        /// Per-reference-row filter cost (seconds).
+        per_row: f64,
+    },
+}
+
+/// Static (old framework) vs decoupled (new framework) pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineKind {
+    /// Single job; intake+parse+UDF coupled on the intake node(s); UDF
+    /// state built once (Model 3).
+    Static,
+    /// Intake / computing / storage jobs; computing job re-invoked per
+    /// batch (Model 2).
+    Dynamic,
+}
+
+/// Measured per-operation costs (seconds). The benchmark harness fills
+/// these from real-engine microbenchmarks on the reproduction host.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Adapter receive + framing, per record.
+    pub adapter_per_record: f64,
+    /// JSON parse + validate, per record.
+    pub parse_per_record: f64,
+    /// Per-reference-row cost of building enrichment state (hash-table
+    /// insert / materialization), per invocation.
+    pub build_per_row: f64,
+    /// Fixed per-invocation state-setup cost per node (snapshot pinning,
+    /// context creation).
+    pub build_fixed: f64,
+    /// LSM upsert, per record.
+    pub store_per_record: f64,
+    /// CC-side serial dispatch cost per task at job start.
+    pub task_dispatch: f64,
+    /// Parallel task start latency (message delivery).
+    pub task_start: f64,
+    /// Fixed per-job-invocation cost (driver bookkeeping).
+    pub job_fixed: f64,
+    /// Record size on the wire (the paper's tweets are ~450 bytes).
+    pub record_bytes: f64,
+    /// NIC bandwidth of one node (the paper's testbed: Gigabit
+    /// Ethernet). The intake node both receives each record and
+    /// forwards it to a peer, so it moves ~2× the record size.
+    pub network_bytes_per_sec: f64,
+}
+
+impl CostModel {
+    /// Effective per-record time on one intake node: CPU work plus the
+    /// NIC receiving the record and forwarding it into the cluster.
+    pub fn intake_per_record(&self) -> f64 {
+        self.adapter_per_record + 2.0 * self.record_bytes / self.network_bytes_per_sec
+    }
+
+    /// Replaces the control-plane constants with values typical of a
+    /// real distributed deployment (the paper's testbed starts a
+    /// distributed job in hundreds of milliseconds; our in-process
+    /// "cluster" does it in a fraction of a millisecond). The §7.4
+    /// speed-up shapes — simple UDFs capped by invocation overhead,
+    /// complex ones approaching ideal — live in this regime, so the
+    /// scale-out figures apply it on top of the measured CPU costs.
+    pub fn with_paper_control_plane(mut self) -> Self {
+        self.job_fixed = 0.05;
+        self.task_dispatch = 5.0e-3;
+        self.task_start = 0.02;
+        self
+    }
+}
+
+impl CostModel {
+    /// Plausible defaults for a ~2 GHz core (the benches replace these
+    /// with measured values).
+    pub fn nominal() -> Self {
+        CostModel {
+            adapter_per_record: 1.2e-6,
+            parse_per_record: 6.0e-6,
+            build_per_row: 0.6e-6,
+            build_fixed: 2.0e-4,
+            store_per_record: 4.0e-6,
+            task_dispatch: 1.5e-4,
+            task_start: 5.0e-4,
+            job_fixed: 1.0e-3,
+            record_bytes: 450.0,
+            network_bytes_per_sec: 125.0e6, // 1 Gb/s
+        }
+    }
+}
+
+/// One simulated experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub nodes: usize,
+    /// Nodes running the adapter (1 = the paper's default, `nodes` =
+    /// "balanced").
+    pub intake_nodes: usize,
+    /// Records each node's collector pulls per computing-job invocation
+    /// — same convention as `FeedSpec::batch_size` (the paper's "420
+    /// records/batch"); one invocation moves up to `batch_size × nodes`
+    /// records.
+    pub batch_size: u64,
+    /// Total records ingested.
+    pub total_records: u64,
+    /// Total reference rows (split across nodes for builds/scans).
+    pub ref_rows: u64,
+    pub enrich: EnrichKind,
+    pub pipeline: PipelineKind,
+    /// Stages of the computing job (3 in the new framework: collector,
+    /// evaluator, sink).
+    pub computing_stages: u32,
+}
+
+impl SimConfig {
+    /// Figure-24-style config: plain ingestion, no UDF.
+    pub fn basic(nodes: usize, balanced: bool, batch_size: u64, total: u64) -> Self {
+        SimConfig {
+            nodes,
+            intake_nodes: if balanced { nodes } else { 1 },
+            batch_size,
+            total_records: total,
+            ref_rows: 0,
+            enrich: EnrichKind::None,
+            pipeline: PipelineKind::Dynamic,
+            computing_stages: 3,
+        }
+    }
+}
+
+/// Simulation output.
+#[derive(Debug, Clone, Copy)]
+pub struct SimResult {
+    /// Virtual wall-clock seconds for the whole run.
+    pub elapsed: f64,
+    /// Records per second.
+    pub throughput: f64,
+    /// Computing-job invocations (0 for static).
+    pub computing_jobs: u64,
+    /// Mean invocation duration (the refresh period, Figure 26).
+    pub avg_refresh_period: f64,
+}
+
+/// Runs the model.
+pub fn simulate(cost: &CostModel, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.nodes > 0 && cfg.intake_nodes > 0 && cfg.intake_nodes <= cfg.nodes);
+    assert!(cfg.total_records > 0);
+    match cfg.pipeline {
+        PipelineKind::Static => simulate_static(cost, cfg),
+        PipelineKind::Dynamic => simulate_dynamic(cost, cfg),
+    }
+}
+
+/// Per-record enrichment time on the *critical* node for `records`
+/// arriving in one invocation, plus the per-invocation state cost.
+fn enrich_times(cost: &CostModel, cfg: &SimConfig, records: u64) -> (f64, f64) {
+    let n = cfg.nodes as f64;
+    let ref_per_node = cfg.ref_rows as f64 / n;
+    match cfg.enrich {
+        EnrichKind::None => (0.0, 0.0),
+        EnrichKind::HashJoin { per_probe } => {
+            // Build: replicated — every node scans the full reference
+            // snapshot (the engine's broadcast-build join). Probe:
+            // records repartitioned, so records/N per node.
+            let build = cost.build_fixed + cfg.ref_rows as f64 * cost.build_per_row;
+            let probe = (records as f64 / n) * per_probe;
+            (build, probe)
+        }
+        EnrichKind::IndexJoin { per_probe } => {
+            // Records broadcast: every node probes every record.
+            (cost.build_fixed, records as f64 * per_probe)
+        }
+        EnrichKind::ScanJoin { per_row } => {
+            // Records broadcast; each probe scans the local reference
+            // partition.
+            (cost.build_fixed, records as f64 * ref_per_node * per_row)
+        }
+    }
+}
+
+fn activation_time(cost: &CostModel, cfg: &SimConfig) -> f64 {
+    // CC dispatches one message per task, serially; tasks then start in
+    // parallel after the delivery latency.
+    cost.job_fixed
+        + cost.task_dispatch * (cfg.computing_stages as f64) * (cfg.nodes as f64)
+        + cost.task_start
+}
+
+fn simulate_dynamic(cost: &CostModel, cfg: &SimConfig) -> SimResult {
+    let n = cfg.nodes as f64;
+    // Intake: adapters produce concurrently; aggregate production rate,
+    // NIC-bound on each intake node.
+    let intake_rate = cfg.intake_nodes as f64 / cost.intake_per_record();
+    let produce_all_at = cfg.total_records as f64 / intake_rate;
+
+    let mut now = 0.0f64;
+    let mut consumed: u64 = 0;
+    let mut jobs = 0u64;
+    let mut busy = 0.0f64;
+    let per_invocation_cap = cfg.batch_size * cfg.nodes as u64;
+
+    while consumed < cfg.total_records {
+        // Wait until a full batch is available (or production has ended,
+        // in which case take what remains — the EOF path).
+        let want = per_invocation_cap.min(cfg.total_records - consumed);
+        let available_now = ((intake_rate * now) as u64).min(cfg.total_records) - consumed;
+        let records = if available_now >= want {
+            want
+        } else {
+            // Time when `want` records will exist.
+            let t_ready = (consumed + want) as f64 / intake_rate;
+            if t_ready > produce_all_at {
+                // Production ends first: take the remainder at EOF.
+                now = now.max(produce_all_at);
+                cfg.total_records - consumed
+            } else {
+                now = now.max(t_ready);
+                want
+            }
+        };
+        // One computing-job invocation.
+        let (state, probe_time) = enrich_times(cost, cfg, records);
+        let parse_time = (records as f64 / n) * cost.parse_per_record;
+        let duration = activation_time(cost, cfg) + state + parse_time + probe_time;
+        now += duration;
+        busy += duration;
+        consumed += records;
+        jobs += 1;
+    }
+
+    // Storage runs concurrently; it can only finish after the last
+    // computing job and is capacity-bound by the per-node write rate.
+    let store_time = (cfg.total_records as f64 / n) * cost.store_per_record;
+    let elapsed = now.max(produce_all_at).max(store_time);
+    SimResult {
+        elapsed,
+        throughput: cfg.total_records as f64 / elapsed,
+        computing_jobs: jobs,
+        avg_refresh_period: if jobs == 0 { 0.0 } else { busy / jobs as f64 },
+    }
+}
+
+fn simulate_static(cost: &CostModel, cfg: &SimConfig) -> SimResult {
+    // Coupled pipeline: each intake node pays adapter+parse+enrichment
+    // per record; state built once (Model 3), so its cost is a one-off
+    // latency, not a throughput term.
+    let n = cfg.nodes as f64;
+    let per_record_enrich = match cfg.enrich {
+        EnrichKind::None => 0.0,
+        EnrichKind::HashJoin { per_probe } => per_probe,
+        // A static pipeline has no distributed computing job: probes and
+        // scans run on the intake node against the full reference data.
+        EnrichKind::IndexJoin { per_probe } => per_probe,
+        EnrichKind::ScanJoin { per_row } => cfg.ref_rows as f64 * per_row,
+    };
+    let intake_per_record =
+        cost.intake_per_record() + cost.parse_per_record + per_record_enrich;
+    let intake_rate = cfg.intake_nodes as f64 / intake_per_record;
+    let store_rate = n / cost.store_per_record;
+    let rate = intake_rate.min(store_rate);
+    let one_off = match cfg.enrich {
+        EnrichKind::None => 0.0,
+        _ => cost.build_fixed + (cfg.ref_rows as f64) * cost.build_per_row,
+    };
+    let elapsed = one_off + cfg.total_records as f64 / rate;
+    SimResult {
+        elapsed,
+        throughput: cfg.total_records as f64 / elapsed,
+        computing_jobs: 0,
+        avg_refresh_period: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOTAL: u64 = 1_000_000;
+
+    fn cost() -> CostModel {
+        CostModel::nominal()
+    }
+
+    fn basic(nodes: usize, balanced: bool, batch: u64) -> SimResult {
+        simulate(&cost(), &SimConfig::basic(nodes, balanced, batch, TOTAL))
+    }
+
+    #[test]
+    fn static_ingestion_flat_with_cluster_size() {
+        let mk = |nodes| {
+            simulate(
+                &cost(),
+                &SimConfig {
+                    pipeline: PipelineKind::Static,
+                    ..SimConfig::basic(nodes, false, 420, TOTAL)
+                },
+            )
+        };
+        let t1 = mk(1).throughput;
+        let t24 = mk(24).throughput;
+        // Single-node parsing bottleneck: no speedup from more nodes.
+        assert!((t24 / t1 - 1.0).abs() < 0.05, "static must stay flat: {t1} vs {t24}");
+    }
+
+    #[test]
+    fn balanced_static_scales_linearly() {
+        let mk = |nodes| {
+            simulate(
+                &cost(),
+                &SimConfig {
+                    pipeline: PipelineKind::Static,
+                    ..SimConfig::basic(nodes, true, 420, TOTAL)
+                },
+            )
+        };
+        let t6 = mk(6).throughput;
+        let t24 = mk(24).throughput;
+        assert!(t24 / t6 > 3.0, "balanced static ≈ linear: {}", t24 / t6);
+    }
+
+    #[test]
+    fn dynamic_larger_batches_faster() {
+        let t1 = basic(12, true, 420).throughput;
+        let t4 = basic(12, true, 1680).throughput;
+        let t16 = basic(12, true, 6720).throughput;
+        assert!(t4 > t1, "4X beats 1X: {t1} vs {t4}");
+        assert!(t16 > t4, "16X beats 4X: {t4} vs {t16}");
+    }
+
+    #[test]
+    fn balanced_dynamic_trails_balanced_static_more_at_scale() {
+        let gap = |nodes| {
+            let s = simulate(
+                &cost(),
+                &SimConfig {
+                    pipeline: PipelineKind::Static,
+                    ..SimConfig::basic(nodes, true, 420, TOTAL)
+                },
+            )
+            .throughput;
+            let d = basic(nodes, true, 420).throughput;
+            s / d
+        };
+        let g6 = gap(6);
+        let g24 = gap(24);
+        assert!(g24 > g6, "invocation overhead grows with cluster size: {g6} vs {g24}");
+        assert!(g6 >= 0.95, "at small scale the two are close: {g6}");
+    }
+
+    #[test]
+    fn single_intake_dynamic_caps_at_intake_rate() {
+        let t6 = basic(6, false, 6720).throughput;
+        let t24 = basic(24, false, 6720).throughput;
+        let cap = 1.0 / cost().adapter_per_record;
+        assert!(t6 <= cap * 1.01);
+        assert!(t24 <= cap * 1.01);
+        // Converged: growth from 6 to 24 is modest.
+        assert!(t24 / t6 < 1.6, "single-intake converges: {}", t24 / t6);
+    }
+
+    #[test]
+    fn simple_hash_udf_speedup_poor_complex_good() {
+        // The §7.4 speed-up regime needs real-cluster control-plane
+        // costs (job activation dominating small jobs).
+        let cost = cost().with_paper_control_plane();
+        let speedup = |per_probe: f64, ref_rows: u64, batch: u64| {
+            let mk = |nodes| {
+                simulate(
+                    &cost,
+                    &SimConfig {
+                        ref_rows,
+                        enrich: EnrichKind::HashJoin { per_probe },
+                        ..SimConfig::basic(nodes, true, batch, 3_000_000)
+                    },
+                )
+                .throughput
+            };
+            mk(24) / mk(6)
+        };
+        let simple = speedup(0.5e-6, 500_000, 6720);
+        let complex = speedup(300e-6, 500_000, 6720);
+        assert!(simple < 3.0, "simple UDFs speed up poorly: {simple}");
+        assert!(complex > 2.5, "complex UDFs benefit from nodes: {complex}");
+        assert!(simple < complex, "complexity separates speedups");
+        assert!(complex <= 4.05, "bounded by ideal 4x: {complex}");
+    }
+
+    #[test]
+    fn bigger_batches_improve_speedup() {
+        let cost = cost().with_paper_control_plane();
+        let speedup = |batch| {
+            let mk = |nodes| {
+                simulate(
+                    &cost,
+                    &SimConfig {
+                        ref_rows: 500_000,
+                        enrich: EnrichKind::HashJoin { per_probe: 30e-6 },
+                        ..SimConfig::basic(nodes, true, batch, 3_000_000)
+                    },
+                )
+                .throughput
+            };
+            mk(24) / mk(6)
+        };
+        assert!(speedup(6720) > speedup(420), "16X batch speeds up better than 1X");
+    }
+
+    #[test]
+    fn naive_scan_scales_index_join_saturates() {
+        let mk = |nodes, enrich| {
+            simulate(
+                &cost(),
+                &SimConfig {
+                    ref_rows: 500_000,
+                    enrich,
+                    ..SimConfig::basic(nodes, true, 6720, 100_000)
+                },
+            )
+            .throughput
+        };
+        // Naive: terrible at 6 nodes but keeps improving.
+        let naive6 = mk(6, EnrichKind::ScanJoin { per_row: 0.05e-6 });
+        let naive24 = mk(24, EnrichKind::ScanJoin { per_row: 0.05e-6 });
+        assert!(naive24 / naive6 > 2.5, "naive scan scales: {}", naive24 / naive6);
+        // Index join: better absolute, but broadcast limits its speedup.
+        let inlj6 = mk(6, EnrichKind::IndexJoin { per_probe: 40e-6 });
+        let inlj24 = mk(24, EnrichKind::IndexJoin { per_probe: 40e-6 });
+        assert!(inlj6 > naive6, "index beats naive at small scale");
+        assert!(inlj24 / inlj6 < naive24 / naive6, "broadcast limits INLJ speedup");
+    }
+
+    #[test]
+    fn ref_scaleout_mild_degradation() {
+        // §7.4.1: reference size and cluster grow together; throughput
+        // drops only slightly.
+        let mk = |k: usize| {
+            simulate(
+                &cost(),
+                &SimConfig {
+                    ref_rows: 500_000 * k as u64,
+                    enrich: EnrichKind::HashJoin { per_probe: 50e-6 },
+                    ..SimConfig::basic(6 * k, true, 6720, 100_000)
+                },
+            )
+            .throughput
+        };
+        let t1 = mk(1);
+        let t4 = mk(4);
+        // §7.4.1's claim is "scaled well": no collapse, no dramatic win —
+        // per-node build work stays constant, activation overhead and
+        // per-node probe share move in opposite directions.
+        assert!(t4 > 0.5 * t1, "scales well (no collapse): {t1} -> {t4}");
+        assert!(t4 < 2.0 * t1, "no spurious superlinear gain: {t1} -> {t4}");
+    }
+
+    #[test]
+    fn refresh_period_grows_with_batch_size() {
+        let mk = |batch| {
+            simulate(
+                &cost(),
+                &SimConfig {
+                    ref_rows: 500_000,
+                    enrich: EnrichKind::HashJoin { per_probe: 10e-6 },
+                    ..SimConfig::basic(6, true, batch, 100_000)
+                },
+            )
+            .avg_refresh_period
+        };
+        assert!(mk(6720) > mk(420));
+    }
+
+    #[test]
+    fn conservation() {
+        let r = basic(6, true, 420);
+        assert!(r.computing_jobs >= TOTAL / (420 * 6));
+        assert!(r.throughput > 0.0 && r.elapsed > 0.0);
+    }
+}

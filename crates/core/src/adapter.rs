@@ -1,0 +1,246 @@
+//! Feed adapters: "an adapter, which obtains/receives data from an
+//! external data source as raw bytes" (paper §2.3).
+//!
+//! An [`Adapter`] yields raw records (JSON text lines); an
+//! [`AdapterFactory`] instantiates one adapter per intake node. Built-in
+//! adapters:
+//!
+//! * [`VecAdapter`] — replays a pre-generated record list;
+//! * [`GeneratorAdapter`] — produces records from a closure (the
+//!   benchmark workloads use this with the tweet generator);
+//! * [`RateLimitedAdapter`] — wraps another adapter to cap records/sec
+//!   (the reference-data update clients of §7.3 use this);
+//! * [`SocketAdapter`] — a real TCP line-oriented socket server, the
+//!   paper's `socket_adapter` (Figure 4).
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A source of raw records for one intake partition.
+pub trait Adapter: Send {
+    /// The next raw record, or `None` when the source is exhausted (or
+    /// the feed was stopped).
+    fn next(&mut self) -> Option<String>;
+}
+
+/// Instantiates the adapter for intake partition `partition` of
+/// `partitions`.
+pub type AdapterFactory =
+    Arc<dyn Fn(usize, usize) -> Box<dyn Adapter> + Send + Sync>;
+
+/// Replays a fixed list of records.
+pub struct VecAdapter {
+    records: std::vec::IntoIter<String>,
+}
+
+impl VecAdapter {
+    pub fn new(records: Vec<String>) -> Self {
+        VecAdapter { records: records.into_iter() }
+    }
+
+    /// A factory that splits `records` round-robin across intake
+    /// partitions.
+    pub fn factory(records: Vec<String>) -> AdapterFactory {
+        let records = Arc::new(records);
+        Arc::new(move |partition, partitions| {
+            let mine: Vec<String> = records
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % partitions == partition)
+                .map(|(_, r)| r.clone())
+                .collect();
+            Box::new(VecAdapter::new(mine))
+        })
+    }
+}
+
+impl Adapter for VecAdapter {
+    fn next(&mut self) -> Option<String> {
+        self.records.next()
+    }
+}
+
+/// Produces up to `count` records from a generator closure.
+pub struct GeneratorAdapter<F> {
+    gen: F,
+    produced: u64,
+    count: u64,
+}
+
+impl<F: FnMut(u64) -> String + Send> GeneratorAdapter<F> {
+    pub fn new(count: u64, gen: F) -> Self {
+        GeneratorAdapter { gen, produced: 0, count }
+    }
+}
+
+impl<F: FnMut(u64) -> String + Send> Adapter for GeneratorAdapter<F> {
+    fn next(&mut self) -> Option<String> {
+        if self.produced >= self.count {
+            return None;
+        }
+        let r = (self.gen)(self.produced);
+        self.produced += 1;
+        Some(r)
+    }
+}
+
+/// Caps an adapter at `rate` records per second (token bucket with a
+/// 10 ms sleep granularity).
+pub struct RateLimitedAdapter {
+    inner: Box<dyn Adapter>,
+    rate: f64,
+    started: Option<Instant>,
+    emitted: u64,
+    stop: Arc<AtomicBool>,
+}
+
+impl RateLimitedAdapter {
+    pub fn new(inner: Box<dyn Adapter>, rate: f64) -> Self {
+        assert!(rate > 0.0);
+        RateLimitedAdapter {
+            inner,
+            rate,
+            started: None,
+            emitted: 0,
+            stop: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A flag that makes `next` return `None` promptly (instead of
+    /// sleeping out the schedule) when set.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+}
+
+impl Adapter for RateLimitedAdapter {
+    fn next(&mut self) -> Option<String> {
+        let started = *self.started.get_or_insert_with(Instant::now);
+        let due = started + Duration::from_secs_f64(self.emitted as f64 / self.rate);
+        while Instant::now() < due {
+            if self.stop.load(Ordering::Relaxed) {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(due - Instant::now()));
+        }
+        self.emitted += 1;
+        self.inner.next()
+    }
+}
+
+/// A line-oriented TCP socket source: binds `addr`, accepts one
+/// connection, and yields one record per line until the peer closes.
+pub struct SocketAdapter {
+    listener: TcpListener,
+    reader: Option<BufReader<std::net::TcpStream>>,
+    line: String,
+}
+
+impl SocketAdapter {
+    /// Binds the listening socket (fails fast on bad addresses, as the
+    /// feed DDL should).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(SocketAdapter { listener, reader: None, line: String::new() })
+    }
+
+    /// The locally bound address (useful when binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Adapter for SocketAdapter {
+    fn next(&mut self) -> Option<String> {
+        if self.reader.is_none() {
+            let (stream, _) = self.listener.accept().ok()?;
+            self.reader = Some(BufReader::new(stream));
+        }
+        let reader = self.reader.as_mut().unwrap();
+        loop {
+            self.line.clear();
+            match reader.read_line(&mut self.line) {
+                Ok(0) | Err(_) => return None,
+                Ok(_) => {
+                    let trimmed = self.line.trim();
+                    if !trimmed.is_empty() {
+                        return Some(trimmed.to_owned());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_adapter_replays() {
+        let mut a = VecAdapter::new(vec!["a".into(), "b".into()]);
+        assert_eq!(a.next().as_deref(), Some("a"));
+        assert_eq!(a.next().as_deref(), Some("b"));
+        assert_eq!(a.next(), None);
+    }
+
+    #[test]
+    fn vec_factory_partitions_round_robin() {
+        let f = VecAdapter::factory((0..10).map(|i| i.to_string()).collect());
+        let mut p0 = f(0, 2);
+        let mut p1 = f(1, 2);
+        let mut all = Vec::new();
+        while let Some(r) = p0.next() {
+            all.push(r);
+        }
+        while let Some(r) = p1.next() {
+            all.push(r);
+        }
+        all.sort_by_key(|s| s.parse::<i64>().unwrap());
+        assert_eq!(all, (0..10).map(|i| i.to_string()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generator_produces_count() {
+        let mut g = GeneratorAdapter::new(3, |i| format!("r{i}"));
+        assert_eq!(g.next().as_deref(), Some("r0"));
+        assert_eq!(g.next().as_deref(), Some("r1"));
+        assert_eq!(g.next().as_deref(), Some("r2"));
+        assert_eq!(g.next(), None);
+    }
+
+    #[test]
+    fn rate_limiter_paces() {
+        let inner = Box::new(GeneratorAdapter::new(20, |i| i.to_string()));
+        let mut a = RateLimitedAdapter::new(inner, 1000.0);
+        let t0 = Instant::now();
+        let mut n = 0;
+        while a.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 20);
+        // 20 records at 1000/s ≈ 19 ms minimum.
+        assert!(t0.elapsed() >= Duration::from_millis(15), "elapsed {:?}", t0.elapsed());
+    }
+
+    #[test]
+    fn socket_adapter_reads_lines() {
+        let adapter = SocketAdapter::bind("127.0.0.1:0").unwrap();
+        let addr = adapter.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            writeln!(s, "{{\"id\": 1}}").unwrap();
+            writeln!(s).unwrap(); // blank lines skipped
+            writeln!(s, "{{\"id\": 2}}").unwrap();
+        });
+        let mut adapter = adapter;
+        assert_eq!(adapter.next().as_deref(), Some("{\"id\": 1}"));
+        assert_eq!(adapter.next().as_deref(), Some("{\"id\": 2}"));
+        assert_eq!(adapter.next(), None);
+        writer.join().unwrap();
+    }
+}

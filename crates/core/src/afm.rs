@@ -1,0 +1,281 @@
+//! The Active Feed Manager (paper §6.1): tracks active feeds, drives
+//! their computing jobs, and manages feed shutdown.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use idea_hyracks::Cluster;
+use idea_query::{Catalog, PlanCache};
+use parking_lot::Mutex;
+
+use crate::error::IngestError;
+use crate::metrics::{FeedMetrics, IngestionReport};
+use crate::models::{FeedSpec, PipelineMode};
+use crate::pipeline::{
+    build_computing_spec, build_intake_spec, build_static_spec, build_storage_spec,
+    register_holders, unregister_holders, FeedShared,
+};
+use crate::Result;
+
+/// Handle to a running feed.
+pub struct FeedHandle {
+    name: String,
+    stop: Arc<AtomicBool>,
+    metrics: Arc<FeedMetrics>,
+    driver: Mutex<Option<std::thread::JoinHandle<Result<()>>>>,
+}
+
+impl FeedHandle {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Live metrics (updated while the feed runs).
+    pub fn metrics(&self) -> &Arc<FeedMetrics> {
+        &self.metrics
+    }
+
+    /// Requests the feed to stop: adapters cease producing, the pipeline
+    /// drains, EOF propagates (paper §6.1's stop protocol).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Waits for the feed to finish (all jobs drained and joined) and
+    /// returns the ingestion report. Idempotent `wait` is not supported:
+    /// call once.
+    pub fn wait(&self) -> Result<IngestionReport> {
+        let handle = self
+            .driver
+            .lock()
+            .take()
+            .ok_or_else(|| IngestError::Feed(format!("feed {} already waited on", self.name)))?;
+        match handle.join() {
+            Ok(Ok(())) => Ok(self.metrics.report()),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(IngestError::Feed(format!("feed {} driver panicked", self.name))),
+        }
+    }
+
+    /// Convenience: stop, then wait.
+    pub fn stop_and_wait(&self) -> Result<IngestionReport> {
+        self.stop();
+        self.wait()
+    }
+}
+
+/// Manages the lifecycle of all data feeds on a cluster.
+pub struct ActiveFeedManager {
+    cluster: Arc<Cluster>,
+    catalog: Arc<Catalog>,
+    active: Mutex<HashMap<String, Arc<FeedHandle>>>,
+}
+
+impl ActiveFeedManager {
+    pub fn new(cluster: Arc<Cluster>, catalog: Arc<Catalog>) -> Self {
+        assert_eq!(
+            cluster.node_count(),
+            catalog.partitions(),
+            "catalog partitions must match cluster size (one storage partition per node)"
+        );
+        ActiveFeedManager { cluster, catalog, active: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Names of currently running feeds.
+    pub fn active_feeds(&self) -> Vec<String> {
+        self.active.lock().keys().cloned().collect()
+    }
+
+    /// Starts a feed and returns its handle.
+    pub fn start(&self, spec: FeedSpec) -> Result<Arc<FeedHandle>> {
+        // Fail fast on config errors.
+        let dataset = self.catalog.dataset(&spec.dataset)?;
+        if let Some(f) = &spec.function {
+            self.catalog.function(f)?;
+        }
+        if spec.intake_nodes.iter().any(|&n| n >= self.cluster.node_count()) {
+            return Err(IngestError::Feed(format!(
+                "feed {} assigns intake to a missing node",
+                spec.name
+            )));
+        }
+        let mut active = self.active.lock();
+        if active.contains_key(&spec.name) {
+            return Err(IngestError::Feed(format!("feed {} is already running", spec.name)));
+        }
+
+        let datatype = dataset.partitions()[0].datatype().clone();
+        let shared = Arc::new(FeedShared {
+            spec: Arc::new(spec),
+            catalog: self.catalog.clone(),
+            metrics: Arc::new(FeedMetrics::default()),
+            stop: Arc::new(AtomicBool::new(false)),
+            plan_cache: PlanCache::new(),
+            stream_ctxs: Arc::new(Mutex::new(HashMap::new())),
+            datatype,
+        });
+
+        let handle = Arc::new(FeedHandle {
+            name: shared.spec.name.clone(),
+            stop: shared.stop.clone(),
+            metrics: shared.metrics.clone(),
+            driver: Mutex::new(None),
+        });
+
+        let cluster = self.cluster.clone();
+        let shared2 = shared.clone();
+        let driver = std::thread::Builder::new()
+            .name(format!("afm::{}", shared.spec.name))
+            .spawn(move || drive_feed(cluster, shared2))
+            .map_err(|e| IngestError::Feed(format!("cannot spawn feed driver: {e}")))?;
+        *handle.driver.lock() = Some(driver);
+        active.insert(shared.spec.name.clone(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Requests a named feed to stop (returns its handle for waiting).
+    pub fn stop(&self, name: &str) -> Result<Arc<FeedHandle>> {
+        let handle = self
+            .active
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| IngestError::Feed(format!("no running feed named {name}")))?;
+        handle.stop();
+        Ok(handle)
+    }
+
+    /// Forgets a finished feed (called by `wait_feed`).
+    pub fn remove(&self, name: &str) {
+        self.active.lock().remove(name);
+    }
+
+    /// Stops a feed, waits for it, and removes it.
+    pub fn stop_and_wait(&self, name: &str) -> Result<IngestionReport> {
+        let handle = self.stop(name)?;
+        let report = handle.wait();
+        self.remove(name);
+        report
+    }
+}
+
+/// The per-feed driver: starts the long-running jobs, keeps invoking
+/// computing jobs until the intake drains, then shuts the pipeline down.
+fn drive_feed(cluster: Arc<Cluster>, shared: Arc<FeedShared>) -> Result<()> {
+    shared.metrics.mark_started();
+    match shared.spec.mode {
+        PipelineMode::Static => {
+            let spec = build_static_spec(&shared);
+            let handle = idea_hyracks::run_job(&cluster, &spec, idea_adm::Value::Missing)?;
+            handle.join()?;
+            shared.metrics.mark_finished();
+            Ok(())
+        }
+        PipelineMode::Decoupled => {
+            let result = drive_decoupled(&cluster, &shared);
+            unregister_holders(&cluster, &shared);
+            shared.metrics.mark_finished();
+            result
+        }
+    }
+}
+
+fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<()> {
+    register_holders(cluster, shared)?;
+
+    // Long-running jobs.
+    let intake = idea_hyracks::run_job(cluster, &build_intake_spec(shared), idea_adm::Value::Missing)?;
+    let storage = idea_hyracks::run_job(cluster, &build_storage_spec(shared), idea_adm::Value::Missing)?;
+
+    // The computing job: compiled once and predeployed (§5.1), or
+    // recompiled per invocation when the ablation disables predeploy.
+    let deployed = if shared.spec.predeploy {
+        Some(cluster.deploy_job(build_computing_spec(shared)))
+    } else {
+        None
+    };
+
+    let run_result = (|| -> Result<()> {
+        loop {
+            let t0 = Instant::now();
+            let handle = match deployed {
+                Some(id) => cluster.invoke_deployed(id, idea_adm::Value::Missing)?,
+                None => {
+                    // Recompile: fresh spec, fresh plan cache.
+                    let mut recompiled = FeedShared {
+                        spec: shared.spec.clone(),
+                        catalog: shared.catalog.clone(),
+                        metrics: shared.metrics.clone(),
+                        stop: shared.stop.clone(),
+                        plan_cache: PlanCache::new(),
+                        stream_ctxs: shared.stream_ctxs.clone(),
+                        datatype: shared.datatype.clone(),
+                    };
+                    recompiled.plan_cache = PlanCache::new();
+                    let spec = build_computing_spec(&Arc::new(recompiled));
+                    idea_hyracks::run_job(cluster, &spec, idea_adm::Value::Missing)?
+                }
+            };
+            handle.join()?;
+            shared.metrics.record_batch(t0.elapsed());
+
+            // Stop when every node's intake holder has delivered EOF and
+            // holds nothing more.
+            let drained = cluster.nodes().iter().all(|n| {
+                n.holders()
+                    .lookup(&shared.spec.intake_holder())
+                    .map(|h| h.drained())
+                    .unwrap_or(true)
+            });
+            if drained {
+                break;
+            }
+        }
+        Ok(())
+    })();
+
+    if let Some(id) = deployed {
+        cluster.undeploy_job(id);
+    }
+
+    // On a computing-job failure nothing consumes the intake holders
+    // any more; unblock the intake job (stop the adapters and drain the
+    // queues) so shutdown cannot deadlock on a full holder.
+    if run_result.is_err() {
+        shared.stop.store(true, std::sync::atomic::Ordering::Release);
+        for node in cluster.nodes() {
+            if let Ok(h) = node.holders().lookup(&shared.spec.intake_holder()) {
+                while !h.drained() {
+                    if h.pull_batch(8_192).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Shut down: the intake job has finished producing; signal the
+    // storage job and join everything.
+    let intake_result = intake.join();
+    for node in cluster.nodes() {
+        if let Ok(h) = node.holders().lookup(&shared.spec.storage_holder()) {
+            let _ = h.push_eof();
+        }
+    }
+    let storage_result = storage.join();
+
+    run_result?;
+    intake_result?;
+    storage_result?;
+    Ok(())
+}

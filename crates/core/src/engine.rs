@@ -1,0 +1,212 @@
+//! The user-facing engine: executes SQL++ scripts *including* feed DDL
+//! (Figure 4's `CREATE FEED` / `CONNECT FEED` / `START FEED` /
+//! `STOP FEED`), delegating everything else to the query engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idea_hyracks::Cluster;
+use idea_query::ast::Statement;
+use idea_query::{Catalog, StatementResult};
+use parking_lot::Mutex;
+
+use crate::adapter::{AdapterFactory, SocketAdapter};
+use crate::afm::{ActiveFeedManager, FeedHandle};
+use crate::error::IngestError;
+use crate::metrics::IngestionReport;
+use crate::models::{ComputingModel, FeedSpec, PipelineMode};
+use crate::Result;
+
+/// Outcome of executing one statement through the engine.
+#[derive(Debug)]
+pub enum ExecOutcome {
+    /// A non-feed statement, executed by the query engine.
+    Statement(StatementResult),
+    /// Feed declared.
+    FeedCreated,
+    /// Feed connected to a dataset.
+    FeedConnected,
+    /// Feed started.
+    FeedStarted,
+    /// Feed stopped and drained.
+    FeedStopped(IngestionReport),
+}
+
+#[derive(Debug, Default, Clone)]
+struct FeedDecl {
+    options: HashMap<String, String>,
+    dataset: Option<String>,
+    function: Option<String>,
+}
+
+/// A single-process AsterixDB-like instance: simulated cluster, catalog,
+/// and the Active Feed Manager.
+pub struct IngestionEngine {
+    cluster: Arc<Cluster>,
+    catalog: Arc<Catalog>,
+    afm: ActiveFeedManager,
+    adapters: Mutex<HashMap<String, AdapterFactory>>,
+    feeds: Mutex<HashMap<String, FeedDecl>>,
+}
+
+impl IngestionEngine {
+    /// Builds an engine over an existing cluster/catalog pair (their
+    /// partition counts must agree).
+    pub fn new(cluster: Arc<Cluster>, catalog: Arc<Catalog>) -> Arc<IngestionEngine> {
+        let afm = ActiveFeedManager::new(cluster.clone(), catalog.clone());
+        Arc::new(IngestionEngine {
+            cluster,
+            catalog,
+            afm,
+            adapters: Mutex::new(HashMap::new()),
+            feeds: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Convenience: an `n`-node engine with default configuration.
+    pub fn with_nodes(n: usize) -> Arc<IngestionEngine> {
+        IngestionEngine::new(Cluster::with_nodes(n), Catalog::new(n))
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn afm(&self) -> &ActiveFeedManager {
+        &self.afm
+    }
+
+    /// Registers a custom adapter usable from feed DDL via
+    /// `"adapter-name": "<name>"`.
+    pub fn register_adapter(&self, name: impl Into<String>, factory: AdapterFactory) {
+        self.adapters.lock().insert(name.into(), factory);
+    }
+
+    /// Starts a programmatically built feed (bypasses DDL).
+    pub fn start_feed(&self, spec: FeedSpec) -> Result<Arc<FeedHandle>> {
+        self.afm.start(spec)
+    }
+
+    /// Stops a feed and waits for it to drain.
+    pub fn stop_feed(&self, name: &str) -> Result<IngestionReport> {
+        self.afm.stop_and_wait(name)
+    }
+
+    /// Executes a script of `;`-separated statements.
+    pub fn run_sqlpp(&self, text: &str) -> Result<Vec<ExecOutcome>> {
+        let stmts = idea_query::parser::parse_statements(text)?;
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&self, stmt: &Statement) -> Result<ExecOutcome> {
+        match stmt {
+            Statement::CreateFeed { name, options } => {
+                let mut feeds = self.feeds.lock();
+                if feeds.contains_key(name) {
+                    return Err(IngestError::Feed(format!("feed {name} already exists")));
+                }
+                feeds.insert(
+                    name.clone(),
+                    FeedDecl { options: options.iter().cloned().collect(), ..Default::default() },
+                );
+                Ok(ExecOutcome::FeedCreated)
+            }
+            Statement::ConnectFeed { feed, dataset, function } => {
+                let mut feeds = self.feeds.lock();
+                let decl = feeds
+                    .get_mut(feed)
+                    .ok_or_else(|| IngestError::Feed(format!("no feed named {feed}")))?;
+                decl.dataset = Some(dataset.clone());
+                decl.function = function.clone();
+                Ok(ExecOutcome::FeedConnected)
+            }
+            Statement::StartFeed { name } => {
+                let decl = self
+                    .feeds
+                    .lock()
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| IngestError::Feed(format!("no feed named {name}")))?;
+                let spec = self.spec_from_decl(name, &decl)?;
+                self.afm.start(spec)?;
+                Ok(ExecOutcome::FeedStarted)
+            }
+            Statement::StopFeed { name } => {
+                let report = self.afm.stop_and_wait(name)?;
+                Ok(ExecOutcome::FeedStopped(report))
+            }
+            other => Ok(ExecOutcome::Statement(idea_query::execute(&self.catalog, other)?)),
+        }
+    }
+
+    fn spec_from_decl(&self, name: &str, decl: &FeedDecl) -> Result<FeedSpec> {
+        let dataset = decl.dataset.clone().ok_or_else(|| {
+            IngestError::Feed(format!("feed {name} is not connected to a dataset"))
+        })?;
+        let adapter_name = decl
+            .options
+            .get("adapter-name")
+            .cloned()
+            .unwrap_or_else(|| "socket_adapter".to_owned());
+        let adapter: AdapterFactory = if adapter_name == "socket_adapter" {
+            let sockets = decl.options.get("sockets").cloned().ok_or_else(|| {
+                IngestError::Feed(format!("feed {name} uses socket_adapter without 'sockets'"))
+            })?;
+            let addrs: Vec<String> = sockets.split(',').map(|s| s.trim().to_owned()).collect();
+            Arc::new(move |partition, _partitions| {
+                let addr = &addrs[partition % addrs.len()];
+                Box::new(
+                    SocketAdapter::bind(addr)
+                        .unwrap_or_else(|e| panic!("socket adapter cannot bind {addr}: {e}")),
+                ) as Box<dyn crate::adapter::Adapter>
+            })
+        } else {
+            self.adapters.lock().get(&adapter_name).cloned().ok_or_else(|| {
+                IngestError::Feed(format!("unknown adapter '{adapter_name}' for feed {name}"))
+            })?
+        };
+
+        let mut spec = FeedSpec::new(name, dataset, adapter);
+        spec.function = decl.function.clone();
+        if let Some(b) = decl.options.get("batch-size") {
+            spec.batch_size = b
+                .parse()
+                .map_err(|_| IngestError::Feed(format!("bad batch-size '{b}'")))?;
+        }
+        if let Some(m) = decl.options.get("computing-model") {
+            spec.model = match m.as_str() {
+                "per-record" => ComputingModel::PerRecord,
+                "per-batch" => ComputingModel::PerBatch,
+                "stream" => ComputingModel::Stream,
+                other => return Err(IngestError::Feed(format!("bad computing-model '{other}'"))),
+            };
+        }
+        if let Some(m) = decl.options.get("mode") {
+            spec.mode = match m.as_str() {
+                "static" => PipelineMode::Static,
+                "decoupled" | "dynamic" => PipelineMode::Decoupled,
+                other => return Err(IngestError::Feed(format!("bad mode '{other}'"))),
+            };
+        }
+        if let Some(nodes) = decl.options.get("intake-nodes") {
+            if nodes == "all" {
+                spec.intake_nodes = (0..self.cluster.node_count()).collect();
+            } else {
+                spec.intake_nodes = nodes
+                    .split(',')
+                    .map(|s| s.trim().parse())
+                    .collect::<std::result::Result<Vec<usize>, _>>()
+                    .map_err(|_| IngestError::Feed(format!("bad intake-nodes '{nodes}'")))?;
+            }
+        }
+        if let Some(p) = decl.options.get("predeploy") {
+            spec.predeploy = p == "true";
+        }
+        Ok(spec)
+    }
+}

@@ -1,0 +1,53 @@
+//! Ingestion-framework error type.
+
+use std::fmt;
+
+/// Errors from feed lifecycle and pipeline execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// Runtime (Hyracks) failure.
+    Runtime(String),
+    /// Query/UDF failure during enrichment.
+    Query(String),
+    /// Storage failure while persisting.
+    Storage(String),
+    /// Feed configuration/lifecycle misuse.
+    Feed(String),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Runtime(m) => write!(f, "runtime error: {m}"),
+            IngestError::Query(m) => write!(f, "query error: {m}"),
+            IngestError::Storage(m) => write!(f, "storage error: {m}"),
+            IngestError::Feed(m) => write!(f, "feed error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<idea_hyracks::HyracksError> for IngestError {
+    fn from(e: idea_hyracks::HyracksError) -> Self {
+        IngestError::Runtime(e.to_string())
+    }
+}
+
+impl From<idea_query::QueryError> for IngestError {
+    fn from(e: idea_query::QueryError) -> Self {
+        IngestError::Query(e.to_string())
+    }
+}
+
+impl From<idea_storage::StorageError> for IngestError {
+    fn from(e: idea_storage::StorageError) -> Self {
+        IngestError::Storage(e.to_string())
+    }
+}
+
+impl From<IngestError> for idea_hyracks::HyracksError {
+    fn from(e: IngestError) -> Self {
+        idea_hyracks::HyracksError::Operator(e.to_string())
+    }
+}

@@ -1,0 +1,44 @@
+//! # idea-core — the IDEA ingestion framework
+//!
+//! The paper's contribution (§5–§6): a data-feed facility whose
+//! enrichment UDFs are evaluated with the **per-batch computing model**,
+//! so stateful UDFs keep the full power of SQL++ *and* see reference-
+//! data updates between batches. The pipeline is decoupled into three
+//! layers connected by partition holders:
+//!
+//! ```text
+//! intake job (continuous)      computing job (per batch)        storage job (continuous)
+//! Adapter ─ RR-partition ─▶ [passive holder] ─ parse ─ UDF ─▶ [active holder] ─ hash ─ LSM
+//! ```
+//!
+//! The computing job is **predeployed** (compiled once, invoked per
+//! batch) and each invocation builds fresh UDF intermediate state from a
+//! dataset snapshot — paper §5.1's freshness guarantee.
+//!
+//! Entry points:
+//!
+//! * [`IngestionEngine`] — catalog + cluster + Active Feed Manager, with
+//!   full SQL++ DDL including `CREATE FEED` (Figure 4);
+//! * [`FeedSpec`] — programmatic feed construction (used heavily by the
+//!   benchmark harness): pipeline mode (static/decoupled), computing
+//!   model (per-record/per-batch/stream), batch size, intake placement,
+//!   predeployment;
+//! * [`adapter`] — socket, generator, replay, and rate-limited adapters.
+
+pub mod adapter;
+pub mod afm;
+pub mod engine;
+pub mod error;
+pub mod metrics;
+pub mod models;
+mod pipeline;
+
+pub use adapter::{Adapter, AdapterFactory, GeneratorAdapter, RateLimitedAdapter, SocketAdapter, VecAdapter};
+pub use afm::{ActiveFeedManager, FeedHandle};
+pub use engine::{ExecOutcome, IngestionEngine};
+pub use error::IngestError;
+pub use metrics::{FeedMetrics, IngestionReport};
+pub use models::{ComputingModel, FeedSpec, PipelineMode};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IngestError>;

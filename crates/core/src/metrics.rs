@@ -1,0 +1,119 @@
+//! Feed metrics: throughput and refresh periods (the quantities
+//! Figures 24–31 report).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Live counters updated by pipeline operators.
+#[derive(Debug, Default)]
+pub struct FeedMetrics {
+    pub records_ingested: AtomicU64,
+    pub parse_errors: AtomicU64,
+    /// Records dropped because the attached UDF failed on them (the feed
+    /// keeps running — a poison record must not kill the pipeline).
+    pub enrich_errors: AtomicU64,
+    pub records_enriched: AtomicU64,
+    pub records_stored: AtomicU64,
+    pub computing_jobs: AtomicU64,
+    batch_nanos: AtomicU64,
+    timing: Mutex<Timing>,
+}
+
+#[derive(Debug, Default)]
+struct Timing {
+    started: Option<Instant>,
+    finished: Option<Instant>,
+    batch_durations: Vec<Duration>,
+}
+
+impl FeedMetrics {
+    pub fn mark_started(&self) {
+        self.timing.lock().started.get_or_insert_with(Instant::now);
+    }
+
+    pub fn mark_finished(&self) {
+        self.timing.lock().finished = Some(Instant::now());
+    }
+
+    pub fn record_batch(&self, took: Duration) {
+        self.computing_jobs.fetch_add(1, Ordering::Relaxed);
+        self.batch_nanos.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        self.timing.lock().batch_durations.push(took);
+    }
+
+    /// Builds the final report.
+    pub fn report(&self) -> IngestionReport {
+        let timing = self.timing.lock();
+        let elapsed = match (timing.started, timing.finished) {
+            (Some(s), Some(f)) => f - s,
+            (Some(s), None) => s.elapsed(),
+            _ => Duration::ZERO,
+        };
+        let stored = self.records_stored.load(Ordering::Relaxed);
+        let jobs = self.computing_jobs.load(Ordering::Relaxed);
+        IngestionReport {
+            records_ingested: self.records_ingested.load(Ordering::Relaxed),
+            parse_errors: self.parse_errors.load(Ordering::Relaxed),
+            enrich_errors: self.enrich_errors.load(Ordering::Relaxed),
+            records_enriched: self.records_enriched.load(Ordering::Relaxed),
+            records_stored: stored,
+            computing_jobs: jobs,
+            elapsed,
+            throughput: if elapsed.is_zero() { 0.0 } else { stored as f64 / elapsed.as_secs_f64() },
+            avg_refresh_period: if jobs == 0 {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(self.batch_nanos.load(Ordering::Relaxed) / jobs)
+            },
+            batch_durations: timing.batch_durations.clone(),
+        }
+    }
+}
+
+/// Final summary of one feed run.
+#[derive(Debug, Clone)]
+pub struct IngestionReport {
+    /// Raw records pulled in by adapters.
+    pub records_ingested: u64,
+    /// Records dropped as malformed JSON (or failing type validation).
+    pub parse_errors: u64,
+    /// Records dropped because the UDF failed on them.
+    pub enrich_errors: u64,
+    /// Records that passed UDF evaluation.
+    pub records_enriched: u64,
+    /// Records persisted by the storage job.
+    pub records_stored: u64,
+    /// Computing-job invocations (0 for static pipelines).
+    pub computing_jobs: u64,
+    pub elapsed: Duration,
+    /// Stored records per second.
+    pub throughput: f64,
+    /// Mean computing-job execution time — the paper's "refresh period"
+    /// (Figure 26).
+    pub avg_refresh_period: Duration,
+    /// Per-batch execution times.
+    pub batch_durations: Vec<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates() {
+        let m = FeedMetrics::default();
+        m.mark_started();
+        m.records_stored.store(100, Ordering::Relaxed);
+        m.record_batch(Duration::from_millis(10));
+        m.record_batch(Duration::from_millis(30));
+        m.mark_finished();
+        let r = m.report();
+        assert_eq!(r.records_stored, 100);
+        assert_eq!(r.computing_jobs, 2);
+        assert_eq!(r.avg_refresh_period, Duration::from_millis(20));
+        assert!(r.throughput > 0.0);
+        assert_eq!(r.batch_durations.len(), 2);
+    }
+}

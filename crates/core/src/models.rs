@@ -1,0 +1,146 @@
+//! The computing models of paper §4.3 and the feed specification.
+
+
+
+use crate::adapter::AdapterFactory;
+
+/// How often the enrichment UDF's intermediate state is refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputingModel {
+    /// Model 1 (§4.3.2): evaluate the UDF against each record
+    /// separately; state rebuilt per record. Sees every reference-data
+    /// change, enormous execution overhead.
+    PerRecord,
+    /// Model 2 (§4.3.3): batch records, refresh state per batch — the
+    /// framework's chosen model; batch size trades throughput against
+    /// sensitivity to reference-data changes.
+    PerBatch,
+    /// Model 3 (§4.3.4): treat the feed as an infinite dataset; state
+    /// built once per feed. Fastest, but stale — this is what the *old*
+    /// AsterixDB framework does and why it restricts attached UDFs.
+    Stream,
+}
+
+/// Which framework builds the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// The old framework ("Static Ingestion" in §7.1): a single job with
+    /// intake, parsing, and UDF evaluation coupled on the intake
+    /// node(s); UDF state is per-feed (Model 3 semantics).
+    Static,
+    /// The new decoupled framework ("Dynamic Ingestion"): intake,
+    /// computing, and storage jobs connected by partition holders, with
+    /// the computing job re-invoked per batch.
+    Decoupled,
+}
+
+/// Everything needed to start a feed.
+#[derive(Clone)]
+pub struct FeedSpec {
+    /// Feed name (also used to name partition holders).
+    pub name: String,
+    /// Target dataset (`CONNECT FEED ... TO DATASET ...`).
+    pub dataset: String,
+    /// Attached enrichment UDF, if any (`APPLY FUNCTION ...`).
+    pub function: Option<String>,
+    /// Adapter instantiated on each intake node.
+    pub adapter: AdapterFactory,
+    /// Nodes running the adapter; the paper's default is a single intake
+    /// node, the "balanced" variants use all nodes.
+    pub intake_nodes: Vec<usize>,
+    /// Records per computing-job batch (the paper's 1X = 420).
+    pub batch_size: usize,
+    pub model: ComputingModel,
+    pub mode: PipelineMode,
+    /// Predeploy the computing job (paper §5.1). Disable to measure the
+    /// per-batch recompilation cost the technique avoids.
+    pub predeploy: bool,
+    /// Bounded partition-holder queue depth, in frames.
+    pub holder_capacity: usize,
+    /// Records per frame.
+    pub frame_capacity: usize,
+}
+
+impl FeedSpec {
+    /// A decoupled per-batch feed with the paper's defaults.
+    pub fn new(
+        name: impl Into<String>,
+        dataset: impl Into<String>,
+        adapter: AdapterFactory,
+    ) -> Self {
+        FeedSpec {
+            name: name.into(),
+            dataset: dataset.into(),
+            function: None,
+            adapter,
+            intake_nodes: vec![0],
+            batch_size: 420,
+            model: ComputingModel::PerBatch,
+            mode: PipelineMode::Decoupled,
+            predeploy: true,
+            holder_capacity: 16,
+            frame_capacity: 128,
+        }
+    }
+
+    pub fn with_function(mut self, f: impl Into<String>) -> Self {
+        self.function = Some(f.into());
+        self
+    }
+
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be positive");
+        self.batch_size = n;
+        self
+    }
+
+    pub fn with_model(mut self, m: ComputingModel) -> Self {
+        self.model = m;
+        self
+    }
+
+    pub fn with_mode(mut self, m: PipelineMode) -> Self {
+        self.mode = m;
+        self
+    }
+
+    pub fn with_intake_nodes(mut self, nodes: Vec<usize>) -> Self {
+        assert!(!nodes.is_empty(), "need at least one intake node");
+        self.intake_nodes = nodes;
+        self
+    }
+
+    /// All-node intake (the paper's "balanced" configuration).
+    pub fn balanced(mut self, cluster_nodes: usize) -> Self {
+        self.intake_nodes = (0..cluster_nodes).collect();
+        self
+    }
+
+    pub fn with_predeploy(mut self, p: bool) -> Self {
+        self.predeploy = p;
+        self
+    }
+
+    pub(crate) fn intake_holder(&self) -> String {
+        format!("feed::{}::intake", self.name)
+    }
+
+    pub(crate) fn storage_holder(&self) -> String {
+        format!("feed::{}::storage", self.name)
+    }
+}
+
+impl std::fmt::Debug for FeedSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedSpec")
+            .field("name", &self.name)
+            .field("dataset", &self.dataset)
+            .field("function", &self.function)
+            .field("intake_nodes", &self.intake_nodes)
+            .field("batch_size", &self.batch_size)
+            .field("model", &self.model)
+            .field("mode", &self.mode)
+            .field("predeploy", &self.predeploy)
+            .finish()
+    }
+}

@@ -1,0 +1,611 @@
+//! Pipeline operators and job-spec builders (paper Figure 23).
+//!
+//! The decoupled framework builds three jobs:
+//!
+//! * **intake job** — `Adapter → Round-robin Partitioner → Intake
+//!   Partition Holder (passive)`; runs for the feed's lifetime;
+//! * **computing job** — `Collector+Parser → UDF Evaluator → Feed
+//!   Pipeline Sink`; deployed once, invoked per batch;
+//! * **storage job** — `Storage Partition Holder (active) → Hash
+//!   Partitioner → Storage Partition`; runs for the feed's lifetime.
+//!
+//! The old framework ("static ingestion") couples everything in one job:
+//! `Adapter+Parser+UDF (intake nodes) → Hash Partitioner → Storage
+//! Partition`, with UDF state built once per feed (Model 3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use idea_adm::{Datatype, Value};
+use idea_hyracks::{
+    ConnectorSpec, Frame, FrameSink, HolderMode, JobSpec, Operator, PartitionHolder, TaskContext,
+};
+use idea_query::{apply_function, Catalog, ExecContext, PlanCache};
+use parking_lot::Mutex;
+
+use crate::error::IngestError;
+use crate::metrics::FeedMetrics;
+use crate::models::{ComputingModel, FeedSpec};
+
+/// State shared by all operators of one feed.
+pub(crate) struct FeedShared {
+    pub spec: Arc<FeedSpec>,
+    pub catalog: Arc<Catalog>,
+    pub metrics: Arc<FeedMetrics>,
+    pub stop: Arc<AtomicBool>,
+    /// Shared compiled plans — the predeployed aspect of the computing
+    /// job (reused across invocations when `spec.predeploy`).
+    pub plan_cache: Arc<PlanCache>,
+    /// Model-3 contexts, one per node, surviving across computing jobs.
+    pub stream_ctxs: Arc<Mutex<HashMap<usize, ExecContext>>>,
+    /// Target-dataset datatype for parse-time validation.
+    pub datatype: Datatype,
+}
+
+impl FeedShared {
+    fn holder(
+        &self,
+        ctx: &TaskContext,
+        name: &str,
+    ) -> idea_hyracks::Result<Arc<PartitionHolder>> {
+        ctx.cluster.node(ctx.node).holders().lookup(name)
+    }
+}
+
+// ---- intake job ------------------------------------------------------
+
+/// Stage 0: the adapter, wrapped as a source operator.
+struct AdapterSource {
+    adapter: Box<dyn crate::adapter::Adapter>,
+    shared: Arc<FeedShared>,
+}
+
+impl Operator for AdapterSource {
+    fn next_frame(
+        &mut self,
+        _f: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        unreachable!("adapter is a source")
+    }
+
+    fn run_source(
+        &mut self,
+        out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let cap = self.shared.spec.frame_capacity;
+        // Ship partial frames after this long so slow sources still
+        // deliver promptly (real feed adapters flush on a timer too).
+        const FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(10);
+        let mut buf = Vec::with_capacity(cap);
+        let mut last_flush = std::time::Instant::now();
+        loop {
+            if self.shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.adapter.next() {
+                Some(raw) => {
+                    buf.push(Value::Str(raw));
+                    if buf.len() >= cap
+                        || (!buf.is_empty() && last_flush.elapsed() >= FLUSH_INTERVAL)
+                    {
+                        self.shared
+                            .metrics
+                            .records_ingested
+                            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        out.push(Frame::from_records(std::mem::take(&mut buf)))?;
+                        last_flush = std::time::Instant::now();
+                    }
+                }
+                None => break,
+            }
+        }
+        if !buf.is_empty() {
+            self.shared.metrics.records_ingested.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            out.push(Frame::from_records(buf))?;
+        }
+        Ok(())
+    }
+}
+
+/// Stage 1: forwards round-robin-partitioned raw frames into the local
+/// passive intake holder; emits the EOF marker when the adapters finish.
+struct IntakeSink {
+    shared: Arc<FeedShared>,
+    holder: Option<Arc<PartitionHolder>>,
+}
+
+impl Operator for IntakeSink {
+    fn open(&mut self, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        self.holder = Some(self.shared.holder(ctx, &self.shared.spec.intake_holder())?);
+        Ok(())
+    }
+
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        self.holder.as_ref().unwrap().push_frame(frame)
+    }
+
+    fn close(&mut self, _out: &mut dyn FrameSink, _ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        // "the intake job ... adds a special 'EOF' data record into its
+        // queue" (paper §6.1).
+        self.holder.as_ref().unwrap().push_eof()
+    }
+}
+
+/// Builds the intake job spec.
+pub(crate) fn build_intake_spec(shared: &Arc<FeedShared>) -> JobSpec {
+    let s0 = shared.clone();
+    let s1 = shared.clone();
+    let mut spec = JobSpec::new(format!("{}::intake", shared.spec.name))
+        .stage_on(
+            "adapter",
+            shared.spec.intake_nodes.clone(),
+            ConnectorSpec::RoundRobin,
+            Arc::new(move |ctx: &TaskContext| {
+                let adapter = (s0.spec.adapter)(ctx.partition, ctx.partitions);
+                Box::new(AdapterSource { adapter, shared: s0.clone() }) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "intake-sink",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(IntakeSink { shared: s1.clone(), holder: None }) as Box<dyn Operator>
+            }),
+        );
+    spec.frame_capacity = shared.spec.frame_capacity;
+    spec.channel_capacity = shared.spec.holder_capacity;
+    spec
+}
+
+// ---- computing job ----------------------------------------------------
+
+/// Stage 0: pulls one batch from the local intake holder and parses raw
+/// JSON into ADM records (parsing lives in the computing job in the new
+/// framework — that is what decouples intake from parsing, §7.1).
+struct CollectorParser {
+    shared: Arc<FeedShared>,
+}
+
+impl Operator for CollectorParser {
+    fn next_frame(
+        &mut self,
+        _f: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        unreachable!("collector is a source")
+    }
+
+    fn run_source(
+        &mut self,
+        out: &mut dyn FrameSink,
+        ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let holder = self.shared.holder(ctx, &self.shared.spec.intake_holder())?;
+        let (raw, _eof) = holder.pull_batch(self.shared.spec.batch_size)?;
+        let cap = self.shared.spec.frame_capacity;
+        let mut buf = Vec::with_capacity(cap.min(raw.len()));
+        for rec in raw {
+            let Some(text) = rec.as_str() else {
+                self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            match idea_adm::json::parse(text.as_bytes()) {
+                Ok(parsed) => {
+                    if self.shared.datatype.validate(&parsed).is_err() {
+                        self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    buf.push(parsed);
+                    if buf.len() >= cap {
+                        out.push(Frame::from_records(std::mem::take(&mut buf)))?;
+                    }
+                }
+                Err(_) => {
+                    self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !buf.is_empty() {
+            out.push(Frame::from_records(buf))?;
+        }
+        Ok(())
+    }
+}
+
+/// Stage 1: the UDF evaluator. Context lifetime enforces the computing
+/// model (fresh per job = Model 2; refreshed per record = Model 1;
+/// pulled from feed state = Model 3).
+struct UdfEvaluator {
+    shared: Arc<FeedShared>,
+    ctx_: Option<ExecContext>,
+}
+
+impl UdfEvaluator {
+    fn enrich(&mut self, record: Value) -> Result<Vec<Value>, IngestError> {
+        let Some(function) = &self.shared.spec.function else {
+            return Ok(vec![record]);
+        };
+        let ctx = self.ctx_.as_mut().expect("open() ran");
+        if self.shared.spec.model == ComputingModel::PerRecord {
+            // Model 1: intermediate state refreshed for every record.
+            ctx.refresh();
+        }
+        let out = apply_function(ctx, function, &[record])?;
+        match out {
+            Value::Array(items) => {
+                for i in &items {
+                    if !matches!(i, Value::Object(_)) {
+                        return Err(IngestError::Query(format!(
+                            "UDF {function} must produce objects, got {}",
+                            i.type_name()
+                        )));
+                    }
+                }
+                Ok(items)
+            }
+            obj @ Value::Object(_) => Ok(vec![obj]),
+            other => Err(IngestError::Query(format!(
+                "UDF {function} must produce objects, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Operator for UdfEvaluator {
+    fn open(&mut self, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        let fresh = || {
+            ExecContext::with_plan_cache(self.shared.catalog.clone(), self.shared.plan_cache.clone())
+        };
+        self.ctx_ = Some(match self.shared.spec.model {
+            ComputingModel::PerBatch | ComputingModel::PerRecord => fresh(),
+            ComputingModel::Stream => {
+                self.shared.stream_ctxs.lock().remove(&ctx.node).unwrap_or_else(fresh)
+            }
+        });
+        Ok(())
+    }
+
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let mut enriched = Vec::with_capacity(frame.len());
+        for rec in frame.into_records() {
+            // A record the UDF chokes on is dropped and counted — a
+            // poison record must not take the feed down.
+            match self.enrich(rec) {
+                Ok(values) => enriched.extend(values),
+                Err(_) => {
+                    self.shared.metrics.enrich_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        self.shared
+            .metrics
+            .records_enriched
+            .fetch_add(enriched.len() as u64, Ordering::Relaxed);
+        if !enriched.is_empty() {
+            out.push(Frame::from_records(enriched))?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self, _out: &mut dyn FrameSink, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        if self.shared.spec.model == ComputingModel::Stream {
+            // Model 3: the context (and its stale intermediate state)
+            // survives to the next computing job.
+            if let Some(c) = self.ctx_.take() {
+                self.shared.stream_ctxs.lock().insert(ctx.node, c);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Stage 2: the feed pipeline sink — pushes enriched frames into the
+/// local *active* storage holder.
+struct FeedPipelineSink {
+    shared: Arc<FeedShared>,
+    holder: Option<Arc<PartitionHolder>>,
+}
+
+impl Operator for FeedPipelineSink {
+    fn open(&mut self, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        self.holder = Some(self.shared.holder(ctx, &self.shared.spec.storage_holder())?);
+        Ok(())
+    }
+
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        self.holder.as_ref().unwrap().push_frame(frame)
+    }
+}
+
+/// Builds the computing job spec. Invoked repeatedly; when predeployed,
+/// this function runs once per feed.
+pub(crate) fn build_computing_spec(shared: &Arc<FeedShared>) -> JobSpec {
+    let s0 = shared.clone();
+    let s1 = shared.clone();
+    let s2 = shared.clone();
+    let mut spec = JobSpec::new(format!("{}::computing", shared.spec.name))
+        .stage(
+            "collector-parser",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(CollectorParser { shared: s0.clone() }) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "udf-evaluator",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(UdfEvaluator { shared: s1.clone(), ctx_: None }) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "feed-pipeline-sink",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(FeedPipelineSink { shared: s2.clone(), holder: None }) as Box<dyn Operator>
+            }),
+        );
+    spec.frame_capacity = shared.spec.frame_capacity;
+    spec.channel_capacity = shared.spec.holder_capacity;
+    spec
+}
+
+// ---- storage job -------------------------------------------------------
+
+/// Stage 0: drains the local active storage holder until EOF.
+struct StorageHolderSource {
+    shared: Arc<FeedShared>,
+}
+
+impl Operator for StorageHolderSource {
+    fn next_frame(
+        &mut self,
+        _f: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        unreachable!("storage holder drain is a source")
+    }
+
+    fn run_source(
+        &mut self,
+        out: &mut dyn FrameSink,
+        ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let holder = self.shared.holder(ctx, &self.shared.spec.storage_holder())?;
+        while let Some(frame) = holder.pull_frame()? {
+            out.push(frame)?;
+        }
+        Ok(())
+    }
+}
+
+/// Terminal stage: writes records into this node's storage partition.
+struct StorageWriter {
+    shared: Arc<FeedShared>,
+    partition: Option<Arc<idea_storage::Dataset>>,
+}
+
+impl Operator for StorageWriter {
+    fn open(&mut self, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        let ds = self
+            .shared
+            .catalog
+            .dataset(&self.shared.spec.dataset)
+            .map_err(IngestError::from)?;
+        self.partition = Some(ds.partition(ctx.partition).clone());
+        Ok(())
+    }
+
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let part = self.partition.as_ref().unwrap();
+        let n = frame.len() as u64;
+        for rec in frame.into_records() {
+            part.upsert(rec).map_err(IngestError::from)?;
+        }
+        self.shared.metrics.records_stored.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Builds the storage job spec.
+pub(crate) fn build_storage_spec(shared: &Arc<FeedShared>) -> JobSpec {
+    let s0 = shared.clone();
+    let s1 = shared.clone();
+    let pk_field = pk_field_of(shared);
+    let mut spec = JobSpec::new(format!("{}::storage", shared.spec.name))
+        .stage(
+            "storage-holder",
+            ConnectorSpec::hash_on_field(&pk_field),
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(StorageHolderSource { shared: s0.clone() }) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "storage-writer",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(StorageWriter { shared: s1.clone(), partition: None }) as Box<dyn Operator>
+            }),
+        );
+    spec.frame_capacity = shared.spec.frame_capacity;
+    spec.channel_capacity = shared.spec.holder_capacity;
+    spec
+}
+
+fn pk_field_of(shared: &Arc<FeedShared>) -> String {
+    shared
+        .catalog
+        .dataset(&shared.spec.dataset)
+        .map(|ds| ds.partitions()[0].primary_key_field().to_string())
+        .unwrap_or_else(|_| "id".to_owned())
+}
+
+// ---- static (old-framework) pipeline -------------------------------------
+
+/// The coupled intake+parse+UDF source of the old framework: everything
+/// on the intake node(s), UDF state built once per feed.
+struct StaticSource {
+    adapter: Box<dyn crate::adapter::Adapter>,
+    shared: Arc<FeedShared>,
+    ctx_: Option<ExecContext>,
+}
+
+impl Operator for StaticSource {
+    fn open(&mut self, _ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+        // One context for the feed's lifetime: Model 3 — "the attached
+        // UDF is initialized once for all incoming data" (§4.3.4).
+        self.ctx_ = Some(ExecContext::with_plan_cache(
+            self.shared.catalog.clone(),
+            self.shared.plan_cache.clone(),
+        ));
+        Ok(())
+    }
+
+    fn next_frame(
+        &mut self,
+        _f: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        unreachable!("static source is a source")
+    }
+
+    fn run_source(
+        &mut self,
+        out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
+        let cap = self.shared.spec.frame_capacity;
+        let mut buf = Vec::with_capacity(cap);
+        loop {
+            if self.shared.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let Some(raw) = self.adapter.next() else { break };
+            self.shared.metrics.records_ingested.fetch_add(1, Ordering::Relaxed);
+            let parsed = match idea_adm::json::parse(raw.as_bytes()) {
+                Ok(p) if self.shared.datatype.validate(&p).is_ok() => p,
+                _ => {
+                    self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            let enriched: Vec<Value> = match &self.shared.spec.function {
+                None => vec![parsed],
+                Some(f) => {
+                    let ctx = self.ctx_.as_mut().unwrap();
+                    match apply_function(ctx, f, &[parsed]) {
+                        Ok(Value::Array(items))
+                            if items.iter().all(|i| matches!(i, Value::Object(_))) =>
+                        {
+                            items
+                        }
+                        Ok(obj @ Value::Object(_)) => vec![obj],
+                        _ => {
+                            self.shared.metrics.enrich_errors.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                }
+            };
+            self.shared
+                .metrics
+                .records_enriched
+                .fetch_add(enriched.len() as u64, Ordering::Relaxed);
+            for e in enriched {
+                buf.push(e);
+                if buf.len() >= cap {
+                    out.push(Frame::from_records(std::mem::take(&mut buf)))?;
+                }
+            }
+        }
+        if !buf.is_empty() {
+            out.push(Frame::from_records(buf))?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the single-job static pipeline of the old framework.
+pub(crate) fn build_static_spec(shared: &Arc<FeedShared>) -> JobSpec {
+    let s0 = shared.clone();
+    let s1 = shared.clone();
+    let pk_field = pk_field_of(shared);
+    let mut spec = JobSpec::new(format!("{}::static", shared.spec.name))
+        .stage_on(
+            "adapter-parser-udf",
+            shared.spec.intake_nodes.clone(),
+            ConnectorSpec::hash_on_field(&pk_field),
+            Arc::new(move |ctx: &TaskContext| {
+                let adapter = (s0.spec.adapter)(ctx.partition, ctx.partitions);
+                Box::new(StaticSource { adapter, shared: s0.clone(), ctx_: None })
+                    as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "storage-writer",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(StorageWriter { shared: s1.clone(), partition: None }) as Box<dyn Operator>
+            }),
+        );
+    spec.frame_capacity = shared.spec.frame_capacity;
+    spec.channel_capacity = shared.spec.holder_capacity;
+    spec
+}
+
+/// Registers the feed's partition holders on every node (done before any
+/// job starts so jobs can look them up).
+pub(crate) fn register_holders(
+    cluster: &idea_hyracks::Cluster,
+    shared: &Arc<FeedShared>,
+) -> idea_hyracks::Result<()> {
+    for node in cluster.nodes() {
+        node.holders().register(
+            shared.spec.intake_holder(),
+            HolderMode::Passive,
+            shared.spec.holder_capacity,
+        )?;
+        node.holders().register(
+            shared.spec.storage_holder(),
+            HolderMode::Active,
+            shared.spec.holder_capacity,
+        )?;
+    }
+    Ok(())
+}
+
+/// Unregisters the feed's partition holders.
+pub(crate) fn unregister_holders(cluster: &idea_hyracks::Cluster, shared: &Arc<FeedShared>) {
+    for node in cluster.nodes() {
+        node.holders().unregister(&shared.spec.intake_holder());
+        node.holders().unregister(&shared.spec.storage_holder());
+    }
+}

@@ -1,0 +1,139 @@
+//! The simulated AsterixDB cluster.
+//!
+//! "In an AsterixDB cluster, one (and only one) node runs the Cluster
+//! Controller (CC) ... All worker nodes run a Node Controller (NC)"
+//! (paper §6.1). Here a node is a logical execution site: it owns a
+//! partition-holder manager and hosts one task per job stage. Tasks are
+//! OS threads; the network is bounded channels. Two configurable costs
+//! model the control-plane overhead that the paper's experiments expose
+//! (job activation grows with cluster size, §7.1/§7.4):
+//!
+//! * [`ClusterConfig::task_dispatch_cost`] — serial CC-side cost per
+//!   task when a job starts (sending the activation message);
+//! * [`ClusterConfig::task_start_latency`] — parallel NC-side latency
+//!   before a task begins (message delivery + task setup).
+//!
+//! Both default to zero so unit tests measure pure dataflow.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::holder::PartitionHolderManager;
+use crate::predeploy::DeployedJobRegistry;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes (NCs).
+    pub nodes: usize,
+    /// Serial, CC-side cost to dispatch one task at job start.
+    pub task_dispatch_cost: Duration,
+    /// Parallel, NC-side latency before a dispatched task starts running.
+    pub task_start_latency: Duration,
+    /// Default bounded capacity (frames) for inter-stage channels.
+    pub channel_capacity: usize,
+}
+
+impl ClusterConfig {
+    pub fn with_nodes(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            task_dispatch_cost: Duration::ZERO,
+            task_start_latency: Duration::ZERO,
+            channel_capacity: 16,
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::with_nodes(1)
+    }
+}
+
+/// One worker node: its id and its partition-holder manager.
+#[derive(Debug)]
+pub struct Node {
+    id: usize,
+    holders: PartitionHolderManager,
+}
+
+impl Node {
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn holders(&self) -> &PartitionHolderManager {
+        &self.holders
+    }
+}
+
+/// The cluster: N nodes plus CC-side state (deployed-job registry, job
+/// id counter).
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Node>,
+    deployed: DeployedJobRegistry,
+    job_counter: AtomicU64,
+    jobs_started: AtomicU64,
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Arc<Cluster> {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        let nodes = (0..config.nodes)
+            .map(|id| Node { id, holders: PartitionHolderManager::new() })
+            .collect();
+        Arc::new(Cluster {
+            config,
+            nodes,
+            deployed: DeployedJobRegistry::new(),
+            job_counter: AtomicU64::new(0),
+            jobs_started: AtomicU64::new(0),
+        })
+    }
+
+    /// Convenience: an N-node cluster with default (zero-cost) control
+    /// plane.
+    pub fn with_nodes(n: usize) -> Arc<Cluster> {
+        Cluster::new(ClusterConfig::with_nodes(n))
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node(&self, id: usize) -> &Node {
+        &self.nodes[id]
+    }
+
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The CC's registry of predeployed job specifications.
+    pub fn deployed_jobs(&self) -> &DeployedJobRegistry {
+        &self.deployed
+    }
+
+    pub(crate) fn next_job_instance(&self) -> u64 {
+        self.job_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_job_start(&self) {
+        self.jobs_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of job executions started on this cluster (intake +
+    /// computing + storage jobs all count; benchmarks report the
+    /// computing-job refresh rate from this).
+    pub fn jobs_started(&self) -> u64 {
+        self.jobs_started.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,219 @@
+//! Connectors: data routing strategies between consecutive stages.
+//!
+//! The new ingestion framework uses a Round-robin Partitioner after the
+//! intake adapter ("distributing the incoming data evenly can help to
+//! minimize the overall execution time of the computing job") and a Hash
+//! Partitioner before storage ("partitions the enriched data records by
+//! their primary keys"), paper §6.2. Broadcast is what the index
+//! nested-loop join needs at scale (§7.4.2: "the Index Nested Loop Join
+//! algorithm needed to broadcast the incoming tweets to all nodes").
+
+use std::sync::Arc;
+
+use crossbeam::channel::Sender;
+use idea_adm::Value;
+
+use crate::frame::Frame;
+use crate::operator::FrameSink;
+use crate::{HyracksError, Result};
+
+/// How a stage's output is routed to the next stage's partitions.
+#[derive(Clone)]
+pub enum ConnectorSpec {
+    /// Partition i feeds partition i (pipelined, no repartitioning).
+    OneToOne,
+    /// Records distributed evenly, record by record.
+    RoundRobin,
+    /// Records routed by a hash of the extracted key.
+    HashPartition(Arc<dyn Fn(&Value) -> u64 + Send + Sync>),
+    /// Every record goes to every partition.
+    Broadcast,
+}
+
+impl std::fmt::Debug for ConnectorSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ConnectorSpec::OneToOne => "OneToOne",
+            ConnectorSpec::RoundRobin => "RoundRobin",
+            ConnectorSpec::HashPartition(_) => "HashPartition",
+            ConnectorSpec::Broadcast => "Broadcast",
+        })
+    }
+}
+
+impl ConnectorSpec {
+    /// Hash partitioner over a top-level field (e.g. the primary key).
+    pub fn hash_on_field(field: &str) -> ConnectorSpec {
+        let path = idea_adm::path::FieldPath::parse(field);
+        ConnectorSpec::HashPartition(Arc::new(move |rec| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            path.get(rec).hash(&mut h);
+            h.finish()
+        }))
+    }
+
+    /// Instantiates the runtime sink for one upstream partition.
+    pub(crate) fn instantiate(
+        &self,
+        my_partition: usize,
+        downstream: Vec<Sender<Frame>>,
+        frame_capacity: usize,
+    ) -> ConnectorSink {
+        ConnectorSink {
+            spec: self.clone(),
+            downstream,
+            rr_next: my_partition, // stagger round-robin start per partition
+            buffers: Vec::new(),
+            frame_capacity,
+        }
+    }
+}
+
+/// Runtime connector: buffers per-destination records and ships frames.
+pub struct ConnectorSink {
+    spec: ConnectorSpec,
+    downstream: Vec<Sender<Frame>>,
+    rr_next: usize,
+    buffers: Vec<Vec<Value>>,
+    frame_capacity: usize,
+}
+
+impl ConnectorSink {
+    fn ensure_buffers(&mut self) {
+        if self.buffers.is_empty() {
+            self.buffers = (0..self.downstream.len()).map(|_| Vec::new()).collect();
+        }
+    }
+
+    fn send_to(&mut self, dest: usize, record: Value) -> Result<()> {
+        self.ensure_buffers();
+        self.buffers[dest].push(record);
+        if self.buffers[dest].len() >= self.frame_capacity {
+            let frame = Frame::from_records(std::mem::take(&mut self.buffers[dest]));
+            self.downstream[dest]
+                .send(frame)
+                .map_err(|_| HyracksError::Disconnected("connector downstream"))?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records as (possibly short) frames.
+    pub fn flush(&mut self) -> Result<()> {
+        for (dest, buf) in self.buffers.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let frame = Frame::from_records(std::mem::take(buf));
+                self.downstream[dest]
+                    .send(frame)
+                    .map_err(|_| HyracksError::Disconnected("connector downstream"))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FrameSink for ConnectorSink {
+    fn push(&mut self, frame: Frame) -> Result<()> {
+        let n = self.downstream.len();
+        match &self.spec {
+            ConnectorSpec::OneToOne => {
+                // Partition-preserving: one downstream channel was wired.
+                debug_assert_eq!(n, 1, "one-to-one connector must have exactly one target");
+                return self
+                    .downstream[0]
+                    .send(frame)
+                    .map_err(|_| HyracksError::Disconnected("connector downstream"));
+            }
+            ConnectorSpec::RoundRobin => {
+                for rec in frame.into_records() {
+                    let dest = self.rr_next % n;
+                    self.rr_next = self.rr_next.wrapping_add(1);
+                    self.send_to(dest, rec)?;
+                }
+            }
+            ConnectorSpec::HashPartition(key) => {
+                let key = key.clone();
+                for rec in frame.into_records() {
+                    let dest = (key(&rec) % n as u64) as usize;
+                    self.send_to(dest, rec)?;
+                }
+            }
+            ConnectorSpec::Broadcast => {
+                for dest in 0..n {
+                    for rec in frame.records() {
+                        self.send_to(dest, rec.clone())?;
+                    }
+                }
+            }
+        }
+        // Forward partial buffers at input-frame boundaries: connectors
+        // must not add latency beyond the producer's own framing (a slow
+        // feed would otherwise stall in connector buffers).
+        self.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    fn run(spec: ConnectorSpec, n_dest: usize, records: Vec<Value>) -> Vec<Vec<Value>> {
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n_dest).map(|_| unbounded()).unzip();
+        let mut sink = spec.instantiate(0, txs, 4);
+        sink.push(Frame::from_records(records)).unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        rxs.into_iter()
+            .map(|rx| rx.try_iter().flat_map(Frame::into_records).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_is_even() {
+        let out = run(ConnectorSpec::RoundRobin, 3, (0..9).map(Value::Int).collect());
+        for part in &out {
+            assert_eq!(part.len(), 3);
+        }
+    }
+
+    #[test]
+    fn hash_partition_groups_keys() {
+        let recs: Vec<Value> = (0..100)
+            .map(|i| Value::object([("id", Value::Int(i % 10))]))
+            .collect();
+        let out = run(ConnectorSpec::hash_on_field("id"), 4, recs);
+        assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 100);
+        // Every copy of the same key must land on the same partition.
+        for key in 0..10i64 {
+            let homes: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, part)|
+
+                    part.iter().any(|r| r.as_object().unwrap().get("id") == Some(&Value::Int(key))))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(homes.len(), 1, "key {key} split across partitions");
+        }
+    }
+
+    #[test]
+    fn broadcast_duplicates_everywhere() {
+        let out = run(ConnectorSpec::Broadcast, 3, (0..5).map(Value::Int).collect());
+        for part in &out {
+            assert_eq!(part.len(), 5);
+        }
+    }
+
+    #[test]
+    fn frames_cut_at_capacity() {
+        let (tx, rx) = unbounded();
+        let mut sink = ConnectorSpec::RoundRobin.instantiate(0, vec![tx], 4);
+        sink.push(Frame::from_records((0..10).map(Value::Int).collect())).unwrap();
+        sink.flush().unwrap();
+        drop(sink);
+        let sizes: Vec<usize> = rx.try_iter().map(|f| f.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+}

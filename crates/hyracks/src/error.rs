@@ -1,0 +1,29 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Errors surfaced by job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyracksError {
+    /// A downstream stage hung up; the pipeline is shutting down.
+    Disconnected(&'static str),
+    /// An operator failed; carries the operator/stage description.
+    Operator(String),
+    /// Job/holder wiring mistakes (unknown holder, bad stage count, ...).
+    Config(String),
+    /// A task thread panicked.
+    TaskPanic(String),
+}
+
+impl fmt::Display for HyracksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HyracksError::Disconnected(w) => write!(f, "channel disconnected: {w}"),
+            HyracksError::Operator(m) => write!(f, "operator error: {m}"),
+            HyracksError::Config(m) => write!(f, "job configuration error: {m}"),
+            HyracksError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HyracksError {}

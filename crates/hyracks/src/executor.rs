@@ -1,0 +1,343 @@
+//! Job execution: instantiate a [`JobSpec`] across the cluster and run
+//! it to completion.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use idea_adm::Value;
+
+use crate::cluster::Cluster;
+use crate::connector::ConnectorSpec;
+use crate::frame::Frame;
+use crate::job::{JobSpec, TaskContext};
+use crate::operator::FrameSink;
+use crate::{HyracksError, Result};
+
+/// A running job; join it to wait for completion and collect task
+/// failures.
+pub struct JobHandle {
+    name: String,
+    tasks: Vec<JoinHandle<Result<()>>>,
+}
+
+impl JobHandle {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Waits for all tasks; the first task error (or panic) is returned.
+    pub fn join(self) -> Result<()> {
+        let mut first_err = None;
+        for t in self.tasks {
+            match t.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(p) => {
+                    let msg = p
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| p.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".into());
+                    first_err.get_or_insert(HyracksError::TaskPanic(msg));
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Whether every task has finished (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.tasks.iter().all(JoinHandle::is_finished)
+    }
+}
+
+/// A sink for the last stage: pushing into it is a wiring bug (terminal
+/// operators consume their input — e.g. write to storage or a holder).
+struct TerminalSink;
+
+impl FrameSink for TerminalSink {
+    fn push(&mut self, _frame: Frame) -> Result<()> {
+        Err(HyracksError::Config(
+            "last stage pushed a frame but has no downstream connector".into(),
+        ))
+    }
+}
+
+enum TaskInput {
+    Source,
+    Channel(Receiver<Frame>),
+}
+
+enum TaskOutput {
+    Terminal,
+    Connector(ConnectorSpec, Vec<Sender<Frame>>),
+}
+
+/// Starts `spec` on `cluster` with an invocation parameter and returns a
+/// handle. The CC dispatch loop pays
+/// [`crate::ClusterConfig::task_dispatch_cost`] per task serially; each
+/// task then sleeps [`crate::ClusterConfig::task_start_latency`] before
+/// its operator opens — together these model the job-activation overhead
+/// that grows with cluster size (paper §7.1).
+pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<JobHandle> {
+    if spec.stages.is_empty() {
+        return Err(HyracksError::Config("job has no stages".into()));
+    }
+    cluster.record_job_start();
+    let instance = cluster.next_job_instance();
+    let n_nodes = cluster.node_count();
+    let param = Arc::new(param);
+
+    // Per-stage node assignments.
+    let assignments: Vec<Vec<usize>> =
+        (0..spec.stages.len()).map(|s| spec.stage_nodes(s, n_nodes)).collect();
+    for (s, nodes) in assignments.iter().enumerate() {
+        if nodes.is_empty() {
+            return Err(HyracksError::Config(format!("stage {s} assigned no nodes")));
+        }
+        if nodes.iter().any(|&n| n >= n_nodes) {
+            return Err(HyracksError::Config(format!("stage {s} assigned missing node")));
+        }
+    }
+
+    // Channels feeding each non-first stage, one per partition.
+    let mut stage_inputs: Vec<Vec<(Sender<Frame>, Receiver<Frame>)>> = Vec::new();
+    for nodes in assignments.iter().skip(1) {
+        stage_inputs.push((0..nodes.len()).map(|_| bounded(spec.channel_capacity)).collect());
+    }
+
+    // For OneToOne connectors the two stages must align 1:1.
+    for (s, stage) in spec.stages.iter().enumerate().take(spec.stages.len() - 1) {
+        if matches!(stage.connector, ConnectorSpec::OneToOne)
+            && assignments[s].len() != assignments[s + 1].len()
+        {
+            return Err(HyracksError::Config(format!(
+                "one-to-one connector between stages {s} and {} with different partition counts",
+                s + 1
+            )));
+        }
+    }
+
+    let mut tasks = Vec::new();
+    let dispatch_cost = cluster.config().task_dispatch_cost;
+    let start_latency = cluster.config().task_start_latency;
+
+    for (s, stage) in spec.stages.iter().enumerate() {
+        let nodes = &assignments[s];
+        for (p, &node) in nodes.iter().enumerate() {
+            // CC-side serial dispatch.
+            if !dispatch_cost.is_zero() {
+                std::thread::sleep(dispatch_cost);
+            }
+            let input = if s == 0 {
+                TaskInput::Source
+            } else {
+                TaskInput::Channel(stage_inputs[s - 1][p].1.clone())
+            };
+            let output = if s + 1 == spec.stages.len() {
+                TaskOutput::Terminal
+            } else {
+                let downstream: Vec<Sender<Frame>> = match stage.connector {
+                    ConnectorSpec::OneToOne => vec![stage_inputs[s][p].0.clone()],
+                    _ => stage_inputs[s].iter().map(|(tx, _)| tx.clone()).collect(),
+                };
+                TaskOutput::Connector(stage.connector.clone(), downstream)
+            };
+            let ctx = TaskContext {
+                job_name: Arc::from(spec.name.as_str()),
+                stage: s,
+                partition: p,
+                partitions: nodes.len(),
+                node,
+                cluster: cluster.clone(),
+                param: param.clone(),
+            };
+            let factory = stage.factory.clone();
+            let frame_capacity = spec.frame_capacity;
+            let thread_name = format!("{}#{instance}/{}/{p}", spec.name, stage.name);
+            let handle = std::thread::Builder::new()
+                .name(thread_name)
+                .spawn(move || -> Result<()> {
+                    if !start_latency.is_zero() {
+                        std::thread::sleep(start_latency);
+                    }
+                    let mut ctx = ctx;
+                    let mut op = factory(&ctx);
+                    op.open(&mut ctx)?;
+                    match output {
+                        TaskOutput::Terminal => {
+                            let mut sink = TerminalSink;
+                            run_task(&mut *op, input, &mut sink, &mut ctx)?;
+                            op.close(&mut sink, &mut ctx)
+                        }
+                        TaskOutput::Connector(conn, downstream) => {
+                            let mut sink = conn.instantiate(p, downstream, frame_capacity);
+                            run_task(&mut *op, input, &mut sink, &mut ctx)?;
+                            op.close(&mut sink, &mut ctx)?;
+                            sink.flush()
+                            // Senders drop here, closing downstream inputs.
+                        }
+                    }
+                })
+                .map_err(|e| HyracksError::Config(format!("spawn failed: {e}")))?;
+            tasks.push(handle);
+        }
+        // Drop our copies of this stage's input endpoints so channels
+        // close when all upstream tasks finish.
+    }
+    drop(stage_inputs);
+
+    Ok(JobHandle { name: spec.name.clone(), tasks })
+}
+
+fn run_task(
+    op: &mut dyn crate::operator::Operator,
+    input: TaskInput,
+    sink: &mut dyn FrameSink,
+    ctx: &mut TaskContext,
+) -> Result<()> {
+    match input {
+        TaskInput::Source => op.run_source(sink, ctx),
+        TaskInput::Channel(rx) => {
+            for frame in rx.iter() {
+                op.next_frame(frame, sink, ctx)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::ConnectorSpec;
+    use crate::operator::{FnOperator, FnSource, Operator};
+    use parking_lot::Mutex;
+
+    /// source (1 node) -> round robin -> doubler (all nodes) -> collect
+    #[test]
+    fn three_stage_pipeline() {
+        let cluster = Cluster::with_nodes(3);
+        let collected: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let collected_in_job = collected.clone();
+
+        let spec = JobSpec::new("test")
+            .stage_on(
+                "source",
+                vec![0],
+                ConnectorSpec::RoundRobin,
+                Arc::new(|_ctx: &TaskContext| {
+                    Box::new(FnSource(|out: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                        out.push(Frame::from_records((0..100).map(Value::Int).collect()))
+                    })) as Box<dyn Operator>
+                }),
+            )
+            .stage(
+                "double",
+                ConnectorSpec::OneToOne,
+                Arc::new(|_ctx: &TaskContext| {
+                    Box::new(FnOperator(
+                        |f: Frame, out: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                            let doubled: Vec<Value> = f
+                                .records()
+                                .iter()
+                                .map(|v| Value::Int(v.as_int().unwrap() * 2))
+                                .collect();
+                            out.push(Frame::from_records(doubled))
+                        },
+                    )) as Box<dyn Operator>
+                }),
+            )
+            .stage(
+                "collect",
+                ConnectorSpec::OneToOne,
+                Arc::new(move |_ctx: &TaskContext| {
+                    let collected = collected_in_job.clone();
+                    Box::new(FnOperator(
+                        move |f: Frame, _out: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                            collected
+                                .lock()
+                                .extend(f.records().iter().map(|v| v.as_int().unwrap()));
+                            Ok(())
+                        },
+                    )) as Box<dyn Operator>
+                }),
+            );
+
+        run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+        let mut got = collected.lock().clone();
+        got.sort_unstable();
+        let want: Vec<i64> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(got, want);
+        assert_eq!(cluster.jobs_started(), 1);
+    }
+
+    #[test]
+    fn operator_error_propagates() {
+        let cluster = Cluster::with_nodes(2);
+        let spec = JobSpec::new("failing").stage(
+            "boom",
+            ConnectorSpec::OneToOne,
+            Arc::new(|_ctx: &TaskContext| {
+                Box::new(FnSource(|_out: &mut dyn FrameSink, ctx: &mut TaskContext| {
+                    if ctx.partition == 1 {
+                        Err(HyracksError::Operator("boom".into()))
+                    } else {
+                        Ok(())
+                    }
+                })) as Box<dyn Operator>
+            }),
+        );
+        let err = run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap_err();
+        assert!(matches!(err, HyracksError::Operator(_)));
+    }
+
+    #[test]
+    fn empty_job_rejected() {
+        let cluster = Cluster::with_nodes(1);
+        assert!(run_job(&cluster, &JobSpec::new("empty"), Value::Missing).is_err());
+    }
+
+    #[test]
+    fn mismatched_one_to_one_rejected() {
+        let cluster = Cluster::with_nodes(2);
+        let noop: crate::job::OperatorFactory = Arc::new(|_ctx: &TaskContext| {
+            Box::new(FnSource(|_: &mut dyn FrameSink, _: &mut TaskContext| Ok(())))
+                as Box<dyn Operator>
+        });
+        let sink: crate::job::OperatorFactory = Arc::new(|_ctx: &TaskContext| {
+            Box::new(FnOperator(|_: Frame, _: &mut dyn FrameSink, _: &mut TaskContext| Ok(())))
+                as Box<dyn Operator>
+        });
+        let spec = JobSpec::new("bad")
+            .stage_on("src", vec![0], ConnectorSpec::OneToOne, noop)
+            .stage("snk", ConnectorSpec::OneToOne, sink);
+        assert!(run_job(&cluster, &spec, Value::Missing).is_err());
+    }
+
+    #[test]
+    fn param_reaches_tasks() {
+        let cluster = Cluster::with_nodes(1);
+        let seen: Arc<Mutex<Option<Value>>> = Arc::new(Mutex::new(None));
+        let seen2 = seen.clone();
+        let spec = JobSpec::new("param").stage(
+            "src",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                let seen = seen2.clone();
+                Box::new(FnSource(move |_: &mut dyn FrameSink, ctx: &mut TaskContext| {
+                    *seen.lock() = Some((*ctx.param).clone());
+                    Ok(())
+                })) as Box<dyn Operator>
+            }),
+        );
+        run_job(&cluster, &spec, Value::Int(42)).unwrap().join().unwrap();
+        assert_eq!(seen.lock().clone(), Some(Value::Int(42)));
+    }
+}

@@ -1,0 +1,92 @@
+//! Frames: the unit of data transfer between operators.
+//!
+//! "Data in a runtime Hyracks job flows in frames containing multiple
+//! objects" (paper §2.2). A frame here is a batch of ADM records; the
+//! byte-level framing of real Hyracks is abstracted away, but the
+//! *batching* — which drives per-frame rather than per-record transfer
+//! costs — is preserved.
+
+use idea_adm::Value;
+
+/// A batch of records moving through a pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    records: Vec<Value>,
+}
+
+impl Frame {
+    /// Preferred records per frame; sources and repartitioners cut
+    /// output at this size.
+    pub const DEFAULT_CAPACITY: usize = 128;
+
+    pub fn new() -> Self {
+        Frame::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Frame { records: Vec::with_capacity(n) }
+    }
+
+    pub fn from_records(records: Vec<Value>) -> Self {
+        Frame { records }
+    }
+
+    pub fn push(&mut self, record: Value) {
+        self.records.push(record);
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn records(&self) -> &[Value] {
+        &self.records
+    }
+
+    pub fn into_records(self) -> Vec<Value> {
+        self.records
+    }
+
+    /// Splits a record vector into frames of at most `cap` records.
+    pub fn chunked(records: Vec<Value>, cap: usize) -> Vec<Frame> {
+        let mut frames = Vec::with_capacity(records.len() / cap.max(1) + 1);
+        let mut cur = Vec::with_capacity(cap.min(records.len()));
+        for r in records {
+            cur.push(r);
+            if cur.len() >= cap {
+                frames.push(Frame::from_records(std::mem::take(&mut cur)));
+            }
+        }
+        if !cur.is_empty() {
+            frames.push(Frame::from_records(cur));
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking() {
+        let recs: Vec<Value> = (0..10).map(Value::Int).collect();
+        let frames = Frame::chunked(recs, 4);
+        assert_eq!(frames.iter().map(Frame::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn chunking_exact_fit() {
+        let recs: Vec<Value> = (0..8).map(Value::Int).collect();
+        assert_eq!(Frame::chunked(recs, 4).len(), 2);
+    }
+
+    #[test]
+    fn chunking_empty() {
+        assert!(Frame::chunked(vec![], 4).is_empty());
+    }
+}

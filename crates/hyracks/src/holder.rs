@@ -1,0 +1,300 @@
+//! Partition holders (paper §5.3).
+//!
+//! "A partition holder operator 'guards' a runtime partition by holding
+//! the incoming data frames in a queue with a limited size." Two kinds:
+//!
+//! * **passive** — receives frames from its own job's upstream operators
+//!   and *waits for other jobs to pull them* (the intake job's tail; the
+//!   computing job pulls batches from it);
+//! * **active** — receives frames pushed *by other jobs* and pushes them
+//!   on to its own downstream operators (the storage job's head).
+//!
+//! Both are a bounded queue plus a registration in the node-local
+//! [`PartitionHolderManager`]; the mode records the discipline the
+//! owning job uses.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use idea_adm::Value;
+use parking_lot::RwLock;
+
+use crate::frame::Frame;
+use crate::{HyracksError, Result};
+
+/// Push/pull discipline of a holder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HolderMode {
+    Active,
+    Passive,
+}
+
+enum HolderMsg {
+    Frame(Frame),
+    Eof,
+}
+
+/// A guarded, bounded frame queue shared between jobs.
+pub struct PartitionHolder {
+    name: String,
+    mode: HolderMode,
+    tx: Sender<HolderMsg>,
+    rx: Receiver<HolderMsg>,
+    eof_seen: AtomicBool,
+    /// Records pulled off a frame but beyond a batch boundary; consumed
+    /// first by the next pull so batch sizes stay exact regardless of
+    /// frame size.
+    leftover: parking_lot::Mutex<std::collections::VecDeque<Value>>,
+}
+
+impl std::fmt::Debug for PartitionHolder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PartitionHolder({}, {:?}, queued={})", self.name, self.mode, self.rx.len())
+    }
+}
+
+impl PartitionHolder {
+    fn new(name: String, mode: HolderMode, capacity: usize) -> Self {
+        let (tx, rx) = bounded(capacity.max(1));
+        PartitionHolder {
+            name,
+            mode,
+            tx,
+            rx,
+            eof_seen: AtomicBool::new(false),
+            leftover: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn mode(&self) -> HolderMode {
+        self.mode
+    }
+
+    /// Frames currently queued.
+    pub fn queued(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Enqueues a frame, blocking while the queue is full (back-pressure
+    /// toward the producer, as with a size-limited queue in the paper).
+    pub fn push_frame(&self, frame: Frame) -> Result<()> {
+        self.tx
+            .send(HolderMsg::Frame(frame))
+            .map_err(|_| HyracksError::Disconnected("partition holder"))
+    }
+
+    /// Marks end-of-feed: the special "EOF" record of §6.1. Consumers
+    /// finish their current batch without waiting for it to fill.
+    pub fn push_eof(&self) -> Result<()> {
+        self.tx
+            .send(HolderMsg::Eof)
+            .map_err(|_| HyracksError::Disconnected("partition holder"))
+    }
+
+    /// Whether EOF has been *consumed* from this holder.
+    pub fn eof_seen(&self) -> bool {
+        self.eof_seen.load(Ordering::Acquire)
+    }
+
+    /// Pulls one frame, blocking; `None` means EOF.
+    pub fn pull_frame(&self) -> Result<Option<Frame>> {
+        if self.eof_seen() {
+            return Ok(None);
+        }
+        match self.rx.recv() {
+            Ok(HolderMsg::Frame(f)) => Ok(Some(f)),
+            Ok(HolderMsg::Eof) => {
+                self.eof_seen.store(true, Ordering::Release);
+                Ok(None)
+            }
+            Err(_) => Err(HyracksError::Disconnected("partition holder")),
+        }
+    }
+
+    /// Pulls records until `max_records` are collected or EOF arrives;
+    /// returns the batch and whether EOF was reached. This is how a
+    /// computing job collects its parameter batch from the intake job.
+    pub fn pull_batch(&self, max_records: usize) -> Result<(Vec<Value>, bool)> {
+        let mut out = Vec::with_capacity(max_records.min(4096));
+        {
+            let mut leftover = self.leftover.lock();
+            while out.len() < max_records {
+                match leftover.pop_front() {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+        }
+        if out.len() >= max_records {
+            return Ok((out, self.eof_seen()));
+        }
+        if self.eof_seen() {
+            return Ok((out, true));
+        }
+        while out.len() < max_records {
+            match self.rx.recv() {
+                Ok(HolderMsg::Frame(f)) => {
+                    let mut records = f.into_records().into_iter();
+                    while out.len() < max_records {
+                        match records.next() {
+                            Some(r) => out.push(r),
+                            None => break,
+                        }
+                    }
+                    // Stash anything beyond the batch boundary.
+                    let mut leftover = self.leftover.lock();
+                    leftover.extend(records);
+                }
+                Ok(HolderMsg::Eof) => {
+                    self.eof_seen.store(true, Ordering::Release);
+                    return Ok((out, true));
+                }
+                Err(_) => return Err(HyracksError::Disconnected("partition holder")),
+            }
+        }
+        Ok((out, false))
+    }
+
+    /// Whether EOF has been consumed and no records remain (queued or
+    /// leftover) — the feed driver's stop condition.
+    pub fn drained(&self) -> bool {
+        self.eof_seen() && self.rx.is_empty() && self.leftover.lock().is_empty()
+    }
+
+    /// Non-blocking drain used by tests and shutdown paths.
+    pub fn try_pull_all(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = self.leftover.lock().drain(..).collect();
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                HolderMsg::Frame(f) => out.extend(f.into_records()),
+                HolderMsg::Eof => {
+                    self.eof_seen.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Node-local registry: "when a new partition holder is created, it
+/// registers with the local partition holder manager" (§5.3).
+#[derive(Debug, Default)]
+pub struct PartitionHolderManager {
+    holders: RwLock<HashMap<String, Arc<PartitionHolder>>>,
+}
+
+impl PartitionHolderManager {
+    pub fn new() -> Self {
+        PartitionHolderManager::default()
+    }
+
+    /// Creates and registers a holder. Re-registering a live name is a
+    /// configuration error.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        mode: HolderMode,
+        capacity: usize,
+    ) -> Result<Arc<PartitionHolder>> {
+        let name = name.into();
+        let mut map = self.holders.write();
+        if map.contains_key(&name) {
+            return Err(HyracksError::Config(format!("holder '{name}' already registered")));
+        }
+        let holder = Arc::new(PartitionHolder::new(name.clone(), mode, capacity));
+        map.insert(name, holder.clone());
+        Ok(holder)
+    }
+
+    /// Finds a registered holder.
+    pub fn lookup(&self, name: &str) -> Result<Arc<PartitionHolder>> {
+        self.holders
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| HyracksError::Config(format!("no holder named '{name}'")))
+    }
+
+    /// Drops a holder registration (feed shutdown).
+    pub fn unregister(&self, name: &str) -> Option<Arc<PartitionHolder>> {
+        self.holders.write().remove(name)
+    }
+
+    pub fn len(&self) -> usize {
+        self.holders.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pull_roundtrip() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("feed/intake/0", HolderMode::Passive, 8).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1), Value::Int(2)])).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(3)])).unwrap();
+        let (batch, eof) = h.pull_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(!eof);
+    }
+
+    #[test]
+    fn eof_cuts_batch_short_and_sticks() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 8).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+        h.push_eof().unwrap();
+        let (batch, eof) = h.pull_batch(100).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(eof);
+        let (batch, eof) = h.pull_batch(100).unwrap();
+        assert!(batch.is_empty());
+        assert!(eof);
+        assert!(h.eof_seen());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 2).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(2)])).unwrap();
+        // Queue full: a third push must block until a consumer pulls.
+        let h2 = m.lookup("h").unwrap();
+        let t = std::thread::spawn(move || {
+            h2.push_frame(Frame::from_records(vec![Value::Int(3)])).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "push should block while the queue is full");
+        let _ = h.pull_frame().unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let m = PartitionHolderManager::new();
+        m.register("h", HolderMode::Active, 1).unwrap();
+        assert!(m.register("h", HolderMode::Active, 1).is_err());
+    }
+
+    #[test]
+    fn unregister_then_lookup_fails() {
+        let m = PartitionHolderManager::new();
+        m.register("h", HolderMode::Active, 1).unwrap();
+        assert!(m.unregister("h").is_some());
+        assert!(m.lookup("h").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Job specifications: what a compiled query/pipeline looks like before
+//! it runs.
+//!
+//! "A job specification describes how data flows and is processed in a
+//! job. It contains a DAG of operators ... and connectors" (paper §2.2).
+//! The ingestion pipelines of the paper are linear DAGs (adapter →
+//! partitioner → holder; collector → UDF → sink; holder → partitioner →
+//! storage), so a [`JobSpec`] is a list of [`StageSpec`]s, each
+//! instantiated once per assigned node, joined by connectors.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+use crate::cluster::Cluster;
+use crate::connector::ConnectorSpec;
+use crate::operator::Operator;
+
+/// Factory producing one operator instance per task. Factories must be
+/// shareable across threads and reusable across invocations (predeployed
+/// jobs instantiate the same spec many times).
+pub type OperatorFactory = Arc<dyn Fn(&TaskContext) -> Box<dyn Operator> + Send + Sync>;
+
+/// One pipeline stage.
+#[derive(Clone)]
+pub struct StageSpec {
+    pub name: String,
+    pub factory: OperatorFactory,
+    /// Routing of this stage's output to the next stage. Ignored for the
+    /// last stage (whose operators consume or store their input).
+    pub connector: ConnectorSpec,
+    /// Nodes this stage runs on; `None` = every cluster node. The paper's
+    /// unbalanced intake runs its adapter on a single node ("a user may
+    /// choose to activate the Adapter on one or more nodes").
+    pub nodes: Option<Vec<usize>>,
+}
+
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("connector", &self.connector)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+/// A compiled job: a named pipeline of stages.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub name: String,
+    pub stages: Vec<StageSpec>,
+    /// Bounded capacity (in frames) of inter-stage channels.
+    pub channel_capacity: usize,
+    /// Records per frame cut by connectors.
+    pub frame_capacity: usize,
+}
+
+impl JobSpec {
+    pub fn new(name: impl Into<String>) -> Self {
+        JobSpec {
+            name: name.into(),
+            stages: Vec::new(),
+            channel_capacity: 16,
+            frame_capacity: crate::frame::Frame::DEFAULT_CAPACITY,
+        }
+    }
+
+    /// Appends a stage running on every node.
+    pub fn stage(
+        mut self,
+        name: impl Into<String>,
+        connector: ConnectorSpec,
+        factory: OperatorFactory,
+    ) -> Self {
+        self.stages.push(StageSpec { name: name.into(), factory, connector, nodes: None });
+        self
+    }
+
+    /// Appends a stage pinned to specific nodes.
+    pub fn stage_on(
+        mut self,
+        name: impl Into<String>,
+        nodes: Vec<usize>,
+        connector: ConnectorSpec,
+        factory: OperatorFactory,
+    ) -> Self {
+        self.stages.push(StageSpec { name: name.into(), factory, connector, nodes: Some(nodes) });
+        self
+    }
+
+    /// Node list for stage `s` on a cluster of `n` nodes.
+    pub fn stage_nodes(&self, s: usize, n: usize) -> Vec<usize> {
+        self.stages[s].nodes.clone().unwrap_or_else(|| (0..n).collect())
+    }
+}
+
+/// Per-task execution context handed to operator factories and methods.
+#[derive(Clone)]
+pub struct TaskContext {
+    /// Name of the running job (diagnostics).
+    pub job_name: Arc<str>,
+    /// Stage index within the job.
+    pub stage: usize,
+    /// This task's partition index within the stage.
+    pub partition: usize,
+    /// Total partitions in this stage.
+    pub partitions: usize,
+    /// Cluster node hosting this task.
+    pub node: usize,
+    /// The hosting cluster (for partition-holder lookup etc.).
+    pub cluster: Arc<Cluster>,
+    /// Invocation parameter of a parameterized predeployed job
+    /// (`Value::Missing` when the job was started without parameters).
+    pub param: Arc<Value>,
+}
+
+impl std::fmt::Debug for TaskContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TaskContext({} stage {} partition {}/{} node {})",
+            self.job_name, self.stage, self.partition, self.partitions, self.node
+        )
+    }
+}

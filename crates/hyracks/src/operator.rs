@@ -1,0 +1,96 @@
+//! Push-based operators.
+//!
+//! "An operator reads an incoming data frame, processes the objects in
+//! it, and pushes the processed data frame to another connected operator
+//! through a connector" (paper §2.2).
+
+use crate::frame::Frame;
+use crate::job::TaskContext;
+use crate::Result;
+
+/// Downstream destination an operator pushes frames into (a connector at
+/// runtime, or a test collector).
+pub trait FrameSink {
+    fn push(&mut self, frame: Frame) -> Result<()>;
+}
+
+/// A `Vec`-backed sink for tests and local materialization.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    pub frames: Vec<Frame>,
+}
+
+impl CollectSink {
+    pub fn records(self) -> Vec<idea_adm::Value> {
+        self.frames.into_iter().flat_map(Frame::into_records).collect()
+    }
+}
+
+impl FrameSink for CollectSink {
+    fn push(&mut self, frame: Frame) -> Result<()> {
+        self.frames.push(frame);
+        Ok(())
+    }
+}
+
+/// One operator instance, running on one partition of one stage.
+///
+/// Interior stages receive frames through [`Operator::next_frame`];
+/// stage 0 of a job has no input and must implement
+/// [`Operator::run_source`], producing frames until done (or until the
+/// downstream disconnects).
+pub trait Operator: Send {
+    /// Called once before any data. State that must be *fresh per job
+    /// invocation* — the paper's per-batch intermediate states — is
+    /// built here or lazily on first frame.
+    fn open(&mut self, _ctx: &mut TaskContext) -> Result<()> {
+        Ok(())
+    }
+
+    /// Handles one input frame.
+    fn next_frame(&mut self, frame: Frame, out: &mut dyn FrameSink, ctx: &mut TaskContext)
+        -> Result<()>;
+
+    /// Called once after the last frame; flush any buffered output.
+    fn close(&mut self, _out: &mut dyn FrameSink, _ctx: &mut TaskContext) -> Result<()> {
+        Ok(())
+    }
+
+    /// Drives a source stage (stage 0). Default: this operator is not a
+    /// source.
+    fn run_source(&mut self, _out: &mut dyn FrameSink, _ctx: &mut TaskContext) -> Result<()> {
+        Err(crate::HyracksError::Config("operator is not a source".into()))
+    }
+}
+
+/// A stateless per-frame operator from a closure — convenient for map/
+/// filter stages and tests.
+pub struct FnOperator<F>(pub F);
+
+impl<F> Operator for FnOperator<F>
+where
+    F: FnMut(Frame, &mut dyn FrameSink, &mut TaskContext) -> Result<()> + Send,
+{
+    fn next_frame(&mut self, frame: Frame, out: &mut dyn FrameSink, ctx: &mut TaskContext)
+        -> Result<()> {
+        (self.0)(frame, out, ctx)
+    }
+}
+
+/// A source operator from a closure that produces all frames then
+/// returns.
+pub struct FnSource<F>(pub F);
+
+impl<F> Operator for FnSource<F>
+where
+    F: FnMut(&mut dyn FrameSink, &mut TaskContext) -> Result<()> + Send,
+{
+    fn next_frame(&mut self, _frame: Frame, _out: &mut dyn FrameSink, _ctx: &mut TaskContext)
+        -> Result<()> {
+        Err(crate::HyracksError::Config("source received input".into()))
+    }
+
+    fn run_source(&mut self, out: &mut dyn FrameSink, ctx: &mut TaskContext) -> Result<()> {
+        (self.0)(out, ctx)
+    }
+}

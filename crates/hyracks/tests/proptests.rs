@@ -1,0 +1,140 @@
+//! Property tests for the runtime: connectors conserve and route
+//! records correctly under arbitrary frame shapes, and jobs deliver
+//! exactly once.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+use idea_hyracks::{
+    run_job, Cluster, ConnectorSpec, Frame, FrameSink, JobSpec, Operator, TaskContext,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+/// Runs a two-stage job: a single-node source emitting `records` in
+/// frames of `frame_sizes`, connected by `connector` to collectors on
+/// every node. Returns the records each partition received.
+fn route(
+    nodes: usize,
+    connector: ConnectorSpec,
+    records: Vec<i64>,
+    chunk: usize,
+) -> Vec<Vec<i64>> {
+    let cluster = Cluster::with_nodes(nodes);
+    let received: Arc<Mutex<Vec<Vec<i64>>>> = Arc::new(Mutex::new(vec![Vec::new(); nodes]));
+    let recv2 = received.clone();
+
+    struct Src {
+        records: Vec<i64>,
+        chunk: usize,
+    }
+    impl Operator for Src {
+        fn next_frame(
+            &mut self,
+            _f: Frame,
+            _o: &mut dyn FrameSink,
+            _c: &mut TaskContext,
+        ) -> idea_hyracks::Result<()> {
+            unreachable!()
+        }
+        fn run_source(
+            &mut self,
+            out: &mut dyn FrameSink,
+            _ctx: &mut TaskContext,
+        ) -> idea_hyracks::Result<()> {
+            for chunk in self.records.chunks(self.chunk.max(1)) {
+                let vals = chunk
+                    .iter()
+                    .map(|i| Value::object([("id", Value::Int(*i))]))
+                    .collect();
+                out.push(Frame::from_records(vals))?;
+            }
+            Ok(())
+        }
+    }
+
+    let records2 = records.clone();
+    let spec = JobSpec::new("route")
+        .stage_on(
+            "src",
+            vec![0],
+            connector,
+            Arc::new(move |_: &TaskContext| {
+                Box::new(Src { records: records2.clone(), chunk }) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "collect",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_: &TaskContext| {
+                let recv = recv2.clone();
+                Box::new(idea_hyracks::FnOperator(
+                    move |f: Frame, _: &mut dyn FrameSink, ctx: &mut TaskContext| {
+                        let ids = f
+                            .records()
+                            .iter()
+                            .map(|r| r.as_object().unwrap().get("id").unwrap().as_int().unwrap());
+                        recv.lock()[ctx.partition].extend(ids);
+                        Ok(())
+                    },
+                )) as Box<dyn Operator>
+            }),
+        );
+    run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+    let out = received.lock().clone();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-robin conserves records and balances within one record.
+    #[test]
+    fn round_robin_conserves_and_balances(
+        records in prop::collection::vec(any::<i64>(), 0..200),
+        nodes in 1usize..5,
+        chunk in 1usize..40,
+    ) {
+        let parts = route(nodes, ConnectorSpec::RoundRobin, records.clone(), chunk);
+        let mut all: Vec<i64> = parts.iter().flatten().copied().collect();
+        let mut want = records.clone();
+        all.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(all, want, "conservation");
+        let max = parts.iter().map(Vec::len).max().unwrap_or(0);
+        let min = parts.iter().map(Vec::len).min().unwrap_or(0);
+        prop_assert!(max - min <= 1, "balance: {:?}", parts.iter().map(Vec::len).collect::<Vec<_>>());
+    }
+
+    /// Hash partitioning conserves records and is key-consistent.
+    #[test]
+    fn hash_partition_conserves_and_groups(
+        records in prop::collection::vec(-20i64..20, 0..200),
+        nodes in 1usize..5,
+        chunk in 1usize..40,
+    ) {
+        let parts = route(nodes, ConnectorSpec::hash_on_field("id"), records.clone(), chunk);
+        let mut all: Vec<i64> = parts.iter().flatten().copied().collect();
+        let mut want = records.clone();
+        all.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(all, want, "conservation");
+        for key in -20i64..20 {
+            let homes = parts.iter().filter(|p| p.contains(&key)).count();
+            prop_assert!(homes <= 1, "key {} appears on {} partitions", key, homes);
+        }
+    }
+
+    /// Broadcast delivers every record to every partition, in order.
+    #[test]
+    fn broadcast_total_delivery(
+        records in prop::collection::vec(any::<i64>(), 0..120),
+        nodes in 1usize..5,
+        chunk in 1usize..40,
+    ) {
+        let parts = route(nodes, ConnectorSpec::Broadcast, records.clone(), chunk);
+        for p in &parts {
+            prop_assert_eq!(p, &records);
+        }
+    }
+}

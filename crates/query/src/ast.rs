@@ -1,0 +1,187 @@
+//! Abstract syntax for the SQL++ subset.
+//!
+//! The subset covers everything the paper's DDL and enrichment UDFs use
+//! (Figures 1, 4, 6, 8–14, 18, 32–40): SELECT/SELECT VALUE blocks with
+//! FROM (multiple sources), LET, WHERE, GROUP BY, ORDER BY, LIMIT;
+//! EXISTS/IN/CASE; subqueries; function calls (builtins and UDFs);
+//! access-method hints; and the DDL/DML statements around them.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// SQL++ expressions.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    Literal(Value),
+    /// Variable or dataset reference.
+    Ident(String),
+    /// Prepared-statement parameter `$x` (paper Figure 20).
+    Param(String),
+    /// `expr.field`
+    Field(Box<Expr>, String),
+    /// `expr[index]`
+    Index(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `CASE [operand] WHEN c THEN v ... [ELSE e] END`
+    Case {
+        operand: Option<Box<Expr>>,
+        whens: Vec<(Expr, Expr)>,
+        otherwise: Option<Box<Expr>>,
+    },
+    /// Builtin or user-defined function call. `*` inside an aggregate
+    /// (`count(*)`) parses as [`Expr::Wildcard`].
+    Call { name: String, args: Vec<Expr> },
+    Wildcard,
+    /// `EXISTS (subquery-or-array)`
+    Exists(Box<Expr>),
+    /// `a IN b`
+    In(Box<Expr>, Box<Expr>),
+    /// A parenthesized select block used as an expression (yields an
+    /// array of results).
+    Subquery(Arc<SelectBlock>),
+    /// `{"a": 1, ...}` object constructor.
+    Object(Vec<(String, Expr)>),
+    /// `[e1, e2, ...]` array constructor.
+    Array(Vec<Expr>),
+}
+
+/// `SELECT ...` projection shape.
+#[derive(Debug, Clone)]
+pub enum SelectClause {
+    /// `SELECT VALUE expr` — each result is the bare value.
+    Value(Box<Expr>),
+    /// `SELECT item, item, ...` — each result is an object.
+    Items(Vec<SelectItem>),
+}
+
+/// One projection item.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// `alias.*` — splice all fields of the named binding.
+    Star(String),
+    /// `expr [AS name]`; unnamed items get the last field-path component
+    /// or a positional `$n` name.
+    Expr(Expr, Option<String>),
+}
+
+/// A data source in FROM.
+#[derive(Debug, Clone)]
+pub enum FromSource {
+    /// Identifier: resolved at evaluation time as an in-scope variable
+    /// first (`FROM TweetsBatch tweet`), then as a dataset.
+    Name(String),
+    /// Any collection-valued expression (including subqueries).
+    Expr(Expr),
+}
+
+/// `FROM <source> [/*+ hint */] <alias>`.
+#[derive(Debug, Clone)]
+pub struct FromItem {
+    pub source: FromSource,
+    pub alias: String,
+    /// Access-method hint: `indexnl` forces an index-nested-loop join;
+    /// `noindex` forbids index use (the paper's "Naive Nearby Monuments"
+    /// uses a hint to avoid its R-tree, §7.4.2).
+    pub hint: Option<String>,
+}
+
+/// A select block. Each block gets a process-unique `id` at construction
+/// so executors can cache per-block state (materialized build sides —
+/// the paper's "intermediate states").
+#[derive(Debug, Clone)]
+pub struct SelectBlock {
+    pub id: u32,
+    /// `SELECT DISTINCT ...` — output rows deduplicated by deep equality.
+    pub distinct: bool,
+    pub select: SelectClause,
+    pub from: Vec<FromItem>,
+    /// LETs written *before* SELECT (paper style, Figure 10): bound once
+    /// per outer row, before FROM — so they can feed FROM sources.
+    pub pre_lets: Vec<(String, Expr)>,
+    /// LETs written after FROM (standard SQL++): bound per joined row.
+    pub lets: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<(Expr, Option<String>)>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, bool)>, // (expr, ascending)
+    pub limit: Option<Expr>,
+}
+
+static NEXT_BLOCK_ID: AtomicU32 = AtomicU32::new(0);
+
+impl SelectBlock {
+    /// A fresh, empty block (used by the parser).
+    pub fn empty() -> Self {
+        SelectBlock {
+            id: NEXT_BLOCK_ID.fetch_add(1, Ordering::Relaxed),
+            distinct: false,
+            select: SelectClause::Items(Vec::new()),
+            from: Vec::new(),
+            pre_lets: Vec::new(),
+            lets: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+}
+
+/// Index kind named in `CREATE INDEX`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKindAst {
+    BTree,
+    RTree,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// `CREATE TYPE name AS OPEN { field: type, ... }`
+    CreateType { name: String, fields: Vec<(String, String)> },
+    /// `CREATE DATASET name(TypeName) PRIMARY KEY field`
+    CreateDataset { name: String, type_name: String, primary_key: String },
+    /// `CREATE INDEX name ON dataset(field) TYPE BTREE|RTREE`
+    CreateIndex { name: String, dataset: String, field: String, kind: IndexKindAst },
+    /// `CREATE FUNCTION name(params) { body }`
+    CreateFunction { name: String, params: Vec<String>, body: Expr },
+    /// `INSERT INTO dataset (expr)`
+    Insert { dataset: String, source: Expr },
+    /// `UPSERT INTO dataset (expr)`
+    Upsert { dataset: String, source: Expr },
+    /// `DELETE FROM dataset alias WHERE cond`
+    Delete { dataset: String, alias: String, where_clause: Option<Expr> },
+    /// A top-level query.
+    Query(Expr),
+    /// `CREATE FEED name WITH { "k": "v", ... }`
+    CreateFeed { name: String, options: Vec<(String, String)> },
+    /// `CONNECT FEED feed TO DATASET ds [APPLY FUNCTION f]`
+    ConnectFeed { feed: String, dataset: String, function: Option<String> },
+    /// `START FEED name`
+    StartFeed { name: String },
+    /// `STOP FEED name`
+    StopFeed { name: String },
+}

@@ -1,0 +1,216 @@
+//! The metadata catalog: datatypes, datasets, indexes, and functions.
+//!
+//! This is the query-facing view of storage: `CREATE TYPE` / `CREATE
+//! DATASET` / `CREATE INDEX` / `CREATE FUNCTION` land here, and the
+//! evaluator resolves dataset and function names against it. Datasets
+//! are [`PartitionedDataset`]s — one storage partition per cluster node.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idea_adm::{Datatype, TypeTag};
+use idea_storage::dataset::DatasetConfig;
+use idea_storage::index::{IndexDef, IndexKind};
+use idea_storage::PartitionedDataset;
+use parking_lot::RwLock;
+
+use crate::ast::IndexKindAst;
+use crate::error::QueryError;
+use crate::udf::{FunctionDef, NativeUdfFactory};
+use crate::Result;
+
+/// Thread-safe catalog shared by the ingestion framework and queries.
+#[derive(Debug)]
+pub struct Catalog {
+    /// Storage partitions created for each new dataset (= cluster size).
+    partitions: usize,
+    dataset_config: DatasetConfig,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    types: HashMap<String, Datatype>,
+    datasets: HashMap<String, Arc<PartitionedDataset>>,
+    functions: HashMap<String, FunctionDef>,
+}
+
+impl Catalog {
+    /// A catalog whose datasets have `partitions` storage partitions.
+    pub fn new(partitions: usize) -> Arc<Catalog> {
+        Catalog::with_config(partitions, DatasetConfig::default())
+    }
+
+    pub fn with_config(partitions: usize, dataset_config: DatasetConfig) -> Arc<Catalog> {
+        assert!(partitions > 0);
+        Arc::new(Catalog { partitions, dataset_config, inner: RwLock::new(Inner::default()) })
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    // ---- types -------------------------------------------------------
+
+    pub fn create_type(&self, dt: Datatype) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.types.contains_key(&dt.name) {
+            return Err(QueryError::Invalid(format!("type {} already exists", dt.name)));
+        }
+        inner.types.insert(dt.name.clone(), dt);
+        Ok(())
+    }
+
+    /// Builds a [`Datatype`] from DDL `(field, typename)` pairs.
+    pub fn create_type_from_ddl(&self, name: &str, fields: &[(String, String)]) -> Result<()> {
+        let mut dt = Datatype::new(name);
+        for (fname, ftype) in fields {
+            let tag = TypeTag::from_ddl_name(ftype)
+                .ok_or_else(|| QueryError::Invalid(format!("unknown type '{ftype}'")))?;
+            dt = dt.field(fname, tag);
+        }
+        self.create_type(dt)
+    }
+
+    pub fn get_type(&self, name: &str) -> Result<Datatype> {
+        self.inner
+            .read()
+            .types
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::Unresolved(format!("type {name}")))
+    }
+
+    // ---- datasets -----------------------------------------------------
+
+    pub fn create_dataset(&self, name: &str, type_name: &str, primary_key: &str) -> Result<()> {
+        let dt = self.get_type(type_name)?;
+        let mut inner = self.inner.write();
+        if inner.datasets.contains_key(name) {
+            return Err(QueryError::Invalid(format!("dataset {name} already exists")));
+        }
+        let ds = PartitionedDataset::new(
+            name,
+            dt,
+            primary_key,
+            self.partitions,
+            self.dataset_config.clone(),
+        );
+        inner.datasets.insert(name.to_owned(), Arc::new(ds));
+        Ok(())
+    }
+
+    pub fn dataset(&self, name: &str) -> Result<Arc<PartitionedDataset>> {
+        self.inner
+            .read()
+            .datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::Unresolved(format!("dataset {name}")))
+    }
+
+    pub fn dataset_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().datasets.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn create_index(
+        &self,
+        name: &str,
+        dataset: &str,
+        field: &str,
+        kind: IndexKindAst,
+    ) -> Result<()> {
+        let ds = self.dataset(dataset)?;
+        let def = match kind {
+            IndexKindAst::BTree => IndexDef::btree(name, field),
+            IndexKindAst::RTree => IndexDef::rtree(name, field),
+        };
+        ds.create_index(def)?;
+        Ok(())
+    }
+
+    /// Finds an index of `kind` on `dataset.field` (access-method
+    /// selection).
+    pub fn find_index(&self, dataset: &str, field: &str, kind: IndexKind) -> Option<String> {
+        let ds = self.dataset(dataset).ok()?;
+        let path = idea_adm::path::FieldPath::parse(field);
+        ds.partitions()[0].find_index(&path, kind)
+    }
+
+    // ---- functions -----------------------------------------------------
+
+    pub fn create_function(&self, def: FunctionDef) -> Result<()> {
+        let mut inner = self.inner.write();
+        // CREATE OR REPLACE semantics: SQL++ functions "can be updated
+        // using an UPSERT statement instantly" (paper §3.2) — replacing
+        // is allowed.
+        inner.functions.insert(def.name().to_owned(), def);
+        Ok(())
+    }
+
+    /// Registers a native ("Java") UDF.
+    pub fn register_native_function(
+        &self,
+        name: &str,
+        arity: usize,
+        factory: NativeUdfFactory,
+    ) -> Result<()> {
+        self.create_function(FunctionDef::Native { name: name.to_owned(), arity, factory })
+    }
+
+    pub fn function(&self, name: &str) -> Result<FunctionDef> {
+        self.inner
+            .read()
+            .functions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::Unresolved(format!("function {name}")))
+    }
+
+    pub fn has_function(&self, name: &str) -> bool {
+        self.inner.read().functions.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_adm::Value;
+
+    #[test]
+    fn type_dataset_lifecycle() {
+        let c = Catalog::new(2);
+        c.create_type_from_ddl("TweetType", &[("id".into(), "int64".into())]).unwrap();
+        c.create_dataset("Tweets", "TweetType", "id").unwrap();
+        let ds = c.dataset("Tweets").unwrap();
+        ds.insert(Value::object([("id", Value::Int(1))])).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert!(c.dataset("Nope").is_err());
+        assert!(c.create_dataset("Tweets", "TweetType", "id").is_err());
+        assert!(c.create_dataset("T2", "MissingType", "id").is_err());
+    }
+
+    #[test]
+    fn unknown_ddl_type_rejected() {
+        let c = Catalog::new(1);
+        assert!(c.create_type_from_ddl("T", &[("x".into(), "floaty".into())]).is_err());
+    }
+
+    #[test]
+    fn function_replacement_allowed() {
+        let c = Catalog::new(1);
+        let body = Arc::new(crate::ast::Expr::Literal(Value::Int(1)));
+        c.create_function(FunctionDef::Sqlpp {
+            name: "f".into(),
+            params: vec!["x".into()],
+            body: body.clone(),
+        })
+        .unwrap();
+        c.create_function(FunctionDef::Sqlpp { name: "f".into(), params: vec!["x".into()], body })
+            .unwrap();
+        assert!(c.has_function("f"));
+        assert_eq!(c.function("f").unwrap().arity(), 1);
+    }
+}

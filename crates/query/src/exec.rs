@@ -1,0 +1,813 @@
+//! Block evaluation and per-execution state.
+//!
+//! [`ExecContext`] is the unit of *intermediate-state lifetime* from
+//! paper §4.3: everything a stateful UDF builds while enriching —
+//! hash-join build sides, materialized reference snapshots, cached
+//! uncorrelated subquery results, instantiated native UDFs — lives in
+//! one context. The computing model decides how long a context lives:
+//!
+//! * **Model 1 (per record)** — a fresh context per record: maximal
+//!   freshness, maximal overhead;
+//! * **Model 2 (per batch)** — a fresh context per computing job: the
+//!   paper's chosen design;
+//! * **Model 3 (stream/static)** — one context for the whole feed:
+//!   fastest, but blind to reference-data updates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idea_adm::value::Circle;
+use idea_adm::Value;
+use idea_storage::dataset::DatasetSnapshot;
+use parking_lot::RwLock;
+
+use crate::ast::{Expr, FromSource, SelectBlock, SelectClause, SelectItem};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::expr::{eval_expr, eval_with_aggregates};
+use crate::plan::{plan_block, AccessPath, BlockPlan, IndexTarget};
+use crate::udf::NativeUdf;
+use crate::Result;
+
+/// An immutable binding environment (persistent chain; cheap to extend).
+#[derive(Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+struct EnvNode {
+    name: String,
+    value: Arc<Value>,
+    parent: Option<Arc<EnvNode>>,
+}
+
+impl Env {
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Extends the environment with `name = value`.
+    pub fn bind(&self, name: impl Into<String>, value: Arc<Value>) -> Env {
+        Env(Some(Arc::new(EnvNode { name: name.into(), value, parent: self.0.clone() })))
+    }
+
+    /// Convenience for owned values.
+    pub fn bind_value(&self, name: impl Into<String>, value: Value) -> Env {
+        self.bind(name, Arc::new(value))
+    }
+
+    /// Innermost binding of `name`.
+    pub fn get(&self, name: &str) -> Option<&Arc<Value>> {
+        let mut cur = self.0.as_deref();
+        while let Some(node) = cur {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = node.parent.as_deref();
+        }
+        None
+    }
+}
+
+impl std::fmt::Debug for Env {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names = Vec::new();
+        let mut cur = self.0.as_deref();
+        while let Some(node) = cur {
+            names.push(node.name.as_str());
+            cur = node.parent.as_deref();
+        }
+        write!(f, "Env[{}]", names.join(", "))
+    }
+}
+
+/// Shared compiled-plan cache: the query-compiler work a *predeployed*
+/// computing job performs once per feed rather than once per batch
+/// (paper §5.1). Contexts created with a shared cache reuse plans across
+/// batches; contexts with a private cache re-plan (the no-predeploy
+/// ablation).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: RwLock<HashMap<u32, Arc<BlockPlan>>>,
+}
+
+impl PlanCache {
+    pub fn new() -> Arc<PlanCache> {
+        Arc::new(PlanCache::default())
+    }
+
+    pub fn len(&self) -> usize {
+        self.plans.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Execution counters (used by tests, benchmarks and the cluster-model
+/// calibration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub hash_builds: u64,
+    pub hash_build_rows: u64,
+    pub hash_probes: u64,
+    pub materializations: u64,
+    pub index_probes: u64,
+    pub rows_scanned: u64,
+    pub blocks_evaluated: u64,
+    pub udf_calls: u64,
+    pub native_inits: u64,
+    pub subquery_cache_hits: u64,
+}
+
+/// Build-side state cached per (block, from-item).
+pub enum BuildState {
+    /// Materialized (filtered) reference rows.
+    Rows(Vec<Arc<Value>>),
+    /// Hash table: build-key values → matching rows.
+    Hash(HashMap<Vec<Value>, Vec<Arc<Value>>>),
+}
+
+impl BuildState {
+    /// Number of rows held (hash states count all bucket entries).
+    pub fn len(&self) -> usize {
+        match self {
+            BuildState::Rows(r) => r.len(),
+            BuildState::Hash(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Everything one enrichment execution scope holds.
+pub struct ExecContext {
+    catalog: Arc<Catalog>,
+    plan_cache: Arc<PlanCache>,
+    snapshots: HashMap<String, Arc<Vec<DatasetSnapshot>>>,
+    builds: HashMap<(u32, usize), Arc<BuildState>>,
+    uncorrelated: HashMap<u32, Arc<Vec<Value>>>,
+    natives: HashMap<String, Box<dyn NativeUdf>>,
+    params: HashMap<String, Value>,
+    pub stats: ExecStats,
+    pub(crate) depth: usize,
+}
+
+/// UDF recursion limit.
+pub(crate) const MAX_DEPTH: usize = 64;
+
+impl ExecContext {
+    /// A context with a private plan cache (plans rebuilt per context).
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        ExecContext::with_plan_cache(catalog, PlanCache::new())
+    }
+
+    /// A context reusing a shared (predeployed) plan cache.
+    pub fn with_plan_cache(catalog: Arc<Catalog>, plan_cache: Arc<PlanCache>) -> Self {
+        ExecContext {
+            catalog,
+            plan_cache,
+            snapshots: HashMap::new(),
+            builds: HashMap::new(),
+            uncorrelated: HashMap::new(),
+            natives: HashMap::new(),
+            params: HashMap::new(),
+            stats: ExecStats::default(),
+            depth: 0,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Binds a `$name` prepared-statement parameter.
+    pub fn set_param(&mut self, name: impl Into<String>, value: Value) {
+        self.params.insert(name.into(), value);
+    }
+
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.get(name)
+    }
+
+    /// Drops all per-context intermediate state (snapshot pins, build
+    /// sides, caches, native-UDF instances) while keeping the plan
+    /// cache — equivalent to starting a fresh context for the next
+    /// batch, without re-planning.
+    pub fn refresh(&mut self) {
+        self.snapshots.clear();
+        self.builds.clear();
+        self.uncorrelated.clear();
+        self.natives.clear();
+    }
+
+    /// The cached (or newly computed) plan for `block`.
+    pub fn plan_for(&mut self, block: &SelectBlock) -> Result<Arc<BlockPlan>> {
+        if let Some(p) = self.plan_cache.plans.read().get(&block.id) {
+            return Ok(p.clone());
+        }
+        let plan = Arc::new(plan_block(block, &self.catalog)?);
+        self.plan_cache.plans.write().insert(block.id, plan.clone());
+        Ok(plan)
+    }
+
+    /// Pins (or returns the pinned) snapshot set for a dataset: all
+    /// reads of that dataset in this context see one consistent view
+    /// (paper §5.1: updates are picked up by the *next* invocation).
+    pub fn snapshots_for(&mut self, dataset: &str) -> Result<Arc<Vec<DatasetSnapshot>>> {
+        if let Some(s) = self.snapshots.get(dataset) {
+            return Ok(s.clone());
+        }
+        let ds = self.catalog.dataset(dataset)?;
+        let snaps = Arc::new(ds.snapshot_all());
+        self.snapshots.insert(dataset.to_owned(), snaps.clone());
+        Ok(snaps)
+    }
+
+    pub(crate) fn cached_uncorrelated(&self, block_id: u32) -> Option<Arc<Vec<Value>>> {
+        self.uncorrelated.get(&block_id).cloned()
+    }
+
+    pub(crate) fn store_uncorrelated(&mut self, block_id: u32, rows: Arc<Vec<Value>>) {
+        self.uncorrelated.insert(block_id, rows);
+    }
+
+    /// The instantiated native UDF for `name`, creating (initializing)
+    /// it on first use in this context.
+    pub(crate) fn native_instance(&mut self, name: &str) -> Result<&mut Box<dyn NativeUdf>> {
+        if !self.natives.contains_key(name) {
+            let def = self.catalog.function(name)?;
+            let crate::udf::FunctionDef::Native { factory, .. } = def else {
+                return Err(QueryError::Eval(format!("{name} is not a native UDF")));
+            };
+            self.stats.native_inits += 1;
+            self.natives.insert(name.to_owned(), factory());
+        }
+        Ok(self.natives.get_mut(name).unwrap())
+    }
+}
+
+/// Evaluates a select block to its result rows.
+pub fn eval_block(block: &SelectBlock, env: &Env, ctx: &mut ExecContext) -> Result<Vec<Value>> {
+    ctx.stats.blocks_evaluated += 1;
+    let plan = ctx.plan_for(block)?;
+
+    // Pre-SELECT LETs bind before FROM (they can feed FROM sources,
+    // as in the paper's Figure 10 batch template).
+    let mut env = env.clone();
+    for (name, e) in &block.pre_lets {
+        let v = eval_expr(e, &env, ctx)?;
+        env = env.bind_value(name.clone(), v);
+    }
+    let env = &env;
+
+    // FROM: join loop in planned order.
+    let mut rows: Vec<Env> = vec![env.clone()];
+    for fp in &plan.from_order {
+        let item = &block.from[fp.item_idx];
+        let mut next = Vec::new();
+        for renv in &rows {
+            let cands = fetch_candidates(block, fp, &item.source, renv, ctx)?;
+            'cand: for cand in cands.as_slice() {
+                let cenv = renv.bind(item.alias.clone(), cand.clone());
+                for r in &fp.residual {
+                    if !eval_expr(r, &cenv, ctx)?.is_true() {
+                        continue 'cand;
+                    }
+                }
+                next.push(cenv);
+            }
+        }
+        rows = next;
+        if rows.is_empty() && !plan.has_aggregates && block.group_by.is_empty() {
+            // No surviving rows and no aggregate that must still produce
+            // a value — the remaining items cannot add rows either, but
+            // we keep semantics simple by continuing only when needed.
+            break;
+        }
+    }
+
+    // LET bindings, then post-LET filters.
+    let mut bound = Vec::with_capacity(rows.len());
+    'row: for renv in rows {
+        let mut renv = renv;
+        for (name, e) in &block.lets {
+            let v = eval_expr(e, &renv, ctx)?;
+            renv = renv.bind_value(name.clone(), v);
+        }
+        for c in &plan.post_filter {
+            if !eval_expr(c, &renv, ctx)?.is_true() {
+                continue 'row;
+            }
+        }
+        bound.push(renv);
+    }
+
+    if !block.group_by.is_empty() || plan.has_aggregates {
+        return eval_grouped(block, env, bound, ctx);
+    }
+
+    // ORDER BY / LIMIT / SELECT.
+    if !block.order_by.is_empty() {
+        bound = sort_rows(block, bound, ctx, None)?;
+    }
+    let out: Result<Vec<Value>> =
+        bound.iter().map(|renv| project(block, renv, ctx, None)).collect();
+    let mut out = out?;
+    if block.distinct {
+        out = dedup_values(out);
+    }
+    if let Some(limit) = &block.limit {
+        let n = eval_limit(limit, env, ctx)?;
+        out.truncate(n);
+    }
+    Ok(out)
+}
+
+/// Order-preserving deep deduplication (SELECT DISTINCT).
+fn dedup_values(values: Vec<Value>) -> Vec<Value> {
+    let mut seen: std::collections::HashSet<Value> = std::collections::HashSet::new();
+    values.into_iter().filter(|v| seen.insert(v.clone())).collect()
+}
+
+enum CandList {
+    Shared(Arc<BuildState>),
+    Owned(Vec<Arc<Value>>),
+}
+
+impl CandList {
+    fn as_slice(&self) -> &[Arc<Value>] {
+        match self {
+            CandList::Shared(b) => match &**b {
+                BuildState::Rows(r) => r,
+                BuildState::Hash(_) => &[],
+            },
+            CandList::Owned(v) => v,
+        }
+    }
+}
+
+fn fetch_candidates(
+    block: &SelectBlock,
+    fp: &crate::plan::FromPlan,
+    source: &FromSource,
+    renv: &Env,
+    ctx: &mut ExecContext,
+) -> Result<CandList> {
+    match &fp.path {
+        AccessPath::Iterate => {
+            let collection = match source {
+                FromSource::Name(name) => match renv.get(name) {
+                    Some(v) => (**v).clone(),
+                    None => {
+                        // Could still be a dataset created after planning;
+                        // fall back to a snapshot scan.
+                        let snaps = ctx.snapshots_for(name)?;
+                        let mut rows = Vec::new();
+                        for s in snaps.iter() {
+                            rows.extend(s.iter().cloned().map(Arc::new));
+                        }
+                        ctx.stats.rows_scanned += rows.len() as u64;
+                        return Ok(CandList::Owned(apply_filters(rows, &fp.self_filter, block, fp, ctx)?));
+                    }
+                },
+                FromSource::Expr(e) => eval_expr(e, renv, ctx)?,
+            };
+            let items = match collection {
+                Value::Array(items) => items.into_iter().map(Arc::new).collect(),
+                Value::Missing | Value::Null => Vec::new(),
+                other => {
+                    return Err(QueryError::Eval(format!(
+                        "FROM expects an array, got {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            Ok(CandList::Owned(apply_filters(items, &fp.self_filter, block, fp, ctx)?))
+        }
+        AccessPath::Materialize => {
+            let state = materialize(block, fp, ctx)?;
+            Ok(CandList::Shared(state))
+        }
+        AccessPath::HashBuild { build_keys, probe_keys } => {
+            let state = hash_build(block, fp, build_keys, ctx)?;
+            let BuildState::Hash(map) = &*state else { unreachable!("hash path") };
+            let mut key = Vec::with_capacity(probe_keys.len());
+            for k in probe_keys {
+                key.push(eval_expr(k, renv, ctx)?);
+            }
+            ctx.stats.hash_probes += 1;
+            Ok(CandList::Owned(map.get(&key).cloned().unwrap_or_default()))
+        }
+        AccessPath::IndexEq { target, probe_key } => {
+            let FromSource::Name(ds_name) = source else {
+                return Err(QueryError::Eval("index probe requires a dataset".into()));
+            };
+            let key = eval_expr(probe_key, renv, ctx)?;
+            if key.is_unknown() {
+                return Ok(CandList::Owned(Vec::new()));
+            }
+            let ds = ctx.catalog.dataset(ds_name)?;
+            ctx.stats.index_probes += 1;
+            let rows: Vec<Arc<Value>> = match target {
+                IndexTarget::Primary => ds.get(&key).map(Arc::new).into_iter().collect(),
+                IndexTarget::Secondary(index) => {
+                    let mut out = Vec::new();
+                    for p in ds.partitions() {
+                        out.extend(p.index_lookup(index, &key)?.into_iter().map(Arc::new));
+                    }
+                    out
+                }
+            };
+            Ok(CandList::Owned(apply_filters(rows, &fp.self_filter, block, fp, ctx)?))
+        }
+        AccessPath::IndexSpatial { index, region } => {
+            let FromSource::Name(ds_name) = source else {
+                return Err(QueryError::Eval("index probe requires a dataset".into()));
+            };
+            let region = eval_expr(region, renv, ctx)?;
+            let ds = ctx.catalog.dataset(ds_name)?;
+            ctx.stats.index_probes += 1;
+            let mut rows = Vec::new();
+            match region {
+                Value::Circle(c) => {
+                    for p in ds.partitions() {
+                        rows.extend(p.index_query_circle(index, &c)?.into_iter().map(Arc::new));
+                    }
+                }
+                Value::Rectangle(r) => {
+                    for p in ds.partitions() {
+                        rows.extend(p.index_query_rect(index, &r)?.into_iter().map(Arc::new));
+                    }
+                }
+                Value::Point(pt) => {
+                    let c = Circle::new(pt, 0.0);
+                    for p in ds.partitions() {
+                        rows.extend(p.index_query_circle(index, &c)?.into_iter().map(Arc::new));
+                    }
+                }
+                Value::Missing | Value::Null => {}
+                other => {
+                    return Err(QueryError::Eval(format!(
+                        "spatial probe region must be circle/rectangle/point, got {}",
+                        other.type_name()
+                    )))
+                }
+            }
+            Ok(CandList::Owned(apply_filters(rows, &fp.self_filter, block, fp, ctx)?))
+        }
+    }
+}
+
+fn apply_filters(
+    rows: Vec<Arc<Value>>,
+    filters: &[Expr],
+    block: &SelectBlock,
+    fp: &crate::plan::FromPlan,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Arc<Value>>> {
+    if filters.is_empty() {
+        return Ok(rows);
+    }
+    let alias = &block.from[fp.item_idx].alias;
+    let base = Env::new();
+    let mut out = Vec::with_capacity(rows.len());
+    'row: for r in rows {
+        let env = base.bind(alias.clone(), r.clone());
+        for f in filters {
+            if !eval_expr(f, &env, ctx)?.is_true() {
+                continue 'row;
+            }
+        }
+        out.push(r);
+    }
+    Ok(out)
+}
+
+/// Materializes (and caches) the filtered rows of a dataset FROM item.
+fn materialize(
+    block: &SelectBlock,
+    fp: &crate::plan::FromPlan,
+    ctx: &mut ExecContext,
+) -> Result<Arc<BuildState>> {
+    let key = (block.id, fp.item_idx);
+    if let Some(s) = ctx.builds.get(&key) {
+        return Ok(s.clone());
+    }
+    let FromSource::Name(ds_name) = &block.from[fp.item_idx].source else {
+        return Err(QueryError::Eval("materialize requires a dataset".into()));
+    };
+    let snaps = ctx.snapshots_for(ds_name)?;
+    let mut rows = Vec::new();
+    for s in snaps.iter() {
+        rows.extend(s.iter().cloned().map(Arc::new));
+    }
+    ctx.stats.rows_scanned += rows.len() as u64;
+    ctx.stats.materializations += 1;
+    let rows = apply_filters(rows, &fp.self_filter, block, fp, ctx)?;
+    let state = Arc::new(BuildState::Rows(rows));
+    ctx.builds.insert(key, state.clone());
+    Ok(state)
+}
+
+/// Builds (and caches) the hash table for an equality-join FROM item.
+fn hash_build(
+    block: &SelectBlock,
+    fp: &crate::plan::FromPlan,
+    build_keys: &[Expr],
+    ctx: &mut ExecContext,
+) -> Result<Arc<BuildState>> {
+    let key = (block.id, fp.item_idx);
+    if let Some(s) = ctx.builds.get(&key) {
+        return Ok(s.clone());
+    }
+    let FromSource::Name(ds_name) = &block.from[fp.item_idx].source else {
+        return Err(QueryError::Eval("hash build requires a dataset".into()));
+    };
+    let alias = block.from[fp.item_idx].alias.clone();
+    let snaps = ctx.snapshots_for(ds_name)?;
+    let base = Env::new();
+    let mut map: HashMap<Vec<Value>, Vec<Arc<Value>>> = HashMap::new();
+    let mut n_rows = 0u64;
+    for s in snaps.iter() {
+        'row: for rec in s.iter() {
+            n_rows += 1;
+            let rec = Arc::new(rec.clone());
+            let env = base.bind(alias.clone(), rec.clone());
+            for f in &fp.self_filter {
+                if !eval_expr(f, &env, ctx)?.is_true() {
+                    continue 'row;
+                }
+            }
+            let mut kv = Vec::with_capacity(build_keys.len());
+            for k in build_keys {
+                kv.push(eval_expr(k, &env, ctx)?);
+            }
+            if kv.iter().any(Value::is_unknown) {
+                continue; // unknown keys never join
+            }
+            map.entry(kv).or_default().push(rec);
+        }
+    }
+    ctx.stats.rows_scanned += n_rows;
+    ctx.stats.hash_builds += 1;
+    ctx.stats.hash_build_rows += n_rows;
+    let state = Arc::new(BuildState::Hash(map));
+    ctx.builds.insert(key, state.clone());
+    Ok(state)
+}
+
+/// Grouped evaluation (GROUP BY, or implicit group-all for aggregates).
+fn eval_grouped(
+    block: &SelectBlock,
+    outer_env: &Env,
+    rows: Vec<Env>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Value>> {
+    // Partition rows into groups.
+    let mut group_keys: Vec<Vec<Value>> = Vec::new();
+    let mut group_rows: Vec<Vec<Env>> = Vec::new();
+    if block.group_by.is_empty() {
+        // Implicit single group (possibly empty).
+        group_keys.push(Vec::new());
+        group_rows.push(rows);
+    } else {
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for renv in rows {
+            let mut key = Vec::with_capacity(block.group_by.len());
+            for (e, _) in &block.group_by {
+                key.push(eval_expr(e, &renv, ctx)?);
+            }
+            let slot = *index.entry(key.clone()).or_insert_with(|| {
+                group_keys.push(key);
+                group_rows.push(Vec::new());
+                group_keys.len() - 1
+            });
+            group_rows[slot].push(renv);
+        }
+    }
+
+    // Build one (genv, rows) per group: the group environment is the
+    // first row's bindings (group keys are constant within a group)
+    // extended with explicit group aliases.
+    struct Group {
+        genv: Env,
+        rows: Vec<Env>,
+    }
+    let mut groups = Vec::with_capacity(group_keys.len());
+    for (key, rows) in group_keys.into_iter().zip(group_rows) {
+        let mut genv = rows.first().cloned().unwrap_or_else(|| outer_env.clone());
+        for ((_, alias), kv) in block.group_by.iter().zip(key) {
+            if let Some(a) = alias {
+                genv = genv.bind_value(a.clone(), kv);
+            }
+        }
+        groups.push(Group { genv, rows });
+    }
+
+    // HAVING.
+    if let Some(h) = &block.having {
+        let mut kept = Vec::with_capacity(groups.len());
+        for g in groups {
+            if eval_with_aggregates(h, &g.rows, &g.genv, ctx)?.is_true() {
+                kept.push(g);
+            }
+        }
+        groups = kept;
+    }
+
+    // ORDER BY over groups.
+    if !block.order_by.is_empty() {
+        let mut keyed: Vec<(Vec<Value>, Group)> = Vec::with_capacity(groups.len());
+        for g in groups {
+            let mut keys = Vec::with_capacity(block.order_by.len());
+            for (e, _) in &block.order_by {
+                keys.push(eval_with_aggregates(e, &g.rows, &g.genv, ctx)?);
+            }
+            keyed.push((keys, g));
+        }
+        keyed.sort_by(|(a, _), (b, _)| compare_order_keys(a, b, &block.order_by));
+        groups = keyed.into_iter().map(|(_, g)| g).collect();
+    }
+
+    if let Some(limit) = &block.limit {
+        let n = eval_limit(limit, outer_env, ctx)?;
+        groups.truncate(n);
+    }
+
+    let out: Result<Vec<Value>> = groups
+        .iter()
+        .map(|g| project(block, &g.genv, ctx, Some(&g.rows)))
+        .collect();
+    let mut out = out?;
+    if block.distinct {
+        out = dedup_values(out);
+    }
+    Ok(out)
+}
+
+fn compare_order_keys(
+    a: &[Value],
+    b: &[Value],
+    order_by: &[(Expr, bool)],
+) -> std::cmp::Ordering {
+    for (i, (_, asc)) in order_by.iter().enumerate() {
+        let ord = a[i].cmp(&b[i]);
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+fn sort_rows(
+    block: &SelectBlock,
+    rows: Vec<Env>,
+    ctx: &mut ExecContext,
+    group_rows: Option<&[Env]>,
+) -> Result<Vec<Env>> {
+    debug_assert!(group_rows.is_none());
+    let mut keyed: Vec<(Vec<Value>, Env)> = Vec::with_capacity(rows.len());
+    for renv in rows {
+        let mut keys = Vec::with_capacity(block.order_by.len());
+        for (e, _) in &block.order_by {
+            keys.push(eval_expr(e, &renv, ctx)?);
+        }
+        keyed.push((keys, renv));
+    }
+    keyed.sort_by(|(a, _), (b, _)| compare_order_keys(a, b, &block.order_by));
+    Ok(keyed.into_iter().map(|(_, r)| r).collect())
+}
+
+fn eval_limit(limit: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<usize> {
+    match eval_expr(limit, env, ctx)? {
+        Value::Int(n) if n >= 0 => Ok(n as usize),
+        other => Err(QueryError::Eval(format!("LIMIT must be a non-negative int, got {other}"))),
+    }
+}
+
+/// Evaluates the SELECT clause for one output row/group.
+fn project(
+    block: &SelectBlock,
+    env: &Env,
+    ctx: &mut ExecContext,
+    group_rows: Option<&[Env]>,
+) -> Result<Value> {
+    let eval_item = |e: &Expr, ctx: &mut ExecContext| -> Result<Value> {
+        match group_rows {
+            Some(rows) => eval_with_aggregates(e, rows, env, ctx),
+            None => eval_expr(e, env, ctx),
+        }
+    };
+    match &block.select {
+        SelectClause::Value(e) => eval_item(e, ctx),
+        SelectClause::Items(items) => {
+            let mut obj = idea_adm::value::Object::new();
+            for (i, item) in items.iter().enumerate() {
+                match item {
+                    SelectItem::Star(alias) => {
+                        let v = env.get(alias).ok_or_else(|| {
+                            QueryError::Unresolved(format!("variable {alias} in {alias}.*"))
+                        })?;
+                        match &**v {
+                            Value::Object(o) => obj.extend_from(o),
+                            other => {
+                                return Err(QueryError::Eval(format!(
+                                    "{alias}.* requires an object, got {}",
+                                    other.type_name()
+                                )))
+                            }
+                        }
+                    }
+                    SelectItem::Expr(e, alias) => {
+                        let name = alias.clone().unwrap_or_else(|| derived_name(e, i));
+                        let v = eval_item(e, ctx)?;
+                        if !matches!(v, Value::Missing) {
+                            obj.set(name, v);
+                        }
+                    }
+                }
+            }
+            Ok(Value::Object(obj))
+        }
+    }
+}
+
+fn derived_name(e: &Expr, idx: usize) -> String {
+    match e {
+        Expr::Field(_, f) => f.clone(),
+        Expr::Ident(n) => n.clone(),
+        _ => format!("${}", idx + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn env_shadowing_and_lookup() {
+        let e = Env::new();
+        assert!(e.get("x").is_none());
+        let e1 = e.bind_value("x", Value::Int(1));
+        let e2 = e1.bind_value("x", Value::Int(2)).bind_value("y", Value::Int(3));
+        assert_eq!(e1.get("x").map(|v| (**v).clone()), Some(Value::Int(1)));
+        assert_eq!(e2.get("x").map(|v| (**v).clone()), Some(Value::Int(2)), "inner shadows");
+        assert_eq!(e2.get("y").map(|v| (**v).clone()), Some(Value::Int(3)));
+        // The original env is unaffected (persistent structure).
+        assert!(e.get("x").is_none());
+    }
+
+    #[test]
+    fn shared_plan_cache_reused_across_contexts() {
+        let c = Catalog::new(1);
+        c.create_type_from_ddl("T", &[("id".into(), "int64".into())]).unwrap();
+        c.create_dataset("D", "T", "id").unwrap();
+        let block = crate::parser::parse_query("SELECT VALUE d.id FROM D d").unwrap();
+        let cache = PlanCache::new();
+        let mut ctx1 = ExecContext::with_plan_cache(c.clone(), cache.clone());
+        ctx1.plan_for(&block).unwrap();
+        assert_eq!(cache.len(), 1);
+        let mut ctx2 = ExecContext::with_plan_cache(c, cache.clone());
+        ctx2.plan_for(&block).unwrap();
+        assert_eq!(cache.len(), 1, "second context reuses the predeployed plan");
+    }
+
+    #[test]
+    fn refresh_drops_state_keeps_plans() {
+        let c = Catalog::new(1);
+        c.create_type_from_ddl("T", &[("id".into(), "int64".into())]).unwrap();
+        c.create_dataset("D", "T", "id").unwrap();
+        c.dataset("D").unwrap().insert(Value::object([("id", Value::Int(1))])).unwrap();
+        let block = crate::parser::parse_query("SELECT VALUE d.id FROM D d").unwrap();
+        let mut ctx = ExecContext::new(c.clone());
+        let before = eval_block(&block, &Env::new(), &mut ctx).unwrap();
+        assert_eq!(before.len(), 1);
+        // New record after the snapshot pin: invisible until refresh.
+        c.dataset("D").unwrap().insert(Value::object([("id", Value::Int(2))])).unwrap();
+        let stale = eval_block(&block, &Env::new(), &mut ctx).unwrap();
+        assert_eq!(stale.len(), 1, "pinned snapshot");
+        ctx.refresh();
+        let fresh = eval_block(&block, &Env::new(), &mut ctx).unwrap();
+        assert_eq!(fresh.len(), 2, "refresh re-pins");
+    }
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order() {
+        let vals = vec![Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2), Value::Int(1)];
+        assert_eq!(dedup_values(vals), vec![Value::Int(3), Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn build_state_len() {
+        let rows = BuildState::Rows(vec![Arc::new(Value::Int(1)), Arc::new(Value::Int(2))]);
+        assert_eq!(rows.len(), 2);
+        let mut m = HashMap::new();
+        m.insert(vec![Value::Int(1)], vec![Arc::new(Value::Int(1))]);
+        assert_eq!(BuildState::Hash(m).len(), 1);
+        assert!(!rows.is_empty());
+    }
+}

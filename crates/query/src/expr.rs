@@ -1,0 +1,403 @@
+//! Expression evaluation.
+
+use std::sync::Arc;
+
+use idea_adm::functions::numeric::{arith, ArithOp};
+use idea_adm::functions::{self};
+use idea_adm::Value;
+
+use crate::ast::{BinOp, Expr, SelectBlock};
+use crate::error::QueryError;
+use crate::exec::{eval_block, Env, ExecContext, MAX_DEPTH};
+use crate::plan::AGGREGATES;
+use crate::udf::FunctionDef;
+use crate::Result;
+
+static MISSING: Value = Value::Missing;
+
+/// Resolves ident/field chains by reference (the hot path for
+/// `t.country`-style accesses) without cloning the whole record.
+fn eval_path_ref<'a>(e: &Expr, env: &'a Env) -> Option<&'a Value> {
+    match e {
+        Expr::Ident(n) => env.get(n).map(|v| v.as_ref()),
+        Expr::Field(base, f) => match eval_path_ref(base, env)? {
+            Value::Object(o) => Some(o.get(f).unwrap_or(&MISSING)),
+            _ => Some(&MISSING),
+        },
+        _ => None,
+    }
+}
+
+/// Evaluates `e` under `env`.
+pub fn eval_expr(e: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<Value> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Ident(name) => match env.get(name) {
+            Some(v) => Ok((**v).clone()),
+            None => Err(QueryError::Unresolved(format!("variable {name}"))),
+        },
+        Expr::Param(name) => ctx
+            .param(name)
+            .cloned()
+            .ok_or_else(|| QueryError::Unresolved(format!("parameter ${name}"))),
+        Expr::Field(..) => match eval_path_ref(e, env) {
+            Some(v) => Ok(v.clone()),
+            None => {
+                // Base is a computed expression (e.g. f(x).field).
+                let Expr::Field(base, f) = e else { unreachable!() };
+                match eval_expr(base, env, ctx)? {
+                    Value::Object(o) => Ok(o.get(f).cloned().unwrap_or(Value::Missing)),
+                    _ => Ok(Value::Missing),
+                }
+            }
+        },
+        Expr::Index(base, idx) => {
+            let b = eval_expr(base, env, ctx)?;
+            let i = eval_expr(idx, env, ctx)?;
+            match (b, i) {
+                (Value::Array(items), Value::Int(n)) => {
+                    if n >= 0 && (n as usize) < items.len() {
+                        Ok(items[n as usize].clone())
+                    } else {
+                        Ok(Value::Missing)
+                    }
+                }
+                _ => Ok(Value::Missing),
+            }
+        }
+        Expr::Not(inner) => match eval_expr(inner, env, ctx)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            Value::Missing => Ok(Value::Missing),
+            Value::Null => Ok(Value::Null),
+            other => Err(QueryError::Eval(format!("NOT expects boolean, got {}", other.type_name()))),
+        },
+        Expr::Neg(inner) => match eval_expr(inner, env, ctx)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            v if v.is_unknown() => Ok(v),
+            other => Err(QueryError::Eval(format!("unary '-' expects numeric, got {}", other.type_name()))),
+        },
+        Expr::Binary(op, a, b) => eval_binary(*op, a, b, env, ctx),
+        Expr::Case { operand, whens, otherwise } => {
+            let op_val = operand.as_deref().map(|o| eval_expr(o, env, ctx)).transpose()?;
+            for (cond, val) in whens {
+                let c = eval_expr(cond, env, ctx)?;
+                let fire = match &op_val {
+                    Some(o) => o.cmp(&c) == std::cmp::Ordering::Equal,
+                    None => c.is_true(),
+                };
+                if fire {
+                    return eval_expr(val, env, ctx);
+                }
+            }
+            match otherwise {
+                Some(o) => eval_expr(o, env, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Call { name, args } => eval_call(name, args, env, ctx),
+        Expr::Wildcard => Err(QueryError::Eval("'*' is only valid inside count(*)".into())),
+        Expr::Exists(inner) => {
+            let v = eval_expr(inner, env, ctx)?;
+            Ok(Value::Bool(match v {
+                Value::Array(items) => !items.is_empty(),
+                Value::Missing | Value::Null => false,
+                _ => true,
+            }))
+        }
+        Expr::In(lhs, rhs) => {
+            let l = eval_expr(lhs, env, ctx)?;
+            if l.is_unknown() {
+                return Ok(Value::Null);
+            }
+            let r = eval_expr(rhs, env, ctx)?;
+            match r {
+                Value::Array(items) => Ok(Value::Bool(
+                    items.iter().any(|i| i.cmp(&l) == std::cmp::Ordering::Equal),
+                )),
+                Value::Missing | Value::Null => Ok(Value::Null),
+                other => Err(QueryError::Eval(format!("IN expects an array, got {}", other.type_name()))),
+            }
+        }
+        Expr::Subquery(block) => eval_subquery(block, env, ctx).map(Value::Array),
+        Expr::Object(fields) => {
+            let mut obj = idea_adm::value::Object::with_capacity(fields.len());
+            for (k, v) in fields {
+                let val = eval_expr(v, env, ctx)?;
+                if !matches!(val, Value::Missing) {
+                    obj.set(k.clone(), val);
+                }
+            }
+            Ok(Value::Object(obj))
+        }
+        Expr::Array(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(eval_expr(i, env, ctx)?);
+            }
+            Ok(Value::Array(out))
+        }
+    }
+}
+
+/// Evaluates a subquery, using the per-context cache when the block is
+/// uncorrelated (none of its free identifiers are bound in `env`) — the
+/// paper's once-per-batch "intermediate state" for reference-only
+/// subqueries like the top-10-countries list of Figure 18.
+fn eval_subquery(block: &Arc<SelectBlock>, env: &Env, ctx: &mut ExecContext) -> Result<Vec<Value>> {
+    let plan = ctx.plan_for(block)?;
+    let correlated = plan.free_idents.iter().any(|id| env.get(id).is_some());
+    if !correlated {
+        if let Some(cached) = ctx.cached_uncorrelated(block.id) {
+            ctx.stats.subquery_cache_hits += 1;
+            return Ok((*cached).clone());
+        }
+        let rows = eval_block(block, &Env::new(), ctx)?;
+        ctx.store_uncorrelated(block.id, Arc::new(rows.clone()));
+        return Ok(rows);
+    }
+    eval_block(block, env, ctx)
+}
+
+fn eval_binary(op: BinOp, a: &Expr, b: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<Value> {
+    match op {
+        BinOp::And => {
+            // Three-valued logic with short-circuit: false dominates.
+            let l = eval_expr(a, env, ctx)?;
+            if matches!(l, Value::Bool(false)) {
+                return Ok(Value::Bool(false));
+            }
+            let r = eval_expr(b, env, ctx)?;
+            Ok(match (bool3(&l)?, bool3(&r)?) {
+                (Some(true), Some(true)) => Value::Bool(true),
+                (_, Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        BinOp::Or => {
+            let l = eval_expr(a, env, ctx)?;
+            if matches!(l, Value::Bool(true)) {
+                return Ok(Value::Bool(true));
+            }
+            let r = eval_expr(b, env, ctx)?;
+            Ok(match (bool3(&l)?, bool3(&r)?) {
+                (Some(false), Some(false)) => Value::Bool(false),
+                (_, Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let l = eval_expr(a, env, ctx)?;
+            let r = eval_expr(b, env, ctx)?;
+            if matches!(l, Value::Missing) || matches!(r, Value::Missing) {
+                return Ok(Value::Missing);
+            }
+            if matches!(l, Value::Null) || matches!(r, Value::Null) {
+                return Ok(Value::Null);
+            }
+            let ord = l.cmp(&r);
+            Ok(Value::Bool(match op {
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                BinOp::Neq => ord != std::cmp::Ordering::Equal,
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::Add => Ok(arith(ArithOp::Add, &eval_expr(a, env, ctx)?, &eval_expr(b, env, ctx)?)?),
+        BinOp::Sub => Ok(arith(ArithOp::Sub, &eval_expr(a, env, ctx)?, &eval_expr(b, env, ctx)?)?),
+        BinOp::Mul => Ok(arith(ArithOp::Mul, &eval_expr(a, env, ctx)?, &eval_expr(b, env, ctx)?)?),
+        BinOp::Div => Ok(arith(ArithOp::Div, &eval_expr(a, env, ctx)?, &eval_expr(b, env, ctx)?)?),
+        BinOp::Mod => Ok(arith(ArithOp::Mod, &eval_expr(a, env, ctx)?, &eval_expr(b, env, ctx)?)?),
+    }
+}
+
+fn bool3(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Missing | Value::Null => Ok(None),
+        other => Err(QueryError::Eval(format!(
+            "boolean operator expects boolean, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn eval_call(name: &str, args: &[Expr], env: &Env, ctx: &mut ExecContext) -> Result<Value> {
+    if AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a)) {
+        return Err(QueryError::Eval(format!(
+            "aggregate {name}() outside a grouping context"
+        )));
+    }
+    // User-defined functions shadow nothing: builtins win on name clash.
+    if !is_builtin(name) && ctx.catalog().has_function(name) {
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(eval_expr(a, env, ctx)?);
+        }
+        return apply_function(ctx, name, &vals);
+    }
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval_expr(a, env, ctx)?);
+    }
+    functions::dispatch(name, &vals).map_err(QueryError::from)
+}
+
+fn is_builtin(name: &str) -> bool {
+    functions::BUILTIN_NAMES.iter().any(|b| b.eq_ignore_ascii_case(name))
+}
+
+/// Invokes a registered function (SQL++ or native) on evaluated
+/// arguments. This is also the entry point the ingestion framework's UDF
+/// evaluator uses per record.
+pub fn apply_function(ctx: &mut ExecContext, name: &str, args: &[Value]) -> Result<Value> {
+    let def = ctx.catalog().function(name)?;
+    def.check_arity(args.len())?;
+    ctx.stats.udf_calls += 1;
+    match def {
+        FunctionDef::Sqlpp { params, body, .. } => {
+            if ctx.depth >= MAX_DEPTH {
+                return Err(QueryError::Eval(format!("UDF recursion too deep in {name}()")));
+            }
+            let mut env = Env::new();
+            for (p, v) in params.iter().zip(args) {
+                env = env.bind_value(p.clone(), v.clone());
+            }
+            ctx.depth += 1;
+            let out = eval_expr(&body, &env, ctx);
+            ctx.depth -= 1;
+            out
+        }
+        FunctionDef::Native { name, .. } => {
+            let udf = ctx.native_instance(&name)?;
+            udf.evaluate(args)
+        }
+    }
+}
+
+/// Evaluates `e` in a grouping context: aggregate calls are computed
+/// over `rows`, everything else under `genv`.
+pub fn eval_with_aggregates(
+    e: &Expr,
+    rows: &[Env],
+    genv: &Env,
+    ctx: &mut ExecContext,
+) -> Result<Value> {
+    let rewritten = subst_aggregates(e, rows, ctx)?;
+    eval_expr(&rewritten, genv, ctx)
+}
+
+fn subst_aggregates(e: &Expr, rows: &[Env], ctx: &mut ExecContext) -> Result<Expr> {
+    Ok(match e {
+        Expr::Call { name, args } if AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a)) => {
+            Expr::Literal(compute_aggregate(name, args, rows, ctx)?)
+        }
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| subst_aggregates(a, rows, ctx))
+                .collect::<Result<Vec<_>>>()?,
+        },
+        Expr::Field(b, f) => {
+            Expr::Field(Box::new(subst_aggregates(b, rows, ctx)?), f.clone())
+        }
+        Expr::Not(b) => Expr::Not(Box::new(subst_aggregates(b, rows, ctx)?)),
+        Expr::Neg(b) => Expr::Neg(Box::new(subst_aggregates(b, rows, ctx)?)),
+        Expr::Exists(b) => Expr::Exists(Box::new(subst_aggregates(b, rows, ctx)?)),
+        Expr::Index(a, b) => Expr::Index(
+            Box::new(subst_aggregates(a, rows, ctx)?),
+            Box::new(subst_aggregates(b, rows, ctx)?),
+        ),
+        Expr::Binary(op, a, b) => Expr::Binary(
+            *op,
+            Box::new(subst_aggregates(a, rows, ctx)?),
+            Box::new(subst_aggregates(b, rows, ctx)?),
+        ),
+        Expr::In(a, b) => Expr::In(
+            Box::new(subst_aggregates(a, rows, ctx)?),
+            Box::new(subst_aggregates(b, rows, ctx)?),
+        ),
+        Expr::Case { operand, whens, otherwise } => Expr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(subst_aggregates(o, rows, ctx)?)),
+                None => None,
+            },
+            whens: whens
+                .iter()
+                .map(|(c, v)| {
+                    Ok((subst_aggregates(c, rows, ctx)?, subst_aggregates(v, rows, ctx)?))
+                })
+                .collect::<Result<Vec<_>>>()?,
+            otherwise: match otherwise {
+                Some(o) => Some(Box::new(subst_aggregates(o, rows, ctx)?)),
+                None => None,
+            },
+        },
+        Expr::Object(fields) => Expr::Object(
+            fields
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), subst_aggregates(v, rows, ctx)?)))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Expr::Array(items) => Expr::Array(
+            items
+                .iter()
+                .map(|i| subst_aggregates(i, rows, ctx))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        // Subqueries keep their own aggregation scope; leaves unchanged.
+        Expr::Subquery(_) | Expr::Literal(_) | Expr::Ident(_) | Expr::Param(_) | Expr::Wildcard => {
+            e.clone()
+        }
+    })
+}
+
+fn compute_aggregate(
+    name: &str,
+    args: &[Expr],
+    rows: &[Env],
+    ctx: &mut ExecContext,
+) -> Result<Value> {
+    let lname = name.to_ascii_lowercase();
+    if args.len() != 1 {
+        return Err(QueryError::Eval(format!("{name}() expects one argument")));
+    }
+    if matches!(args[0], Expr::Wildcard) {
+        if lname == "count" {
+            return Ok(Value::Int(rows.len() as i64));
+        }
+        return Err(QueryError::Eval(format!("{name}(*) is not defined")));
+    }
+    let mut vals = Vec::with_capacity(rows.len());
+    for renv in rows {
+        let v = eval_expr(&args[0], renv, ctx)?;
+        if !v.is_unknown() {
+            vals.push(v);
+        }
+    }
+    match lname.as_str() {
+        "count" => Ok(Value::Int(vals.len() as i64)),
+        "min" => Ok(vals.into_iter().min().unwrap_or(Value::Null)),
+        "max" => Ok(vals.into_iter().max().unwrap_or(Value::Null)),
+        "sum" | "avg" => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let n = vals.len() as i64;
+            let mut acc = Value::Int(0);
+            for v in vals {
+                acc = arith(ArithOp::Add, &acc, &v).map_err(QueryError::from)?;
+            }
+            if lname == "avg" {
+                Ok(arith(ArithOp::Div, &acc, &Value::Int(n)).map_err(QueryError::from)?)
+            } else {
+                Ok(acc)
+            }
+        }
+        other => Err(QueryError::Eval(format!("unknown aggregate {other}()"))),
+    }
+}

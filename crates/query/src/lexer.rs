@@ -1,0 +1,357 @@
+//! SQL++ lexer.
+
+use crate::error::QueryError;
+use crate::Result;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved). May contain `#`
+    /// for namespaced UDFs (`testlib#removeSpecial`).
+    Ident(String),
+    /// `$name` prepared-statement parameter.
+    Param(String),
+    Str(String),
+    Int(i64),
+    Double(f64),
+    /// `/*+ hint */`
+    Hint(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Keyword test, case-insensitive.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`, skipping whitespace, `--` line comments and
+/// `/* */` block comments (except `/*+ */` hints, which are tokens).
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let is_hint = b.get(i + 2) == Some(&b'+');
+                let start = i + if is_hint { 3 } else { 2 };
+                let mut j = start;
+                while j + 1 < b.len() && !(b[j] == b'*' && b[j + 1] == b'/') {
+                    j += 1;
+                }
+                if j + 1 >= b.len() {
+                    return Err(QueryError::Syntax(format!("unterminated comment at byte {i}")));
+                }
+                if is_hint {
+                    let text = std::str::from_utf8(&b[start..j])
+                        .map_err(|_| QueryError::Syntax("non-UTF-8 hint".into()))?;
+                    out.push(Token::Hint(text.trim().to_owned()));
+                }
+                i = j + 2;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    match b.get(j) {
+                        None => {
+                            return Err(QueryError::Syntax(format!(
+                                "unterminated string starting at byte {i}"
+                            )))
+                        }
+                        Some(&q) if q == quote => break,
+                        Some(b'\\') => {
+                            let esc = b.get(j + 1).ok_or_else(|| {
+                                QueryError::Syntax("unterminated escape".into())
+                            })?;
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                other => *other as char,
+                            });
+                            j += 2;
+                        }
+                        Some(&ch) if ch < 0x80 => {
+                            s.push(ch as char);
+                            j += 1;
+                        }
+                        Some(_) => {
+                            // Multi-byte UTF-8: copy the whole scalar.
+                            let rest = std::str::from_utf8(&b[j..])
+                                .map_err(|_| QueryError::Syntax("non-UTF-8 string".into()))?;
+                            let ch = rest.chars().next().unwrap();
+                            s.push(ch);
+                            j += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_double = false;
+                while i < b.len() {
+                    match b[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if b.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                            is_double = true;
+                            i += 1;
+                        }
+                        b'e' | b'E'
+                            if b.get(i + 1).is_some_and(|n| {
+                                n.is_ascii_digit() || *n == b'+' || *n == b'-'
+                            }) =>
+                        {
+                            is_double = true;
+                            i += 2;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                if is_double {
+                    out.push(Token::Double(text.parse().map_err(|_| {
+                        QueryError::Syntax(format!("bad number '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        QueryError::Syntax(format!("bad number '{text}'"))
+                    })?));
+                }
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(QueryError::Syntax(format!("bare '$' at byte {i}")));
+                }
+                out.push(Token::Param(
+                    std::str::from_utf8(&b[start..j]).unwrap().to_owned(),
+                ));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'`' => {
+                if c == b'`' {
+                    // Backquoted identifier.
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && b[j] != b'`' {
+                        j += 1;
+                    }
+                    if j >= b.len() {
+                        return Err(QueryError::Syntax("unterminated `identifier`".into()));
+                    }
+                    out.push(Token::Ident(
+                        std::str::from_utf8(&b[start..j]).unwrap().to_owned(),
+                    ));
+                    i = j + 1;
+                } else {
+                    let start = i;
+                    while i < b.len()
+                        && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'#')
+                    {
+                        i += 1;
+                    }
+                    out.push(Token::Ident(
+                        std::str::from_utf8(&b[start..i]).unwrap().to_owned(),
+                    ));
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            b'}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Neq);
+                i += 2;
+            }
+            b'<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Neq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(QueryError::Syntax(format!(
+                    "unexpected character '{}' at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT t.*, 1.5 FROM Tweets t WHERE a >= 'x' -- comment\n;").unwrap();
+        assert!(toks.contains(&Token::Double(1.5)));
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Str("x".into())));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn hints_survive_comments_dont() {
+        let toks = lex("FROM m /*+ noindex */ x /* plain */ y").unwrap();
+        assert!(toks.contains(&Token::Hint("noindex".into())));
+        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Ident(_))).count(), 4);
+    }
+
+    #[test]
+    fn namespaced_udf_name() {
+        let toks = lex("testlib#removeSpecial(x)").unwrap();
+        assert_eq!(toks[0], Token::Ident("testlib#removeSpecial".into()));
+    }
+
+    #[test]
+    fn params() {
+        let toks = lex("WHERE t.id = $x").unwrap();
+        assert!(toks.contains(&Token::Param("x".into())));
+    }
+
+    #[test]
+    fn number_then_dot_field() {
+        // `tweet.country` must not eat the dot into a number.
+        let toks = lex("a.b 1.5 2.x").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into()),
+                Token::Double(1.5),
+                Token::Int(2),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("/* abc").is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! # idea-query — a SQL++ subset for data enrichment
+//!
+//! AsterixDB enriches ingested data with SQL++ UDFs (paper §3). This
+//! crate provides the SQL++ machinery the ingestion framework needs:
+//!
+//! * [`parser`] — lexer + recursive-descent parser for the subset used
+//!   by the paper's DDL and all eight evaluation UDFs;
+//! * [`catalog::Catalog`] — types, (partitioned) datasets, indexes, and
+//!   the UDF registry (SQL++ *and* native "Java-style" functions);
+//! * [`plan`] — access-method planning: hash-build joins by default,
+//!   index-nested-loop probes for spatial predicates (R-tree) and under
+//!   the `indexnl` hint, materialize-and-filter as the fallback
+//!   (paper §4.3.4's three cases);
+//! * [`exec`] — evaluation with an explicit [`exec::ExecContext`] whose
+//!   lifetime *is* the computing model: per record (Model 1), per batch
+//!   (Model 2), or per feed (Model 3);
+//! * [`ddl`] — statement execution (`CREATE TYPE/DATASET/INDEX/
+//!   FUNCTION`, `INSERT`/`UPSERT`/`DELETE`, queries).
+//!
+//! ```
+//! use idea_query::{catalog::Catalog, ddl};
+//!
+//! let catalog = Catalog::new(1);
+//! ddl::run_sqlpp(&catalog, "
+//!     CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+//!     CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+//!     INSERT INTO Tweets ([{\"id\": 0, \"text\": \"Let there be light\"}]);
+//! ").unwrap();
+//! let v = ddl::run_query(&catalog, "SELECT VALUE t.text FROM Tweets t").unwrap();
+//! assert_eq!(v.as_array().unwrap().len(), 1);
+//! ```
+
+pub mod ast;
+pub mod catalog;
+pub mod ddl;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod udf;
+
+pub use catalog::Catalog;
+pub use ddl::{execute, run_query, run_sqlpp, StatementResult};
+pub use error::QueryError;
+pub use exec::{Env, ExecContext, ExecStats, PlanCache};
+pub use expr::{apply_function, eval_expr};
+pub use udf::{FunctionDef, NativeUdf, NativeUdfFactory};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,912 @@
+//! Recursive-descent parser for the SQL++ subset.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::lexer::{lex, Token};
+use crate::Result;
+
+/// Clause keywords that terminate implicit aliases and expressions.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "having", "order", "limit", "let", "by", "value", "as", "distinct",
+    "asc", "desc", "and", "or", "not", "in", "exists", "case", "when", "then", "else", "end",
+    "to", "apply", "with", "on", "into", "primary", "key", "type",
+];
+
+fn is_reserved(s: &str) -> bool {
+    RESERVED.iter().any(|r| s.eq_ignore_ascii_case(r))
+}
+
+/// Parses a sequence of `;`-separated statements.
+pub fn parse_statements(input: &str) -> Result<Vec<Statement>> {
+    let mut p = Parser::new(input)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semi) {}
+        if p.peek() == &Token::Eof {
+            break;
+        }
+        out.push(p.parse_statement()?);
+    }
+    Ok(out)
+}
+
+/// Parses a single statement (trailing `;` allowed).
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let mut stmts = parse_statements(input)?;
+    match stmts.len() {
+        1 => Ok(stmts.pop().unwrap()),
+        n => Err(QueryError::Syntax(format!("expected one statement, found {n}"))),
+    }
+}
+
+/// Parses a standalone expression (used for tests and UDF bodies given
+/// as text).
+pub fn parse_expression(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Parses a standalone query (a select block, with optional leading
+/// LETs).
+pub fn parse_query(input: &str) -> Result<Arc<SelectBlock>> {
+    let mut p = Parser::new(input)?;
+    let b = p.parse_select_block()?;
+    while p.eat(&Token::Semi) {}
+    p.expect_eof()?;
+    Ok(Arc::new(b))
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser { toks: lex(input)?, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn peek2(&self) -> &Token {
+        self.toks.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(QueryError::Syntax(format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(QueryError::Syntax(format!("expected '{kw}', found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(QueryError::Syntax(format!("trailing tokens: {:?}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(QueryError::Syntax(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Str(s) => Ok(s),
+            other => Err(QueryError::Syntax(format!("expected string, found {other:?}"))),
+        }
+    }
+
+    // ---- statements ------------------------------------------------
+
+    fn parse_statement(&mut self) -> Result<Statement> {
+        if self.peek().is_kw("create") {
+            return self.parse_create();
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let dataset = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let source = self.parse_query_or_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::Insert { dataset, source });
+        }
+        if self.eat_kw("upsert") {
+            self.expect_kw("into")?;
+            let dataset = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let source = self.parse_query_or_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::Upsert { dataset, source });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let dataset = self.expect_ident()?;
+            let alias = match self.peek() {
+                Token::Ident(s) if !is_reserved(s) => self.expect_ident()?,
+                _ => dataset.clone(),
+            };
+            let where_clause =
+                if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+            return Ok(Statement::Delete { dataset, alias, where_clause });
+        }
+        if self.eat_kw("connect") {
+            self.expect_kw("feed")?;
+            let feed = self.expect_ident()?;
+            self.expect_kw("to")?;
+            self.expect_kw("dataset")?;
+            let dataset = self.expect_ident()?;
+            let function = if self.eat_kw("apply") {
+                self.expect_kw("function")?;
+                Some(self.expect_ident()?)
+            } else {
+                None
+            };
+            return Ok(Statement::ConnectFeed { feed, dataset, function });
+        }
+        if self.eat_kw("start") {
+            self.expect_kw("feed")?;
+            return Ok(Statement::StartFeed { name: self.expect_ident()? });
+        }
+        if self.eat_kw("stop") {
+            self.expect_kw("feed")?;
+            return Ok(Statement::StopFeed { name: self.expect_ident()? });
+        }
+        if self.peek().is_kw("select") || self.peek().is_kw("let") {
+            let block = self.parse_select_block()?;
+            return Ok(Statement::Query(Expr::Subquery(Arc::new(block))));
+        }
+        Err(QueryError::Syntax(format!("unexpected statement start: {:?}", self.peek())))
+    }
+
+    fn parse_create(&mut self) -> Result<Statement> {
+        self.expect_kw("create")?;
+        if self.eat_kw("type") {
+            let name = self.expect_ident()?;
+            self.expect_kw("as")?;
+            let _ = self.eat_kw("open"); // OPEN is the only supported mode
+            self.expect(&Token::LBrace)?;
+            let mut fields = Vec::new();
+            if !self.eat(&Token::RBrace) {
+                loop {
+                    let fname = self.expect_ident()?;
+                    self.expect(&Token::Colon)?;
+                    let ftype = self.expect_ident()?;
+                    fields.push((fname, ftype));
+                    if self.eat(&Token::RBrace) {
+                        break;
+                    }
+                    self.expect(&Token::Comma)?;
+                }
+            }
+            return Ok(Statement::CreateType { name, fields });
+        }
+        if self.eat_kw("dataset") {
+            let name = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let type_name = self.expect_ident()?;
+            self.expect(&Token::RParen)?;
+            self.expect_kw("primary")?;
+            self.expect_kw("key")?;
+            let primary_key = self.expect_ident()?;
+            return Ok(Statement::CreateDataset { name, type_name, primary_key });
+        }
+        if self.eat_kw("index") {
+            let name = self.expect_ident()?;
+            self.expect_kw("on")?;
+            let dataset = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let field = self.expect_ident()?;
+            self.expect(&Token::RParen)?;
+            let kind = if self.eat_kw("type") {
+                let k = self.expect_ident()?;
+                match k.to_ascii_lowercase().as_str() {
+                    "btree" => IndexKindAst::BTree,
+                    "rtree" => IndexKindAst::RTree,
+                    other => {
+                        return Err(QueryError::Syntax(format!("unknown index type '{other}'")))
+                    }
+                }
+            } else {
+                IndexKindAst::BTree
+            };
+            return Ok(Statement::CreateIndex { name, dataset, field, kind });
+        }
+        if self.eat_kw("function") {
+            let name = self.expect_ident()?;
+            self.expect(&Token::LParen)?;
+            let mut params = Vec::new();
+            if !self.eat(&Token::RParen) {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat(&Token::RParen) {
+                        break;
+                    }
+                    self.expect(&Token::Comma)?;
+                }
+            }
+            self.expect(&Token::LBrace)?;
+            let body = self.parse_query_or_expr()?;
+            self.expect(&Token::RBrace)?;
+            return Ok(Statement::CreateFunction { name, params, body });
+        }
+        if self.eat_kw("feed") {
+            let name = self.expect_ident()?;
+            self.expect_kw("with")?;
+            self.expect(&Token::LBrace)?;
+            let mut options = Vec::new();
+            if !self.eat(&Token::RBrace) {
+                loop {
+                    let k = self.expect_string()?;
+                    self.expect(&Token::Colon)?;
+                    let v = self.expect_string()?;
+                    options.push((k, v));
+                    if self.eat(&Token::RBrace) {
+                        break;
+                    }
+                    self.expect(&Token::Comma)?;
+                }
+            }
+            return Ok(Statement::CreateFeed { name, options });
+        }
+        Err(QueryError::Syntax(format!("unexpected CREATE target: {:?}", self.peek())))
+    }
+
+    /// A select block (possibly LET-first, as the paper writes UDF
+    /// bodies) or a plain expression.
+    fn parse_query_or_expr(&mut self) -> Result<Expr> {
+        if self.peek().is_kw("select") || self.peek().is_kw("let") {
+            Ok(Expr::Subquery(Arc::new(self.parse_select_block()?)))
+        } else {
+            self.parse_expr()
+        }
+    }
+
+    // ---- select blocks ----------------------------------------------
+
+    fn parse_select_block(&mut self) -> Result<SelectBlock> {
+        let mut block = SelectBlock::empty();
+        // Leading LETs (paper style: `LET x = ... SELECT ...`) bind
+        // before FROM.
+        while self.peek().is_kw("let") {
+            self.bump();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect(&Token::Eq)?;
+                let e = self.parse_expr()?;
+                block.pre_lets.push((name, e));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("select")?;
+        block.distinct = self.eat_kw("distinct");
+        block.select = if self.eat_kw("value") {
+            SelectClause::Value(Box::new(self.parse_expr()?))
+        } else {
+            let mut items = Vec::new();
+            loop {
+                items.push(self.parse_select_item()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            SelectClause::Items(items)
+        };
+        if self.eat_kw("from") {
+            loop {
+                block.from.push(self.parse_from_item()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        // Trailing LETs (standard SQL++ position).
+        while self.peek().is_kw("let") {
+            self.bump();
+            loop {
+                let name = self.expect_ident()?;
+                self.expect(&Token::Eq)?;
+                let e = self.parse_expr()?;
+                block.lets.push((name, e));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("where") {
+            block.where_clause = Some(self.parse_expr()?);
+        }
+        if self.peek().is_kw("group") {
+            self.bump();
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let alias = if self.eat_kw("as") { Some(self.expect_ident()?) } else { None };
+                block.group_by.push((e, alias));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("having") {
+            block.having = Some(self.parse_expr()?);
+        }
+        if self.peek().is_kw("order") {
+            self.bump();
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_kw("desc") {
+                    false
+                } else {
+                    let _ = self.eat_kw("asc");
+                    true
+                };
+                block.order_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("limit") {
+            block.limit = Some(self.parse_expr()?);
+        }
+        Ok(block)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        // `alias.*`
+        if let (Token::Ident(name), Token::Dot) = (self.peek(), self.peek2()) {
+            if self.toks.get(self.pos + 2) == Some(&Token::Star) {
+                let name = name.clone();
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::Star(name));
+            }
+        }
+        let e = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.expect_ident()?)
+        } else {
+            match self.peek() {
+                Token::Ident(s) if !is_reserved(s) => Some(self.expect_ident()?),
+                _ => None,
+            }
+        };
+        Ok(SelectItem::Expr(e, alias))
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        let (source, default_alias) = if self.eat(&Token::LParen) {
+            let e = self.parse_query_or_expr()?;
+            self.expect(&Token::RParen)?;
+            (FromSource::Expr(e), None)
+        } else {
+            let name = self.expect_ident()?;
+            (FromSource::Name(name.clone()), Some(name))
+        };
+        let hint = match self.peek() {
+            Token::Hint(h) => {
+                let h = h.clone();
+                self.bump();
+                Some(h)
+            }
+            _ => None,
+        };
+        let alias = if self.eat_kw("as") {
+            self.expect_ident()?
+        } else {
+            match self.peek() {
+                Token::Ident(s) if !is_reserved(s) => self.expect_ident()?,
+                _ => default_alias.ok_or_else(|| {
+                    QueryError::Syntax("FROM subquery requires an alias".into())
+                })?,
+            }
+        };
+        Ok(FromItem { source, alias, hint })
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Eq => Some(BinOp::Eq),
+            Token::Neq => Some(BinOp::Neq),
+            Token::Lt => Some(BinOp::Lt),
+            Token::Le => Some(BinOp::Le),
+            Token::Gt => Some(BinOp::Gt),
+            Token::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("in") {
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::In(Box::new(lhs), Box::new(rhs)));
+        }
+        if self.peek().is_kw("not") && self.peek2().is_kw("in") {
+            self.bump();
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Not(Box::new(Expr::In(Box::new(lhs), Box::new(rhs)))));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            return Ok(Expr::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr> {
+        let mut e = self.parse_primary()?;
+        loop {
+            if self.eat(&Token::Dot) {
+                let field = self.expect_ident()?;
+                e = Expr::Field(Box::new(e), field);
+            } else if self.eat(&Token::LBracket) {
+                let idx = self.parse_expr()?;
+                self.expect(&Token::RBracket)?;
+                e = Expr::Index(Box::new(e), Box::new(idx));
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Int(i)))
+            }
+            Token::Double(d) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Double(d)))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Token::Param(p) => {
+                self.bump();
+                Ok(Expr::Param(p))
+            }
+            Token::LParen => {
+                self.bump();
+                let e = self.parse_query_or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.eat(&Token::RBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if self.eat(&Token::RBracket) {
+                            break;
+                        }
+                        self.expect(&Token::Comma)?;
+                    }
+                }
+                Ok(Expr::Array(items))
+            }
+            Token::LBrace => {
+                self.bump();
+                let mut fields = Vec::new();
+                if !self.eat(&Token::RBrace) {
+                    loop {
+                        let key = match self.bump() {
+                            Token::Str(s) => s,
+                            Token::Ident(s) => s,
+                            other => {
+                                return Err(QueryError::Syntax(format!(
+                                    "expected object key, found {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&Token::Colon)?;
+                        let v = self.parse_expr()?;
+                        fields.push((key, v));
+                        if self.eat(&Token::RBrace) {
+                            break;
+                        }
+                        self.expect(&Token::Comma)?;
+                    }
+                }
+                Ok(Expr::Object(fields))
+            }
+            Token::Ident(name) => {
+                if name.eq_ignore_ascii_case("case") {
+                    return self.parse_case();
+                }
+                if name.eq_ignore_ascii_case("exists") {
+                    self.bump();
+                    self.expect(&Token::LParen)?;
+                    let inner = self.parse_query_or_expr()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Exists(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                if name.eq_ignore_ascii_case("missing") {
+                    self.bump();
+                    return Ok(Expr::Literal(Value::Missing));
+                }
+                self.bump();
+                if self.eat(&Token::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Token::RParen) {
+                        loop {
+                            if self.eat(&Token::Star) {
+                                args.push(Expr::Wildcard);
+                            } else {
+                                args.push(self.parse_query_or_expr()?);
+                            }
+                            if self.eat(&Token::RParen) {
+                                break;
+                            }
+                            self.expect(&Token::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            other => Err(QueryError::Syntax(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        self.expect_kw("case")?;
+        let operand = if self.peek().is_kw("when") {
+            None
+        } else {
+            Some(Box::new(self.parse_expr()?))
+        };
+        let mut whens = Vec::new();
+        while self.eat_kw("when") {
+            let c = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let v = self.parse_expr()?;
+            whens.push((c, v));
+        }
+        if whens.is_empty() {
+            return Err(QueryError::Syntax("CASE requires at least one WHEN".into()));
+        }
+        let otherwise =
+            if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(Expr::Case { operand, whens, otherwise })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_figure_1_ddl() {
+        let stmts = parse_statements(
+            "CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+             CREATE DATASET Tweets(TweetType) PRIMARY KEY id;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 2);
+        assert!(matches!(&stmts[0], Statement::CreateType { name, fields }
+            if name == "TweetType" && fields.len() == 2));
+        assert!(matches!(&stmts[1], Statement::CreateDataset { primary_key, .. }
+            if primary_key == "id"));
+    }
+
+    #[test]
+    fn parse_paper_figure_6_udf() {
+        let stmt = parse_statement(
+            r#"CREATE FUNCTION USTweetSafetyCheck(tweet) {
+                 LET safety_check_flag =
+                   CASE tweet.country = "US" AND contains(tweet.text, "bomb")
+                   WHEN true THEN "Red" ELSE "Green"
+                   END
+                 SELECT tweet.*, safety_check_flag
+               };"#,
+        )
+        .unwrap();
+        let Statement::CreateFunction { name, params, body } = stmt else {
+            panic!("expected CreateFunction")
+        };
+        assert_eq!(name, "USTweetSafetyCheck");
+        assert_eq!(params, vec!["tweet"]);
+        let Expr::Subquery(block) = body else { panic!("body should be a block") };
+        assert_eq!(block.pre_lets.len(), 1);
+        assert!(block.from.is_empty());
+        let SelectClause::Items(items) = &block.select else { panic!() };
+        assert!(matches!(&items[0], SelectItem::Star(a) if a == "tweet"));
+    }
+
+    #[test]
+    fn parse_paper_figure_8_exists_subquery() {
+        let stmt = parse_statement(
+            r#"CREATE FUNCTION tweetSafetyCheck(tweet) {
+                 LET safety_check_flag = CASE
+                   EXISTS(SELECT s FROM SensitiveWords s
+                          WHERE tweet.country = s.country AND
+                                contains(tweet.text, s.word))
+                   WHEN true THEN "Red" ELSE "Green"
+                 END
+                 SELECT tweet.*, safety_check_flag
+               };"#,
+        )
+        .unwrap();
+        assert!(matches!(stmt, Statement::CreateFunction { .. }));
+    }
+
+    #[test]
+    fn parse_paper_figure_9_analytical_query() {
+        let stmt = parse_statement(
+            r#"SELECT tweet.country Country, count(tweet) Num
+               FROM Tweets tweet
+               LET enrichedTweet = tweetSafetyCheck(tweet)[0]
+               WHERE enrichedTweet.safety_check_flag = "Red"
+               GROUP BY tweet.country;"#,
+        )
+        .unwrap();
+        let Statement::Query(Expr::Subquery(b)) = stmt else { panic!() };
+        assert_eq!(b.group_by.len(), 1);
+        assert_eq!(b.lets.len(), 1);
+        let SelectClause::Items(items) = &b.select else { panic!() };
+        assert!(matches!(&items[1], SelectItem::Expr(Expr::Call { name, .. }, Some(a))
+            if name == "count" && a == "Num"));
+    }
+
+    #[test]
+    fn parse_paper_figure_11_not_in() {
+        let stmt = parse_statement(
+            r#"INSERT INTO EnrichedTweets(
+                 SELECT VALUE tweetSafetyCheck(tweet)
+                 FROM Tweets tweet WHERE tweet.id NOT IN
+                   (SELECT VALUE enrichedTweet.id
+                    FROM EnrichedTweets enrichedTweet)
+               );"#,
+        )
+        .unwrap();
+        assert!(matches!(stmt, Statement::Insert { .. }));
+    }
+
+    #[test]
+    fn parse_paper_figure_18_nested_groupby() {
+        let stmt = parse_statement(
+            r#"CREATE FUNCTION highRiskTweetCheck(t) {
+                 LET high_risk_flag = CASE
+                   t.country IN (SELECT VALUE s.country
+                                 FROM SensitiveWords s
+                                 GROUP BY s.country
+                                 ORDER BY count(s)
+                                 LIMIT 10)
+                   WHEN true THEN "Red" ELSE "Green"
+                 END
+                 SELECT t.*, high_risk_flag
+               };"#,
+        )
+        .unwrap();
+        assert!(matches!(stmt, Statement::CreateFunction { .. }));
+    }
+
+    #[test]
+    fn parse_feed_ddl() {
+        let stmts = parse_statements(
+            r#"CREATE FEED TweetFeed WITH {
+                 "type-name": "TweetType",
+                 "adapter-name": "socket_adapter",
+                 "format": "JSON",
+                 "sockets": "127.0.0.1:10001",
+                 "address-type": "IP"
+               };
+               CONNECT FEED TweetFeed TO DATASET Tweets APPLY FUNCTION USTweetSafetyCheck;
+               START FEED TweetFeed;
+               STOP FEED TweetFeed;"#,
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 4);
+        assert!(matches!(&stmts[0], Statement::CreateFeed { options, .. } if options.len() == 5));
+        assert!(matches!(&stmts[1], Statement::ConnectFeed { function: Some(f), .. }
+            if f == "USTweetSafetyCheck"));
+    }
+
+    #[test]
+    fn parse_hint_on_from() {
+        let q = parse_query(
+            "SELECT VALUE m.monument_id FROM monumentList /*+ noindex */ m WHERE m.x = 1",
+        )
+        .unwrap();
+        assert_eq!(q.from[0].hint.as_deref(), Some("noindex"));
+        assert_eq!(q.from[0].alias, "m");
+    }
+
+    #[test]
+    fn parse_spatial_udf_figure_37() {
+        let stmt = parse_statement(
+            r#"CREATE FUNCTION enrichTweetQ4(t) {
+                 LET nearby_monuments =
+                   (SELECT VALUE m.monument_id
+                    FROM monumentList m
+                    WHERE spatial_intersect(
+                      m.monument_location,
+                      create_circle(
+                        create_point(t.latitude, t.longitude),
+                        1.5)))
+                 SELECT t.*, nearby_monuments
+               };"#,
+        )
+        .unwrap();
+        assert!(matches!(stmt, Statement::CreateFunction { .. }));
+    }
+
+    #[test]
+    fn parse_multi_dataset_from() {
+        let q = parse_query(
+            "SELECT f.facility_type, count(*) AS Cnt
+             FROM Facilities f, DistrictAreas d2
+             WHERE spatial_intersect(f.facility_location, d2.district_area)
+             GROUP BY f.facility_type",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let e = parse_expression("1 + 2 * 3").unwrap();
+        let Expr::Binary(BinOp::Add, _, rhs) = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parse_datetime_arith_with_duration() {
+        let e = parse_expression(r#"t.created_at < a.attack_datetime + duration("P2M")"#).unwrap();
+        assert!(matches!(e, Expr::Binary(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn reject_garbage() {
+        assert!(parse_statement("CREATE NONSENSE x").is_err());
+        assert!(parse_expression("1 +").is_err());
+        assert!(parse_statement("SELECT").is_err());
+    }
+
+    #[test]
+    fn param_expression() {
+        let e = parse_expression("t.id = $x").unwrap();
+        let Expr::Binary(BinOp::Eq, _, rhs) = e else { panic!() };
+        assert!(matches!(*rhs, Expr::Param(p) if p == "x"));
+    }
+}

@@ -1,0 +1,92 @@
+//! User-defined functions (paper §3.2–§3.3).
+//!
+//! Two kinds, as in AsterixDB:
+//!
+//! * **SQL++ UDFs** — declarative bodies (`CREATE FUNCTION f(t) { ... }`)
+//!   compiled from text and evaluated against reference datasets; they
+//!   can be updated instantly and see reference-data changes subject to
+//!   the computing model in force (§4.3);
+//! * **native UDFs** — compiled code standing in for the paper's Java
+//!   UDFs. A [`NativeUdfFactory`] plays the role of the Java class: each
+//!   *instantiation* runs the `initialize()` phase (loading resource
+//!   files etc.), and the resulting [`NativeUdf`] is then invoked per
+//!   record. The old (static) framework instantiates once per feed; the
+//!   new (dynamic) framework instantiates once per computing job, which
+//!   is how Java UDFs pick up resource changes between batches.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+use crate::ast::Expr;
+use crate::error::QueryError;
+use crate::Result;
+
+/// A compiled-code UDF instance (the paper's Java UDF after
+/// `initialize()`): mutable so implementations can keep scratch state.
+pub trait NativeUdf: Send {
+    fn evaluate(&mut self, args: &[Value]) -> Result<Value>;
+}
+
+/// Creates fresh [`NativeUdf`] instances; creation is the
+/// resource-loading `initialize()` step and may be expensive.
+pub type NativeUdfFactory = Arc<dyn Fn() -> Box<dyn NativeUdf> + Send + Sync>;
+
+/// Blanket impl so closures can serve as simple (stateless) native UDFs.
+impl<F> NativeUdf for F
+where
+    F: FnMut(&[Value]) -> Result<Value> + Send,
+{
+    fn evaluate(&mut self, args: &[Value]) -> Result<Value> {
+        self(args)
+    }
+}
+
+/// A registered function.
+#[derive(Clone)]
+pub enum FunctionDef {
+    /// `CREATE FUNCTION name(params) { body }`
+    Sqlpp { name: String, params: Vec<String>, body: Arc<Expr> },
+    /// Registered from Rust (the "Java" path).
+    Native { name: String, arity: usize, factory: NativeUdfFactory },
+}
+
+impl FunctionDef {
+    pub fn name(&self) -> &str {
+        match self {
+            FunctionDef::Sqlpp { name, .. } => name,
+            FunctionDef::Native { name, .. } => name,
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        match self {
+            FunctionDef::Sqlpp { params, .. } => params.len(),
+            FunctionDef::Native { arity, .. } => *arity,
+        }
+    }
+
+    /// Checks an argument count against the declared arity.
+    pub fn check_arity(&self, n: usize) -> Result<()> {
+        if self.arity() == n {
+            Ok(())
+        } else {
+            Err(QueryError::Eval(format!(
+                "{}() expects {} argument(s), got {n}",
+                self.name(),
+                self.arity()
+            )))
+        }
+    }
+}
+
+impl std::fmt::Debug for FunctionDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FunctionDef::Sqlpp { name, params, .. } => {
+                write!(f, "Sqlpp({name}/{})", params.len())
+            }
+            FunctionDef::Native { name, arity, .. } => write!(f, "Native({name}/{arity})"),
+        }
+    }
+}

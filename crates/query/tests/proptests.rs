@@ -1,0 +1,198 @@
+//! Property tests for the query engine: different access paths must
+//! return the same answers, and relational laws must hold.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+use idea_query::catalog::Catalog;
+use idea_query::ddl::{run_query, run_sqlpp};
+use idea_query::exec::{Env, ExecContext};
+use idea_query::expr::apply_function;
+use proptest::prelude::*;
+
+/// Builds a catalog with a reference dataset of `rows` (id, grp, score)
+/// records plus three semantically identical lookup functions planned
+/// three different ways: hash join (default), index-nested-loop
+/// (`indexnl` on a secondary B-tree), and materialize+filter (via an
+/// obfuscated predicate the planner cannot turn into a key).
+fn catalog_with(rows: &[(i64, String, i64)]) -> Arc<Catalog> {
+    let c = Catalog::new(2);
+    run_sqlpp(
+        &c,
+        r#"
+        CREATE TYPE RType AS OPEN { id: int64, grp: string, score: int64 };
+        CREATE DATASET Ref(RType) PRIMARY KEY id;
+        CREATE INDEX grp_ix ON Ref(grp) TYPE BTREE;
+        CREATE FUNCTION viaHash(t) {
+            SELECT VALUE r.id FROM Ref r WHERE r.grp = t.key
+        };
+        CREATE FUNCTION viaIndex(t) {
+            SELECT VALUE r.id FROM Ref /*+ indexnl */ r WHERE r.grp = t.key
+        };
+        CREATE FUNCTION viaScan(t) {
+            SELECT VALUE r.id FROM Ref /*+ noindex */ r
+            WHERE contains(r.grp, t.key) AND contains(t.key, r.grp)
+        };
+        "#,
+    )
+    .unwrap();
+    let ds = c.dataset("Ref").unwrap();
+    for (id, grp, score) in rows {
+        ds.upsert(Value::object([
+            ("id", Value::Int(*id)),
+            ("grp", Value::str(grp.clone())),
+            ("score", Value::Int(*score)),
+        ]))
+        .unwrap();
+    }
+    c
+}
+
+fn sorted_ids(v: Value) -> Vec<i64> {
+    let mut out: Vec<i64> =
+        v.as_array().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hash join ≡ index-nested-loop ≡ scan+filter on random data.
+    #[test]
+    fn access_paths_agree(
+        rows in prop::collection::vec((0i64..60, "[a-d]", 0i64..100), 1..60),
+        probes in prop::collection::vec("[a-e]", 1..8),
+    ) {
+        // Dedup ids (upsert makes last write win; mirror that).
+        let mut dedup: std::collections::BTreeMap<i64, (String, i64)> = Default::default();
+        for (id, g, s) in &rows {
+            dedup.insert(*id, (g.clone(), *s));
+        }
+        let rows: Vec<(i64, String, i64)> =
+            dedup.into_iter().map(|(id, (g, s))| (id, g, s)).collect();
+        let c = catalog_with(&rows);
+        let mut ctx = ExecContext::new(c.clone());
+        for p in probes {
+            let t = Value::object([("key", Value::str(p.clone()))]);
+            let h = apply_function(&mut ctx, "viaHash", &[t.clone()]).unwrap();
+            let i = apply_function(&mut ctx, "viaIndex", &[t.clone()]).unwrap();
+            let s = apply_function(&mut ctx, "viaScan", &[t]).unwrap();
+            let want: Vec<i64> = rows
+                .iter()
+                .filter(|(_, g, _)| *g == p)
+                .map(|(id, _, _)| *id)
+                .collect();
+            prop_assert_eq!(sorted_ids(h), want.clone(), "hash, key {}", p);
+            prop_assert_eq!(sorted_ids(i), want.clone(), "indexnl, key {}", p);
+            prop_assert_eq!(sorted_ids(s), want, "scan, key {}", p);
+        }
+        // The planner really used three different paths.
+        prop_assert!(ctx.stats.hash_builds >= 1);
+        prop_assert!(ctx.stats.index_probes >= 1);
+        prop_assert!(ctx.stats.materializations >= 1);
+    }
+
+    /// ORDER BY emits a sorted permutation; LIMIT is a prefix of it.
+    #[test]
+    fn order_by_limit_laws(
+        rows in prop::collection::vec((0i64..80, "[a-d]", -50i64..50), 1..50),
+        limit in 0usize..12,
+    ) {
+        let mut dedup: std::collections::BTreeMap<i64, (String, i64)> = Default::default();
+        for (id, g, s) in &rows {
+            dedup.insert(*id, (g.clone(), *s));
+        }
+        let rows: Vec<(i64, String, i64)> =
+            dedup.into_iter().map(|(id, (g, s))| (id, g, s)).collect();
+        let c = catalog_with(&rows);
+        let all = run_query(&c, "SELECT VALUE r.score FROM Ref r ORDER BY r.score, r.id").unwrap();
+        let scores: Vec<i64> =
+            all.as_array().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        prop_assert!(scores.windows(2).all(|w| w[0] <= w[1]), "sorted: {scores:?}");
+        prop_assert_eq!(scores.len(), rows.len());
+
+        let limited = run_query(
+            &c,
+            &format!("SELECT VALUE r.score FROM Ref r ORDER BY r.score, r.id LIMIT {limit}"),
+        )
+        .unwrap();
+        let lscores: Vec<i64> =
+            limited.as_array().unwrap().iter().map(|v| v.as_int().unwrap()).collect();
+        prop_assert_eq!(&lscores[..], &scores[..limit.min(scores.len())]);
+    }
+
+    /// Group-by counts partition the rows: the counts sum to the total,
+    /// and each group's sum matches a direct filter.
+    #[test]
+    fn group_by_partitions(rows in prop::collection::vec((0i64..80, "[a-c]", 0i64..30), 1..50)) {
+        let mut dedup: std::collections::BTreeMap<i64, (String, i64)> = Default::default();
+        for (id, g, s) in &rows {
+            dedup.insert(*id, (g.clone(), *s));
+        }
+        let rows: Vec<(i64, String, i64)> =
+            dedup.into_iter().map(|(id, (g, s))| (id, g, s)).collect();
+        let c = catalog_with(&rows);
+        let v = run_query(
+            &c,
+            "SELECT r.grp AS grp, count(*) AS n, sum(r.score) AS total
+             FROM Ref r GROUP BY r.grp ORDER BY r.grp",
+        )
+        .unwrap();
+        let mut count_sum = 0i64;
+        for g in v.as_array().unwrap() {
+            let o = g.as_object().unwrap();
+            let grp = o.get("grp").unwrap().as_str().unwrap();
+            let n = o.get("n").unwrap().as_int().unwrap();
+            let total = o.get("total").unwrap().as_int().unwrap();
+            count_sum += n;
+            let expect_n = rows.iter().filter(|(_, gg, _)| gg == grp).count() as i64;
+            let expect_total: i64 =
+                rows.iter().filter(|(_, gg, _)| gg == grp).map(|(_, _, s)| s).sum();
+            prop_assert_eq!(n, expect_n, "count for {}", grp);
+            prop_assert_eq!(total, expect_total, "sum for {}", grp);
+        }
+        prop_assert_eq!(count_sum, rows.len() as i64);
+    }
+
+    /// EXISTS(q) ⇔ count over q > 0; NOT IN is the complement of IN for
+    /// known values.
+    #[test]
+    fn exists_in_duality(rows in prop::collection::vec((0i64..40, "[a-c]", 0i64..9), 0..30), probe in "[a-d]") {
+        let mut dedup: std::collections::BTreeMap<i64, (String, i64)> = Default::default();
+        for (id, g, s) in &rows {
+            dedup.insert(*id, (g.clone(), *s));
+        }
+        let rows: Vec<(i64, String, i64)> =
+            dedup.into_iter().map(|(id, (g, s))| (id, g, s)).collect();
+        let c = catalog_with(&rows);
+        let mut ctx = ExecContext::new(c.clone());
+        let env = Env::new().bind_value("p", Value::str(probe.clone()));
+        let q = idea_query::parser::parse_expression(
+            "exists((SELECT VALUE r.id FROM Ref r WHERE r.grp = p))",
+        )
+        .unwrap();
+        let got = idea_query::eval_expr(&q, &env, &mut ctx).unwrap();
+        let expect = rows.iter().any(|(_, g, _)| *g == probe);
+        prop_assert_eq!(got, Value::Bool(expect));
+
+        let inq = idea_query::parser::parse_expression(
+            "p IN (SELECT VALUE r.grp FROM Ref r)",
+        )
+        .unwrap();
+        let notinq = idea_query::parser::parse_expression(
+            "p NOT IN (SELECT VALUE r.grp FROM Ref r)",
+        )
+        .unwrap();
+        let a = idea_query::eval_expr(&inq, &env, &mut ctx).unwrap();
+        let b = idea_query::eval_expr(&notinq, &env, &mut ctx).unwrap();
+        prop_assert_eq!(a, Value::Bool(expect));
+        prop_assert_eq!(b, Value::Bool(!expect));
+    }
+
+    /// The parser never panics on noise.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = idea_query::parser::parse_statements(&input);
+    }
+}

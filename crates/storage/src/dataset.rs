@@ -1,0 +1,584 @@
+//! A primary-keyed dataset over one LSM tree, with maintained secondary
+//! indexes and snapshot scans.
+
+use std::sync::Arc;
+
+use idea_adm::path::FieldPath;
+use idea_adm::value::Circle;
+use idea_adm::{Datatype, Value};
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+use crate::index::{IndexDef, IndexKind, SecondaryIndex};
+use crate::lsm::{Component, LsmConfig, LsmTree};
+use crate::stats::StorageStats;
+use crate::Result;
+
+/// Dataset tuning knobs.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetConfig {
+    pub lsm: LsmConfig,
+    /// Skip open-datatype validation on writes (feeds validate at parse
+    /// time already).
+    pub skip_validation: bool,
+}
+
+/// A dataset: `CREATE DATASET Tweets(TweetType) PRIMARY KEY id`.
+///
+/// Thread-safe: writers and readers synchronize on one `RwLock`, exactly
+/// like a storage partition in the paper's storage job. Enrichment-side
+/// reads take the read lock (shared), so concurrent reference-data
+/// updates (paper §7.3) contend with them — that contention is part of
+/// what Figure 27 measures.
+#[derive(Debug)]
+pub struct Dataset {
+    name: String,
+    datatype: Datatype,
+    pk_field: FieldPath,
+    config: DatasetConfig,
+    inner: RwLock<Inner>,
+    stats: StorageStats,
+}
+
+#[derive(Debug)]
+struct Inner {
+    tree: LsmTree,
+    indexes: Vec<(IndexDef, SecondaryIndex)>,
+}
+
+impl Dataset {
+    pub fn new(
+        name: impl Into<String>,
+        datatype: Datatype,
+        pk_field: &str,
+        config: DatasetConfig,
+    ) -> Self {
+        Dataset {
+            name: name.into(),
+            datatype,
+            pk_field: FieldPath::parse(pk_field),
+            inner: RwLock::new(Inner { tree: LsmTree::new(config.lsm.clone()), indexes: Vec::new() }),
+            config,
+            stats: StorageStats::default(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn datatype(&self) -> &Datatype {
+        &self.datatype
+    }
+
+    pub fn primary_key_field(&self) -> &FieldPath {
+        &self.pk_field
+    }
+
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    fn extract_pk(&self, record: &Value) -> Result<Value> {
+        let pk = self.pk_field.get(record);
+        match pk {
+            Value::Missing | Value::Null => Err(StorageError::BadPrimaryKey(format!(
+                "record in {} lacks primary key field {}",
+                self.name, self.pk_field
+            ))),
+            Value::Array(_) | Value::Object(_) => Err(StorageError::BadPrimaryKey(format!(
+                "primary key field {} must be scalar",
+                self.pk_field
+            ))),
+            v => Ok(v.clone()),
+        }
+    }
+
+    fn validate(&self, record: &Value) -> Result<()> {
+        if self.config.skip_validation {
+            return Ok(());
+        }
+        self.datatype.validate(record).map_err(|e| StorageError::Type(e.to_string()))
+    }
+
+    /// `INSERT`: fails on duplicate primary key.
+    pub fn insert(&self, record: Value) -> Result<()> {
+        self.validate(&record)?;
+        let pk = self.extract_pk(&record)?;
+        let mut inner = self.inner.write();
+        if inner.tree.contains(&pk) {
+            return Err(StorageError::DuplicateKey(pk.to_string()));
+        }
+        for (def, ix) in &mut inner.indexes {
+            ix.insert(def, &pk, &record)?;
+        }
+        inner.tree.put(pk, Some(record));
+        self.stats.record_insert();
+        Ok(())
+    }
+
+    /// `UPSERT`: "inserts an object if there is no other object with the
+    /// specified key; if not, it replaces the previous object" (paper
+    /// §3.3 footnote).
+    pub fn upsert(&self, record: Value) -> Result<()> {
+        self.validate(&record)?;
+        let pk = self.extract_pk(&record)?;
+        let mut inner = self.inner.write();
+        let old = inner.tree.get(&pk).cloned();
+        if let Some(old) = &old {
+            for (def, ix) in &mut inner.indexes {
+                ix.remove(def, &pk, old);
+            }
+        }
+        for (def, ix) in &mut inner.indexes {
+            ix.insert(def, &pk, &record)?;
+        }
+        inner.tree.put(pk, Some(record));
+        self.stats.record_upsert();
+        Ok(())
+    }
+
+    /// `DELETE` by primary key; returns whether a record was visible.
+    pub fn delete(&self, pk: &Value) -> Result<bool> {
+        let mut inner = self.inner.write();
+        let old = inner.tree.get(pk).cloned();
+        let Some(old) = old else { return Ok(false) };
+        for (def, ix) in &mut inner.indexes {
+            ix.remove(def, pk, &old);
+        }
+        inner.tree.put(pk.clone(), None);
+        self.stats.record_delete();
+        Ok(true)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, pk: &Value) -> Option<Value> {
+        self.stats.record_lookup();
+        self.inner.read().tree.get(pk).cloned()
+    }
+
+    /// Bulk-loads records straight into an immutable component (initial
+    /// reference-data load), bypassing the memtable like AsterixDB's
+    /// `LOAD DATASET`. Fails if the dataset is non-empty.
+    pub fn bulk_load(&self, records: Vec<Value>) -> Result<()> {
+        let mut pairs: Vec<(Value, Option<Value>)> = Vec::with_capacity(records.len());
+        for r in records {
+            self.validate(&r)?;
+            let pk = self.extract_pk(&r)?;
+            pairs.push((pk, Some(r)));
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(StorageError::DuplicateKey(w[0].0.to_string()));
+            }
+        }
+        let mut inner = self.inner.write();
+        if inner.tree.live_count() != 0 || inner.tree.memtable_len() != 0 {
+            return Err(StorageError::BadPrimaryKey(format!(
+                "bulk load into non-empty dataset {}",
+                self.name
+            )));
+        }
+        for (pk, rec) in &pairs {
+            let rec = rec.as_ref().unwrap();
+            for (def, ix) in &mut inner.indexes {
+                ix.insert(def, pk, rec)?;
+            }
+        }
+        let n = pairs.len() as u64;
+        inner.tree.components.insert(0, Arc::new(Component::from_sorted(u64::MAX, pairs)));
+        self.stats.record_bulk_load(n);
+        Ok(())
+    }
+
+    /// Creates a secondary index, building it over the current contents.
+    pub fn create_index(&self, def: IndexDef) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.indexes.iter().any(|(d, _)| d.name == def.name) {
+            return Err(StorageError::BadIndex(format!("index {} already exists", def.name)));
+        }
+        let mut ix = SecondaryIndex::new(&def);
+        // Build over a private copy of the live view to avoid aliasing
+        // the tree borrow.
+        let live: Vec<(Value, Value)> =
+            inner.tree.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (pk, rec) in &live {
+            ix.insert(&def, pk, rec)?;
+        }
+        inner.indexes.push((def, ix));
+        Ok(())
+    }
+
+    /// The names and definitions of all secondary indexes.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.inner.read().indexes.iter().map(|(d, _)| d.clone()).collect()
+    }
+
+    /// Finds an index of `kind` on `field`, if any (the optimizer's
+    /// access-method selection consults this).
+    pub fn find_index(&self, field: &FieldPath, kind: IndexKind) -> Option<String> {
+        self.inner
+            .read()
+            .indexes
+            .iter()
+            .find(|(d, _)| d.kind == kind && &d.field == field)
+            .map(|(d, _)| d.name.clone())
+    }
+
+    /// Equality probe through a secondary B-tree index: returns matching
+    /// records.
+    pub fn index_lookup(&self, index: &str, key: &Value) -> Result<Vec<Value>> {
+        self.stats.record_index_probe();
+        let inner = self.inner.read();
+        let (_, ix) = inner
+            .indexes
+            .iter()
+            .find(|(d, _)| d.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
+        let SecondaryIndex::BTree(btree) = ix else {
+            return Err(StorageError::BadIndex(format!("{index} is not a B-tree index")));
+        };
+        Ok(btree
+            .lookup(key)
+            .iter()
+            .filter_map(|pk| inner.tree.get(pk).cloned())
+            .collect())
+    }
+
+    /// Spatial probe through an R-tree index: records whose indexed point
+    /// lies within `rect`.
+    pub fn index_query_rect(
+        &self,
+        index: &str,
+        rect: &idea_adm::value::Rectangle,
+    ) -> Result<Vec<Value>> {
+        self.stats.record_index_probe();
+        let inner = self.inner.read();
+        let (_, ix) = inner
+            .indexes
+            .iter()
+            .find(|(d, _)| d.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
+        let SecondaryIndex::RTree(rtree) = ix else {
+            return Err(StorageError::BadIndex(format!("{index} is not an R-tree index")));
+        };
+        Ok(rtree
+            .query_rect(rect)
+            .into_iter()
+            .filter_map(|pk| inner.tree.get(pk).cloned())
+            .collect())
+    }
+
+    /// Spatial probe through an R-tree index: records whose indexed point
+    /// lies within `circle`.
+    pub fn index_query_circle(&self, index: &str, circle: &Circle) -> Result<Vec<Value>> {
+        self.stats.record_index_probe();
+        let inner = self.inner.read();
+        let (_, ix) = inner
+            .indexes
+            .iter()
+            .find(|(d, _)| d.name == index)
+            .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
+        let SecondaryIndex::RTree(rtree) = ix else {
+            return Err(StorageError::BadIndex(format!("{index} is not an R-tree index")));
+        };
+        Ok(rtree
+            .query_circle(circle)
+            .into_iter()
+            .filter_map(|(_, pk)| inner.tree.get(pk).cloned())
+            .collect())
+    }
+
+    /// Takes a consistent snapshot for scanning (record-level
+    /// consistency: the snapshot pins the current components and copies
+    /// the — normally small — active memtable; writes after the snapshot
+    /// are invisible to it, i.e. are "picked up by the next invocation",
+    /// paper §5.1).
+    pub fn snapshot(&self) -> DatasetSnapshot {
+        self.stats.record_scan();
+        let inner = self.inner.read();
+        DatasetSnapshot {
+            mem: inner.tree.memtable.iter().map(|(k, e)| (k.clone(), e.clone())).collect(),
+            components: inner.tree.component_snapshot(),
+        }
+    }
+
+    /// Number of live records (linear; for tests/stats, not hot paths).
+    pub fn len(&self) -> usize {
+        self.inner.read().tree.live_count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces a memtable flush.
+    pub fn flush(&self) {
+        self.inner.write().tree.flush();
+    }
+
+    /// Forces a full merge of immutable components.
+    pub fn merge(&self) {
+        self.inner.write().tree.merge_all();
+    }
+
+    /// `(memtable entries, component count)` — test/diagnostic hook.
+    pub fn lsm_shape(&self) -> (usize, usize) {
+        let inner = self.inner.read();
+        (inner.tree.memtable_len(), inner.tree.component_count())
+    }
+}
+
+/// A pinned, immutable view of a dataset used by scans: reference-data
+/// reads inside one computing-job invocation all see this view.
+#[derive(Debug, Clone)]
+pub struct DatasetSnapshot {
+    mem: Vec<(Value, Option<Value>)>,
+    components: Vec<Arc<Component>>,
+}
+
+impl DatasetSnapshot {
+    /// Iterates live records in primary-key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        SnapshotIter::new(self)
+    }
+
+    /// Point lookup within the snapshot.
+    pub fn get(&self, pk: &Value) -> Option<&Value> {
+        if let Ok(i) = self.mem.binary_search_by(|(k, _)| k.cmp(pk)) {
+            return self.mem[i].1.as_ref();
+        }
+        for c in &self.components {
+            if let Some(entry) = c.get(pk) {
+                return entry.as_ref();
+            }
+        }
+        None
+    }
+
+    /// Live record count (linear).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+}
+
+struct SnapshotIter<'a> {
+    sources: Vec<std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>>,
+}
+
+impl<'a> SnapshotIter<'a> {
+    fn new(snap: &'a DatasetSnapshot) -> Self {
+        let mut sources: Vec<
+            std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>,
+        > = Vec::with_capacity(snap.components.len() + 1);
+        let mem: Box<dyn Iterator<Item = _>> = Box::new(snap.mem.iter().map(|(k, e)| (k, e)));
+        sources.push(mem.peekable());
+        for c in &snap.components {
+            let it: Box<dyn Iterator<Item = _>> = Box::new(c.iter());
+            sources.push(it.peekable());
+        }
+        SnapshotIter { sources }
+    }
+}
+
+impl<'a> Iterator for SnapshotIter<'a> {
+    type Item = &'a Value;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut best: Option<(usize, &'a Value)> = None;
+            for (i, src) in self.sources.iter_mut().enumerate() {
+                if let Some((k, _)) = src.peek() {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if *k < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let (winner, key) = best?;
+            let (_, entry) = self.sources[winner].next().unwrap();
+            for (i, src) in self.sources.iter_mut().enumerate() {
+                if i != winner {
+                    while matches!(src.peek(), Some((k, _)) if *k == key) {
+                        src.next();
+                    }
+                }
+            }
+            if let Some(v) = entry.as_ref() {
+                return Some(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_adm::TypeTag;
+
+    fn words_dataset() -> Dataset {
+        let dt = Datatype::new("SensitiveWordType")
+            .field("wid", TypeTag::Int64)
+            .field("country", TypeTag::String)
+            .field("word", TypeTag::String);
+        Dataset::new("SensitiveWords", dt, "wid", DatasetConfig::default())
+    }
+
+    fn word(id: i64, country: &str, w: &str) -> Value {
+        Value::object([
+            ("wid", Value::Int(id)),
+            ("country", Value::str(country)),
+            ("word", Value::str(w)),
+        ])
+    }
+
+    #[test]
+    fn insert_rejects_duplicates_upsert_replaces() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "bomb")).unwrap();
+        assert!(matches!(ds.insert(word(1, "US", "other")), Err(StorageError::DuplicateKey(_))));
+        ds.upsert(word(1, "US", "threat")).unwrap();
+        let got = ds.get(&Value::Int(1)).unwrap();
+        assert_eq!(got.as_object().unwrap().get("word"), Some(&Value::str("threat")));
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn delete_hides_record() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "bomb")).unwrap();
+        assert!(ds.delete(&Value::Int(1)).unwrap());
+        assert!(!ds.delete(&Value::Int(1)).unwrap());
+        assert!(ds.get(&Value::Int(1)).is_none());
+        assert_eq!(ds.len(), 0);
+    }
+
+    #[test]
+    fn validation_enforced() {
+        let ds = words_dataset();
+        let bad = Value::object([("wid", Value::Int(1)), ("country", Value::str("US"))]);
+        assert!(matches!(ds.insert(bad), Err(StorageError::Type(_))));
+    }
+
+    #[test]
+    fn missing_pk_rejected() {
+        let ds = words_dataset();
+        let mut rec = word(1, "US", "bomb");
+        rec.as_object_mut().unwrap().remove("wid");
+        assert!(ds.insert(rec).is_err());
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_writes() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "bomb")).unwrap();
+        let snap = ds.snapshot();
+        ds.insert(word(2, "FR", "bombe")).unwrap();
+        ds.upsert(word(1, "US", "changed")).unwrap();
+        assert_eq!(snap.len(), 1);
+        let rec = snap.get(&Value::Int(1)).unwrap();
+        assert_eq!(rec.as_object().unwrap().get("word"), Some(&Value::str("bomb")));
+        // A fresh snapshot (the next computing job) sees both.
+        assert_eq!(ds.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_merges_memtable_and_components() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "a")).unwrap();
+        ds.insert(word(2, "US", "b")).unwrap();
+        ds.flush();
+        ds.upsert(word(2, "US", "b2")).unwrap();
+        ds.insert(word(3, "US", "c")).unwrap();
+        let snap = ds.snapshot();
+        let words: Vec<&str> = snap
+            .iter()
+            .map(|r| r.as_object().unwrap().get("word").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(words, vec!["a", "b2", "c"]);
+    }
+
+    #[test]
+    fn btree_index_maintained_across_upsert_delete() {
+        let ds = words_dataset();
+        ds.create_index(IndexDef::btree("word_country", "country")).unwrap();
+        ds.insert(word(1, "US", "bomb")).unwrap();
+        ds.insert(word(2, "US", "gun")).unwrap();
+        ds.insert(word(3, "FR", "bombe")).unwrap();
+        assert_eq!(ds.index_lookup("word_country", &Value::str("US")).unwrap().len(), 2);
+        ds.upsert(word(2, "DE", "gewehr")).unwrap();
+        assert_eq!(ds.index_lookup("word_country", &Value::str("US")).unwrap().len(), 1);
+        assert_eq!(ds.index_lookup("word_country", &Value::str("DE")).unwrap().len(), 1);
+        ds.delete(&Value::Int(1)).unwrap();
+        assert!(ds.index_lookup("word_country", &Value::str("US")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn create_index_builds_over_existing_data() {
+        let ds = words_dataset();
+        for i in 0..20 {
+            ds.insert(word(i, if i % 2 == 0 { "US" } else { "FR" }, "w")).unwrap();
+        }
+        ds.create_index(IndexDef::btree("by_country", "country")).unwrap();
+        assert_eq!(ds.index_lookup("by_country", &Value::str("US")).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn rtree_index_over_points() {
+        let dt = Datatype::new("MonumentType")
+            .field("monument_id", TypeTag::String)
+            .field("monument_location", TypeTag::Point);
+        let ds = Dataset::new("MonumentList", dt, "monument_id", DatasetConfig::default());
+        ds.create_index(IndexDef::rtree("loc", "monument_location")).unwrap();
+        for i in 0..100 {
+            ds.insert(Value::object([
+                ("monument_id", Value::str(format!("m{i}"))),
+                ("monument_location", Value::point(i as f64, 0.0)),
+            ]))
+            .unwrap();
+        }
+        let hits = ds
+            .index_query_circle("loc", &Circle::new(idea_adm::value::Point::new(10.0, 0.0), 1.5))
+            .unwrap();
+        assert_eq!(hits.len(), 3); // 9, 10, 11
+    }
+
+    #[test]
+    fn bulk_load_then_point_get() {
+        let ds = words_dataset();
+        let recs: Vec<Value> = (0..1000).map(|i| word(i, "US", "w")).collect();
+        ds.bulk_load(recs).unwrap();
+        assert_eq!(ds.len(), 1000);
+        assert!(ds.get(&Value::Int(500)).is_some());
+        let (mem, comps) = ds.lsm_shape();
+        assert_eq!(mem, 0, "bulk load bypasses the memtable");
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn bulk_load_into_nonempty_rejected() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "x")).unwrap();
+        assert!(ds.bulk_load(vec![word(2, "US", "y")]).is_err());
+    }
+
+    #[test]
+    fn updates_activate_memtable() {
+        // The Figure 27 mechanism: updates make the in-memory component
+        // non-empty, changing the access path for reference data.
+        let ds = words_dataset();
+        ds.bulk_load((0..100).map(|i| word(i, "US", "w")).collect()).unwrap();
+        assert_eq!(ds.lsm_shape().0, 0);
+        ds.upsert(word(5, "US", "updated")).unwrap();
+        assert_eq!(ds.lsm_shape().0, 1);
+        let snap = ds.snapshot();
+        let r = snap.get(&Value::Int(5)).unwrap();
+        assert_eq!(r.as_object().unwrap().get("word"), Some(&Value::str("updated")));
+    }
+}

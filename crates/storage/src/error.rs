@@ -1,0 +1,41 @@
+//! Storage error type.
+
+use std::fmt;
+
+use idea_adm::AdmError;
+
+/// Errors from dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// `INSERT` of a primary key that already exists (use `UPSERT` to
+    /// replace).
+    DuplicateKey(String),
+    /// The record has no (or a non-scalar) primary-key field.
+    BadPrimaryKey(String),
+    /// The record failed open-datatype validation.
+    Type(String),
+    /// An index was declared on an unsupported field type.
+    BadIndex(String),
+    /// No such index.
+    UnknownIndex(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            StorageError::BadPrimaryKey(m) => write!(f, "bad primary key: {m}"),
+            StorageError::Type(m) => write!(f, "type error: {m}"),
+            StorageError::BadIndex(m) => write!(f, "bad index: {m}"),
+            StorageError::UnknownIndex(m) => write!(f, "unknown index: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<AdmError> for StorageError {
+    fn from(e: AdmError) -> Self {
+        StorageError::Type(e.to_string())
+    }
+}

@@ -1,0 +1,111 @@
+//! Secondary B-tree index: indexed value → set of primary keys.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use idea_adm::Value;
+
+/// Ordered secondary index. Multiple records may share an indexed value,
+/// so each key maps to a sorted list of primary keys.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<Value>>,
+    len: usize,
+}
+
+impl BTreeIndex {
+    pub fn new() -> Self {
+        BTreeIndex::default()
+    }
+
+    /// Number of `(value, pk)` entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn insert(&mut self, value: Value, pk: Value) {
+        let pks = self.map.entry(value).or_default();
+        if let Err(pos) = pks.binary_search(&pk) {
+            pks.insert(pos, pk);
+            self.len += 1;
+        }
+    }
+
+    pub fn remove(&mut self, value: &Value, pk: &Value) {
+        if let Some(pks) = self.map.get_mut(value) {
+            if let Ok(pos) = pks.binary_search(pk) {
+                pks.remove(pos);
+                self.len -= 1;
+            }
+            if pks.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Primary keys of records whose indexed value equals `value`.
+    pub fn lookup(&self, value: &Value) -> &[Value] {
+        self.map.get(value).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Primary keys for indexed values in `[low, high]` (inclusive),
+    /// with either bound optional.
+    pub fn range<'a>(
+        &'a self,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> impl Iterator<Item = (&'a Value, &'a Value)> + 'a {
+        let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
+        self.map
+            .range((lo, hi))
+            .flat_map(|(v, pks)| pks.iter().map(move |pk| (v, pk)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(Value::str("US"), Value::Int(1));
+        ix.insert(Value::str("US"), Value::Int(2));
+        ix.insert(Value::str("FR"), Value::Int(3));
+        assert_eq!(ix.lookup(&Value::str("US")).len(), 2);
+        assert_eq!(ix.len(), 3);
+        ix.remove(&Value::str("US"), &Value::Int(1));
+        assert_eq!(ix.lookup(&Value::str("US")), &[Value::Int(2)]);
+        ix.remove(&Value::str("US"), &Value::Int(2));
+        assert!(ix.lookup(&Value::str("US")).is_empty());
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut ix = BTreeIndex::new();
+        ix.insert(Value::str("US"), Value::Int(1));
+        ix.insert(Value::str("US"), Value::Int(1));
+        assert_eq!(ix.len(), 1);
+    }
+
+    #[test]
+    fn range_scan() {
+        let mut ix = BTreeIndex::new();
+        for i in 0..10 {
+            ix.insert(Value::Int(i), Value::Int(100 + i));
+        }
+        let got: Vec<i64> = ix
+            .range(Some(&Value::Int(3)), Some(&Value::Int(6)))
+            .map(|(_, pk)| pk.as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![103, 104, 105, 106]);
+        assert_eq!(ix.range(None, Some(&Value::Int(1))).count(), 2);
+        assert_eq!(ix.range(None, None).count(), 10);
+    }
+}

@@ -1,0 +1,462 @@
+//! An R-tree over points, mapping locations to primary keys.
+//!
+//! Classic Guttman R-tree with quadratic split. Inserted geometries are
+//! points (all the paper's spatial reference data is point-located);
+//! queries are rectangles and circles ("monuments within 1.5 degrees of
+//! the tweet's location" probes with the circle's MBR, then filters by
+//! exact distance).
+
+use idea_adm::value::{Circle, Point, Rectangle, Value};
+
+const MAX_ENTRIES: usize = 16;
+const MIN_ENTRIES: usize = 4; // MAX / 4, per Guttman's guidance
+
+#[derive(Debug, Clone)]
+struct LeafEntry {
+    point: Point,
+    pk: Value,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<LeafEntry>),
+    Inner(Vec<(Rectangle, Box<Node>)>),
+}
+
+impl Node {
+    fn mbr(&self) -> Rectangle {
+        match self {
+            Node::Leaf(entries) => mbr_of_points(entries.iter().map(|e| &e.point)),
+            Node::Inner(children) => mbr_of_rects(children.iter().map(|(r, _)| r)),
+        }
+    }
+
+    fn entry_count(&self) -> usize {
+        match self {
+            Node::Leaf(e) => e.len(),
+            Node::Inner(c) => c.len(),
+        }
+    }
+}
+
+fn point_rect(p: &Point) -> Rectangle {
+    Rectangle { low: *p, high: *p }
+}
+
+fn mbr_of_points<'a>(mut points: impl Iterator<Item = &'a Point>) -> Rectangle {
+    let first = points.next().expect("mbr of empty node");
+    let mut r = point_rect(first);
+    for p in points {
+        r = extend_rect(&r, &point_rect(p));
+    }
+    r
+}
+
+fn mbr_of_rects<'a>(mut rects: impl Iterator<Item = &'a Rectangle>) -> Rectangle {
+    let mut r = *rects.next().expect("mbr of empty node");
+    for s in rects {
+        r = extend_rect(&r, s);
+    }
+    r
+}
+
+fn extend_rect(a: &Rectangle, b: &Rectangle) -> Rectangle {
+    Rectangle {
+        low: Point::new(a.low.x.min(b.low.x), a.low.y.min(b.low.y)),
+        high: Point::new(a.high.x.max(b.high.x), a.high.y.max(b.high.y)),
+    }
+}
+
+fn area(r: &Rectangle) -> f64 {
+    (r.high.x - r.low.x) * (r.high.y - r.low.y)
+}
+
+fn enlargement(r: &Rectangle, add: &Rectangle) -> f64 {
+    area(&extend_rect(r, add)) - area(r)
+}
+
+/// A spatial secondary index over `(point, primary key)` entries.
+#[derive(Debug)]
+pub struct RTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        RTree::new()
+    }
+}
+
+impl RTree {
+    pub fn new() -> Self {
+        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts an entry. Duplicate `(point, pk)` pairs are allowed and
+    /// filtered by the dataset layer, which never inserts the same pk
+    /// twice without removing it first.
+    pub fn insert(&mut self, point: Point, pk: Value) {
+        if let Some((r1, n1, r2, n2)) = Self::insert_rec(&mut self.root, LeafEntry { point, pk }) {
+            // Root split: grow the tree by one level.
+            self.root = Node::Inner(vec![(r1, n1), (r2, n2)]);
+        }
+        self.len += 1;
+    }
+
+    // Returns Some(split halves) if `node` overflowed and split.
+    fn insert_rec(
+        node: &mut Node,
+        entry: LeafEntry,
+    ) -> Option<(Rectangle, Box<Node>, Rectangle, Box<Node>)> {
+        match node {
+            Node::Leaf(entries) => {
+                entries.push(entry);
+                if entries.len() > MAX_ENTRIES {
+                    let (a, b) = split_leaf(std::mem::take(entries));
+                    let (ra, rb) = (
+                        mbr_of_points(a.iter().map(|e| &e.point)),
+                        mbr_of_points(b.iter().map(|e| &e.point)),
+                    );
+                    Some((ra, Box::new(Node::Leaf(a)), rb, Box::new(Node::Leaf(b))))
+                } else {
+                    None
+                }
+            }
+            Node::Inner(children) => {
+                let target = point_rect(&entry.point);
+                // Choose the child needing least enlargement (ties: least area).
+                let idx = children
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (r1, _)), (_, (r2, _))| {
+                        enlargement(r1, &target)
+                            .partial_cmp(&enlargement(r2, &target))
+                            .unwrap()
+                            .then(area(r1).partial_cmp(&area(r2)).unwrap())
+                    })
+                    .map(|(i, _)| i)
+                    .expect("inner node has children");
+                let split = Self::insert_rec(&mut children[idx].1, entry);
+                match split {
+                    None => {
+                        children[idx].0 = children[idx].1.mbr();
+                        None
+                    }
+                    Some((r1, n1, r2, n2)) => {
+                        children[idx] = (r1, n1);
+                        children.push((r2, n2));
+                        if children.len() > MAX_ENTRIES {
+                            let (a, b) = split_inner(std::mem::take(children));
+                            let (ra, rb) = (
+                                mbr_of_rects(a.iter().map(|(r, _)| r)),
+                                mbr_of_rects(b.iter().map(|(r, _)| r)),
+                            );
+                            Some((ra, Box::new(Node::Inner(a)), rb, Box::new(Node::Inner(b))))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the entry for `(point, pk)`, if present. Underfull nodes
+    /// are condensed by re-inserting their remaining entries.
+    pub fn remove(&mut self, point: &Point, pk: &Value) -> bool {
+        let mut orphans = Vec::new();
+        let removed = Self::remove_rec(&mut self.root, point, pk, &mut orphans);
+        if removed {
+            self.len -= 1;
+        }
+        // Shrink a root with a single child.
+        if let Node::Inner(children) = &mut self.root {
+            if children.len() == 1 {
+                let (_, only) = children.pop().unwrap();
+                self.root = *only;
+            } else if children.is_empty() {
+                self.root = Node::Leaf(Vec::new());
+            }
+        }
+        for e in orphans {
+            self.len -= 1; // re-insert will re-count
+            self.insert(e.point, e.pk);
+        }
+        removed
+    }
+
+    // Returns true if the entry was removed under this node.
+    fn remove_rec(node: &mut Node, point: &Point, pk: &Value, orphans: &mut Vec<LeafEntry>) -> bool {
+        match node {
+            Node::Leaf(entries) => {
+                if let Some(pos) = entries.iter().position(|e| e.point == *point && &e.pk == pk) {
+                    entries.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Inner(children) => {
+                let mut removed = false;
+                let mut remove_child: Option<usize> = None;
+                for (i, (mbr, child)) in children.iter_mut().enumerate() {
+                    if mbr.contains_point(point) && Self::remove_rec(child, point, pk, orphans) {
+                        removed = true;
+                        if child.entry_count() < MIN_ENTRIES {
+                            remove_child = Some(i);
+                        } else {
+                            *mbr = child.mbr();
+                        }
+                        break;
+                    }
+                }
+                if let Some(i) = remove_child {
+                    let (_, child) = children.remove(i);
+                    collect_entries(*child, orphans);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Collects primary keys of entries whose point lies in `rect`.
+    pub fn query_rect(&self, rect: &Rectangle) -> Vec<&Value> {
+        let mut out = Vec::new();
+        self.query_rec(&self.root, rect, &mut |e| out.push(&e.pk));
+        out
+    }
+
+    /// Collects `(point, pk)` for entries within `circle` (exact
+    /// distance test after the MBR probe).
+    pub fn query_circle(&self, circle: &Circle) -> Vec<(Point, &Value)> {
+        let mbr = circle.mbr();
+        let mut out = Vec::new();
+        self.query_rec(&self.root, &mbr, &mut |e| {
+            if circle.contains_point(&e.point) {
+                out.push((e.point, &e.pk));
+            }
+        });
+        out
+    }
+
+    fn query_rec<'a>(&'a self, node: &'a Node, rect: &Rectangle, visit: &mut impl FnMut(&'a LeafEntry)) {
+        match node {
+            Node::Leaf(entries) => {
+                for e in entries {
+                    if rect.contains_point(&e.point) {
+                        visit(e);
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects_rect(rect) {
+                        self.query_rec(child, rect, visit);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Depth of the tree (1 = a single leaf); exposed for tests.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Inner(children) = node {
+            d += 1;
+            node = &children[0].1;
+        }
+        d
+    }
+}
+
+fn collect_entries(node: Node, out: &mut Vec<LeafEntry>) {
+    match node {
+        Node::Leaf(mut entries) => out.append(&mut entries),
+        Node::Inner(children) => {
+            for (_, child) in children {
+                collect_entries(*child, out);
+            }
+        }
+    }
+}
+
+/// Quadratic split for leaf entries: pick the two seeds wasting the most
+/// area together, then assign each remaining entry to the group whose
+/// MBR it enlarges least.
+fn split_leaf(entries: Vec<LeafEntry>) -> (Vec<LeafEntry>, Vec<LeafEntry>) {
+    let rects: Vec<Rectangle> = entries.iter().map(|e| point_rect(&e.point)).collect();
+    let (s1, s2) = pick_seeds(&rects);
+    distribute(entries, rects, s1, s2)
+}
+
+fn split_inner(
+    children: Vec<(Rectangle, Box<Node>)>,
+) -> (Vec<(Rectangle, Box<Node>)>, Vec<(Rectangle, Box<Node>)>) {
+    let rects: Vec<Rectangle> = children.iter().map(|(r, _)| *r).collect();
+    let (s1, s2) = pick_seeds(&rects);
+    distribute(children, rects, s1, s2)
+}
+
+fn pick_seeds(rects: &[Rectangle]) -> (usize, usize) {
+    let mut worst = (0, 1);
+    let mut worst_waste = f64::NEG_INFINITY;
+    for i in 0..rects.len() {
+        for j in (i + 1)..rects.len() {
+            let waste = area(&extend_rect(&rects[i], &rects[j])) - area(&rects[i]) - area(&rects[j]);
+            if waste > worst_waste {
+                worst_waste = waste;
+                worst = (i, j);
+            }
+        }
+    }
+    worst
+}
+
+fn distribute<T>(items: Vec<T>, rects: Vec<Rectangle>, s1: usize, s2: usize) -> (Vec<T>, Vec<T>) {
+    let mut g1 = Vec::new();
+    let mut g2 = Vec::new();
+    let mut r1 = rects[s1];
+    let mut r2 = rects[s2];
+    let total = items.len();
+    for (i, (item, rect)) in items.into_iter().zip(rects.into_iter()).enumerate() {
+        if i == s1 {
+            g1.push(item);
+            continue;
+        }
+        if i == s2 {
+            g2.push(item);
+            continue;
+        }
+        // Force-assign the remainder if a group must take everything left
+        // (this entry included) to reach MIN_ENTRIES.
+        let after = (total - i - 1) - usize::from(s1 > i) - usize::from(s2 > i);
+        let remaining = after + 1;
+        if g1.len() + remaining <= MIN_ENTRIES {
+            r1 = extend_rect(&r1, &rect);
+            g1.push(item);
+            continue;
+        }
+        if g2.len() + remaining <= MIN_ENTRIES {
+            r2 = extend_rect(&r2, &rect);
+            g2.push(item);
+            continue;
+        }
+        if enlargement(&r1, &rect) <= enlargement(&r2, &rect) {
+            r1 = extend_rect(&r1, &rect);
+            g1.push(item);
+        } else {
+            r2 = extend_rect(&r2, &rect);
+            g2.push(item);
+        }
+    }
+    (g1, g2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: i64) -> RTree {
+        let mut t = RTree::new();
+        for i in 0..n {
+            // 2-D grid walk so points spread out deterministically.
+            let x = (i % 100) as f64;
+            let y = (i / 100) as f64;
+            t.insert(Point::new(x, y), Value::Int(i));
+        }
+        t
+    }
+
+    fn naive_circle(n: i64, c: &Circle) -> Vec<i64> {
+        let mut out: Vec<i64> = (0..n)
+            .filter(|i| c.contains_point(&Point::new((i % 100) as f64, (i / 100) as f64)))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn query_matches_naive_scan() {
+        let n = 2000;
+        let t = build(n);
+        for (cx, cy, r) in [(10.0, 5.0, 3.0), (50.0, 10.0, 7.5), (0.0, 0.0, 1.0), (99.0, 19.0, 200.0)] {
+            let c = Circle::new(Point::new(cx, cy), r);
+            let mut got: Vec<i64> =
+                t.query_circle(&c).iter().map(|(_, pk)| pk.as_int().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, naive_circle(n, &c), "circle ({cx},{cy},{r})");
+        }
+    }
+
+    #[test]
+    fn rect_query() {
+        let t = build(500);
+        let r = Rectangle::new(Point::new(2.0, 1.0), Point::new(4.0, 3.0));
+        let got = t.query_rect(&r);
+        // x in {2,3,4}, y in {1,2,3} → 9 grid points
+        assert_eq!(got.len(), 9);
+    }
+
+    #[test]
+    fn tree_grows_in_depth() {
+        let t = build(2000);
+        assert!(t.depth() >= 2);
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn remove_then_query() {
+        let mut t = build(200);
+        assert!(t.remove(&Point::new(5.0, 0.0), &Value::Int(5)));
+        assert!(!t.remove(&Point::new(5.0, 0.0), &Value::Int(5)), "double remove");
+        assert_eq!(t.len(), 199);
+        let c = Circle::new(Point::new(5.0, 0.0), 0.1);
+        assert!(t.query_circle(&c).is_empty());
+    }
+
+    #[test]
+    fn remove_many_keeps_answers_correct() {
+        let n = 1000;
+        let mut t = build(n);
+        for i in (0..n).step_by(2) {
+            assert!(t.remove(&Point::new((i % 100) as f64, (i / 100) as f64), &Value::Int(i)));
+        }
+        assert_eq!(t.len(), 500);
+        let c = Circle::new(Point::new(50.0, 5.0), 10.0);
+        let mut got: Vec<i64> =
+            t.query_circle(&c).iter().map(|(_, pk)| pk.as_int().unwrap()).collect();
+        got.sort_unstable();
+        let want: Vec<i64> = naive_circle(n, &c).into_iter().filter(|i| i % 2 == 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::new();
+        assert!(t.query_rect(&Rectangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))).is_empty());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_different_pks() {
+        let mut t = RTree::new();
+        for i in 0..30 {
+            t.insert(Point::new(1.0, 1.0), Value::Int(i));
+        }
+        let c = Circle::new(Point::new(1.0, 1.0), 0.5);
+        assert_eq!(t.query_circle(&c).len(), 30);
+        assert!(t.remove(&Point::new(1.0, 1.0), &Value::Int(7)));
+        assert_eq!(t.query_circle(&c).len(), 29);
+    }
+}

@@ -1,0 +1,113 @@
+//! Bloom filters on immutable components.
+//!
+//! AsterixDB attaches a Bloom filter to every disk component so point
+//! lookups skip components that cannot contain the key (Alsubaiee et
+//! al., "Storage Management in AsterixDB"). Reference-data point probes
+//! during enrichment (primary-key INLJ, §4.3.4) hit every component of
+//! the stack, so the filter directly reduces per-probe work once a
+//! dataset has accumulated several components.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use idea_adm::Value;
+
+/// Target bits per key (10 bits ≈ 1% false-positive rate at k = 7).
+const BITS_PER_KEY: usize = 10;
+const NUM_HASHES: u32 = 7;
+
+/// A fixed Bloom filter built once over a component's keys.
+#[derive(Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    nbits: u64,
+}
+
+impl BloomFilter {
+    /// Builds a filter sized for `keys.len()` entries.
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a Value>) -> Self {
+        let nbits = (keys.len() * BITS_PER_KEY).max(64) as u64;
+        let mut f = BloomFilter { bits: vec![0u64; nbits.div_ceil(64) as usize], nbits };
+        for k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    fn hashes(&self, key: &Value) -> (u64, u64) {
+        let mut h1 = DefaultHasher::new();
+        key.hash(&mut h1);
+        let a = h1.finish();
+        // Second, independent-ish hash by re-hashing the first.
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h2);
+        0xdeadbeef_u64.hash(&mut h2);
+        (a, h2.finish() | 1)
+    }
+
+    fn insert(&mut self, key: &Value) {
+        let (a, b) = self.hashes(key);
+        for i in 0..NUM_HASHES {
+            let bit = a.wrapping_add(b.wrapping_mul(i as u64)) % self.nbits;
+            self.bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// `false` means the key is definitely absent; `true` means it *may*
+    /// be present.
+    pub fn may_contain(&self, key: &Value) -> bool {
+        let (a, b) = self.hashes(key);
+        (0..NUM_HASHES).all(|i| {
+            let bit = a.wrapping_add(b.wrapping_mul(i as u64)) % self.nbits;
+            self.bits[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Filter size in bits (diagnostics).
+    pub fn nbits(&self) -> u64 {
+        self.nbits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<Value> = (0..5_000).map(Value::Int).collect();
+        let f = BloomFilter::build(keys.iter());
+        for k in &keys {
+            assert!(f.may_contain(k), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let keys: Vec<Value> = (0..5_000).map(Value::Int).collect();
+        let f = BloomFilter::build(keys.iter());
+        let fps = (5_000i64..25_000)
+            .filter(|i| f.may_contain(&Value::Int(*i)))
+            .count();
+        let rate = fps as f64 / 20_000.0;
+        assert!(rate < 0.05, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let keys: Vec<Value> = (0..500).map(|i| Value::str(format!("C{i:03}"))).collect();
+        let f = BloomFilter::build(keys.iter());
+        assert!(f.may_contain(&Value::str("C042")));
+        let fps = (1000..3000)
+            .filter(|i| f.may_contain(&Value::str(format!("X{i}"))))
+            .count();
+        assert!(fps < 120, "{fps} string false positives");
+    }
+
+    #[test]
+    fn empty_filter_rejects() {
+        let keys: Vec<Value> = Vec::new();
+        let f = BloomFilter::build(keys.iter());
+        assert!(!f.may_contain(&Value::Int(1)));
+    }
+}

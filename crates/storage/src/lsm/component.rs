@@ -1,0 +1,158 @@
+//! Immutable sorted LSM components.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+use super::bloom::BloomFilter;
+use super::Memtable;
+
+/// An immutable, sorted run of `(key, entry)` pairs produced by a flush
+/// or a merge. Lookup consults a Bloom filter, then binary-searches the
+/// key column.
+#[derive(Debug)]
+pub struct Component {
+    id: u64,
+    keys: Vec<Value>,
+    entries: Vec<Option<Value>>,
+    bloom: BloomFilter,
+}
+
+impl Component {
+    /// Freezes a memtable into a component.
+    pub fn from_memtable(id: u64, mem: Memtable) -> Self {
+        let pairs = mem.into_entries();
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (k, e) in pairs {
+            keys.push(k);
+            entries.push(e);
+        }
+        let bloom = BloomFilter::build(keys.iter());
+        Component { id, keys, entries, bloom }
+    }
+
+    /// Builds a component directly from sorted, deduplicated pairs
+    /// (bulk load).
+    pub fn from_sorted(id: u64, pairs: Vec<(Value, Option<Value>)>) -> Self {
+        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "bulk load requires sorted unique keys");
+        let mut keys = Vec::with_capacity(pairs.len());
+        let mut entries = Vec::with_capacity(pairs.len());
+        for (k, e) in pairs {
+            keys.push(k);
+            entries.push(e);
+        }
+        let bloom = BloomFilter::build(keys.iter());
+        Component { id, keys, entries, bloom }
+    }
+
+    /// Merges components (index 0 = newest) into one, dropping tombstones
+    /// (a full merge makes tombstones unnecessary).
+    pub fn merge(id: u64, components: &[Arc<Component>]) -> Component {
+        let mut iters: Vec<_> = components.iter().map(|c| c.iter().peekable()).collect();
+        let mut keys = Vec::new();
+        let mut entries = Vec::new();
+        loop {
+            let mut best: Option<(usize, &Value)> = None;
+            for (i, it) in iters.iter_mut().enumerate() {
+                if let Some((k, _)) = it.peek() {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if *k < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, key)) = best else { break };
+            let key = key.clone();
+            let (_, entry) = iters[winner].next().unwrap();
+            for (i, it) in iters.iter_mut().enumerate() {
+                if i != winner {
+                    while matches!(it.peek(), Some((k, _)) if **k == key) {
+                        it.next();
+                    }
+                }
+            }
+            if entry.is_some() {
+                keys.push(key);
+                entries.push(entry.clone());
+            }
+        }
+        let bloom = BloomFilter::build(keys.iter());
+        Component { id, keys, entries, bloom }
+    }
+
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Entry lookup: `None` = key not in this component,
+    /// `Some(None)` = tombstone. The Bloom filter short-circuits probes
+    /// for keys the component cannot hold.
+    pub fn get(&self, key: &Value) -> Option<&Option<Value>> {
+        if !self.bloom.may_contain(key) {
+            return None;
+        }
+        self.keys
+            .binary_search_by(|k| k.cmp(key))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Iterates `(key, entry)` pairs in key order, tombstones included.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Option<Value>)> {
+        self.keys.iter().zip(self.entries.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comp(id: u64, pairs: Vec<(i64, Option<&str>)>) -> Arc<Component> {
+        Arc::new(Component::from_sorted(
+            id,
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), v.map(Value::str)))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn binary_search_get() {
+        let c = comp(0, vec![(1, Some("a")), (3, Some("b")), (5, None)]);
+        assert_eq!(c.get(&Value::Int(3)), Some(&Some(Value::str("b"))));
+        assert_eq!(c.get(&Value::Int(5)), Some(&None));
+        assert_eq!(c.get(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn merge_newest_wins_and_drops_tombstones() {
+        let newest = comp(2, vec![(1, Some("new")), (2, None)]);
+        let oldest = comp(1, vec![(1, Some("old")), (2, Some("gone")), (3, Some("keep"))]);
+        let merged = Component::merge(3, &[newest, oldest]);
+        let got: Vec<(i64, String)> = merged
+            .iter()
+            .map(|(k, e)| (k.as_int().unwrap(), e.clone().unwrap().as_str().unwrap().to_owned()))
+            .collect();
+        assert_eq!(got, vec![(1, "new".to_owned()), (3, "keep".to_owned())]);
+    }
+
+    #[test]
+    fn merge_of_disjoint_interleaves() {
+        let a = comp(1, vec![(1, Some("a")), (4, Some("d"))]);
+        let b = comp(0, vec![(2, Some("b")), (3, Some("c"))]);
+        let merged = Component::merge(2, &[a, b]);
+        let keys: Vec<i64> = merged.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+}

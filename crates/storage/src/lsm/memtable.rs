@@ -1,0 +1,96 @@
+//! The active in-memory LSM component.
+
+use std::collections::BTreeMap;
+
+use idea_adm::Value;
+
+/// In-memory write buffer: primary key → entry, where `None` is a
+/// tombstone. Tracks an approximate byte footprint for flush decisions.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    map: BTreeMap<Value, Option<Value>>,
+    approx_bytes: usize,
+}
+
+impl Memtable {
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Inserts or replaces the entry for `key`.
+    pub fn put(&mut self, key: Value, value: Option<Value>) {
+        let key_size = key.approx_size();
+        let val_size = value.as_ref().map(Value::approx_size).unwrap_or(1);
+        if let Some(old) = self.map.insert(key, value) {
+            let removed = old.as_ref().map(Value::approx_size).unwrap_or(1);
+            self.approx_bytes = self.approx_bytes.saturating_sub(removed) + val_size;
+        } else {
+            self.approx_bytes += key_size + val_size + 32;
+        }
+    }
+
+    /// Entry lookup: `None` = not present, `Some(None)` = tombstone.
+    pub fn get(&self, key: &Value) -> Option<&Option<Value>> {
+        self.map.get(key)
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Iterates entries in key order (tombstones included).
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Option<Value>)> {
+        self.map.iter()
+    }
+
+    /// Consumes the memtable into its sorted entries.
+    pub fn into_entries(self) -> Vec<(Value, Option<Value>)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get() {
+        let mut m = Memtable::new();
+        m.put(Value::Int(1), Some(Value::str("a")));
+        assert_eq!(m.get(&Value::Int(1)), Some(&Some(Value::str("a"))));
+        assert_eq!(m.get(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn tombstone_distinct_from_absent() {
+        let mut m = Memtable::new();
+        m.put(Value::Int(1), None);
+        assert_eq!(m.get(&Value::Int(1)), Some(&None));
+    }
+
+    #[test]
+    fn bytes_grow_with_entries() {
+        let mut m = Memtable::new();
+        let before = m.approx_bytes();
+        m.put(Value::Int(1), Some(Value::str("hello world")));
+        assert!(m.approx_bytes() > before);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let mut m = Memtable::new();
+        for i in [3i64, 1, 2] {
+            m.put(Value::Int(i), Some(Value::Int(i)));
+        }
+        let keys: Vec<i64> = m.iter().map(|(k, _)| k.as_int().unwrap()).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,303 @@
+//! Log-structured merge-tree internals.
+//!
+//! The tree holds an active in-memory component (the [`Memtable`]) plus
+//! a stack of sorted immutable components, newest first. Writes go to
+//! the memtable; when it exceeds its byte budget it is *flushed* into a
+//! new immutable component. When the stack grows past the merge
+//! threshold, all immutable components are merged into one (AsterixDB's
+//! "constant" merge policy is the default in the paper's era).
+//!
+//! Deletes write tombstones; a key's newest entry (memtable, then
+//! newest-to-oldest component) wins on read.
+
+mod bloom;
+mod component;
+mod memtable;
+
+pub use bloom::BloomFilter;
+pub use component::Component;
+pub use memtable::Memtable;
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+/// Tuning knobs for one LSM tree.
+#[derive(Debug, Clone)]
+pub struct LsmConfig {
+    /// Flush the memtable once its approximate footprint exceeds this.
+    pub memtable_budget_bytes: usize,
+    /// Merge all immutable components once there are more than this many.
+    pub merge_threshold: usize,
+}
+
+impl Default for LsmConfig {
+    fn default() -> Self {
+        LsmConfig { memtable_budget_bytes: 4 << 20, merge_threshold: 4 }
+    }
+}
+
+/// One LSM tree: the active memtable plus immutable components
+/// (index 0 = newest). Not internally synchronized; [`crate::Dataset`]
+/// wraps it in a lock.
+#[derive(Debug)]
+pub struct LsmTree {
+    pub(crate) memtable: Memtable,
+    /// Immutable components, newest first.
+    pub(crate) components: Vec<Arc<Component>>,
+    config: LsmConfig,
+    next_component_id: u64,
+    flushes: u64,
+    merges: u64,
+}
+
+impl LsmTree {
+    pub fn new(config: LsmConfig) -> Self {
+        LsmTree {
+            memtable: Memtable::new(),
+            components: Vec::new(),
+            config,
+            next_component_id: 0,
+            flushes: 0,
+            merges: 0,
+        }
+    }
+
+    /// Writes a record (or tombstone when `value` is `None`) under `key`,
+    /// then flushes/merges if budgets are exceeded.
+    pub fn put(&mut self, key: Value, value: Option<Value>) {
+        self.memtable.put(key, value);
+        if self.memtable.approx_bytes() > self.config.memtable_budget_bytes {
+            self.flush();
+        }
+    }
+
+    /// Newest visible entry for `key`: `None` = never written or
+    /// tombstoned away.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        if let Some(entry) = self.memtable.get(key) {
+            return entry.as_ref();
+        }
+        for c in &self.components {
+            if let Some(entry) = c.get(key) {
+                return entry.as_ref();
+            }
+        }
+        None
+    }
+
+    /// Whether `key` has a visible (non-tombstone) entry.
+    pub fn contains(&self, key: &Value) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Forces the memtable into a new immutable component (no-op when
+    /// empty), merging afterwards if the component stack is too tall.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let mem = std::mem::replace(&mut self.memtable, Memtable::new());
+        let id = self.next_component_id;
+        self.next_component_id += 1;
+        self.components.insert(0, Arc::new(Component::from_memtable(id, mem)));
+        self.flushes += 1;
+        if self.components.len() > self.config.merge_threshold {
+            self.merge_all();
+        }
+    }
+
+    /// Merges every immutable component into a single one (newest entry
+    /// per key wins; tombstones for keys absent elsewhere are dropped).
+    pub fn merge_all(&mut self) {
+        if self.components.len() < 2 {
+            return;
+        }
+        let id = self.next_component_id;
+        self.next_component_id += 1;
+        let merged = Component::merge(id, &self.components);
+        self.components = vec![Arc::new(merged)];
+        self.merges += 1;
+    }
+
+    /// Snapshot of the current component stack (cheap: Arc clones).
+    pub fn component_snapshot(&self) -> Vec<Arc<Component>> {
+        self.components.clone()
+    }
+
+    /// Number of live (non-tombstone) entries, counting overwrites once.
+    /// Linear in total entries; used by stats and tests, not hot paths.
+    pub fn live_count(&self) -> usize {
+        self.iter_live().count()
+    }
+
+    /// Iterates all visible `(key, value)` pairs in key order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (&Value, &Value)> {
+        LiveIter::new(self)
+    }
+
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    pub fn merge_count(&self) -> u64 {
+        self.merges
+    }
+}
+
+/// K-way merging iterator over memtable + components yielding the newest
+/// visible entry per key, in key order.
+struct LiveIter<'a> {
+    // Each source is a peekable iterator over (key, entry), plus its
+    // priority (0 = memtable = newest).
+    sources: Vec<std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>>,
+}
+
+impl<'a> LiveIter<'a> {
+    fn new(tree: &'a LsmTree) -> Self {
+        let mut sources: Vec<
+            std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>,
+        > = Vec::with_capacity(tree.components.len() + 1);
+        let mem: Box<dyn Iterator<Item = _>> = Box::new(tree.memtable.iter());
+        sources.push(mem.peekable());
+        for c in &tree.components {
+            let it: Box<dyn Iterator<Item = _>> = Box::new(c.iter());
+            sources.push(it.peekable());
+        }
+        LiveIter { sources }
+    }
+}
+
+impl<'a> Iterator for LiveIter<'a> {
+    type Item = (&'a Value, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Find the smallest key across sources; among equal keys the
+            // lowest source index (newest data) wins.
+            let mut best: Option<(usize, &'a Value)> = None;
+            for (i, src) in self.sources.iter_mut().enumerate() {
+                if let Some((k, _)) = src.peek() {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if *k < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let (winner, key) = best?;
+            let (_, entry) = self.sources[winner].next().unwrap();
+            // Advance every other source past this key (shadowed entries).
+            for (i, src) in self.sources.iter_mut().enumerate() {
+                if i == winner {
+                    continue;
+                }
+                while matches!(src.peek(), Some((k, _)) if *k == key) {
+                    src.next();
+                }
+            }
+            if let Some(v) = entry.as_ref() {
+                return Some((key, v));
+            }
+            // Tombstone: skip and continue.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> LsmTree {
+        LsmTree::new(LsmConfig { memtable_budget_bytes: 200, merge_threshold: 3 })
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut t = LsmTree::new(LsmConfig::default());
+        t.put(Value::Int(1), Some(Value::str("a")));
+        t.put(Value::Int(1), Some(Value::str("b")));
+        assert_eq!(t.get(&Value::Int(1)), Some(&Value::str("b")));
+        assert_eq!(t.get(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn tombstone_hides_older_component_entry() {
+        let mut t = small_tree();
+        t.put(Value::Int(1), Some(Value::str("a")));
+        t.flush();
+        t.put(Value::Int(1), None);
+        assert_eq!(t.get(&Value::Int(1)), None);
+        t.flush();
+        assert_eq!(t.get(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn auto_flush_on_budget() {
+        let mut t = small_tree();
+        for i in 0..100 {
+            t.put(Value::Int(i), Some(Value::str("x".repeat(20))));
+        }
+        assert!(t.flush_count() > 0, "memtable budget should force flushes");
+        for i in 0..100 {
+            assert!(t.contains(&Value::Int(i)), "key {i} lost across flush");
+        }
+    }
+
+    #[test]
+    fn merge_collapses_components() {
+        let mut t = small_tree();
+        for round in 0..5 {
+            for i in 0..10 {
+                t.put(Value::Int(i), Some(Value::Int(round)));
+            }
+            t.flush();
+        }
+        assert!(t.component_count() <= 3);
+        assert!(t.merge_count() > 0);
+        for i in 0..10 {
+            assert_eq!(t.get(&Value::Int(i)), Some(&Value::Int(4)), "newest round wins");
+        }
+    }
+
+    #[test]
+    fn iter_live_in_key_order_newest_wins() {
+        let mut t = small_tree();
+        t.put(Value::Int(2), Some(Value::str("old2")));
+        t.put(Value::Int(3), Some(Value::str("three")));
+        t.flush();
+        t.put(Value::Int(2), Some(Value::str("new2")));
+        t.put(Value::Int(1), Some(Value::str("one")));
+        t.put(Value::Int(3), None); // delete
+        let got: Vec<(Value, Value)> =
+            t.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (Value::Int(1), Value::str("one")),
+                (Value::Int(2), Value::str("new2")),
+            ]
+        );
+    }
+
+    #[test]
+    fn live_count_ignores_shadowed() {
+        let mut t = small_tree();
+        for i in 0..10 {
+            t.put(Value::Int(i), Some(Value::Int(i)));
+        }
+        t.flush();
+        for i in 0..10 {
+            t.put(Value::Int(i), Some(Value::Int(-i)));
+        }
+        assert_eq!(t.live_count(), 10);
+    }
+}

@@ -1,0 +1,84 @@
+//! Lock-free operation counters for datasets.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing the traffic a dataset has seen; used by
+//  benchmarks and the cluster-simulator calibration.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    inserts: AtomicU64,
+    upserts: AtomicU64,
+    deletes: AtomicU64,
+    lookups: AtomicU64,
+    index_probes: AtomicU64,
+    scans: AtomicU64,
+    bulk_loaded: AtomicU64,
+}
+
+/// A point-in-time copy of [`StorageStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub inserts: u64,
+    pub upserts: u64,
+    pub deletes: u64,
+    pub lookups: u64,
+    pub index_probes: u64,
+    pub scans: u64,
+    pub bulk_loaded: u64,
+}
+
+impl StorageStats {
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_upsert(&self) {
+        self.upserts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_delete(&self) {
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_lookup(&self) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_index_probe(&self) {
+        self.index_probes.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_scan(&self) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn record_bulk_load(&self, n: u64) {
+        self.bulk_loaded.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            inserts: self.inserts.load(Ordering::Relaxed),
+            upserts: self.upserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            lookups: self.lookups.load(Ordering::Relaxed),
+            index_probes: self.index_probes.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            bulk_loaded: self.bulk_loaded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = StorageStats::default();
+        s.record_insert();
+        s.record_insert();
+        s.record_scan();
+        s.record_bulk_load(10);
+        let snap = s.snapshot();
+        assert_eq!(snap.inserts, 2);
+        assert_eq!(snap.scans, 1);
+        assert_eq!(snap.bulk_loaded, 10);
+        assert_eq!(snap.deletes, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests: the LSM dataset behaves like a simple map; the R-tree
+//! answers like a naive scan.
+
+use std::collections::BTreeMap;
+
+use idea_adm::value::{Circle, Point};
+use idea_adm::{Datatype, TypeTag, Value};
+use idea_storage::dataset::{Dataset, DatasetConfig};
+use idea_storage::index::RTree;
+use idea_storage::lsm::{LsmConfig, LsmTree};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(i64, i64),
+    Delete(i64),
+    Flush,
+    Merge,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0i64..50, any::<i64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0i64..50).prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Merge),
+    ]
+}
+
+proptest! {
+    /// The LSM tree agrees with a BTreeMap model under any op sequence,
+    /// for both point gets and full live iteration.
+    #[test]
+    fn lsm_matches_model(ops in prop::collection::vec(arb_op(), 0..200)) {
+        let mut tree = LsmTree::new(LsmConfig { memtable_budget_bytes: 512, merge_threshold: 3 });
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    tree.put(Value::Int(k), Some(Value::Int(v)));
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    tree.put(Value::Int(k), None);
+                    model.remove(&k);
+                }
+                Op::Flush => tree.flush(),
+                Op::Merge => tree.merge_all(),
+            }
+        }
+        for k in 0i64..50 {
+            let got = tree.get(&Value::Int(k)).and_then(Value::as_int);
+            prop_assert_eq!(got, model.get(&k).copied(), "get({})", k);
+        }
+        let live: Vec<(i64, i64)> = tree
+            .iter_live()
+            .map(|(k, v)| (k.as_int().unwrap(), v.as_int().unwrap()))
+            .collect();
+        let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(live, want);
+    }
+
+    /// R-tree query results equal a naive scan after arbitrary
+    /// insert/remove interleavings.
+    #[test]
+    fn rtree_matches_naive(
+        points in prop::collection::vec(((-50.0f64..50.0), (-50.0f64..50.0)), 1..150),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+        query in ((-50.0f64..50.0), (-50.0f64..50.0), (0.1f64..30.0)),
+    ) {
+        let mut tree = RTree::new();
+        let mut live: Vec<Option<Point>> = Vec::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            let p = Point::new(*x, *y);
+            tree.insert(p, Value::Int(i as i64));
+            live.push(Some(p));
+        }
+        for r in removals {
+            let i = r.index(points.len());
+            if let Some(p) = live[i].take() {
+                prop_assert!(tree.remove(&p, &Value::Int(i as i64)));
+            }
+        }
+        let (qx, qy, qr) = query;
+        let circle = Circle::new(Point::new(qx, qy), qr);
+        let mut got: Vec<i64> = tree
+            .query_circle(&circle)
+            .iter()
+            .map(|(_, pk)| pk.as_int().unwrap())
+            .collect();
+        got.sort_unstable();
+        let mut want: Vec<i64> = live
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Some(p) if circle.contains_point(p) => Some(i as i64),
+                _ => None,
+            })
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Upsert/delete through the Dataset keeps a maintained B-tree index
+    /// consistent with a from-scratch rebuild.
+    #[test]
+    fn secondary_index_consistent(ops in prop::collection::vec(
+        ((0i64..20), "[a-c]", any::<bool>()), 1..80)
+    ) {
+        let dt = Datatype::new("T").field("id", TypeTag::Int64).field("grp", TypeTag::String);
+        let ds = Dataset::new(
+            "T",
+            dt,
+            "id",
+            DatasetConfig { lsm: LsmConfig { memtable_budget_bytes: 512, merge_threshold: 2 }, skip_validation: false },
+        );
+        ds.create_index(idea_storage::index::IndexDef::btree("grp_ix", "grp")).unwrap();
+        let mut model: BTreeMap<i64, String> = BTreeMap::new();
+        for (id, grp, is_delete) in ops {
+            if is_delete {
+                ds.delete(&Value::Int(id)).unwrap();
+                model.remove(&id);
+            } else {
+                ds.upsert(Value::object([
+                    ("id", Value::Int(id)),
+                    ("grp", Value::str(grp.clone())),
+                ]))
+                .unwrap();
+                model.insert(id, grp);
+            }
+        }
+        for grp in ["a", "b", "c"] {
+            let mut got: Vec<i64> = ds
+                .index_lookup("grp_ix", &Value::str(grp))
+                .unwrap()
+                .iter()
+                .map(|r| r.as_object().unwrap().get("id").unwrap().as_int().unwrap())
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<i64> = model
+                .iter()
+                .filter(|(_, g)| g.as_str() == grp)
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "group {}", grp);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # idea-workload — the paper's evaluation workloads
+//!
+//! Synthetic but shape-faithful stand-ins for the paper's data (§7 and
+//! the appendix): a seeded tweet generator (~450 bytes/record, the
+//! paper's figure), generators for every reference dataset, the eight
+//! enrichment use cases as SQL++ UDFs (plus native "Java" equivalents
+//! for the first five), and reference-data update streams.
+//!
+//! All generation is deterministic per seed, so experiments are
+//! reproducible record-for-record.
+
+pub mod names;
+pub mod refdata;
+pub mod scale;
+pub mod scenarios;
+pub mod tweets;
+pub mod updates;
+
+pub use scale::WorkloadScale;
+pub use scenarios::{setup_scenario, Scenario, ScenarioKey};
+pub use tweets::TweetGenerator;

@@ -1,0 +1,127 @@
+//! Shared vocabulary: country codes, person names, religions, words.
+
+use rand::Rng;
+
+/// Country code `i` (`"C000"`, `"C001"`, ...). Tweets draw from the
+/// first [`crate::scale::TWEET_COUNTRIES`]; reference datasets may span
+/// a larger universe.
+pub fn country(i: usize) -> String {
+    format!("C{i:03}")
+}
+
+/// Religion name `i` (a small, closed set — the paper groups by it).
+pub fn religion(i: usize) -> String {
+    const RELIGIONS: &[&str] =
+        &["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"];
+    RELIGIONS[i % RELIGIONS.len()].to_owned()
+}
+
+pub const RELIGION_COUNT: usize = 8;
+
+/// Facility types (Tweet Context groups facilities by type).
+pub fn facility_type(i: usize) -> String {
+    const TYPES: &[&str] = &["school", "hospital", "station", "mall", "stadium", "airport"];
+    TYPES[i % TYPES.len()].to_owned()
+}
+
+/// Ethnicities (Tweet Context groups residents by ethnicity).
+pub fn ethnicity(i: usize) -> String {
+    const E: &[&str] = &["one", "two", "three", "four", "five"];
+    E[i % E.len()].to_owned()
+}
+
+const SYLLABLES: &[&str] = &[
+    "an", "bo", "ca", "da", "el", "fi", "go", "ha", "in", "jo", "ka", "lu", "ma", "ne", "or",
+    "pa", "qu", "ri", "sa", "tu",
+];
+
+/// A deterministic pseudo-name from an index (used for the suspects
+/// lists so tweets can reference "the same" names).
+pub fn person_name(i: usize) -> String {
+    let mut out = String::new();
+    let mut x = i.wrapping_mul(2_654_435_761) | 1;
+    for _ in 0..4 {
+        out.push_str(SYLLABLES[x % SYLLABLES.len()]);
+        x /= SYLLABLES.len();
+    }
+    out
+}
+
+/// A noisy variant of [`person_name`]: some characters perturbed, casing
+/// and separators added — within a small edit distance of the original
+/// after `remove_special` (the Fuzzy Suspects matching path).
+pub fn noisy_person_name<R: Rng>(i: usize, rng: &mut R) -> String {
+    let base = person_name(i);
+    let mut out = String::with_capacity(base.len() + 3);
+    for (j, ch) in base.chars().enumerate() {
+        if rng.random_range(0..8) == 0 {
+            // Drop, duplicate, or substitute a character.
+            match rng.random_range(0..3) {
+                0 => continue,
+                1 => {
+                    out.push(ch);
+                    out.push(ch);
+                }
+                _ => out.push(char::from(b'a' + rng.random_range(0..26u8))),
+            }
+        } else {
+            out.push(if j == 0 { ch.to_ascii_uppercase() } else { ch });
+        }
+        if rng.random_range(0..6) == 0 {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Filler words for tweet text.
+pub fn word(i: usize) -> &'static str {
+    const WORDS: &[&str] = &[
+        "the", "sunny", "rain", "coffee", "train", "game", "music", "travel", "news", "happy",
+        "city", "light", "river", "mountain", "street", "friend", "morning", "night", "dream",
+        "storm",
+    ];
+    WORDS[i % WORDS.len()]
+}
+
+/// Size of the sensitive-keyword pool shared by the tweet generator and
+/// the SensitiveWords reference data (alignment drives the safety-check
+/// hit rate).
+pub const KEYWORD_POOL: usize = 100;
+
+/// Sensitive keywords (a disjoint pool from [`word`], so a tweet is
+/// "Red" only when we planted a keyword).
+pub fn keyword(i: usize) -> String {
+    format!("kw{i:04}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn names_deterministic() {
+        assert_eq!(person_name(42), person_name(42));
+        assert_ne!(person_name(1), person_name(2));
+        assert!(person_name(7).len() >= 8);
+    }
+
+    #[test]
+    fn noisy_name_close_to_base() {
+        use idea_adm::functions::similarity::edit_distance;
+        use idea_adm::functions::string::remove_special;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for i in 0..50 {
+            let noisy = remove_special(&noisy_person_name(i, &mut rng));
+            let d = edit_distance(&noisy, &person_name(i));
+            assert!(d <= 6, "noise too large: {d}");
+        }
+    }
+
+    #[test]
+    fn vocabulary_cycles() {
+        assert_eq!(religion(0), religion(RELIGION_COUNT));
+        assert_eq!(country(5), "C005");
+    }
+}

@@ -1,0 +1,284 @@
+//! Reference-dataset generators (the appendix datasets, sized per
+//! [`crate::WorkloadScale`]). All values are ADM records ready for
+//! `bulk_load`.
+
+use idea_adm::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::scale::{WorkloadScale, TWEET_COUNTRIES};
+use crate::tweets::EPOCH_MS;
+
+fn rng(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0xA076_1D64_78BD_642F))
+}
+
+fn random_point(r: &mut StdRng) -> Value {
+    Value::point(r.random_range(-90.0..90.0), r.random_range(-180.0..180.0))
+}
+
+/// `SensitiveWords(wid, country, word)` — keywords per country (the
+/// Figure 8 dataset). Words come from the same pool the tweet generator
+/// plants, so the Red rate is nontrivial.
+pub fn sensitive_words(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 1);
+    (0..scale.sensitive_words)
+        .map(|i| {
+            Value::object([
+                ("wid", Value::Int(i as i64)),
+                ("country", Value::str(names::country(i % TWEET_COUNTRIES))),
+                ("word", Value::str(names::keyword(r.random_range(0..names::KEYWORD_POOL)))),
+            ])
+        })
+        .collect()
+}
+
+/// `SafetyRatings(country_code, safety_rating)` — 74 B/record in the
+/// paper; keyed over a country universe at least as large as the tweet
+/// countries.
+pub fn safety_ratings(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 2);
+    let n = scale.safety_ratings.max(TWEET_COUNTRIES);
+    (0..n)
+        .map(|i| {
+            Value::object([
+                ("country_code", Value::str(names::country(i))),
+                ("safety_rating", Value::str(["A", "B", "C", "D"][r.random_range(0..4)])),
+            ])
+        })
+        .collect()
+}
+
+/// `ReligiousPopulations(rid, country_name, religion_name, population)`.
+pub fn religious_populations(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 3);
+    let countries = (scale.religious_populations / names::RELIGION_COUNT).max(TWEET_COUNTRIES);
+    (0..scale.religious_populations)
+        .map(|i| {
+            Value::object([
+                ("rid", Value::str(format!("r{i}"))),
+                ("country_name", Value::str(names::country(i % countries))),
+                ("religion_name", Value::str(names::religion(i / countries))),
+                ("population", Value::Int(r.random_range(1_000..10_000_000))),
+            ])
+        })
+        .collect()
+}
+
+/// `SuspectsNames` for Fuzzy Suspects — alias of [`sensitive_names`]
+/// with the smaller §7.2 size.
+pub fn suspects_names(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    named_suspects(scale.suspects_names, seed, 4)
+}
+
+/// `SensitiveNames(sid, sensitiveName, religionName)` (1 M in §7.4.2).
+pub fn sensitive_names(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    named_suspects(scale.sensitive_names, seed, 5)
+}
+
+fn named_suspects(n: usize, seed: u64, salt: u64) -> Vec<Value> {
+    let mut r = rng(seed, salt);
+    (0..n)
+        .map(|i| {
+            Value::object([
+                ("sid", Value::Int(i as i64)),
+                ("sensitiveName", Value::str(names::person_name(i))),
+                ("religionName", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                ("threat_level", Value::Int(r.random_range(1..6))),
+            ])
+        })
+        .collect()
+}
+
+/// `SuspiciousNames(suspicious_name_id, suspicious_name, religion_name,
+/// threat_level)` — the exact-name join of Suspicious Names (use case 6).
+pub fn suspicious_names(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 6);
+    (0..scale.suspects_names)
+        .map(|i| {
+            Value::object([
+                ("suspicious_name_id", Value::str(format!("s{i}"))),
+                ("suspicious_name", Value::str(names::person_name(i))),
+                ("religion_name", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                ("threat_level", Value::Int(r.random_range(1..6))),
+            ])
+        })
+        .collect()
+}
+
+/// `monumentList(monument_id, monument_location)`.
+pub fn monuments(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 7);
+    (0..scale.monuments)
+        .map(|i| {
+            Value::object([
+                ("monument_id", Value::str(format!("m{i}"))),
+                ("monument_location", random_point(&mut r)),
+            ])
+        })
+        .collect()
+}
+
+/// `ReligiousBuildings(religious_building_id, religion_name,
+/// building_location, registered_believer)`.
+pub fn religious_buildings(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 8);
+    (0..scale.religious_buildings)
+        .map(|i| {
+            Value::object([
+                ("religious_building_id", Value::str(format!("b{i}"))),
+                ("religion_name", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                ("building_location", random_point(&mut r)),
+                ("registered_believer", Value::Int(r.random_range(10..100_000))),
+            ])
+        })
+        .collect()
+}
+
+/// `Facilities(facility_id, facility_location, facility_type)`.
+pub fn facilities(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 9);
+    (0..scale.facilities)
+        .map(|i| {
+            Value::object([
+                ("facility_id", Value::str(format!("f{i}"))),
+                ("facility_location", random_point(&mut r)),
+                ("facility_type", Value::str(names::facility_type(r.random_range(0..64)))),
+            ])
+        })
+        .collect()
+}
+
+/// `DistrictAreas(district_area_id, district_area)` — a grid of
+/// rectangles tiling the coordinate space so every tweet lands in
+/// exactly one district.
+pub fn district_areas(scale: &WorkloadScale, _seed: u64) -> Vec<Value> {
+    let n = scale.district_areas;
+    // Tile with an approximately square grid.
+    let cols = (n as f64).sqrt().ceil() as usize;
+    let rows = n.div_ceil(cols);
+    let (w, h) = (180.0 / cols as f64, 360.0 / rows as f64);
+    (0..n)
+        .map(|i| {
+            let (cx, cy) = (i % cols, i / cols);
+            let low = idea_adm::value::Point::new(-90.0 + cx as f64 * w, -180.0 + cy as f64 * h);
+            let high = idea_adm::value::Point::new(low.x + w, low.y + h);
+            Value::object([
+                ("district_area_id", Value::str(format!("d{i}"))),
+                (
+                    "district_area",
+                    Value::Rectangle(idea_adm::value::Rectangle::new(low, high)),
+                ),
+            ])
+        })
+        .collect()
+}
+
+/// `AverageIncomes(district_area_id, average_income)` — one row per
+/// district (extra rows reference wrap-around district ids).
+pub fn average_incomes(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 10);
+    (0..scale.average_incomes)
+        .map(|i| {
+            Value::object([
+                ("income_id", Value::str(format!("i{i}"))),
+                ("district_area_id", Value::str(format!("d{}", i % scale.district_areas.max(1)))),
+                ("average_income", Value::Double(r.random_range(10_000.0..120_000.0))),
+            ])
+        })
+        .collect()
+}
+
+/// `Persons(person_id, ethnicity, location)` — the Residents sampling.
+pub fn persons(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 11);
+    (0..scale.persons)
+        .map(|i| {
+            Value::object([
+                ("person_id", Value::str(format!("p{i}"))),
+                ("ethnicity", Value::str(names::ethnicity(r.random_range(0..32)))),
+                ("location", random_point(&mut r)),
+            ])
+        })
+        .collect()
+}
+
+/// `AttackEvents(attack_record_id, attack_datetime, attack_location,
+/// related_religion)` — events spread over the tweet time window.
+pub fn attack_events(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed, 12);
+    (0..scale.attack_events)
+        .map(|i| {
+            Value::object([
+                ("attack_record_id", Value::str(format!("a{i}"))),
+                (
+                    "attack_datetime",
+                    Value::DateTime(
+                        EPOCH_MS - 30 * 86_400_000 + r.random_range(0..150i64) * 86_400_000,
+                    ),
+                ),
+                ("attack_location", random_point(&mut r)),
+                ("related_religion", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_scale() {
+        let s = WorkloadScale::tiny();
+        assert_eq!(sensitive_words(&s, 1).len(), s.sensitive_words);
+        assert_eq!(monuments(&s, 1).len(), s.monuments);
+        assert_eq!(district_areas(&s, 1).len(), s.district_areas);
+        assert_eq!(attack_events(&s, 1).len(), s.attack_events);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = WorkloadScale::tiny();
+        assert_eq!(facilities(&s, 42), facilities(&s, 42));
+        assert_ne!(facilities(&s, 42), facilities(&s, 43));
+    }
+
+    #[test]
+    fn districts_tile_the_space() {
+        use idea_adm::value::Point;
+        let s = WorkloadScale::tiny();
+        let ds = district_areas(&s, 1);
+        // Every probe point must fall in at least one district... the
+        // grid may overhang but never leave gaps in covered rows.
+        let p = Point::new(0.0, 0.0);
+        let covered = ds.iter().any(|d| {
+            let Value::Rectangle(r) = d.as_object().unwrap().get("district_area").unwrap() else {
+                panic!()
+            };
+            r.contains_point(&p)
+        });
+        assert!(covered);
+    }
+
+    #[test]
+    fn pk_uniqueness() {
+        let s = WorkloadScale::tiny();
+        for ds in [
+            sensitive_words(&s, 1),
+            safety_ratings(&s, 1),
+            religious_populations(&s, 1),
+            persons(&s, 1),
+        ] {
+            let mut keys: Vec<String> = ds
+                .iter()
+                .map(|r| r.as_object().unwrap().iter().next().unwrap().1.to_string())
+                .collect();
+            let n = keys.len();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), n, "duplicate primary keys");
+        }
+    }
+}

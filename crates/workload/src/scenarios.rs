@@ -1,0 +1,635 @@
+//! The eight enrichment use cases of the evaluation (§7.2, §7.4.2) plus
+//! the intro's sensitive-words safety check.
+//!
+//! [`setup_scenario`] creates the reference datasets (bulk-loaded,
+//! seeded), indexes, and the SQL++ UDF; [`register_native`] installs the
+//! native-code ("Java") equivalent for the five §7.2 cases.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idea_adm::functions::similarity::edit_distance_within;
+use idea_adm::functions::string::remove_special;
+use idea_adm::value::{Circle, Point};
+use idea_adm::Value;
+use idea_query::{Catalog, QueryError};
+
+use crate::refdata;
+use crate::scale::WorkloadScale;
+
+/// One evaluation use case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKey {
+    /// Intro example: flag tweets containing country-specific keywords
+    /// (Figure 8). Hash join + EXISTS.
+    SafetyCheck,
+    /// §7.2 case 1: country → safety rating. Hash join.
+    SafetyRating,
+    /// §7.2 case 2: total religious population per country. Group-by.
+    ReligiousPopulation,
+    /// §7.2 case 3: three largest religions. Order-by.
+    LargestReligions,
+    /// §7.2 case 4: suspects within edit distance 4 of the cleaned
+    /// screen name. Java string processing + similarity join.
+    FuzzySuspects,
+    /// §7.2 case 5: monuments within 1.5 degrees. R-tree spatial join.
+    NearbyMonuments,
+    /// §7.2 case 5 without the index (§7.4.2's hinted variant).
+    NaiveNearbyMonuments,
+    /// §7.4.2 case 6: facilities histogram + 3 closest religious
+    /// buildings + exact-name suspects.
+    SuspiciousNames,
+    /// §7.4.2 case 7: district income + facility histogram + ethnicity
+    /// distribution (multi-dataset spatial joins).
+    TweetContext,
+    /// §7.4.2 case 8: religions of nearby buildings + recent related
+    /// attacks (spatial + temporal + group-by).
+    WorrisomeTweets,
+}
+
+impl ScenarioKey {
+    /// The five §7.2 cases, in paper order (Figure 25/26/27).
+    pub const FIGURE25: [ScenarioKey; 5] = [
+        ScenarioKey::SafetyRating,
+        ScenarioKey::ReligiousPopulation,
+        ScenarioKey::LargestReligions,
+        ScenarioKey::FuzzySuspects,
+        ScenarioKey::NearbyMonuments,
+    ];
+
+    /// The four complex cases of Figure 29.
+    pub const FIGURE29: [ScenarioKey; 4] = [
+        ScenarioKey::NearbyMonuments,
+        ScenarioKey::SuspiciousNames,
+        ScenarioKey::TweetContext,
+        ScenarioKey::WorrisomeTweets,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKey::SafetyCheck => "Safety Check",
+            ScenarioKey::SafetyRating => "Safety Rating",
+            ScenarioKey::ReligiousPopulation => "Religious Population",
+            ScenarioKey::LargestReligions => "Largest Religions",
+            ScenarioKey::FuzzySuspects => "Fuzzy Suspects",
+            ScenarioKey::NearbyMonuments => "Nearby Monuments",
+            ScenarioKey::NaiveNearbyMonuments => "Naive Nearby Monuments",
+            ScenarioKey::SuspiciousNames => "Suspicious Names",
+            ScenarioKey::TweetContext => "Tweet Context",
+            ScenarioKey::WorrisomeTweets => "Worrisome Tweets",
+        }
+    }
+
+    /// The SQL++ UDF name installed by [`setup_scenario`].
+    pub fn function_name(&self) -> &'static str {
+        match self {
+            ScenarioKey::SafetyCheck => "tweetSafetyCheck",
+            ScenarioKey::SafetyRating => "enrichSafetyRating",
+            ScenarioKey::ReligiousPopulation => "enrichReligiousPopulation",
+            ScenarioKey::LargestReligions => "enrichLargestReligions",
+            ScenarioKey::FuzzySuspects => "enrichFuzzySuspects",
+            ScenarioKey::NearbyMonuments => "enrichNearbyMonuments",
+            ScenarioKey::NaiveNearbyMonuments => "enrichNaiveNearbyMonuments",
+            ScenarioKey::SuspiciousNames => "enrichSuspiciousNames",
+            ScenarioKey::TweetContext => "enrichTweetContext",
+            ScenarioKey::WorrisomeTweets => "enrichWorrisomeTweets",
+        }
+    }
+
+    /// The native ("Java") UDF name, for the cases that have one.
+    pub fn native_function_name(&self) -> Option<&'static str> {
+        match self {
+            ScenarioKey::SafetyRating => Some("enrichSafetyRatingJava"),
+            ScenarioKey::ReligiousPopulation => Some("enrichReligiousPopulationJava"),
+            ScenarioKey::LargestReligions => Some("enrichLargestReligionsJava"),
+            ScenarioKey::FuzzySuspects => Some("enrichFuzzySuspectsJava"),
+            ScenarioKey::NearbyMonuments => Some("enrichNearbyMonumentsJava"),
+            _ => None,
+        }
+    }
+
+    /// The scenario's *primary* reference dataset — the one §7.3's
+    /// update feed writes into.
+    pub fn primary_reference(&self) -> &'static str {
+        match self {
+            ScenarioKey::SafetyCheck => "SensitiveWords",
+            ScenarioKey::SafetyRating => "SafetyRatings",
+            ScenarioKey::ReligiousPopulation | ScenarioKey::LargestReligions => {
+                "ReligiousPopulations"
+            }
+            ScenarioKey::FuzzySuspects => "SuspectsNames",
+            ScenarioKey::NearbyMonuments | ScenarioKey::NaiveNearbyMonuments => "monumentList",
+            ScenarioKey::SuspiciousNames => "SuspiciousNames",
+            ScenarioKey::TweetContext => "Facilities",
+            ScenarioKey::WorrisomeTweets => "ReligiousBuildings",
+        }
+    }
+}
+
+/// A fully set-up scenario: reference data loaded, UDFs registered.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    pub key: ScenarioKey,
+    /// SQL++ enrichment function name.
+    pub function: String,
+    /// Native equivalent, when the paper evaluated one.
+    pub native_function: Option<String>,
+}
+
+fn ddl_for(key: ScenarioKey) -> &'static str {
+    match key {
+        ScenarioKey::SafetyCheck => {
+            r#"
+            CREATE TYPE SensitiveWordType AS OPEN { wid: int64, country: string, word: string };
+            CREATE DATASET SensitiveWords(SensitiveWordType) PRIMARY KEY wid;
+            CREATE FUNCTION tweetSafetyCheck(tweet) {
+                LET safety_check_flag = CASE
+                  EXISTS(SELECT s FROM SensitiveWords s
+                         WHERE tweet.country = s.country AND contains(tweet.text, s.word))
+                  WHEN true THEN "Red" ELSE "Green"
+                END
+                SELECT tweet.*, safety_check_flag
+            };
+            "#
+        }
+        ScenarioKey::SafetyRating => {
+            r#"
+            CREATE TYPE SafetyRatingType AS OPEN { country_code: string, safety_rating: string };
+            CREATE DATASET SafetyRatings(SafetyRatingType) PRIMARY KEY country_code;
+            CREATE FUNCTION enrichSafetyRating(t) {
+                LET safety_rating = (SELECT VALUE s.safety_rating
+                                     FROM SafetyRatings s
+                                     WHERE t.country = s.country_code)
+                SELECT t.*, safety_rating
+            };
+            "#
+        }
+        ScenarioKey::ReligiousPopulation => {
+            r#"
+            CREATE TYPE ReligiousPopulationType AS OPEN {
+                rid: string, country_name: string, religion_name: string, population: int64 };
+            CREATE DATASET ReligiousPopulations(ReligiousPopulationType) PRIMARY KEY rid;
+            CREATE FUNCTION enrichReligiousPopulation(t) {
+                LET religious_population =
+                    (SELECT sum(r.population) AS total
+                     FROM ReligiousPopulations r
+                     WHERE r.country_name = t.country)[0].total
+                SELECT t.*, religious_population
+            };
+            "#
+        }
+        ScenarioKey::LargestReligions => {
+            r#"
+            CREATE TYPE ReligiousPopulationType AS OPEN {
+                rid: string, country_name: string, religion_name: string, population: int64 };
+            CREATE DATASET ReligiousPopulations(ReligiousPopulationType) PRIMARY KEY rid;
+            CREATE FUNCTION enrichLargestReligions(t) {
+                LET largest_religions =
+                    (SELECT VALUE r.religion_name
+                     FROM ReligiousPopulations r
+                     WHERE r.country_name = t.country
+                     ORDER BY r.population DESC LIMIT 3)
+                SELECT t.*, largest_religions
+            };
+            "#
+        }
+        ScenarioKey::FuzzySuspects => {
+            // `edit_distance_check(a, b, 4)` ≡ the paper's
+            // `edit_distance(a, b) < 5`, with a banded DP that rejects
+            // early (AsterixDB's edit-distance joins do the same).
+            r#"
+            CREATE TYPE SuspectType AS OPEN { sid: int64, sensitiveName: string, religionName: string };
+            CREATE DATASET SuspectsNames(SuspectType) PRIMARY KEY sid;
+            CREATE FUNCTION enrichFuzzySuspects(x) {
+                LET related_suspects = (
+                    SELECT s.sensitiveName AS sensitiveName, s.religionName AS religionName
+                    FROM SuspectsNames s
+                    WHERE edit_distance_check(testlib#removeSpecial(x.user.screen_name),
+                                              s.sensitiveName, 4))
+                SELECT x.*, related_suspects
+            };
+            "#
+        }
+        ScenarioKey::NearbyMonuments => {
+            r#"
+            CREATE TYPE monumentType AS OPEN { monument_id: string, monument_location: point };
+            CREATE DATASET monumentList(monumentType) PRIMARY KEY monument_id;
+            CREATE INDEX monumentLocIx ON monumentList(monument_location) TYPE RTREE;
+            CREATE FUNCTION enrichNearbyMonuments(t) {
+                LET nearby_monuments =
+                    (SELECT VALUE m.monument_id
+                     FROM monumentList m
+                     WHERE spatial_intersect(
+                         m.monument_location,
+                         create_circle(create_point(t.latitude, t.longitude), 1.5)))
+                SELECT t.*, nearby_monuments
+            };
+            "#
+        }
+        ScenarioKey::NaiveNearbyMonuments => {
+            // Same dataset; the hint forbids the R-tree (paper §7.4.2
+            // added this variant "to avoid the use of index ... becoming
+            // a performance bottleneck").
+            r#"
+            CREATE TYPE monumentType AS OPEN { monument_id: string, monument_location: point };
+            CREATE DATASET monumentList(monumentType) PRIMARY KEY monument_id;
+            CREATE INDEX monumentLocIx ON monumentList(monument_location) TYPE RTREE;
+            CREATE FUNCTION enrichNaiveNearbyMonuments(t) {
+                LET nearby_monuments =
+                    (SELECT VALUE m.monument_id
+                     FROM monumentList /*+ noindex */ m
+                     WHERE spatial_intersect(
+                         m.monument_location,
+                         create_circle(create_point(t.latitude, t.longitude), 1.5)))
+                SELECT t.*, nearby_monuments
+            };
+            "#
+        }
+        ScenarioKey::SuspiciousNames => {
+            r#"
+            CREATE TYPE ReligiousBuildingType AS OPEN {
+                religious_building_id: string, religion_name: string,
+                building_location: point, registered_believer: int64 };
+            CREATE DATASET ReligiousBuildings(ReligiousBuildingType) PRIMARY KEY religious_building_id;
+            CREATE INDEX buildingLocIx ON ReligiousBuildings(building_location) TYPE RTREE;
+            CREATE TYPE FacilityType AS OPEN {
+                facility_id: string, facility_location: point, facility_type: string };
+            CREATE DATASET Facilities(FacilityType) PRIMARY KEY facility_id;
+            CREATE INDEX facilityLocIx ON Facilities(facility_location) TYPE RTREE;
+            CREATE TYPE SuspiciousNamesType AS OPEN {
+                suspicious_name_id: string, suspicious_name: string,
+                religion_name: string, threat_level: int64 };
+            CREATE DATASET SuspiciousNames(SuspiciousNamesType) PRIMARY KEY suspicious_name_id;
+            CREATE FUNCTION enrichSuspiciousNames(t) {
+                LET nearby_facilities = (
+                        SELECT f.facility_type AS FacilityType, count(*) AS Cnt
+                        FROM Facilities f
+                        WHERE spatial_intersect(create_point(t.latitude, t.longitude),
+                                                create_circle(f.facility_location, 3.0))
+                        GROUP BY f.facility_type),
+                    nearby_religious_buildings = (
+                        SELECT r.religious_building_id AS religious_building_id,
+                               r.religion_name AS religion_name
+                        FROM ReligiousBuildings r
+                        WHERE spatial_intersect(create_point(t.latitude, t.longitude),
+                                                create_circle(r.building_location, 3.0))
+                        ORDER BY spatial_distance(create_point(t.latitude, t.longitude),
+                                                  r.building_location)
+                        LIMIT 3),
+                    suspicious_users_info = (
+                        SELECT s.suspicious_name_id AS suspect_id,
+                               s.religion_name AS religion,
+                               s.threat_level AS threat_level
+                        FROM SuspiciousNames s
+                        WHERE s.suspicious_name = t.user.name)
+                SELECT t.*, nearby_facilities, nearby_religious_buildings, suspicious_users_info
+            };
+            "#
+        }
+        ScenarioKey::TweetContext => {
+            r#"
+            CREATE TYPE DistrictAreaType AS OPEN { district_area_id: string, district_area: rectangle };
+            CREATE DATASET DistrictAreas(DistrictAreaType) PRIMARY KEY district_area_id;
+            CREATE TYPE FacilityType AS OPEN {
+                facility_id: string, facility_location: point, facility_type: string };
+            CREATE DATASET Facilities(FacilityType) PRIMARY KEY facility_id;
+            CREATE INDEX facilityLocIx ON Facilities(facility_location) TYPE RTREE;
+            CREATE TYPE AverageIncomeType AS OPEN {
+                income_id: string, district_area_id: string, average_income: double };
+            CREATE DATASET AverageIncomes(AverageIncomeType) PRIMARY KEY income_id;
+            CREATE TYPE PersonType AS OPEN { person_id: string, ethnicity: string, location: point };
+            CREATE DATASET Persons(PersonType) PRIMARY KEY person_id;
+            CREATE INDEX personLocIx ON Persons(location) TYPE RTREE;
+            CREATE FUNCTION enrichTweetContext(t) {
+                LET area_avg_income = (
+                        SELECT VALUE a.average_income
+                        FROM AverageIncomes a, DistrictAreas d1
+                        WHERE a.district_area_id = d1.district_area_id
+                          AND spatial_intersect(create_point(t.latitude, t.longitude),
+                                                d1.district_area)),
+                    area_facilities = (
+                        SELECT f.facility_type AS facility_type, count(*) AS Cnt
+                        FROM Facilities f, DistrictAreas d2
+                        WHERE spatial_intersect(f.facility_location, d2.district_area)
+                          AND spatial_intersect(create_point(t.latitude, t.longitude),
+                                                d2.district_area)
+                        GROUP BY f.facility_type),
+                    ethnicity_dist = (
+                        SELECT p.ethnicity AS ethnicity, count(*) AS EthnicityPopulation
+                        FROM Persons p, DistrictAreas d3
+                        WHERE spatial_intersect(create_point(t.latitude, t.longitude),
+                                                d3.district_area)
+                          AND spatial_intersect(p.location, d3.district_area)
+                        GROUP BY p.ethnicity)
+                SELECT t.*, area_avg_income, area_facilities, ethnicity_dist
+            };
+            "#
+        }
+        ScenarioKey::WorrisomeTweets => {
+            r#"
+            CREATE TYPE ReligiousBuildingType AS OPEN {
+                religious_building_id: string, religion_name: string,
+                building_location: point, registered_believer: int64 };
+            CREATE DATASET ReligiousBuildings(ReligiousBuildingType) PRIMARY KEY religious_building_id;
+            CREATE INDEX buildingLocIx ON ReligiousBuildings(building_location) TYPE RTREE;
+            CREATE TYPE AttackEventsType AS OPEN {
+                attack_record_id: string, attack_datetime: datetime,
+                attack_location: point, related_religion: string };
+            CREATE DATASET AttackEvents(AttackEventsType) PRIMARY KEY attack_record_id;
+            CREATE FUNCTION enrichWorrisomeTweets(t) {
+                LET nearby_religious_attacks = (
+                    SELECT r.religion_name AS religion, count(a.attack_record_id) AS attack_num
+                    FROM ReligiousBuildings r, AttackEvents a
+                    WHERE spatial_intersect(create_point(t.latitude, t.longitude),
+                                            create_circle(r.building_location, 3.0))
+                      AND t.created_at < a.attack_datetime + duration("P2M")
+                      AND t.created_at > a.attack_datetime
+                      AND r.religion_name = a.related_religion
+                    GROUP BY r.religion_name)
+                SELECT t.*, nearby_religious_attacks
+            };
+            "#
+        }
+    }
+}
+
+/// Loads a scenario's reference data into its datasets.
+fn load_data(
+    catalog: &Arc<Catalog>,
+    key: ScenarioKey,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Result<(), QueryError> {
+    let load = |name: &str, records: Vec<Value>| -> Result<(), QueryError> {
+        catalog.dataset(name)?.bulk_load(records)?;
+        Ok(())
+    };
+    match key {
+        ScenarioKey::SafetyCheck => load("SensitiveWords", refdata::sensitive_words(scale, seed)),
+        ScenarioKey::SafetyRating => load("SafetyRatings", refdata::safety_ratings(scale, seed)),
+        ScenarioKey::ReligiousPopulation | ScenarioKey::LargestReligions => {
+            load("ReligiousPopulations", refdata::religious_populations(scale, seed))
+        }
+        ScenarioKey::FuzzySuspects => load("SuspectsNames", refdata::suspects_names(scale, seed)),
+        ScenarioKey::NearbyMonuments | ScenarioKey::NaiveNearbyMonuments => {
+            load("monumentList", refdata::monuments(scale, seed))
+        }
+        ScenarioKey::SuspiciousNames => {
+            load("ReligiousBuildings", refdata::religious_buildings(scale, seed))?;
+            load("Facilities", refdata::facilities(scale, seed))?;
+            load("SuspiciousNames", refdata::suspicious_names(scale, seed))
+        }
+        ScenarioKey::TweetContext => {
+            load("DistrictAreas", refdata::district_areas(scale, seed))?;
+            load("Facilities", refdata::facilities(scale, seed))?;
+            load("AverageIncomes", refdata::average_incomes(scale, seed))?;
+            load("Persons", refdata::persons(scale, seed))
+        }
+        ScenarioKey::WorrisomeTweets => {
+            load("ReligiousBuildings", refdata::religious_buildings(scale, seed))?;
+            load("AttackEvents", refdata::attack_events(scale, seed))
+        }
+    }
+}
+
+/// Creates types, datasets, indexes and the SQL++ UDF for `key`, loads
+/// the reference data, and registers native equivalents where the paper
+/// has them. Idempotent per catalog only for *distinct* scenarios.
+pub fn setup_scenario(
+    catalog: &Arc<Catalog>,
+    key: ScenarioKey,
+    scale: &WorkloadScale,
+    seed: u64,
+) -> Result<Scenario, QueryError> {
+    // Fuzzy Suspects calls the paper's Figure 35 Java helper.
+    if key == ScenarioKey::FuzzySuspects {
+        register_remove_special(catalog)?;
+    }
+    idea_query::run_sqlpp(catalog, ddl_for(key))?;
+    load_data(catalog, key, scale, seed)?;
+    let native_function = register_native(catalog, key)?;
+    Ok(Scenario {
+        key,
+        function: key.function_name().to_owned(),
+        native_function,
+    })
+}
+
+/// Registers the tweets datatype and target dataset shared by all
+/// scenarios (`Tweets` for raw feeds, `EnrichedTweets` as the enriched
+/// target).
+pub fn setup_tweet_datasets(catalog: &Arc<Catalog>) -> Result<(), QueryError> {
+    idea_query::run_sqlpp(
+        catalog,
+        r#"
+        CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+        CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+        CREATE DATASET EnrichedTweets(TweetType) PRIMARY KEY id;
+        "#,
+    )?;
+    Ok(())
+}
+
+/// The paper's Figure 35 Java UDF.
+fn register_remove_special(catalog: &Arc<Catalog>) -> Result<(), QueryError> {
+    catalog.register_native_function(
+        "testlib#removeSpecial",
+        1,
+        Arc::new(|| {
+            Box::new(|args: &[Value]| {
+                let s = args[0]
+                    .as_str()
+                    .ok_or_else(|| QueryError::Eval("removeSpecial expects a string".into()))?;
+                Ok(Value::str(remove_special(s)))
+            }) as Box<dyn idea_query::NativeUdf>
+        }),
+    )
+}
+
+/// Registers the native ("Java") UDF equivalent for `key`, if the paper
+/// evaluated one. The factory's *instantiation* is the Java
+/// `initialize()` step: it reads the reference data (standing in for the
+/// paper's local resource files) into in-memory structures; the dynamic
+/// framework re-instantiates per computing job, the static one once per
+/// feed.
+pub fn register_native(
+    catalog: &Arc<Catalog>,
+    key: ScenarioKey,
+) -> Result<Option<String>, QueryError> {
+    let Some(name) = key.native_function_name() else { return Ok(None) };
+    let factory: idea_query::NativeUdfFactory = match key {
+        ScenarioKey::SafetyRating => {
+            let ds = catalog.dataset("SafetyRatings")?;
+            Arc::new(move || {
+                // initialize(): country_code -> safety_rating.
+                let mut map: HashMap<String, Value> = HashMap::new();
+                for snap in ds.snapshot_all() {
+                    for rec in snap.iter() {
+                        let o = rec.as_object().unwrap();
+                        if let (Some(Value::Str(c)), Some(r)) =
+                            (o.get("country_code"), o.get("safety_rating"))
+                        {
+                            map.insert(c.clone(), r.clone());
+                        }
+                    }
+                }
+                Box::new(move |args: &[Value]| {
+                    let mut t = args[0].clone();
+                    let country = t
+                        .as_object()
+                        .and_then(|o| o.get("country"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("");
+                    let rating = map
+                        .get(country)
+                        .map(|r| Value::Array(vec![r.clone()]))
+                        .unwrap_or(Value::Array(vec![]));
+                    t.as_object_mut().unwrap().set("safety_rating", rating);
+                    Ok(Value::Array(vec![t]))
+                }) as Box<dyn idea_query::NativeUdf>
+            })
+        }
+        ScenarioKey::ReligiousPopulation => {
+            let ds = catalog.dataset("ReligiousPopulations")?;
+            Arc::new(move || {
+                let mut sums: HashMap<String, i64> = HashMap::new();
+                for snap in ds.snapshot_all() {
+                    for rec in snap.iter() {
+                        let o = rec.as_object().unwrap();
+                        if let (Some(Value::Str(c)), Some(Value::Int(p))) =
+                            (o.get("country_name"), o.get("population"))
+                        {
+                            *sums.entry(c.clone()).or_insert(0) += p;
+                        }
+                    }
+                }
+                Box::new(move |args: &[Value]| {
+                    let mut t = args[0].clone();
+                    let country = t
+                        .as_object()
+                        .and_then(|o| o.get("country"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("");
+                    let total = sums.get(country).map(|s| Value::Int(*s)).unwrap_or(Value::Null);
+                    t.as_object_mut().unwrap().set("religious_population", total);
+                    Ok(Value::Array(vec![t]))
+                }) as Box<dyn idea_query::NativeUdf>
+            })
+        }
+        ScenarioKey::LargestReligions => {
+            let ds = catalog.dataset("ReligiousPopulations")?;
+            Arc::new(move || {
+                let mut by_country: HashMap<String, Vec<(i64, String)>> = HashMap::new();
+                for snap in ds.snapshot_all() {
+                    for rec in snap.iter() {
+                        let o = rec.as_object().unwrap();
+                        if let (Some(Value::Str(c)), Some(Value::Str(r)), Some(Value::Int(p))) =
+                            (o.get("country_name"), o.get("religion_name"), o.get("population"))
+                        {
+                            by_country.entry(c.clone()).or_default().push((*p, r.clone()));
+                        }
+                    }
+                }
+                let top3: HashMap<String, Value> = by_country
+                    .into_iter()
+                    .map(|(c, mut v)| {
+                        v.sort_by(|a, b| b.0.cmp(&a.0));
+                        v.truncate(3);
+                        (c, Value::Array(v.into_iter().map(|(_, r)| Value::Str(r)).collect()))
+                    })
+                    .collect();
+                Box::new(move |args: &[Value]| {
+                    let mut t = args[0].clone();
+                    let country = t
+                        .as_object()
+                        .and_then(|o| o.get("country"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("");
+                    let top = top3.get(country).cloned().unwrap_or(Value::Array(vec![]));
+                    t.as_object_mut().unwrap().set("largest_religions", top);
+                    Ok(Value::Array(vec![t]))
+                }) as Box<dyn idea_query::NativeUdf>
+            })
+        }
+        ScenarioKey::FuzzySuspects => {
+            let ds = catalog.dataset("SuspectsNames")?;
+            Arc::new(move || {
+                let mut suspects: Vec<(String, Value)> = Vec::new();
+                for snap in ds.snapshot_all() {
+                    for rec in snap.iter() {
+                        let o = rec.as_object().unwrap();
+                        if let (Some(Value::Str(n)), Some(r)) =
+                            (o.get("sensitiveName"), o.get("religionName"))
+                        {
+                            suspects.push((
+                                n.clone(),
+                                Value::object([
+                                    ("sensitiveName", Value::str(n.clone())),
+                                    ("religionName", r.clone()),
+                                ]),
+                            ));
+                        }
+                    }
+                }
+                Box::new(move |args: &[Value]| {
+                    let mut t = args[0].clone();
+                    let sn = t
+                        .as_object()
+                        .and_then(|o| o.get("user"))
+                        .and_then(Value::as_object)
+                        .and_then(|u| u.get("screen_name"))
+                        .and_then(Value::as_str)
+                        .unwrap_or("");
+                    let cleaned = remove_special(sn);
+                    let matches: Vec<Value> = suspects
+                        .iter()
+                        .filter(|(n, _)| edit_distance_within(&cleaned, n, 4))
+                        .map(|(_, rec)| rec.clone())
+                        .collect();
+                    t.as_object_mut().unwrap().set("related_suspects", Value::Array(matches));
+                    Ok(Value::Array(vec![t]))
+                }) as Box<dyn idea_query::NativeUdf>
+            })
+        }
+        ScenarioKey::NearbyMonuments => {
+            let ds = catalog.dataset("monumentList")?;
+            Arc::new(move || {
+                // Java has no spatial index: a flat list, scanned per
+                // tweet — which is why the SQL++ UDF beats it (§7.2).
+                let mut monuments: Vec<(Point, Value)> = Vec::new();
+                for snap in ds.snapshot_all() {
+                    for rec in snap.iter() {
+                        let o = rec.as_object().unwrap();
+                        if let (Some(Value::Point(p)), Some(id)) =
+                            (o.get("monument_location"), o.get("monument_id"))
+                        {
+                            monuments.push((*p, id.clone()));
+                        }
+                    }
+                }
+                Box::new(move |args: &[Value]| {
+                    let mut t = args[0].clone();
+                    let (lat, lon) = {
+                        let o = t.as_object().unwrap();
+                        (
+                            o.get("latitude").and_then(Value::as_f64).unwrap_or(0.0),
+                            o.get("longitude").and_then(Value::as_f64).unwrap_or(0.0),
+                        )
+                    };
+                    let circle = Circle::new(Point::new(lat, lon), 1.5);
+                    let nearby: Vec<Value> = monuments
+                        .iter()
+                        .filter(|(p, _)| circle.contains_point(p))
+                        .map(|(_, id)| id.clone())
+                        .collect();
+                    t.as_object_mut().unwrap().set("nearby_monuments", Value::Array(nearby));
+                    Ok(Value::Array(vec![t]))
+                }) as Box<dyn idea_query::NativeUdf>
+            })
+        }
+        _ => return Ok(None),
+    };
+    catalog.register_native_function(name, 1, factory)?;
+    Ok(Some(name.to_owned()))
+}

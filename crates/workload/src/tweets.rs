@@ -1,0 +1,168 @@
+//! The tweet generator: JSON records of ~450 bytes (the paper's §7.1
+//! figure) carrying every field the eight enrichment UDFs touch.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::scale::TWEET_COUNTRIES;
+
+/// Base epoch for `created_at` (2019-04-01, roughly the paper's era).
+pub const EPOCH_MS: i64 = 1_554_076_800_000;
+
+/// Deterministic tweet generator. `generate(i)` depends only on the
+/// seed and `i`, so any partitioning of the id space reproduces the
+/// same records.
+#[derive(Debug, Clone)]
+pub struct TweetGenerator {
+    seed: u64,
+    /// Fraction of tweets (out of 1000) whose text embeds a sensitive
+    /// keyword (drives the safety-check selectivity).
+    keyword_per_mille: u32,
+    /// Number of distinct keywords to draw from.
+    keyword_pool: usize,
+    /// Fraction (out of 1000) whose author is a perturbed suspect name.
+    suspect_per_mille: u32,
+    /// Suspect-name pool size (match `WorkloadScale::suspects_names`).
+    suspect_pool: usize,
+}
+
+impl TweetGenerator {
+    pub fn new(seed: u64) -> Self {
+        TweetGenerator {
+            seed,
+            keyword_per_mille: 100,
+            keyword_pool: names::KEYWORD_POOL,
+            suspect_per_mille: 100,
+            suspect_pool: 5_000,
+        }
+    }
+
+    pub fn with_keyword_rate(mut self, per_mille: u32, pool: usize) -> Self {
+        self.keyword_per_mille = per_mille;
+        self.keyword_pool = pool.max(1);
+        self
+    }
+
+    pub fn with_suspect_rate(mut self, per_mille: u32, pool: usize) -> Self {
+        self.suspect_per_mille = per_mille;
+        self.suspect_pool = pool.max(1);
+        self
+    }
+
+    fn rng_for(&self, id: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The tweet with id `id`, as a JSON string.
+    pub fn generate(&self, id: u64) -> String {
+        let mut rng = self.rng_for(id);
+        let country = names::country(rng.random_range(0..TWEET_COUNTRIES));
+        let (screen_name, user_name) = if rng.random_range(0..1000) < self.suspect_per_mille {
+            let s = rng.random_range(0..self.suspect_pool);
+            (names::noisy_person_name(s, &mut rng), names::person_name(s))
+        } else {
+            let s = rng.random_range(self.suspect_pool..self.suspect_pool * 10 + 100);
+            (names::noisy_person_name(s, &mut rng), names::person_name(s))
+        };
+
+        // ~40 words of filler, with an optional planted keyword.
+        let mut text = String::with_capacity(280);
+        let n_words = rng.random_range(30..44);
+        let kw_at = if rng.random_range(0..1000) < self.keyword_per_mille {
+            Some(rng.random_range(0..n_words))
+        } else {
+            None
+        };
+        for w in 0..n_words {
+            if w > 0 {
+                text.push(' ');
+            }
+            if Some(w) == kw_at {
+                text.push_str(&names::keyword(rng.random_range(0..self.keyword_pool)));
+            } else {
+                text.push_str(names::word(rng.random_range(0..1000)));
+            }
+        }
+
+        let latitude = rng.random_range(-90.0f64..90.0);
+        let longitude = rng.random_range(-180.0f64..180.0);
+        let created_at = EPOCH_MS + rng.random_range(0..90i64) * 86_400_000
+            + rng.random_range(0..86_400_000i64);
+
+        format!(
+            concat!(
+                "{{\"id\": {id}, \"text\": \"{text}\", \"country\": \"{country}\", ",
+                "\"user\": {{\"screen_name\": \"{sn}\", \"name\": \"{un}\"}}, ",
+                "\"latitude\": {lat:.6}, \"longitude\": {lon:.6}, ",
+                "\"created_at\": {{\"~datetime\": {ts}}}}}"
+            ),
+            id = id,
+            text = text,
+            country = country,
+            sn = screen_name,
+            un = user_name,
+            lat = latitude,
+            lon = longitude,
+            ts = created_at,
+        )
+    }
+
+    /// Generates `n` consecutive tweets starting at `start`.
+    pub fn batch(&self, start: u64, n: u64) -> Vec<String> {
+        (start..start + n).map(|i| self.generate(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_adm::Value;
+
+    #[test]
+    fn deterministic_and_parseable() {
+        let g = TweetGenerator::new(7);
+        let a = g.generate(123);
+        let b = g.generate(123);
+        assert_eq!(a, b);
+        let v = idea_adm::json::parse(a.as_bytes()).unwrap();
+        let o = v.as_object().unwrap();
+        assert_eq!(o.get("id"), Some(&Value::Int(123)));
+        assert!(o.get("text").unwrap().as_str().unwrap().len() > 50);
+        assert!(matches!(o.get("created_at"), Some(Value::DateTime(_))));
+        assert!(o.get("latitude").unwrap().as_f64().is_some());
+        let user = o.get("user").unwrap().as_object().unwrap();
+        assert!(user.get("screen_name").is_some());
+    }
+
+    #[test]
+    fn record_size_near_450_bytes() {
+        let g = TweetGenerator::new(1);
+        let total: usize = (0..200).map(|i| g.generate(i).len()).sum();
+        let avg = total / 200;
+        assert!((330..=560).contains(&avg), "avg tweet size {avg} bytes");
+    }
+
+    #[test]
+    fn keyword_rate_respected() {
+        let g = TweetGenerator::new(2).with_keyword_rate(500, 10);
+        let with_kw = (0..400)
+            .filter(|&i| g.generate(i).contains("kw00"))
+            .count();
+        assert!((120..=280).contains(&with_kw), "got {with_kw}/400 keyword tweets");
+    }
+
+    #[test]
+    fn ids_flow_through() {
+        let g = TweetGenerator::new(3);
+        let batch = g.batch(10, 5);
+        assert_eq!(batch.len(), 5);
+        for (k, rec) in batch.iter().enumerate() {
+            let v = idea_adm::json::parse(rec.as_bytes()).unwrap();
+            assert_eq!(
+                v.as_object().unwrap().get("id"),
+                Some(&Value::Int(10 + k as i64))
+            );
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Every paper scenario, end-to-end: set up reference data, enrich real
+//! generated tweets, and sanity-check the enrichment output. Where a
+//! native ("Java") variant exists, its output must agree with SQL++.
+
+use std::sync::Arc;
+
+use idea_adm::Value;
+use idea_query::{apply_function, Catalog, ExecContext};
+use idea_workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea_workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+fn enrich_n(
+    catalog: &Arc<Catalog>,
+    function: &str,
+    n: u64,
+) -> (Vec<Value>, idea_query::ExecStats) {
+    let gen = TweetGenerator::new(99);
+    let mut ctx = ExecContext::new(catalog.clone());
+    let mut out = Vec::new();
+    for i in 0..n {
+        let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
+        let enriched = apply_function(&mut ctx, function, &[tweet]).unwrap();
+        let arr = enriched.as_array().unwrap();
+        assert_eq!(arr.len(), 1, "{function} must yield exactly one record per tweet");
+        out.push(arr[0].clone());
+    }
+    (out, ctx.stats)
+}
+
+fn field<'v>(rec: &'v Value, name: &str) -> Option<&'v Value> {
+    rec.as_object().unwrap().get(name)
+}
+
+#[test]
+fn safety_check_flags_some_tweets() {
+    let catalog = Catalog::new(2);
+    setup_tweet_datasets(&catalog).unwrap();
+    // Enough words per country (4000/200 = 20) for a visible hit rate.
+    let scale = WorkloadScale { sensitive_words: 4_000, ..WorkloadScale::tiny() };
+    let sc = setup_scenario(&catalog, ScenarioKey::SafetyCheck, &scale, 7).unwrap();
+    let (out, stats) = enrich_n(&catalog, &sc.function, 150);
+    let reds = out
+        .iter()
+        .filter(|r| field(r, "safety_check_flag") == Some(&Value::str("Red")))
+        .count();
+    assert!(reds > 0, "some tweets must hit a sensitive keyword");
+    assert!(reds < 150, "not every tweet is sensitive");
+    assert_eq!(stats.hash_builds, 1, "one per-context build");
+}
+
+#[test]
+fn safety_rating_joins_every_tweet() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::SafetyRating, &WorkloadScale::tiny(), 7).unwrap();
+    let (out, _) = enrich_n(&catalog, &sc.function, 50);
+    for rec in &out {
+        let rating = field(rec, "safety_rating").unwrap().as_array().unwrap();
+        assert_eq!(rating.len(), 1, "every tweet country has a rating: {rec}");
+    }
+}
+
+#[test]
+fn religious_population_sums() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::ReligiousPopulation, &WorkloadScale::tiny(), 7)
+            .unwrap();
+    let (out, _) = enrich_n(&catalog, &sc.function, 30);
+    let with_pop = out
+        .iter()
+        .filter(|r| matches!(field(r, "religious_population"), Some(Value::Int(p)) if *p > 0))
+        .count();
+    assert!(with_pop > 0, "tweet countries overlap the reference data");
+}
+
+#[test]
+fn largest_religions_top3_ordered() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc = setup_scenario(&catalog, ScenarioKey::LargestReligions, &WorkloadScale::tiny(), 7)
+        .unwrap();
+    let (out, _) = enrich_n(&catalog, &sc.function, 30);
+    for rec in &out {
+        let top = field(rec, "largest_religions").unwrap().as_array().unwrap();
+        assert!(top.len() <= 3);
+    }
+}
+
+#[test]
+fn fuzzy_suspects_finds_planted_matches() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let scale = WorkloadScale {
+        suspects_names: 50,
+        ..WorkloadScale::tiny()
+    };
+    let sc = setup_scenario(&catalog, ScenarioKey::FuzzySuspects, &scale, 7).unwrap();
+    // The tweet generator plants perturbed suspect names (pool must
+    // match the suspects dataset size).
+    let gen = TweetGenerator::new(99).with_suspect_rate(500, 50);
+    let mut ctx = ExecContext::new(catalog.clone());
+    let mut matched = 0;
+    for i in 0..60 {
+        let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
+        let enriched = apply_function(&mut ctx, &sc.function, &[tweet]).unwrap();
+        let rec = &enriched.as_array().unwrap()[0];
+        if !field(rec, "related_suspects").unwrap().as_array().unwrap().is_empty() {
+            matched += 1;
+        }
+    }
+    assert!(matched > 5, "planted suspect names must fuzzy-match (got {matched}/60)");
+}
+
+#[test]
+fn nearby_monuments_uses_rtree_and_matches_naive() {
+    let catalog = Catalog::new(2);
+    setup_tweet_datasets(&catalog).unwrap();
+    let scale = WorkloadScale { monuments: 2_000, ..WorkloadScale::tiny() };
+    let indexed = setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).unwrap();
+    // The naive variant shares the datasets: register only its function.
+    idea_query::run_sqlpp(
+        &catalog,
+        r#"CREATE FUNCTION enrichNaiveNearbyMonuments(t) {
+            LET nearby_monuments =
+                (SELECT VALUE m.monument_id
+                 FROM monumentList /*+ noindex */ m
+                 WHERE spatial_intersect(
+                     m.monument_location,
+                     create_circle(create_point(t.latitude, t.longitude), 1.5)))
+            SELECT t.*, nearby_monuments
+        };"#,
+    )
+    .unwrap();
+
+    let gen = TweetGenerator::new(99);
+    let mut ctx = ExecContext::new(catalog.clone());
+    let mut total_hits = 0usize;
+    for i in 0..40 {
+        let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
+        let a = apply_function(&mut ctx, &indexed.function, &[tweet.clone()]).unwrap();
+        let b = apply_function(&mut ctx, "enrichNaiveNearbyMonuments", &[tweet]).unwrap();
+        let mut ma: Vec<String> = field(&a.as_array().unwrap()[0], "nearby_monuments")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_owned())
+            .collect();
+        let mut mb: Vec<String> = field(&b.as_array().unwrap()[0], "nearby_monuments")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_str().unwrap().to_owned())
+            .collect();
+        ma.sort();
+        mb.sort();
+        assert_eq!(ma, mb, "indexed and naive spatial joins must agree");
+        total_hits += ma.len();
+    }
+    assert!(total_hits > 0, "some tweets have nearby monuments");
+    assert!(ctx.stats.index_probes >= 40, "indexed variant probes the R-tree");
+    assert!(ctx.stats.materializations >= 1, "naive variant materializes");
+}
+
+#[test]
+fn suspicious_names_structure() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::SuspiciousNames, &WorkloadScale::tiny(), 7).unwrap();
+    let (out, stats) = enrich_n(&catalog, &sc.function, 25);
+    let mut any_building = false;
+    for rec in &out {
+        let buildings = field(rec, "nearby_religious_buildings").unwrap().as_array().unwrap();
+        assert!(buildings.len() <= 3, "LIMIT 3 respected");
+        any_building |= !buildings.is_empty();
+        // Facility histogram entries have the expected shape.
+        for f in field(rec, "nearby_facilities").unwrap().as_array().unwrap() {
+            let o = f.as_object().unwrap();
+            assert!(o.get("FacilityType").is_some());
+            assert!(matches!(o.get("Cnt"), Some(Value::Int(c)) if *c > 0));
+        }
+    }
+    assert!(any_building, "3-degree circles should catch some buildings");
+    assert!(stats.index_probes > 0, "spatial probes via R-tree");
+}
+
+#[test]
+fn tweet_context_structure() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::TweetContext, &WorkloadScale::tiny(), 7).unwrap();
+    let (out, _) = enrich_n(&catalog, &sc.function, 20);
+    let mut any_income = false;
+    let mut any_ethnicity = false;
+    for rec in &out {
+        any_income |= !field(rec, "area_avg_income").unwrap().as_array().unwrap().is_empty();
+        let dist = field(rec, "ethnicity_dist").unwrap().as_array().unwrap();
+        any_ethnicity |= !dist.is_empty();
+    }
+    assert!(any_income, "districts tile the space, incomes must resolve");
+    assert!(any_ethnicity, "persons fall into districts");
+}
+
+#[test]
+fn worrisome_tweets_structure() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::WorrisomeTweets, &WorkloadScale::tiny(), 7).unwrap();
+    let (out, _) = enrich_n(&catalog, &sc.function, 25);
+    let mut any = false;
+    for rec in &out {
+        let attacks = field(rec, "nearby_religious_attacks").unwrap().as_array().unwrap();
+        for a in attacks {
+            let o = a.as_object().unwrap();
+            assert!(o.get("religion").is_some());
+            assert!(matches!(o.get("attack_num"), Some(Value::Int(n)) if *n > 0));
+            any = true;
+        }
+    }
+    assert!(any, "some tweets sit near buildings with recent related attacks");
+}
+
+#[test]
+fn native_udfs_agree_with_sqlpp() {
+    for key in [
+        ScenarioKey::SafetyRating,
+        ScenarioKey::ReligiousPopulation,
+        ScenarioKey::LargestReligions,
+        ScenarioKey::NearbyMonuments,
+    ] {
+        let catalog = Catalog::new(1);
+        setup_tweet_datasets(&catalog).unwrap();
+        let sc = setup_scenario(&catalog, key, &WorkloadScale::tiny(), 7).unwrap();
+        let native = sc.native_function.clone().expect("native variant exists");
+        let gen = TweetGenerator::new(99);
+        let mut ctx = ExecContext::new(catalog.clone());
+        for i in 0..20 {
+            let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
+            let a = apply_function(&mut ctx, &sc.function, &[tweet.clone()]).unwrap();
+            let b = apply_function(&mut ctx, &native, &[tweet]).unwrap();
+            let (ra, rb) = (&a.as_array().unwrap()[0], &b.as_array().unwrap()[0]);
+            // Compare the enrichment field; ordering of top-3 lists can
+            // differ on population ties, so compare as sorted sets.
+            let fname = match key {
+                ScenarioKey::SafetyRating => "safety_rating",
+                ScenarioKey::ReligiousPopulation => "religious_population",
+                ScenarioKey::LargestReligions => "largest_religions",
+                ScenarioKey::NearbyMonuments => "nearby_monuments",
+                _ => unreachable!(),
+            };
+            let (va, vb) = (field(ra, fname).unwrap(), field(rb, fname).unwrap());
+            match (va, vb) {
+                (Value::Array(xs), Value::Array(ys)) => {
+                    let mut xs = xs.clone();
+                    let mut ys = ys.clone();
+                    xs.sort();
+                    ys.sort();
+                    assert_eq!(xs, ys, "{key:?} tweet {i}");
+                }
+                _ => assert_eq!(va, vb, "{key:?} tweet {i}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzzy_native_agrees_with_sqlpp() {
+    let catalog = Catalog::new(1);
+    setup_tweet_datasets(&catalog).unwrap();
+    let scale = WorkloadScale { suspects_names: 40, ..WorkloadScale::tiny() };
+    let sc = setup_scenario(&catalog, ScenarioKey::FuzzySuspects, &scale, 7).unwrap();
+    let native = sc.native_function.clone().unwrap();
+    let gen = TweetGenerator::new(99).with_suspect_rate(400, 40);
+    let mut ctx = ExecContext::new(catalog.clone());
+    for i in 0..30 {
+        let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
+        let a = apply_function(&mut ctx, &sc.function, &[tweet.clone()]).unwrap();
+        let b = apply_function(&mut ctx, &native, &[tweet]).unwrap();
+        let names = |v: &Value| -> Vec<String> {
+            let mut out: Vec<String> = field(&v.as_array().unwrap()[0], "related_suspects")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|s| {
+                    s.as_object().unwrap().get("sensitiveName").unwrap().as_str().unwrap().to_owned()
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        assert_eq!(names(&a), names(&b), "tweet {i}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Spatial enrichment with and without an R-tree: the paper's Nearby
+//! Monuments use case (§7.2 case 5 and the §7.4.2 "naive" variant).
+//!
+//! Enriches geo-tagged tweets with the monuments within 1.5 degrees,
+//! once through the R-tree index-nested-loop plan and once with the
+//! `/*+ noindex */` hint forcing a per-record scan, and reports the
+//! throughput gap plus the plans' probe statistics.
+//!
+//! Run with: `cargo run --release --example spatial_enrichment`
+
+use std::time::Instant;
+
+use idea::query::{apply_function, ExecContext};
+use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+fn main() {
+    let catalog = idea::query::Catalog::new(2);
+    setup_tweet_datasets(&catalog).expect("DDL");
+    let scale = WorkloadScale { monuments: 50_000, ..WorkloadScale::tiny() };
+    let indexed =
+        setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).expect("scenario");
+    // The naive variant shares the monuments dataset — only its UDF
+    // (with the noindex hint) needs registering.
+    idea::query::run_sqlpp(
+        &catalog,
+        r#"CREATE FUNCTION naiveNearbyMonuments(t) {
+            LET nearby_monuments =
+                (SELECT VALUE m.monument_id
+                 FROM monumentList /*+ noindex */ m
+                 WHERE spatial_intersect(
+                     m.monument_location,
+                     create_circle(create_point(t.latitude, t.longitude), 1.5)))
+            SELECT t.*, nearby_monuments
+        };"#,
+    )
+    .expect("naive UDF");
+
+    let gen = TweetGenerator::new(3);
+    let tweets: Vec<idea::adm::Value> = (0..500)
+        .map(|i| idea::adm::json::parse(gen.generate(i).as_bytes()).unwrap())
+        .collect();
+
+    for (label, function) in [("R-tree INLJ", indexed.function.as_str()),
+                              ("naive scan ", "naiveNearbyMonuments")] {
+        let mut ctx = ExecContext::new(catalog.clone());
+        let t0 = Instant::now();
+        let mut total_matches = 0usize;
+        for t in &tweets {
+            let out = apply_function(&mut ctx, function, std::slice::from_ref(t)).unwrap();
+            let rec = &out.as_array().unwrap()[0];
+            total_matches += rec
+                .as_object()
+                .unwrap()
+                .get("nearby_monuments")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .len();
+        }
+        let dt = t0.elapsed();
+        println!(
+            "{label}: {} tweets in {dt:?} ({:.0} rec/s), {total_matches} monument matches",
+            tweets.len(),
+            tweets.len() as f64 / dt.as_secs_f64(),
+        );
+        println!(
+            "          index probes: {}, reference rows scanned: {}",
+            ctx.stats.index_probes, ctx.stats.rows_scanned
+        );
+    }
+    println!("\n(both plans return identical matches; the R-tree replaces a 50k-row");
+    println!(" scan per tweet with a handful of node visits — paper §4.3.4 case 3)");
+}

@@ -1,0 +1,83 @@
+//! A minimal interactive SQL++ shell over the engine — type DDL, DML,
+//! queries, and feed statements against an in-process cluster.
+//!
+//! Run with: `cargo run --example sqlpp_shell`
+//! Then try:
+//!
+//! ```sqlpp
+//! CREATE TYPE TweetType AS OPEN { id: int64, text: string };
+//! CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+//! INSERT INTO Tweets ([{"id": 0, "text": "Let there be light"}]);
+//! SELECT VALUE t.text FROM Tweets t;
+//! ```
+
+use std::io::{BufRead, Write};
+
+use idea::ingestion::{ExecOutcome, IngestionEngine};
+
+fn main() {
+    let engine = IngestionEngine::with_nodes(2);
+    println!("idea SQL++ shell — 2-node in-process cluster. Statements end with ';'.");
+    println!("Ctrl-D to exit.\n");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("sql++> ");
+        } else {
+            print!("   ...> ");
+        }
+        std::io::stdout().flush().unwrap();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let statement = std::mem::take(&mut buffer);
+        match engine.run_sqlpp(&statement) {
+            Ok(outcomes) => {
+                for outcome in outcomes {
+                    match outcome {
+                        ExecOutcome::Statement(idea::query::StatementResult::Value(v)) => {
+                            match v.as_array() {
+                                Some(rows) => {
+                                    for row in rows {
+                                        println!("{row}");
+                                    }
+                                    println!("({} row(s))", rows.len());
+                                }
+                                None => println!("{v}"),
+                            }
+                        }
+                        ExecOutcome::Statement(idea::query::StatementResult::Count(n)) => {
+                            println!("OK, {n} record(s)");
+                        }
+                        ExecOutcome::Statement(idea::query::StatementResult::Ok) => {
+                            println!("OK");
+                        }
+                        ExecOutcome::FeedCreated => println!("feed created"),
+                        ExecOutcome::FeedConnected => println!("feed connected"),
+                        ExecOutcome::FeedStarted => println!("feed started"),
+                        ExecOutcome::FeedStopped(report) => {
+                            println!(
+                                "feed stopped: {} records in {:?} ({:.0} rec/s)",
+                                report.records_stored, report.elapsed, report.throughput
+                            );
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    println!("\nbye");
+}

@@ -1,0 +1,27 @@
+//! # idea — An Ingestion framework for Data Enrichment in AsterixDB
+//!
+//! Facade crate re-exporting the public API of the reproduction of
+//! Wang & Carey, *"An IDEA: An Ingestion Framework for Data Enrichment
+//! in AsterixDB"* (PVLDB 12(11), 2019).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory. The sub-crates are:
+//!
+//! * [`adm`] — the AsterixDB Data Model (values, types, JSON, builtins);
+//! * [`storage`] — LSM-tree datasets with B-tree and R-tree indexes;
+//! * [`hyracks`] — the partitioned dataflow runtime (jobs, connectors,
+//!   predeployed jobs, partition holders);
+//! * [`query`] — SQL++ subset: parser, planner, optimizer, evaluator;
+//! * [`ingestion`] — the paper's contribution: data feeds with
+//!   per-batch-refreshed enrichment UDFs;
+//! * [`workload`] — synthetic tweets, reference data and the paper's
+//!   eight enrichment scenarios;
+//! * [`clustersim`] — discrete-event cluster model for scale-out studies.
+
+pub use idea_adm as adm;
+pub use idea_clustersim as clustersim;
+pub use idea_core as ingestion;
+pub use idea_hyracks as hyracks;
+pub use idea_query as query;
+pub use idea_storage as storage;
+pub use idea_workload as workload;

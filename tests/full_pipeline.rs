@@ -1,0 +1,173 @@
+//! Workspace-level integration tests: every crate working together —
+//! workload generators → feeds → enrichment → storage → analytics.
+
+use std::sync::Arc;
+
+use idea::adm::Value;
+use idea::ingestion::{ComputingModel, FeedSpec, IngestionEngine, PipelineMode, VecAdapter};
+use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+fn engine_with(key: ScenarioKey, nodes: usize) -> (Arc<IngestionEngine>, String) {
+    let engine = IngestionEngine::with_nodes(nodes);
+    setup_tweet_datasets(engine.catalog()).unwrap();
+    let sc = setup_scenario(engine.catalog(), key, &WorkloadScale::tiny(), 7).unwrap();
+    (engine, sc.function)
+}
+
+fn feed_tweets(
+    engine: &IngestionEngine,
+    function: &str,
+    n: u64,
+    batch: usize,
+) -> idea::ingestion::IngestionReport {
+    let tweets = TweetGenerator::new(5).batch(0, n);
+    let spec = FeedSpec::new("it", "Tweets", VecAdapter::factory(tweets))
+        .with_function(function)
+        .with_batch_size(batch)
+        .balanced(engine.cluster().node_count());
+    engine.start_feed(spec).unwrap().wait().unwrap()
+}
+
+#[test]
+fn every_scenario_feeds_end_to_end() {
+    for key in [
+        ScenarioKey::SafetyRating,
+        ScenarioKey::ReligiousPopulation,
+        ScenarioKey::LargestReligions,
+        ScenarioKey::FuzzySuspects,
+        ScenarioKey::NearbyMonuments,
+        ScenarioKey::SuspiciousNames,
+        ScenarioKey::TweetContext,
+        ScenarioKey::WorrisomeTweets,
+    ] {
+        let (engine, function) = engine_with(key, 3);
+        let report = feed_tweets(&engine, &function, 120, 20);
+        assert_eq!(report.records_stored, 120, "{key:?}");
+        assert_eq!(report.parse_errors, 0, "{key:?}");
+        assert!(report.computing_jobs >= 2, "{key:?}: {} jobs", report.computing_jobs);
+        let stored = engine.catalog().dataset("Tweets").unwrap().len();
+        assert_eq!(stored, 120, "{key:?}");
+    }
+}
+
+#[test]
+fn enriched_data_supports_analytics_without_re_enrichment() {
+    let (engine, function) = engine_with(ScenarioKey::SafetyRating, 2);
+    feed_tweets(&engine, &function, 200, 32);
+    // Option 2 of §4: the enrichment is persisted, so analytical queries
+    // read it directly.
+    let v = idea::query::run_query(
+        engine.catalog(),
+        "SELECT r AS rating, count(*) AS n
+         FROM Tweets t LET r = t.safety_rating[0]
+         GROUP BY t.safety_rating[0] AS r
+         ORDER BY r",
+    )
+    .unwrap();
+    let rows = v.as_array().unwrap();
+    let total: i64 = rows
+        .iter()
+        .map(|r| r.as_object().unwrap().get("n").unwrap().as_int().unwrap())
+        .sum();
+    assert_eq!(total, 200);
+    assert!(rows.len() >= 2, "several distinct ratings: {rows:?}");
+}
+
+#[test]
+fn per_record_and_per_batch_agree_on_static_reference_data() {
+    // With no reference updates, all three computing models must produce
+    // identical enrichment (they only differ in state lifetime).
+    let mut outputs = Vec::new();
+    for model in [ComputingModel::PerRecord, ComputingModel::PerBatch, ComputingModel::Stream] {
+        let (engine, function) = engine_with(ScenarioKey::SafetyCheck, 2);
+        let tweets = TweetGenerator::new(5).batch(0, 80);
+        let spec = FeedSpec::new("m", "Tweets", VecAdapter::factory(tweets))
+            .with_function(&function)
+            .with_batch_size(16)
+            .with_model(model);
+        engine.start_feed(spec).unwrap().wait().unwrap();
+        let mut reds: Vec<i64> = idea::query::run_query(
+            engine.catalog(),
+            r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#,
+        )
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+        reds.sort_unstable();
+        outputs.push(reds);
+    }
+    assert_eq!(outputs[0], outputs[1], "per-record vs per-batch");
+    assert_eq!(outputs[1], outputs[2], "per-batch vs stream");
+}
+
+#[test]
+fn predeploy_ablation_same_results_fewer_compilations() {
+    let run = |predeploy: bool| {
+        let (engine, function) = engine_with(ScenarioKey::SafetyRating, 2);
+        let tweets = TweetGenerator::new(5).batch(0, 100);
+        let spec = FeedSpec::new("p", "Tweets", VecAdapter::factory(tweets))
+            .with_function(&function)
+            .with_batch_size(10)
+            .with_predeploy(predeploy);
+        let report = engine.start_feed(spec).unwrap().wait().unwrap();
+        let invocations = engine.cluster().deployed_jobs().invocation_count();
+        (report.records_stored, report.computing_jobs, invocations)
+    };
+    let (stored_p, jobs_p, invocations_p) = run(true);
+    let (stored_n, _jobs_n, invocations_n) = run(false);
+    assert_eq!(stored_p, 100);
+    assert_eq!(stored_n, 100);
+    assert!(invocations_p >= jobs_p, "predeployed path uses invocation messages");
+    assert_eq!(invocations_n, 0, "no-predeploy path recompiles instead of invoking");
+}
+
+#[test]
+fn static_and_decoupled_store_identical_enrichment() {
+    let run = |mode: PipelineMode| -> Vec<(i64, String)> {
+        let (engine, function) = engine_with(ScenarioKey::SafetyRating, 2);
+        let tweets = TweetGenerator::new(5).batch(0, 60);
+        let spec = FeedSpec::new("s", "Tweets", VecAdapter::factory(tweets))
+            .with_function(&function)
+            .with_batch_size(16)
+            .with_mode(mode);
+        engine.start_feed(spec).unwrap().wait().unwrap();
+        let mut rows: Vec<(i64, String)> = idea::query::run_query(
+            engine.catalog(),
+            "SELECT VALUE [t.id, t.safety_rating[0]] FROM Tweets t",
+        )
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|pair| {
+            let p = pair.as_array().unwrap();
+            (p[0].as_int().unwrap(), p[1].as_str().unwrap_or("?").to_owned())
+        })
+        .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(run(PipelineMode::Static), run(PipelineMode::Decoupled));
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The `idea` facade exposes each layer.
+    let v = idea::adm::json::parse(b"{\"x\": 1}").unwrap();
+    assert_eq!(v.as_object().unwrap().get("x"), Some(&Value::Int(1)));
+    let cluster = idea::hyracks::Cluster::with_nodes(2);
+    assert_eq!(cluster.node_count(), 2);
+    let sim = idea::clustersim::simulate(
+        &idea::clustersim::CostModel::nominal(),
+        &idea::clustersim::SimConfig::basic(4, true, 420, 10_000),
+    );
+    assert!(sim.throughput > 0.0);
+    let dt = idea::adm::Datatype::new("T").field("id", idea::adm::TypeTag::Int64);
+    let ds = idea::storage::Dataset::new("D", dt, "id", Default::default());
+    ds.insert(Value::object([("id", Value::Int(1))])).unwrap();
+    assert_eq!(ds.len(), 1);
+}

@@ -163,9 +163,6 @@ mod tests {
             total_cmp(&Value::Double(f64::NAN), &Value::Double(f64::INFINITY)),
             Ordering::Greater
         );
-        assert_eq!(
-            total_cmp(&Value::Double(f64::NAN), &Value::Double(f64::NAN)),
-            Ordering::Equal
-        );
+        assert_eq!(total_cmp(&Value::Double(f64::NAN), &Value::Double(f64::NAN)), Ordering::Equal);
     }
 }

@@ -96,8 +96,11 @@ pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
         "edit_distance_check" => {
             let [a, b, t] = expect_arity::<3>(name, args)?;
             let t = as_int(name, t)?;
-            let within =
-                similarity::edit_distance_within(as_str(name, a)?, as_str(name, b)?, t.max(0) as usize);
+            let within = similarity::edit_distance_within(
+                as_str(name, a)?,
+                as_str(name, b)?,
+                t.max(0) as usize,
+            );
             Ok(Value::Bool(within))
         }
         "create_point" => {
@@ -133,7 +136,10 @@ pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
                     "floor" => d.floor(),
                     _ => d.ceil(),
                 })),
-                other => Err(AdmError::arg("round", format!("expected numeric, got {}", other.type_name()))),
+                other => Err(AdmError::arg(
+                    "round",
+                    format!("expected numeric, got {}", other.type_name()),
+                )),
             }
         }
         "substring" => {
@@ -162,15 +168,13 @@ pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
             if sep.is_empty() {
                 return Err(AdmError::arg("split", "separator must be non-empty"));
             }
-            Ok(Value::Array(
-                as_str(name, s)?.split(sep).map(Value::str).collect(),
-            ))
+            Ok(Value::Array(as_str(name, s)?.split(sep).map(Value::str).collect()))
         }
         "array_sum" | "array_min" | "array_max" => {
             let [a] = expect_arity::<1>(name, args)?;
-            let items = a
-                .as_array()
-                .ok_or_else(|| AdmError::arg("array_fn", format!("{name}() expected array, got {}", a.type_name())))?;
+            let items = a.as_array().ok_or_else(|| {
+                AdmError::arg("array_fn", format!("{name}() expected array, got {}", a.type_name()))
+            })?;
             let known: Vec<&Value> = items.iter().filter(|v| !v.is_unknown()).collect();
             if known.is_empty() {
                 return Ok(Value::Null);
@@ -202,7 +206,10 @@ pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
             match a {
                 Value::Array(items) => Ok(Value::Int(items.len() as i64)),
                 Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
-                other => Err(AdmError::arg("len", format!("expected array or string, got {}", other.type_name()))),
+                other => Err(AdmError::arg(
+                    "len",
+                    format!("expected array or string, got {}", other.type_name()),
+                )),
             }
         }
         "to_double" => {
@@ -221,26 +228,26 @@ pub fn dispatch(name: &str, args: &[Value]) -> Result<Value> {
 
 fn expect_arity<'a, const N: usize>(name: &str, args: &'a [Value]) -> Result<&'a [Value; N]> {
     args.try_into().map_err(|_| {
-        AdmError::arg(
-            "arity",
-            format!("{name}() expects {N} argument(s), got {}", args.len()),
-        )
+        AdmError::arg("arity", format!("{name}() expects {N} argument(s), got {}", args.len()))
     })
 }
 
 fn as_str<'a>(name: &str, v: &'a Value) -> Result<&'a str> {
-    v.as_str()
-        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected string, got {}", v.type_name())))
+    v.as_str().ok_or_else(|| {
+        AdmError::arg("type", format!("{name}() expected string, got {}", v.type_name()))
+    })
 }
 
 fn as_f64(name: &str, v: &Value) -> Result<f64> {
-    v.as_f64()
-        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected numeric, got {}", v.type_name())))
+    v.as_f64().ok_or_else(|| {
+        AdmError::arg("type", format!("{name}() expected numeric, got {}", v.type_name()))
+    })
 }
 
 fn as_int(name: &str, v: &Value) -> Result<i64> {
-    v.as_int()
-        .ok_or_else(|| AdmError::arg("type", format!("{name}() expected int, got {}", v.type_name())))
+    v.as_int().ok_or_else(|| {
+        AdmError::arg("type", format!("{name}() expected int, got {}", v.type_name()))
+    })
 }
 
 #[cfg(test)]
@@ -306,10 +313,7 @@ mod tests {
             dispatch("substring", &[s.clone(), Value::Int(1), Value::Int(4)]).unwrap(),
             Value::str("éllo")
         );
-        assert_eq!(
-            dispatch("substring", &[s, Value::Int(6)]).unwrap(),
-            Value::str("world")
-        );
+        assert_eq!(dispatch("substring", &[s, Value::Int(6)]).unwrap(), Value::str("world"));
     }
 
     #[test]
@@ -325,12 +329,9 @@ mod tests {
     #[test]
     fn array_aggregates() {
         let arr = Value::Array(vec![Value::Int(3), Value::Null, Value::Int(5)]);
-        assert_eq!(dispatch("array_sum", &[arr.clone()]).unwrap(), Value::Int(8));
-        assert_eq!(dispatch("array_min", &[arr.clone()]).unwrap(), Value::Int(3));
+        assert_eq!(dispatch("array_sum", std::slice::from_ref(&arr)).unwrap(), Value::Int(8));
+        assert_eq!(dispatch("array_min", std::slice::from_ref(&arr)).unwrap(), Value::Int(3));
         assert_eq!(dispatch("array_max", &[arr]).unwrap(), Value::Int(5));
-        assert_eq!(
-            dispatch("array_sum", &[Value::Array(vec![Value::Null])]).unwrap(),
-            Value::Null
-        );
+        assert_eq!(dispatch("array_sum", &[Value::Array(vec![Value::Null])]).unwrap(), Value::Null);
     }
 }

@@ -129,10 +129,7 @@ mod tests {
 
     #[test]
     fn unknown_propagation() {
-        assert_eq!(
-            arith(ArithOp::Add, &Value::Missing, &Value::Int(1)).unwrap(),
-            Value::Missing
-        );
+        assert_eq!(arith(ArithOp::Add, &Value::Missing, &Value::Int(1)).unwrap(), Value::Missing);
         assert_eq!(arith(ArithOp::Mul, &Value::Null, &Value::Int(1)).unwrap(), Value::Null);
     }
 

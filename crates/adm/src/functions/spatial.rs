@@ -95,10 +95,7 @@ mod tests {
     fn symmetric() {
         let c = create_circle(&create_point(0.0, 0.0), 1.0).unwrap();
         let p = create_point(0.5, 0.5);
-        assert_eq!(
-            spatial_intersect(&p, &c).unwrap(),
-            spatial_intersect(&c, &p).unwrap()
-        );
+        assert_eq!(spatial_intersect(&p, &c).unwrap(), spatial_intersect(&c, &p).unwrap());
     }
 
     #[test]

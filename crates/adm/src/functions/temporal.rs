@@ -41,9 +41,9 @@ pub fn parse_duration(s: &str) -> Result<i64> {
                 }
             }
             unit => {
-                let start = num_start
-                    .take()
-                    .ok_or_else(|| AdmError::arg("duration", format!("unit without number in '{s}'")))?;
+                let start = num_start.take().ok_or_else(|| {
+                    AdmError::arg("duration", format!("unit without number in '{s}'"))
+                })?;
                 let n: i64 = s[start..i]
                     .parse()
                     .map_err(|_| AdmError::arg("duration", format!("bad number in '{s}'")))?;
@@ -107,7 +107,12 @@ mod tests {
     fn composite() {
         assert_eq!(
             parse_duration("P1Y2M3DT4H5M6S").unwrap(),
-            MS_PER_YEAR + 2 * MS_PER_MONTH + 3 * MS_PER_DAY + 4 * MS_PER_HOUR + 5 * MS_PER_MIN + 6 * MS_PER_SEC
+            MS_PER_YEAR
+                + 2 * MS_PER_MONTH
+                + 3 * MS_PER_DAY
+                + 4 * MS_PER_HOUR
+                + 5 * MS_PER_MIN
+                + 6 * MS_PER_SEC
         );
     }
 

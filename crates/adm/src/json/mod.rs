@@ -45,10 +45,7 @@ mod tests {
 
     #[test]
     fn parse_string_escapes() {
-        assert_eq!(
-            parse(br#""a\"b\\c\ndA""#).unwrap(),
-            Value::str("a\"b\\c\nd\u{41}")
-        );
+        assert_eq!(parse(br#""a\"b\\c\ndA""#).unwrap(), Value::str("a\"b\\c\nd\u{41}"));
     }
 
     #[test]

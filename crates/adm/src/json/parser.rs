@@ -279,9 +279,9 @@ fn decode_extension(obj: Object) -> Value {
         ("~rectangle", Value::Array(a)) if a.len() == 4 => {
             let c: Vec<Option<f64>> = a.iter().map(Value::as_f64).collect();
             match (c[0], c[1], c[2], c[3]) {
-                (Some(x1), Some(y1), Some(x2), Some(y2)) => Some(Value::Rectangle(
-                    Rectangle::new(Point::new(x1, y1), Point::new(x2, y2)),
-                )),
+                (Some(x1), Some(y1), Some(x2), Some(y2)) => {
+                    Some(Value::Rectangle(Rectangle::new(Point::new(x1, y1), Point::new(x2, y2))))
+                }
                 _ => None,
             }
         }

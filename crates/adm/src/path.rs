@@ -67,14 +67,8 @@ mod tests {
 
     #[test]
     fn nested_access() {
-        let rec = Value::object([(
-            "user",
-            Value::object([("screen_name", Value::str("ada"))]),
-        )]);
-        assert_eq!(
-            FieldPath::parse("user.screen_name").get(&rec),
-            &Value::str("ada")
-        );
+        let rec = Value::object([("user", Value::object([("screen_name", Value::str("ada"))]))]);
+        assert_eq!(FieldPath::parse("user.screen_name").get(&rec), &Value::str("ada"));
     }
 
     #[test]

@@ -304,10 +304,7 @@ impl Value {
             Value::Rectangle(_) | Value::Circle(_) => 32,
             Value::Array(a) => 8 + a.iter().map(Value::approx_size).sum::<usize>(),
             Value::Object(o) => {
-                8 + o
-                    .iter()
-                    .map(|(k, v)| k.len() + 8 + v.approx_size())
-                    .sum::<usize>()
+                8 + o.iter().map(|(k, v)| k.len() + 8 + v.approx_size()).sum::<usize>()
             }
         }
     }

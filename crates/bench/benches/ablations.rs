@@ -21,8 +21,8 @@ fn main() {
     let mut t1 = Table::new(["configuration", "throughput (rec/s)", "avg refresh (ms)"]);
     for (label, predeploy) in [("predeployed computing job", true), ("recompiled per batch", false)]
     {
-        let mut run = EnrichmentRun::new(Some(ScenarioKey::SafetyRating), tweets, scale)
-            .batch_size(BATCH_1X);
+        let mut run =
+            EnrichmentRun::new(Some(ScenarioKey::SafetyRating), tweets, scale).batch_size(BATCH_1X);
         run.predeploy = predeploy;
         let r = run_enrichment(&run);
         t1.row([

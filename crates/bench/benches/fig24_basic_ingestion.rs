@@ -17,16 +17,16 @@ fn main() {
 
     let nodes_axis = [1usize, 2, 3, 4, 5, 6, 12, 18, 24];
     let mut table = Table::new(
-        ["series"].into_iter().map(String::from).chain(nodes_axis.iter().map(|n| n.to_string())),
+        ["series"]
+            .into_iter()
+            .map(String::from)
+            .chain(nodes_axis.iter().map(|n| n.to_string())),
     );
 
     let mut series = |label: &str, balanced: bool, pipeline: PipelineKind, batch: u64| {
         let mut row = vec![label.to_owned()];
         for &n in &nodes_axis {
-            let cfg = SimConfig {
-                pipeline,
-                ..SimConfig::basic(n, balanced, batch, total)
-            };
+            let cfg = SimConfig { pipeline, ..SimConfig::basic(n, balanced, batch, total) };
             row.push(fmt_rate(simulate(&cost, &cfg).throughput));
         }
         table.row(row);

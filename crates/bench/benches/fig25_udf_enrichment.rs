@@ -3,8 +3,7 @@
 //! 1X/4X/16X, Dynamic SQL++ 1X/4X/16X}. Real engine.
 
 use idea_bench::{
-    run_enrichment, table::fmt_rate, EnrichmentRun, Table, UdfFlavor, BATCH_16X, BATCH_1X,
-    BATCH_4X,
+    run_enrichment, table::fmt_rate, EnrichmentRun, Table, UdfFlavor, BATCH_16X, BATCH_1X, BATCH_4X,
 };
 use idea_core::PipelineMode;
 use idea_workload::{ScenarioKey, WorkloadScale};

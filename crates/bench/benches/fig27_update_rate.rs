@@ -13,7 +13,10 @@ fn main() {
     let rates: [f64; 7] = [0.0, 1.0, 10.0, 50.0, 100.0, 200.0, 400.0];
 
     let mut table = Table::new(
-        ["use case"].into_iter().map(String::from).chain(rates.iter().map(|r| format!("{r}/s"))),
+        ["use case"]
+            .into_iter()
+            .map(String::from)
+            .chain(rates.iter().map(|r| format!("{r}/s"))),
     );
     for key in ScenarioKey::FIGURE25 {
         let n_tweets = match key {

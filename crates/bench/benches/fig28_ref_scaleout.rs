@@ -3,9 +3,7 @@
 //! and build costs measured from the real engine at each reference
 //! size).
 
-use idea_bench::{
-    calibrate_cost_model, calibrate_scenario, table::fmt_rate, Table, BATCH_16X,
-};
+use idea_bench::{calibrate_cost_model, calibrate_scenario, table::fmt_rate, Table, BATCH_16X};
 use idea_clustersim::{simulate, PipelineKind, SimConfig};
 use idea_workload::{ScenarioKey, WorkloadScale};
 

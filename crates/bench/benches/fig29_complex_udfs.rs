@@ -15,12 +15,7 @@ fn main() {
     for key in ScenarioKey::FIGURE29 {
         let base = EnrichmentRun::new(Some(key), tweets, scale);
         let run = |batch| fmt_rate(run_enrichment(&base.clone().batch_size(batch)).throughput);
-        table.row([
-            key.label().to_owned(),
-            run(BATCH_1X),
-            run(BATCH_4X),
-            run(BATCH_16X),
-        ]);
+        table.row([key.label().to_owned(), run(BATCH_1X), run(BATCH_4X), run(BATCH_16X)]);
     }
     table.print(&format!(
         "Figure 29: complex-UDF throughput (records/s), {tweets} tweets, 6 nodes, real engine"

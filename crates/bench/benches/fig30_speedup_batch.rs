@@ -1,9 +1,7 @@
 //! Figure 30 — speed-up of 24 vs 6 nodes for all eight UDFs × batch
 //! 1X/4X/16X (ideal = 4). Calibrated cluster model.
 
-use idea_bench::{
-    calibrate_cost_model, calibrate_scenario, Table, BATCH_16X, BATCH_1X, BATCH_4X,
-};
+use idea_bench::{calibrate_cost_model, calibrate_scenario, Table, BATCH_16X, BATCH_1X, BATCH_4X};
 use idea_clustersim::{simulate, PipelineKind, SimConfig};
 use idea_workload::{ScenarioKey, WorkloadScale};
 

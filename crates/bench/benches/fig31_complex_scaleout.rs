@@ -22,10 +22,16 @@ fn main() {
     let nodes_axis = [6usize, 12, 18, 24];
 
     let mut tput = Table::new(
-        ["use case"].into_iter().map(String::from).chain(nodes_axis.iter().map(|n| n.to_string())),
+        ["use case"]
+            .into_iter()
+            .map(String::from)
+            .chain(nodes_axis.iter().map(|n| n.to_string())),
     );
     let mut speedup = Table::new(
-        ["use case"].into_iter().map(String::from).chain(nodes_axis.iter().map(|n| n.to_string())),
+        ["use case"]
+            .into_iter()
+            .map(String::from)
+            .chain(nodes_axis.iter().map(|n| n.to_string())),
     );
 
     for key in CASES {

@@ -92,8 +92,9 @@ fn bench_enrichment(c: &mut Criterion) {
     let scale = WorkloadScale::scaled(0.01);
     let sc = setup_scenario(&catalog, ScenarioKey::SafetyRating, &scale, 7).unwrap();
     let gen = TweetGenerator::new(5);
-    let tweets: Vec<Value> =
-        (0..64).map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap()).collect();
+    let tweets: Vec<Value> = (0..64)
+        .map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap())
+        .collect();
 
     c.bench_function("enrich_probe_safety_rating", |b| {
         let mut ctx = ExecContext::new(catalog.clone());
@@ -138,8 +139,9 @@ fn bench_hash_vs_index(c: &mut Criterion) {
     )
     .unwrap();
     let gen = TweetGenerator::new(6);
-    let tweets: Vec<Value> =
-        (0..32).map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap()).collect();
+    let tweets: Vec<Value> = (0..32)
+        .map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap())
+        .collect();
 
     let mut ctx = ExecContext::new(catalog.clone());
     let mut i = 0;

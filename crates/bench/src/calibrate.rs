@@ -73,23 +73,16 @@ pub fn calibrate_scenario(key: ScenarioKey, scale: &WorkloadScale, sample: u64) 
 
     let t1 = Instant::now();
     for t in &tweets[1..] {
-        apply_function(&mut ctx, &sc.function, &[t.clone()]).unwrap();
+        apply_function(&mut ctx, &sc.function, std::slice::from_ref(t)).unwrap();
     }
     let per_record = t1.elapsed().as_secs_f64() / (tweets.len() - 1) as f64;
 
-    ScenarioCosts {
-        build_total: (first - per_record).max(0.0),
-        per_record,
-        ref_rows,
-    }
+    ScenarioCosts { build_total: (first - per_record).max(0.0), per_record, ref_rows }
 }
 
 fn ref_rows_of(catalog: &Arc<Catalog>, key: ScenarioKey) -> u64 {
     // Count the primary reference dataset (the dominant build input).
-    catalog
-        .dataset(key.primary_reference())
-        .map(|d| d.len() as u64)
-        .unwrap_or(0)
+    catalog.dataset(key.primary_reference()).map(|d| d.len() as u64).unwrap_or(0)
 }
 
 /// Measures the pipeline's per-record costs (parse, store, adapter) and
@@ -207,8 +200,7 @@ mod tests {
 
     #[test]
     fn scenario_calibration_runs() {
-        let costs =
-            calibrate_scenario(ScenarioKey::SafetyRating, &WorkloadScale::tiny(), 50);
+        let costs = calibrate_scenario(ScenarioKey::SafetyRating, &WorkloadScale::tiny(), 50);
         assert!(costs.per_record > 0.0);
         assert!(costs.ref_rows > 0);
         assert!(matches!(

@@ -100,11 +100,9 @@ pub fn run_enrichment(run: &EnrichmentRun) -> IngestionReport {
                 .expect("scenario setup");
             match run.flavor {
                 UdfFlavor::Sqlpp => Some(sc.function),
-                UdfFlavor::Native => {
-                    Some(sc.native_function.unwrap_or_else(|| {
-                        panic!("{key:?} has no native variant")
-                    }))
-                }
+                UdfFlavor::Native => Some(
+                    sc.native_function.unwrap_or_else(|| panic!("{key:?} has no native variant")),
+                ),
                 UdfFlavor::None => None,
             }
         }
@@ -112,10 +110,8 @@ pub fn run_enrichment(run: &EnrichmentRun) -> IngestionReport {
 
     // Pre-generate the tweet stream: generation cost must not pollute
     // ingestion throughput.
-    let gen = TweetGenerator::new(run.seed).with_suspect_rate(
-        100,
-        run.ref_scale.suspects_names.max(run.ref_scale.sensitive_names),
-    );
+    let gen = TweetGenerator::new(run.seed)
+        .with_suspect_rate(100, run.ref_scale.suspects_names.max(run.ref_scale.sensitive_names));
     let records: Vec<String> = gen.batch(0, run.tweets);
 
     let mut spec = FeedSpec::new("bench", "Tweets", VecAdapter::factory(records))

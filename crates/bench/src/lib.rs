@@ -29,12 +29,18 @@ pub fn env_tweets() -> u64 {
 
 /// Reference-data scale factor vs the paper's sizes.
 pub fn env_ref_scale() -> f64 {
-    std::env::var("IDEA_REF_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01)
+    std::env::var("IDEA_REF_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.01)
 }
 
 /// Virtual tweets for simulated figures.
 pub fn env_sim_tweets() -> u64 {
-    std::env::var("IDEA_SIM_TWEETS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000)
+    std::env::var("IDEA_SIM_TWEETS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000)
 }
 
 /// The paper's batch sizes: 1X, 4X, 16X (records each node's collector

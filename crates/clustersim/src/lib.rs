@@ -28,6 +28,4 @@
 
 pub mod model;
 
-pub use model::{
-    simulate, CostModel, EnrichKind, PipelineKind, SimConfig, SimResult,
-};
+pub use model::{simulate, CostModel, EnrichKind, PipelineKind, SimConfig, SimResult};

@@ -277,8 +277,7 @@ fn simulate_static(cost: &CostModel, cfg: &SimConfig) -> SimResult {
         EnrichKind::IndexJoin { per_probe } => per_probe,
         EnrichKind::ScanJoin { per_row } => cfg.ref_rows as f64 * per_row,
     };
-    let intake_per_record =
-        cost.intake_per_record() + cost.parse_per_record + per_record_enrich;
+    let intake_per_record = cost.intake_per_record() + cost.parse_per_record + per_record_enrich;
     let intake_rate = cfg.intake_nodes as f64 / intake_per_record;
     let store_rate = n / cost.store_per_record;
     let rate = intake_rate.min(store_rate);

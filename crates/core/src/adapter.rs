@@ -28,8 +28,7 @@ pub trait Adapter: Send {
 
 /// Instantiates the adapter for intake partition `partition` of
 /// `partitions`.
-pub type AdapterFactory =
-    Arc<dyn Fn(usize, usize) -> Box<dyn Adapter> + Send + Sync>;
+pub type AdapterFactory = Arc<dyn Fn(usize, usize) -> Box<dyn Adapter> + Send + Sync>;
 
 /// Replays a fixed list of records.
 pub struct VecAdapter {

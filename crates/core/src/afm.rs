@@ -7,6 +7,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use idea_hyracks::Cluster;
+use idea_obs::MetricsRegistry;
 use idea_query::{Catalog, PlanCache};
 use parking_lot::Mutex;
 
@@ -47,11 +48,10 @@ impl FeedHandle {
     /// returns the ingestion report. Idempotent `wait` is not supported:
     /// call once.
     pub fn wait(&self) -> Result<IngestionReport> {
-        let handle = self
-            .driver
-            .lock()
-            .take()
-            .ok_or_else(|| IngestError::Feed(format!("feed {} already waited on", self.name)))?;
+        let handle =
+            self.driver.lock().take().ok_or_else(|| {
+                IngestError::Feed(format!("feed {} already waited on", self.name))
+            })?;
         match handle.join() {
             Ok(Ok(())) => Ok(self.metrics.report()),
             Ok(Err(e)) => Err(e),
@@ -66,10 +66,13 @@ impl FeedHandle {
     }
 }
 
-/// Manages the lifecycle of all data feeds on a cluster.
+/// Manages the lifecycle of all data feeds on a cluster. Owns the
+/// metrics registry every feed reports into (and attaches it to the
+/// cluster, so Hyracks job/task instruments land there too).
 pub struct ActiveFeedManager {
     cluster: Arc<Cluster>,
     catalog: Arc<Catalog>,
+    registry: Arc<MetricsRegistry>,
     active: Mutex<HashMap<String, Arc<FeedHandle>>>,
 }
 
@@ -80,7 +83,9 @@ impl ActiveFeedManager {
             catalog.partitions(),
             "catalog partitions must match cluster size (one storage partition per node)"
         );
-        ActiveFeedManager { cluster, catalog, active: Mutex::new(HashMap::new()) }
+        let registry = MetricsRegistry::new();
+        cluster.attach_metrics(registry.clone());
+        ActiveFeedManager { cluster, catalog, registry, active: Mutex::new(HashMap::new()) }
     }
 
     pub fn cluster(&self) -> &Arc<Cluster> {
@@ -91,6 +96,12 @@ impl ActiveFeedManager {
         &self.catalog
     }
 
+    /// The registry all feeds on this manager report into. Snapshot it
+    /// for a live view of every counter, gauge, and histogram.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Names of currently running feeds.
     pub fn active_feeds(&self) -> Vec<String> {
         self.active.lock().keys().cloned().collect()
@@ -99,26 +110,44 @@ impl ActiveFeedManager {
     /// Starts a feed and returns its handle.
     pub fn start(&self, spec: FeedSpec) -> Result<Arc<FeedHandle>> {
         // Fail fast on config errors.
+        let spec = spec.build(self.cluster.node_count())?;
         let dataset = self.catalog.dataset(&spec.dataset)?;
         if let Some(f) = &spec.function {
             self.catalog.function(f)?;
-        }
-        if spec.intake_nodes.iter().any(|&n| n >= self.cluster.node_count()) {
-            return Err(IngestError::Feed(format!(
-                "feed {} assigns intake to a missing node",
-                spec.name
-            )));
         }
         let mut active = self.active.lock();
         if active.contains_key(&spec.name) {
             return Err(IngestError::Feed(format!("feed {} is already running", spec.name)));
         }
 
+        // A feed restarted under the same name gets fresh instruments;
+        // stale counters from the previous run must not leak into it.
+        let scope_name = format!("feed/{}", spec.name);
+        self.registry.remove_scope(&scope_name);
+        let obs = self.registry.scope(scope_name);
+        let metrics = Arc::new(FeedMetrics::in_scope(&obs));
+
+        // Storage stats for the target dataset, sampled at snapshot
+        // time. Weak refs: the registry must not keep a dropped dataset
+        // alive.
+        for (metric, f) in [
+            ("flushes", idea_storage::Dataset::flush_count as fn(&idea_storage::Dataset) -> u64),
+            ("merges", idea_storage::Dataset::merge_count),
+            ("components", |d: &idea_storage::Dataset| d.component_count() as u64),
+        ] {
+            let weak = Arc::downgrade(&dataset);
+            self.registry.probe(format!("storage/{}/{metric}", spec.dataset), move || {
+                weak.upgrade()
+                    .map_or(0, |ds| ds.partitions().iter().map(|p| f(p)).sum::<u64>() as i64)
+            });
+        }
+
         let datatype = dataset.partitions()[0].datatype().clone();
         let shared = Arc::new(FeedShared {
             spec: Arc::new(spec),
             catalog: self.catalog.clone(),
-            metrics: Arc::new(FeedMetrics::default()),
+            metrics,
+            obs,
             stop: Arc::new(AtomicBool::new(false)),
             plan_cache: PlanCache::new(),
             stream_ctxs: Arc::new(Mutex::new(HashMap::new())),
@@ -194,8 +223,10 @@ fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<(
     register_holders(cluster, shared)?;
 
     // Long-running jobs.
-    let intake = idea_hyracks::run_job(cluster, &build_intake_spec(shared), idea_adm::Value::Missing)?;
-    let storage = idea_hyracks::run_job(cluster, &build_storage_spec(shared), idea_adm::Value::Missing)?;
+    let intake =
+        idea_hyracks::run_job(cluster, &build_intake_spec(shared), idea_adm::Value::Missing)?;
+    let storage =
+        idea_hyracks::run_job(cluster, &build_storage_spec(shared), idea_adm::Value::Missing)?;
 
     // The computing job: compiled once and predeployed (§5.1), or
     // recompiled per invocation when the ablation disables predeploy.
@@ -216,6 +247,7 @@ fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<(
                         spec: shared.spec.clone(),
                         catalog: shared.catalog.clone(),
                         metrics: shared.metrics.clone(),
+                        obs: shared.obs.clone(),
                         stop: shared.stop.clone(),
                         plan_cache: PlanCache::new(),
                         stream_ctxs: shared.stream_ctxs.clone(),

@@ -80,6 +80,13 @@ impl IngestionEngine {
         &self.afm
     }
 
+    /// The engine-wide metrics registry: per-feed pipeline counters,
+    /// holder queue gauges, storage stats, and Hyracks job/task
+    /// instruments. `engine.metrics().snapshot()` is the one-stop view.
+    pub fn metrics(&self) -> &Arc<idea_obs::MetricsRegistry> {
+        self.afm.metrics()
+    }
+
     /// Registers a custom adapter usable from feed DDL via
     /// `"adapter-name": "<name>"`.
     pub fn register_adapter(&self, name: impl Into<String>, factory: AdapterFactory) {
@@ -174,9 +181,8 @@ impl IngestionEngine {
         let mut spec = FeedSpec::new(name, dataset, adapter);
         spec.function = decl.function.clone();
         if let Some(b) = decl.options.get("batch-size") {
-            spec.batch_size = b
-                .parse()
-                .map_err(|_| IngestError::Feed(format!("bad batch-size '{b}'")))?;
+            spec.batch_size =
+                b.parse().map_err(|_| IngestError::Feed(format!("bad batch-size '{b}'")))?;
         }
         if let Some(m) = decl.options.get("computing-model") {
             spec.model = match m.as_str() {

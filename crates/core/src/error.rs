@@ -1,16 +1,24 @@
 //! Ingestion-framework error type.
+//!
+//! Lower-layer failures are wrapped whole (not stringified), so callers
+//! can match on the underlying [`HyracksError`]/[`QueryError`]/
+//! [`StorageError`] and `std::error::Error::source` walks the chain.
 
 use std::fmt;
+
+use idea_hyracks::HyracksError;
+use idea_query::QueryError;
+use idea_storage::StorageError;
 
 /// Errors from feed lifecycle and pipeline execution.
 #[derive(Debug, Clone, PartialEq)]
 pub enum IngestError {
     /// Runtime (Hyracks) failure.
-    Runtime(String),
+    Runtime(HyracksError),
     /// Query/UDF failure during enrichment.
-    Query(String),
+    Query(QueryError),
     /// Storage failure while persisting.
-    Storage(String),
+    Storage(StorageError),
     /// Feed configuration/lifecycle misuse.
     Feed(String),
 }
@@ -18,36 +26,65 @@ pub enum IngestError {
 impl fmt::Display for IngestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IngestError::Runtime(m) => write!(f, "runtime error: {m}"),
-            IngestError::Query(m) => write!(f, "query error: {m}"),
-            IngestError::Storage(m) => write!(f, "storage error: {m}"),
+            IngestError::Runtime(e) => write!(f, "runtime error: {e}"),
+            IngestError::Query(e) => write!(f, "query error: {e}"),
+            IngestError::Storage(e) => write!(f, "storage error: {e}"),
             IngestError::Feed(m) => write!(f, "feed error: {m}"),
         }
     }
 }
 
-impl std::error::Error for IngestError {}
-
-impl From<idea_hyracks::HyracksError> for IngestError {
-    fn from(e: idea_hyracks::HyracksError) -> Self {
-        IngestError::Runtime(e.to_string())
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Runtime(e) => Some(e),
+            IngestError::Query(e) => Some(e),
+            IngestError::Storage(e) => Some(e),
+            IngestError::Feed(_) => None,
+        }
     }
 }
 
-impl From<idea_query::QueryError> for IngestError {
-    fn from(e: idea_query::QueryError) -> Self {
-        IngestError::Query(e.to_string())
+impl From<HyracksError> for IngestError {
+    fn from(e: HyracksError) -> Self {
+        IngestError::Runtime(e)
     }
 }
 
-impl From<idea_storage::StorageError> for IngestError {
-    fn from(e: idea_storage::StorageError) -> Self {
-        IngestError::Storage(e.to_string())
+impl From<QueryError> for IngestError {
+    fn from(e: QueryError) -> Self {
+        IngestError::Query(e)
     }
 }
 
-impl From<IngestError> for idea_hyracks::HyracksError {
+impl From<StorageError> for IngestError {
+    fn from(e: StorageError) -> Self {
+        IngestError::Storage(e)
+    }
+}
+
+impl From<IngestError> for HyracksError {
     fn from(e: IngestError) -> Self {
-        idea_hyracks::HyracksError::Operator(e.to_string())
+        // The reverse direction crosses a trait-object boundary
+        // (operators report `HyracksError`), so here the message is all
+        // that survives.
+        HyracksError::Operator(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_preserve_source() {
+        let e: IngestError = QueryError::Eval("bad arity".into()).into();
+        assert_eq!(e.source().unwrap().to_string(), "evaluation error: bad arity");
+        let e: IngestError = StorageError::DuplicateKey("7".into()).into();
+        assert!(matches!(&e, IngestError::Storage(StorageError::DuplicateKey(k)) if k == "7"));
+        let e: IngestError = HyracksError::Config("no stages".into()).into();
+        assert!(e.source().is_some());
+        assert!(IngestError::Feed("x".into()).source().is_none());
     }
 }

@@ -33,7 +33,9 @@ pub mod metrics;
 pub mod models;
 mod pipeline;
 
-pub use adapter::{Adapter, AdapterFactory, GeneratorAdapter, RateLimitedAdapter, SocketAdapter, VecAdapter};
+pub use adapter::{
+    Adapter, AdapterFactory, GeneratorAdapter, RateLimitedAdapter, SocketAdapter, VecAdapter,
+};
 pub use afm::{ActiveFeedManager, FeedHandle};
 pub use engine::{ExecOutcome, IngestionEngine};
 pub use error::IngestError;

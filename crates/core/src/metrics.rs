@@ -1,23 +1,41 @@
 //! Feed metrics: throughput and refresh periods (the quantities
 //! Figures 24–31 report).
+//!
+//! Since the observability rework these are *views over the metrics
+//! registry*: every counter a `FeedMetrics` exposes is a registry
+//! instrument under `feed/<name>/...`, so the same numbers that drive
+//! [`IngestionReport`] appear in registry snapshots (and, via
+//! `Snapshot::to_adm`, in SQL++). Pipeline operators keep their cheap
+//! one-atomic-op recording path: the handles are resolved once at feed
+//! start.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use idea_obs::{Counter, Histogram, MetricsRegistry, MetricsScope};
 use parking_lot::Mutex;
 
-/// Live counters updated by pipeline operators.
-#[derive(Debug, Default)]
+/// Live per-feed instruments updated by pipeline operators. All handles
+/// point into a [`MetricsRegistry`]; see [`FeedMetrics::in_scope`] for
+/// the naming scheme.
+#[derive(Debug)]
 pub struct FeedMetrics {
-    pub records_ingested: AtomicU64,
-    pub parse_errors: AtomicU64,
+    /// Raw records pulled in by adapters (`intake/records`).
+    pub records_ingested: Arc<Counter>,
+    /// Malformed or type-invalid records dropped (`parse/errors`).
+    pub parse_errors: Arc<Counter>,
     /// Records dropped because the attached UDF failed on them (the feed
-    /// keeps running — a poison record must not kill the pipeline).
-    pub enrich_errors: AtomicU64,
-    pub records_enriched: AtomicU64,
-    pub records_stored: AtomicU64,
-    pub computing_jobs: AtomicU64,
-    batch_nanos: AtomicU64,
+    /// keeps running — a poison record must not kill the pipeline)
+    /// (`enrich/errors`).
+    pub enrich_errors: Arc<Counter>,
+    /// Records that passed UDF evaluation (`enrich/records`).
+    pub records_enriched: Arc<Counter>,
+    /// Records persisted by the storage job (`store/records`).
+    pub records_stored: Arc<Counter>,
+    /// Computing-job invocations (`computing/jobs`).
+    pub computing_jobs: Arc<Counter>,
+    /// Per-batch computing-job latency (`batch_latency`).
+    batch_latency: Arc<Histogram>,
     timing: Mutex<Timing>,
 }
 
@@ -29,6 +47,27 @@ struct Timing {
 }
 
 impl FeedMetrics {
+    /// Registers this feed's instruments under `scope` (normally
+    /// `feed/<name>`) and returns handles bound to them.
+    pub fn in_scope(scope: &MetricsScope) -> FeedMetrics {
+        FeedMetrics {
+            records_ingested: scope.counter("intake/records"),
+            parse_errors: scope.counter("parse/errors"),
+            enrich_errors: scope.counter("enrich/errors"),
+            records_enriched: scope.counter("enrich/records"),
+            records_stored: scope.counter("store/records"),
+            computing_jobs: scope.counter("computing/jobs"),
+            batch_latency: scope.histogram("batch_latency"),
+            timing: Mutex::new(Timing::default()),
+        }
+    }
+
+    /// Standalone metrics backed by a private throwaway registry — for
+    /// unit tests and detached use.
+    pub fn detached() -> FeedMetrics {
+        FeedMetrics::in_scope(&MetricsRegistry::new().scope("feed/detached"))
+    }
+
     pub fn mark_started(&self) {
         self.timing.lock().started.get_or_insert_with(Instant::now);
     }
@@ -38,8 +77,8 @@ impl FeedMetrics {
     }
 
     pub fn record_batch(&self, took: Duration) {
-        self.computing_jobs.fetch_add(1, Ordering::Relaxed);
-        self.batch_nanos.fetch_add(took.as_nanos() as u64, Ordering::Relaxed);
+        self.computing_jobs.inc();
+        self.batch_latency.record(took);
         self.timing.lock().batch_durations.push(took);
     }
 
@@ -51,24 +90,27 @@ impl FeedMetrics {
             (Some(s), None) => s.elapsed(),
             _ => Duration::ZERO,
         };
-        let stored = self.records_stored.load(Ordering::Relaxed);
-        let jobs = self.computing_jobs.load(Ordering::Relaxed);
+        let stored = self.records_stored.get();
+        let jobs = self.computing_jobs.get();
+        let batch_nanos: u64 = timing.batch_durations.iter().map(|d| d.as_nanos() as u64).sum();
         IngestionReport {
-            records_ingested: self.records_ingested.load(Ordering::Relaxed),
-            parse_errors: self.parse_errors.load(Ordering::Relaxed),
-            enrich_errors: self.enrich_errors.load(Ordering::Relaxed),
-            records_enriched: self.records_enriched.load(Ordering::Relaxed),
+            records_ingested: self.records_ingested.get(),
+            parse_errors: self.parse_errors.get(),
+            enrich_errors: self.enrich_errors.get(),
+            records_enriched: self.records_enriched.get(),
             records_stored: stored,
             computing_jobs: jobs,
             elapsed,
             throughput: if elapsed.is_zero() { 0.0 } else { stored as f64 / elapsed.as_secs_f64() },
-            avg_refresh_period: if jobs == 0 {
-                Duration::ZERO
-            } else {
-                Duration::from_nanos(self.batch_nanos.load(Ordering::Relaxed) / jobs)
-            },
+            avg_refresh_period: Duration::from_nanos(batch_nanos.checked_div(jobs).unwrap_or(0)),
             batch_durations: timing.batch_durations.clone(),
         }
+    }
+}
+
+impl Default for FeedMetrics {
+    fn default() -> Self {
+        FeedMetrics::detached()
     }
 }
 
@@ -105,7 +147,7 @@ mod tests {
     fn report_aggregates() {
         let m = FeedMetrics::default();
         m.mark_started();
-        m.records_stored.store(100, Ordering::Relaxed);
+        m.records_stored.add(100);
         m.record_batch(Duration::from_millis(10));
         m.record_batch(Duration::from_millis(30));
         m.mark_finished();
@@ -115,5 +157,16 @@ mod tests {
         assert_eq!(r.avg_refresh_period, Duration::from_millis(20));
         assert!(r.throughput > 0.0);
         assert_eq!(r.batch_durations.len(), 2);
+    }
+
+    #[test]
+    fn counters_surface_in_registry_snapshot() {
+        let registry = MetricsRegistry::new();
+        let m = FeedMetrics::in_scope(&registry.scope("feed/t"));
+        m.records_ingested.add(7);
+        m.record_batch(Duration::from_millis(5));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("feed/t/intake/records"), Some(7));
+        assert_eq!(snap.histogram("feed/t/batch_latency").unwrap().count, 1);
     }
 }

@@ -1,7 +1,5 @@
 //! The computing models of paper §4.3 and the feed specification.
 
-
-
 use crate::adapter::AdapterFactory;
 
 /// How often the enrichment UDF's intermediate state is refreshed.
@@ -89,7 +87,6 @@ impl FeedSpec {
     }
 
     pub fn with_batch_size(mut self, n: usize) -> Self {
-        assert!(n > 0, "batch size must be positive");
         self.batch_size = n;
         self
     }
@@ -105,7 +102,6 @@ impl FeedSpec {
     }
 
     pub fn with_intake_nodes(mut self, nodes: Vec<usize>) -> Self {
-        assert!(!nodes.is_empty(), "need at least one intake node");
         self.intake_nodes = nodes;
         self
     }
@@ -119,6 +115,41 @@ impl FeedSpec {
     pub fn with_predeploy(mut self, p: bool) -> Self {
         self.predeploy = p;
         self
+    }
+
+    /// Validates the spec against a cluster of `cluster_nodes` nodes and
+    /// returns it ready to start. The `with_*` combinators accept
+    /// anything; this is the step that rejects nonsense —
+    /// [`crate::ActiveFeedManager::start`] calls it, so programmatic
+    /// users who skip it get the same checks at start time.
+    pub fn build(self, cluster_nodes: usize) -> crate::Result<FeedSpec> {
+        use crate::error::IngestError;
+        let fail = |m: String| Err(IngestError::Feed(m));
+        if self.name.is_empty() {
+            return fail("feed name must not be empty".into());
+        }
+        if self.dataset.is_empty() {
+            return fail(format!("feed {} has an empty dataset name", self.name));
+        }
+        if self.batch_size == 0 {
+            return fail(format!("feed {} has batch size 0", self.name));
+        }
+        if self.intake_nodes.is_empty() {
+            return fail(format!("feed {} has no intake nodes", self.name));
+        }
+        if let Some(&n) = self.intake_nodes.iter().find(|&&n| n >= cluster_nodes) {
+            return fail(format!(
+                "feed {} assigns intake to node {n}, but the cluster has {cluster_nodes} nodes",
+                self.name
+            ));
+        }
+        if self.holder_capacity == 0 {
+            return fail(format!("feed {} has holder capacity 0", self.name));
+        }
+        if self.frame_capacity == 0 {
+            return fail(format!("feed {} has frame capacity 0", self.name));
+        }
+        Ok(self)
     }
 
     pub(crate) fn intake_holder(&self) -> String {
@@ -142,5 +173,38 @@ impl std::fmt::Debug for FeedSpec {
             .field("mode", &self.mode)
             .field("predeploy", &self.predeploy)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::VecAdapter;
+    use crate::error::IngestError;
+
+    fn spec() -> FeedSpec {
+        FeedSpec::new("f", "ds", VecAdapter::factory(vec![]))
+    }
+
+    #[test]
+    fn build_accepts_defaults() {
+        assert!(spec().build(1).is_ok());
+    }
+
+    #[test]
+    fn build_rejects_nonsense() {
+        let err = |s: FeedSpec, nodes| match s.build(nodes) {
+            Err(IngestError::Feed(m)) => m,
+            other => panic!("expected feed error, got {other:?}"),
+        };
+        assert!(err(spec().with_batch_size(0), 1).contains("batch size 0"));
+        assert!(err(spec().with_intake_nodes(vec![]), 1).contains("no intake nodes"));
+        assert!(err(spec().with_intake_nodes(vec![2]), 2).contains("node 2"));
+        let mut s = spec();
+        s.dataset = String::new();
+        assert!(err(s, 1).contains("empty dataset"));
+        let mut s = spec();
+        s.name = String::new();
+        assert!(err(s, 1).contains("name must not be empty"));
     }
 }

@@ -21,6 +21,7 @@ use idea_adm::{Datatype, Value};
 use idea_hyracks::{
     ConnectorSpec, Frame, FrameSink, HolderMode, JobSpec, Operator, PartitionHolder, TaskContext,
 };
+use idea_obs::MetricsScope;
 use idea_query::{apply_function, Catalog, ExecContext, PlanCache};
 use parking_lot::Mutex;
 
@@ -33,6 +34,9 @@ pub(crate) struct FeedShared {
     pub spec: Arc<FeedSpec>,
     pub catalog: Arc<Catalog>,
     pub metrics: Arc<FeedMetrics>,
+    /// This feed's registry scope (`feed/<name>`); holder instruments
+    /// hang off it.
+    pub obs: MetricsScope,
     pub stop: Arc<AtomicBool>,
     /// Shared compiled plans — the predeployed aspect of the computing
     /// job (reused across invocations when `spec.predeploy`).
@@ -44,11 +48,7 @@ pub(crate) struct FeedShared {
 }
 
 impl FeedShared {
-    fn holder(
-        &self,
-        ctx: &TaskContext,
-        name: &str,
-    ) -> idea_hyracks::Result<Arc<PartitionHolder>> {
+    fn holder(&self, ctx: &TaskContext, name: &str) -> idea_hyracks::Result<Arc<PartitionHolder>> {
         ctx.cluster.node(ctx.node).holders().lookup(name)
     }
 }
@@ -92,10 +92,7 @@ impl Operator for AdapterSource {
                     if buf.len() >= cap
                         || (!buf.is_empty() && last_flush.elapsed() >= FLUSH_INTERVAL)
                     {
-                        self.shared
-                            .metrics
-                            .records_ingested
-                            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+                        self.shared.metrics.records_ingested.add(buf.len() as u64);
                         out.push(Frame::from_records(std::mem::take(&mut buf)))?;
                         last_flush = std::time::Instant::now();
                     }
@@ -104,7 +101,7 @@ impl Operator for AdapterSource {
             }
         }
         if !buf.is_empty() {
-            self.shared.metrics.records_ingested.fetch_add(buf.len() as u64, Ordering::Relaxed);
+            self.shared.metrics.records_ingested.add(buf.len() as u64);
             out.push(Frame::from_records(buf))?;
         }
         Ok(())
@@ -133,7 +130,11 @@ impl Operator for IntakeSink {
         self.holder.as_ref().unwrap().push_frame(frame)
     }
 
-    fn close(&mut self, _out: &mut dyn FrameSink, _ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+    fn close(
+        &mut self,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
         // "the intake job ... adds a special 'EOF' data record into its
         // queue" (paper §6.1).
         self.holder.as_ref().unwrap().push_eof()
@@ -191,18 +192,18 @@ impl Operator for CollectorParser {
         ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
         let holder = self.shared.holder(ctx, &self.shared.spec.intake_holder())?;
-        let (raw, _eof) = holder.pull_batch(self.shared.spec.batch_size)?;
+        let batch = holder.pull_batch(self.shared.spec.batch_size)?;
         let cap = self.shared.spec.frame_capacity;
-        let mut buf = Vec::with_capacity(cap.min(raw.len()));
-        for rec in raw {
+        let mut buf = Vec::with_capacity(cap.min(batch.len()));
+        for rec in batch.into_records() {
             let Some(text) = rec.as_str() else {
-                self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.parse_errors.inc();
                 continue;
             };
             match idea_adm::json::parse(text.as_bytes()) {
                 Ok(parsed) => {
                     if self.shared.datatype.validate(&parsed).is_err() {
-                        self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.parse_errors.inc();
                         continue;
                     }
                     buf.push(parsed);
@@ -211,7 +212,7 @@ impl Operator for CollectorParser {
                     }
                 }
                 Err(_) => {
-                    self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.parse_errors.inc();
                 }
             }
         }
@@ -245,19 +246,19 @@ impl UdfEvaluator {
             Value::Array(items) => {
                 for i in &items {
                     if !matches!(i, Value::Object(_)) {
-                        return Err(IngestError::Query(format!(
+                        return Err(IngestError::Query(idea_query::QueryError::Eval(format!(
                             "UDF {function} must produce objects, got {}",
                             i.type_name()
-                        )));
+                        ))));
                     }
                 }
                 Ok(items)
             }
             obj @ Value::Object(_) => Ok(vec![obj]),
-            other => Err(IngestError::Query(format!(
+            other => Err(IngestError::Query(idea_query::QueryError::Eval(format!(
                 "UDF {function} must produce objects, got {}",
                 other.type_name()
-            ))),
+            )))),
         }
     }
 }
@@ -265,7 +266,10 @@ impl UdfEvaluator {
 impl Operator for UdfEvaluator {
     fn open(&mut self, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
         let fresh = || {
-            ExecContext::with_plan_cache(self.shared.catalog.clone(), self.shared.plan_cache.clone())
+            ExecContext::with_plan_cache(
+                self.shared.catalog.clone(),
+                self.shared.plan_cache.clone(),
+            )
         };
         self.ctx_ = Some(match self.shared.spec.model {
             ComputingModel::PerBatch | ComputingModel::PerRecord => fresh(),
@@ -289,21 +293,22 @@ impl Operator for UdfEvaluator {
             match self.enrich(rec) {
                 Ok(values) => enriched.extend(values),
                 Err(_) => {
-                    self.shared.metrics.enrich_errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.enrich_errors.inc();
                 }
             }
         }
-        self.shared
-            .metrics
-            .records_enriched
-            .fetch_add(enriched.len() as u64, Ordering::Relaxed);
+        self.shared.metrics.records_enriched.add(enriched.len() as u64);
         if !enriched.is_empty() {
             out.push(Frame::from_records(enriched))?;
         }
         Ok(())
     }
 
-    fn close(&mut self, _out: &mut dyn FrameSink, ctx: &mut TaskContext) -> idea_hyracks::Result<()> {
+    fn close(
+        &mut self,
+        _out: &mut dyn FrameSink,
+        ctx: &mut TaskContext,
+    ) -> idea_hyracks::Result<()> {
         if self.shared.spec.model == ComputingModel::Stream {
             // Model 3: the context (and its stale intermediate state)
             // survives to the next computing job.
@@ -429,7 +434,7 @@ impl Operator for StorageWriter {
         for rec in frame.into_records() {
             part.upsert(rec).map_err(IngestError::from)?;
         }
-        self.shared.metrics.records_stored.fetch_add(n, Ordering::Relaxed);
+        self.shared.metrics.records_stored.add(n);
         Ok(())
     }
 }
@@ -509,11 +514,11 @@ impl Operator for StaticSource {
                 break;
             }
             let Some(raw) = self.adapter.next() else { break };
-            self.shared.metrics.records_ingested.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.records_ingested.inc();
             let parsed = match idea_adm::json::parse(raw.as_bytes()) {
                 Ok(p) if self.shared.datatype.validate(&p).is_ok() => p,
                 _ => {
-                    self.shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.parse_errors.inc();
                     continue;
                 }
             };
@@ -529,16 +534,13 @@ impl Operator for StaticSource {
                         }
                         Ok(obj @ Value::Object(_)) => vec![obj],
                         _ => {
-                            self.shared.metrics.enrich_errors.fetch_add(1, Ordering::Relaxed);
+                            self.shared.metrics.enrich_errors.inc();
                             continue;
                         }
                     }
                 }
             };
-            self.shared
-                .metrics
-                .records_enriched
-                .fetch_add(enriched.len() as u64, Ordering::Relaxed);
+            self.shared.metrics.records_enriched.add(enriched.len() as u64);
             for e in enriched {
                 buf.push(e);
                 if buf.len() >= cap {
@@ -588,16 +590,18 @@ pub(crate) fn register_holders(
     shared: &Arc<FeedShared>,
 ) -> idea_hyracks::Result<()> {
     for node in cluster.nodes() {
-        node.holders().register(
+        let intake = node.holders().register(
             shared.spec.intake_holder(),
             HolderMode::Passive,
             shared.spec.holder_capacity,
         )?;
-        node.holders().register(
+        intake.attach_obs(&shared.obs.scope(&format!("holder/intake/node{}", node.id())));
+        let storage = node.holders().register(
             shared.spec.storage_holder(),
             HolderMode::Active,
             shared.spec.holder_capacity,
         )?;
+        storage.attach_obs(&shared.obs.scope(&format!("holder/storage/node{}", node.id())));
     }
     Ok(())
 }

@@ -86,8 +86,8 @@ fn always_failing_udf_still_drains_feed() {
 #[test]
 fn missing_function_at_start_is_immediate_error() {
     let engine = setup();
-    let spec = FeedSpec::new("nf", "Tweets", VecAdapter::factory(tweets(5)))
-        .with_function("doesNotExist");
+    let spec =
+        FeedSpec::new("nf", "Tweets", VecAdapter::factory(tweets(5))).with_function("doesNotExist");
     assert!(engine.start_feed(spec).is_err(), "fail fast, before any job starts");
 }
 
@@ -104,16 +104,16 @@ fn all_records_malformed_still_terminates() {
 #[test]
 fn two_feeds_run_concurrently_into_different_datasets() {
     let engine = setup();
-    run_sqlpp(
-        engine.catalog(),
-        "CREATE DATASET Tweets2(TweetType) PRIMARY KEY id;",
-    )
-    .unwrap();
+    run_sqlpp(engine.catalog(), "CREATE DATASET Tweets2(TweetType) PRIMARY KEY id;").unwrap();
     let a = engine
-        .start_feed(FeedSpec::new("fa", "Tweets", VecAdapter::factory(tweets(150))).with_batch_size(16))
+        .start_feed(
+            FeedSpec::new("fa", "Tweets", VecAdapter::factory(tweets(150))).with_batch_size(16),
+        )
         .unwrap();
     let b = engine
-        .start_feed(FeedSpec::new("fb", "Tweets2", VecAdapter::factory(tweets(120))).with_batch_size(16))
+        .start_feed(
+            FeedSpec::new("fb", "Tweets2", VecAdapter::factory(tweets(120))).with_batch_size(16),
+        )
         .unwrap();
     let ra = a.wait().unwrap();
     let rb = b.wait().unwrap();

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use idea_adm::Value;
-use idea_core::{
-    ComputingModel, ExecOutcome, FeedSpec, IngestionEngine, PipelineMode, VecAdapter,
-};
+use idea_core::{ComputingModel, ExecOutcome, FeedSpec, IngestionEngine, PipelineMode, VecAdapter};
 use idea_query::ddl::run_sqlpp;
 
 fn tweet_json(id: i64, country: &str, text: &str) -> String {
@@ -104,8 +102,8 @@ fn static_feed_matches_decoupled_output() {
 #[test]
 fn feed_without_udf_moves_data() {
     let engine = setup(2);
-    let spec = FeedSpec::new("plain", "Tweets", VecAdapter::factory(tweets(100)))
-        .with_batch_size(16);
+    let spec =
+        FeedSpec::new("plain", "Tweets", VecAdapter::factory(tweets(100))).with_batch_size(16);
     let handle = engine.start_feed(spec).unwrap();
     let report = handle.wait().unwrap();
     assert_eq!(report.records_stored, 100);
@@ -242,8 +240,7 @@ fn unknown_dataset_or_function_fails_fast() {
     let engine = setup(1);
     let bad_ds = FeedSpec::new("f1", "Nope", VecAdapter::factory(vec![]));
     assert!(engine.start_feed(bad_ds).is_err());
-    let bad_fn = FeedSpec::new("f2", "Tweets", VecAdapter::factory(vec![]))
-        .with_function("nope");
+    let bad_fn = FeedSpec::new("f2", "Tweets", VecAdapter::factory(vec![])).with_function("nope");
     assert!(engine.start_feed(bad_fn).is_err());
 }
 

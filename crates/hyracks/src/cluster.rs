@@ -19,6 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use idea_obs::MetricsRegistry;
+use parking_lot::RwLock;
+
 use crate::holder::PartitionHolderManager;
 use crate::predeploy::DeployedJobRegistry;
 
@@ -78,6 +81,7 @@ pub struct Cluster {
     deployed: DeployedJobRegistry,
     job_counter: AtomicU64,
     jobs_started: AtomicU64,
+    metrics: RwLock<Option<Arc<MetricsRegistry>>>,
 }
 
 impl Cluster {
@@ -92,6 +96,7 @@ impl Cluster {
             deployed: DeployedJobRegistry::new(),
             job_counter: AtomicU64::new(0),
             jobs_started: AtomicU64::new(0),
+            metrics: RwLock::new(None),
         })
     }
 
@@ -128,6 +133,9 @@ impl Cluster {
 
     pub(crate) fn record_job_start(&self) {
         self.jobs_started.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.read().as_ref() {
+            m.counter("hyracks/jobs_started").inc();
+        }
     }
 
     /// Number of job executions started on this cluster (intake +
@@ -135,5 +143,17 @@ impl Cluster {
     /// computing-job refresh rate from this).
     pub fn jobs_started(&self) -> u64 {
         self.jobs_started.load(Ordering::Relaxed)
+    }
+
+    /// Attaches a metrics registry. Afterwards the executor also
+    /// reports `hyracks/jobs_started` and a `hyracks/tasks_active`
+    /// gauge through it. Attaching replaces any previous registry.
+    pub fn attach_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.write() = Some(registry);
+    }
+
+    /// The attached registry, if any.
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.read().clone()
     }
 }

@@ -119,8 +119,7 @@ impl FrameSink for ConnectorSink {
             ConnectorSpec::OneToOne => {
                 // Partition-preserving: one downstream channel was wired.
                 debug_assert_eq!(n, 1, "one-to-one connector must have exactly one target");
-                return self
-                    .downstream[0]
+                return self.downstream[0]
                     .send(frame)
                     .map_err(|_| HyracksError::Disconnected("connector downstream"));
             }
@@ -179,9 +178,8 @@ mod tests {
 
     #[test]
     fn hash_partition_groups_keys() {
-        let recs: Vec<Value> = (0..100)
-            .map(|i| Value::object([("id", Value::Int(i % 10))]))
-            .collect();
+        let recs: Vec<Value> =
+            (0..100).map(|i| Value::object([("id", Value::Int(i % 10))])).collect();
         let out = run(ConnectorSpec::hash_on_field("id"), 4, recs);
         assert_eq!(out.iter().map(Vec::len).sum::<usize>(), 100);
         // Every copy of the same key must land on the same partition.
@@ -189,9 +187,9 @@ mod tests {
             let homes: Vec<usize> = out
                 .iter()
                 .enumerate()
-                .filter(|(_, part)|
-
-                    part.iter().any(|r| r.as_object().unwrap().get("id") == Some(&Value::Int(key))))
+                .filter(|(_, part)| {
+                    part.iter().any(|r| r.as_object().unwrap().get("id") == Some(&Value::Int(key)))
+                })
                 .map(|(i, _)| i)
                 .collect();
             assert_eq!(homes.len(), 1, "key {key} split across partitions");

@@ -6,6 +6,7 @@ use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use idea_adm::Value;
+use idea_obs::Gauge;
 
 use crate::cluster::Cluster;
 use crate::connector::ConnectorSpec;
@@ -69,6 +70,23 @@ impl FrameSink for TerminalSink {
     }
 }
 
+/// RAII increment of the `hyracks/tasks_active` gauge for one task
+/// thread's lifetime.
+struct ActiveTask(Arc<Gauge>);
+
+impl ActiveTask {
+    fn enter(gauge: Arc<Gauge>) -> ActiveTask {
+        gauge.inc();
+        ActiveTask(gauge)
+    }
+}
+
+impl Drop for ActiveTask {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 enum TaskInput {
     Source,
     Channel(Receiver<Frame>),
@@ -127,6 +145,8 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
     let mut tasks = Vec::new();
     let dispatch_cost = cluster.config().task_dispatch_cost;
     let start_latency = cluster.config().task_start_latency;
+    let tasks_active: Option<Arc<Gauge>> =
+        cluster.metrics().map(|m| m.gauge("hyracks/tasks_active"));
 
     for (s, stage) in spec.stages.iter().enumerate() {
         let nodes = &assignments[s];
@@ -161,9 +181,13 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
             let factory = stage.factory.clone();
             let frame_capacity = spec.frame_capacity;
             let thread_name = format!("{}#{instance}/{}/{p}", spec.name, stage.name);
+            let active_gauge = tasks_active.clone();
             let handle = std::thread::Builder::new()
                 .name(thread_name)
                 .spawn(move || -> Result<()> {
+                    // Decremented when the task exits, error paths
+                    // included.
+                    let _active = active_gauge.map(ActiveTask::enter);
                     if !start_latency.is_zero() {
                         std::thread::sleep(start_latency);
                     }

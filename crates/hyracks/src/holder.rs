@@ -17,8 +17,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use idea_adm::Value;
+use idea_obs::{Counter, MetricsScope};
 use parking_lot::RwLock;
 
 use crate::frame::Frame;
@@ -36,6 +37,36 @@ enum HolderMsg {
     Eof,
 }
 
+/// A batch of records pulled from a holder, with an explicit marker for
+/// whether the feed's EOF record was reached while collecting it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    pub records: Vec<Value>,
+    pub eof: bool,
+}
+
+impl Batch {
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn into_records(self) -> Vec<Value> {
+        self.records
+    }
+}
+
+/// Contention instruments attached by the observability layer: how
+/// often producers found the queue full and consumers found it empty.
+#[derive(Debug, Clone)]
+struct HolderObs {
+    blocked_pushes: Arc<Counter>,
+    blocked_pulls: Arc<Counter>,
+}
+
 /// A guarded, bounded frame queue shared between jobs.
 pub struct PartitionHolder {
     name: String,
@@ -47,6 +78,7 @@ pub struct PartitionHolder {
     /// first by the next pull so batch sizes stay exact regardless of
     /// frame size.
     leftover: parking_lot::Mutex<std::collections::VecDeque<Value>>,
+    obs: RwLock<Option<HolderObs>>,
 }
 
 impl std::fmt::Debug for PartitionHolder {
@@ -65,6 +97,31 @@ impl PartitionHolder {
             rx,
             eof_seen: AtomicBool::new(false),
             leftover: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            obs: RwLock::new(None),
+        }
+    }
+
+    /// Wires this holder into a metrics scope: a `queue_depth` probe
+    /// (sampled at snapshot time) plus `blocked_pushes`/`blocked_pulls`
+    /// counters for producer back-pressure and consumer starvation.
+    pub fn attach_obs(self: &Arc<Self>, scope: &MetricsScope) {
+        let me = Arc::downgrade(self);
+        scope.probe("queue_depth", move || me.upgrade().map_or(0, |h| h.queued() as i64));
+        *self.obs.write() = Some(HolderObs {
+            blocked_pushes: scope.counter("blocked_pushes"),
+            blocked_pulls: scope.counter("blocked_pulls"),
+        });
+    }
+
+    fn note_blocked_push(&self) {
+        if let Some(obs) = &*self.obs.read() {
+            obs.blocked_pushes.inc();
+        }
+    }
+
+    fn note_blocked_pull(&self) {
+        if let Some(obs) = &*self.obs.read() {
+            obs.blocked_pulls.inc();
         }
     }
 
@@ -84,9 +141,19 @@ impl PartitionHolder {
     /// Enqueues a frame, blocking while the queue is full (back-pressure
     /// toward the producer, as with a size-limited queue in the paper).
     pub fn push_frame(&self, frame: Frame) -> Result<()> {
-        self.tx
-            .send(HolderMsg::Frame(frame))
-            .map_err(|_| HyracksError::Disconnected("partition holder"))
+        // Fast path first so the blocked-push counter only ticks when
+        // back-pressure actually engages.
+        let msg = match self.tx.try_send(HolderMsg::Frame(frame)) {
+            Ok(()) => return Ok(()),
+            Err(TrySendError::Full(msg)) => {
+                self.note_blocked_push();
+                msg
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(HyracksError::Disconnected("partition holder"))
+            }
+        };
+        self.tx.send(msg).map_err(|_| HyracksError::Disconnected("partition holder"))
     }
 
     /// Marks end-of-feed: the special "EOF" record of §6.1. Consumers
@@ -107,6 +174,9 @@ impl PartitionHolder {
         if self.eof_seen() {
             return Ok(None);
         }
+        if self.rx.is_empty() {
+            self.note_blocked_pull();
+        }
         match self.rx.recv() {
             Ok(HolderMsg::Frame(f)) => Ok(Some(f)),
             Ok(HolderMsg::Eof) => {
@@ -117,10 +187,11 @@ impl PartitionHolder {
         }
     }
 
-    /// Pulls records until `max_records` are collected or EOF arrives;
-    /// returns the batch and whether EOF was reached. This is how a
-    /// computing job collects its parameter batch from the intake job.
-    pub fn pull_batch(&self, max_records: usize) -> Result<(Vec<Value>, bool)> {
+    /// Pulls records until `max_records` are collected or EOF arrives.
+    /// This is how a computing job collects its parameter batch from
+    /// the intake job; `Batch::eof` tells the driver whether this was
+    /// the feed's last batch.
+    pub fn pull_batch(&self, max_records: usize) -> Result<Batch> {
         let mut out = Vec::with_capacity(max_records.min(4096));
         {
             let mut leftover = self.leftover.lock();
@@ -132,12 +203,15 @@ impl PartitionHolder {
             }
         }
         if out.len() >= max_records {
-            return Ok((out, self.eof_seen()));
+            return Ok(Batch { records: out, eof: self.eof_seen() });
         }
         if self.eof_seen() {
-            return Ok((out, true));
+            return Ok(Batch { records: out, eof: true });
         }
         while out.len() < max_records {
+            if self.rx.is_empty() {
+                self.note_blocked_pull();
+            }
             match self.rx.recv() {
                 Ok(HolderMsg::Frame(f)) => {
                     let mut records = f.into_records().into_iter();
@@ -153,12 +227,12 @@ impl PartitionHolder {
                 }
                 Ok(HolderMsg::Eof) => {
                     self.eof_seen.store(true, Ordering::Release);
-                    return Ok((out, true));
+                    return Ok(Batch { records: out, eof: true });
                 }
                 Err(_) => return Err(HyracksError::Disconnected("partition holder")),
             }
         }
-        Ok((out, false))
+        Ok(Batch { records: out, eof: false })
     }
 
     /// Whether EOF has been consumed and no records remain (queued or
@@ -167,8 +241,10 @@ impl PartitionHolder {
         self.eof_seen() && self.rx.is_empty() && self.leftover.lock().is_empty()
     }
 
-    /// Non-blocking drain used by tests and shutdown paths.
-    pub fn try_pull_all(&self) -> Vec<Value> {
+    /// Non-blocking drain used by tests and shutdown paths; `eof` in
+    /// the returned [`Batch`] reports whether the EOF marker has been
+    /// consumed (now or earlier).
+    pub fn try_pull_all(&self) -> Batch {
         let mut out: Vec<Value> = self.leftover.lock().drain(..).collect();
         while let Ok(msg) = self.rx.try_recv() {
             match msg {
@@ -179,7 +255,7 @@ impl PartitionHolder {
                 }
             }
         }
-        out
+        Batch { records: out, eof: self.eof_seen() }
     }
 }
 
@@ -246,9 +322,9 @@ mod tests {
         let h = m.register("feed/intake/0", HolderMode::Passive, 8).unwrap();
         h.push_frame(Frame::from_records(vec![Value::Int(1), Value::Int(2)])).unwrap();
         h.push_frame(Frame::from_records(vec![Value::Int(3)])).unwrap();
-        let (batch, eof) = h.pull_batch(3).unwrap();
+        let batch = h.pull_batch(3).unwrap();
         assert_eq!(batch.len(), 3);
-        assert!(!eof);
+        assert!(!batch.eof);
     }
 
     #[test]
@@ -257,12 +333,12 @@ mod tests {
         let h = m.register("h", HolderMode::Passive, 8).unwrap();
         h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
         h.push_eof().unwrap();
-        let (batch, eof) = h.pull_batch(100).unwrap();
+        let batch = h.pull_batch(100).unwrap();
         assert_eq!(batch.len(), 1);
-        assert!(eof);
-        let (batch, eof) = h.pull_batch(100).unwrap();
+        assert!(batch.eof);
+        let batch = h.pull_batch(100).unwrap();
         assert!(batch.is_empty());
-        assert!(eof);
+        assert!(batch.eof);
         assert!(h.eof_seen());
     }
 
@@ -296,5 +372,44 @@ mod tests {
         m.register("h", HolderMode::Active, 1).unwrap();
         assert!(m.unregister("h").is_some());
         assert!(m.lookup("h").is_err());
+    }
+
+    #[test]
+    fn try_pull_all_reports_eof() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 8).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+        let batch = h.try_pull_all();
+        assert_eq!(batch.records, vec![Value::Int(1)]);
+        assert!(!batch.eof);
+        h.push_eof().unwrap();
+        assert!(h.try_pull_all().eof);
+    }
+
+    #[test]
+    fn attached_obs_tracks_depth_and_contention() {
+        let registry = idea_obs::MetricsRegistry::new();
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 2).unwrap();
+        h.attach_obs(&registry.scope("holder/h"));
+
+        // Stalled consumer: depth probe reads the queued frames.
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(2)])).unwrap();
+        assert_eq!(registry.snapshot().gauge("holder/h/queue_depth"), Some(2));
+
+        // Queue full: the third push blocks and ticks blocked_pushes.
+        let h2 = h.clone();
+        let t = std::thread::spawn(move || {
+            h2.push_frame(Frame::from_records(vec![Value::Int(3)])).unwrap();
+        });
+        while registry.counter("holder/h/blocked_pushes").get() == 0 {
+            std::thread::yield_now();
+        }
+        let drained = h.pull_batch(3).unwrap();
+        assert_eq!(drained.len(), 3);
+        t.join().unwrap();
+        assert_eq!(registry.snapshot().gauge("holder/h/queue_depth"), Some(0));
+        assert!(registry.counter("holder/h/blocked_pushes").get() >= 1);
     }
 }

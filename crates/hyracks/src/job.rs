@@ -73,7 +73,8 @@ impl JobSpec {
         connector: ConnectorSpec,
         factory: OperatorFactory,
     ) -> Self {
-        self.stages.push(StageSpec { name: name.into(), factory, connector, nodes: None });
+        self.stages
+            .push(StageSpec { name: name.into(), factory, connector, nodes: None });
         self
     }
 
@@ -85,7 +86,8 @@ impl JobSpec {
         connector: ConnectorSpec,
         factory: OperatorFactory,
     ) -> Self {
-        self.stages.push(StageSpec { name: name.into(), factory, connector, nodes: Some(nodes) });
+        self.stages
+            .push(StageSpec { name: name.into(), factory, connector, nodes: Some(nodes) });
         self
     }
 

@@ -48,8 +48,12 @@ pub trait Operator: Send {
     }
 
     /// Handles one input frame.
-    fn next_frame(&mut self, frame: Frame, out: &mut dyn FrameSink, ctx: &mut TaskContext)
-        -> Result<()>;
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        out: &mut dyn FrameSink,
+        ctx: &mut TaskContext,
+    ) -> Result<()>;
 
     /// Called once after the last frame; flush any buffered output.
     fn close(&mut self, _out: &mut dyn FrameSink, _ctx: &mut TaskContext) -> Result<()> {
@@ -71,8 +75,12 @@ impl<F> Operator for FnOperator<F>
 where
     F: FnMut(Frame, &mut dyn FrameSink, &mut TaskContext) -> Result<()> + Send,
 {
-    fn next_frame(&mut self, frame: Frame, out: &mut dyn FrameSink, ctx: &mut TaskContext)
-        -> Result<()> {
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        out: &mut dyn FrameSink,
+        ctx: &mut TaskContext,
+    ) -> Result<()> {
         (self.0)(frame, out, ctx)
     }
 }
@@ -85,8 +93,12 @@ impl<F> Operator for FnSource<F>
 where
     F: FnMut(&mut dyn FrameSink, &mut TaskContext) -> Result<()> + Send,
 {
-    fn next_frame(&mut self, _frame: Frame, _out: &mut dyn FrameSink, _ctx: &mut TaskContext)
-        -> Result<()> {
+    fn next_frame(
+        &mut self,
+        _frame: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
         Err(crate::HyracksError::Config("source received input".into()))
     }
 

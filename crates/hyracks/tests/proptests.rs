@@ -14,12 +14,7 @@ use proptest::prelude::*;
 /// Runs a two-stage job: a single-node source emitting `records` in
 /// frames of `frame_sizes`, connected by `connector` to collectors on
 /// every node. Returns the records each partition received.
-fn route(
-    nodes: usize,
-    connector: ConnectorSpec,
-    records: Vec<i64>,
-    chunk: usize,
-) -> Vec<Vec<i64>> {
+fn route(nodes: usize, connector: ConnectorSpec, records: Vec<i64>, chunk: usize) -> Vec<Vec<i64>> {
     let cluster = Cluster::with_nodes(nodes);
     let received: Arc<Mutex<Vec<Vec<i64>>>> = Arc::new(Mutex::new(vec![Vec::new(); nodes]));
     let recv2 = received.clone();
@@ -43,10 +38,7 @@ fn route(
             _ctx: &mut TaskContext,
         ) -> idea_hyracks::Result<()> {
             for chunk in self.records.chunks(self.chunk.max(1)) {
-                let vals = chunk
-                    .iter()
-                    .map(|i| Value::object([("id", Value::Int(*i))]))
-                    .collect();
+                let vals = chunk.iter().map(|i| Value::object([("id", Value::Int(*i))])).collect();
                 out.push(Frame::from_records(vals))?;
             }
             Ok(())

@@ -1,0 +1,184 @@
+//! Fixed-bucket latency histogram: lock-free recording, quantiles
+//! derived at snapshot time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of exponential buckets. Bucket `i` counts samples in
+/// `(BASE_NANOS << (i-1), BASE_NANOS << i]`; the first bucket catches
+/// everything up to `BASE_NANOS`. With a 1µs base and 32 doublings the
+/// last bucket upper bound is ≈ 2147 s, far beyond any per-batch
+/// latency the pipeline produces.
+const BUCKETS: usize = 32;
+const BASE_NANOS: u64 = 1_000;
+
+/// A latency histogram over exponentially sized buckets. Recording is
+/// three relaxed atomic ops (bucket, count, sum) plus a CAS loop for
+/// the max; no locks anywhere.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&self, d: Duration) {
+        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn record_nanos(&self, nanos: u64) {
+        let idx = bucket_index(nanos);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary. Quantiles are the upper bound of the
+    /// bucket holding the target rank — an overestimate by at most one
+    /// doubling, which is the precision/footprint trade every
+    /// fixed-bucket histogram makes.
+    pub fn summarize(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let count: u64 = counts.iter().sum();
+        let max_nanos = self.max_nanos.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            p50_nanos: quantile(&counts, count, 0.50, max_nanos),
+            p99_nanos: quantile(&counts, count, 0.99, max_nanos),
+            max_nanos,
+        }
+    }
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    if nanos <= BASE_NANOS {
+        return 0;
+    }
+    // ceil(log2(nanos / BASE_NANOS)), clamped to the last bucket.
+    let doublings = u64::BITS - ((nanos - 1) / BASE_NANOS).leading_zeros();
+    (doublings as usize).min(BUCKETS - 1)
+}
+
+fn upper_bound(idx: usize) -> u64 {
+    BASE_NANOS.saturating_shl(idx as u32)
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+fn quantile(counts: &[u64], total: u64, q: f64, max_nanos: u64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // Never report a quantile above the observed maximum.
+            return upper_bound(i).min(max_nanos);
+        }
+    }
+    max_nanos
+}
+
+/// Frozen view of a [`Histogram`] at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum_nanos: u64,
+    pub p50_nanos: u64,
+    pub p99_nanos: u64,
+    pub max_nanos: u64,
+}
+
+impl HistogramSummary {
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.checked_div(self.count).unwrap_or(0))
+    }
+
+    pub fn p50(&self) -> Duration {
+        Duration::from_nanos(self.p50_nanos)
+    }
+
+    pub fn p99(&self) -> Duration {
+        Duration::from_nanos(self.p99_nanos)
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let h = Histogram::new();
+        let s = h.summarize();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_nanos, 0);
+        assert_eq!(s.p99_nanos, 0);
+        assert_eq!(s.max_nanos, 0);
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max(), Duration::from_millis(100));
+        // p50 of 1..=100 ms is 50 ms; the bucket upper bound at or
+        // above it is 64 ms (1µs << 16).
+        assert!(s.p50() >= Duration::from_millis(50), "p50 {:?}", s.p50());
+        assert!(s.p50() <= Duration::from_millis(128), "p50 {:?}", s.p50());
+        assert!(s.p99() >= Duration::from_millis(99), "p99 {:?}", s.p99());
+        assert!(s.p99() <= Duration::from_millis(100), "p99 capped at max");
+        assert_eq!(s.mean(), Duration::from_nanos(50_500_000));
+    }
+
+    #[test]
+    fn tiny_and_huge_samples_stay_in_range() {
+        let h = Histogram::new();
+        h.record_nanos(1);
+        h.record_nanos(u64::MAX);
+        let s = h.summarize();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max_nanos, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0;
+        for nanos in [1, 999, 1_000, 1_001, 2_000, 4_001, 1 << 40, u64::MAX] {
+            let idx = bucket_index(nanos);
+            assert!(idx >= last, "index not monotone at {nanos}");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+    }
+}

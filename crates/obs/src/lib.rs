@@ -1,0 +1,36 @@
+//! # idea-obs — the unified observability layer
+//!
+//! Every result in the source paper is a measurement (throughput,
+//! refresh period, queue behaviour under pressure), so the engine
+//! carries a first-class metrics substrate rather than ad-hoc counters:
+//! a lock-light [`MetricsRegistry`] of named instruments with
+//! hierarchical, slash-separated names (`feed/tweets/intake/records`),
+//! and point-in-time [`Snapshot`]s that render both as a human-readable
+//! table and as an ADM [`Value`](idea_adm::Value) object so runtime
+//! state is queryable through SQL++ like any other dataset.
+//!
+//! Design rules:
+//!
+//! - **Hot path = one atomic op.** Handles ([`Counter`], [`Gauge`],
+//!   [`Histogram`]) are `Arc`s resolved once at wiring time; recording
+//!   never takes the registry lock.
+//! - **Get-or-create.** Asking for the same name twice returns the same
+//!   instrument, so independent components can share a metric without
+//!   coordination. Asking for a name that exists with a *different*
+//!   kind panics: that is a wiring bug, not a runtime condition.
+//! - **Scopes are prefixes.** [`MetricsScope`] prepends `prefix/` to
+//!   every name, and [`MetricsRegistry::remove_scope`] drops a whole
+//!   subtree — used when a feed restarts under the same name so stale
+//!   counters do not leak into the new run.
+//! - **Probes pull, instruments push.** A [`MetricsRegistry::probe`] is
+//!   a closure sampled only at snapshot time, for values some other
+//!   component already maintains (LSM flush counts, queue depths of
+//!   foreign structures).
+
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Counter, Gauge, MetricsRegistry, MetricsScope};
+pub use snapshot::{format_latency, Snapshot, SnapshotEntry, SnapshotValue};

@@ -1,0 +1,299 @@
+//! The registry: named instruments behind `Arc` handles, hierarchical
+//! scopes, and pull-style probes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::histogram::Histogram;
+use crate::snapshot::{Snapshot, SnapshotEntry, SnapshotValue};
+
+/// A monotonically increasing count (records ingested, parse errors,
+/// flushes…).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that moves both ways (queue depth, in-flight tasks).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+type ProbeFn = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Probe(ProbeFn),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+            Instrument::Probe(_) => "probe",
+        }
+    }
+}
+
+/// The process-wide (or engine-wide) table of instruments. Lookup and
+/// creation take a short `RwLock` critical section; recording through
+/// the returned handles is lock-free.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    instruments: RwLock<BTreeMap<String, Instrument>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Returns the counter at `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// If `name` already names an instrument of a different kind —
+    /// that is a wiring bug.
+    pub fn counter(&self, name: impl Into<String>) -> Arc<Counter> {
+        let name = name.into();
+        let mut map = self.instruments.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Returns the gauge at `name`, creating it if absent. Panics on a
+    /// kind mismatch, as [`counter`](Self::counter) does.
+    pub fn gauge(&self, name: impl Into<String>) -> Arc<Gauge> {
+        let name = name.into();
+        let mut map = self.instruments.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Returns the histogram at `name`, creating it if absent. Panics
+    /// on a kind mismatch.
+    pub fn histogram(&self, name: impl Into<String>) -> Arc<Histogram> {
+        let name = name.into();
+        let mut map = self.instruments.write();
+        match map
+            .entry(name.clone())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or replaces) a pull-style probe: `f` is called at
+    /// snapshot time only. Probes are replaceable because the component
+    /// they read from may be rebuilt (e.g. a dataset re-created by DDL).
+    pub fn probe(&self, name: impl Into<String>, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        self.instruments.write().insert(name.into(), Instrument::Probe(Arc::new(f)));
+    }
+
+    /// A handle that prefixes every metric name with `prefix/`.
+    pub fn scope(self: &Arc<Self>, prefix: impl Into<String>) -> MetricsScope {
+        MetricsScope { registry: self.clone(), prefix: prefix.into() }
+    }
+
+    /// Drops `prefix` itself and everything under `prefix/`. Used when
+    /// a feed restarts under the same name: the new run starts from
+    /// zeroed instruments instead of inheriting the old totals.
+    pub fn remove_scope(&self, prefix: &str) {
+        let mut map = self.instruments.write();
+        let subtree = format!("{prefix}/");
+        map.retain(|name, _| name != prefix && !name.starts_with(&subtree));
+    }
+
+    /// Number of registered instruments (mostly for tests).
+    pub fn len(&self) -> usize {
+        self.instruments.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time view of every instrument. Counters, gauges, and
+    /// histograms are read with relaxed loads; probes are invoked.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.instruments.read();
+        let entries = map
+            .iter()
+            .map(|(name, inst)| SnapshotEntry {
+                name: name.clone(),
+                value: match inst {
+                    Instrument::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SnapshotValue::Histogram(h.summarize()),
+                    Instrument::Probe(f) => SnapshotValue::Gauge(f()),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").field("len", &self.len()).finish()
+    }
+}
+
+/// A registry handle bound to a name prefix. Scopes nest:
+/// `registry.scope("feed/tweets").scope("intake")` addresses
+/// `feed/tweets/intake/...`.
+#[derive(Clone, Debug)]
+pub struct MetricsScope {
+    registry: Arc<MetricsRegistry>,
+    prefix: String,
+}
+
+impl MetricsScope {
+    fn qualify(&self, name: &str) -> String {
+        format!("{}/{name}", self.prefix)
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.registry.counter(self.qualify(name))
+    }
+
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.registry.gauge(self.qualify(name))
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.registry.histogram(self.qualify(name))
+    }
+
+    pub fn probe(&self, name: &str, f: impl Fn() -> i64 + Send + Sync + 'static) {
+        self.registry.probe(self.qualify(name), f);
+    }
+
+    pub fn scope(&self, sub: &str) -> MetricsScope {
+        MetricsScope { registry: self.registry.clone(), prefix: self.qualify(sub) }
+    }
+
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_or_create_returns_same_instrument() {
+        let r = MetricsRegistry::new();
+        r.counter("a/b").add(3);
+        r.counter("a/b").add(4);
+        assert_eq!(r.counter("a/b").get(), 7);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as counter")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn scopes_prefix_and_nest() {
+        let r = MetricsRegistry::new();
+        let feed = r.scope("feed/tweets");
+        feed.scope("intake").counter("records").add(5);
+        assert_eq!(r.counter("feed/tweets/intake/records").get(), 5);
+    }
+
+    #[test]
+    fn remove_scope_drops_subtree_only() {
+        let r = MetricsRegistry::new();
+        r.counter("feed/a/records").inc();
+        r.counter("feed/ab/records").inc();
+        r.counter("storage/ds/flushes").inc();
+        r.remove_scope("feed/a");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.counter("feed/a/records").get(), 0);
+        assert_eq!(r.counter("feed/ab/records").get(), 1);
+    }
+
+    #[test]
+    fn probes_are_sampled_at_snapshot() {
+        let r = MetricsRegistry::new();
+        let flushes = Arc::new(AtomicU64::new(2));
+        let flushes2 = flushes.clone();
+        r.probe("storage/ds/flushes", move || flushes2.load(Ordering::Relaxed) as i64);
+        assert_eq!(r.snapshot().gauge("storage/ds/flushes"), Some(2));
+        flushes.store(9, Ordering::Relaxed);
+        assert_eq!(r.snapshot().gauge("storage/ds/flushes"), Some(9));
+    }
+
+    #[test]
+    fn snapshot_reads_all_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(1);
+        r.gauge("g").set(-4);
+        r.histogram("h").record(Duration::from_millis(3));
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(1));
+        assert_eq!(s.gauge("g"), Some(-4));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+}

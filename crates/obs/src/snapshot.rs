@@ -1,0 +1,270 @@
+//! Point-in-time snapshots: plain data, renderable as a table for
+//! humans and as an ADM object for SQL++.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use idea_adm::value::Object;
+use idea_adm::Value;
+
+use crate::histogram::HistogramSummary;
+
+/// One instrument's value at snapshot time. Probes surface as gauges:
+/// both are point-in-time readings of externally maintained state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSummary),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    pub name: String,
+    pub value: SnapshotValue,
+}
+
+/// A frozen view of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.entries.iter().find(|e| e.name == name).map(|e| &e.value)
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            SnapshotValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name)? {
+            SnapshotValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All entries under `prefix/`.
+    pub fn under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SnapshotEntry> {
+        let subtree = format!("{prefix}/");
+        self.entries.iter().filter(move |e| e.name.starts_with(&subtree))
+    }
+
+    /// Renders as an aligned two-column table (also the `Display`
+    /// output).
+    pub fn to_table(&self) -> String {
+        let width = self.entries.iter().map(|e| e.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for e in &self.entries {
+            let rendered = match &e.value {
+                SnapshotValue::Counter(v) => v.to_string(),
+                SnapshotValue::Gauge(v) => v.to_string(),
+                SnapshotValue::Histogram(h) => format!(
+                    "count={} mean={:?} p50={:?} p99={:?} max={:?}",
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p99(),
+                    h.max()
+                ),
+            };
+            out.push_str(&format!("{:<width$}  {rendered}\n", e.name));
+        }
+        out
+    }
+
+    /// Renders as a nested ADM object: names split on `/` become
+    /// nesting levels, so `feed/tweets/intake/records = 7` appears as
+    /// `{"feed": {"tweets": {"intake": {"records": 7}}}}`. Histograms
+    /// become objects of integer nanosecond fields, keeping the whole
+    /// snapshot losslessly round-trippable through the ADM JSON
+    /// printer/parser. If a metric name is simultaneously a leaf and a
+    /// subtree (`a/b` and `a/b/c`), the leaf is kept under a `"value"`
+    /// key inside the subtree object.
+    pub fn to_adm(&self) -> Value {
+        let mut root = Branch::default();
+        for e in &self.entries {
+            let leaf = match &e.value {
+                SnapshotValue::Counter(v) => Value::Int(*v as i64),
+                SnapshotValue::Gauge(v) => Value::Int(*v),
+                SnapshotValue::Histogram(h) => histogram_to_adm(h),
+            };
+            root.insert(&e.name.split('/').collect::<Vec<_>>(), leaf);
+        }
+        root.into_value()
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+fn histogram_to_adm(h: &HistogramSummary) -> Value {
+    Value::object([
+        ("count", Value::Int(h.count as i64)),
+        ("sum_nanos", Value::Int(h.sum_nanos.min(i64::MAX as u64) as i64)),
+        ("p50_nanos", Value::Int(h.p50_nanos.min(i64::MAX as u64) as i64)),
+        ("p99_nanos", Value::Int(h.p99_nanos.min(i64::MAX as u64) as i64)),
+        ("max_nanos", Value::Int(h.max_nanos.min(i64::MAX as u64) as i64)),
+    ])
+}
+
+/// Intermediate tree for nesting slash-separated names into objects.
+#[derive(Default)]
+struct Branch {
+    children: BTreeMap<String, Node>,
+}
+
+enum Node {
+    Leaf(Value),
+    Branch(Branch),
+}
+
+impl Branch {
+    fn insert(&mut self, path: &[&str], value: Value) {
+        let segment = match path.first() {
+            Some(s) => s.to_string(),
+            None => return,
+        };
+        let rest = &path[1..];
+        if rest.is_empty() {
+            match self.children.get_mut(&segment) {
+                // The name is both a leaf and a subtree: tuck the leaf
+                // inside the existing subtree.
+                Some(Node::Branch(b)) => b.insert(&["value"], value),
+                _ => {
+                    self.children.insert(segment, Node::Leaf(value));
+                }
+            }
+            return;
+        }
+        let child = self.children.entry(segment).or_insert_with(|| Node::Branch(Branch::default()));
+        if let Node::Leaf(existing) = child {
+            let mut b = Branch::default();
+            b.children.insert("value".to_string(), Node::Leaf(existing.clone()));
+            *child = Node::Branch(b);
+        }
+        match child {
+            Node::Branch(b) => b.insert(rest, value),
+            Node::Leaf(_) => unreachable!("leaf promoted to branch above"),
+        }
+    }
+
+    fn into_value(self) -> Value {
+        let mut o = Object::new();
+        for (k, node) in self.children {
+            let v = match node {
+                Node::Leaf(v) => v,
+                Node::Branch(b) => b.into_value(),
+            };
+            o.set(k, v);
+        }
+        Value::Object(o)
+    }
+}
+
+/// Convenience: a histogram summary line for embedding in reports.
+pub fn format_latency(h: &HistogramSummary) -> String {
+    format!(
+        "n={} mean={} p50={} p99={} max={}",
+        h.count,
+        fmt_duration(h.mean()),
+        fmt_duration(h.p50()),
+        fmt_duration(h.p99()),
+        fmt_duration(h.max()),
+    )
+}
+
+fn fmt_duration(d: Duration) -> String {
+    if d >= Duration::from_secs(1) {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d >= Duration::from_millis(1) {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{}µs", d.as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn table_lists_all_entries() {
+        let r = MetricsRegistry::new();
+        r.counter("feed/t/intake/records").add(10);
+        r.gauge("holder/depth").set(3);
+        let table = r.snapshot().to_table();
+        assert!(table.contains("feed/t/intake/records  10"), "table:\n{table}");
+        assert!(table.contains("holder/depth"), "table:\n{table}");
+    }
+
+    #[test]
+    fn adm_nesting_follows_slashes() {
+        let r = MetricsRegistry::new();
+        r.counter("feed/tweets/intake/records").add(7);
+        r.gauge("feed/tweets/holder/depth").set(2);
+        let adm = r.snapshot().to_adm();
+        let feed = adm.as_object().unwrap().get("feed").unwrap();
+        let tweets = feed.as_object().unwrap().get("tweets").unwrap();
+        let records = tweets
+            .as_object()
+            .unwrap()
+            .get("intake")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("records")
+            .unwrap();
+        assert_eq!(records, &Value::Int(7));
+    }
+
+    #[test]
+    fn adm_round_trips_through_json() {
+        let r = MetricsRegistry::new();
+        r.counter("feed/t/intake/records").add(3);
+        r.histogram("feed/t/batch_latency").record(Duration::from_millis(5));
+        r.gauge("holder/depth").set(-1);
+        let adm = r.snapshot().to_adm();
+        let text = idea_adm::json::to_string(&adm);
+        let back = idea_adm::json::parse(text.as_bytes()).unwrap();
+        assert_eq!(back, adm, "snapshot ADM must round-trip; json: {text}");
+    }
+
+    #[test]
+    fn leaf_and_subtree_collision_keeps_both() {
+        let r = MetricsRegistry::new();
+        r.counter("a/b").add(1);
+        r.counter("a/b/c").add(2);
+        let adm = r.snapshot().to_adm();
+        let b = adm
+            .as_object()
+            .unwrap()
+            .get("a")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .get("b")
+            .unwrap()
+            .as_object()
+            .unwrap();
+        assert_eq!(b.get("value"), Some(&Value::Int(1)));
+        assert_eq!(b.get("c"), Some(&Value::Int(2)));
+    }
+}

@@ -52,7 +52,10 @@ pub enum Expr {
     },
     /// Builtin or user-defined function call. `*` inside an aggregate
     /// (`count(*)`) parses as [`Expr::Wildcard`].
-    Call { name: String, args: Vec<Expr> },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+    },
     Wildcard,
     /// `EXISTS (subquery-or-array)`
     Exists(Box<Expr>),

@@ -369,7 +369,13 @@ fn fetch_candidates(
                             rows.extend(s.iter().cloned().map(Arc::new));
                         }
                         ctx.stats.rows_scanned += rows.len() as u64;
-                        return Ok(CandList::Owned(apply_filters(rows, &fp.self_filter, block, fp, ctx)?));
+                        return Ok(CandList::Owned(apply_filters(
+                            rows,
+                            &fp.self_filter,
+                            block,
+                            fp,
+                            ctx,
+                        )?));
                     }
                 },
                 FromSource::Expr(e) => eval_expr(e, renv, ctx)?,
@@ -636,10 +642,8 @@ fn eval_grouped(
         groups.truncate(n);
     }
 
-    let out: Result<Vec<Value>> = groups
-        .iter()
-        .map(|g| project(block, &g.genv, ctx, Some(&g.rows)))
-        .collect();
+    let out: Result<Vec<Value>> =
+        groups.iter().map(|g| project(block, &g.genv, ctx, Some(&g.rows))).collect();
     let mut out = out?;
     if block.distinct {
         out = dedup_values(out);
@@ -647,11 +651,7 @@ fn eval_grouped(
     Ok(out)
 }
 
-fn compare_order_keys(
-    a: &[Value],
-    b: &[Value],
-    order_by: &[(Expr, bool)],
-) -> std::cmp::Ordering {
+fn compare_order_keys(a: &[Value], b: &[Value], order_by: &[(Expr, bool)]) -> std::cmp::Ordering {
     for (i, (_, asc)) in order_by.iter().enumerate() {
         let ord = a[i].cmp(&b[i]);
         let ord = if *asc { ord } else { ord.reverse() };

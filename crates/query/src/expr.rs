@@ -69,13 +69,18 @@ pub fn eval_expr(e: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<Value> {
             Value::Bool(b) => Ok(Value::Bool(!b)),
             Value::Missing => Ok(Value::Missing),
             Value::Null => Ok(Value::Null),
-            other => Err(QueryError::Eval(format!("NOT expects boolean, got {}", other.type_name()))),
+            other => {
+                Err(QueryError::Eval(format!("NOT expects boolean, got {}", other.type_name())))
+            }
         },
         Expr::Neg(inner) => match eval_expr(inner, env, ctx)? {
             Value::Int(i) => Ok(Value::Int(-i)),
             Value::Double(d) => Ok(Value::Double(-d)),
             v if v.is_unknown() => Ok(v),
-            other => Err(QueryError::Eval(format!("unary '-' expects numeric, got {}", other.type_name()))),
+            other => Err(QueryError::Eval(format!(
+                "unary '-' expects numeric, got {}",
+                other.type_name()
+            ))),
         },
         Expr::Binary(op, a, b) => eval_binary(*op, a, b, env, ctx),
         Expr::Case { operand, whens, otherwise } => {
@@ -112,11 +117,13 @@ pub fn eval_expr(e: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<Value> {
             }
             let r = eval_expr(rhs, env, ctx)?;
             match r {
-                Value::Array(items) => Ok(Value::Bool(
-                    items.iter().any(|i| i.cmp(&l) == std::cmp::Ordering::Equal),
-                )),
+                Value::Array(items) => {
+                    Ok(Value::Bool(items.iter().any(|i| i.cmp(&l) == std::cmp::Ordering::Equal)))
+                }
                 Value::Missing | Value::Null => Ok(Value::Null),
-                other => Err(QueryError::Eval(format!("IN expects an array, got {}", other.type_name()))),
+                other => {
+                    Err(QueryError::Eval(format!("IN expects an array, got {}", other.type_name())))
+                }
             }
         }
         Expr::Subquery(block) => eval_subquery(block, env, ctx).map(Value::Array),
@@ -227,9 +234,7 @@ fn bool3(v: &Value) -> Result<Option<bool>> {
 
 fn eval_call(name: &str, args: &[Expr], env: &Env, ctx: &mut ExecContext) -> Result<Value> {
     if AGGREGATES.iter().any(|a| name.eq_ignore_ascii_case(a)) {
-        return Err(QueryError::Eval(format!(
-            "aggregate {name}() outside a grouping context"
-        )));
+        return Err(QueryError::Eval(format!("aggregate {name}() outside a grouping context")));
     }
     // User-defined functions shadow nothing: builtins win on name clash.
     if !is_builtin(name) && ctx.catalog().has_function(name) {
@@ -302,9 +307,7 @@ fn subst_aggregates(e: &Expr, rows: &[Env], ctx: &mut ExecContext) -> Result<Exp
                 .map(|a| subst_aggregates(a, rows, ctx))
                 .collect::<Result<Vec<_>>>()?,
         },
-        Expr::Field(b, f) => {
-            Expr::Field(Box::new(subst_aggregates(b, rows, ctx)?), f.clone())
-        }
+        Expr::Field(b, f) => Expr::Field(Box::new(subst_aggregates(b, rows, ctx)?), f.clone()),
         Expr::Not(b) => Expr::Not(Box::new(subst_aggregates(b, rows, ctx)?)),
         Expr::Neg(b) => Expr::Neg(Box::new(subst_aggregates(b, rows, ctx)?)),
         Expr::Exists(b) => Expr::Exists(Box::new(subst_aggregates(b, rows, ctx)?)),

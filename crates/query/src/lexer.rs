@@ -94,9 +94,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         }
                         Some(&q) if q == quote => break,
                         Some(b'\\') => {
-                            let esc = b.get(j + 1).ok_or_else(|| {
-                                QueryError::Syntax("unterminated escape".into())
-                            })?;
+                            let esc = b
+                                .get(j + 1)
+                                .ok_or_else(|| QueryError::Syntax("unterminated escape".into()))?;
                             s.push(match esc {
                                 b'n' => '\n',
                                 b't' => '\t',
@@ -147,13 +147,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
                 let text = std::str::from_utf8(&b[start..i]).unwrap();
                 if is_double {
-                    out.push(Token::Double(text.parse().map_err(|_| {
-                        QueryError::Syntax(format!("bad number '{text}'"))
-                    })?));
+                    out.push(Token::Double(
+                        text.parse()
+                            .map_err(|_| QueryError::Syntax(format!("bad number '{text}'")))?,
+                    ));
                 } else {
-                    out.push(Token::Int(text.parse().map_err(|_| {
-                        QueryError::Syntax(format!("bad number '{text}'"))
-                    })?));
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|_| QueryError::Syntax(format!("bad number '{text}'")))?,
+                    ));
                 }
             }
             b'$' => {
@@ -165,9 +167,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 if j == start {
                     return Err(QueryError::Syntax(format!("bare '$' at byte {i}")));
                 }
-                out.push(Token::Param(
-                    std::str::from_utf8(&b[start..j]).unwrap().to_owned(),
-                ));
+                out.push(Token::Param(std::str::from_utf8(&b[start..j]).unwrap().to_owned()));
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == b'_' || c == b'`' => {
@@ -181,9 +181,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     if j >= b.len() {
                         return Err(QueryError::Syntax("unterminated `identifier`".into()));
                     }
-                    out.push(Token::Ident(
-                        std::str::from_utf8(&b[start..j]).unwrap().to_owned(),
-                    ));
+                    out.push(Token::Ident(std::str::from_utf8(&b[start..j]).unwrap().to_owned()));
                     i = j + 1;
                 } else {
                     let start = i;
@@ -192,9 +190,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     {
                         i += 1;
                     }
-                    out.push(Token::Ident(
-                        std::str::from_utf8(&b[start..i]).unwrap().to_owned(),
-                    ));
+                    out.push(Token::Ident(std::str::from_utf8(&b[start..i]).unwrap().to_owned()));
                 }
             }
             b'(' => {

@@ -11,9 +11,9 @@ use crate::Result;
 
 /// Clause keywords that terminate implicit aliases and expressions.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "having", "order", "limit", "let", "by", "value", "as", "distinct",
-    "asc", "desc", "and", "or", "not", "in", "exists", "case", "when", "then", "else", "end",
-    "to", "apply", "with", "on", "into", "primary", "key", "type",
+    "select", "from", "where", "group", "having", "order", "limit", "let", "by", "value", "as",
+    "distinct", "asc", "desc", "and", "or", "not", "in", "exists", "case", "when", "then", "else",
+    "end", "to", "apply", "with", "on", "into", "primary", "key", "type",
 ];
 
 fn is_reserved(s: &str) -> bool {
@@ -173,8 +173,7 @@ impl Parser {
                 Token::Ident(s) if !is_reserved(s) => self.expect_ident()?,
                 _ => dataset.clone(),
             };
-            let where_clause =
-                if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+            let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
             return Ok(Statement::Delete { dataset, alias, where_clause });
         }
         if self.eat_kw("connect") {
@@ -448,9 +447,8 @@ impl Parser {
         } else {
             match self.peek() {
                 Token::Ident(s) if !is_reserved(s) => self.expect_ident()?,
-                _ => default_alias.ok_or_else(|| {
-                    QueryError::Syntax("FROM subquery requires an alias".into())
-                })?,
+                _ => default_alias
+                    .ok_or_else(|| QueryError::Syntax("FROM subquery requires an alias".into()))?,
             }
         };
         Ok(FromItem { source, alias, hint })
@@ -689,11 +687,8 @@ impl Parser {
 
     fn parse_case(&mut self) -> Result<Expr> {
         self.expect_kw("case")?;
-        let operand = if self.peek().is_kw("when") {
-            None
-        } else {
-            Some(Box::new(self.parse_expr()?))
-        };
+        let operand =
+            if self.peek().is_kw("when") { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut whens = Vec::new();
         while self.eat_kw("when") {
             let c = self.parse_expr()?;
@@ -704,8 +699,7 @@ impl Parser {
         if whens.is_empty() {
             return Err(QueryError::Syntax("CASE requires at least one WHEN".into()));
         }
-        let otherwise =
-            if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
+        let otherwise = if self.eat_kw("else") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_kw("end")?;
         Ok(Expr::Case { operand, whens, otherwise })
     }

@@ -97,9 +97,7 @@ fn is_aggregate_call(name: &str) -> bool {
 /// Whether `e` contains an aggregate call outside nested subqueries.
 pub fn has_aggregate(e: &Expr) -> bool {
     match e {
-        Expr::Call { name, args } => {
-            is_aggregate_call(name) || args.iter().any(has_aggregate)
-        }
+        Expr::Call { name, args } => is_aggregate_call(name) || args.iter().any(has_aggregate),
         Expr::Field(b, _) | Expr::Not(b) | Expr::Neg(b) | Expr::Exists(b) => has_aggregate(b),
         Expr::Index(a, b) | Expr::Binary(_, a, b) | Expr::In(a, b) => {
             has_aggregate(a) || has_aggregate(b)
@@ -111,11 +109,9 @@ pub fn has_aggregate(e: &Expr) -> bool {
         }
         Expr::Object(fields) => fields.iter().any(|(_, v)| has_aggregate(v)),
         Expr::Array(items) => items.iter().any(has_aggregate),
-        Expr::Subquery(_)
-        | Expr::Literal(_)
-        | Expr::Ident(_)
-        | Expr::Param(_)
-        | Expr::Wildcard => false,
+        Expr::Subquery(_) | Expr::Literal(_) | Expr::Ident(_) | Expr::Param(_) | Expr::Wildcard => {
+            false
+        }
     }
 }
 
@@ -364,33 +360,35 @@ pub fn plan_block(block: &SelectBlock, catalog: &Catalog) -> Result<BlockPlan> {
         let path = match dataset_name {
             None => {
                 // Expression source: filters all become loop residuals.
-                residual.extend(self_filter.drain(..));
-                residual.extend(eq_pairs.drain(..).map(|(a, b)| {
-                    Expr::Binary(BinOp::Eq, Box::new(a), Box::new(b))
-                }));
+                residual.append(&mut self_filter);
+                residual.extend(
+                    eq_pairs
+                        .drain(..)
+                        .map(|(a, b)| Expr::Binary(BinOp::Eq, Box::new(a), Box::new(b))),
+                );
                 if let Some((field, region)) = spatial.take() {
                     residual.push(rebuild_spatial(alias, &field, region));
                 }
                 AccessPath::Iterate
             }
-            Some(ds_name) if catalog.dataset(&ds_name).is_ok() => {
-                choose_dataset_path(
-                    catalog,
-                    &ds_name,
-                    alias,
-                    hint,
-                    &mut self_filter,
-                    &mut eq_pairs,
-                    &mut spatial,
-                    &mut residual,
-                )
-            }
+            Some(ds_name) if catalog.dataset(&ds_name).is_ok() => choose_dataset_path(
+                catalog,
+                &ds_name,
+                alias,
+                hint,
+                &mut self_filter,
+                &mut eq_pairs,
+                &mut spatial,
+                &mut residual,
+            ),
             Some(_) => {
                 // Unknown name: may be an env variable at run time.
-                residual.extend(self_filter.drain(..));
-                residual.extend(eq_pairs.drain(..).map(|(a, b)| {
-                    Expr::Binary(BinOp::Eq, Box::new(a), Box::new(b))
-                }));
+                residual.append(&mut self_filter);
+                residual.extend(
+                    eq_pairs
+                        .drain(..)
+                        .map(|(a, b)| Expr::Binary(BinOp::Eq, Box::new(a), Box::new(b))),
+                );
                 if let Some((field, region)) = spatial.take() {
                     residual.push(rebuild_spatial(alias, &field, region));
                 }
@@ -499,7 +497,7 @@ fn choose_dataset_path(
             if let Some(index) = catalog.find_index(ds_name, &field, IndexKind::RTree) {
                 // Any equality/self conjuncts become residuals on top of
                 // the probe result.
-                residual.extend(self_filter.drain(..));
+                residual.append(self_filter);
                 residual.extend(
                     eq_pairs
                         .drain(..)
@@ -543,7 +541,6 @@ fn choose_dataset_path(
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use idea_adm::TypeTag;
 
     fn catalog_with_words() -> std::sync::Arc<Catalog> {
         let c = Catalog::new(1);
@@ -578,7 +575,10 @@ mod tests {
         let c = Catalog::new(1);
         c.create_type_from_ddl(
             "MType",
-            &[("monument_id".into(), "string".into()), ("monument_location".into(), "point".into())],
+            &[
+                ("monument_id".into(), "string".into()),
+                ("monument_location".into(), "point".into()),
+            ],
         )
         .unwrap();
         c.create_dataset("monumentList", "MType", "monument_id").unwrap();
@@ -600,7 +600,10 @@ mod tests {
         let c = Catalog::new(1);
         c.create_type_from_ddl(
             "MType",
-            &[("monument_id".into(), "string".into()), ("monument_location".into(), "point".into())],
+            &[
+                ("monument_id".into(), "string".into()),
+                ("monument_location".into(), "point".into()),
+            ],
         )
         .unwrap();
         c.create_dataset("monumentList", "MType", "monument_id").unwrap();
@@ -625,7 +628,10 @@ mod tests {
         )
         .unwrap();
         let plan = plan_block(&q, &c).unwrap();
-        assert!(matches!(&plan.from_order[0].path, AccessPath::IndexEq { target: IndexTarget::Primary, .. }));
+        assert!(matches!(
+            &plan.from_order[0].path,
+            AccessPath::IndexEq { target: IndexTarget::Primary, .. }
+        ));
     }
 
     #[test]
@@ -644,10 +650,8 @@ mod tests {
     #[test]
     fn let_dependent_conjunct_goes_post() {
         let c = catalog_with_words();
-        let q = parse_query(
-            "SELECT VALUE s FROM SensitiveWords s LET w = s.word WHERE w = t.word",
-        )
-        .unwrap();
+        let q = parse_query("SELECT VALUE s FROM SensitiveWords s LET w = s.word WHERE w = t.word")
+            .unwrap();
         let plan = plan_block(&q, &c).unwrap();
         assert_eq!(plan.post_filter.len(), 1);
         assert!(matches!(&plan.from_order[0].path, AccessPath::Materialize));
@@ -658,8 +662,10 @@ mod tests {
         // d correlates with the (outer) tweet point; f correlates only
         // with d — so d must be evaluated first.
         let c = Catalog::new(1);
-        c.create_type_from_ddl("FType", &[("facility_id".into(), "string".into())]).unwrap();
-        c.create_type_from_ddl("DType", &[("district_area_id".into(), "string".into())]).unwrap();
+        c.create_type_from_ddl("FType", &[("facility_id".into(), "string".into())])
+            .unwrap();
+        c.create_type_from_ddl("DType", &[("district_area_id".into(), "string".into())])
+            .unwrap();
         c.create_dataset("Facilities", "FType", "facility_id").unwrap();
         c.create_dataset("DistrictAreas", "DType", "district_area_id").unwrap();
         let q = parse_query(
@@ -687,9 +693,11 @@ mod tests {
         // The paper's Figure 38 form: the tweet point inside a circle
         // drawn around the reference point.
         let c = Catalog::new(1);
-        c.create_type_from_ddl("FType", &[("facility_id".into(), "string".into())]).unwrap();
+        c.create_type_from_ddl("FType", &[("facility_id".into(), "string".into())])
+            .unwrap();
         c.create_dataset("Facilities", "FType", "facility_id").unwrap();
-        c.create_index("floc", "Facilities", "facility_location", IndexKindAst::RTree).unwrap();
+        c.create_index("floc", "Facilities", "facility_location", IndexKindAst::RTree)
+            .unwrap();
         let q = parse_query(
             "SELECT VALUE f FROM Facilities f
              WHERE spatial_intersect(create_point(t.latitude, t.longitude),

@@ -90,7 +90,7 @@ fn figure_8_stateful_udf_hash_join() {
         (tweet(5, "DE", "bombe"), "Green"),
     ];
     for (t, want) in cases {
-        let out = apply_function(&mut ctx, "tweetSafetyCheck", &[t.clone()]).unwrap();
+        let out = apply_function(&mut ctx, "tweetSafetyCheck", std::slice::from_ref(&t)).unwrap();
         let o = out.as_array().unwrap()[0].as_object().unwrap().clone();
         assert_eq!(o.get("safety_check_flag"), Some(&Value::str(want)), "tweet {t}");
     }
@@ -114,7 +114,7 @@ fn stateful_udf_sees_updates_across_contexts_not_within() {
     .unwrap();
     let t = tweet(1, "DE", "ein gewehr");
     let mut ctx = ExecContext::new(c.clone());
-    let before = apply_function(&mut ctx, "flag", &[t.clone()]).unwrap();
+    let before = apply_function(&mut ctx, "flag", std::slice::from_ref(&t)).unwrap();
     assert_eq!(before.as_array().unwrap()[0], Value::Bool(false));
 
     // Reference-data update arrives mid-batch.
@@ -125,7 +125,7 @@ fn stateful_udf_sees_updates_across_contexts_not_within() {
     .unwrap();
 
     // Same context (same computing job): stale build side, still false.
-    let same = apply_function(&mut ctx, "flag", &[t.clone()]).unwrap();
+    let same = apply_function(&mut ctx, "flag", std::slice::from_ref(&t)).unwrap();
     assert_eq!(same.as_array().unwrap()[0], Value::Bool(false));
 
     // Fresh context (next computing job): sees the update.
@@ -154,11 +154,9 @@ fn figure_18_top_k_subquery_cached() {
     .unwrap();
     let mut ctx = ExecContext::new(c.clone());
     // US has 2 keywords, FR has 1 → top-1 = US.
-    for (t, want) in [
-        (tweet(1, "US", "x"), "Red"),
-        (tweet(2, "FR", "x"), "Green"),
-        (tweet(3, "US", "y"), "Red"),
-    ] {
+    for (t, want) in
+        [(tweet(1, "US", "x"), "Red"), (tweet(2, "FR", "x"), "Green"), (tweet(3, "US", "y"), "Red")]
+    {
         let out = apply_function(&mut ctx, "highRiskTweetCheck", &[t]).unwrap();
         let o = out.as_array().unwrap()[0].as_object().unwrap().clone();
         assert_eq!(o.get("high_risk_flag"), Some(&Value::str(want)));
@@ -285,9 +283,9 @@ fn figure_36_fuzzy_suspects_similarity_join() {
         1,
         Arc::new(|| {
             Box::new(|args: &[Value]| {
-                let s = args[0].as_str().ok_or_else(|| {
-                    QueryError::Eval("removeSpecial expects a string".into())
-                })?;
+                let s = args[0]
+                    .as_str()
+                    .ok_or_else(|| QueryError::Eval("removeSpecial expects a string".into()))?;
                 Ok(Value::str(idea_adm::functions::string::remove_special(s)))
             })
         }),
@@ -468,23 +466,20 @@ fn prepared_parameter() {
     let q = parse_query("SELECT VALUE s.word FROM SensitiveWords s WHERE s.country = $x").unwrap();
     let mut ctx = ExecContext::new(c.clone());
     ctx.set_param("x", Value::str("FR"));
-    let out = eval_expr(
-        &idea_query::ast::Expr::Subquery(q),
-        &Env::new(),
-        &mut ctx,
-    )
-    .unwrap();
+    let out = eval_expr(&idea_query::ast::Expr::Subquery(q), &Env::new(), &mut ctx).unwrap();
     assert_eq!(out, Value::Array(vec![Value::str("bombe")]));
 }
 
 #[test]
 fn insert_duplicate_key_fails() {
     let c = setup_words(1);
-    let err = run_sqlpp(&c, r#"INSERT INTO SensitiveWords ([{"wid": 1, "country": "X", "word": "y"}]);"#);
+    let err =
+        run_sqlpp(&c, r#"INSERT INTO SensitiveWords ([{"wid": 1, "country": "X", "word": "y"}]);"#);
     assert!(err.is_err());
     // UPSERT succeeds.
-    let r = run_sqlpp(&c, r#"UPSERT INTO SensitiveWords ([{"wid": 1, "country": "X", "word": "y"}]);"#)
-        .unwrap();
+    let r =
+        run_sqlpp(&c, r#"UPSERT INTO SensitiveWords ([{"wid": 1, "country": "X", "word": "y"}]);"#)
+            .unwrap();
     assert_eq!(r[0], StatementResult::Count(1));
 }
 
@@ -512,8 +507,9 @@ fn from_let_variable() {
 #[test]
 fn select_distinct() {
     let c = setup_words(1);
-    let v = run_query(&c, "SELECT DISTINCT VALUE s.country FROM SensitiveWords s ORDER BY s.country")
-        .unwrap();
+    let v =
+        run_query(&c, "SELECT DISTINCT VALUE s.country FROM SensitiveWords s ORDER BY s.country")
+            .unwrap();
     assert_eq!(v, Value::Array(vec![Value::str("FR"), Value::str("US")]));
     // DISTINCT over projections dedups whole objects.
     let v = run_query(&c, "SELECT DISTINCT s.country AS c FROM SensitiveWords s").unwrap();

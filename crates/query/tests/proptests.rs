@@ -49,8 +49,7 @@ fn catalog_with(rows: &[(i64, String, i64)]) -> Arc<Catalog> {
 }
 
 fn sorted_ids(v: Value) -> Vec<i64> {
-    let mut out: Vec<i64> =
-        v.as_array().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
+    let mut out: Vec<i64> = v.as_array().unwrap().iter().map(|x| x.as_int().unwrap()).collect();
     out.sort_unstable();
     out
 }
@@ -75,8 +74,8 @@ proptest! {
         let mut ctx = ExecContext::new(c.clone());
         for p in probes {
             let t = Value::object([("key", Value::str(p.clone()))]);
-            let h = apply_function(&mut ctx, "viaHash", &[t.clone()]).unwrap();
-            let i = apply_function(&mut ctx, "viaIndex", &[t.clone()]).unwrap();
+            let h = apply_function(&mut ctx, "viaHash", std::slice::from_ref(&t)).unwrap();
+            let i = apply_function(&mut ctx, "viaIndex", std::slice::from_ref(&t)).unwrap();
             let s = apply_function(&mut ctx, "viaScan", &[t]).unwrap();
             let want: Vec<i64> = rows
                 .iter()

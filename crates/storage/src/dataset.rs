@@ -57,7 +57,10 @@ impl Dataset {
             name: name.into(),
             datatype,
             pk_field: FieldPath::parse(pk_field),
-            inner: RwLock::new(Inner { tree: LsmTree::new(config.lsm.clone()), indexes: Vec::new() }),
+            inner: RwLock::new(Inner {
+                tree: LsmTree::new(config.lsm.clone()),
+                indexes: Vec::new(),
+            }),
             config,
             stats: StorageStats::default(),
         }
@@ -187,7 +190,10 @@ impl Dataset {
             }
         }
         let n = pairs.len() as u64;
-        inner.tree.components.insert(0, Arc::new(Component::from_sorted(u64::MAX, pairs)));
+        inner
+            .tree
+            .components
+            .insert(0, Arc::new(Component::from_sorted(u64::MAX, pairs)));
         self.stats.record_bulk_load(n);
         Ok(())
     }
@@ -239,11 +245,7 @@ impl Dataset {
         let SecondaryIndex::BTree(btree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not a B-tree index")));
         };
-        Ok(btree
-            .lookup(key)
-            .iter()
-            .filter_map(|pk| inner.tree.get(pk).cloned())
-            .collect())
+        Ok(btree.lookup(key).iter().filter_map(|pk| inner.tree.get(pk).cloned()).collect())
     }
 
     /// Spatial probe through an R-tree index: records whose indexed point
@@ -328,6 +330,21 @@ impl Dataset {
         let inner = self.inner.read();
         (inner.tree.memtable_len(), inner.tree.component_count())
     }
+
+    /// Lifetime memtable-flush count (observability probe source).
+    pub fn flush_count(&self) -> u64 {
+        self.inner.read().tree.flush_count()
+    }
+
+    /// Lifetime component-merge count (observability probe source).
+    pub fn merge_count(&self) -> u64 {
+        self.inner.read().tree.merge_count()
+    }
+
+    /// Current number of immutable disk components.
+    pub fn component_count(&self) -> usize {
+        self.inner.read().tree.component_count()
+    }
 }
 
 /// A pinned, immutable view of a dataset used by scans: reference-data
@@ -367,15 +384,16 @@ impl DatasetSnapshot {
     }
 }
 
+type EntryIter<'a> =
+    std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>;
+
 struct SnapshotIter<'a> {
-    sources: Vec<std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>>,
+    sources: Vec<EntryIter<'a>>,
 }
 
 impl<'a> SnapshotIter<'a> {
     fn new(snap: &'a DatasetSnapshot) -> Self {
-        let mut sources: Vec<
-            std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>,
-        > = Vec::with_capacity(snap.components.len() + 1);
+        let mut sources: Vec<EntryIter<'a>> = Vec::with_capacity(snap.components.len() + 1);
         let mem: Box<dyn Iterator<Item = _>> = Box::new(snap.mem.iter().map(|(k, e)| (k, e)));
         sources.push(mem.peekable());
         for c in &snap.components {

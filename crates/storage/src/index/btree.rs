@@ -61,9 +61,7 @@ impl BTreeIndex {
     ) -> impl Iterator<Item = (&'a Value, &'a Value)> + 'a {
         let lo = low.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
         let hi = high.map_or(Bound::Unbounded, |v| Bound::Included(v.clone()));
-        self.map
-            .range((lo, hi))
-            .flat_map(|(v, pks)| pks.iter().map(move |pk| (v, pk)))
+        self.map.range((lo, hi)).flat_map(|(v, pks)| pks.iter().map(move |pk| (v, pk)))
     }
 }
 

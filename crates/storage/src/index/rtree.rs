@@ -196,7 +196,12 @@ impl RTree {
     }
 
     // Returns true if the entry was removed under this node.
-    fn remove_rec(node: &mut Node, point: &Point, pk: &Value, orphans: &mut Vec<LeafEntry>) -> bool {
+    fn remove_rec(
+        node: &mut Node,
+        point: &Point,
+        pk: &Value,
+        orphans: &mut Vec<LeafEntry>,
+    ) -> bool {
         match node {
             Node::Leaf(entries) => {
                 if let Some(pos) = entries.iter().position(|e| e.point == *point && &e.pk == pk) {
@@ -249,7 +254,12 @@ impl RTree {
         out
     }
 
-    fn query_rec<'a>(&'a self, node: &'a Node, rect: &Rectangle, visit: &mut impl FnMut(&'a LeafEntry)) {
+    fn query_rec<'a>(
+        &'a self,
+        node: &'a Node,
+        rect: &Rectangle,
+        visit: &mut impl FnMut(&'a LeafEntry),
+    ) {
         match node {
             Node::Leaf(entries) => {
                 for e in entries {
@@ -300,9 +310,9 @@ fn split_leaf(entries: Vec<LeafEntry>) -> (Vec<LeafEntry>, Vec<LeafEntry>) {
     distribute(entries, rects, s1, s2)
 }
 
-fn split_inner(
-    children: Vec<(Rectangle, Box<Node>)>,
-) -> (Vec<(Rectangle, Box<Node>)>, Vec<(Rectangle, Box<Node>)>) {
+type ChildEntry = (Rectangle, Box<Node>);
+
+fn split_inner(children: Vec<ChildEntry>) -> (Vec<ChildEntry>, Vec<ChildEntry>) {
     let rects: Vec<Rectangle> = children.iter().map(|(r, _)| *r).collect();
     let (s1, s2) = pick_seeds(&rects);
     distribute(children, rects, s1, s2)
@@ -313,7 +323,8 @@ fn pick_seeds(rects: &[Rectangle]) -> (usize, usize) {
     let mut worst_waste = f64::NEG_INFINITY;
     for i in 0..rects.len() {
         for j in (i + 1)..rects.len() {
-            let waste = area(&extend_rect(&rects[i], &rects[j])) - area(&rects[i]) - area(&rects[j]);
+            let waste =
+                area(&extend_rect(&rects[i], &rects[j])) - area(&rects[i]) - area(&rects[j]);
             if waste > worst_waste {
                 worst_waste = waste;
                 worst = (i, j);
@@ -329,7 +340,7 @@ fn distribute<T>(items: Vec<T>, rects: Vec<Rectangle>, s1: usize, s2: usize) -> 
     let mut r1 = rects[s1];
     let mut r2 = rects[s2];
     let total = items.len();
-    for (i, (item, rect)) in items.into_iter().zip(rects.into_iter()).enumerate() {
+    for (i, (item, rect)) in items.into_iter().zip(rects).enumerate() {
         if i == s1 {
             g1.push(item);
             continue;
@@ -390,7 +401,9 @@ mod tests {
     fn query_matches_naive_scan() {
         let n = 2000;
         let t = build(n);
-        for (cx, cy, r) in [(10.0, 5.0, 3.0), (50.0, 10.0, 7.5), (0.0, 0.0, 1.0), (99.0, 19.0, 200.0)] {
+        for (cx, cy, r) in
+            [(10.0, 5.0, 3.0), (50.0, 10.0, 7.5), (0.0, 0.0, 1.0), (99.0, 19.0, 200.0)]
+        {
             let c = Circle::new(Point::new(cx, cy), r);
             let mut got: Vec<i64> =
                 t.query_circle(&c).iter().map(|(_, pk)| pk.as_int().unwrap()).collect();
@@ -444,7 +457,9 @@ mod tests {
     #[test]
     fn empty_tree_queries() {
         let t = RTree::new();
-        assert!(t.query_rect(&Rectangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))).is_empty());
+        assert!(t
+            .query_rect(&Rectangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)))
+            .is_empty());
         assert_eq!(t.len(), 0);
     }
 

@@ -86,9 +86,7 @@ mod tests {
     fn false_positive_rate_reasonable() {
         let keys: Vec<Value> = (0..5_000).map(Value::Int).collect();
         let f = BloomFilter::build(keys.iter());
-        let fps = (5_000i64..25_000)
-            .filter(|i| f.may_contain(&Value::Int(*i)))
-            .count();
+        let fps = (5_000i64..25_000).filter(|i| f.may_contain(&Value::Int(*i))).count();
         let rate = fps as f64 / 20_000.0;
         assert!(rate < 0.05, "false-positive rate {rate}");
     }
@@ -98,9 +96,7 @@ mod tests {
         let keys: Vec<Value> = (0..500).map(|i| Value::str(format!("C{i:03}"))).collect();
         let f = BloomFilter::build(keys.iter());
         assert!(f.may_contain(&Value::str("C042")));
-        let fps = (1000..3000)
-            .filter(|i| f.may_contain(&Value::str(format!("X{i}"))))
-            .count();
+        let fps = (1000..3000).filter(|i| f.may_contain(&Value::str(format!("X{i}")))).count();
         assert!(fps < 120, "{fps} string false positives");
     }
 

@@ -35,7 +35,10 @@ impl Component {
     /// Builds a component directly from sorted, deduplicated pairs
     /// (bulk load).
     pub fn from_sorted(id: u64, pairs: Vec<(Value, Option<Value>)>) -> Self {
-        debug_assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0), "bulk load requires sorted unique keys");
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "bulk load requires sorted unique keys"
+        );
         let mut keys = Vec::with_capacity(pairs.len());
         let mut entries = Vec::with_capacity(pairs.len());
         for (k, e) in pairs {
@@ -101,10 +104,7 @@ impl Component {
         if !self.bloom.may_contain(key) {
             return None;
         }
-        self.keys
-            .binary_search_by(|k| k.cmp(key))
-            .ok()
-            .map(|i| &self.entries[i])
+        self.keys.binary_search_by(|k| k.cmp(key)).ok().map(|i| &self.entries[i])
     }
 
     /// Iterates `(key, entry)` pairs in key order, tombstones included.
@@ -120,10 +120,7 @@ mod tests {
     fn comp(id: u64, pairs: Vec<(i64, Option<&str>)>) -> Arc<Component> {
         Arc::new(Component::from_sorted(
             id,
-            pairs
-                .into_iter()
-                .map(|(k, v)| (Value::Int(k), v.map(Value::str)))
-                .collect(),
+            pairs.into_iter().map(|(k, v)| (Value::Int(k), v.map(Value::str))).collect(),
         ))
     }
 

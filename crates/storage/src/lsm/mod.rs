@@ -155,17 +155,18 @@ impl LsmTree {
 
 /// K-way merging iterator over memtable + components yielding the newest
 /// visible entry per key, in key order.
+type EntryIter<'a> =
+    std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>;
+
 struct LiveIter<'a> {
     // Each source is a peekable iterator over (key, entry), plus its
     // priority (0 = memtable = newest).
-    sources: Vec<std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>>,
+    sources: Vec<EntryIter<'a>>,
 }
 
 impl<'a> LiveIter<'a> {
     fn new(tree: &'a LsmTree) -> Self {
-        let mut sources: Vec<
-            std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>,
-        > = Vec::with_capacity(tree.components.len() + 1);
+        let mut sources: Vec<EntryIter<'a>> = Vec::with_capacity(tree.components.len() + 1);
         let mem: Box<dyn Iterator<Item = _>> = Box::new(tree.memtable.iter());
         sources.push(mem.peekable());
         for c in &tree.components {
@@ -277,14 +278,10 @@ mod tests {
         t.put(Value::Int(2), Some(Value::str("new2")));
         t.put(Value::Int(1), Some(Value::str("one")));
         t.put(Value::Int(3), None); // delete
-        let got: Vec<(Value, Value)> =
-            t.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let got: Vec<(Value, Value)> = t.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
         assert_eq!(
             got,
-            vec![
-                (Value::Int(1), Value::str("one")),
-                (Value::Int(2), Value::str("new2")),
-            ]
+            vec![(Value::Int(1), Value::str("one")), (Value::Int(2), Value::str("new2")),]
         );
     }
 

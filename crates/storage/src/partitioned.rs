@@ -129,7 +129,9 @@ mod tests {
     use idea_adm::TypeTag;
 
     fn pd(parts: usize) -> PartitionedDataset {
-        let dt = Datatype::new("TweetType").field("id", TypeTag::Int64).field("text", TypeTag::String);
+        let dt = Datatype::new("TweetType")
+            .field("id", TypeTag::Int64)
+            .field("text", TypeTag::String);
         PartitionedDataset::new("Tweets", dt, "id", parts, DatasetConfig::default())
     }
 

@@ -31,8 +31,8 @@ pub fn ethnicity(i: usize) -> String {
 }
 
 const SYLLABLES: &[&str] = &[
-    "an", "bo", "ca", "da", "el", "fi", "go", "ha", "in", "jo", "ka", "lu", "ma", "ne", "or",
-    "pa", "qu", "ri", "sa", "tu",
+    "an", "bo", "ca", "da", "el", "fi", "go", "ha", "in", "jo", "ka", "lu", "ma", "ne", "or", "pa",
+    "qu", "ri", "sa", "tu",
 ];
 
 /// A deterministic pseudo-name from an index (used for the suspects

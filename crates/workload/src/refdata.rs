@@ -84,7 +84,10 @@ fn named_suspects(n: usize, seed: u64, salt: u64) -> Vec<Value> {
             Value::object([
                 ("sid", Value::Int(i as i64)),
                 ("sensitiveName", Value::str(names::person_name(i))),
-                ("religionName", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                (
+                    "religionName",
+                    Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT))),
+                ),
                 ("threat_level", Value::Int(r.random_range(1..6))),
             ])
         })
@@ -100,7 +103,10 @@ pub fn suspicious_names(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
             Value::object([
                 ("suspicious_name_id", Value::str(format!("s{i}"))),
                 ("suspicious_name", Value::str(names::person_name(i))),
-                ("religion_name", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                (
+                    "religion_name",
+                    Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT))),
+                ),
                 ("threat_level", Value::Int(r.random_range(1..6))),
             ])
         })
@@ -128,7 +134,10 @@ pub fn religious_buildings(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
         .map(|i| {
             Value::object([
                 ("religious_building_id", Value::str(format!("b{i}"))),
-                ("religion_name", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                (
+                    "religion_name",
+                    Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT))),
+                ),
                 ("building_location", random_point(&mut r)),
                 ("registered_believer", Value::Int(r.random_range(10..100_000))),
             ])
@@ -166,10 +175,7 @@ pub fn district_areas(scale: &WorkloadScale, _seed: u64) -> Vec<Value> {
             let high = idea_adm::value::Point::new(low.x + w, low.y + h);
             Value::object([
                 ("district_area_id", Value::str(format!("d{i}"))),
-                (
-                    "district_area",
-                    Value::Rectangle(idea_adm::value::Rectangle::new(low, high)),
-                ),
+                ("district_area", Value::Rectangle(idea_adm::value::Rectangle::new(low, high))),
             ])
         })
         .collect()
@@ -219,7 +225,10 @@ pub fn attack_events(scale: &WorkloadScale, seed: u64) -> Vec<Value> {
                     ),
                 ),
                 ("attack_location", random_point(&mut r)),
-                ("related_religion", Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT)))),
+                (
+                    "related_religion",
+                    Value::str(names::religion(r.random_range(0..names::RELIGION_COUNT))),
+                ),
             ])
         })
         .collect()

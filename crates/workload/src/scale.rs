@@ -68,7 +68,11 @@ impl WorkloadScale {
         }
     }
 
-    /// Small sizes for unit/integration tests.
+    /// Small sizes for unit/integration tests. The spatial datasets
+    /// (buildings, attacks) stay dense enough that a 3-degree circle
+    /// around a uniformly placed tweet hits something with near
+    /// certainty across ~25 tweets; sparser settings make the spatial
+    /// scenario tests a coin flip on the RNG stream.
     pub fn tiny() -> Self {
         WorkloadScale {
             sensitive_words: 60,
@@ -76,13 +80,13 @@ impl WorkloadScale {
             religious_populations: 400,
             suspects_names: 50,
             monuments: 300,
-            religious_buildings: 60,
-            facilities: 120,
+            religious_buildings: 600,
+            facilities: 240,
             sensitive_names: 80,
             average_incomes: 50,
             district_areas: 8,
             persons: 200,
-            attack_events: 40,
+            attack_events: 400,
         }
     }
 

@@ -409,11 +409,7 @@ pub fn setup_scenario(
     idea_query::run_sqlpp(catalog, ddl_for(key))?;
     load_data(catalog, key, scale, seed)?;
     let native_function = register_native(catalog, key)?;
-    Ok(Scenario {
-        key,
-        function: key.function_name().to_owned(),
-        native_function,
-    })
+    Ok(Scenario { key, function: key.function_name().to_owned(), native_function })
 }
 
 /// Registers the tweets datatype and target dataset shared by all
@@ -534,7 +530,7 @@ pub fn register_native(
                 let top3: HashMap<String, Value> = by_country
                     .into_iter()
                     .map(|(c, mut v)| {
-                        v.sort_by(|a, b| b.0.cmp(&a.0));
+                        v.sort_by_key(|e| std::cmp::Reverse(e.0));
                         v.truncate(3);
                         (c, Value::Array(v.into_iter().map(|(_, r)| Value::Str(r)).collect()))
                     })

@@ -87,8 +87,8 @@ impl TweetGenerator {
 
         let latitude = rng.random_range(-90.0f64..90.0);
         let longitude = rng.random_range(-180.0f64..180.0);
-        let created_at = EPOCH_MS + rng.random_range(0..90i64) * 86_400_000
-            + rng.random_range(0..86_400_000i64);
+        let created_at =
+            EPOCH_MS + rng.random_range(0..90i64) * 86_400_000 + rng.random_range(0..86_400_000i64);
 
         format!(
             concat!(
@@ -146,9 +146,7 @@ mod tests {
     #[test]
     fn keyword_rate_respected() {
         let g = TweetGenerator::new(2).with_keyword_rate(500, 10);
-        let with_kw = (0..400)
-            .filter(|&i| g.generate(i).contains("kw00"))
-            .count();
+        let with_kw = (0..400).filter(|&i| g.generate(i).contains("kw00")).count();
         assert!((120..=280).contains(&with_kw), "got {with_kw}/400 keyword tweets");
     }
 
@@ -159,10 +157,7 @@ mod tests {
         assert_eq!(batch.len(), 5);
         for (k, rec) in batch.iter().enumerate() {
             let v = idea_adm::json::parse(rec.as_bytes()).unwrap();
-            assert_eq!(
-                v.as_object().unwrap().get("id"),
-                Some(&Value::Int(10 + k as i64))
-            );
+            assert_eq!(v.as_object().unwrap().get("id"), Some(&Value::Int(10 + k as i64)));
         }
     }
 }

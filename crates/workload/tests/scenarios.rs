@@ -9,11 +9,7 @@ use idea_query::{apply_function, Catalog, ExecContext};
 use idea_workload::scenarios::{setup_scenario, setup_tweet_datasets};
 use idea_workload::{ScenarioKey, TweetGenerator, WorkloadScale};
 
-fn enrich_n(
-    catalog: &Arc<Catalog>,
-    function: &str,
-    n: u64,
-) -> (Vec<Value>, idea_query::ExecStats) {
+fn enrich_n(catalog: &Arc<Catalog>, function: &str, n: u64) -> (Vec<Value>, idea_query::ExecStats) {
     let gen = TweetGenerator::new(99);
     let mut ctx = ExecContext::new(catalog.clone());
     let mut out = Vec::new();
@@ -65,9 +61,8 @@ fn safety_rating_joins_every_tweet() {
 fn religious_population_sums() {
     let catalog = Catalog::new(1);
     setup_tweet_datasets(&catalog).unwrap();
-    let sc =
-        setup_scenario(&catalog, ScenarioKey::ReligiousPopulation, &WorkloadScale::tiny(), 7)
-            .unwrap();
+    let sc = setup_scenario(&catalog, ScenarioKey::ReligiousPopulation, &WorkloadScale::tiny(), 7)
+        .unwrap();
     let (out, _) = enrich_n(&catalog, &sc.function, 30);
     let with_pop = out
         .iter()
@@ -80,8 +75,8 @@ fn religious_population_sums() {
 fn largest_religions_top3_ordered() {
     let catalog = Catalog::new(1);
     setup_tweet_datasets(&catalog).unwrap();
-    let sc = setup_scenario(&catalog, ScenarioKey::LargestReligions, &WorkloadScale::tiny(), 7)
-        .unwrap();
+    let sc =
+        setup_scenario(&catalog, ScenarioKey::LargestReligions, &WorkloadScale::tiny(), 7).unwrap();
     let (out, _) = enrich_n(&catalog, &sc.function, 30);
     for rec in &out {
         let top = field(rec, "largest_religions").unwrap().as_array().unwrap();
@@ -93,10 +88,7 @@ fn largest_religions_top3_ordered() {
 fn fuzzy_suspects_finds_planted_matches() {
     let catalog = Catalog::new(1);
     setup_tweet_datasets(&catalog).unwrap();
-    let scale = WorkloadScale {
-        suspects_names: 50,
-        ..WorkloadScale::tiny()
-    };
+    let scale = WorkloadScale { suspects_names: 50, ..WorkloadScale::tiny() };
     let sc = setup_scenario(&catalog, ScenarioKey::FuzzySuspects, &scale, 7).unwrap();
     // The tweet generator plants perturbed suspect names (pool must
     // match the suspects dataset size).
@@ -140,7 +132,7 @@ fn nearby_monuments_uses_rtree_and_matches_naive() {
     let mut total_hits = 0usize;
     for i in 0..40 {
         let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
-        let a = apply_function(&mut ctx, &indexed.function, &[tweet.clone()]).unwrap();
+        let a = apply_function(&mut ctx, &indexed.function, std::slice::from_ref(&tweet)).unwrap();
         let b = apply_function(&mut ctx, "enrichNaiveNearbyMonuments", &[tweet]).unwrap();
         let mut ma: Vec<String> = field(&a.as_array().unwrap()[0], "nearby_monuments")
             .unwrap()
@@ -243,7 +235,7 @@ fn native_udfs_agree_with_sqlpp() {
         let mut ctx = ExecContext::new(catalog.clone());
         for i in 0..20 {
             let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
-            let a = apply_function(&mut ctx, &sc.function, &[tweet.clone()]).unwrap();
+            let a = apply_function(&mut ctx, &sc.function, std::slice::from_ref(&tweet)).unwrap();
             let b = apply_function(&mut ctx, &native, &[tweet]).unwrap();
             let (ra, rb) = (&a.as_array().unwrap()[0], &b.as_array().unwrap()[0]);
             // Compare the enrichment field; ordering of top-3 lists can
@@ -281,7 +273,7 @@ fn fuzzy_native_agrees_with_sqlpp() {
     let mut ctx = ExecContext::new(catalog.clone());
     for i in 0..30 {
         let tweet = idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap();
-        let a = apply_function(&mut ctx, &sc.function, &[tweet.clone()]).unwrap();
+        let a = apply_function(&mut ctx, &sc.function, std::slice::from_ref(&tweet)).unwrap();
         let b = apply_function(&mut ctx, &native, &[tweet]).unwrap();
         let names = |v: &Value| -> Vec<String> {
             let mut out: Vec<String> = field(&v.as_array().unwrap()[0], "related_suspects")
@@ -290,7 +282,13 @@ fn fuzzy_native_agrees_with_sqlpp() {
                 .unwrap()
                 .iter()
                 .map(|s| {
-                    s.as_object().unwrap().get("sensitiveName").unwrap().as_str().unwrap().to_owned()
+                    s.as_object()
+                        .unwrap()
+                        .get("sensitiveName")
+                        .unwrap()
+                        .as_str()
+                        .unwrap()
+                        .to_owned()
                 })
                 .collect();
             out.sort();

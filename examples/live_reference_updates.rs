@@ -9,10 +9,7 @@
 
 use std::sync::Arc;
 
-use idea::ingestion::{
-    Adapter, AdapterFactory, ComputingModel, FeedSpec, IngestionEngine, RateLimitedAdapter,
-    VecAdapter,
-};
+use idea::prelude::*;
 use idea::query::run_sqlpp;
 
 fn tweet(id: i64) -> String {

@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use idea::ingestion::{FeedSpec, IngestionEngine, VecAdapter};
+use idea::prelude::*;
 use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
 use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
 
@@ -37,6 +37,17 @@ fn main() {
         "ingested {} tweets in {:?} ({:.0} records/s) across {} computing jobs",
         report.records_stored, report.elapsed, report.throughput, report.computing_jobs
     );
+
+    // Every number the report aggregates (and more: queue gauges, batch
+    // latency percentiles, LSM flush counts) lives in the metrics
+    // registry; snapshots also render as an ADM value for SQL++.
+    let snapshot = engine.metrics().snapshot();
+    println!("\nfeed metrics:");
+    for entry in snapshot.under("feed/TweetFeed") {
+        println!("  {}", entry.name);
+    }
+    let p99 = snapshot.histogram("feed/TweetFeed/batch_latency").expect("histogram").p99();
+    println!("p99 batch latency: {p99:?}");
 
     // The paper's Figure 9 analytical query — over already-enriched data,
     // so no UDF evaluation at query time.

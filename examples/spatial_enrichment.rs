@@ -10,6 +10,7 @@
 
 use std::time::Instant;
 
+use idea::prelude::*;
 use idea::query::{apply_function, ExecContext};
 use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
 use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
@@ -37,12 +38,13 @@ fn main() {
     .expect("naive UDF");
 
     let gen = TweetGenerator::new(3);
-    let tweets: Vec<idea::adm::Value> = (0..500)
+    let tweets: Vec<Value> = (0..500)
         .map(|i| idea::adm::json::parse(gen.generate(i).as_bytes()).unwrap())
         .collect();
 
-    for (label, function) in [("R-tree INLJ", indexed.function.as_str()),
-                              ("naive scan ", "naiveNearbyMonuments")] {
+    for (label, function) in
+        [("R-tree INLJ", indexed.function.as_str()), ("naive scan ", "naiveNearbyMonuments")]
+    {
         let mut ctx = ExecContext::new(catalog.clone());
         let t0 = Instant::now();
         let mut total_matches = 0usize;

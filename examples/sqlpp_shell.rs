@@ -13,7 +13,7 @@
 
 use std::io::{BufRead, Write};
 
-use idea::ingestion::{ExecOutcome, IngestionEngine};
+use idea::prelude::*;
 
 fn main() {
     let engine = IngestionEngine::with_nodes(2);

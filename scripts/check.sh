@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI (and the tier-1 acceptance check) runs.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo "==> $*"
+    "$@"
+}
+
+run cargo build --release --offline
+run cargo test --offline -q
+run cargo test --offline --workspace -q
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo fmt --check
+
+echo "==> all checks passed"

@@ -14,14 +14,39 @@
 //! * [`query`] — SQL++ subset: parser, planner, optimizer, evaluator;
 //! * [`ingestion`] — the paper's contribution: data feeds with
 //!   per-batch-refreshed enrichment UDFs;
+//! * [`obs`] — the unified observability layer (metrics registry,
+//!   snapshots, ADM rendering);
 //! * [`workload`] — synthetic tweets, reference data and the paper's
 //!   eight enrichment scenarios;
 //! * [`clustersim`] — discrete-event cluster model for scale-out studies.
+//!
+//! Most programs only need [`prelude`]:
+//!
+//! ```
+//! use idea::prelude::*;
+//!
+//! let engine = IngestionEngine::with_nodes(1);
+//! let snapshot = engine.metrics().snapshot();
+//! assert!(snapshot.entries.is_empty());
+//! ```
 
 pub use idea_adm as adm;
 pub use idea_clustersim as clustersim;
 pub use idea_core as ingestion;
 pub use idea_hyracks as hyracks;
+pub use idea_obs as obs;
 pub use idea_query as query;
 pub use idea_storage as storage;
 pub use idea_workload as workload;
+
+/// The types almost every program touches: build an engine, describe a
+/// feed, run it, inspect the results.
+pub mod prelude {
+    pub use idea_adm::{Datatype, Value};
+    pub use idea_core::{
+        ActiveFeedManager, Adapter, AdapterFactory, ComputingModel, ExecOutcome, FeedHandle,
+        FeedSpec, GeneratorAdapter, IngestError, IngestionEngine, IngestionReport, PipelineMode,
+        RateLimitedAdapter, SocketAdapter, VecAdapter,
+    };
+    pub use idea_obs::{MetricsRegistry, MetricsScope, Snapshot};
+}

@@ -1,0 +1,172 @@
+//! The observability layer, end to end: after a real feed run the
+//! registry snapshot must agree with the `IngestionReport`, expose the
+//! holder/storage/hyracks instruments, and render as an ADM value that
+//! survives the JSON round trip.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use idea::prelude::*;
+use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
+use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
+
+fn run_feed(nodes: usize, n: u64, batch: usize) -> (Arc<IngestionEngine>, IngestionReport) {
+    let engine = IngestionEngine::with_nodes(nodes);
+    setup_tweet_datasets(engine.catalog()).unwrap();
+    let sc = setup_scenario(engine.catalog(), ScenarioKey::SafetyCheck, &WorkloadScale::tiny(), 7)
+        .unwrap();
+    let tweets = TweetGenerator::new(5).batch(0, n);
+    let spec = FeedSpec::new("obs", "Tweets", VecAdapter::factory(tweets))
+        .with_function(&sc.function)
+        .with_batch_size(batch);
+    let report = engine.start_feed(spec).unwrap().wait().unwrap();
+    (engine, report)
+}
+
+#[test]
+fn snapshot_agrees_with_ingestion_report() {
+    let (engine, report) = run_feed(2, 150, 25);
+    let snap = engine.metrics().snapshot();
+
+    // The report is a view over the same instruments, so the snapshot
+    // must reproduce it exactly.
+    assert_eq!(snap.counter("feed/obs/intake/records"), Some(report.records_ingested));
+    assert_eq!(snap.counter("feed/obs/parse/errors"), Some(report.parse_errors));
+    assert_eq!(snap.counter("feed/obs/enrich/errors"), Some(report.enrich_errors));
+    assert_eq!(snap.counter("feed/obs/enrich/records"), Some(report.records_enriched));
+    assert_eq!(snap.counter("feed/obs/store/records"), Some(report.records_stored));
+    assert_eq!(snap.counter("feed/obs/computing/jobs"), Some(report.computing_jobs));
+
+    // Pipeline accounting: everything ingested is either enriched or
+    // dropped, and everything enriched is stored.
+    assert_eq!(
+        report.records_ingested,
+        report.records_enriched + report.enrich_errors + report.parse_errors
+    );
+    assert_eq!(report.records_stored, report.records_enriched);
+    assert_eq!(report.records_stored, 150);
+
+    // One histogram sample per computing-job invocation.
+    let h = snap.histogram("feed/obs/batch_latency").expect("batch-latency histogram");
+    assert_eq!(h.count, report.computing_jobs);
+    assert!(h.max() >= h.p50(), "percentiles are ordered");
+
+    // Hyracks instruments: intake + storage jobs plus one computing job
+    // per batch, all tasks finished.
+    let jobs = snap.counter("hyracks/jobs_started").expect("jobs counter");
+    assert!(jobs >= 2 + report.computing_jobs, "{jobs} jobs");
+    assert_eq!(snap.gauge("hyracks/tasks_active"), Some(0), "all tasks exited");
+}
+
+#[test]
+fn holder_and_storage_instruments_appear() {
+    let (engine, _) = run_feed(2, 100, 20);
+    let snap = engine.metrics().snapshot();
+
+    // Per-node holder gauges exist and read 0 after the drain.
+    for node in 0..2 {
+        for side in ["intake", "storage"] {
+            let name = format!("feed/obs/holder/{side}/node{node}/queue_depth");
+            assert_eq!(snap.gauge(&name), Some(0), "{name}");
+        }
+    }
+
+    // Storage probes: flush twice with fresh data in between (an empty
+    // memtable makes flush a no-op) so each partition gains two
+    // components, then merge them back into one.
+    let gen = TweetGenerator::new(9);
+    let ds = engine.catalog().dataset("Tweets").unwrap();
+    for (i, p) in ds.partitions().iter().enumerate() {
+        for k in 0..2 {
+            let id = 1_000_000 + (2 * i + k) as u64;
+            let tweet = idea::adm::json::parse(gen.generate(id).as_bytes()).unwrap();
+            p.upsert(tweet).unwrap();
+            p.flush();
+        }
+        p.merge();
+    }
+    let snap = engine.metrics().snapshot();
+    assert!(snap.gauge("storage/Tweets/flushes").unwrap() >= 2 * 2, "two flushes per node");
+    assert!(snap.gauge("storage/Tweets/merges").unwrap() >= 2, "one merge per node");
+    assert!(snap.gauge("storage/Tweets/components").is_some());
+}
+
+#[test]
+fn snapshot_renders_as_table_and_round_trips_as_adm() {
+    let (engine, _) = run_feed(1, 60, 15);
+    let snap = engine.metrics().snapshot();
+
+    let table = snap.to_table();
+    assert!(table.contains("feed/obs/intake/records"), "table:\n{table}");
+    assert!(table.contains("hyracks/jobs_started"), "table:\n{table}");
+
+    let adm = snap.to_adm();
+    let feed = adm.as_object().unwrap().get("feed").unwrap();
+    let obs = feed.as_object().unwrap().get("obs").unwrap().as_object().unwrap();
+    assert!(obs.get("intake").is_some());
+    let text = idea::adm::json::to_string(&adm);
+    let back = idea::adm::json::parse(text.as_bytes()).unwrap();
+    assert_eq!(back, adm, "snapshot must survive the ADM JSON round trip");
+}
+
+#[test]
+fn restarted_feed_gets_fresh_counters() {
+    let engine = IngestionEngine::with_nodes(1);
+    setup_tweet_datasets(engine.catalog()).unwrap();
+    let sc = setup_scenario(engine.catalog(), ScenarioKey::SafetyCheck, &WorkloadScale::tiny(), 7)
+        .unwrap();
+    for _ in 0..2 {
+        let tweets = TweetGenerator::new(5).batch(0, 40);
+        let spec = FeedSpec::new("again", "Tweets", VecAdapter::factory(tweets))
+            .with_function(&sc.function)
+            .with_batch_size(10);
+        engine.start_feed(spec).unwrap().wait().unwrap();
+        engine.afm().remove("again");
+        // Not cumulative: each run re-registers its scope from zero.
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.counter("feed/again/intake/records"), Some(40));
+    }
+}
+
+#[test]
+fn queue_depth_gauge_tracks_stalled_consumer() {
+    use idea::hyracks::{Frame, HolderMode, PartitionHolderManager};
+
+    let registry = MetricsRegistry::new();
+    let manager = PartitionHolderManager::new();
+    let holder = manager.register("q", HolderMode::Passive, 8).unwrap();
+    holder.attach_obs(&registry.scope("holder/q"));
+
+    let depth = || registry.snapshot().gauge("holder/q/queue_depth").unwrap();
+    assert_eq!(depth(), 0);
+
+    // A stalled consumer: frames pile up and the gauge rises.
+    holder.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+    holder.push_frame(Frame::from_records(vec![Value::Int(2)])).unwrap();
+    assert_eq!(depth(), 2);
+
+    // Fill the queue; a further push must block and count as blocked.
+    for i in 0..6 {
+        holder.push_frame(Frame::from_records(vec![Value::Int(i)])).unwrap();
+    }
+    let h2 = holder.clone();
+    let pusher = std::thread::spawn(move || {
+        h2.push_frame(Frame::from_records(vec![Value::Int(99)])).unwrap();
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while registry.snapshot().counter("holder/q/blocked_pushes").unwrap() == 0 {
+        assert!(std::time::Instant::now() < deadline, "blocked push never observed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // One pull frees a slot, so the blocked producer completes. Drain
+    // fully before EOF — push_eof is a stream message and honours the
+    // same back-pressure as frames.
+    let mut drained = holder.pull_frame().unwrap().unwrap().len();
+    pusher.join().unwrap();
+    drained += holder.try_pull_all().len();
+    holder.push_eof().unwrap();
+    assert!(holder.pull_frame().unwrap().is_none(), "EOF after drain");
+    assert_eq!(drained, 9, "2 + 6 queued + 1 blocked frame, 1 record each");
+    assert_eq!(depth(), 0);
+}

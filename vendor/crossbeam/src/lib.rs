@@ -1,0 +1,6 @@
+//! Vendored, API-compatible subset of `crossbeam` so the workspace
+//! builds without network access: MPMC `channel::{bounded, unbounded}`
+//! with the same blocking, disconnect, and iteration semantics the
+//! runtime relies on, implemented over `std::sync::{Mutex, Condvar}`.
+
+pub mod channel;

@@ -1,0 +1,669 @@
+//! Vendored, generation-only subset of `proptest` so the workspace's
+//! property tests build and run without network access.
+//!
+//! Supported surface (what the repo's tests use):
+//!
+//! - the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`
+//! - [`Just`], [`any`]`::<T>()`, integer/float range strategies, tuple
+//!   strategies, regex-subset string strategies (`"[a-z]{1,6}"`,
+//!   `"\\PC{0,80}"`, …)
+//! - `prop::collection::vec`, `prop::sample::Index`
+//! - the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//!   macros and `ProptestConfig::with_cases`
+//!
+//! Differences from real proptest: generation is deterministic per test
+//! (seeded from the test name, overridable via `PROPTEST_SEED`), there
+//! is **no shrinking**, and failures surface as ordinary panics. Case
+//! count defaults to 32 and can be overridden with `PROPTEST_CASES`.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 source used by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x5DEE_CE66_D1CE_B00C }
+    }
+
+    /// Seeds deterministically from a test name (FNV-1a), honouring a
+    /// `PROPTEST_SEED` override for replaying a run.
+    pub fn for_test(name: &str) -> Self {
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(seed) = s.trim().parse::<u64>() {
+                return Self::new(seed);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::new(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform value in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(32);
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursively extends this leaf strategy `depth` times via `f`.
+    /// (`_size`/`_branch` are accepted for API compatibility; depth
+    /// limiting alone bounds the generated values.)
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+        S: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = f(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy handle.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total.max(1));
+        for (w, s) in &self.options {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.options[0].1.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary + any()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, moderately sized doubles.
+        (rng.unit_f64() - 0.5) * 2.0e9
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// `&'static str` patterns act as string strategies over a regex
+/// subset: character classes (`[a-z0-9é]`), `\PC` (any printable), and
+/// `{m,n}` / `{n}` repetition suffixes; anything else is a literal.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool: Vec<char> = match chars[i] {
+            '[' => {
+                let mut pool = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                        for c in lo..=hi {
+                            if let Some(c) = char::from_u32(c) {
+                                pool.push(c);
+                            }
+                        }
+                        i += 3;
+                    } else {
+                        pool.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // consume ']'
+                pool
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                // Printable, non-control characters: ASCII plus a few
+                // multi-byte code points to exercise UTF-8 handling.
+                let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+                pool.extend(['é', '€', 'λ', '中', '🙂']);
+                pool
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i);
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        if pool.is_empty() {
+            continue;
+        }
+        for _ in 0..count {
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+/// Parses a `{m,n}` or `{n}` suffix at `*i`, advancing past it;
+/// defaults to `{1,1}` when absent.
+fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = match chars[*i..].iter().position(|&c| c == '}') {
+        Some(off) => *i + off,
+        None => return (1, 1),
+    };
+    let body: String = chars[*i + 1..close].iter().collect();
+    *i = close + 1;
+    let mut parts = body.splitn(2, ',');
+    let min: usize = parts.next().unwrap_or("1").trim().parse().unwrap_or(1);
+    let max: usize = match parts.next() {
+        Some(m) => m.trim().parse().unwrap_or(min),
+        None => min,
+    };
+    (min, max.max(min))
+}
+
+// ---------------------------------------------------------------------------
+// Collections and samples
+// ---------------------------------------------------------------------------
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max_exclusive: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_exclusive: n + 1 }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// `Vec` strategy: `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a collection whose length is only known at use
+    /// time; `index(len)` maps it uniformly into `[0, len)`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Assertion macros: without shrinking these are plain panics, which
+/// the deterministic per-test seed makes reproducible.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The test runner: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` (via its written attributes) looping over
+/// generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, String)> {
+        (0i64..10, "[a-c]{1,3}")
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0i64..50, y in -2.0f64..2.0, z in 1usize..5) {
+            prop_assert!((0..50).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!((1..5).contains(&z));
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(any::<i64>(), 0..20)) {
+            prop_assert!(v.len() < 20);
+        }
+
+        #[test]
+        fn regex_subset(s in "[a-z]{1,6}", t in "\\PC{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 6);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.chars().count() <= 8);
+        }
+
+        #[test]
+        fn mapped_pairs(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && !p.1.is_empty());
+        }
+
+        #[test]
+        fn index_in_range(ix in any::<prop::sample::Index>()) {
+            prop_assert!(ix.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn weighted_oneof(v in prop_oneof![4 => Just(1), 1 => Just(2)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::new(99);
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 4, "depth limit violated: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Vendored, API-compatible subset of `rand` 0.9 so the workspace
+//! builds without network access. Only what the workload generators
+//! use: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges.
+//!
+//! `StdRng` here is splitmix64 — deterministic and well-distributed,
+//! which is all the synthetic-data generators need (they already fix
+//! seeds for reproducibility). It is **not** cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniformly samples from `range` (half-open or inclusive).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface; only the `u64` convenience constructor is
+/// provided.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A type that can be drawn uniformly from a bounded interval.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Uniform sample from `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+    fn sample_between<G: RngCore + ?Sized>(
+        rng: &mut G,
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// A range that knows how to sample one uniform value from an RNG.
+///
+/// The blanket impls over `T: SampleUniform` are deliberate (mirroring
+/// real rand): with exactly one applicable impl per range shape, type
+/// inference unifies integer literals with the use site, so
+/// `v[rng.random_range(0..4)]` makes the literals `usize`.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + inclusive as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                // 53 uniform mantissa bits → unit interval, then scale.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                lo + (unit as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for rand's
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1_000_000i64), b.random_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.random_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+            let u: u8 = r.random_range(0..26u8);
+            assert!(u < 26);
+            let f = r.random_range(-90.0..90.0f64);
+            assert!((-90.0..90.0).contains(&f));
+            let i = r.random_range(1..=6i64);
+            assert!((1..=6).contains(&i));
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

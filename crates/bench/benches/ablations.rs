@@ -7,9 +7,15 @@
 //!    (Model 2) vs stream (Model 3) throughput on the same workload.
 //! 3. **Partition-holder queue depth** (§5.3): back-pressure vs
 //!    buffering.
+//! 4. **Fault-tolerance overhead**: a supervised, checkpointed feed
+//!    with zero injected faults vs an unsupervised one — the price of
+//!    the safety net when nothing goes wrong.
 
 use idea_bench::{run_enrichment, table::fmt_rate, EnrichmentRun, Table, BATCH_1X};
-use idea_core::{ComputingModel, FeedSpec, IngestionEngine, VecAdapter};
+use idea_core::{
+    ComputingModel, ErrorPolicy, Fallback, FeedSpec, IngestionEngine, RetryPolicy, SupervisionSpec,
+    VecAdapter,
+};
 use idea_workload::scenarios::{setup_scenario, setup_tweet_datasets};
 use idea_workload::{ScenarioKey, TweetGenerator, WorkloadScale};
 
@@ -64,4 +70,32 @@ fn main() {
         t3.row([cap.to_string(), fmt_rate(r.throughput)]);
     }
     t3.print("Ablation 3: partition-holder queue depth (§5.3)");
+
+    // 4. Fault-tolerance overhead on a fault-free run.
+    let mut t4 = Table::new(["configuration", "throughput (rec/s)", "checkpoints"]);
+    for (label, supervised) in
+        [("unsupervised", false), ("supervised + checkpoints every 2 batches", true)]
+    {
+        let engine = IngestionEngine::with_nodes(6);
+        setup_tweet_datasets(engine.catalog()).unwrap();
+        let sc = setup_scenario(engine.catalog(), ScenarioKey::SafetyRating, &scale, 7).unwrap();
+        let records = TweetGenerator::new(42).batch(0, tweets);
+        let mut spec = FeedSpec::new("ft", "Tweets", VecAdapter::factory(records))
+            .with_function(&sc.function)
+            .with_batch_size(BATCH_1X as usize)
+            .balanced(6);
+        if supervised {
+            let mut sup = SupervisionSpec {
+                parse: ErrorPolicy::SkipToDeadLetter,
+                enrich: ErrorPolicy::retry(RetryPolicy::default(), Fallback::DeadLetter),
+                checkpoint_interval: Some(2),
+                ..Default::default()
+            };
+            sup.restart.max_restarts = 2;
+            spec = spec.with_supervision(sup);
+        }
+        let r = engine.start_feed(spec).unwrap().wait().unwrap();
+        t4.row([label.to_owned(), fmt_rate(r.throughput), r.checkpoints.to_string()]);
+    }
+    t4.print("Ablation 4: fault-tolerance overhead (zero faults injected)");
 }

@@ -139,8 +139,8 @@ pub fn run_enrichment(run: &EnrichmentRun) -> IngestionReport {
                 let gen = idea_core::GeneratorAdapter::new(u64::MAX, move |i| {
                     updates::update_record(key, &scale, seed, i)
                 });
-                Box::new(RateLimitedAdapter::new(Box::new(gen), rate))
-                    as Box<dyn idea_core::Adapter>
+                Ok(Box::new(RateLimitedAdapter::new(Box::new(gen), rate))
+                    as Box<dyn idea_core::Adapter>)
             });
             let upd_spec = FeedSpec::new("bench-updates", &target, factory)
                 .with_batch_size(64)

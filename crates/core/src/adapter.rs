@@ -27,8 +27,12 @@ pub trait Adapter: Send {
 }
 
 /// Instantiates the adapter for intake partition `partition` of
-/// `partitions`.
-pub type AdapterFactory = Arc<dyn Fn(usize, usize) -> Box<dyn Adapter> + Send + Sync>;
+/// `partitions`. Fallible: construction errors (e.g. a socket adapter
+/// that cannot bind its address) surface through the feed's
+/// [`FeedHandle::wait`](crate::afm::FeedHandle::wait) instead of
+/// panicking the intake task.
+pub type AdapterFactory =
+    Arc<dyn Fn(usize, usize) -> crate::Result<Box<dyn Adapter>> + Send + Sync>;
 
 /// Replays a fixed list of records.
 pub struct VecAdapter {
@@ -51,7 +55,7 @@ impl VecAdapter {
                 .filter(|(i, _)| i % partitions == partition)
                 .map(|(_, r)| r.clone())
                 .collect();
-            Box::new(VecAdapter::new(mine))
+            Ok(Box::new(VecAdapter::new(mine)) as Box<dyn Adapter>)
         })
     }
 }
@@ -189,8 +193,8 @@ mod tests {
     #[test]
     fn vec_factory_partitions_round_robin() {
         let f = VecAdapter::factory((0..10).map(|i| i.to_string()).collect());
-        let mut p0 = f(0, 2);
-        let mut p1 = f(1, 2);
+        let mut p0 = f(0, 2).unwrap();
+        let mut p1 = f(1, 2).unwrap();
         let mut all = Vec::new();
         while let Some(r) = p0.next() {
             all.push(r);

@@ -1,14 +1,29 @@
 //! The Active Feed Manager (paper §6.1): tracks active feeds, drives
 //! their computing jobs, and manages feed shutdown.
+//!
+//! Since the fault-tolerance subsystem (`idea-ft`) the AFM also
+//! *supervises* feeds: each feed run is a sequence of **attempts**. An
+//! attempt owns fresh partition holders, a fresh pause gate and a fresh
+//! abort flag; the checkpoint store, metrics, fault injector and
+//! dead-letter sink persist across attempts. When an attempt fails and
+//! restart budget remains, the supervisor restores killed nodes (a
+//! crashed NC rejoining), backs off, and replays the adapters from the
+//! last committed checkpoint — at-least-once delivery that the storage
+//! job's primary-key upserts make effectively exactly-once.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use idea_hyracks::Cluster;
-use idea_obs::MetricsRegistry;
-use idea_query::{Catalog, PlanCache};
+use idea_adm::Datatype;
+use idea_ft::{
+    dead_letter_datatype, CheckpointStore, DeadLetterSink, FaultInjector, PauseGate,
+    DEAD_LETTER_TYPE,
+};
+use idea_hyracks::{Cluster, HyracksError, JobHandle};
+use idea_obs::{MetricsRegistry, MetricsScope};
+use idea_query::{Catalog, ExecContext, PlanCache};
 use parking_lot::Mutex;
 
 use crate::error::IngestError;
@@ -26,6 +41,7 @@ pub struct FeedHandle {
     stop: Arc<AtomicBool>,
     metrics: Arc<FeedMetrics>,
     driver: Mutex<Option<std::thread::JoinHandle<Result<()>>>>,
+    result: Mutex<Option<Result<IngestionReport>>>,
 }
 
 impl FeedHandle {
@@ -39,30 +55,80 @@ impl FeedHandle {
     }
 
     /// Requests the feed to stop: adapters cease producing, the pipeline
-    /// drains, EOF propagates (paper §6.1's stop protocol).
+    /// drains, EOF propagates (paper §6.1's stop protocol). A stopped
+    /// feed is not restarted by the supervisor.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
     }
 
     /// Waits for the feed to finish (all jobs drained and joined) and
-    /// returns the ingestion report. Idempotent `wait` is not supported:
-    /// call once.
+    /// returns the ingestion report. Idempotent: the first call joins
+    /// the driver; later calls return the same cached outcome.
     pub fn wait(&self) -> Result<IngestionReport> {
-        let handle =
-            self.driver.lock().take().ok_or_else(|| {
-                IngestError::Feed(format!("feed {} already waited on", self.name))
-            })?;
-        match handle.join() {
-            Ok(Ok(())) => Ok(self.metrics.report()),
-            Ok(Err(e)) => Err(e),
-            Err(_) => Err(IngestError::Feed(format!("feed {} driver panicked", self.name))),
+        let mut cached = self.result.lock();
+        if let Some(r) = cached.as_ref() {
+            return r.clone();
         }
+        let outcome = match self.driver.lock().take() {
+            Some(handle) => match handle.join() {
+                Ok(Ok(())) => Ok(self.metrics.report()),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(IngestError::Feed(format!("feed {} driver panicked", self.name))),
+            },
+            None => Err(IngestError::Feed(format!("feed {} has no driver", self.name))),
+        };
+        *cached = Some(outcome.clone());
+        outcome
     }
 
     /// Convenience: stop, then wait.
     pub fn stop_and_wait(&self) -> Result<IngestionReport> {
         self.stop();
         self.wait()
+    }
+}
+
+/// Per-feed state that survives supervisor restarts (one per feed run,
+/// shared by every attempt).
+struct FeedRuntime {
+    spec: Arc<FeedSpec>,
+    catalog: Arc<Catalog>,
+    metrics: Arc<FeedMetrics>,
+    obs: MetricsScope,
+    /// User-requested stop (never set by the supervisor).
+    user_stop: Arc<AtomicBool>,
+    plan_cache: Arc<PlanCache>,
+    stream_ctxs: Arc<Mutex<HashMap<usize, ExecContext>>>,
+    datatype: Datatype,
+    injector: Option<Arc<FaultInjector>>,
+    dead_letter: Option<Arc<DeadLetterSink>>,
+    ckpt: Arc<CheckpointStore>,
+    /// Cumulative computing batches across attempts — the clock the
+    /// fault plan's `KillNode { at_batch }` coordinates tick against.
+    batches: AtomicU64,
+}
+
+impl FeedRuntime {
+    /// Builds the shared state for one fresh attempt: new abort flag,
+    /// new pause gate, live offsets rewound to the committed snapshot.
+    fn fresh_shared(&self) -> Arc<FeedShared> {
+        self.ckpt.rewind();
+        Arc::new(FeedShared {
+            spec: self.spec.clone(),
+            catalog: self.catalog.clone(),
+            metrics: self.metrics.clone(),
+            obs: self.obs.clone(),
+            stop: self.user_stop.clone(),
+            abort: Arc::new(AtomicBool::new(false)),
+            plan_cache: self.plan_cache.clone(),
+            stream_ctxs: self.stream_ctxs.clone(),
+            datatype: self.datatype.clone(),
+            injector: self.injector.clone(),
+            dead_letter: self.dead_letter.clone(),
+            ckpt: self.ckpt.clone(),
+            gate: Arc::new(PauseGate::new()),
+            ckpt_base: self.ckpt.committed_snapshot(),
+        })
     }
 }
 
@@ -142,33 +208,70 @@ impl ActiveFeedManager {
             });
         }
 
+        // Fault injection: fired-state lives here, so a fault fires once
+        // per feed run no matter how many attempts replay its offset.
+        let injector = spec.fault_plan.as_ref().map(|plan| {
+            let inj = FaultInjector::new(plan.as_ref().clone(), self.cluster.node_count());
+            inj.attach_obs(&obs.scope("faults/injected"));
+            inj
+        });
+
+        // Dead-letter capture: auto-create the dataset (and its type) so
+        // poison records are queryable through ordinary SQL++.
+        let dead_letter = if spec.supervision.needs_dead_letter() {
+            let dlq = spec
+                .supervision
+                .dead_letter_dataset
+                .clone()
+                .unwrap_or_else(|| format!("{}_dead_letters", spec.name));
+            if self.catalog.get_type(DEAD_LETTER_TYPE).is_err() {
+                self.catalog.create_type(dead_letter_datatype())?;
+            }
+            let ds = match self.catalog.dataset(&dlq) {
+                Ok(ds) => ds,
+                Err(_) => {
+                    self.catalog.create_dataset(&dlq, DEAD_LETTER_TYPE, "dl_id")?;
+                    self.catalog.dataset(&dlq)?
+                }
+            };
+            Some(DeadLetterSink::new(spec.name.clone(), ds, metrics.dead_letters.clone()))
+        } else {
+            None
+        };
+
         let datatype = dataset.partitions()[0].datatype().clone();
-        let shared = Arc::new(FeedShared {
+        let ckpt = Arc::new(CheckpointStore::new(spec.intake_nodes.len()));
+        let rt = Arc::new(FeedRuntime {
             spec: Arc::new(spec),
             catalog: self.catalog.clone(),
             metrics,
             obs,
-            stop: Arc::new(AtomicBool::new(false)),
+            user_stop: Arc::new(AtomicBool::new(false)),
             plan_cache: PlanCache::new(),
             stream_ctxs: Arc::new(Mutex::new(HashMap::new())),
             datatype,
+            injector,
+            dead_letter,
+            ckpt,
+            batches: AtomicU64::new(0),
         });
 
         let handle = Arc::new(FeedHandle {
-            name: shared.spec.name.clone(),
-            stop: shared.stop.clone(),
-            metrics: shared.metrics.clone(),
+            name: rt.spec.name.clone(),
+            stop: rt.user_stop.clone(),
+            metrics: rt.metrics.clone(),
             driver: Mutex::new(None),
+            result: Mutex::new(None),
         });
 
         let cluster = self.cluster.clone();
-        let shared2 = shared.clone();
+        let rt2 = rt.clone();
         let driver = std::thread::Builder::new()
-            .name(format!("afm::{}", shared.spec.name))
-            .spawn(move || drive_feed(cluster, shared2))
+            .name(format!("afm::{}", rt.spec.name))
+            .spawn(move || drive_feed(cluster, rt2))
             .map_err(|e| IngestError::Feed(format!("cannot spawn feed driver: {e}")))?;
         *handle.driver.lock() = Some(driver);
-        active.insert(shared.spec.name.clone(), handle.clone());
+        active.insert(rt.spec.name.clone(), handle.clone());
         Ok(handle)
     }
 
@@ -198,35 +301,77 @@ impl ActiveFeedManager {
     }
 }
 
-/// The per-feed driver: starts the long-running jobs, keeps invoking
-/// computing jobs until the intake drains, then shuts the pipeline down.
-fn drive_feed(cluster: Arc<Cluster>, shared: Arc<FeedShared>) -> Result<()> {
-    shared.metrics.mark_started();
-    match shared.spec.mode {
+/// The per-feed driver: runs attempts under supervision until one
+/// succeeds or the restart budget is spent.
+fn drive_feed(cluster: Arc<Cluster>, rt: Arc<FeedRuntime>) -> Result<()> {
+    rt.metrics.mark_started();
+    let result = match rt.spec.mode {
         PipelineMode::Static => {
-            let spec = build_static_spec(&shared);
-            let handle = idea_hyracks::run_job(&cluster, &spec, idea_adm::Value::Missing)?;
-            handle.join()?;
-            shared.metrics.mark_finished();
-            Ok(())
+            // The static (old-framework) pipeline predates supervision:
+            // one shot, no checkpoints, no restarts.
+            let shared = rt.fresh_shared();
+            idea_hyracks::run_job(&cluster, &build_static_spec(&shared), idea_adm::Value::Missing)
+                .map_err(IngestError::from)
+                .and_then(|h| h.join().map_err(IngestError::from))
         }
-        PipelineMode::Decoupled => {
-            let result = drive_decoupled(&cluster, &shared);
-            unregister_holders(&cluster, &shared);
-            shared.metrics.mark_finished();
-            result
+        PipelineMode::Decoupled => supervise_decoupled(&cluster, &rt),
+    };
+    rt.metrics.mark_finished();
+    result
+}
+
+/// The supervision loop: drives attempts, restoring killed nodes and
+/// backing off between them.
+fn supervise_decoupled(cluster: &Arc<Cluster>, rt: &Arc<FeedRuntime>) -> Result<()> {
+    let restart = rt.spec.supervision.restart.clone();
+    let mut attempt: u32 = 0;
+    loop {
+        let shared = rt.fresh_shared();
+        let result = drive_attempt(cluster, rt, &shared);
+        unregister_holders(cluster, &shared);
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) => {
+                if rt.user_stop.load(Ordering::Acquire) || attempt >= restart.max_restarts {
+                    return Err(e);
+                }
+                attempt += 1;
+                rt.metrics.restarts.inc();
+                if rt.spec.supervision.restore_nodes_on_restart {
+                    for n in cluster.dead_nodes() {
+                        cluster.restore_node(n);
+                    }
+                }
+                std::thread::sleep(restart.backoff.delay(attempt - 1));
+            }
         }
     }
 }
 
-fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<()> {
+/// One attempt: fresh holders, long-running intake + storage jobs, the
+/// batch-driving loop, then teardown.
+fn drive_attempt(cluster: &Arc<Cluster>, rt: &FeedRuntime, shared: &Arc<FeedShared>) -> Result<()> {
     register_holders(cluster, shared)?;
+    // All quiescence deltas are attempt-relative; holders start at zero
+    // (fresh registration), the acked counter is rebased here.
+    let acked_base = shared.metrics.storage_acked.get();
 
-    // Long-running jobs.
     let intake =
         idea_hyracks::run_job(cluster, &build_intake_spec(shared), idea_adm::Value::Missing)?;
-    let storage =
-        idea_hyracks::run_job(cluster, &build_storage_spec(shared), idea_adm::Value::Missing)?;
+    let storage = match idea_hyracks::run_job(
+        cluster,
+        &build_storage_spec(shared, cluster.node_count()),
+        idea_adm::Value::Missing,
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            // The intake job is already running; wake it up before
+            // bailing out, or its adapters block on full holders forever.
+            fail_feed_holders(cluster, shared);
+            let _ = intake.join();
+            return Err(e.into());
+        }
+    };
 
     // The computing job: compiled once and predeployed (§5.1), or
     // recompiled per invocation when the ablation disables predeploy.
@@ -236,64 +381,18 @@ fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<(
         None
     };
 
-    let run_result = (|| -> Result<()> {
-        loop {
-            let t0 = Instant::now();
-            let handle = match deployed {
-                Some(id) => cluster.invoke_deployed(id, idea_adm::Value::Missing)?,
-                None => {
-                    // Recompile: fresh spec, fresh plan cache.
-                    let mut recompiled = FeedShared {
-                        spec: shared.spec.clone(),
-                        catalog: shared.catalog.clone(),
-                        metrics: shared.metrics.clone(),
-                        obs: shared.obs.clone(),
-                        stop: shared.stop.clone(),
-                        plan_cache: PlanCache::new(),
-                        stream_ctxs: shared.stream_ctxs.clone(),
-                        datatype: shared.datatype.clone(),
-                    };
-                    recompiled.plan_cache = PlanCache::new();
-                    let spec = build_computing_spec(&Arc::new(recompiled));
-                    idea_hyracks::run_job(cluster, &spec, idea_adm::Value::Missing)?
-                }
-            };
-            handle.join()?;
-            shared.metrics.record_batch(t0.elapsed());
-
-            // Stop when every node's intake holder has delivered EOF and
-            // holds nothing more.
-            let drained = cluster.nodes().iter().all(|n| {
-                n.holders()
-                    .lookup(&shared.spec.intake_holder())
-                    .map(|h| h.drained())
-                    .unwrap_or(true)
-            });
-            if drained {
-                break;
-            }
-        }
-        Ok(())
-    })();
+    let run_result = drive_batches(cluster, rt, shared, acked_base, &intake, &storage, deployed);
 
     if let Some(id) = deployed {
         cluster.undeploy_job(id);
     }
 
-    // On a computing-job failure nothing consumes the intake holders
-    // any more; unblock the intake job (stop the adapters and drain the
-    // queues) so shutdown cannot deadlock on a full holder.
+    // On a failure nothing consumes the intake holders any more; poison
+    // every feed holder so blocked producers and consumers all wake up
+    // (a plain drain can itself block if the intake job died before
+    // pushing EOF).
     if run_result.is_err() {
-        shared.stop.store(true, std::sync::atomic::Ordering::Release);
-        for node in cluster.nodes() {
-            if let Ok(h) = node.holders().lookup(&shared.spec.intake_holder()) {
-                while !h.drained() {
-                    if h.pull_batch(8_192).is_err() {
-                        break;
-                    }
-                }
-            }
-        }
+        fail_feed_holders(cluster, shared);
     }
 
     // Shut down: the intake job has finished producing; signal the
@@ -306,8 +405,241 @@ fn drive_decoupled(cluster: &Arc<Cluster>, shared: &Arc<FeedShared>) -> Result<(
     }
     let storage_result = storage.join();
 
-    run_result?;
-    intake_result?;
-    storage_result?;
+    finish_attempt(run_result, intake_result, storage_result)
+}
+
+/// The batch loop: per boundary — checkpoint if due, fire scheduled
+/// node kills, invoke the computing job — until the intake drains.
+fn drive_batches(
+    cluster: &Arc<Cluster>,
+    rt: &FeedRuntime,
+    shared: &Arc<FeedShared>,
+    acked_base: u64,
+    intake: &JobHandle,
+    storage: &JobHandle,
+    deployed: Option<idea_hyracks::DeployedJobId>,
+) -> Result<()> {
+    let mut invoke = || -> Result<JobHandle> {
+        match deployed {
+            Some(id) => Ok(cluster.invoke_deployed(id, idea_adm::Value::Missing)?),
+            None => {
+                // Recompile: same shared state, fresh plan cache.
+                let recompiled = Arc::new(FeedShared {
+                    spec: shared.spec.clone(),
+                    catalog: shared.catalog.clone(),
+                    metrics: shared.metrics.clone(),
+                    obs: shared.obs.clone(),
+                    stop: shared.stop.clone(),
+                    abort: shared.abort.clone(),
+                    plan_cache: PlanCache::new(),
+                    stream_ctxs: shared.stream_ctxs.clone(),
+                    datatype: shared.datatype.clone(),
+                    injector: shared.injector.clone(),
+                    dead_letter: shared.dead_letter.clone(),
+                    ckpt: shared.ckpt.clone(),
+                    gate: shared.gate.clone(),
+                    ckpt_base: shared.ckpt_base.clone(),
+                });
+                let spec = build_computing_spec(&recompiled);
+                Ok(idea_hyracks::run_job(cluster, &spec, idea_adm::Value::Missing)?)
+            }
+        }
+    };
+    loop {
+        let batches = rt.batches.load(Ordering::Relaxed);
+        if let Some(interval) = shared.spec.supervision.checkpoint_interval {
+            if batches > 0 && batches.is_multiple_of(interval) {
+                // Checkpoint *before* any scheduled kill at the same
+                // boundary, so the committed offsets cover everything
+                // already stored.
+                try_checkpoint(cluster, shared, acked_base, intake, storage, &mut invoke)?;
+            }
+        }
+        if let Some(inj) = &shared.injector {
+            for n in inj.node_kills_due(batches) {
+                cluster.kill_node(n);
+            }
+        }
+        let t0 = Instant::now();
+        let handle = invoke()?;
+        join_watched(cluster, shared, intake, storage, handle)?;
+        shared.metrics.record_batch(t0.elapsed());
+        rt.batches.fetch_add(1, Ordering::Relaxed);
+
+        // Stop when every node's intake holder has delivered EOF and
+        // holds nothing more.
+        let drained = cluster.nodes().iter().all(|n| {
+            n.holders()
+                .lookup(&shared.spec.intake_holder())
+                .map(|h| h.drained())
+                .unwrap_or(true)
+        });
+        if drained {
+            break;
+        }
+    }
     Ok(())
+}
+
+/// Joins a computing invocation while watching the long-running jobs.
+/// If the storage job dies mid-feed — or the intake job exits without
+/// delivering EOF to some live holder — the invocation could block on a
+/// holder forever; poisoning the feed's holders turns the hang into an
+/// error the supervisor can handle.
+fn join_watched(
+    cluster: &Cluster,
+    shared: &FeedShared,
+    intake: &JobHandle,
+    storage: &JobHandle,
+    handle: JobHandle,
+) -> Result<()> {
+    loop {
+        if handle.is_finished() {
+            return handle.join().map_err(IngestError::from);
+        }
+        let storage_died = storage.is_finished();
+        let intake_died = intake.is_finished()
+            && cluster.nodes().iter().any(|n| {
+                n.is_alive()
+                    && n.holders()
+                        .lookup(&shared.spec.intake_holder())
+                        .map(|h| !h.eof_pushed() && !h.poisoned())
+                        .unwrap_or(false)
+            });
+        if storage_died || intake_died {
+            fail_feed_holders(cluster, shared);
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// Attempts one checkpoint: pause the adapters, drain the pipeline to
+/// quiescence, commit, resume. Returns `Ok(false)` when quiescence is
+/// not reachable (dead holders, storage gone, or timeout) — the feed
+/// keeps running and simply skips this boundary.
+fn try_checkpoint(
+    cluster: &Arc<Cluster>,
+    shared: &Arc<FeedShared>,
+    acked_base: u64,
+    intake: &JobHandle,
+    storage: &JobHandle,
+    invoke: &mut dyn FnMut() -> Result<JobHandle>,
+) -> Result<bool> {
+    shared.gate.pause();
+    let result = checkpoint_quiesced(cluster, shared, acked_base, intake, storage, invoke);
+    shared.gate.resume();
+    result
+}
+
+fn checkpoint_quiesced(
+    cluster: &Arc<Cluster>,
+    shared: &Arc<FeedShared>,
+    acked_base: u64,
+    intake: &JobHandle,
+    storage: &JobHandle,
+    invoke: &mut dyn FnMut() -> Result<JobHandle>,
+) -> Result<bool> {
+    const TIMEOUT: Duration = Duration::from_secs(2);
+    let deadline = Instant::now() + TIMEOUT;
+    // Drain until every active adapter has flushed and acked the pause
+    // epoch AND the counters balance across every stage boundary (all
+    // deltas are attempt-relative). Draining cannot wait for the acks:
+    // an adapter may be blocked pushing into a full intake holder, and
+    // only a computing invocation frees the space that lets it reach
+    // its pause check.
+    let base_emitted: u64 = shared.ckpt_base.iter().sum();
+    loop {
+        let (irecv, itaken, srecv, staken, poisoned) = feed_holder_counts(cluster, shared);
+        if poisoned || storage.is_finished() {
+            return Ok(false);
+        }
+        if shared.gate.quiesced() {
+            let emitted = shared.ckpt.emitted_total() - base_emitted;
+            let acked = shared.metrics.storage_acked.get() - acked_base;
+            if emitted == irecv && irecv == itaken && srecv == staken && staken == acked {
+                shared.ckpt.commit();
+                shared.metrics.checkpoints.inc();
+                return Ok(true);
+            }
+        }
+        if Instant::now() > deadline {
+            return Ok(false);
+        }
+        if itaken < irecv {
+            // Records parked in the intake holders: drain them with one
+            // more computing invocation (the paused gate makes its
+            // collector pull non-blocking). Not counted as a batch.
+            let handle = invoke()?;
+            join_watched(cluster, shared, intake, storage, handle)?;
+        } else {
+            // In flight between adapters and holders, or between the
+            // storage holders and the writers — just wait.
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+}
+
+/// Sums the attempt-relative received/taken counters over the feed's
+/// holders on every node; also reports whether any holder is poisoned.
+fn feed_holder_counts(cluster: &Cluster, shared: &FeedShared) -> (u64, u64, u64, u64, bool) {
+    let (mut irecv, mut itaken, mut srecv, mut staken) = (0u64, 0u64, 0u64, 0u64);
+    let mut poisoned = false;
+    for node in cluster.nodes() {
+        if let Ok(h) = node.holders().lookup(&shared.spec.intake_holder()) {
+            irecv += h.received();
+            itaken += h.taken();
+            poisoned |= h.poisoned();
+        }
+        if let Ok(h) = node.holders().lookup(&shared.spec.storage_holder()) {
+            srecv += h.received();
+            staken += h.taken();
+            poisoned |= h.poisoned();
+        }
+    }
+    (irecv, itaken, srecv, staken, poisoned)
+}
+
+/// Aborts the current attempt: flags it and poisons every feed holder,
+/// waking any task blocked pushing to or pulling from one.
+fn fail_feed_holders(cluster: &Cluster, shared: &FeedShared) {
+    shared.abort.store(true, Ordering::Release);
+    for node in cluster.nodes() {
+        if let Ok(h) = node.holders().lookup(&shared.spec.intake_holder()) {
+            h.fail();
+        }
+        if let Ok(h) = node.holders().lookup(&shared.spec.storage_holder()) {
+            h.fail();
+        }
+    }
+}
+
+/// Combines the three job outcomes into the attempt result, preferring
+/// the most informative error: operator/config failures first, then
+/// node-down, then secondary disconnects (a stage hanging up because a
+/// neighbour died).
+fn finish_attempt(
+    run: Result<()>,
+    intake: idea_hyracks::Result<()>,
+    storage: idea_hyracks::Result<()>,
+) -> Result<()> {
+    let mut errors: Vec<IngestError> = Vec::new();
+    if let Err(e) = intake {
+        errors.push(e.into());
+    }
+    if let Err(e) = run {
+        errors.push(e);
+    }
+    if let Err(e) = storage {
+        errors.push(e.into());
+    }
+    if errors.is_empty() {
+        return Ok(());
+    }
+    let rank = |e: &IngestError| match e {
+        IngestError::Runtime(HyracksError::Disconnected(_)) => 2u8,
+        IngestError::Runtime(HyracksError::NodeDown(_)) => 1,
+        _ => 0,
+    };
+    errors.sort_by_key(rank);
+    Err(errors.remove(0))
 }

@@ -167,10 +167,12 @@ impl IngestionEngine {
             let addrs: Vec<String> = sockets.split(',').map(|s| s.trim().to_owned()).collect();
             Arc::new(move |partition, _partitions| {
                 let addr = &addrs[partition % addrs.len()];
-                Box::new(
-                    SocketAdapter::bind(addr)
-                        .unwrap_or_else(|e| panic!("socket adapter cannot bind {addr}: {e}")),
-                ) as Box<dyn crate::adapter::Adapter>
+                // A bind failure is a feed error, not a panic: it flows
+                // through the intake job into `FeedHandle::wait`.
+                let adapter = SocketAdapter::bind(addr).map_err(|e| {
+                    IngestError::Feed(format!("socket adapter cannot bind {addr}: {e}"))
+                })?;
+                Ok(Box::new(adapter) as Box<dyn crate::adapter::Adapter>)
             })
         } else {
             self.adapters.lock().get(&adapter_name).cloned().ok_or_else(|| {
@@ -213,6 +215,78 @@ impl IngestionEngine {
         if let Some(p) = decl.options.get("predeploy") {
             spec.predeploy = p == "true";
         }
+        apply_supervision_options(&mut spec, &decl.options)?;
         Ok(spec)
     }
+}
+
+/// Parses the fault-tolerance feed options into the spec's
+/// [`SupervisionSpec`]:
+///
+/// * `on-parse-error` / `on-udf-error` / `on-adapter-error` /
+///   `on-storage-error` — one of `abort`, `skip`, `dead-letter`,
+///   `retry`, `restart`;
+/// * `retry-attempts`, `retry-backoff-ms` — the retry policy used by
+///   every stage configured as `retry`;
+/// * `dead-letter-dataset` — target dataset for captured records
+///   (defaults to `<feed>_dead_letters`);
+/// * `max-restarts`, `restart-backoff-ms` — the feed restart budget;
+/// * `checkpoint-interval` — commit an ingestion checkpoint every N
+///   computing batches.
+fn apply_supervision_options(spec: &mut FeedSpec, options: &HashMap<String, String>) -> Result<()> {
+    use idea_ft::{ErrorPolicy, Fallback, RetryPolicy};
+
+    let parse_u64 = |key: &str| -> Result<Option<u64>> {
+        options
+            .get(key)
+            .map(|v| v.parse().map_err(|_| IngestError::Feed(format!("bad {key} '{v}'"))))
+            .transpose()
+    };
+    let retry_policy = {
+        let mut p = RetryPolicy::default();
+        if let Some(n) = parse_u64("retry-attempts")? {
+            p.max_attempts = n as u32;
+        }
+        if let Some(ms) = parse_u64("retry-backoff-ms")? {
+            p.base = std::time::Duration::from_millis(ms);
+        }
+        p
+    };
+    let parse_policy = |key: &str| -> Result<Option<ErrorPolicy>> {
+        let Some(v) = options.get(key) else { return Ok(None) };
+        let policy = match v.as_str() {
+            "abort" => ErrorPolicy::Abort,
+            "skip" => ErrorPolicy::Skip,
+            "dead-letter" => ErrorPolicy::SkipToDeadLetter,
+            "retry" => ErrorPolicy::retry(retry_policy.clone(), Fallback::DeadLetter),
+            "restart" => ErrorPolicy::RestartFeed,
+            other => return Err(IngestError::Feed(format!("bad {key} '{other}'"))),
+        };
+        Ok(Some(policy))
+    };
+    if let Some(p) = parse_policy("on-parse-error")? {
+        spec.supervision.parse = p;
+    }
+    if let Some(p) = parse_policy("on-udf-error")? {
+        spec.supervision.enrich = p;
+    }
+    if let Some(p) = parse_policy("on-adapter-error")? {
+        spec.supervision.adapter = p;
+    }
+    if let Some(p) = parse_policy("on-storage-error")? {
+        spec.supervision.storage = p;
+    }
+    if let Some(ds) = options.get("dead-letter-dataset") {
+        spec.supervision.dead_letter_dataset = Some(ds.clone());
+    }
+    if let Some(n) = parse_u64("max-restarts")? {
+        spec.supervision.restart.max_restarts = n as u32;
+    }
+    if let Some(ms) = parse_u64("restart-backoff-ms")? {
+        spec.supervision.restart.backoff.base = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = parse_u64("checkpoint-interval")? {
+        spec.supervision.checkpoint_interval = Some(n);
+    }
+    Ok(())
 }

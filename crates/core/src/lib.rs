@@ -24,6 +24,12 @@
 //!   model (per-record/per-batch/stream), batch size, intake placement,
 //!   predeployment;
 //! * [`adapter`] — socket, generator, replay, and rate-limited adapters.
+//!
+//! Fault tolerance (the `idea-ft` crate, re-exported here): feeds run
+//! under a [`SupervisionSpec`] with per-stage [`ErrorPolicy`]s
+//! (retry/skip/dead-letter/restart), a dead-letter dataset for poison
+//! records, checkpointed restart from per-partition intake offsets, and
+//! a deterministic [`FaultPlan`] injector for chaos testing.
 
 pub mod adapter;
 pub mod afm;
@@ -39,6 +45,9 @@ pub use adapter::{
 pub use afm::{ActiveFeedManager, FeedHandle};
 pub use engine::{ExecOutcome, IngestionEngine};
 pub use error::IngestError;
+pub use idea_ft::{
+    ErrorPolicy, Fallback, Fault, FaultPlan, RestartPolicy, RetryPolicy, SupervisionSpec,
+};
 pub use metrics::{FeedMetrics, IngestionReport};
 pub use models::{ComputingModel, FeedSpec, PipelineMode};
 

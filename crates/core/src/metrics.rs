@@ -34,6 +34,17 @@ pub struct FeedMetrics {
     pub records_stored: Arc<Counter>,
     /// Computing-job invocations (`computing/jobs`).
     pub computing_jobs: Arc<Counter>,
+    /// Records acknowledged as durably upserted (`store/acked`); drives
+    /// the checkpoint quiescence check.
+    pub storage_acked: Arc<Counter>,
+    /// Records captured in the dead-letter dataset (`faults/dead_letters`).
+    pub dead_letters: Arc<Counter>,
+    /// Per-record retry attempts across all stages (`faults/retries`).
+    pub retries: Arc<Counter>,
+    /// Whole-feed restarts by the supervisor (`faults/restarts`).
+    pub restarts: Arc<Counter>,
+    /// Committed ingestion checkpoints (`faults/checkpoints`).
+    pub checkpoints: Arc<Counter>,
     /// Per-batch computing-job latency (`batch_latency`).
     batch_latency: Arc<Histogram>,
     timing: Mutex<Timing>,
@@ -57,6 +68,11 @@ impl FeedMetrics {
             records_enriched: scope.counter("enrich/records"),
             records_stored: scope.counter("store/records"),
             computing_jobs: scope.counter("computing/jobs"),
+            storage_acked: scope.counter("store/acked"),
+            dead_letters: scope.counter("faults/dead_letters"),
+            retries: scope.counter("faults/retries"),
+            restarts: scope.counter("faults/restarts"),
+            checkpoints: scope.counter("faults/checkpoints"),
             batch_latency: scope.histogram("batch_latency"),
             timing: Mutex::new(Timing::default()),
         }
@@ -100,6 +116,10 @@ impl FeedMetrics {
             records_enriched: self.records_enriched.get(),
             records_stored: stored,
             computing_jobs: jobs,
+            dead_letters: self.dead_letters.get(),
+            retries: self.retries.get(),
+            restarts: self.restarts.get(),
+            checkpoints: self.checkpoints.get(),
             elapsed,
             throughput: if elapsed.is_zero() { 0.0 } else { stored as f64 / elapsed.as_secs_f64() },
             avg_refresh_period: Duration::from_nanos(batch_nanos.checked_div(jobs).unwrap_or(0)),
@@ -129,6 +149,14 @@ pub struct IngestionReport {
     pub records_stored: u64,
     /// Computing-job invocations (0 for static pipelines).
     pub computing_jobs: u64,
+    /// Records captured in the dead-letter dataset.
+    pub dead_letters: u64,
+    /// Per-record retry attempts across all stages.
+    pub retries: u64,
+    /// Whole-feed restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Ingestion checkpoints committed.
+    pub checkpoints: u64,
     pub elapsed: Duration,
     /// Stored records per second.
     pub throughput: f64,

@@ -1,5 +1,9 @@
 //! The computing models of paper §4.3 and the feed specification.
 
+use std::sync::Arc;
+
+use idea_ft::{Fault, FaultPlan, SupervisionSpec};
+
 use crate::adapter::AdapterFactory;
 
 /// How often the enrichment UDF's intermediate state is refreshed.
@@ -57,6 +61,12 @@ pub struct FeedSpec {
     pub holder_capacity: usize,
     /// Records per frame.
     pub frame_capacity: usize,
+    /// Per-stage error policies, restart budget, dead-letter target and
+    /// checkpoint cadence (decoupled mode only).
+    pub supervision: SupervisionSpec,
+    /// Deterministic fault schedule injected into this feed's pipeline
+    /// (testing/chaos only; `None` in production use).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl FeedSpec {
@@ -78,6 +88,8 @@ impl FeedSpec {
             predeploy: true,
             holder_capacity: 16,
             frame_capacity: 128,
+            supervision: SupervisionSpec::default(),
+            fault_plan: None,
         }
     }
 
@@ -117,6 +129,16 @@ impl FeedSpec {
         self
     }
 
+    pub fn with_supervision(mut self, s: SupervisionSpec) -> Self {
+        self.supervision = s;
+        self
+    }
+
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
     /// Validates the spec against a cluster of `cluster_nodes` nodes and
     /// returns it ready to start. The `with_*` combinators accept
     /// anything; this is the step that rejects nonsense —
@@ -148,6 +170,38 @@ impl FeedSpec {
         }
         if self.frame_capacity == 0 {
             return fail(format!("feed {} has frame capacity 0", self.name));
+        }
+        if self.supervision.checkpoint_interval == Some(0) {
+            return fail(format!("feed {} has checkpoint interval 0", self.name));
+        }
+        if let Some(plan) = &self.fault_plan {
+            for fault in plan.faults() {
+                match *fault {
+                    Fault::AdapterDisconnect { partition, .. }
+                    | Fault::PoisonRecord { partition, .. } => {
+                        if partition >= self.intake_nodes.len() {
+                            return fail(format!(
+                                "feed {} fault plan targets intake partition {partition}, but \
+                                 the feed has {} intake nodes",
+                                self.name,
+                                self.intake_nodes.len()
+                            ));
+                        }
+                    }
+                    Fault::UdfError { node, .. }
+                    | Fault::UdfTimeout { node, .. }
+                    | Fault::SlowStorage { node, .. }
+                    | Fault::KillNode { node, .. } => {
+                        if node >= cluster_nodes {
+                            return fail(format!(
+                                "feed {} fault plan targets node {node}, but the cluster has \
+                                 {cluster_nodes} nodes",
+                                self.name
+                            ));
+                        }
+                    }
+                }
+            }
         }
         Ok(self)
     }
@@ -206,5 +260,11 @@ mod tests {
         let mut s = spec();
         s.name = String::new();
         assert!(err(s, 1).contains("name must not be empty"));
+        let sup = SupervisionSpec { checkpoint_interval: Some(0), ..Default::default() };
+        assert!(err(spec().with_supervision(sup), 1).contains("checkpoint interval 0"));
+        let plan = FaultPlan::seeded(7).kill_node(3, 1);
+        assert!(err(spec().with_fault_plan(plan), 2).contains("node 3"));
+        let plan = FaultPlan::seeded(7).poison_record(1, 5);
+        assert!(err(spec().with_fault_plan(plan), 2).contains("intake partition 1"));
     }
 }

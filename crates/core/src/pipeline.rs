@@ -12,12 +12,20 @@
 //! The old framework ("static ingestion") couples everything in one job:
 //! `Adapter+Parser+UDF (intake nodes) → Hash Partitioner → Storage
 //! Partition`, with UDF state built once per feed (Model 3).
+//!
+//! Fault-tolerance hooks (see `idea-ft`): the adapter source honours the
+//! checkpoint [`PauseGate`] and replays from committed offsets after a
+//! restart; parse/enrich/storage failures are dispatched through the
+//! feed's per-stage [`ErrorPolicy`]; a [`FaultInjector`] (when a fault
+//! plan is attached) deterministically injects disconnects, poison
+//! records, UDF faults and slow storage.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use idea_adm::{Datatype, Value};
+use idea_ft::{CheckpointStore, DeadLetterSink, ErrorPolicy, Fallback, FaultInjector, PauseGate};
 use idea_hyracks::{
     ConnectorSpec, Frame, FrameSink, HolderMode, JobSpec, Operator, PartitionHolder, TaskContext,
 };
@@ -29,7 +37,7 @@ use crate::error::IngestError;
 use crate::metrics::FeedMetrics;
 use crate::models::{ComputingModel, FeedSpec};
 
-/// State shared by all operators of one feed.
+/// State shared by all operators of one feed attempt.
 pub(crate) struct FeedShared {
     pub spec: Arc<FeedSpec>,
     pub catalog: Arc<Catalog>,
@@ -37,7 +45,10 @@ pub(crate) struct FeedShared {
     /// This feed's registry scope (`feed/<name>`); holder instruments
     /// hang off it.
     pub obs: MetricsScope,
+    /// User-requested stop; survives supervisor restarts.
     pub stop: Arc<AtomicBool>,
+    /// Supervisor-requested abort of *this attempt* (fresh per attempt).
+    pub abort: Arc<AtomicBool>,
     /// Shared compiled plans — the predeployed aspect of the computing
     /// job (reused across invocations when `spec.predeploy`).
     pub plan_cache: Arc<PlanCache>,
@@ -45,20 +56,75 @@ pub(crate) struct FeedShared {
     pub stream_ctxs: Arc<Mutex<HashMap<usize, ExecContext>>>,
     /// Target-dataset datatype for parse-time validation.
     pub datatype: Datatype,
+    /// Deterministic fault injector (only when a fault plan is attached).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Dead-letter capture (only when a policy asks for it).
+    pub dead_letter: Option<Arc<DeadLetterSink>>,
+    /// Per-intake-partition emitted/committed offsets.
+    pub ckpt: Arc<CheckpointStore>,
+    /// Checkpoint pause barrier between the driver and the adapters
+    /// (fresh per attempt).
+    pub gate: Arc<PauseGate>,
+    /// Committed offsets at attempt start — how many records each
+    /// adapter partition skips before emitting (replay position).
+    pub ckpt_base: Vec<u64>,
 }
 
 impl FeedShared {
     fn holder(&self, ctx: &TaskContext, name: &str) -> idea_hyracks::Result<Arc<PartitionHolder>> {
         ctx.cluster.node(ctx.node).holders().lookup(name)
     }
+
+    fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.abort.load(Ordering::Relaxed)
+    }
+
+    fn push_dead_letter(&self, stage: &str, error: &str, payload: &str) {
+        if let Some(sink) = &self.dead_letter {
+            sink.push(stage, error, payload);
+        }
+    }
+}
+
+/// Leaves the pause gate when the adapter task exits by any path, so a
+/// crashed adapter can never wedge quiescence.
+struct GateGuard(Arc<PauseGate>);
+
+impl GateGuard {
+    fn join(gate: Arc<PauseGate>) -> GateGuard {
+        gate.join();
+        GateGuard(gate)
+    }
+}
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.0.leave();
+    }
 }
 
 // ---- intake job ------------------------------------------------------
 
 /// Stage 0: the adapter, wrapped as a source operator.
+///
+/// The factory result is carried here (not unwrapped in the stage
+/// closure) so adapter construction errors fail the intake job instead
+/// of panicking its task thread.
 struct AdapterSource {
-    adapter: Box<dyn crate::adapter::Adapter>,
+    adapter: Option<crate::Result<Box<dyn crate::adapter::Adapter>>>,
     shared: Arc<FeedShared>,
+}
+
+fn flush_raw(
+    shared: &FeedShared,
+    buf: &mut Vec<Value>,
+    out: &mut dyn FrameSink,
+) -> idea_hyracks::Result<()> {
+    if !buf.is_empty() {
+        shared.metrics.records_ingested.add(buf.len() as u64);
+        out.push(Frame::from_records(std::mem::take(buf)))?;
+    }
+    Ok(())
 }
 
 impl Operator for AdapterSource {
@@ -74,37 +140,87 @@ impl Operator for AdapterSource {
     fn run_source(
         &mut self,
         out: &mut dyn FrameSink,
-        _ctx: &mut TaskContext,
+        ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
-        let cap = self.shared.spec.frame_capacity;
+        let shared = self.shared.clone();
+        let mut adapter = self.adapter.take().expect("source runs once")?;
+        let p = ctx.partition;
+        // Replay: skip everything the last committed checkpoint already
+        // covers. The upstream source re-serves from the beginning; the
+        // committed offset is this partition's resume position.
+        let skip = shared.ckpt_base.get(p).copied().unwrap_or(0);
+        for _ in 0..skip {
+            if adapter.next().is_none() {
+                break;
+            }
+        }
+        let _gate = GateGuard::join(shared.gate.clone());
+        let mut last_ack = 0u64;
+        let cap = shared.spec.frame_capacity;
         // Ship partial frames after this long so slow sources still
         // deliver promptly (real feed adapters flush on a timer too).
         const FLUSH_INTERVAL: std::time::Duration = std::time::Duration::from_millis(10);
         let mut buf = Vec::with_capacity(cap);
         let mut last_flush = std::time::Instant::now();
         loop {
-            if self.shared.stop.load(Ordering::Relaxed) {
+            if shared.should_stop() {
                 break;
             }
-            match self.adapter.next() {
-                Some(raw) => {
+            if shared.gate.paused() {
+                // Checkpoint in progress: flush, ack the epoch once,
+                // and hold emission until the driver resumes.
+                flush_raw(&shared, &mut buf, out)?;
+                let epoch = shared.gate.epoch();
+                if last_ack != epoch {
+                    shared.gate.ack();
+                    last_ack = epoch;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                continue;
+            }
+            // Absolute index of the record about to be emitted — fault
+            // coordinates survive restarts because they are offsets, not
+            // per-attempt counts.
+            let idx = shared.ckpt.live(p);
+            if let Some(inj) = &shared.injector {
+                if inj.take_adapter_disconnect(p, idx) {
+                    match &shared.spec.supervision.adapter {
+                        ErrorPolicy::Retry { policy, .. } => {
+                            shared.metrics.retries.inc();
+                            std::thread::sleep(policy.delay(0));
+                            // Reconnected; resume emitting below.
+                        }
+                        ErrorPolicy::Skip | ErrorPolicy::SkipToDeadLetter => {}
+                        ErrorPolicy::Abort | ErrorPolicy::RestartFeed => {
+                            return Err(idea_hyracks::HyracksError::Operator(format!(
+                                "adapter on intake partition {p} disconnected"
+                            )));
+                        }
+                    }
+                }
+            }
+            match adapter.next() {
+                Some(mut raw) => {
+                    if let Some(inj) = &shared.injector {
+                        if inj.take_poison(p, idx) {
+                            // NUL bytes can never start valid JSON, so
+                            // this reliably fails the parser downstream.
+                            raw = format!("\u{0}poison\u{0}{raw}");
+                        }
+                    }
                     buf.push(Value::Str(raw));
+                    shared.ckpt.note_emitted(p);
                     if buf.len() >= cap
                         || (!buf.is_empty() && last_flush.elapsed() >= FLUSH_INTERVAL)
                     {
-                        self.shared.metrics.records_ingested.add(buf.len() as u64);
-                        out.push(Frame::from_records(std::mem::take(&mut buf)))?;
+                        flush_raw(&shared, &mut buf, out)?;
                         last_flush = std::time::Instant::now();
                     }
                 }
                 None => break,
             }
         }
-        if !buf.is_empty() {
-            self.shared.metrics.records_ingested.add(buf.len() as u64);
-            out.push(Frame::from_records(buf))?;
-        }
-        Ok(())
+        flush_raw(&shared, &mut buf, out)
     }
 }
 
@@ -152,7 +268,8 @@ pub(crate) fn build_intake_spec(shared: &Arc<FeedShared>) -> JobSpec {
             ConnectorSpec::RoundRobin,
             Arc::new(move |ctx: &TaskContext| {
                 let adapter = (s0.spec.adapter)(ctx.partition, ctx.partitions);
-                Box::new(AdapterSource { adapter, shared: s0.clone() }) as Box<dyn Operator>
+                Box::new(AdapterSource { adapter: Some(adapter), shared: s0.clone() })
+                    as Box<dyn Operator>
             }),
         )
         .stage(
@@ -176,6 +293,32 @@ struct CollectorParser {
     shared: Arc<FeedShared>,
 }
 
+impl CollectorParser {
+    /// Dispatches one unparseable record through the parse policy.
+    /// Parsing is deterministic, so a `Retry` policy degrades straight
+    /// to its fallback.
+    fn parse_failure(&self, err: &str, raw: &str) -> idea_hyracks::Result<()> {
+        let fallback = match &self.shared.spec.supervision.parse {
+            ErrorPolicy::Skip => Fallback::Skip,
+            ErrorPolicy::SkipToDeadLetter => Fallback::DeadLetter,
+            ErrorPolicy::Retry { fallback, .. } => *fallback,
+            ErrorPolicy::Abort | ErrorPolicy::RestartFeed => Fallback::Abort,
+        };
+        self.shared.metrics.parse_errors.inc();
+        match fallback {
+            Fallback::Skip => Ok(()),
+            Fallback::DeadLetter => {
+                self.shared.push_dead_letter("parse", err, raw);
+                Ok(())
+            }
+            Fallback::Abort => Err(idea_hyracks::HyracksError::Operator(format!(
+                "feed {}: parse error: {err}",
+                self.shared.spec.name
+            ))),
+        }
+    }
+}
+
 impl Operator for CollectorParser {
     fn next_frame(
         &mut self,
@@ -192,18 +335,24 @@ impl Operator for CollectorParser {
         ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
         let holder = self.shared.holder(ctx, &self.shared.spec.intake_holder())?;
-        let batch = holder.pull_batch(self.shared.spec.batch_size)?;
+        // During a checkpoint drain the adapters are paused, so blocking
+        // for a full batch would hang — take whatever is buffered.
+        let batch = if self.shared.gate.paused() {
+            holder.try_pull_batch(self.shared.spec.batch_size)?
+        } else {
+            holder.pull_batch(self.shared.spec.batch_size)?
+        };
         let cap = self.shared.spec.frame_capacity;
         let mut buf = Vec::with_capacity(cap.min(batch.len()));
         for rec in batch.into_records() {
             let Some(text) = rec.as_str() else {
-                self.shared.metrics.parse_errors.inc();
+                self.parse_failure("raw record is not a string", &rec.to_string())?;
                 continue;
             };
             match idea_adm::json::parse(text.as_bytes()) {
                 Ok(parsed) => {
-                    if self.shared.datatype.validate(&parsed).is_err() {
-                        self.shared.metrics.parse_errors.inc();
+                    if let Err(e) = self.shared.datatype.validate(&parsed) {
+                        self.parse_failure(&e.to_string(), text)?;
                         continue;
                     }
                     buf.push(parsed);
@@ -211,8 +360,8 @@ impl Operator for CollectorParser {
                         out.push(Frame::from_records(std::mem::take(&mut buf)))?;
                     }
                 }
-                Err(_) => {
-                    self.shared.metrics.parse_errors.inc();
+                Err(e) => {
+                    self.parse_failure(&e.to_string(), text)?;
                 }
             }
         }
@@ -232,16 +381,14 @@ struct UdfEvaluator {
 }
 
 impl UdfEvaluator {
-    fn enrich(&mut self, record: Value) -> Result<Vec<Value>, IngestError> {
-        let Some(function) = &self.shared.spec.function else {
-            return Ok(vec![record]);
-        };
+    fn enrich(&mut self, record: &Value) -> Result<Vec<Value>, IngestError> {
+        let function = self.shared.spec.function.as_ref().expect("checked by caller");
         let ctx = self.ctx_.as_mut().expect("open() ran");
         if self.shared.spec.model == ComputingModel::PerRecord {
             // Model 1: intermediate state refreshed for every record.
             ctx.refresh();
         }
-        let out = apply_function(ctx, function, &[record])?;
+        let out = apply_function(ctx, function, std::slice::from_ref(record))?;
         match out {
             Value::Array(items) => {
                 for i in &items {
@@ -259,6 +406,78 @@ impl UdfEvaluator {
                 "UDF {function} must produce objects, got {}",
                 other.type_name()
             )))),
+        }
+    }
+
+    /// Evaluates the UDF on one record, injecting scheduled faults and
+    /// dispatching failures through the enrich policy.
+    fn process(
+        &mut self,
+        rec: &Value,
+        node: usize,
+        enriched: &mut Vec<Value>,
+    ) -> idea_hyracks::Result<()> {
+        let injected = self.shared.injector.as_ref().and_then(|inj| {
+            let seq = inj.next_enrich_seq(node);
+            inj.take_udf_fault(node, seq)
+        });
+        let first = match injected {
+            Some(fault) => {
+                if let Some(delay) = fault.delay {
+                    std::thread::sleep(delay);
+                }
+                Err(IngestError::Feed("injected UDF fault".into()))
+            }
+            None => self.enrich(rec),
+        };
+        let err = match first {
+            Ok(values) => {
+                enriched.extend(values);
+                return Ok(());
+            }
+            Err(e) => e,
+        };
+        let feed = self.shared.spec.name.clone();
+        let abort = move |e: &IngestError| {
+            Err(idea_hyracks::HyracksError::Operator(format!("feed {feed}: UDF failed: {e}")))
+        };
+        match self.shared.spec.supervision.enrich.clone() {
+            ErrorPolicy::Abort | ErrorPolicy::RestartFeed => abort(&err),
+            ErrorPolicy::Skip => {
+                self.shared.metrics.enrich_errors.inc();
+                Ok(())
+            }
+            ErrorPolicy::SkipToDeadLetter => {
+                self.shared.metrics.enrich_errors.inc();
+                self.shared.push_dead_letter("enrich", &err.to_string(), &rec.to_string());
+                Ok(())
+            }
+            ErrorPolicy::Retry { policy, fallback } => {
+                let mut last = err;
+                for attempt in 0..policy.max_attempts {
+                    self.shared.metrics.retries.inc();
+                    std::thread::sleep(policy.delay(attempt));
+                    match self.enrich(rec) {
+                        Ok(values) => {
+                            enriched.extend(values);
+                            return Ok(());
+                        }
+                        Err(e) => last = e,
+                    }
+                }
+                match fallback {
+                    Fallback::Skip => {
+                        self.shared.metrics.enrich_errors.inc();
+                        Ok(())
+                    }
+                    Fallback::DeadLetter => {
+                        self.shared.metrics.enrich_errors.inc();
+                        self.shared.push_dead_letter("enrich", &last.to_string(), &rec.to_string());
+                        Ok(())
+                    }
+                    Fallback::Abort => abort(&last),
+                }
+            }
         }
     }
 }
@@ -284,18 +503,21 @@ impl Operator for UdfEvaluator {
         &mut self,
         frame: Frame,
         out: &mut dyn FrameSink,
-        _ctx: &mut TaskContext,
+        ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
+        if self.shared.spec.function.is_none() {
+            // No UDF attached: pass through (nothing to inject either —
+            // UDF faults target enrichment calls).
+            let records: Vec<Value> = frame.into_records().into_iter().collect();
+            self.shared.metrics.records_enriched.add(records.len() as u64);
+            if !records.is_empty() {
+                out.push(Frame::from_records(records))?;
+            }
+            return Ok(());
+        }
         let mut enriched = Vec::with_capacity(frame.len());
         for rec in frame.into_records() {
-            // A record the UDF chokes on is dropped and counted — a
-            // poison record must not take the feed down.
-            match self.enrich(rec) {
-                Ok(values) => enriched.extend(values),
-                Err(_) => {
-                    self.shared.metrics.enrich_errors.inc();
-                }
-            }
+            self.process(&rec, ctx.node, &mut enriched)?;
         }
         self.shared.metrics.records_enriched.add(enriched.len() as u64);
         if !enriched.is_empty() {
@@ -427,33 +649,108 @@ impl Operator for StorageWriter {
         &mut self,
         frame: Frame,
         _out: &mut dyn FrameSink,
-        _ctx: &mut TaskContext,
+        ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
-        let part = self.partition.as_ref().unwrap();
-        let n = frame.len() as u64;
-        for rec in frame.into_records() {
-            part.upsert(rec).map_err(IngestError::from)?;
+        if let Some(inj) = &self.shared.injector {
+            if let Some(delay) = inj.storage_delay(ctx.node) {
+                std::thread::sleep(delay);
+            }
         }
-        self.shared.metrics.records_stored.add(n);
+        let part = self.partition.as_ref().unwrap();
+        let policy = self.shared.spec.supervision.storage.clone();
+        // Only clone each record up front when a failure path would
+        // still need it — the default (Abort) pays nothing.
+        let keep = matches!(policy, ErrorPolicy::Retry { .. }) || policy.wants_dead_letter();
+        // `stored` = successful upserts; `disposed` = records fully
+        // handled (stored, skipped or dead-lettered) — the checkpoint
+        // quiescence check balances `disposed` against `taken`.
+        let mut stored = 0u64;
+        let mut disposed = 0u64;
+        for rec in frame.into_records() {
+            disposed += 1;
+            let backup = keep.then(|| rec.clone());
+            match part.upsert(rec) {
+                Ok(()) => stored += 1,
+                Err(e) => {
+                    let err = IngestError::from(e);
+                    let abort = |e: &IngestError| {
+                        Err(idea_hyracks::HyracksError::Operator(format!(
+                            "feed {}: storage write failed: {e}",
+                            self.shared.spec.name
+                        )))
+                    };
+                    match &policy {
+                        ErrorPolicy::Abort | ErrorPolicy::RestartFeed => return abort(&err),
+                        ErrorPolicy::Skip => {}
+                        ErrorPolicy::SkipToDeadLetter => {
+                            let payload =
+                                backup.as_ref().map(|r| r.to_string()).unwrap_or_default();
+                            self.shared.push_dead_letter("storage", &err.to_string(), &payload);
+                        }
+                        ErrorPolicy::Retry { policy: rp, fallback } => {
+                            let backup = backup.as_ref().expect("kept for retry");
+                            let mut last = err;
+                            let mut retried_ok = false;
+                            for attempt in 0..rp.max_attempts {
+                                self.shared.metrics.retries.inc();
+                                std::thread::sleep(rp.delay(attempt));
+                                match part.upsert(backup.clone()) {
+                                    Ok(()) => {
+                                        stored += 1;
+                                        retried_ok = true;
+                                        break;
+                                    }
+                                    Err(e2) => last = IngestError::from(e2),
+                                }
+                            }
+                            if !retried_ok {
+                                match fallback {
+                                    Fallback::Skip => {}
+                                    Fallback::DeadLetter => {
+                                        self.shared.push_dead_letter(
+                                            "storage",
+                                            &last.to_string(),
+                                            &backup.to_string(),
+                                        );
+                                    }
+                                    Fallback::Abort => return abort(&last),
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.shared.metrics.records_stored.add(stored);
+        self.shared.metrics.storage_acked.add(disposed);
         Ok(())
     }
 }
 
-/// Builds the storage job spec.
-pub(crate) fn build_storage_spec(shared: &Arc<FeedShared>) -> JobSpec {
+/// Builds the storage job spec. Both stages are pinned to every node:
+/// the hash partitioner's target set must stay aligned with the
+/// dataset's partition numbering even while some nodes are down —
+/// a storage job whose writers silently moved to the surviving nodes
+/// would scatter records into the wrong partitions. A pinned stage on a
+/// dead node fails the job instead, and the supervisor restarts the
+/// feed once the node is restored.
+pub(crate) fn build_storage_spec(shared: &Arc<FeedShared>, n_nodes: usize) -> JobSpec {
     let s0 = shared.clone();
     let s1 = shared.clone();
+    let all_nodes: Vec<usize> = (0..n_nodes).collect();
     let pk_field = pk_field_of(shared);
     let mut spec = JobSpec::new(format!("{}::storage", shared.spec.name))
-        .stage(
+        .stage_on(
             "storage-holder",
+            all_nodes.clone(),
             ConnectorSpec::hash_on_field(&pk_field),
             Arc::new(move |_ctx: &TaskContext| {
                 Box::new(StorageHolderSource { shared: s0.clone() }) as Box<dyn Operator>
             }),
         )
-        .stage(
+        .stage_on(
             "storage-writer",
+            all_nodes,
             ConnectorSpec::OneToOne,
             Arc::new(move |_ctx: &TaskContext| {
                 Box::new(StorageWriter { shared: s1.clone(), partition: None }) as Box<dyn Operator>
@@ -477,7 +774,7 @@ fn pk_field_of(shared: &Arc<FeedShared>) -> String {
 /// The coupled intake+parse+UDF source of the old framework: everything
 /// on the intake node(s), UDF state built once per feed.
 struct StaticSource {
-    adapter: Box<dyn crate::adapter::Adapter>,
+    adapter: Option<crate::Result<Box<dyn crate::adapter::Adapter>>>,
     shared: Arc<FeedShared>,
     ctx_: Option<ExecContext>,
 }
@@ -507,13 +804,14 @@ impl Operator for StaticSource {
         out: &mut dyn FrameSink,
         _ctx: &mut TaskContext,
     ) -> idea_hyracks::Result<()> {
+        let mut adapter = self.adapter.take().expect("source runs once")?;
         let cap = self.shared.spec.frame_capacity;
         let mut buf = Vec::with_capacity(cap);
         loop {
-            if self.shared.stop.load(Ordering::Relaxed) {
+            if self.shared.should_stop() {
                 break;
             }
-            let Some(raw) = self.adapter.next() else { break };
+            let Some(raw) = adapter.next() else { break };
             self.shared.metrics.records_ingested.inc();
             let parsed = match idea_adm::json::parse(raw.as_bytes()) {
                 Ok(p) if self.shared.datatype.validate(&p).is_ok() => p,
@@ -567,7 +865,7 @@ pub(crate) fn build_static_spec(shared: &Arc<FeedShared>) -> JobSpec {
             ConnectorSpec::hash_on_field(&pk_field),
             Arc::new(move |ctx: &TaskContext| {
                 let adapter = (s0.spec.adapter)(ctx.partition, ctx.partitions);
-                Box::new(StaticSource { adapter, shared: s0.clone(), ctx_: None })
+                Box::new(StaticSource { adapter: Some(adapter), shared: s0.clone(), ctx_: None })
                     as Box<dyn Operator>
             }),
         )
@@ -584,7 +882,10 @@ pub(crate) fn build_static_spec(shared: &Arc<FeedShared>) -> JobSpec {
 }
 
 /// Registers the feed's partition holders on every node (done before any
-/// job starts so jobs can look them up).
+/// job starts so jobs can look them up). Holders are per-attempt: a
+/// restarting feed unregisters the failed attempt's holders and
+/// registers fresh ones, which also resets the received/taken counters
+/// the checkpoint quiescence check reads.
 pub(crate) fn register_holders(
     cluster: &idea_hyracks::Cluster,
     shared: &Arc<FeedShared>,

@@ -131,8 +131,8 @@ fn per_batch_model_sees_reference_updates_between_batches() {
         let records = Arc::new(records);
         Arc::new(move |_, _| {
             let inner = Box::new(VecAdapter::new((*records).clone()));
-            Box::new(idea_core::RateLimitedAdapter::new(inner, 300.0))
-                as Box<dyn idea_core::Adapter>
+            Ok(Box::new(idea_core::RateLimitedAdapter::new(inner, 300.0))
+                as Box<dyn idea_core::Adapter>)
         })
     };
     let spec = FeedSpec::new("updating", "Tweets", factory)
@@ -165,8 +165,8 @@ fn stream_model_never_sees_updates() {
         let records = Arc::new(records);
         Arc::new(move |_, _| {
             let inner = Box::new(VecAdapter::new((*records).clone()));
-            Box::new(idea_core::RateLimitedAdapter::new(inner, 300.0))
-                as Box<dyn idea_core::Adapter>
+            Ok(Box::new(idea_core::RateLimitedAdapter::new(inner, 300.0))
+                as Box<dyn idea_core::Adapter>)
         })
     };
     let spec = FeedSpec::new("streamy", "Tweets", factory)
@@ -326,12 +326,12 @@ fn stop_cancels_pending_input_promptly() {
     let engine = setup(1);
     // An effectively infinite feed: stopping is the only way it ends.
     let factory: idea_core::AdapterFactory = Arc::new(|_, _| {
-        Box::new(idea_core::RateLimitedAdapter::new(
+        Ok(Box::new(idea_core::RateLimitedAdapter::new(
             Box::new(idea_core::GeneratorAdapter::new(u64::MAX, |i| {
                 format!(r#"{{"id": {i}, "text": "x", "country": "US"}}"#)
             })),
             500.0,
-        )) as Box<dyn idea_core::Adapter>
+        )) as Box<dyn idea_core::Adapter>)
     });
     let spec = FeedSpec::new("endless", "Tweets", factory).with_batch_size(16);
     let handle = engine.start_feed(spec).unwrap();

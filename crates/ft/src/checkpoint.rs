@@ -1,0 +1,220 @@
+//! Ingestion checkpoints: per-intake-partition record offsets committed
+//! at quiescent batch boundaries.
+//!
+//! The protocol (run by the feed driver, see `idea-core`):
+//!
+//! 1. **Pause** the adapters through the [`PauseGate`]. Each adapter
+//!    acks the pause epoch after flushing its partial frame, so no new
+//!    records enter the intake holders once the gate is quiesced.
+//! 2. **Drain** the pipeline: keep invoking the computing job until
+//!    every record the adapters emitted has been parsed, enriched and
+//!    acknowledged by storage (counter equality across the stage
+//!    boundaries).
+//! 3. **Commit**: copy the live per-partition offsets into the
+//!    committed snapshot ([`CheckpointStore::commit`]).
+//! 4. **Resume** the gate.
+//!
+//! After a crash the feed restarts its adapters at the committed
+//! offsets. Records emitted after the last commit are replayed —
+//! at-least-once delivery, made effectively exactly-once by the
+//! primary-key upserts in the storage job.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Per-intake-partition record offsets: a `live` counter each adapter
+/// bumps as it emits, and a `committed` snapshot updated only at
+/// quiescent checkpoints.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    live: Vec<AtomicU64>,
+    committed: Vec<AtomicU64>,
+    commits: AtomicU64,
+}
+
+impl CheckpointStore {
+    pub fn new(partitions: usize) -> Self {
+        CheckpointStore {
+            live: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+            committed: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    pub fn partitions(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Records that partition `p` emitted one more record.
+    pub fn note_emitted(&self, p: usize) {
+        self.live[p].fetch_add(1, Ordering::Release);
+    }
+
+    /// Uncommitted (live) offset of partition `p`.
+    pub fn live(&self, p: usize) -> u64 {
+        self.live[p].load(Ordering::Acquire)
+    }
+
+    /// Last committed offset of partition `p` — where a restarted
+    /// adapter resumes.
+    pub fn committed(&self, p: usize) -> u64 {
+        self.committed[p].load(Ordering::Acquire)
+    }
+
+    /// Sum of live offsets across partitions.
+    pub fn emitted_total(&self) -> u64 {
+        self.live.iter().map(|c| c.load(Ordering::Acquire)).sum()
+    }
+
+    /// The committed offsets, one per partition.
+    pub fn committed_snapshot(&self) -> Vec<u64> {
+        self.committed.iter().map(|c| c.load(Ordering::Acquire)).collect()
+    }
+
+    /// Promotes the live offsets to committed. Only call once the
+    /// pipeline is quiescent — every live record must be acked by
+    /// storage, or a restart will silently skip in-flight records.
+    pub fn commit(&self) {
+        for (live, committed) in self.live.iter().zip(&self.committed) {
+            committed.store(live.load(Ordering::Acquire), Ordering::Release);
+        }
+        self.commits.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of commits so far (the `faults/checkpoints` counter's
+    /// source of truth).
+    pub fn commit_count(&self) -> u64 {
+        self.commits.load(Ordering::Acquire)
+    }
+
+    /// Resets the live offsets back to the committed snapshot. Called
+    /// when a feed attempt restarts: the replayed adapters re-emit from
+    /// the committed offsets, so the live counters must match.
+    pub fn rewind(&self) {
+        for (live, committed) in self.live.iter().zip(&self.committed) {
+            live.store(committed.load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+}
+
+/// A cooperative pause barrier between the feed driver and the
+/// adapters.
+///
+/// Adapters [`join`](PauseGate::join) when they start and
+/// [`leave`](PauseGate::leave) when they finish. The driver
+/// [`pause`](PauseGate::pause)s the gate (bumping the epoch); each
+/// running adapter notices, flushes its partial frame, and
+/// [`ack`](PauseGate::ack)s the epoch it observed. Once every active
+/// adapter has acked — or has left — the gate is
+/// [`quiesced`](PauseGate::quiesced) and the driver may drain + commit.
+#[derive(Debug, Default)]
+pub struct PauseGate {
+    paused: AtomicBool,
+    epoch: AtomicU64,
+    acks: AtomicU64,
+    active: AtomicU64,
+}
+
+impl PauseGate {
+    pub fn new() -> Self {
+        PauseGate::default()
+    }
+
+    /// An adapter task starts participating.
+    pub fn join(&self) {
+        self.active.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// An adapter task stops participating (EOF or error). A finished
+    /// adapter can no longer emit, so it no longer needs to ack.
+    pub fn leave(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Requests a pause; returns the new epoch.
+    pub fn pause(&self) -> u64 {
+        self.acks.store(0, Ordering::Release);
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.paused.store(true, Ordering::Release);
+        epoch
+    }
+
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::Release);
+    }
+
+    pub fn paused(&self) -> bool {
+        self.paused.load(Ordering::Acquire)
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// An adapter acknowledges it observed the pause and flushed.
+    pub fn ack(&self) {
+        self.acks.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether every active adapter has acked the current pause (or the
+    /// gate is not paused at all).
+    pub fn quiesced(&self) -> bool {
+        !self.paused.load(Ordering::Acquire)
+            || self.acks.load(Ordering::Acquire) >= self.active.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_promotes_live_offsets() {
+        let s = CheckpointStore::new(2);
+        s.note_emitted(0);
+        s.note_emitted(0);
+        s.note_emitted(1);
+        assert_eq!(s.live(0), 2);
+        assert_eq!(s.committed(0), 0, "nothing committed yet");
+        assert_eq!(s.emitted_total(), 3);
+        s.commit();
+        assert_eq!(s.committed_snapshot(), vec![2, 1]);
+        assert_eq!(s.commit_count(), 1);
+        s.note_emitted(1);
+        assert_eq!(s.committed(1), 1, "commit is a snapshot, not a live view");
+        s.commit();
+        assert_eq!(s.committed_snapshot(), vec![2, 2]);
+        assert_eq!(s.commit_count(), 2);
+        s.note_emitted(0);
+        s.rewind();
+        assert_eq!(s.live(0), 2, "rewind drops uncommitted emissions");
+    }
+
+    #[test]
+    fn gate_quiesces_when_all_active_adapters_ack() {
+        let g = PauseGate::new();
+        assert!(g.quiesced(), "unpaused gate is trivially quiesced");
+        g.join();
+        g.join();
+        let epoch = g.pause();
+        assert_eq!(epoch, 1);
+        assert!(g.paused());
+        assert!(!g.quiesced());
+        g.ack();
+        assert!(!g.quiesced(), "one of two adapters acked");
+        g.ack();
+        assert!(g.quiesced());
+        g.resume();
+        assert!(!g.paused());
+    }
+
+    #[test]
+    fn finished_adapters_do_not_block_quiescence() {
+        let g = PauseGate::new();
+        g.join();
+        g.join();
+        g.leave(); // one adapter hit EOF before the pause
+        g.pause();
+        g.ack();
+        assert!(g.quiesced());
+    }
+}

@@ -1,0 +1,234 @@
+//! The fault injector: runtime state around a [`FaultPlan`].
+//!
+//! Fire-once faults carry an atomic "fired" flag, so a fault consumed
+//! before a checkpoint is *not* re-fired when the feed restarts and the
+//! adapter replays records — without this, a replayed poison record
+//! would dead-letter twice and break the stored-equals-generated-minus-
+//! dead-lettered invariant the chaos tests assert.
+//!
+//! The injector also owns the per-node enrich sequence counters (so UDF
+//! faults have a deterministic coordinate system) and, once attached to
+//! a metrics scope, counts every injection under
+//! `<scope>/adapter_disconnects|poison_records|udf_faults|slow_frames|node_kills`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use idea_obs::{Counter, MetricsScope};
+use parking_lot::RwLock;
+
+use crate::plan::{Fault, FaultPlan};
+
+/// An injected UDF failure, handed to the evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdfFault {
+    /// Stall this long before failing (a simulated timeout).
+    pub delay: Option<Duration>,
+}
+
+#[derive(Debug)]
+struct InjectedCounters {
+    adapter_disconnects: Arc<Counter>,
+    poison_records: Arc<Counter>,
+    udf_faults: Arc<Counter>,
+    slow_frames: Arc<Counter>,
+    node_kills: Arc<Counter>,
+}
+
+/// Runtime fault-injection state shared by every pipeline stage of one
+/// feed (and surviving feed restarts).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    fired: Vec<AtomicBool>,
+    /// Per-node enrich sequence counters (grow-on-demand would need a
+    /// lock; sized at construction instead).
+    enrich_seq: Vec<AtomicU64>,
+    obs: RwLock<Option<InjectedCounters>>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for a cluster of `nodes` nodes.
+    pub fn new(plan: FaultPlan, nodes: usize) -> Arc<FaultInjector> {
+        let fired = plan.faults().iter().map(|_| AtomicBool::new(false)).collect();
+        Arc::new(FaultInjector {
+            plan,
+            fired,
+            enrich_seq: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            obs: RwLock::new(None),
+        })
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Registers injection counters under `scope` (normally
+    /// `feed/<name>/faults/injected`).
+    pub fn attach_obs(&self, scope: &MetricsScope) {
+        *self.obs.write() = Some(InjectedCounters {
+            adapter_disconnects: scope.counter("adapter_disconnects"),
+            poison_records: scope.counter("poison_records"),
+            udf_faults: scope.counter("udf_faults"),
+            slow_frames: scope.counter("slow_frames"),
+            node_kills: scope.counter("node_kills"),
+        });
+    }
+
+    fn count(&self, pick: impl Fn(&InjectedCounters) -> &Arc<Counter>) {
+        if let Some(c) = &*self.obs.read() {
+            pick(c).inc();
+        }
+    }
+
+    /// Claims fault `i` if it has not fired yet.
+    fn claim(&self, i: usize) -> bool {
+        !self.fired[i].swap(true, Ordering::AcqRel)
+    }
+
+    /// Next enrich-sequence number for `node` (0-based).
+    pub fn next_enrich_seq(&self, node: usize) -> u64 {
+        self.enrich_seq[node].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Fires a scheduled disconnect for intake partition `partition`
+    /// just before record `at_record` is emitted.
+    pub fn take_adapter_disconnect(&self, partition: usize, at_record: u64) -> bool {
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            if let Fault::AdapterDisconnect { partition: p, at_record: r } = f {
+                if *p == partition && *r == at_record && self.claim(i) {
+                    self.count(|c| &c.adapter_disconnects);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fires a scheduled poison fault for the record at `at_record` on
+    /// intake partition `partition`.
+    pub fn take_poison(&self, partition: usize, at_record: u64) -> bool {
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            if let Fault::PoisonRecord { partition: p, at_record: r } = f {
+                if *p == partition && *r == at_record && self.claim(i) {
+                    self.count(|c| &c.poison_records);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fires a scheduled UDF fault for enrich call `seq` on `node`.
+    pub fn take_udf_fault(&self, node: usize, seq: u64) -> Option<UdfFault> {
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            let (n, s, delay) = match f {
+                Fault::UdfError { node, at_seq } => (*node, *at_seq, None),
+                Fault::UdfTimeout { node, at_seq, delay_ms } => {
+                    (*node, *at_seq, Some(Duration::from_millis(*delay_ms)))
+                }
+                _ => continue,
+            };
+            if n == node && s == seq && self.claim(i) {
+                self.count(|c| &c.udf_faults);
+                return Some(UdfFault { delay });
+            }
+        }
+        None
+    }
+
+    /// Per-frame write delay for a slow storage partition on `node`
+    /// (fires every time; counts each delayed frame).
+    pub fn storage_delay(&self, node: usize) -> Option<Duration> {
+        for f in self.plan.faults() {
+            if let Fault::SlowStorage { node: n, delay_ms } = f {
+                if *n == node {
+                    self.count(|c| &c.slow_frames);
+                    return Some(Duration::from_millis(*delay_ms));
+                }
+            }
+        }
+        None
+    }
+
+    /// Node kills due at (or before) driver batch `batch`, each fired
+    /// at most once.
+    pub fn node_kills_due(&self, batch: u64) -> Vec<usize> {
+        let mut due = Vec::new();
+        for (i, f) in self.plan.faults().iter().enumerate() {
+            if let Fault::KillNode { node, at_batch } = f {
+                if *at_batch <= batch && self.claim(i) {
+                    self.count(|c| &c.node_kills);
+                    due.push(*node);
+                }
+            }
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_obs::MetricsRegistry;
+
+    #[test]
+    fn fire_once_faults_fire_once() {
+        let plan = FaultPlan::seeded(1).poison_record(0, 5).adapter_disconnect(1, 2);
+        let inj = FaultInjector::new(plan, 2);
+        assert!(!inj.take_poison(0, 4));
+        assert!(inj.take_poison(0, 5));
+        assert!(!inj.take_poison(0, 5), "replay after restart must not re-fire");
+        assert!(inj.take_adapter_disconnect(1, 2));
+        assert!(!inj.take_adapter_disconnect(1, 2));
+    }
+
+    #[test]
+    fn udf_faults_match_node_and_seq() {
+        let plan = FaultPlan::seeded(1).udf_error(3, 5).udf_timeout(2, 0, Duration::from_millis(7));
+        let inj = FaultInjector::new(plan, 6);
+        assert!(inj.take_udf_fault(3, 4).is_none());
+        assert_eq!(inj.take_udf_fault(3, 5), Some(UdfFault { delay: None }));
+        assert!(inj.take_udf_fault(3, 5).is_none());
+        let f = inj.take_udf_fault(2, 0).unwrap();
+        assert_eq!(f.delay, Some(Duration::from_millis(7)));
+    }
+
+    #[test]
+    fn enrich_seq_is_per_node() {
+        let inj = FaultInjector::new(FaultPlan::seeded(0), 2);
+        assert_eq!(inj.next_enrich_seq(0), 0);
+        assert_eq!(inj.next_enrich_seq(0), 1);
+        assert_eq!(inj.next_enrich_seq(1), 0);
+    }
+
+    #[test]
+    fn slow_storage_repeats_and_kills_fire_once() {
+        let plan = FaultPlan::seeded(1)
+            .slow_storage(1, Duration::from_millis(3))
+            .kill_node(4, 6)
+            .kill_node(5, 2);
+        let inj = FaultInjector::new(plan, 6);
+        assert_eq!(inj.storage_delay(1), Some(Duration::from_millis(3)));
+        assert_eq!(inj.storage_delay(1), Some(Duration::from_millis(3)));
+        assert_eq!(inj.storage_delay(0), None);
+        assert_eq!(inj.node_kills_due(1), Vec::<usize>::new());
+        assert_eq!(inj.node_kills_due(6), vec![4, 5]);
+        assert!(inj.node_kills_due(100).is_empty());
+    }
+
+    #[test]
+    fn injection_counters_tick() {
+        let registry = MetricsRegistry::new();
+        let plan = FaultPlan::seeded(1).poison_record(0, 0).kill_node(1, 0);
+        let inj = FaultInjector::new(plan, 2);
+        inj.attach_obs(&registry.scope("feed/f/faults/injected"));
+        inj.take_poison(0, 0);
+        inj.node_kills_due(0);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("feed/f/faults/injected/poison_records"), Some(1));
+        assert_eq!(snap.counter("feed/f/faults/injected/node_kills"), Some(1));
+        assert_eq!(snap.counter("feed/f/faults/injected/udf_faults"), Some(0));
+    }
+}

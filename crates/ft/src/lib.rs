@@ -1,0 +1,35 @@
+//! # idea-ft — fault tolerance for the IDEA ingestion framework
+//!
+//! The paper's pipeline (§5–§6) assumes jobs run to completion; its
+//! predecessor — Grover & Carey, *Scalable Fault-Tolerant Data Feeds in
+//! AsterixDB* — shows long-running feeds must instead survive adapter
+//! disconnects, malformed ("poison") records, flaky UDFs, and node
+//! loss. This crate supplies the building blocks the Active Feed
+//! Manager composes into supervised feeds:
+//!
+//! * [`FaultPlan`] / [`FaultInjector`] — a **deterministic, seeded
+//!   fault schedule** (same seed ⇒ same schedule) injectable at every
+//!   pipeline boundary, so chaos tests and benchmarks are reproducible;
+//! * [`ErrorPolicy`] / [`RetryPolicy`] — per-stage reactions to a
+//!   failure: abort, skip, dead-letter, or retry with capped
+//!   exponential backoff and seeded jitter;
+//! * [`DeadLetterSink`] — poison records land in a queryable dataset
+//!   carrying the original payload plus error metadata;
+//! * [`CheckpointStore`] — per-intake-partition offsets committed at
+//!   quiescent batch boundaries, giving at-least-once redelivery after
+//!   a restart (primary-key upserts make storage effectively
+//!   exactly-once);
+//! * [`PauseGate`] — the barrier that quiesces adapters while a
+//!   checkpoint drains and commits.
+
+pub mod checkpoint;
+pub mod deadletter;
+pub mod injector;
+pub mod plan;
+pub mod policy;
+
+pub use checkpoint::{CheckpointStore, PauseGate};
+pub use deadletter::{dead_letter_datatype, DeadLetterSink, DEAD_LETTER_TYPE};
+pub use injector::{FaultInjector, UdfFault};
+pub use plan::{Fault, FaultPlan};
+pub use policy::{ErrorPolicy, Fallback, RestartPolicy, RetryPolicy, SupervisionSpec};

@@ -1,0 +1,187 @@
+//! Fault plans: a deterministic schedule of failures to inject.
+//!
+//! A [`FaultPlan`] names *where* and *when* each fault fires, in the
+//! coordinates the pipeline actually exposes:
+//!
+//! * adapter faults key on `(intake partition, absolute record index)`
+//!   — the index an ingestion checkpoint commits, so replays after a
+//!   restart do not re-fire a consumed fault;
+//! * UDF faults key on `(node, per-node enrich sequence)`;
+//! * storage slowdowns key on the node (every frame on that node pays
+//!   the delay);
+//! * node kills key on the driver's batch index.
+//!
+//! Plans are either built explicitly (tests pin exact coordinates) or
+//! drawn from a seed with [`FaultPlan::randomized`] — the same seed
+//! always yields the same schedule.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The adapter on intake partition `partition` loses its connection
+    /// just before emitting record `at_record` (absolute index).
+    AdapterDisconnect { partition: usize, at_record: u64 },
+    /// The record at absolute index `at_record` on intake partition
+    /// `partition` is corrupted into unparseable bytes.
+    PoisonRecord { partition: usize, at_record: u64 },
+    /// The `at_seq`-th enrich call on `node` fails.
+    UdfError { node: usize, at_seq: u64 },
+    /// The `at_seq`-th enrich call on `node` stalls for `delay_ms`
+    /// before failing (a UDF timeout).
+    UdfTimeout { node: usize, at_seq: u64, delay_ms: u64 },
+    /// Every storage frame written on `node` is delayed by `delay_ms`
+    /// (a slow storage partition; not fire-once).
+    SlowStorage { node: usize, delay_ms: u64 },
+    /// `node` crashes at the driver's `at_batch`-th computing batch.
+    KillNode { node: usize, at_batch: u64 },
+}
+
+impl Fault {
+    /// Whether this fault fires once and is then consumed.
+    pub fn fire_once(&self) -> bool {
+        !matches!(self, Fault::SlowStorage { .. })
+    }
+}
+
+/// A seeded, reproducible schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan carrying `seed` (used for retry-jitter streams by
+    /// the supervision layer, and by [`randomized`](Self::randomized)).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, faults: Vec::new() }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn push(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    pub fn adapter_disconnect(self, partition: usize, at_record: u64) -> Self {
+        self.push(Fault::AdapterDisconnect { partition, at_record })
+    }
+
+    pub fn poison_record(self, partition: usize, at_record: u64) -> Self {
+        self.push(Fault::PoisonRecord { partition, at_record })
+    }
+
+    pub fn udf_error(self, node: usize, at_seq: u64) -> Self {
+        self.push(Fault::UdfError { node, at_seq })
+    }
+
+    pub fn udf_timeout(self, node: usize, at_seq: u64, delay: Duration) -> Self {
+        self.push(Fault::UdfTimeout { node, at_seq, delay_ms: delay.as_millis() as u64 })
+    }
+
+    pub fn slow_storage(self, node: usize, delay: Duration) -> Self {
+        self.push(Fault::SlowStorage { node, delay_ms: delay.as_millis() as u64 })
+    }
+
+    pub fn kill_node(self, node: usize, at_batch: u64) -> Self {
+        self.push(Fault::KillNode { node, at_batch })
+    }
+
+    /// Draws a schedule from the seed: `disconnects` + `poisons` adapter
+    /// faults over `partitions` intake partitions within the first
+    /// `records` records, and `udf_errors` UDF failures over `nodes`
+    /// nodes within the first `seqs` enrich calls. Same arguments ⇒
+    /// same plan, record-for-record.
+    #[allow(clippy::too_many_arguments)]
+    pub fn randomized(
+        seed: u64,
+        partitions: usize,
+        records: u64,
+        nodes: usize,
+        seqs: u64,
+        disconnects: usize,
+        poisons: usize,
+        udf_errors: usize,
+    ) -> Self {
+        assert!(partitions > 0 && nodes > 0 && records > 0 && seqs > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::seeded(seed);
+        for _ in 0..disconnects {
+            plan = plan
+                .adapter_disconnect(rng.random_range(0..partitions), rng.random_range(0..records));
+        }
+        for _ in 0..poisons {
+            plan =
+                plan.poison_record(rng.random_range(0..partitions), rng.random_range(0..records));
+        }
+        for _ in 0..udf_errors {
+            plan = plan.udf_error(rng.random_range(0..nodes), rng.random_range(0..seqs));
+        }
+        plan
+    }
+
+    /// Counts per kind `(disconnects, poisons, udf faults, slow nodes,
+    /// kills)` — what the observability counters should converge to if
+    /// every scheduled fault actually fires.
+    pub fn counts(&self) -> (u64, u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0, 0);
+        for f in &self.faults {
+            match f {
+                Fault::AdapterDisconnect { .. } => c.0 += 1,
+                Fault::PoisonRecord { .. } => c.1 += 1,
+                Fault::UdfError { .. } | Fault::UdfTimeout { .. } => c.2 += 1,
+                Fault::SlowStorage { .. } => c.3 += 1,
+                Fault::KillNode { .. } => c.4 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlan::randomized(7, 3, 1000, 6, 500, 2, 3, 2);
+        let b = FaultPlan::randomized(7, 3, 1000, 6, 500, 2, 3, 2);
+        assert_eq!(a.faults(), b.faults());
+        assert_eq!(a.counts(), (2, 3, 2, 0, 0));
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = FaultPlan::randomized(1, 3, 1000, 6, 500, 2, 3, 2);
+        let b = FaultPlan::randomized(2, 3, 1000, 6, 500, 2, 3, 2);
+        assert_ne!(a.faults(), b.faults());
+    }
+
+    #[test]
+    fn builder_collects_in_order() {
+        let p = FaultPlan::seeded(0)
+            .poison_record(1, 10)
+            .kill_node(4, 6)
+            .slow_storage(2, Duration::from_millis(5));
+        assert_eq!(p.faults().len(), 3);
+        assert!(p.faults()[1].fire_once());
+        assert!(!p.faults()[2].fire_once());
+        assert_eq!(p.counts(), (0, 1, 0, 1, 1));
+    }
+}

@@ -1,0 +1,232 @@
+//! Error policies: how each pipeline stage reacts to a failure.
+//!
+//! Grover & Carey frame ingestion fault tolerance as a per-stage
+//! decision: a bad record should not take down a feed, but neither
+//! should it vanish silently. [`ErrorPolicy`] encodes the choices the
+//! feed DDL exposes; [`SupervisionSpec`] bundles one policy per stage
+//! together with the restart budget and checkpointing cadence.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Capped exponential backoff with seeded jitter. `delay(attempt)` is a
+/// pure function of `(policy, attempt)`, so retry schedules are
+/// reproducible run-to-run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    pub fn new(max_attempts: u32, base: Duration) -> Self {
+        RetryPolicy { max_attempts, base, cap: Duration::from_millis(500), seed: 0 }
+    }
+
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (0-based): `base · 2^attempt`
+    /// capped at `cap`, then jittered into `[50%, 100%]` of itself so
+    /// concurrent retriers decorrelate.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .checked_mul(1u32.checked_shl(attempt.min(20)).unwrap_or(u32::MAX))
+            .unwrap_or(self.cap)
+            .min(self.cap);
+        // One RNG per (seed, attempt): deterministic without shared state.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9));
+        let factor = rng.random_range(0.5..1.0);
+        exp.mul_f64(factor)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(2))
+    }
+}
+
+/// What to do once a retry budget is exhausted (or for non-retryable
+/// policies, immediately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fallback {
+    /// Drop the record, count it, keep going.
+    Skip,
+    /// Capture the record in the dead-letter dataset, then keep going.
+    DeadLetter,
+    /// Fail the feed attempt.
+    Abort,
+}
+
+/// Per-stage reaction to a failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ErrorPolicy {
+    /// Fail the feed attempt (and the feed itself, unless the
+    /// supervisor has restart budget left).
+    Abort,
+    /// Drop the offending record and continue (the pre-supervision
+    /// default for parse and enrich errors).
+    Skip,
+    /// Capture the offending record in the dead-letter dataset and
+    /// continue.
+    SkipToDeadLetter,
+    /// Retry with backoff; apply `fallback` when the budget runs out.
+    Retry { policy: RetryPolicy, fallback: Fallback },
+    /// Fail the attempt so the supervisor tears the feed down and
+    /// restarts it from the last checkpoint.
+    RestartFeed,
+}
+
+impl ErrorPolicy {
+    pub fn retry(policy: RetryPolicy, fallback: Fallback) -> Self {
+        ErrorPolicy::Retry { policy, fallback }
+    }
+
+    /// Whether this policy can route records to the dead-letter
+    /// dataset.
+    pub fn wants_dead_letter(&self) -> bool {
+        matches!(
+            self,
+            ErrorPolicy::SkipToDeadLetter
+                | ErrorPolicy::Retry { fallback: Fallback::DeadLetter, .. }
+        )
+    }
+}
+
+/// Restart budget for the whole feed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartPolicy {
+    /// Restarts after the initial attempt (0 = fail fast, the
+    /// pre-supervision behavior).
+    pub max_restarts: u32,
+    /// Backoff between attempts.
+    pub backoff: RetryPolicy,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy { max_restarts: 0, backoff: RetryPolicy::new(0, Duration::from_millis(10)) }
+    }
+}
+
+/// Everything the Active Feed Manager needs to supervise one feed. The
+/// default reproduces the unsupervised behavior exactly: parse and
+/// enrich errors skip-and-count, adapter and storage errors abort, no
+/// restarts, no checkpoints, no dead-letter dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisionSpec {
+    /// Reaction to adapter failures (disconnects, bind errors).
+    /// `Retry` here means "re-establish the connection after backoff".
+    pub adapter: ErrorPolicy,
+    /// Reaction to malformed / type-invalid records. Retrying a
+    /// deterministic parse is pointless, so `Retry` degrades straight
+    /// to its fallback.
+    pub parse: ErrorPolicy,
+    /// Reaction to UDF evaluation failures.
+    pub enrich: ErrorPolicy,
+    /// Reaction to storage write failures.
+    pub storage: ErrorPolicy,
+    /// Feed-level restart budget.
+    pub restart: RestartPolicy,
+    /// Dead-letter dataset name; `None` defaults to
+    /// `<feed>_dead_letters` when any policy wants dead-lettering.
+    pub dead_letter_dataset: Option<String>,
+    /// Commit an ingestion checkpoint every this many computing
+    /// batches; `None` disables checkpointing (restarts replay from
+    /// offset 0, still correct under upsert but slower).
+    pub checkpoint_interval: Option<u64>,
+    /// Bring killed nodes back before a restart attempt (a crashed NC
+    /// rejoining the cluster). Without this, a feed whose storage job
+    /// is pinned to a dead node burns its whole restart budget.
+    pub restore_nodes_on_restart: bool,
+}
+
+impl Default for SupervisionSpec {
+    fn default() -> Self {
+        SupervisionSpec {
+            adapter: ErrorPolicy::Abort,
+            parse: ErrorPolicy::Skip,
+            enrich: ErrorPolicy::Skip,
+            storage: ErrorPolicy::Abort,
+            restart: RestartPolicy::default(),
+            dead_letter_dataset: None,
+            checkpoint_interval: None,
+            restore_nodes_on_restart: true,
+        }
+    }
+}
+
+impl SupervisionSpec {
+    /// Whether any stage can produce dead letters (drives dead-letter
+    /// dataset auto-creation).
+    pub fn needs_dead_letter(&self) -> bool {
+        self.dead_letter_dataset.is_some()
+            || [&self.adapter, &self.parse, &self.enrich, &self.storage]
+                .iter()
+                .any(|p| p.wants_dead_letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_is_deterministic() {
+        let p = RetryPolicy::new(5, Duration::from_millis(10))
+            .with_cap(Duration::from_millis(60))
+            .with_seed(9);
+        let d: Vec<Duration> = (0..5).map(|a| p.delay(a)).collect();
+        // Deterministic.
+        assert_eq!(d, (0..5).map(|a| p.delay(a)).collect::<Vec<_>>());
+        // Jitter keeps each delay within [50%, 100%] of the capped exp.
+        for (a, delay) in d.iter().enumerate() {
+            let exp = Duration::from_millis(10 * (1 << a)).min(Duration::from_millis(60));
+            assert!(*delay <= exp && *delay >= exp / 2, "attempt {a}: {delay:?} vs {exp:?}");
+        }
+        // Large attempt numbers stay at the cap, no overflow.
+        assert!(p.delay(40) <= Duration::from_millis(60));
+    }
+
+    #[test]
+    fn default_supervision_matches_unsupervised_behavior() {
+        let s = SupervisionSpec::default();
+        assert_eq!(s.parse, ErrorPolicy::Skip);
+        assert_eq!(s.enrich, ErrorPolicy::Skip);
+        assert_eq!(s.adapter, ErrorPolicy::Abort);
+        assert_eq!(s.storage, ErrorPolicy::Abort);
+        assert_eq!(s.restart.max_restarts, 0);
+        assert_eq!(s.checkpoint_interval, None);
+        assert!(!s.needs_dead_letter());
+    }
+
+    #[test]
+    fn dead_letter_detection() {
+        let s = SupervisionSpec {
+            enrich: ErrorPolicy::retry(RetryPolicy::default(), Fallback::DeadLetter),
+            ..Default::default()
+        };
+        assert!(s.needs_dead_letter());
+        let s = SupervisionSpec { parse: ErrorPolicy::SkipToDeadLetter, ..Default::default() };
+        assert!(s.needs_dead_letter());
+        let s = SupervisionSpec { dead_letter_dataset: Some("dlq".into()), ..Default::default() };
+        assert!(s.needs_dead_letter());
+    }
+}

@@ -15,7 +15,7 @@
 //!
 //! Both default to zero so unit tests measure pure dataflow.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -55,11 +55,13 @@ impl Default for ClusterConfig {
     }
 }
 
-/// One worker node: its id and its partition-holder manager.
+/// One worker node: its id, its partition-holder manager, and whether
+/// its NC is currently alive.
 #[derive(Debug)]
 pub struct Node {
     id: usize,
     holders: PartitionHolderManager,
+    alive: AtomicBool,
 }
 
 impl Node {
@@ -69,6 +71,12 @@ impl Node {
 
     pub fn holders(&self) -> &PartitionHolderManager {
         &self.holders
+    }
+
+    /// Whether this node's NC is up. Tasks already running on a dead
+    /// node stop at their next frame boundary; new jobs avoid it.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
     }
 }
 
@@ -88,7 +96,11 @@ impl Cluster {
     pub fn new(config: ClusterConfig) -> Arc<Cluster> {
         assert!(config.nodes > 0, "cluster needs at least one node");
         let nodes = (0..config.nodes)
-            .map(|id| Node { id, holders: PartitionHolderManager::new() })
+            .map(|id| Node {
+                id,
+                holders: PartitionHolderManager::new(),
+                alive: AtomicBool::new(true),
+            })
             .collect();
         Arc::new(Cluster {
             config,
@@ -120,6 +132,37 @@ impl Cluster {
 
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// Node ids whose NC is currently alive.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        self.nodes.iter().filter(|n| n.is_alive()).map(|n| n.id).collect()
+    }
+
+    /// Node ids whose NC is down.
+    pub fn dead_nodes(&self) -> Vec<usize> {
+        self.nodes.iter().filter(|n| !n.is_alive()).map(|n| n.id).collect()
+    }
+
+    /// Simulates an NC crash: the node stops accepting tasks, every
+    /// partition holder it hosts fails (waking any task blocked on
+    /// one), and tasks running on it stop at their next frame boundary.
+    /// Idempotent; killing an already-dead node is a no-op.
+    pub fn kill_node(&self, id: usize) {
+        let node = &self.nodes[id];
+        if node.alive.swap(false, Ordering::AcqRel) {
+            node.holders.fail_all();
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.counter("hyracks/node_kills").inc();
+            }
+        }
+    }
+
+    /// Brings a dead NC back (a node rejoining the cluster). Holders it
+    /// hosted stay failed — feeds re-register fresh holders when they
+    /// restart.
+    pub fn restore_node(&self, id: usize) {
+        self.nodes[id].alive.store(true, Ordering::Release);
     }
 
     /// The CC's registry of predeployed job specifications.

@@ -13,6 +13,8 @@ pub enum HyracksError {
     Config(String),
     /// A task thread panicked.
     TaskPanic(String),
+    /// The node hosting a task (or pinned in a job spec) is dead.
+    NodeDown(usize),
 }
 
 impl fmt::Display for HyracksError {
@@ -22,6 +24,7 @@ impl fmt::Display for HyracksError {
             HyracksError::Operator(m) => write!(f, "operator error: {m}"),
             HyracksError::Config(m) => write!(f, "job configuration error: {m}"),
             HyracksError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+            HyracksError::NodeDown(n) => write!(f, "node {n} is down"),
         }
     }
 }

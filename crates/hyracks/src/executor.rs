@@ -112,15 +112,28 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
     let n_nodes = cluster.node_count();
     let param = Arc::new(param);
 
-    // Per-stage node assignments.
-    let assignments: Vec<Vec<usize>> =
-        (0..spec.stages.len()).map(|s| spec.stage_nodes(s, n_nodes)).collect();
+    // Per-stage node assignments. Unpinned stages spread over the
+    // *alive* nodes only (the CC re-plans around dead NCs); pinned
+    // stages are partition-bound — a pinned dead node fails the job.
+    let alive: Vec<usize> = cluster.alive_nodes();
+    if alive.is_empty() {
+        return Err(HyracksError::Config("no alive nodes in cluster".into()));
+    }
+    let assignments: Vec<Vec<usize>> = (0..spec.stages.len())
+        .map(|s| match spec.stages[s].nodes {
+            Some(_) => spec.stage_nodes(s, n_nodes),
+            None => alive.clone(),
+        })
+        .collect();
     for (s, nodes) in assignments.iter().enumerate() {
         if nodes.is_empty() {
             return Err(HyracksError::Config(format!("stage {s} assigned no nodes")));
         }
         if nodes.iter().any(|&n| n >= n_nodes) {
             return Err(HyracksError::Config(format!("stage {s} assigned missing node")));
+        }
+        if let Some(&dead) = nodes.iter().find(|&&n| !cluster.node(n).is_alive()) {
+            return Err(HyracksError::NodeDown(dead));
         }
     }
 
@@ -230,6 +243,11 @@ fn run_task(
         TaskInput::Source => op.run_source(sink, ctx),
         TaskInput::Channel(rx) => {
             for frame in rx.iter() {
+                // A task on a dead node stops at the next frame
+                // boundary instead of silently continuing to compute.
+                if !ctx.cluster.node(ctx.node).is_alive() {
+                    return Err(HyracksError::NodeDown(ctx.node));
+                }
                 op.next_frame(frame, sink, ctx)?;
             }
             Ok(())
@@ -343,6 +361,47 @@ mod tests {
             .stage_on("src", vec![0], ConnectorSpec::OneToOne, noop)
             .stage("snk", ConnectorSpec::OneToOne, sink);
         assert!(run_job(&cluster, &spec, Value::Missing).is_err());
+    }
+
+    #[test]
+    fn unpinned_stages_avoid_dead_nodes() {
+        let cluster = Cluster::with_nodes(4);
+        cluster.kill_node(2);
+        let seen: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let spec = JobSpec::new("replan").stage(
+            "src",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                let seen = seen2.clone();
+                Box::new(FnSource(move |_: &mut dyn FrameSink, ctx: &mut TaskContext| {
+                    seen.lock().push(ctx.node);
+                    Ok(())
+                })) as Box<dyn Operator>
+            }),
+        );
+        run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+        let mut nodes = seen.lock().clone();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![0, 1, 3], "dead node 2 must get no tasks");
+    }
+
+    #[test]
+    fn pinned_stage_on_dead_node_rejected() {
+        let cluster = Cluster::with_nodes(2);
+        cluster.kill_node(1);
+        let noop: crate::job::OperatorFactory = Arc::new(|_ctx: &TaskContext| {
+            Box::new(FnSource(|_: &mut dyn FrameSink, _: &mut TaskContext| Ok(())))
+                as Box<dyn Operator>
+        });
+        let spec = JobSpec::new("pinned").stage_on("src", vec![1], ConnectorSpec::OneToOne, noop);
+        let err = match run_job(&cluster, &spec, Value::Missing) {
+            Err(e) => e,
+            Ok(_) => panic!("job on a dead pinned node must be rejected"),
+        };
+        assert_eq!(err, HyracksError::NodeDown(1));
+        cluster.restore_node(1);
+        assert!(run_job(&cluster, &spec, Value::Missing).unwrap().join().is_ok());
     }
 
     #[test]

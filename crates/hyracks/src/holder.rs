@@ -14,7 +14,7 @@
 //! owning job uses.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
@@ -74,6 +74,18 @@ pub struct PartitionHolder {
     tx: Sender<HolderMsg>,
     rx: Receiver<HolderMsg>,
     eof_seen: AtomicBool,
+    /// Whether EOF has been *pushed* into this holder — lets the feed
+    /// supervisor tell a clean producer shutdown from a producer that
+    /// died without closing its holder.
+    eof_pushed: AtomicBool,
+    /// Set by [`fail`](Self::fail) when the hosting node dies: pushes
+    /// error out, pulls drain to EOF, `drained()` is satisfied.
+    poisoned: AtomicBool,
+    /// Records successfully enqueued / records handed to consumers.
+    /// The checkpoint protocol compares these across stage boundaries
+    /// to prove the pipeline is quiescent.
+    received: AtomicU64,
+    taken: AtomicU64,
     /// Records pulled off a frame but beyond a batch boundary; consumed
     /// first by the next pull so batch sizes stay exact regardless of
     /// frame size.
@@ -96,6 +108,10 @@ impl PartitionHolder {
             tx,
             rx,
             eof_seen: AtomicBool::new(false),
+            eof_pushed: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            received: AtomicU64::new(0),
+            taken: AtomicU64::new(0),
             leftover: parking_lot::Mutex::new(std::collections::VecDeque::new()),
             obs: RwLock::new(None),
         }
@@ -141,24 +157,54 @@ impl PartitionHolder {
     /// Enqueues a frame, blocking while the queue is full (back-pressure
     /// toward the producer, as with a size-limited queue in the paper).
     pub fn push_frame(&self, frame: Frame) -> Result<()> {
-        // Fast path first so the blocked-push counter only ticks when
-        // back-pressure actually engages.
-        let msg = match self.tx.try_send(HolderMsg::Frame(frame)) {
-            Ok(()) => return Ok(()),
-            Err(TrySendError::Full(msg)) => {
-                self.note_blocked_push();
-                msg
+        if self.poisoned() {
+            return Err(HyracksError::Disconnected("failed partition holder"));
+        }
+        let n = frame.len() as u64;
+        let mut msg = HolderMsg::Frame(frame);
+        let mut blocked = false;
+        // Back-pressure loop. Not a blocking `send`: a producer parked
+        // inside the channel could never observe `fail()` and would
+        // sleep forever on a holder whose consumer died with it.
+        loop {
+            match self.tx.try_send(msg) {
+                Ok(()) => {
+                    if self.poisoned() {
+                        // fail() raced us; the frame is lost with the
+                        // rest of the queue, and the producer must stop.
+                        return Err(HyracksError::Disconnected("failed partition holder"));
+                    }
+                    self.received.fetch_add(n, Ordering::AcqRel);
+                    return Ok(());
+                }
+                Err(TrySendError::Full(m)) => {
+                    // Count once per push so the counter reflects how
+                    // often back-pressure engaged, not how long.
+                    if !blocked {
+                        self.note_blocked_push();
+                        blocked = true;
+                    }
+                    if self.poisoned() {
+                        return Err(HyracksError::Disconnected("failed partition holder"));
+                    }
+                    msg = m;
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(HyracksError::Disconnected("partition holder"))
+                }
             }
-            Err(TrySendError::Disconnected(_)) => {
-                return Err(HyracksError::Disconnected("partition holder"))
-            }
-        };
-        self.tx.send(msg).map_err(|_| HyracksError::Disconnected("partition holder"))
+        }
     }
 
     /// Marks end-of-feed: the special "EOF" record of §6.1. Consumers
     /// finish their current batch without waiting for it to fill.
     pub fn push_eof(&self) -> Result<()> {
+        self.eof_pushed.store(true, Ordering::Release);
+        if self.poisoned() {
+            // fail() already delivered an EOF to the consumer.
+            return Ok(());
+        }
         self.tx
             .send(HolderMsg::Eof)
             .map_err(|_| HyracksError::Disconnected("partition holder"))
@@ -167,6 +213,46 @@ impl PartitionHolder {
     /// Whether EOF has been *consumed* from this holder.
     pub fn eof_seen(&self) -> bool {
         self.eof_seen.load(Ordering::Acquire)
+    }
+
+    /// Whether a producer has *pushed* EOF (or the holder was failed).
+    pub fn eof_pushed(&self) -> bool {
+        self.eof_pushed.load(Ordering::Acquire)
+    }
+
+    /// Whether the holder has been failed by [`fail`](Self::fail).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Records successfully enqueued so far.
+    pub fn received(&self) -> u64 {
+        self.received.load(Ordering::Acquire)
+    }
+
+    /// Records handed to consumers so far.
+    pub fn taken(&self) -> u64 {
+        self.taken.load(Ordering::Acquire)
+    }
+
+    /// Fails the holder: the hosting node died. Idempotent. Queued
+    /// frames are discarded (unblocking any producer stuck in
+    /// back-pressure — its next push errors), and a single EOF marker
+    /// is delivered so a consumer blocked in `pull_*` wakes up.
+    pub fn fail(&self) {
+        if self.poisoned.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // A producer blocked in back-pressure can slip its frame in
+        // right after the drain, displacing the EOF; drain again until
+        // the EOF lands. Terminates: new pushes see `poisoned` and bail
+        // at entry, so only already-blocked sends race with us.
+        loop {
+            while self.rx.try_recv().is_ok() {}
+            if self.tx.try_send(HolderMsg::Eof).is_ok() {
+                break;
+            }
+        }
     }
 
     /// Pulls one frame, blocking; `None` means EOF.
@@ -178,7 +264,10 @@ impl PartitionHolder {
             self.note_blocked_pull();
         }
         match self.rx.recv() {
-            Ok(HolderMsg::Frame(f)) => Ok(Some(f)),
+            Ok(HolderMsg::Frame(f)) => {
+                self.taken.fetch_add(f.len() as u64, Ordering::AcqRel);
+                Ok(Some(f))
+            }
             Ok(HolderMsg::Eof) => {
                 self.eof_seen.store(true, Ordering::Release);
                 Ok(None)
@@ -203,9 +292,11 @@ impl PartitionHolder {
             }
         }
         if out.len() >= max_records {
+            self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
             return Ok(Batch { records: out, eof: self.eof_seen() });
         }
         if self.eof_seen() {
+            self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
             return Ok(Batch { records: out, eof: true });
         }
         while out.len() < max_records {
@@ -227,18 +318,62 @@ impl PartitionHolder {
                 }
                 Ok(HolderMsg::Eof) => {
                     self.eof_seen.store(true, Ordering::Release);
+                    self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
                     return Ok(Batch { records: out, eof: true });
                 }
                 Err(_) => return Err(HyracksError::Disconnected("partition holder")),
             }
         }
+        self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
         Ok(Batch { records: out, eof: false })
     }
 
+    /// Non-blocking variant of [`pull_batch`](Self::pull_batch): takes
+    /// whatever is immediately available (up to `max_records`) without
+    /// waiting for the batch to fill. The checkpoint drain uses this so
+    /// a computing invocation issued while the adapters are paused
+    /// cannot block on a quiet intake holder.
+    pub fn try_pull_batch(&self, max_records: usize) -> Result<Batch> {
+        let mut out = Vec::new();
+        {
+            let mut leftover = self.leftover.lock();
+            while out.len() < max_records {
+                match leftover.pop_front() {
+                    Some(r) => out.push(r),
+                    None => break,
+                }
+            }
+        }
+        while out.len() < max_records {
+            match self.rx.try_recv() {
+                Ok(HolderMsg::Frame(f)) => {
+                    let mut records = f.into_records().into_iter();
+                    while out.len() < max_records {
+                        match records.next() {
+                            Some(r) => out.push(r),
+                            None => break,
+                        }
+                    }
+                    let mut leftover = self.leftover.lock();
+                    leftover.extend(records);
+                }
+                Ok(HolderMsg::Eof) => {
+                    self.eof_seen.store(true, Ordering::Release);
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
+        Ok(Batch { records: out, eof: self.eof_seen() })
+    }
+
     /// Whether EOF has been consumed and no records remain (queued or
-    /// leftover) — the feed driver's stop condition.
+    /// leftover) — the feed driver's stop condition. A failed holder is
+    /// always drained (its contents are gone).
     pub fn drained(&self) -> bool {
-        self.eof_seen() && self.rx.is_empty() && self.leftover.lock().is_empty()
+        self.poisoned()
+            || (self.eof_seen() && self.rx.is_empty() && self.leftover.lock().is_empty())
     }
 
     /// Non-blocking drain used by tests and shutdown paths; `eof` in
@@ -255,6 +390,7 @@ impl PartitionHolder {
                 }
             }
         }
+        self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
         Batch { records: out, eof: self.eof_seen() }
     }
 }
@@ -301,6 +437,14 @@ impl PartitionHolderManager {
     /// Drops a holder registration (feed shutdown).
     pub fn unregister(&self, name: &str) -> Option<Arc<PartitionHolder>> {
         self.holders.write().remove(name)
+    }
+
+    /// Fails every registered holder — the node died. Tasks blocked on
+    /// any of this node's holders wake up and error out.
+    pub fn fail_all(&self) {
+        for holder in self.holders.read().values() {
+            holder.fail();
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -384,6 +528,79 @@ mod tests {
         assert!(!batch.eof);
         h.push_eof().unwrap();
         assert!(h.try_pull_all().eof);
+    }
+
+    #[test]
+    fn counters_track_received_and_taken() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 8).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1), Value::Int(2)])).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(3)])).unwrap();
+        assert_eq!(h.received(), 3);
+        assert_eq!(h.taken(), 0);
+        let b = h.pull_batch(2).unwrap();
+        assert_eq!(b.len(), 2);
+        assert_eq!(h.taken(), 2, "leftover records count only when handed out");
+        let b = h.try_pull_batch(10).unwrap();
+        assert_eq!(b.len(), 1);
+        assert_eq!(h.taken(), 3);
+        assert!(!h.eof_pushed());
+        h.push_eof().unwrap();
+        assert!(h.eof_pushed());
+    }
+
+    #[test]
+    fn try_pull_batch_does_not_block() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 8).unwrap();
+        let b = h.try_pull_batch(100).unwrap();
+        assert!(b.is_empty());
+        assert!(!b.eof);
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+        h.push_eof().unwrap();
+        let b = h.try_pull_batch(100).unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.eof);
+    }
+
+    #[test]
+    fn failed_holder_unblocks_both_sides() {
+        let m = PartitionHolderManager::new();
+        let h = m.register("h", HolderMode::Passive, 1).unwrap();
+        h.push_frame(Frame::from_records(vec![Value::Int(1)])).unwrap();
+
+        // A producer stuck in back-pressure...
+        let h2 = h.clone();
+        let producer = std::thread::spawn(move || {
+            let mut pushed = 0;
+            while h2.push_frame(Frame::from_records(vec![Value::Int(9)])).is_ok() {
+                pushed += 1;
+            }
+            pushed
+        });
+        // ...and a consumer that can only return at EOF.
+        let h3 = h.clone();
+        let consumer = std::thread::spawn(move || h3.pull_batch(usize::MAX).unwrap());
+
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        h.fail();
+        let _ = producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        assert!(got.eof, "consumer must wake with EOF");
+        assert!(h.poisoned());
+        assert!(h.drained(), "failed holder counts as drained");
+        assert!(h.push_frame(Frame::from_records(vec![Value::Int(1)])).is_err());
+        assert!(h.push_eof().is_ok(), "EOF after failure is a no-op");
+        h.fail(); // idempotent
+    }
+
+    #[test]
+    fn fail_all_poisons_every_holder() {
+        let m = PartitionHolderManager::new();
+        let a = m.register("a", HolderMode::Passive, 1).unwrap();
+        let b = m.register("b", HolderMode::Active, 1).unwrap();
+        m.fail_all();
+        assert!(a.poisoned() && b.poisoned());
     }
 
     #[test]

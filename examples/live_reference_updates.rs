@@ -20,7 +20,7 @@ fn slow_feed(n: i64, per_second: f64) -> AdapterFactory {
     let records: Arc<Vec<String>> = Arc::new((0..n).map(tweet).collect());
     Arc::new(move |_, _| {
         let inner = Box::new(VecAdapter::new((*records).clone()));
-        Box::new(RateLimitedAdapter::new(inner, per_second)) as Box<dyn Adapter>
+        Ok(Box::new(RateLimitedAdapter::new(inner, per_second)) as Box<dyn Adapter>)
     })
 }
 

@@ -16,6 +16,9 @@
 //!   per-batch-refreshed enrichment UDFs;
 //! * [`obs`] — the unified observability layer (metrics registry,
 //!   snapshots, ADM rendering);
+//! * [`ft`] — the fault-tolerance subsystem (deterministic fault
+//!   injection, per-stage error policies, dead-letter capture,
+//!   ingestion checkpoints);
 //! * [`workload`] — synthetic tweets, reference data and the paper's
 //!   eight enrichment scenarios;
 //! * [`clustersim`] — discrete-event cluster model for scale-out studies.
@@ -33,6 +36,7 @@
 pub use idea_adm as adm;
 pub use idea_clustersim as clustersim;
 pub use idea_core as ingestion;
+pub use idea_ft as ft;
 pub use idea_hyracks as hyracks;
 pub use idea_obs as obs;
 pub use idea_query as query;
@@ -47,6 +51,9 @@ pub mod prelude {
         ActiveFeedManager, Adapter, AdapterFactory, ComputingModel, ExecOutcome, FeedHandle,
         FeedSpec, GeneratorAdapter, IngestError, IngestionEngine, IngestionReport, PipelineMode,
         RateLimitedAdapter, SocketAdapter, VecAdapter,
+    };
+    pub use idea_ft::{
+        ErrorPolicy, Fallback, Fault, FaultPlan, RestartPolicy, RetryPolicy, SupervisionSpec,
     };
     pub use idea_obs::{MetricsRegistry, MetricsScope, Snapshot};
 }

@@ -1,0 +1,66 @@
+//! Invoke-overhead microbenchmark: resident task pool vs spawn-per-run.
+//!
+//! Both sides execute the same two-stage job (source → round-robin →
+//! counting sink) on the same cluster with zero modeled dispatch cost,
+//! so the difference is pure execution-model overhead: thread spawn +
+//! channel wiring per invocation (spawn-per-run) vs an activation
+//! message to parked workers (pool). `ingest_bench` (the `scripts/
+//! bench.sh` binary) reports the same comparison as JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use idea_adm::Value;
+use idea_hyracks::operator::{FnOperator, FnSource};
+use idea_hyracks::{
+    run_job, Cluster, ConnectorSpec, Frame, FrameSink, JobSpec, Operator, TaskContext,
+};
+
+/// Two-stage job: each source partition emits `records` ints, a
+/// round-robin connector fans them out, the sink stage counts them.
+fn emit_count_spec(records: usize, counter: Arc<AtomicU64>) -> JobSpec {
+    JobSpec::new("invoke-overhead")
+        .stage(
+            "emit",
+            ConnectorSpec::RoundRobin,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(FnSource(move |sink: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                    sink.push(Frame::from_records((0..records as i64).map(Value::Int).collect()))
+                })) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "count",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                let counter = counter.clone();
+                Box::new(FnOperator(
+                    move |f: Frame, _sink: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                        counter.fetch_add(f.len() as u64, Ordering::Relaxed);
+                        Ok(())
+                    },
+                )) as Box<dyn Operator>
+            }),
+        )
+}
+
+fn bench_invoke(c: &mut Criterion) {
+    const NODES: usize = 4;
+    const RECORDS: usize = 64;
+
+    let cluster = Cluster::with_nodes(NODES);
+    let counter = Arc::new(AtomicU64::new(0));
+    let id = cluster.deploy_job(emit_count_spec(RECORDS, counter.clone()));
+    c.bench_function("invoke_predeployed_pool", |b| {
+        b.iter(|| cluster.invoke_deployed(id, Value::Missing).unwrap().join().unwrap())
+    });
+
+    let spec = emit_count_spec(RECORDS, counter);
+    c.bench_function("invoke_spawn_per_run", |b| {
+        b.iter(|| run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap())
+    });
+}
+
+criterion_group!(benches, bench_invoke);
+criterion_main!(benches);

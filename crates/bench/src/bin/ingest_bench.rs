@@ -1,0 +1,238 @@
+//! `scripts/bench.sh` entry point: measures the execution-model change
+//! (resident task pool vs spawn-per-run) and writes `BENCH_ingest.json`.
+//!
+//! Two sections:
+//!
+//! 1. **Invoke overhead** — the same two-stage job invoked repeatedly
+//!    as a predeployed (pooled) job and as spawn-per-run `run_job`,
+//!    reporting mean / p50 / p99 latency per invocation and the
+//!    pooled-vs-spawned speedup (the PR's ≥2× acceptance bar).
+//! 2. **Ingestion** — a fixed-seed end-to-end enrichment run in both
+//!    predeployed and spawn-per-run modes, reporting records/sec and
+//!    the per-batch invoke latency p50 / p99.
+//!
+//! `--smoke` (or `IDEA_BENCH_SMOKE=1`) shrinks iteration counts and the
+//! tweet stream so CI can run the whole thing in seconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use idea_adm::Value;
+use idea_bench::EnrichmentRun;
+use idea_hyracks::operator::{FnOperator, FnSource};
+use idea_hyracks::{
+    run_job, Cluster, ConnectorSpec, Frame, FrameSink, JobSpec, Operator, TaskContext,
+};
+use idea_workload::WorkloadScale;
+
+/// Same shape as the `invoke_overhead` criterion bench: source →
+/// round-robin → counting sink.
+fn emit_count_spec(records: usize, counter: Arc<AtomicU64>) -> JobSpec {
+    JobSpec::new("invoke-overhead")
+        .stage(
+            "emit",
+            ConnectorSpec::RoundRobin,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(FnSource(move |sink: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                    sink.push(Frame::from_records((0..records as i64).map(Value::Int).collect()))
+                })) as Box<dyn Operator>
+            }),
+        )
+        .stage(
+            "count",
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                let counter = counter.clone();
+                Box::new(FnOperator(
+                    move |f: Frame, _sink: &mut dyn FrameSink, _ctx: &mut TaskContext| {
+                        counter.fetch_add(f.len() as u64, Ordering::Relaxed);
+                        Ok(())
+                    },
+                )) as Box<dyn Operator>
+            }),
+        )
+}
+
+#[derive(Debug)]
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn stats(samples: &[Duration]) -> LatencyStats {
+    let mut us: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e6).collect();
+    us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = us.iter().sum::<f64>() / us.len().max(1) as f64;
+    LatencyStats { mean_us: mean, p50_us: percentile(&us, 0.50), p99_us: percentile(&us, 0.99) }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+struct InvokeOverhead {
+    iterations: usize,
+    tasks: usize,
+    pooled: LatencyStats,
+    spawned: LatencyStats,
+    speedup: f64,
+}
+
+/// Times `iterations` warm invocations of the same job through the
+/// resident pool and through spawn-per-run.
+fn measure_invoke_overhead(iterations: usize) -> InvokeOverhead {
+    const NODES: usize = 4;
+    const RECORDS: usize = 64;
+    let warmup = (iterations / 10).max(3);
+
+    let cluster = Cluster::with_nodes(NODES);
+    let counter = Arc::new(AtomicU64::new(0));
+    let id = cluster.deploy_job(emit_count_spec(RECORDS, counter.clone()));
+    let mut pooled = Vec::with_capacity(iterations);
+    for i in 0..warmup + iterations {
+        let t = Instant::now();
+        cluster.invoke_deployed(id, Value::Missing).unwrap().join().unwrap();
+        if i >= warmup {
+            pooled.push(t.elapsed());
+        }
+    }
+
+    let spec = emit_count_spec(RECORDS, counter);
+    let mut spawned = Vec::with_capacity(iterations);
+    for i in 0..warmup + iterations {
+        let t = Instant::now();
+        run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+        if i >= warmup {
+            spawned.push(t.elapsed());
+        }
+    }
+
+    let pooled = stats(&pooled);
+    let spawned = stats(&spawned);
+    let speedup = spawned.mean_us / pooled.mean_us;
+    InvokeOverhead { iterations, tasks: NODES * 2, pooled, spawned, speedup }
+}
+
+struct IngestResult {
+    mode: &'static str,
+    tweets: u64,
+    records_stored: u64,
+    elapsed_ms: f64,
+    records_per_sec: f64,
+    computing_jobs: u64,
+    batch: LatencyStats,
+}
+
+/// Fixed-seed end-to-end ingestion (no UDF, decoupled pipeline); the
+/// per-batch durations are the computing job's invoke latencies.
+fn measure_ingestion(tweets: u64, predeploy: bool) -> IngestResult {
+    let mut run = EnrichmentRun::new(None, tweets, WorkloadScale::scaled(0.01));
+    run.predeploy = predeploy;
+    // Cut batches so the run spans ~12 computing-job invocations —
+    // enough samples for the p50/p99 invoke-latency columns.
+    run.batch_size = (tweets / (run.nodes as u64 * 12)).max(16);
+    let report = idea_bench::run_enrichment(&run);
+    IngestResult {
+        mode: if predeploy { "predeployed" } else { "spawn_per_run" },
+        tweets,
+        records_stored: report.records_stored,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        records_per_sec: report.throughput,
+        computing_jobs: report.computing_jobs,
+        batch: stats(&report.batch_durations),
+    }
+}
+
+fn json_latency(s: &LatencyStats) -> String {
+    format!(
+        "{{\"mean_us\": {:.2}, \"p50_us\": {:.2}, \"p99_us\": {:.2}}}",
+        s.mean_us, s.p50_us, s.p99_us
+    )
+}
+
+fn json_ingest(r: &IngestResult) -> String {
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"tweets\": {}, \"records_stored\": {}, ",
+            "\"elapsed_ms\": {:.2}, \"records_per_sec\": {:.1}, ",
+            "\"computing_jobs\": {}, \"invoke_latency\": {}}}"
+        ),
+        r.mode,
+        r.tweets,
+        r.records_stored,
+        r.elapsed_ms,
+        r.records_per_sec,
+        r.computing_jobs,
+        json_latency(&r.batch)
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("IDEA_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let (iterations, tweets) = if smoke { (50, 1_200) } else { (300, 10_000) };
+
+    eprintln!("== invoke overhead ({iterations} iterations) ==");
+    let overhead = measure_invoke_overhead(iterations);
+    eprintln!(
+        "pooled   mean {:.1}us  p50 {:.1}us  p99 {:.1}us",
+        overhead.pooled.mean_us, overhead.pooled.p50_us, overhead.pooled.p99_us
+    );
+    eprintln!(
+        "spawned  mean {:.1}us  p50 {:.1}us  p99 {:.1}us",
+        overhead.spawned.mean_us, overhead.spawned.p50_us, overhead.spawned.p99_us
+    );
+    eprintln!("speedup  {:.2}x", overhead.speedup);
+
+    eprintln!("== ingestion ({tweets} tweets, seed 42) ==");
+    let pooled_run = measure_ingestion(tweets, true);
+    let spawned_run = measure_ingestion(tweets, false);
+    for r in [&pooled_run, &spawned_run] {
+        eprintln!(
+            "{:<14} {:>9.1} rec/s  invoke p50 {:.1}us p99 {:.1}us  ({} jobs)",
+            r.mode, r.records_per_sec, r.batch.p50_us, r.batch.p99_us, r.computing_jobs
+        );
+    }
+
+    let out = std::env::args().nth(1).filter(|a| a != "--smoke");
+    let path = out.unwrap_or_else(|| "BENCH_ingest.json".to_string());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"smoke\": {},\n",
+            "  \"invoke_overhead\": {{\n",
+            "    \"iterations\": {}, \"tasks\": {},\n",
+            "    \"pooled\": {},\n",
+            "    \"spawn_per_run\": {},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"ingestion\": [\n    {},\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        smoke,
+        overhead.iterations,
+        overhead.tasks,
+        json_latency(&overhead.pooled),
+        json_latency(&overhead.spawned),
+        overhead.speedup,
+        json_ingest(&pooled_run),
+        json_ingest(&spawned_run)
+    );
+    std::fs::write(&path, json).expect("write BENCH_ingest.json");
+    eprintln!("wrote {path}");
+
+    // The PR's acceptance bar: predeployed invocation must be at least
+    // 2x cheaper than spawn-per-run on the same job.
+    assert!(
+        overhead.speedup >= 2.0,
+        "pooled invoke speedup {:.2}x is below the 2x acceptance bar",
+        overhead.speedup
+    );
+}

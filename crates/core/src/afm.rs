@@ -419,9 +419,12 @@ fn drive_batches(
     storage: &JobHandle,
     deployed: Option<idea_hyracks::DeployedJobId>,
 ) -> Result<()> {
+    // One allocation for the (empty) invocation parameter, shared by
+    // every batch and every task via `Arc` instead of a per-task clone.
+    let missing: Arc<idea_adm::Value> = Arc::new(idea_adm::Value::Missing);
     let mut invoke = || -> Result<JobHandle> {
         match deployed {
-            Some(id) => Ok(cluster.invoke_deployed(id, idea_adm::Value::Missing)?),
+            Some(id) => Ok(cluster.invoke_deployed(id, missing.clone())?),
             None => {
                 // Recompile: same shared state, fresh plan cache.
                 let recompiled = Arc::new(FeedShared {
@@ -441,7 +444,7 @@ fn drive_batches(
                     ckpt_base: shared.ckpt_base.clone(),
                 });
                 let spec = build_computing_spec(&recompiled);
-                Ok(idea_hyracks::run_job(cluster, &spec, idea_adm::Value::Missing)?)
+                Ok(idea_hyracks::run_job(cluster, &spec, missing.clone())?)
             }
         }
     };
@@ -494,7 +497,10 @@ fn join_watched(
     handle: JobHandle,
 ) -> Result<()> {
     loop {
-        if handle.is_finished() {
+        // Event-driven wait: the handle's latch wakes us the moment the
+        // job completes; the timeout is only the watchdog cadence for
+        // noticing a dead intake/storage job.
+        if handle.wait_timeout(Duration::from_micros(200)) {
             return handle.join().map_err(IngestError::from);
         }
         let storage_died = storage.is_finished();
@@ -509,7 +515,6 @@ fn join_watched(
         if storage_died || intake_died {
             fail_feed_holders(cluster, shared);
         }
-        std::thread::sleep(Duration::from_micros(200));
     }
 }
 

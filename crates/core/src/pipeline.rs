@@ -175,7 +175,9 @@ impl Operator for AdapterSource {
                     shared.gate.ack();
                     last_ack = epoch;
                 }
-                std::thread::sleep(std::time::Duration::from_micros(200));
+                // Park on the gate's condvar: resume wakes us at once;
+                // the timeout keeps the stop flag observable.
+                shared.gate.wait_resume(std::time::Duration::from_millis(1));
                 continue;
             }
             // Absolute index of the record about to be emitted — fault

@@ -20,6 +20,8 @@
 //! primary-key upserts in the storage job.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Per-intake-partition record offsets: a `live` counter each adapter
 /// bumps as it emits, and a `committed` snapshot updated only at
@@ -112,6 +114,11 @@ pub struct PauseGate {
     epoch: AtomicU64,
     acks: AtomicU64,
     active: AtomicU64,
+    /// Parking spot for paused adapters; `resume` takes the lock before
+    /// notifying, so a `wait_resume` that saw `paused == true` under the
+    /// lock cannot miss the wake-up.
+    resume_lock: Mutex<()>,
+    resumed: Condvar,
 }
 
 impl PauseGate {
@@ -140,10 +147,24 @@ impl PauseGate {
 
     pub fn resume(&self) {
         self.paused.store(false, Ordering::Release);
+        let _guard = self.resume_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.resumed.notify_all();
     }
 
     pub fn paused(&self) -> bool {
         self.paused.load(Ordering::Acquire)
+    }
+
+    /// Parks the caller until the gate is resumed or `timeout` elapses
+    /// — the condvar replacement for sleep-polling [`paused`]
+    /// (`Self::paused`) in an adapter's pause loop. The timeout bounds
+    /// the wait so a paused adapter still observes an external stop
+    /// signal promptly.
+    pub fn wait_resume(&self, timeout: Duration) {
+        let guard = self.resume_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.paused.load(Ordering::Acquire) {
+            let _ = self.resumed.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     pub fn epoch(&self) -> u64 {

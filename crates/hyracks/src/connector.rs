@@ -54,12 +54,12 @@ impl ConnectorSpec {
     }
 
     /// Instantiates the runtime sink for one upstream partition.
-    pub(crate) fn instantiate(
+    pub(crate) fn instantiate<T: FrameTx>(
         &self,
         my_partition: usize,
-        downstream: Vec<Sender<Frame>>,
+        downstream: Vec<T>,
         frame_capacity: usize,
-    ) -> ConnectorSink {
+    ) -> ConnectorSink<T> {
         ConnectorSink {
             spec: self.clone(),
             downstream,
@@ -70,19 +70,33 @@ impl ConnectorSpec {
     }
 }
 
+/// Abstraction over an inter-stage edge, so one connector implementation
+/// drives both the spawn-per-run channels (plain `Sender<Frame>`) and
+/// the resident task pool's control-framed channels.
+pub(crate) trait FrameTx {
+    fn send_frame(&self, frame: Frame) -> Result<()>;
+}
+
+impl FrameTx for Sender<Frame> {
+    fn send_frame(&self, frame: Frame) -> Result<()> {
+        self.send(frame).map_err(|_| HyracksError::Disconnected("connector downstream"))
+    }
+}
+
 /// Runtime connector: buffers per-destination records and ships frames.
-pub struct ConnectorSink {
+pub(crate) struct ConnectorSink<T = Sender<Frame>> {
     spec: ConnectorSpec,
-    downstream: Vec<Sender<Frame>>,
+    downstream: Vec<T>,
     rr_next: usize,
     buffers: Vec<Vec<Value>>,
     frame_capacity: usize,
 }
 
-impl ConnectorSink {
+impl<T: FrameTx> ConnectorSink<T> {
     fn ensure_buffers(&mut self) {
         if self.buffers.is_empty() {
-            self.buffers = (0..self.downstream.len()).map(|_| Vec::new()).collect();
+            let cap = self.frame_capacity;
+            self.buffers = (0..self.downstream.len()).map(|_| Vec::with_capacity(cap)).collect();
         }
     }
 
@@ -90,38 +104,51 @@ impl ConnectorSink {
         self.ensure_buffers();
         self.buffers[dest].push(record);
         if self.buffers[dest].len() >= self.frame_capacity {
-            let frame = Frame::from_records(std::mem::take(&mut self.buffers[dest]));
-            self.downstream[dest]
-                .send(frame)
-                .map_err(|_| HyracksError::Disconnected("connector downstream"))?;
+            // Hand the full buffer to the frame and start a pre-sized
+            // replacement, so the steady state allocates one Vec per
+            // shipped frame and never regrows mid-fill.
+            let cap = self.frame_capacity;
+            let frame = Frame::from_records(std::mem::replace(
+                &mut self.buffers[dest],
+                Vec::with_capacity(cap),
+            ));
+            self.downstream[dest].send_frame(frame)?;
         }
         Ok(())
     }
 
     /// Flushes buffered records as (possibly short) frames.
     pub fn flush(&mut self) -> Result<()> {
+        let cap = self.frame_capacity;
         for (dest, buf) in self.buffers.iter_mut().enumerate() {
             if !buf.is_empty() {
-                let frame = Frame::from_records(std::mem::take(buf));
-                self.downstream[dest]
-                    .send(frame)
-                    .map_err(|_| HyracksError::Disconnected("connector downstream"))?;
+                let frame = Frame::from_records(std::mem::replace(buf, Vec::with_capacity(cap)));
+                self.downstream[dest].send_frame(frame)?;
             }
         }
         Ok(())
     }
+
+    /// Drops buffered records without shipping them. A pooled invocation
+    /// that errors mid-run clears its connector so partial output cannot
+    /// leak into the next invocation.
+    pub(crate) fn clear(&mut self) {
+        for buf in &mut self.buffers {
+            buf.clear();
+        }
+    }
 }
 
-impl FrameSink for ConnectorSink {
+impl<T: FrameTx> FrameSink for ConnectorSink<T> {
     fn push(&mut self, frame: Frame) -> Result<()> {
         let n = self.downstream.len();
         match &self.spec {
             ConnectorSpec::OneToOne => {
-                // Partition-preserving: one downstream channel was wired.
+                // Partition-preserving: one downstream channel was
+                // wired, and the frame is forwarded unchanged — no
+                // record copy, the buffer travels to the consumer.
                 debug_assert_eq!(n, 1, "one-to-one connector must have exactly one target");
-                return self.downstream[0]
-                    .send(frame)
-                    .map_err(|_| HyracksError::Disconnected("connector downstream"));
+                return self.downstream[0].send_frame(frame);
             }
             ConnectorSpec::RoundRobin => {
                 for rec in frame.into_records() {
@@ -206,7 +233,7 @@ mod tests {
 
     #[test]
     fn frames_cut_at_capacity() {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = unbounded::<Frame>();
         let mut sink = ConnectorSpec::RoundRobin.instantiate(0, vec![tx], 4);
         sink.push(Frame::from_records((0..10).map(Value::Int).collect())).unwrap();
         sink.flush().unwrap();

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 use idea_adm::Value;
@@ -13,54 +14,80 @@ use crate::connector::ConnectorSpec;
 use crate::frame::Frame;
 use crate::job::{JobSpec, TaskContext};
 use crate::operator::FrameSink;
+use crate::pool::{panic_message, InvocationState, Latch, LatchGuard};
 use crate::{HyracksError, Result};
 
 /// A running job; join it to wait for completion and collect task
 /// failures.
 pub struct JobHandle {
     name: String,
-    tasks: Vec<JoinHandle<Result<()>>>,
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    /// Fallback path: one freshly spawned OS thread per task.
+    Spawned { tasks: Vec<JoinHandle<Result<()>>>, latch: Arc<Latch> },
+    /// One invocation running on a resident task pool (predeployed job).
+    Pooled(Arc<InvocationState>),
 }
 
 impl JobHandle {
+    pub(crate) fn pooled(name: String, inv: Arc<InvocationState>) -> JobHandle {
+        JobHandle { name, inner: HandleInner::Pooled(inv) }
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }
 
     /// Waits for all tasks; the first task error (or panic) is returned.
     pub fn join(self) -> Result<()> {
-        let mut first_err = None;
-        for t in self.tasks {
-            match t.join() {
-                Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
+        match self.inner {
+            HandleInner::Spawned { tasks, .. } => {
+                let mut first_err = None;
+                for t in tasks {
+                    match t.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            first_err.get_or_insert(e);
+                        }
+                        Err(p) => {
+                            first_err.get_or_insert(HyracksError::TaskPanic(panic_message(&p)));
+                        }
+                    }
                 }
-                Err(p) => {
-                    let msg = p
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| p.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic>".into());
-                    first_err.get_or_insert(HyracksError::TaskPanic(msg));
+                match first_err {
+                    None => Ok(()),
+                    Some(e) => Err(e),
                 }
             }
-        }
-        match first_err {
-            None => Ok(()),
-            Some(e) => Err(e),
+            HandleInner::Pooled(inv) => inv.wait(),
         }
     }
 
     /// Whether every task has finished (non-blocking).
     pub fn is_finished(&self) -> bool {
-        self.tasks.iter().all(JoinHandle::is_finished)
+        match &self.inner {
+            HandleInner::Spawned { latch, .. } => latch.is_done(),
+            HandleInner::Pooled(inv) => inv.is_done(),
+        }
+    }
+
+    /// Parks until the job finishes or `timeout` elapses; returns
+    /// whether the job finished. The event-driven replacement for
+    /// polling [`is_finished`](Self::is_finished) in a sleep loop: a
+    /// completing job wakes the waiter through the latch condvar.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        match &self.inner {
+            HandleInner::Spawned { latch, .. } => latch.wait_timeout(timeout),
+            HandleInner::Pooled(inv) => inv.wait_timeout(timeout),
+        }
     }
 }
 
 /// A sink for the last stage: pushing into it is a wiring bug (terminal
 /// operators consume their input — e.g. write to storage or a holder).
-struct TerminalSink;
+pub(crate) struct TerminalSink;
 
 impl FrameSink for TerminalSink {
     fn push(&mut self, _frame: Frame) -> Result<()> {
@@ -72,10 +99,10 @@ impl FrameSink for TerminalSink {
 
 /// RAII increment of the `hyracks/tasks_active` gauge for one task
 /// thread's lifetime.
-struct ActiveTask(Arc<Gauge>);
+pub(crate) struct ActiveTask(Arc<Gauge>);
 
 impl ActiveTask {
-    fn enter(gauge: Arc<Gauge>) -> ActiveTask {
+    pub(crate) fn enter(gauge: Arc<Gauge>) -> ActiveTask {
         gauge.inc();
         ActiveTask(gauge)
     }
@@ -87,34 +114,17 @@ impl Drop for ActiveTask {
     }
 }
 
-enum TaskInput {
-    Source,
-    Channel(Receiver<Frame>),
-}
-
-enum TaskOutput {
-    Terminal,
-    Connector(ConnectorSpec, Vec<Sender<Frame>>),
-}
-
-/// Starts `spec` on `cluster` with an invocation parameter and returns a
-/// handle. The CC dispatch loop pays
-/// [`crate::ClusterConfig::task_dispatch_cost`] per task serially; each
-/// task then sleeps [`crate::ClusterConfig::task_start_latency`] before
-/// its operator opens — together these model the job-activation overhead
-/// that grows with cluster size (paper §7.1).
-pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<JobHandle> {
+/// Plans per-stage node assignments for `spec` and validates the wiring.
+/// Unpinned stages spread over the *alive* nodes only (the CC re-plans
+/// around dead NCs); pinned stages are partition-bound — a pinned dead
+/// node fails the job. Shared by the spawn-per-run path and the
+/// resident-pool build so both reject the same specs with the same
+/// errors.
+pub(crate) fn plan_assignments(cluster: &Cluster, spec: &JobSpec) -> Result<Vec<Vec<usize>>> {
     if spec.stages.is_empty() {
         return Err(HyracksError::Config("job has no stages".into()));
     }
-    cluster.record_job_start();
-    let instance = cluster.next_job_instance();
     let n_nodes = cluster.node_count();
-    let param = Arc::new(param);
-
-    // Per-stage node assignments. Unpinned stages spread over the
-    // *alive* nodes only (the CC re-plans around dead NCs); pinned
-    // stages are partition-bound — a pinned dead node fails the job.
     let alive: Vec<usize> = cluster.alive_nodes();
     if alive.is_empty() {
         return Err(HyracksError::Config("no alive nodes in cluster".into()));
@@ -136,13 +146,6 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
             return Err(HyracksError::NodeDown(dead));
         }
     }
-
-    // Channels feeding each non-first stage, one per partition.
-    let mut stage_inputs: Vec<Vec<(Sender<Frame>, Receiver<Frame>)>> = Vec::new();
-    for nodes in assignments.iter().skip(1) {
-        stage_inputs.push((0..nodes.len()).map(|_| bounded(spec.channel_capacity)).collect());
-    }
-
     // For OneToOne connectors the two stages must align 1:1.
     for (s, stage) in spec.stages.iter().enumerate().take(spec.stages.len() - 1) {
         if matches!(stage.connector, ConnectorSpec::OneToOne)
@@ -154,7 +157,43 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
             )));
         }
     }
+    Ok(assignments)
+}
 
+enum TaskInput {
+    Source,
+    Channel(Receiver<Frame>),
+}
+
+enum TaskOutput {
+    Terminal,
+    Connector(ConnectorSpec, Vec<Sender<Frame>>),
+}
+
+/// Starts `spec` on `cluster` with an invocation parameter and returns a
+/// handle. The CC dispatch loop pays
+/// [`crate::ClusterConfig::task_dispatch_cost`] per task serially; each
+/// task then sleeps [`crate::ClusterConfig::task_start_latency`] before
+/// its operator opens — together these model the job-activation overhead
+/// that grows with cluster size (paper §7.1).
+pub fn run_job(
+    cluster: &Arc<Cluster>,
+    spec: &JobSpec,
+    param: impl Into<Arc<Value>>,
+) -> Result<JobHandle> {
+    let assignments = plan_assignments(cluster, spec)?;
+    cluster.record_job_start();
+    let instance = cluster.next_job_instance();
+    let param: Arc<Value> = param.into();
+
+    // Channels feeding each non-first stage, one per partition.
+    let mut stage_inputs: Vec<Vec<(Sender<Frame>, Receiver<Frame>)>> = Vec::new();
+    for nodes in assignments.iter().skip(1) {
+        stage_inputs.push((0..nodes.len()).map(|_| bounded(spec.channel_capacity)).collect());
+    }
+
+    let n_tasks: usize = assignments.iter().map(Vec::len).sum();
+    let latch = Arc::new(Latch::new(n_tasks));
     let mut tasks = Vec::new();
     let dispatch_cost = cluster.config().task_dispatch_cost;
     let start_latency = cluster.config().task_start_latency;
@@ -195,11 +234,13 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
             let frame_capacity = spec.frame_capacity;
             let thread_name = format!("{}#{instance}/{}/{p}", spec.name, stage.name);
             let active_gauge = tasks_active.clone();
+            let task_latch = latch.clone();
             let handle = std::thread::Builder::new()
                 .name(thread_name)
                 .spawn(move || -> Result<()> {
-                    // Decremented when the task exits, error paths
-                    // included.
+                    // Decremented when the task exits, error paths and
+                    // panics included, so `wait_timeout` waiters wake.
+                    let _done = LatchGuard::new(task_latch);
                     let _active = active_gauge.map(ActiveTask::enter);
                     if !start_latency.is_zero() {
                         std::thread::sleep(start_latency);
@@ -230,7 +271,7 @@ pub fn run_job(cluster: &Arc<Cluster>, spec: &JobSpec, param: Value) -> Result<J
     }
     drop(stage_inputs);
 
-    Ok(JobHandle { name: spec.name.clone(), tasks })
+    Ok(JobHandle { name: spec.name.clone(), inner: HandleInner::Spawned { tasks, latch } })
 }
 
 fn run_task(

@@ -13,11 +13,10 @@
 //! [`PartitionHolderManager`]; the mode records the discipline the
 //! owning job uses.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use idea_adm::Value;
 use idea_obs::{Counter, MetricsScope};
 use parking_lot::RwLock;
@@ -67,12 +66,42 @@ struct HolderObs {
     blocked_pulls: Arc<Counter>,
 }
 
+/// Queue contents guarded by [`HolderQueue::state`]. `poisoned` is
+/// mirrored from the holder's atomic so blocked waiters re-check it
+/// without releasing the lock.
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<HolderMsg>,
+    poisoned: bool,
+}
+
+/// Condvar-guarded bounded queue. Producers park on `not_full`,
+/// consumers on `not_empty`; [`PartitionHolder::fail`] wakes both sides
+/// under the lock, so nobody can sleep through a node death and no
+/// sleep-polling is needed anywhere on the frame path.
+struct HolderQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl HolderQueue {
+    fn new(capacity: usize) -> Self {
+        HolderQueue {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+}
+
 /// A guarded, bounded frame queue shared between jobs.
 pub struct PartitionHolder {
     name: String,
     mode: HolderMode,
-    tx: Sender<HolderMsg>,
-    rx: Receiver<HolderMsg>,
+    q: HolderQueue,
     eof_seen: AtomicBool,
     /// Whether EOF has been *pushed* into this holder — lets the feed
     /// supervisor tell a clean producer shutdown from a producer that
@@ -95,18 +124,16 @@ pub struct PartitionHolder {
 
 impl std::fmt::Debug for PartitionHolder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PartitionHolder({}, {:?}, queued={})", self.name, self.mode, self.rx.len())
+        write!(f, "PartitionHolder({}, {:?}, queued={})", self.name, self.mode, self.queued())
     }
 }
 
 impl PartitionHolder {
     fn new(name: String, mode: HolderMode, capacity: usize) -> Self {
-        let (tx, rx) = bounded(capacity.max(1));
         PartitionHolder {
             name,
             mode,
-            tx,
-            rx,
+            q: HolderQueue::new(capacity),
             eof_seen: AtomicBool::new(false),
             eof_pushed: AtomicBool::new(false),
             poisoned: AtomicBool::new(false),
@@ -151,63 +178,88 @@ impl PartitionHolder {
 
     /// Frames currently queued.
     pub fn queued(&self) -> usize {
-        self.rx.len()
+        self.lock_state().queue.len()
+    }
+
+    /// Locks the queue state; a waiter that panicked mid-update cannot
+    /// leave the queue in a half-written state (every mutation below is
+    /// a single `VecDeque` call), so a poisoned lock is recoverable.
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.q.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocking pop. Never returns "disconnected": the holder owns its
+    /// queue, and `fail()` plants an EOF, so a parked consumer always
+    /// wakes to a message.
+    fn pop_blocking(&self) -> HolderMsg {
+        let mut st = self.lock_state();
+        if st.queue.is_empty() {
+            self.note_blocked_pull();
+        }
+        loop {
+            if let Some(msg) = st.queue.pop_front() {
+                drop(st);
+                self.q.not_full.notify_one();
+                return msg;
+            }
+            st = self.q.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn try_pop(&self) -> Option<HolderMsg> {
+        let msg = self.lock_state().queue.pop_front();
+        if msg.is_some() {
+            self.q.not_full.notify_one();
+        }
+        msg
     }
 
     /// Enqueues a frame, blocking while the queue is full (back-pressure
     /// toward the producer, as with a size-limited queue in the paper).
+    /// The wait is a condvar park — `fail()` takes the same lock and
+    /// wakes us, so a producer blocked here observes a node death
+    /// immediately instead of discovering it on a poll tick.
     pub fn push_frame(&self, frame: Frame) -> Result<()> {
         if self.poisoned() {
             return Err(HyracksError::Disconnected("failed partition holder"));
         }
         let n = frame.len() as u64;
-        let mut msg = HolderMsg::Frame(frame);
+        let mut st = self.lock_state();
         let mut blocked = false;
-        // Back-pressure loop. Not a blocking `send`: a producer parked
-        // inside the channel could never observe `fail()` and would
-        // sleep forever on a holder whose consumer died with it.
-        loop {
-            match self.tx.try_send(msg) {
-                Ok(()) => {
-                    if self.poisoned() {
-                        // fail() raced us; the frame is lost with the
-                        // rest of the queue, and the producer must stop.
-                        return Err(HyracksError::Disconnected("failed partition holder"));
-                    }
-                    self.received.fetch_add(n, Ordering::AcqRel);
-                    return Ok(());
-                }
-                Err(TrySendError::Full(m)) => {
-                    // Count once per push so the counter reflects how
-                    // often back-pressure engaged, not how long.
-                    if !blocked {
-                        self.note_blocked_push();
-                        blocked = true;
-                    }
-                    if self.poisoned() {
-                        return Err(HyracksError::Disconnected("failed partition holder"));
-                    }
-                    msg = m;
-                    std::thread::sleep(std::time::Duration::from_micros(100));
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    return Err(HyracksError::Disconnected("partition holder"))
-                }
+        while !st.poisoned && st.queue.len() >= self.q.capacity {
+            // Count once per push so the counter reflects how often
+            // back-pressure engaged, not how long.
+            if !blocked {
+                self.note_blocked_push();
+                blocked = true;
             }
+            st = self.q.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
         }
+        if st.poisoned {
+            return Err(HyracksError::Disconnected("failed partition holder"));
+        }
+        st.queue.push_back(HolderMsg::Frame(frame));
+        drop(st);
+        self.received.fetch_add(n, Ordering::AcqRel);
+        self.q.not_empty.notify_one();
+        Ok(())
     }
 
     /// Marks end-of-feed: the special "EOF" record of §6.1. Consumers
-    /// finish their current batch without waiting for it to fill.
+    /// finish their current batch without waiting for it to fill. The
+    /// marker may exceed the capacity bound by one entry — a full
+    /// holder must never wedge its producer's shutdown path.
     pub fn push_eof(&self) -> Result<()> {
         self.eof_pushed.store(true, Ordering::Release);
-        if self.poisoned() {
+        let mut st = self.lock_state();
+        if st.poisoned {
             // fail() already delivered an EOF to the consumer.
             return Ok(());
         }
-        self.tx
-            .send(HolderMsg::Eof)
-            .map_err(|_| HyracksError::Disconnected("partition holder"))
+        st.queue.push_back(HolderMsg::Eof);
+        drop(st);
+        self.q.not_empty.notify_one();
+        Ok(())
     }
 
     /// Whether EOF has been *consumed* from this holder.
@@ -243,16 +295,16 @@ impl PartitionHolder {
         if self.poisoned.swap(true, Ordering::AcqRel) {
             return;
         }
-        // A producer blocked in back-pressure can slip its frame in
-        // right after the drain, displacing the EOF; drain again until
-        // the EOF lands. Terminates: new pushes see `poisoned` and bail
-        // at entry, so only already-blocked sends race with us.
-        loop {
-            while self.rx.try_recv().is_ok() {}
-            if self.tx.try_send(HolderMsg::Eof).is_ok() {
-                break;
-            }
-        }
+        // Under the queue lock there is no race with blocked producers:
+        // they re-check `poisoned` before enqueueing, so the EOF we
+        // plant here stays the terminal message.
+        let mut st = self.lock_state();
+        st.poisoned = true;
+        st.queue.clear();
+        st.queue.push_back(HolderMsg::Eof);
+        drop(st);
+        self.q.not_empty.notify_all();
+        self.q.not_full.notify_all();
     }
 
     /// Pulls one frame, blocking; `None` means EOF.
@@ -260,19 +312,15 @@ impl PartitionHolder {
         if self.eof_seen() {
             return Ok(None);
         }
-        if self.rx.is_empty() {
-            self.note_blocked_pull();
-        }
-        match self.rx.recv() {
-            Ok(HolderMsg::Frame(f)) => {
+        match self.pop_blocking() {
+            HolderMsg::Frame(f) => {
                 self.taken.fetch_add(f.len() as u64, Ordering::AcqRel);
                 Ok(Some(f))
             }
-            Ok(HolderMsg::Eof) => {
+            HolderMsg::Eof => {
                 self.eof_seen.store(true, Ordering::Release);
                 Ok(None)
             }
-            Err(_) => Err(HyracksError::Disconnected("partition holder")),
         }
     }
 
@@ -300,11 +348,8 @@ impl PartitionHolder {
             return Ok(Batch { records: out, eof: true });
         }
         while out.len() < max_records {
-            if self.rx.is_empty() {
-                self.note_blocked_pull();
-            }
-            match self.rx.recv() {
-                Ok(HolderMsg::Frame(f)) => {
+            match self.pop_blocking() {
+                HolderMsg::Frame(f) => {
                     let mut records = f.into_records().into_iter();
                     while out.len() < max_records {
                         match records.next() {
@@ -316,12 +361,11 @@ impl PartitionHolder {
                     let mut leftover = self.leftover.lock();
                     leftover.extend(records);
                 }
-                Ok(HolderMsg::Eof) => {
+                HolderMsg::Eof => {
                     self.eof_seen.store(true, Ordering::Release);
                     self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
                     return Ok(Batch { records: out, eof: true });
                 }
-                Err(_) => return Err(HyracksError::Disconnected("partition holder")),
             }
         }
         self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
@@ -345,8 +389,8 @@ impl PartitionHolder {
             }
         }
         while out.len() < max_records {
-            match self.rx.try_recv() {
-                Ok(HolderMsg::Frame(f)) => {
+            match self.try_pop() {
+                Some(HolderMsg::Frame(f)) => {
                     let mut records = f.into_records().into_iter();
                     while out.len() < max_records {
                         match records.next() {
@@ -357,11 +401,11 @@ impl PartitionHolder {
                     let mut leftover = self.leftover.lock();
                     leftover.extend(records);
                 }
-                Ok(HolderMsg::Eof) => {
+                Some(HolderMsg::Eof) => {
                     self.eof_seen.store(true, Ordering::Release);
                     break;
                 }
-                Err(_) => break,
+                None => break,
             }
         }
         self.taken.fetch_add(out.len() as u64, Ordering::AcqRel);
@@ -373,7 +417,9 @@ impl PartitionHolder {
     /// always drained (its contents are gone).
     pub fn drained(&self) -> bool {
         self.poisoned()
-            || (self.eof_seen() && self.rx.is_empty() && self.leftover.lock().is_empty())
+            || (self.eof_seen()
+                && self.lock_state().queue.is_empty()
+                && self.leftover.lock().is_empty())
     }
 
     /// Non-blocking drain used by tests and shutdown paths; `eof` in
@@ -381,7 +427,7 @@ impl PartitionHolder {
     /// consumed (now or earlier).
     pub fn try_pull_all(&self) -> Batch {
         let mut out: Vec<Value> = self.leftover.lock().drain(..).collect();
-        while let Ok(msg) = self.rx.try_recv() {
+        while let Some(msg) = self.try_pop() {
             match msg {
                 HolderMsg::Frame(f) => out.extend(f.into_records()),
                 HolderMsg::Eof => {

@@ -23,7 +23,11 @@
 //!   guarded queues that let *different jobs* exchange frames;
 //! * [`predeploy`] — **parameterized predeployed jobs** (paper §5.1):
 //!   compile once, cache the job spec on the cluster, invoke repeatedly
-//!   with new parameters.
+//!   with new parameters;
+//! * [`pool`] — the **resident task pool** behind a predeployed job:
+//!   one parked worker thread per (stage, partition), persistent
+//!   channels, so an invocation is one activation message instead of a
+//!   round of thread spawns.
 
 pub mod cluster;
 pub mod connector;
@@ -33,6 +37,7 @@ pub mod frame;
 pub mod holder;
 pub mod job;
 pub mod operator;
+pub mod pool;
 pub mod predeploy;
 
 pub use cluster::{Cluster, ClusterConfig};
@@ -43,6 +48,7 @@ pub use frame::Frame;
 pub use holder::{Batch, HolderMode, PartitionHolder, PartitionHolderManager};
 pub use job::{JobSpec, StageSpec, TaskContext};
 pub use operator::{FnOperator, FrameSink, Operator};
+pub use pool::TaskPool;
 pub use predeploy::{DeployedJobId, DeployedJobRegistry};
 
 /// Crate-wide result alias.

@@ -15,7 +15,7 @@
 //! exactly once per feed and deploys it here.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use idea_adm::Value;
@@ -24,18 +24,33 @@ use parking_lot::RwLock;
 use crate::cluster::Cluster;
 use crate::executor::{run_job, JobHandle};
 use crate::job::JobSpec;
+use crate::pool::TaskPool;
 use crate::{HyracksError, Result};
 
 /// Handle to a predeployed job specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeployedJobId(u64);
 
-/// CC-side cache of predeployed job specifications.
+/// One predeployed job: the cached spec plus its resident task pool.
+#[derive(Debug)]
+struct DeployedEntry {
+    spec: Arc<JobSpec>,
+    /// `None` when the spec can't materialize a pool (e.g. pinned to a
+    /// dead node at deploy time): `invoke_deployed` then falls back to
+    /// spawn-per-run, which surfaces the same error the old path did —
+    /// deploy stays infallible.
+    pool: Option<Arc<TaskPool>>,
+}
+
+/// CC-side cache of predeployed job specifications and their pools.
 #[derive(Debug, Default)]
 pub struct DeployedJobRegistry {
-    jobs: RwLock<HashMap<u64, Arc<JobSpec>>>,
+    jobs: RwLock<HashMap<u64, DeployedEntry>>,
     next_id: AtomicU64,
     invocations: AtomicU64,
+    /// Live pool worker threads across all deployed jobs; decremented
+    /// by each worker as it exits.
+    resident_workers: Arc<AtomicUsize>,
 }
 
 impl DeployedJobRegistry {
@@ -57,12 +72,26 @@ impl DeployedJobRegistry {
     pub fn invocation_count(&self) -> u64 {
         self.invocations.load(Ordering::Relaxed)
     }
+
+    /// Pool worker threads currently resident (parked or running)
+    /// across all deployed jobs.
+    pub fn resident_workers(&self) -> usize {
+        self.resident_workers.load(Ordering::Acquire)
+    }
+
+    /// A clonable probe of the resident-worker count that outlives the
+    /// cluster — lets tests and diagnostics verify that dropping the
+    /// engine reaps every parked worker.
+    pub fn resident_worker_probe(&self) -> Arc<AtomicUsize> {
+        self.resident_workers.clone()
+    }
 }
 
 impl Cluster {
-    /// Distributes a compiled job spec to every node and caches it.
-    /// Costs one `task_dispatch_cost` per node (the distribution
-    /// messages), paid once.
+    /// Distributes a compiled job spec to every node, caches it, and
+    /// materializes its resident task pool. Costs one
+    /// `task_dispatch_cost` per node (the distribution messages), paid
+    /// once — re-invocations never pay it again.
     pub fn deploy_job(self: &Arc<Self>, spec: JobSpec) -> DeployedJobId {
         let dispatch = self.config().task_dispatch_cost;
         if !dispatch.is_zero() {
@@ -70,29 +99,45 @@ impl Cluster {
             std::thread::sleep(dispatch * self.node_count() as u32);
         }
         let reg = self.deployed_jobs();
+        let spec = Arc::new(spec);
+        let pool = TaskPool::build(self, &spec, reg.resident_worker_probe()).ok().map(Arc::new);
         let id = reg.next_id.fetch_add(1, Ordering::Relaxed);
-        reg.jobs.write().insert(id, Arc::new(spec));
+        reg.jobs.write().insert(id, DeployedEntry { spec, pool });
         DeployedJobId(id)
     }
 
     /// Invokes a predeployed job with a parameter; no compilation, no
-    /// spec distribution — just the activation message.
-    pub fn invoke_deployed(self: &Arc<Self>, id: DeployedJobId, param: Value) -> Result<JobHandle> {
-        let spec = {
+    /// spec distribution, no thread spawning — just the activation
+    /// message handed to the parked pool workers.
+    pub fn invoke_deployed(
+        self: &Arc<Self>,
+        id: DeployedJobId,
+        param: impl Into<Arc<Value>>,
+    ) -> Result<JobHandle> {
+        let (spec, pool) = {
             let reg = self.deployed_jobs();
-            reg.jobs
-                .read()
+            let jobs = reg.jobs.read();
+            let entry = jobs
                 .get(&id.0)
-                .cloned()
-                .ok_or_else(|| HyracksError::Config(format!("no deployed job {:?}", id)))?
+                .ok_or_else(|| HyracksError::Config(format!("no deployed job {id:?}")))?;
+            (entry.spec.clone(), entry.pool.clone())
         };
         self.deployed_jobs().invocations.fetch_add(1, Ordering::Relaxed);
-        run_job(self, &spec, param)
+        let param = param.into();
+        match pool {
+            Some(pool) => pool.invoke(self, param),
+            None => run_job(self, &spec, param),
+        }
     }
 
-    /// Removes a deployed job (feed shutdown).
+    /// Removes a deployed job (feed shutdown), tearing its task pool
+    /// down: workers receive a shutdown command and are joined.
     pub fn undeploy_job(&self, id: DeployedJobId) -> bool {
-        self.deployed_jobs().jobs.write().remove(&id.0).is_some()
+        let entry = self.deployed_jobs().jobs.write().remove(&id.0);
+        // The entry (and with it the pool) drops here, outside the
+        // registry lock, so joining parked workers can't block other
+        // registry users.
+        entry.is_some()
     }
 }
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Invoke-overhead + ingestion benchmark for the resident task pool.
+# Writes BENCH_ingest.json at the repo root and fails if the pooled
+# invoke path is not at least 2x cheaper than spawn-per-run.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   shrink iteration counts / tweet stream for CI
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+args=()
+if [[ "${1:-}" == "--smoke" ]]; then
+    export IDEA_BENCH_SMOKE=1
+    args+=(--smoke)
+fi
+
+cargo run --release --offline -p idea-bench --bin ingest_bench -- ${args[@]+"${args[@]}"}

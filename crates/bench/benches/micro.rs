@@ -127,17 +127,17 @@ fn bench_hash_vs_index(c: &mut Criterion) {
     setup_tweet_datasets(&catalog).unwrap();
     let scale = WorkloadScale { monuments: 20_000, ..WorkloadScale::tiny() };
     let sc = setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).unwrap();
-    idea_query::run_sqlpp(
-        &catalog,
-        r#"CREATE FUNCTION naiveNearby(t) {
+    idea_query::Session::new(catalog.clone())
+        .run_script(
+            r#"CREATE FUNCTION naiveNearby(t) {
             LET nearby_monuments =
                 (SELECT VALUE m.monument_id FROM monumentList /*+ noindex */ m
                  WHERE spatial_intersect(m.monument_location,
                      create_circle(create_point(t.latitude, t.longitude), 1.5)))
             SELECT t.*, nearby_monuments
         };"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     let gen = TweetGenerator::new(6);
     let tweets: Vec<Value> = (0..32)
         .map(|i| idea_adm::json::parse(gen.generate(i).as_bytes()).unwrap())

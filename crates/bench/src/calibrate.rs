@@ -100,11 +100,9 @@ pub fn calibrate_cost_model() -> CostModel {
 
     // Store cost (fresh single-partition dataset, LSM upserts).
     let catalog = Catalog::new(1);
-    idea_query::run_sqlpp(
-        &catalog,
-        "CREATE TYPE T AS OPEN { id: int64 }; CREATE DATASET D(T) PRIMARY KEY id;",
-    )
-    .unwrap();
+    idea_query::Session::new(catalog.clone())
+        .run_script("CREATE TYPE T AS OPEN { id: int64 }; CREATE DATASET D(T) PRIMARY KEY id;")
+        .unwrap();
     let ds = catalog.dataset("D").unwrap();
     let t = Instant::now();
     for rec in &parsed {

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use idea_hyracks::Cluster;
 use idea_query::ast::Statement;
-use idea_query::{Catalog, StatementResult};
+use idea_query::{Catalog, Session, StatementResult};
 use parking_lot::Mutex;
 
 use crate::adapter::{AdapterFactory, SocketAdapter};
@@ -44,6 +44,7 @@ struct FeedDecl {
 pub struct IngestionEngine {
     cluster: Arc<Cluster>,
     catalog: Arc<Catalog>,
+    session: Session,
     afm: ActiveFeedManager,
     adapters: Mutex<HashMap<String, AdapterFactory>>,
     feeds: Mutex<HashMap<String, FeedDecl>>,
@@ -54,9 +55,11 @@ impl IngestionEngine {
     /// partition counts must agree).
     pub fn new(cluster: Arc<Cluster>, catalog: Arc<Catalog>) -> Arc<IngestionEngine> {
         let afm = ActiveFeedManager::new(cluster.clone(), catalog.clone());
+        let session = Session::with_cluster(catalog.clone(), cluster.clone());
         Arc::new(IngestionEngine {
             cluster,
             catalog,
+            session,
             afm,
             adapters: Mutex::new(HashMap::new()),
             feeds: Mutex::new(HashMap::new()),
@@ -78,6 +81,14 @@ impl IngestionEngine {
 
     pub fn afm(&self) -> &ActiveFeedManager {
         &self.afm
+    }
+
+    /// The engine's SQL++ session: shared plan cache, prepared-statement
+    /// parameters, and the execution-mode knob (switch it to
+    /// [`idea_query::ExecMode::Parallel`] to run eligible queries as
+    /// partitioned Hyracks jobs on the engine's cluster).
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// The engine-wide metrics registry: per-feed pipeline counters,
@@ -147,7 +158,7 @@ impl IngestionEngine {
                 let report = self.afm.stop_and_wait(name)?;
                 Ok(ExecOutcome::FeedStopped(report))
             }
-            other => Ok(ExecOutcome::Statement(idea_query::execute(&self.catalog, other)?)),
+            other => Ok(ExecOutcome::Statement(self.session.execute(other)?)),
         }
     }
 

@@ -5,7 +5,11 @@ use std::sync::Arc;
 
 use idea_adm::Value;
 use idea_core::{FeedSpec, IngestionEngine, VecAdapter};
-use idea_query::ddl::run_sqlpp;
+use idea_query::{Catalog, Session, StatementResult};
+
+fn run_sqlpp(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<Vec<StatementResult>> {
+    Session::new(catalog.clone()).run_script(text)
+}
 use idea_query::QueryError;
 
 fn setup() -> Arc<IngestionEngine> {

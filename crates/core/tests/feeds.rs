@@ -5,7 +5,15 @@ use std::sync::Arc;
 
 use idea_adm::Value;
 use idea_core::{ComputingModel, ExecOutcome, FeedSpec, IngestionEngine, PipelineMode, VecAdapter};
-use idea_query::ddl::run_sqlpp;
+use idea_query::{Catalog, Session, StatementResult};
+
+fn run_sqlpp(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<Vec<StatementResult>> {
+    Session::new(catalog.clone()).run_script(text)
+}
+
+fn run_query(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<idea_adm::Value> {
+    Session::new(catalog.clone()).query(text)
+}
 
 fn tweet_json(id: i64, country: &str, text: &str) -> String {
     format!(r#"{{"id": {id}, "text": "{text}", "country": "{country}"}}"#)
@@ -49,7 +57,7 @@ fn tweets(n: i64) -> Vec<String> {
 }
 
 fn red_count(engine: &IngestionEngine) -> usize {
-    idea_query::run_query(
+    run_query(
         engine.catalog(),
         r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#,
     )
@@ -78,7 +86,7 @@ fn decoupled_feed_ingests_and_enriches() {
     // FR tweets (odd ids) never contain "bombe".
     assert_eq!(red_count(&engine), 50);
     // Every record kept its enrichment field.
-    let greens = idea_query::run_query(
+    let greens = run_query(
         engine.catalog(),
         r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Green""#,
     )
@@ -306,7 +314,7 @@ fn enriched_records_are_queryable_with_analytics() {
         .with_batch_size(15);
     engine.start_feed(spec).unwrap().wait().unwrap();
     // The paper's Figure 9 analytical query over the *enriched* data.
-    let v = idea_query::run_query(
+    let v = run_query(
         engine.catalog(),
         r#"SELECT t.country Country, count(t) Num
            FROM Tweets t

@@ -1,0 +1,158 @@
+//! Result collection: how a query job hands its final rows back to the
+//! caller.
+//!
+//! A Hyracks job is fire-and-forget from the runtime's point of view —
+//! operators push frames downstream and the job handle only reports
+//! success or failure. Queries need the final stage's output back on the
+//! calling thread, so the merge stage ends in a [`CollectorOp`] writing
+//! into a [`ResultChannel`] the caller holds the other end of.
+//!
+//! The channel is unbounded: the collector runs as the single task of
+//! the last stage, sends exactly one result set per invocation, and the
+//! pool serializes invocations — so at most one result is in flight and
+//! the send can never block a pool worker.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use idea_adm::Value;
+
+use crate::frame::Frame;
+use crate::job::TaskContext;
+use crate::operator::{FrameSink, Operator};
+use crate::{HyracksError, Result};
+
+/// Finalization applied to the collected rows before they are sent
+/// (sort/limit/distinct for queries; identity for plain collection).
+pub type Finisher = Arc<dyn Fn(Vec<Value>, &TaskContext) -> Result<Vec<Value>> + Send + Sync>;
+
+/// The caller-side half of a collector: one `Vec<Value>` result set per
+/// job invocation.
+#[derive(Debug)]
+pub struct ResultChannel {
+    tx: Sender<Vec<Value>>,
+    rx: Receiver<Vec<Value>>,
+}
+
+impl ResultChannel {
+    pub fn new() -> Arc<ResultChannel> {
+        let (tx, rx) = unbounded();
+        Arc::new(ResultChannel { tx, rx })
+    }
+
+    /// Sends one invocation's result set (collector side).
+    pub fn send(&self, rows: Vec<Value>) -> Result<()> {
+        self.tx.send(rows).map_err(|_| HyracksError::Disconnected("result channel"))
+    }
+
+    /// Receives one invocation's result set (caller side). The timeout
+    /// guards against wiring bugs; a completed invocation has already
+    /// sent by the time its handle joins.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<Value>> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|_| HyracksError::Disconnected("result channel (recv timeout)"))
+    }
+
+    /// Discards any buffered result sets (after a failed invocation, so
+    /// a partial result cannot be mistaken for the next invocation's).
+    pub fn drain(&self) -> usize {
+        self.rx.try_iter().count()
+    }
+}
+
+/// Terminal operator: buffers every input record, applies the finisher
+/// at close, and sends the finished rows through the result channel.
+pub struct CollectorOp {
+    buf: Vec<Value>,
+    chan: Arc<ResultChannel>,
+    finisher: Option<Finisher>,
+}
+
+impl CollectorOp {
+    pub fn new(chan: Arc<ResultChannel>) -> CollectorOp {
+        CollectorOp { buf: Vec::new(), chan, finisher: None }
+    }
+
+    pub fn with_finisher(chan: Arc<ResultChannel>, finisher: Finisher) -> CollectorOp {
+        CollectorOp { buf: Vec::new(), chan, finisher: Some(finisher) }
+    }
+}
+
+impl Operator for CollectorOp {
+    fn next_frame(
+        &mut self,
+        frame: Frame,
+        _out: &mut dyn FrameSink,
+        _ctx: &mut TaskContext,
+    ) -> Result<()> {
+        self.buf.extend(frame.into_records());
+        Ok(())
+    }
+
+    fn close(&mut self, _out: &mut dyn FrameSink, ctx: &mut TaskContext) -> Result<()> {
+        let rows = std::mem::take(&mut self.buf);
+        let rows = match &self.finisher {
+            Some(f) => f(rows, ctx)?,
+            None => rows,
+        };
+        self.chan.send(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::ConnectorSpec;
+    use crate::executor::run_job;
+    use crate::job::JobSpec;
+    use crate::operator::FnSource;
+    use crate::Cluster;
+
+    #[test]
+    fn collector_returns_rows_to_caller() {
+        let cluster = Cluster::with_nodes(3);
+        let chan = ResultChannel::new();
+        let chan2 = chan.clone();
+        let spec = JobSpec::new("collect")
+            .stage(
+                "emit",
+                ConnectorSpec::RoundRobin,
+                Arc::new(|ctx: &TaskContext| {
+                    let base = ctx.partition as i64 * 10;
+                    Box::new(FnSource(move |sink: &mut dyn FrameSink, _: &mut TaskContext| {
+                        sink.push(Frame::from_records((base..base + 3).map(Value::Int).collect()))
+                    })) as Box<dyn Operator>
+                }),
+            )
+            .stage_on(
+                "collect",
+                vec![0],
+                ConnectorSpec::OneToOne,
+                Arc::new(move |_: &TaskContext| {
+                    Box::new(CollectorOp::with_finisher(
+                        chan2.clone(),
+                        Arc::new(|mut rows, _| {
+                            rows.sort();
+                            Ok(rows)
+                        }),
+                    )) as Box<dyn Operator>
+                }),
+            );
+        run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+        let rows = chan.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0], Value::Int(0));
+        assert_eq!(rows[8], Value::Int(22));
+    }
+
+    #[test]
+    fn drain_discards_stale_results() {
+        let chan = ResultChannel::new();
+        chan.send(vec![Value::Int(1)]).unwrap();
+        chan.send(vec![Value::Int(2)]).unwrap();
+        assert_eq!(chan.drain(), 2);
+        assert!(chan.recv_timeout(Duration::from_millis(10)).is_err());
+    }
+}

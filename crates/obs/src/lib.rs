@@ -28,6 +28,7 @@
 //!   foreign structures).
 
 mod histogram;
+pub mod names;
 mod registry;
 mod snapshot;
 

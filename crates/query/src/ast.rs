@@ -177,6 +177,10 @@ pub enum Statement {
     Upsert { dataset: String, source: Expr },
     /// `DELETE FROM dataset alias WHERE cond`
     Delete { dataset: String, alias: String, where_clause: Option<Expr> },
+    /// `DROP DATASET name`
+    DropDataset { name: String },
+    /// `DROP INDEX dataset.name`
+    DropIndex { dataset: String, name: String },
     /// A top-level query.
     Query(Expr),
     /// `CREATE FEED name WITH { "k": "v", ... }`

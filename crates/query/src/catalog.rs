@@ -6,6 +6,7 @@
 //! are [`PartitionedDataset`]s — one storage partition per cluster node.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use idea_adm::{Datatype, TypeTag};
@@ -26,6 +27,9 @@ pub struct Catalog {
     partitions: usize,
     dataset_config: DatasetConfig,
     inner: RwLock<Inner>,
+    /// Bumped on every DDL mutation; cached plans (and predeployed
+    /// query jobs) compiled against an older version are stale.
+    version: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -43,11 +47,27 @@ impl Catalog {
 
     pub fn with_config(partitions: usize, dataset_config: DatasetConfig) -> Arc<Catalog> {
         assert!(partitions > 0);
-        Arc::new(Catalog { partitions, dataset_config, inner: RwLock::new(Inner::default()) })
+        Arc::new(Catalog {
+            partitions,
+            dataset_config,
+            inner: RwLock::new(Inner::default()),
+            version: AtomicU64::new(0),
+        })
     }
 
     pub fn partitions(&self) -> usize {
         self.partitions
+    }
+
+    /// The catalog's DDL version. Any CREATE/DROP of a type, dataset,
+    /// index, or function bumps it; plan caches compare against it to
+    /// invalidate plans whose access-method choices may have changed.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
     }
 
     // ---- types -------------------------------------------------------
@@ -58,6 +78,8 @@ impl Catalog {
             return Err(QueryError::Invalid(format!("type {} already exists", dt.name)));
         }
         inner.types.insert(dt.name.clone(), dt);
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 
@@ -97,6 +119,18 @@ impl Catalog {
             self.dataset_config.clone(),
         );
         inner.datasets.insert(name.to_owned(), Arc::new(ds));
+        drop(inner);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Drops a dataset (its partitions and indexes go with it).
+    pub fn drop_dataset(&self, name: &str) -> Result<()> {
+        let removed = self.inner.write().datasets.remove(name);
+        if removed.is_none() {
+            return Err(QueryError::Unresolved(format!("dataset {name}")));
+        }
+        self.bump_version();
         Ok(())
     }
 
@@ -128,6 +162,15 @@ impl Catalog {
             IndexKindAst::RTree => IndexDef::rtree(name, field),
         };
         ds.create_index(def)?;
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Drops a secondary index from every partition of `dataset`.
+    pub fn drop_index(&self, dataset: &str, name: &str) -> Result<()> {
+        let ds = self.dataset(dataset)?;
+        ds.drop_index(name)?;
+        self.bump_version();
         Ok(())
     }
 
@@ -147,6 +190,8 @@ impl Catalog {
         // using an UPSERT statement instantly" (paper §3.2) — replacing
         // is allowed.
         inner.functions.insert(def.name().to_owned(), def);
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 

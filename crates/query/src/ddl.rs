@@ -1,9 +1,10 @@
-//! Statement execution: DDL, DML, and queries against a [`Catalog`].
+//! Deprecated free-function statement API.
 //!
-//! Feed statements (`CREATE FEED` / `CONNECT` / `START` / `STOP`) are
-//! *not* executed here — they belong to the ingestion framework
-//! (`idea-core`), which intercepts them and delegates everything else to
-//! [`execute`].
+//! These wrappers predate the [`Session`](crate::Session) API and are
+//! kept so existing callers compile; each one builds a throwaway
+//! sequential session, so they get none of the session's benefits
+//! (shared plan cache, parameters, parallel execution). New code should
+//! hold a `Session`.
 
 use std::sync::Arc;
 
@@ -11,153 +12,25 @@ use idea_adm::Value;
 
 use crate::ast::Statement;
 use crate::catalog::Catalog;
-use crate::error::QueryError;
-use crate::exec::{Env, ExecContext};
-use crate::expr::eval_expr;
-use crate::parser::parse_statements;
-use crate::udf::FunctionDef;
+use crate::session::Session;
 use crate::Result;
 
-/// Result of executing one statement.
-#[derive(Debug, Clone, PartialEq)]
-pub enum StatementResult {
-    /// DDL done.
-    Ok,
-    /// DML touched this many records.
-    Count(usize),
-    /// Query output.
-    Value(Value),
-}
-
-impl StatementResult {
-    /// The query output, if this was a query.
-    pub fn into_value(self) -> Option<Value> {
-        match self {
-            StatementResult::Value(v) => Some(v),
-            _ => None,
-        }
-    }
-}
+pub use crate::session::StatementResult;
 
 /// Parses and executes a script of `;`-separated statements.
+#[deprecated(since = "0.5.0", note = "use Session::run_script")]
 pub fn run_sqlpp(catalog: &Arc<Catalog>, text: &str) -> Result<Vec<StatementResult>> {
-    let stmts = parse_statements(text)?;
-    stmts.iter().map(|s| execute(catalog, s)).collect()
+    Session::new(catalog.clone()).run_script(text)
 }
 
 /// Parses and executes a single query, returning its value.
+#[deprecated(since = "0.5.0", note = "use Session::query")]
 pub fn run_query(catalog: &Arc<Catalog>, text: &str) -> Result<Value> {
-    let mut results = run_sqlpp(catalog, text)?;
-    match results.pop() {
-        Some(StatementResult::Value(v)) if results.is_empty() => Ok(v),
-        _ => Err(QueryError::Invalid("expected a single query".into())),
-    }
+    Session::new(catalog.clone()).query(text)
 }
 
 /// Executes one parsed statement.
+#[deprecated(since = "0.5.0", note = "use Session::execute")]
 pub fn execute(catalog: &Arc<Catalog>, stmt: &Statement) -> Result<StatementResult> {
-    match stmt {
-        Statement::CreateType { name, fields } => {
-            catalog.create_type_from_ddl(name, fields)?;
-            Ok(StatementResult::Ok)
-        }
-        Statement::CreateDataset { name, type_name, primary_key } => {
-            catalog.create_dataset(name, type_name, primary_key)?;
-            Ok(StatementResult::Ok)
-        }
-        Statement::CreateIndex { name, dataset, field, kind } => {
-            catalog.create_index(name, dataset, field, *kind)?;
-            Ok(StatementResult::Ok)
-        }
-        Statement::CreateFunction { name, params, body } => {
-            catalog.create_function(FunctionDef::Sqlpp {
-                name: name.clone(),
-                params: params.clone(),
-                body: Arc::new(body.clone()),
-            })?;
-            Ok(StatementResult::Ok)
-        }
-        Statement::Insert { dataset, source } => {
-            let records = eval_dml_source(catalog, source)?;
-            let ds = catalog.dataset(dataset)?;
-            let n = records.len();
-            for r in records {
-                ds.insert(r)?;
-            }
-            Ok(StatementResult::Count(n))
-        }
-        Statement::Upsert { dataset, source } => {
-            let records = eval_dml_source(catalog, source)?;
-            let ds = catalog.dataset(dataset)?;
-            let n = records.len();
-            for r in records {
-                ds.upsert(r)?;
-            }
-            Ok(StatementResult::Count(n))
-        }
-        Statement::Delete { dataset, alias, where_clause } => {
-            let ds = catalog.dataset(dataset)?;
-            let pk_field = ds.partitions()[0].primary_key_field().clone();
-            let mut pks = Vec::new();
-            {
-                let mut ctx = ExecContext::new(catalog.clone());
-                let base = Env::new();
-                for snap in ds.snapshot_all() {
-                    for rec in snap.iter() {
-                        let keep = match where_clause {
-                            None => true,
-                            Some(w) => {
-                                let env = base.bind_value(alias.clone(), rec.clone());
-                                eval_expr(w, &env, &mut ctx)?.is_true()
-                            }
-                        };
-                        if keep {
-                            pks.push(pk_field.get(rec).clone());
-                        }
-                    }
-                }
-            }
-            let mut n = 0;
-            for pk in pks {
-                if ds.partition_for(&pk).delete(&pk)? {
-                    n += 1;
-                }
-            }
-            Ok(StatementResult::Count(n))
-        }
-        Statement::Query(e) => {
-            let mut ctx = ExecContext::new(catalog.clone());
-            let v = eval_expr(e, &Env::new(), &mut ctx)?;
-            Ok(StatementResult::Value(v))
-        }
-        Statement::CreateFeed { .. }
-        | Statement::ConnectFeed { .. }
-        | Statement::StartFeed { .. }
-        | Statement::StopFeed { .. } => Err(QueryError::Invalid(
-            "feed statements are executed by the ingestion framework, not the query engine".into(),
-        )),
-    }
-}
-
-fn eval_dml_source(catalog: &Arc<Catalog>, source: &crate::ast::Expr) -> Result<Vec<Value>> {
-    let mut ctx = ExecContext::new(catalog.clone());
-    let v = eval_expr(source, &Env::new(), &mut ctx)?;
-    match v {
-        Value::Array(items) => {
-            for i in &items {
-                if !matches!(i, Value::Object(_)) {
-                    return Err(QueryError::Eval(format!(
-                        "INSERT/UPSERT source must produce objects, got {}",
-                        i.type_name()
-                    )));
-                }
-            }
-            Ok(items)
-        }
-        obj @ Value::Object(_) => Ok(vec![obj]),
-        other => Err(QueryError::Eval(format!(
-            "INSERT/UPSERT source must be an object or array of objects, got {}",
-            other.type_name()
-        ))),
-    }
+    Session::new(catalog.clone()).execute(stmt)
 }

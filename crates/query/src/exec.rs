@@ -84,9 +84,14 @@ impl std::fmt::Debug for Env {
 /// (paper §5.1). Contexts created with a shared cache reuse plans across
 /// batches; contexts with a private cache re-plan (the no-predeploy
 /// ablation).
+///
+/// Plans embed access-method choices (index vs. materialize), so the
+/// cache tracks the [`Catalog::version`] it was filled against and
+/// clears itself when DDL has moved the catalog past it.
 #[derive(Debug, Default)]
 pub struct PlanCache {
     plans: RwLock<HashMap<u32, Arc<BlockPlan>>>,
+    validated_version: std::sync::atomic::AtomicU64,
 }
 
 impl PlanCache {
@@ -100,6 +105,18 @@ impl PlanCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Drops every cached plan if the catalog has seen DDL since the
+    /// cache was last validated (CREATE/DROP INDEX or DATASET can change
+    /// the right access path for any block).
+    pub fn validate(&self, catalog_version: u64) {
+        use std::sync::atomic::Ordering;
+        if self.validated_version.load(Ordering::Acquire) != catalog_version {
+            let mut plans = self.plans.write();
+            plans.clear();
+            self.validated_version.store(catalog_version, Ordering::Release);
+        }
     }
 }
 
@@ -194,16 +211,21 @@ impl ExecContext {
     /// Drops all per-context intermediate state (snapshot pins, build
     /// sides, caches, native-UDF instances) while keeping the plan
     /// cache — equivalent to starting a fresh context for the next
-    /// batch, without re-planning.
+    /// batch, without re-planning. Plans survive only if no DDL has
+    /// touched the catalog since they were compiled: refresh validates
+    /// the plan cache against the catalog version, so a CREATE/DROP
+    /// INDEX or DROP DATASET between batches forces re-planning.
     pub fn refresh(&mut self) {
         self.snapshots.clear();
         self.builds.clear();
         self.uncorrelated.clear();
         self.natives.clear();
+        self.plan_cache.validate(self.catalog.version());
     }
 
     /// The cached (or newly computed) plan for `block`.
     pub fn plan_for(&mut self, block: &SelectBlock) -> Result<Arc<BlockPlan>> {
+        self.plan_cache.validate(self.catalog.version());
         if let Some(p) = self.plan_cache.plans.read().get(&block.id) {
             return Ok(p.clone());
         }
@@ -263,46 +285,10 @@ pub fn eval_block(block: &SelectBlock, env: &Env, ctx: &mut ExecContext) -> Resu
     let env = &env;
 
     // FROM: join loop in planned order.
-    let mut rows: Vec<Env> = vec![env.clone()];
-    for fp in &plan.from_order {
-        let item = &block.from[fp.item_idx];
-        let mut next = Vec::new();
-        for renv in &rows {
-            let cands = fetch_candidates(block, fp, &item.source, renv, ctx)?;
-            'cand: for cand in cands.as_slice() {
-                let cenv = renv.bind(item.alias.clone(), cand.clone());
-                for r in &fp.residual {
-                    if !eval_expr(r, &cenv, ctx)?.is_true() {
-                        continue 'cand;
-                    }
-                }
-                next.push(cenv);
-            }
-        }
-        rows = next;
-        if rows.is_empty() && !plan.has_aggregates && block.group_by.is_empty() {
-            // No surviving rows and no aggregate that must still produce
-            // a value — the remaining items cannot add rows either, but
-            // we keep semantics simple by continuing only when needed.
-            break;
-        }
-    }
+    let rows = join_from(block, &plan, 0, vec![env.clone()], ctx)?;
 
     // LET bindings, then post-LET filters.
-    let mut bound = Vec::with_capacity(rows.len());
-    'row: for renv in rows {
-        let mut renv = renv;
-        for (name, e) in &block.lets {
-            let v = eval_expr(e, &renv, ctx)?;
-            renv = renv.bind_value(name.clone(), v);
-        }
-        for c in &plan.post_filter {
-            if !eval_expr(c, &renv, ctx)?.is_true() {
-                continue 'row;
-            }
-        }
-        bound.push(renv);
-    }
+    let mut bound = apply_lets_and_post_filters(block, &plan, rows, ctx)?;
 
     if !block.group_by.is_empty() || plan.has_aggregates {
         return eval_grouped(block, env, bound, ctx);
@@ -325,8 +311,69 @@ pub fn eval_block(block: &SelectBlock, env: &Env, ctx: &mut ExecContext) -> Resu
     Ok(out)
 }
 
+/// Runs the FROM join loop for plan items `from_order[start..]` over the
+/// given partial rows. `start > 0` lets a parallel scan task handle its
+/// driver item itself (a per-partition snapshot scan) and complete the
+/// remaining joins with the shared code path.
+pub(crate) fn join_from(
+    block: &SelectBlock,
+    plan: &BlockPlan,
+    start: usize,
+    mut rows: Vec<Env>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Env>> {
+    for fp in &plan.from_order[start..] {
+        let item = &block.from[fp.item_idx];
+        let mut next = Vec::new();
+        for renv in &rows {
+            let cands = fetch_candidates(block, fp, &item.source, renv, ctx)?;
+            'cand: for cand in cands.as_slice() {
+                let cenv = renv.bind(item.alias.clone(), cand.clone());
+                for r in &fp.residual {
+                    if !eval_expr(r, &cenv, ctx)?.is_true() {
+                        continue 'cand;
+                    }
+                }
+                next.push(cenv);
+            }
+        }
+        rows = next;
+        if rows.is_empty() && !plan.has_aggregates && block.group_by.is_empty() {
+            // No surviving rows and no aggregate that must still produce
+            // a value — the remaining items cannot add rows either, but
+            // we keep semantics simple by continuing only when needed.
+            break;
+        }
+    }
+    Ok(rows)
+}
+
+/// Binds the block's LETs per row, then applies post-LET filters.
+pub(crate) fn apply_lets_and_post_filters(
+    block: &SelectBlock,
+    plan: &BlockPlan,
+    rows: Vec<Env>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Env>> {
+    let mut bound = Vec::with_capacity(rows.len());
+    'row: for renv in rows {
+        let mut renv = renv;
+        for (name, e) in &block.lets {
+            let v = eval_expr(e, &renv, ctx)?;
+            renv = renv.bind_value(name.clone(), v);
+        }
+        for c in &plan.post_filter {
+            if !eval_expr(c, &renv, ctx)?.is_true() {
+                continue 'row;
+            }
+        }
+        bound.push(renv);
+    }
+    Ok(bound)
+}
+
 /// Order-preserving deep deduplication (SELECT DISTINCT).
-fn dedup_values(values: Vec<Value>) -> Vec<Value> {
+pub(crate) fn dedup_values(values: Vec<Value>) -> Vec<Value> {
     let mut seen: std::collections::HashSet<Value> = std::collections::HashSet::new();
     values.into_iter().filter(|v| seen.insert(v.clone())).collect()
 }
@@ -564,13 +611,22 @@ fn hash_build(
     Ok(state)
 }
 
-/// Grouped evaluation (GROUP BY, or implicit group-all for aggregates).
-fn eval_grouped(
+/// One group during grouped evaluation: the group environment (first
+/// row's bindings extended with explicit group aliases) and its rows.
+pub(crate) struct Group {
+    pub(crate) genv: Env,
+    pub(crate) rows: Vec<Env>,
+}
+
+/// Partitions rows into groups and applies HAVING. Shared by the
+/// sequential grouped path and the parallel group stage (where each
+/// hash-exchange partition owns a disjoint subset of the keys).
+pub(crate) fn build_groups(
     block: &SelectBlock,
     outer_env: &Env,
     rows: Vec<Env>,
     ctx: &mut ExecContext,
-) -> Result<Vec<Value>> {
+) -> Result<Vec<Group>> {
     // Partition rows into groups.
     let mut group_keys: Vec<Vec<Value>> = Vec::new();
     let mut group_rows: Vec<Vec<Env>> = Vec::new();
@@ -597,10 +653,6 @@ fn eval_grouped(
     // Build one (genv, rows) per group: the group environment is the
     // first row's bindings (group keys are constant within a group)
     // extended with explicit group aliases.
-    struct Group {
-        genv: Env,
-        rows: Vec<Env>,
-    }
     let mut groups = Vec::with_capacity(group_keys.len());
     for (key, rows) in group_keys.into_iter().zip(group_rows) {
         let mut genv = rows.first().cloned().unwrap_or_else(|| outer_env.clone());
@@ -622,6 +674,40 @@ fn eval_grouped(
         }
         groups = kept;
     }
+    Ok(groups)
+}
+
+/// Partial grouped evaluation for a parallel group-stage task: groups
+/// its share of the rows, applies HAVING, and returns each surviving
+/// group's ORDER-BY keys plus projected value — sorting, LIMIT, and
+/// DISTINCT are left to the merge stage, which sees all groups.
+pub(crate) fn eval_groups_keyed(
+    block: &SelectBlock,
+    outer_env: &Env,
+    rows: Vec<Env>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<(Vec<Value>, Value)>> {
+    let groups = build_groups(block, outer_env, rows, ctx)?;
+    let mut out = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut keys = Vec::with_capacity(block.order_by.len());
+        for (e, _) in &block.order_by {
+            keys.push(eval_with_aggregates(e, &g.rows, &g.genv, ctx)?);
+        }
+        let v = project(block, &g.genv, ctx, Some(&g.rows))?;
+        out.push((keys, v));
+    }
+    Ok(out)
+}
+
+/// Grouped evaluation (GROUP BY, or implicit group-all for aggregates).
+fn eval_grouped(
+    block: &SelectBlock,
+    outer_env: &Env,
+    rows: Vec<Env>,
+    ctx: &mut ExecContext,
+) -> Result<Vec<Value>> {
+    let mut groups = build_groups(block, outer_env, rows, ctx)?;
 
     // ORDER BY over groups.
     if !block.order_by.is_empty() {
@@ -651,7 +737,11 @@ fn eval_grouped(
     Ok(out)
 }
 
-fn compare_order_keys(a: &[Value], b: &[Value], order_by: &[(Expr, bool)]) -> std::cmp::Ordering {
+pub(crate) fn compare_order_keys(
+    a: &[Value],
+    b: &[Value],
+    order_by: &[(Expr, bool)],
+) -> std::cmp::Ordering {
     for (i, (_, asc)) in order_by.iter().enumerate() {
         let ord = a[i].cmp(&b[i]);
         let ord = if *asc { ord } else { ord.reverse() };
@@ -681,7 +771,7 @@ fn sort_rows(
     Ok(keyed.into_iter().map(|(_, r)| r).collect())
 }
 
-fn eval_limit(limit: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<usize> {
+pub(crate) fn eval_limit(limit: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<usize> {
     match eval_expr(limit, env, ctx)? {
         Value::Int(n) if n >= 0 => Ok(n as usize),
         other => Err(QueryError::Eval(format!("LIMIT must be a non-negative int, got {other}"))),
@@ -689,7 +779,7 @@ fn eval_limit(limit: &Expr, env: &Env, ctx: &mut ExecContext) -> Result<usize> {
 }
 
 /// Evaluates the SELECT clause for one output row/group.
-fn project(
+pub(crate) fn project(
     block: &SelectBlock,
     env: &Env,
     ctx: &mut ExecContext,

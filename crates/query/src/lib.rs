@@ -14,19 +14,26 @@
 //! * [`exec`] — evaluation with an explicit [`exec::ExecContext`] whose
 //!   lifetime *is* the computing model: per record (Model 1), per batch
 //!   (Model 2), or per feed (Model 3);
-//! * [`ddl`] — statement execution (`CREATE TYPE/DATASET/INDEX/
-//!   FUNCTION`, `INSERT`/`UPSERT`/`DELETE`, queries).
+//! * [`session::Session`] — the unified entry point: statement
+//!   execution (`CREATE TYPE/DATASET/INDEX/FUNCTION`, `DROP
+//!   DATASET/INDEX`, `INSERT`/`UPSERT`/`DELETE`, queries) with a shared
+//!   plan cache, prepared-statement parameters, and an execution-mode
+//!   knob;
+//! * [`parallel`] — compiles eligible query blocks into partitioned
+//!   `idea-hyracks` jobs (per-partition scans, hash exchanges for GROUP
+//!   BY, a merge stage), predeployed on the cluster's task pools.
 //!
 //! ```
-//! use idea_query::{catalog::Catalog, ddl};
+//! use idea_query::{Catalog, Session};
 //!
 //! let catalog = Catalog::new(1);
-//! ddl::run_sqlpp(&catalog, "
+//! let session = Session::new(catalog);
+//! session.run_script("
 //!     CREATE TYPE TweetType AS OPEN { id: int64, text: string };
 //!     CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
 //!     INSERT INTO Tweets ([{\"id\": 0, \"text\": \"Let there be light\"}]);
 //! ").unwrap();
-//! let v = ddl::run_query(&catalog, "SELECT VALUE t.text FROM Tweets t").unwrap();
+//! let v = session.query("SELECT VALUE t.text FROM Tweets t").unwrap();
 //! assert_eq!(v.as_array().unwrap().len(), 1);
 //! ```
 
@@ -37,15 +44,20 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod lexer;
+pub mod parallel;
 pub mod parser;
 pub mod plan;
+pub mod session;
 pub mod udf;
 
 pub use catalog::Catalog;
-pub use ddl::{execute, run_query, run_sqlpp, StatementResult};
+#[allow(deprecated)]
+pub use ddl::{execute, run_query, run_sqlpp};
 pub use error::QueryError;
 pub use exec::{Env, ExecContext, ExecStats, PlanCache};
 pub use expr::{apply_function, eval_expr};
+pub use parallel::{ParallelRuntime, ParallelShape};
+pub use session::{ExecMode, Session, StatementResult};
 pub use udf::{FunctionDef, NativeUdf, NativeUdfFactory};
 
 /// Crate-wide result alias.

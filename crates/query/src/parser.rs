@@ -176,6 +176,18 @@ impl Parser {
             let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
             return Ok(Statement::Delete { dataset, alias, where_clause });
         }
+        if self.eat_kw("drop") {
+            if self.eat_kw("dataset") {
+                return Ok(Statement::DropDataset { name: self.expect_ident()? });
+            }
+            if self.eat_kw("index") {
+                let dataset = self.expect_ident()?;
+                self.expect(&Token::Dot)?;
+                let name = self.expect_ident()?;
+                return Ok(Statement::DropIndex { dataset, name });
+            }
+            return Err(QueryError::Syntax(format!("unexpected DROP target: {:?}", self.peek())));
+        }
         if self.eat_kw("connect") {
             self.expect_kw("feed")?;
             let feed = self.expect_ident()?;

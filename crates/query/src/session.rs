@@ -1,0 +1,333 @@
+//! The unified Session API: the one entry point for running SQL++
+//! against a catalog.
+//!
+//! A [`Session`] owns the state the old free functions
+//! (`run_sqlpp`/`run_query`/`execute`) forced every caller to manage ad
+//! hoc: a shared [`PlanCache`] (so repeated statements reuse compiled
+//! plans, invalidated automatically when DDL moves the catalog version),
+//! prepared-statement parameters, an execution-mode knob, and — when
+//! constructed over a Hyracks [`Cluster`] — the [`ParallelRuntime`] that
+//! compiles eligible query blocks into predeployed partitioned jobs.
+//!
+//! ```
+//! use idea_query::{Catalog, Session};
+//!
+//! let catalog = Catalog::new(2);
+//! let session = Session::new(catalog);
+//! session.run_script(
+//!     "CREATE TYPE T AS OPEN { id: int64 };
+//!      CREATE DATASET D(T) PRIMARY KEY id;
+//!      INSERT INTO D ([{\"id\": 1}, {\"id\": 2}]);",
+//! ).unwrap();
+//! let v = session.query("SELECT VALUE d.id FROM D d ORDER BY d.id").unwrap();
+//! assert_eq!(format!("{v}"), "[1, 2]");
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use idea_adm::Value;
+use idea_hyracks::Cluster;
+use idea_obs::names;
+use parking_lot::Mutex;
+
+use crate::ast::{Expr, Statement};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::exec::{eval_block, Env, ExecContext, ExecStats, PlanCache};
+use crate::expr::eval_expr;
+use crate::parallel::ParallelRuntime;
+use crate::parser::parse_statements;
+use crate::udf::FunctionDef;
+use crate::Result;
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// DDL done.
+    Ok,
+    /// DML touched this many records.
+    Count(usize),
+    /// Query output.
+    Value(Value),
+}
+
+impl StatementResult {
+    /// The query output, if this was a query.
+    pub fn into_value(self) -> Option<Value> {
+        match self {
+            StatementResult::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// How a session runs top-level queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Single-threaded evaluator (always available; also the oracle the
+    /// parallel path is differential-tested against).
+    Sequential,
+    /// Compile eligible blocks to partitioned Hyracks jobs; anything
+    /// ineligible — or any runtime failure — falls back to sequential.
+    Parallel,
+}
+
+/// A stateful SQL++ session over a shared [`Catalog`].
+///
+/// Cheap to keep around: holds no snapshot pins between statements (each
+/// statement runs in a fresh [`ExecContext`] seeded from the session's
+/// plan cache and parameters), so data changes are visible to the next
+/// statement immediately.
+pub struct Session {
+    catalog: Arc<Catalog>,
+    plan_cache: Arc<PlanCache>,
+    params: Mutex<HashMap<String, Value>>,
+    mode: Mutex<ExecMode>,
+    parallel: Option<ParallelRuntime>,
+    last_stats: Mutex<ExecStats>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("mode", &*self.mode.lock())
+            .field("parallel", &self.parallel.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// A sequential-only session (no cluster attached).
+    pub fn new(catalog: Arc<Catalog>) -> Session {
+        Session {
+            catalog,
+            plan_cache: PlanCache::new(),
+            params: Mutex::new(HashMap::new()),
+            mode: Mutex::new(ExecMode::Sequential),
+            parallel: None,
+            last_stats: Mutex::new(ExecStats::default()),
+        }
+    }
+
+    /// A session that *can* run queries as partitioned jobs on
+    /// `cluster`. Starts in [`ExecMode::Sequential`]; opt in with
+    /// [`Session::set_mode`].
+    pub fn with_cluster(catalog: Arc<Catalog>, cluster: Arc<Cluster>) -> Session {
+        let mut s = Session::new(catalog);
+        s.parallel = Some(ParallelRuntime::new(cluster));
+        s
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn mode(&self) -> ExecMode {
+        *self.mode.lock()
+    }
+
+    /// Switches query execution mode. Selecting [`ExecMode::Parallel`]
+    /// on a session built without a cluster is allowed but inert (every
+    /// query falls back to the sequential evaluator).
+    pub fn set_mode(&self, mode: ExecMode) {
+        *self.mode.lock() = mode;
+    }
+
+    /// Binds a `$name` prepared-statement parameter for subsequent
+    /// statements.
+    pub fn set_param(&self, name: impl Into<String>, value: Value) {
+        self.params.lock().insert(name.into(), value);
+    }
+
+    pub fn clear_params(&self) {
+        self.params.lock().clear();
+    }
+
+    /// Execution counters from the most recent *sequential* statement
+    /// (parallel runs report through the cluster's metrics registry).
+    pub fn last_stats(&self) -> ExecStats {
+        *self.last_stats.lock()
+    }
+
+    /// Parses and executes a script of `;`-separated statements.
+    pub fn run_script(&self, text: &str) -> Result<Vec<StatementResult>> {
+        let stmts = parse_statements(text)?;
+        stmts.iter().map(|s| self.execute(s)).collect()
+    }
+
+    /// Parses and executes a single query, returning its value.
+    pub fn query(&self, text: &str) -> Result<Value> {
+        let mut results = self.run_script(text)?;
+        match results.pop() {
+            Some(StatementResult::Value(v)) if results.is_empty() => Ok(v),
+            _ => Err(QueryError::Invalid("expected a single query".into())),
+        }
+    }
+
+    /// A statement-scoped execution context: shares the session's plan
+    /// cache (validated against the catalog version on first use) and
+    /// carries its parameter bindings.
+    fn fresh_context(&self) -> ExecContext {
+        let mut ctx = ExecContext::with_plan_cache(self.catalog.clone(), self.plan_cache.clone());
+        for (k, v) in self.params.lock().iter() {
+            ctx.set_param(k.clone(), v.clone());
+        }
+        ctx
+    }
+
+    fn finish(&self, ctx: ExecContext) {
+        *self.last_stats.lock() = ctx.stats;
+    }
+
+    /// Executes one parsed statement.
+    pub fn execute(&self, stmt: &Statement) -> Result<StatementResult> {
+        match stmt {
+            Statement::CreateType { name, fields } => {
+                self.catalog.create_type_from_ddl(name, fields)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateDataset { name, type_name, primary_key } => {
+                self.catalog.create_dataset(name, type_name, primary_key)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateIndex { name, dataset, field, kind } => {
+                self.catalog.create_index(name, dataset, field, *kind)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::CreateFunction { name, params, body } => {
+                self.catalog.create_function(FunctionDef::Sqlpp {
+                    name: name.clone(),
+                    params: params.clone(),
+                    body: Arc::new(body.clone()),
+                })?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropDataset { name } => {
+                self.catalog.drop_dataset(name)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::DropIndex { dataset, name } => {
+                self.catalog.drop_index(dataset, name)?;
+                Ok(StatementResult::Ok)
+            }
+            Statement::Insert { dataset, source } => {
+                let records = self.eval_dml_source(source)?;
+                let ds = self.catalog.dataset(dataset)?;
+                let n = records.len();
+                for r in records {
+                    ds.insert(r)?;
+                }
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Upsert { dataset, source } => {
+                let records = self.eval_dml_source(source)?;
+                let ds = self.catalog.dataset(dataset)?;
+                let n = records.len();
+                for r in records {
+                    ds.upsert(r)?;
+                }
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Delete { dataset, alias, where_clause } => {
+                let ds = self.catalog.dataset(dataset)?;
+                let pk_field = ds.partitions()[0].primary_key_field().clone();
+                let mut pks = Vec::new();
+                {
+                    let mut ctx = self.fresh_context();
+                    let base = Env::new();
+                    for snap in ds.snapshot_all() {
+                        for rec in snap.iter() {
+                            let keep = match where_clause {
+                                None => true,
+                                Some(w) => {
+                                    let env = base.bind_value(alias.clone(), rec.clone());
+                                    eval_expr(w, &env, &mut ctx)?.is_true()
+                                }
+                            };
+                            if keep {
+                                pks.push(pk_field.get(rec).clone());
+                            }
+                        }
+                    }
+                    self.finish(ctx);
+                }
+                let mut n = 0;
+                for pk in pks {
+                    if ds.partition_for(&pk).delete(&pk)? {
+                        n += 1;
+                    }
+                }
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Query(e) => self.run_query_expr(e).map(StatementResult::Value),
+            Statement::CreateFeed { .. }
+            | Statement::ConnectFeed { .. }
+            | Statement::StartFeed { .. }
+            | Statement::StopFeed { .. } => Err(QueryError::Invalid(
+                "feed statements are executed by the ingestion framework, not the query engine"
+                    .into(),
+            )),
+        }
+    }
+
+    /// Evaluates a top-level query expression, dispatching eligible
+    /// blocks to the parallel runtime in [`ExecMode::Parallel`].
+    fn run_query_expr(&self, e: &Expr) -> Result<Value> {
+        if self.mode() == ExecMode::Parallel {
+            if let (Some(rt), Expr::Subquery(block)) = (&self.parallel, e) {
+                let params = self.params.lock().clone();
+                match rt.execute_block(block, &self.catalog, &self.plan_cache, &params) {
+                    Some(Ok(rows)) => return Ok(Value::Array(rows)),
+                    Some(Err(err)) => {
+                        // Runtime failure (node down, operator error):
+                        // count it and fall back to the sequential
+                        // evaluator, which reads storage directly.
+                        if let Some(m) = rt.cluster().metrics() {
+                            m.counter(names::QUERY_PARALLEL_FALLBACKS).inc();
+                        }
+                        log_fallback(&err);
+                    }
+                    None => {} // not eligible for parallel execution
+                }
+            }
+        }
+        let mut ctx = self.fresh_context();
+        let v = match e {
+            Expr::Subquery(block) => Value::Array(eval_block(block, &Env::new(), &mut ctx)?),
+            other => eval_expr(other, &Env::new(), &mut ctx)?,
+        };
+        self.finish(ctx);
+        Ok(v)
+    }
+
+    fn eval_dml_source(&self, source: &Expr) -> Result<Vec<Value>> {
+        let mut ctx = self.fresh_context();
+        let v = eval_expr(source, &Env::new(), &mut ctx)?;
+        self.finish(ctx);
+        match v {
+            Value::Array(items) => {
+                for i in &items {
+                    if !matches!(i, Value::Object(_)) {
+                        return Err(QueryError::Eval(format!(
+                            "INSERT/UPSERT source must produce objects, got {}",
+                            i.type_name()
+                        )));
+                    }
+                }
+                Ok(items)
+            }
+            obj @ Value::Object(_) => Ok(vec![obj]),
+            other => Err(QueryError::Eval(format!(
+                "INSERT/UPSERT source must be an object or array of objects, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+fn log_fallback(err: &QueryError) {
+    // Not a logging framework — but a silent fallback would make a
+    // wedged cluster look like a slow one.
+    eprintln!("idea-query: parallel execution failed, falling back to sequential: {err}");
+}

@@ -4,7 +4,15 @@ use std::sync::Arc;
 
 use idea_adm::Value;
 use idea_query::catalog::Catalog;
-use idea_query::ddl::{run_query, run_sqlpp, StatementResult};
+use idea_query::{Session, StatementResult};
+
+fn run_sqlpp(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<Vec<StatementResult>> {
+    Session::new(catalog.clone()).run_script(text)
+}
+
+fn run_query(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<Value> {
+    Session::new(catalog.clone()).query(text)
+}
 use idea_query::exec::{Env, ExecContext};
 use idea_query::expr::apply_function;
 use idea_query::parser::parse_query;
@@ -549,4 +557,117 @@ fn three_valued_logic() {
     assert_eq!(v.as_array().unwrap()[0], Value::Bool(true));
     let v = run_query(&c, "SELECT VALUE true AND null").unwrap();
     assert_eq!(v.as_array().unwrap()[0], Value::Null);
+}
+
+// ---- DDL invalidation of cached plans (Session + ExecContext) --------
+
+#[test]
+fn refresh_replans_after_create_and_drop_index() {
+    use idea_query::plan::AccessPath;
+
+    let c = setup_words(2);
+    let block = parse_query(
+        r#"SELECT VALUE w.word FROM SensitiveWords /*+ indexnl */ w WHERE w.country = ctry"#,
+    )
+    .unwrap();
+    let block = &block;
+
+    let mut ctx = ExecContext::new(c.clone());
+    let plan = ctx.plan_for(block).unwrap();
+    assert!(!matches!(plan.from_order[0].path, AccessPath::IndexEq { .. }), "no index exists yet");
+
+    run_sqlpp(&c, "CREATE INDEX swCountry ON SensitiveWords(country) TYPE BTREE;").unwrap();
+    // Without refresh the stale plan would survive inside this context's
+    // shared cache; refresh validates against the catalog version.
+    ctx.refresh();
+    let plan = ctx.plan_for(block).unwrap();
+    assert!(
+        matches!(plan.from_order[0].path, AccessPath::IndexEq { .. }),
+        "CREATE INDEX must invalidate the cached plan, got {:?}",
+        plan.from_order[0].path
+    );
+
+    c.drop_index("SensitiveWords", "swCountry").unwrap();
+    ctx.refresh();
+    let plan = ctx.plan_for(block).unwrap();
+    assert!(
+        !matches!(plan.from_order[0].path, AccessPath::IndexEq { .. }),
+        "DROP INDEX must invalidate the index-probing plan"
+    );
+}
+
+#[test]
+fn session_plan_cache_tracks_index_ddl_across_statements() {
+    let c = setup_words(2);
+    let session = Session::new(c);
+    session
+        .run_script(
+            r#"CREATE FUNCTION wordsFor(ctry) {
+                SELECT VALUE w.word FROM SensitiveWords /*+ indexnl */ w WHERE w.country = ctry
+            };"#,
+        )
+        .unwrap();
+
+    // First call caches the function body's plan (no index yet).
+    let v = session.query(r#"SELECT VALUE wordsFor("US")"#).unwrap();
+    assert_eq!(v.as_array().unwrap()[0].as_array().unwrap().len(), 2);
+    assert_eq!(session.last_stats().index_probes, 0);
+
+    // CREATE INDEX moves the catalog version: the next call must replan
+    // and probe the new index (a stale plan would keep hash-building).
+    session
+        .run_script("CREATE INDEX swCountry ON SensitiveWords(country) TYPE BTREE;")
+        .unwrap();
+    let v = session.query(r#"SELECT VALUE wordsFor("US")"#).unwrap();
+    assert_eq!(v.as_array().unwrap()[0].as_array().unwrap().len(), 2);
+    assert!(session.last_stats().index_probes > 0, "expected the new index to be probed");
+
+    // DROP INDEX: a stale IndexEq plan would now probe a dead index.
+    session.run_script("DROP INDEX SensitiveWords.swCountry;").unwrap();
+    let v = session.query(r#"SELECT VALUE wordsFor("US")"#).unwrap();
+    assert_eq!(v.as_array().unwrap()[0].as_array().unwrap().len(), 2);
+    assert_eq!(session.last_stats().index_probes, 0);
+}
+
+#[test]
+fn drop_statements_parse_and_execute() {
+    let c = setup_words(1);
+    let session = Session::new(c);
+    assert!(session.query("SELECT VALUE w.wid FROM SensitiveWords w").is_ok());
+
+    session.run_script("DROP DATASET SensitiveWords;").unwrap();
+    assert!(session.catalog().dataset("SensitiveWords").is_err());
+    assert!(session.query("SELECT VALUE w.wid FROM SensitiveWords w").is_err());
+    // Dropping again (or dropping an index on a gone dataset) errors.
+    assert!(session.run_script("DROP DATASET SensitiveWords;").is_err());
+    assert!(session.run_script("DROP INDEX SensitiveWords.x;").is_err());
+    // Unknown DROP targets are syntax errors.
+    assert!(matches!(session.run_script("DROP TABLE SensitiveWords;"), Err(QueryError::Syntax(_))));
+}
+
+#[test]
+fn session_params_feed_prepared_statements() {
+    let c = setup_words(1);
+    let session = Session::new(c);
+    session.set_param("ctry", Value::str("FR"));
+    let v = session
+        .query(r#"SELECT VALUE w.word FROM SensitiveWords w WHERE w.country = $ctry"#)
+        .unwrap();
+    assert_eq!(v.as_array().unwrap(), &[Value::str("bombe")]);
+    session.set_param("ctry", Value::str("US"));
+    let v = session
+        .query(r#"SELECT VALUE w.word FROM SensitiveWords w WHERE w.country = $ctry"#)
+        .unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 2);
+    session.clear_params();
+}
+
+#[test]
+fn deprecated_free_functions_still_work() {
+    #[allow(deprecated)]
+    {
+        let c = setup_words(1);
+        let v = idea_query::run_query(&c, "SELECT VALUE count(*) FROM SensitiveWords w").unwrap();
+        assert_eq!(v.as_array().unwrap()[0], Value::Int(3));
+    }
 }

@@ -5,7 +5,15 @@ use std::sync::Arc;
 
 use idea_adm::Value;
 use idea_query::catalog::Catalog;
-use idea_query::ddl::{run_query, run_sqlpp};
+use idea_query::{Session, StatementResult};
+
+fn run_sqlpp(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<Vec<StatementResult>> {
+    Session::new(catalog.clone()).run_script(text)
+}
+
+fn run_query(catalog: &Arc<Catalog>, text: &str) -> idea_query::Result<idea_adm::Value> {
+    Session::new(catalog.clone()).query(text)
+}
 use idea_query::exec::{Env, ExecContext};
 use idea_query::expr::apply_function;
 use proptest::prelude::*;

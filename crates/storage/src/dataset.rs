@@ -216,6 +216,17 @@ impl Dataset {
         Ok(())
     }
 
+    /// Drops a secondary index.
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let before = inner.indexes.len();
+        inner.indexes.retain(|(d, _)| d.name != name);
+        if inner.indexes.len() == before {
+            return Err(StorageError::UnknownIndex(name.to_owned()));
+        }
+        Ok(())
+    }
+
     /// The names and definitions of all secondary indexes.
     pub fn index_defs(&self) -> Vec<IndexDef> {
         self.inner.read().indexes.iter().map(|(d, _)| d.clone()).collect()

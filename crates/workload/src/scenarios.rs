@@ -406,7 +406,7 @@ pub fn setup_scenario(
     if key == ScenarioKey::FuzzySuspects {
         register_remove_special(catalog)?;
     }
-    idea_query::run_sqlpp(catalog, ddl_for(key))?;
+    idea_query::Session::new(catalog.clone()).run_script(ddl_for(key))?;
     load_data(catalog, key, scale, seed)?;
     let native_function = register_native(catalog, key)?;
     Ok(Scenario { key, function: key.function_name().to_owned(), native_function })
@@ -416,8 +416,7 @@ pub fn setup_scenario(
 /// scenarios (`Tweets` for raw feeds, `EnrichedTweets` as the enriched
 /// target).
 pub fn setup_tweet_datasets(catalog: &Arc<Catalog>) -> Result<(), QueryError> {
-    idea_query::run_sqlpp(
-        catalog,
+    idea_query::Session::new(catalog.clone()).run_script(
         r#"
         CREATE TYPE TweetType AS OPEN { id: int64, text: string };
         CREATE DATASET Tweets(TweetType) PRIMARY KEY id;

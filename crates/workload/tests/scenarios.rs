@@ -113,9 +113,9 @@ fn nearby_monuments_uses_rtree_and_matches_naive() {
     let scale = WorkloadScale { monuments: 2_000, ..WorkloadScale::tiny() };
     let indexed = setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).unwrap();
     // The naive variant shares the datasets: register only its function.
-    idea_query::run_sqlpp(
-        &catalog,
-        r#"CREATE FUNCTION enrichNaiveNearbyMonuments(t) {
+    idea_query::Session::new(catalog.clone())
+        .run_script(
+            r#"CREATE FUNCTION enrichNaiveNearbyMonuments(t) {
             LET nearby_monuments =
                 (SELECT VALUE m.monument_id
                  FROM monumentList /*+ noindex */ m
@@ -124,8 +124,8 @@ fn nearby_monuments_uses_rtree_and_matches_naive() {
                      create_circle(create_point(t.latitude, t.longitude), 1.5)))
             SELECT t.*, nearby_monuments
         };"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
 
     let gen = TweetGenerator::new(99);
     let mut ctx = ExecContext::new(catalog.clone());

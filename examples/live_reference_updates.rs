@@ -10,7 +10,6 @@
 use std::sync::Arc;
 
 use idea::prelude::*;
-use idea::query::run_sqlpp;
 
 fn tweet(id: i64) -> String {
     format!(r#"{{"id": {id}, "text": "the train is leaving", "country": "DE"}}"#)
@@ -26,8 +25,8 @@ fn slow_feed(n: i64, per_second: f64) -> AdapterFactory {
 
 fn run(engine: &IngestionEngine, name: &str, model: ComputingModel) -> (u64, usize) {
     // Reset the keyword list: "train" is NOT sensitive yet.
-    run_sqlpp(engine.catalog(), r#"DELETE FROM SensitiveWords w;"#).unwrap();
-    run_sqlpp(engine.catalog(), r#"DELETE FROM Tweets t;"#).unwrap();
+    engine.session().run_script(r#"DELETE FROM SensitiveWords w;"#).unwrap();
+    engine.session().run_script(r#"DELETE FROM Tweets t;"#).unwrap();
 
     let spec = FeedSpec::new(name, "Tweets", slow_feed(200, 400.0))
         .with_function("tweetSafetyCheck")
@@ -38,26 +37,27 @@ fn run(engine: &IngestionEngine, name: &str, model: ComputingModel) -> (u64, usi
     // Mid-feed, the reference data changes: "train" becomes sensitive
     // for DE (an analyst reacting to events, §3.3's UPSERT path).
     std::thread::sleep(std::time::Duration::from_millis(150));
-    run_sqlpp(
-        engine.catalog(),
-        r#"UPSERT INTO SensitiveWords ([{"wid": 1, "country": "DE", "word": "train"}]);"#,
-    )
-    .unwrap();
+    engine
+        .session()
+        .run_script(
+            r#"UPSERT INTO SensitiveWords ([{"wid": 1, "country": "DE", "word": "train"}]);"#,
+        )
+        .unwrap();
 
     let report = handle.wait().unwrap();
-    let reds = idea::query::run_query(
-        engine.catalog(),
-        r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#,
-    )
-    .unwrap();
+    let reds = engine
+        .session()
+        .query(r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#)
+        .unwrap();
     (report.records_stored, reds.as_array().unwrap().len())
 }
 
 fn main() {
     let engine = IngestionEngine::with_nodes(2);
-    run_sqlpp(
-        engine.catalog(),
-        r#"
+    engine
+        .session()
+        .run_script(
+            r#"
         CREATE TYPE TweetType AS OPEN { id: int64, text: string };
         CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
         CREATE TYPE WordType AS OPEN { wid: int64, country: string, word: string };
@@ -71,8 +71,8 @@ fn main() {
             SELECT tweet.*, safety_check_flag
         };
         "#,
-    )
-    .unwrap();
+        )
+        .unwrap();
 
     let (stored, reds) = run(&engine, "per-batch", ComputingModel::PerBatch);
     println!("Model 2 (per batch, the paper's design):");

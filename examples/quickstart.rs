@@ -51,16 +51,17 @@ fn main() {
 
     // The paper's Figure 9 analytical query — over already-enriched data,
     // so no UDF evaluation at query time.
-    let result = idea::query::run_query(
-        engine.catalog(),
-        r#"SELECT t.country Country, count(t) Num
+    let result = engine
+        .session()
+        .query(
+            r#"SELECT t.country Country, count(t) Num
            FROM Tweets t
            WHERE t.safety_check_flag = "Red"
            GROUP BY t.country
            ORDER BY count(t) DESC, t.country
            LIMIT 5"#,
-    )
-    .expect("analytical query");
+        )
+        .expect("analytical query");
 
     println!("top flagged countries:");
     for row in result.as_array().expect("rows") {

@@ -23,9 +23,9 @@ fn main() {
         setup_scenario(&catalog, ScenarioKey::NearbyMonuments, &scale, 7).expect("scenario");
     // The naive variant shares the monuments dataset — only its UDF
     // (with the noindex hint) needs registering.
-    idea::query::run_sqlpp(
-        &catalog,
-        r#"CREATE FUNCTION naiveNearbyMonuments(t) {
+    idea::query::Session::new(catalog.clone())
+        .run_script(
+            r#"CREATE FUNCTION naiveNearbyMonuments(t) {
             LET nearby_monuments =
                 (SELECT VALUE m.monument_id
                  FROM monumentList /*+ noindex */ m
@@ -34,8 +34,8 @@ fn main() {
                      create_circle(create_point(t.latitude, t.longitude), 1.5)))
             SELECT t.*, nearby_monuments
         };"#,
-    )
-    .expect("naive UDF");
+        )
+        .expect("naive UDF");
 
     let gen = TweetGenerator::new(3);
     let tweets: Vec<Value> = (0..500)

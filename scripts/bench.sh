@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Invoke-overhead + ingestion benchmark for the resident task pool.
-# Writes BENCH_ingest.json at the repo root and fails if the pooled
-# invoke path is not at least 2x cheaper than spawn-per-run.
+# Benchmark suite:
+#  * ingest_bench — invoke overhead + ingestion for the resident task
+#    pool; writes BENCH_ingest.json and fails if the pooled invoke path
+#    is not at least 2x cheaper than spawn-per-run.
+#  * query_bench — parallel partitioned query execution vs. the
+#    sequential evaluator; writes BENCH_query.json and (in full runs)
+#    fails if the scan/GROUP BY query does not beat sequential.
 #
 # Usage: scripts/bench.sh [--smoke]
-#   --smoke   shrink iteration counts / tweet stream for CI
+#   --smoke   shrink iteration counts / dataset sizes for CI
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,3 +19,4 @@ if [[ "${1:-}" == "--smoke" ]]; then
 fi
 
 cargo run --release --offline -p idea-bench --bin ingest_bench -- ${args[@]+"${args[@]}"}
+cargo run --release --offline -p idea-bench --bin query_bench -- ${args[@]+"${args[@]}"}

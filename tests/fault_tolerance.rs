@@ -10,18 +10,18 @@ use std::sync::Arc;
 
 use idea::adm::Value;
 use idea::prelude::*;
-use idea::query::ddl::run_sqlpp;
 
 fn setup(nodes: usize) -> Arc<IngestionEngine> {
     let engine = IngestionEngine::with_nodes(nodes);
-    run_sqlpp(
-        engine.catalog(),
-        r#"
+    engine
+        .session()
+        .run_script(
+            r#"
         CREATE TYPE TweetType AS OPEN { id: int64, text: string };
         CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
         "#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     engine
 }
 
@@ -75,8 +75,7 @@ fn poison_records_land_in_queryable_dead_letter_dataset() {
     // The dead letters are real catalog data, queryable with SQL++.
     let dlq = engine.catalog().dataset("pf_dead_letters").unwrap();
     assert_eq!(dlq.len(), 2);
-    let v = idea::query::run_query(engine.catalog(), "SELECT VALUE d.stage FROM pf_dead_letters d")
-        .unwrap();
+    let v = engine.session().query("SELECT VALUE d.stage FROM pf_dead_letters d").unwrap();
     let stages = v.as_array().unwrap();
     assert_eq!(stages.len(), 2);
     assert!(stages.iter().all(|s| s.as_str() == Some("parse")), "{stages:?}");
@@ -216,11 +215,10 @@ fn chaos_six_node_feed_survives_scripted_faults() {
     assert_eq!(injected("node_kills"), Some(kills));
 
     // Dead letters carry the feed/stage metadata for SQL++ triage.
-    let v = idea::query::run_query(
-        engine.catalog(),
-        r#"SELECT VALUE d.feed FROM chaos_dead_letters d WHERE d.stage = "parse""#,
-    )
-    .unwrap();
+    let v = engine
+        .session()
+        .query(r#"SELECT VALUE d.feed FROM chaos_dead_letters d WHERE d.stage = "parse""#)
+        .unwrap();
     assert_eq!(v.as_array().unwrap().len(), poisons as usize);
 }
 

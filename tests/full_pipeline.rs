@@ -57,14 +57,15 @@ fn enriched_data_supports_analytics_without_re_enrichment() {
     feed_tweets(&engine, &function, 200, 32);
     // Option 2 of §4: the enrichment is persisted, so analytical queries
     // read it directly.
-    let v = idea::query::run_query(
-        engine.catalog(),
-        "SELECT r AS rating, count(*) AS n
+    let v = engine
+        .session()
+        .query(
+            "SELECT r AS rating, count(*) AS n
          FROM Tweets t LET r = t.safety_rating[0]
          GROUP BY t.safety_rating[0] AS r
          ORDER BY r",
-    )
-    .unwrap();
+        )
+        .unwrap();
     let rows = v.as_array().unwrap();
     let total: i64 = rows
         .iter()
@@ -87,16 +88,15 @@ fn per_record_and_per_batch_agree_on_static_reference_data() {
             .with_batch_size(16)
             .with_model(model);
         engine.start_feed(spec).unwrap().wait().unwrap();
-        let mut reds: Vec<i64> = idea::query::run_query(
-            engine.catalog(),
-            r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#,
-        )
-        .unwrap()
-        .as_array()
-        .unwrap()
-        .iter()
-        .map(|v| v.as_int().unwrap())
-        .collect();
+        let mut reds: Vec<i64> = engine
+            .session()
+            .query(r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#)
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         reds.sort_unstable();
         outputs.push(reds);
     }
@@ -135,19 +135,18 @@ fn static_and_decoupled_store_identical_enrichment() {
             .with_batch_size(16)
             .with_mode(mode);
         engine.start_feed(spec).unwrap().wait().unwrap();
-        let mut rows: Vec<(i64, String)> = idea::query::run_query(
-            engine.catalog(),
-            "SELECT VALUE [t.id, t.safety_rating[0]] FROM Tweets t",
-        )
-        .unwrap()
-        .as_array()
-        .unwrap()
-        .iter()
-        .map(|pair| {
-            let p = pair.as_array().unwrap();
-            (p[0].as_int().unwrap(), p[1].as_str().unwrap_or("?").to_owned())
-        })
-        .collect();
+        let mut rows: Vec<(i64, String)> = engine
+            .session()
+            .query("SELECT VALUE [t.id, t.safety_rating[0]] FROM Tweets t")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|pair| {
+                let p = pair.as_array().unwrap();
+                (p[0].as_int().unwrap(), p[1].as_str().unwrap_or("?").to_owned())
+            })
+            .collect();
         rows.sort();
         rows
     };

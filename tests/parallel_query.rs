@@ -1,0 +1,226 @@
+//! Differential tests: the parallel partitioned query path vs. the
+//! sequential evaluator (its oracle).
+//!
+//! A randomized workload of SELECT / GROUP BY / JOIN / ORDER BY
+//! queries runs through both [`ExecMode`]s on a multi-partition
+//! cluster; results must be identical after order normalization
+//! (SQL++ result order is unspecified without ORDER BY). A second
+//! test kills a node mid-workload: every parallel invocation then
+//! falls back to the sequential evaluator and answers stay correct.
+
+use std::sync::Arc;
+
+use idea::adm::Value;
+use idea::hyracks::Cluster;
+use idea::obs::MetricsRegistry;
+use idea::query::{Catalog, ExecMode, Session};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: usize = 4;
+const COUNTRIES: &[&str] = &["US", "DE", "FR", "JP", "BR", "IN"];
+
+fn setup(seed: u64) -> (Session, Arc<Cluster>, Arc<MetricsRegistry>) {
+    let cluster = Cluster::with_nodes(NODES);
+    let metrics = MetricsRegistry::new();
+    cluster.attach_metrics(metrics.clone());
+    let catalog = Catalog::new(NODES);
+    let session = Session::with_cluster(catalog, cluster.clone());
+    session
+        .run_script(
+            r#"
+            CREATE TYPE TweetType AS OPEN { id: int64, country: string, score: int64, text: string };
+            CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+            CREATE TYPE WordType AS OPEN { wid: int64, country: string, word: string };
+            CREATE DATASET Words(WordType) PRIMARY KEY wid;
+            "#,
+        )
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tweets = session.catalog().dataset("Tweets").unwrap();
+    for id in 0..600i64 {
+        let country = COUNTRIES[rng.random_range(0..COUNTRIES.len())];
+        let score = rng.random_range(0..100i64);
+        let text = format!("tweet {id} from {country} mentions topic{}", rng.random_range(0..8u32));
+        tweets
+            .insert(Value::object([
+                ("id", Value::Int(id)),
+                ("country", Value::str(country)),
+                ("score", Value::Int(score)),
+                ("text", Value::str(&text)),
+            ]))
+            .unwrap();
+    }
+    let words = session.catalog().dataset("Words").unwrap();
+    for wid in 0..20i64 {
+        let country = COUNTRIES[rng.random_range(0..COUNTRIES.len())];
+        words
+            .insert(Value::object([
+                ("wid", Value::Int(wid)),
+                ("country", Value::str(country)),
+                ("word", Value::str(format!("topic{}", wid % 8))),
+            ]))
+            .unwrap();
+    }
+    (session, cluster, metrics)
+}
+
+/// Renders a result array as a sorted list of row strings, so two
+/// result sets compare equal regardless of row order.
+fn normalized(v: &Value) -> Vec<String> {
+    let mut rows: Vec<String> = v
+        .as_array()
+        .expect("query yields an array")
+        .iter()
+        .map(|r| format!("{r}"))
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// A randomized query workload over the tweet/word schema. Every query
+/// either fixes a total order (ORDER BY a unique key) or is compared
+/// order-normalized.
+fn workload(rng: &mut StdRng, n: usize) -> Vec<String> {
+    let mut queries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cutoff = rng.random_range(5..95i64);
+        let limit = rng.random_range(1..40usize);
+        let country = COUNTRIES[rng.random_range(0..COUNTRIES.len())];
+        let q = match rng.random_range(0..8u32) {
+            // Plain partitioned scan with a pushed-down filter.
+            0 => format!("SELECT VALUE t.id FROM Tweets t WHERE t.score < {cutoff}"),
+            // ORDER BY the primary key + LIMIT (deterministic order).
+            1 => format!(
+                "SELECT t.id AS id, t.score AS score FROM Tweets t \
+                 WHERE t.score >= {cutoff} ORDER BY t.id LIMIT {limit}"
+            ),
+            // Hash-partitioned GROUP BY with multiple aggregates.
+            2 => format!(
+                "SELECT t.country AS c, count(*) AS n, sum(t.score) AS total \
+                 FROM Tweets t WHERE t.score < {cutoff} \
+                 GROUP BY t.country ORDER BY t.country"
+            ),
+            // GROUP BY with HAVING and avg.
+            3 => format!(
+                "SELECT t.country AS c, avg(t.score) AS mean FROM Tweets t \
+                 GROUP BY t.country HAVING count(*) > {limit} ORDER BY t.country"
+            ),
+            // Join against the reference dataset.
+            4 => format!(
+                "SELECT t.id AS id, w.word AS word FROM Tweets t, Words w \
+                 WHERE t.country = w.country AND contains(t.text, w.word) \
+                 AND t.score < {cutoff}"
+            ),
+            // Aggregates without GROUP BY (single implicit group).
+            5 => format!(
+                "SELECT count(*) AS n, min(t.score) AS lo, max(t.score) AS hi \
+                 FROM Tweets t WHERE t.country = \"{country}\""
+            ),
+            // DISTINCT projection.
+            6 => format!("SELECT DISTINCT VALUE t.country FROM Tweets t WHERE t.score < {cutoff}"),
+            // Grouped join: flagged tweet counts per word.
+            _ => "SELECT w.word AS word, count(*) AS n FROM Tweets t, Words w \
+                  WHERE t.country = w.country AND contains(t.text, w.word) \
+                  GROUP BY w.word ORDER BY w.word"
+                .to_string(),
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+fn both_modes(session: &Session, q: &str) -> (Vec<String>, Vec<String>) {
+    session.set_mode(ExecMode::Sequential);
+    let seq = session.query(q).unwrap_or_else(|e| panic!("sequential failed for {q}: {e}"));
+    session.set_mode(ExecMode::Parallel);
+    let par = session.query(q).unwrap_or_else(|e| panic!("parallel failed for {q}: {e}"));
+    (normalized(&seq), normalized(&par))
+}
+
+#[test]
+fn parallel_matches_sequential_on_randomized_workload() {
+    let (session, _cluster, metrics) = setup(42);
+    let mut rng = StdRng::seed_from_u64(7);
+    for q in workload(&mut rng, 60) {
+        let (seq, par) = both_modes(&session, &q);
+        assert_eq!(seq, par, "modes disagree on: {q}");
+    }
+    let snap = metrics.snapshot();
+    let invocations = snap.counter("query/parallel/invocations").unwrap_or(0);
+    assert!(invocations > 0, "no query actually ran on the parallel path");
+}
+
+#[test]
+fn repeated_query_reuses_one_deployed_job() {
+    let (session, _cluster, metrics) = setup(3);
+    session.set_mode(ExecMode::Parallel);
+    // One parsed statement, executed many times: the job is deployed
+    // once and every invocation goes through the resident task pool.
+    let stmts = idea::query::parser::parse_statements(
+        "SELECT t.country AS c, count(*) AS n FROM Tweets t GROUP BY t.country",
+    )
+    .unwrap();
+    let mut last = None;
+    for _ in 0..5 {
+        let v = session.execute(&stmts[0]).unwrap().into_value().unwrap();
+        let n = normalized(&v);
+        if let Some(prev) = &last {
+            assert_eq!(prev, &n);
+        }
+        last = Some(n);
+    }
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("query/parallel/deploys"), Some(1), "expected exactly one deploy");
+    assert_eq!(snap.counter("query/parallel/invocations"), Some(5));
+}
+
+#[test]
+fn node_kill_falls_back_to_sequential_and_stays_correct() {
+    let (session, cluster, metrics) = setup(99);
+    let mut rng = StdRng::seed_from_u64(13);
+
+    // Warm the parallel path, then kill a node under the pinned scan
+    // stages.
+    let (seq, par) = both_modes(&session, "SELECT VALUE t.id FROM Tweets t WHERE t.score < 50");
+    assert_eq!(seq, par);
+    cluster.kill_node(2);
+
+    session.set_mode(ExecMode::Parallel);
+    for q in workload(&mut rng, 12) {
+        let (s, p) = both_modes(&session, &q);
+        assert_eq!(s, p, "modes disagree with node 2 down on: {q}");
+    }
+    let snap = metrics.snapshot();
+    let fallbacks = snap.counter("query/parallel/fallbacks").unwrap_or(0);
+    assert!(fallbacks > 0, "expected parallel invocations to fall back while node 2 is down");
+
+    // After restore the parallel path serves again — and still agrees.
+    cluster.restore_node(2);
+    let before = snap.counter("query/parallel/invocations").unwrap_or(0);
+    for q in workload(&mut rng, 8) {
+        let (s, p) = both_modes(&session, &q);
+        assert_eq!(s, p, "modes disagree after restoring node 2 on: {q}");
+    }
+    let after = metrics.snapshot().counter("query/parallel/invocations").unwrap_or(0);
+    assert!(after > before, "parallel path did not resume after node restore");
+}
+
+#[test]
+fn ddl_between_executions_redeploys_the_job() {
+    let (session, _cluster, metrics) = setup(5);
+    session.set_mode(ExecMode::Parallel);
+    let stmts = idea::query::parser::parse_statements(
+        "SELECT VALUE t.id FROM Tweets t WHERE t.country = \"US\"",
+    )
+    .unwrap();
+    let v1 = session.execute(&stmts[0]).unwrap().into_value().unwrap();
+    // DDL moves the catalog version: the cached deployed job is stale
+    // (its embedded plan may pick a different access path now).
+    session.run_script("CREATE INDEX tc ON Tweets(country) TYPE BTREE;").unwrap();
+    let v2 = session.execute(&stmts[0]).unwrap().into_value().unwrap();
+    assert_eq!(normalized(&v1), normalized(&v2));
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("query/parallel/deploys"), Some(2), "DDL must force a redeploy");
+}

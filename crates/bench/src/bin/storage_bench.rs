@@ -1,0 +1,317 @@
+//! `scripts/bench.sh` entry point: measures background LSM maintenance
+//! (off-thread flush/merge) against the synchronous writer-path
+//! baseline and writes `BENCH_storage.json`.
+//!
+//! Three runs over the same fixed workload, each with a concurrent
+//! UDF-style probe thread doing point lookups against the dataset
+//! being ingested (the enrichment hot path of paper §7.3):
+//!
+//! 1. **sync/constant** — no scheduler: flushes and merges run inline
+//!    on the writer's critical path (the pre-change behaviour);
+//! 2. **background/prefix** — AsterixDB's default prefix merge policy
+//!    with maintenance on the shared worker pool;
+//! 3. **background/tiered** — the size-tiered policy on the pool.
+//!
+//! Reported per run: ingest throughput, put-latency p50/p99/max, probe
+//! latency p99, write amplification, flush/merge counts. The acceptance
+//! bars: background p99 put latency at least 5x below the synchronous
+//! baseline (merge work no longer lands on individual puts), and
+//! ingest throughput under concurrent probes at least 1.3x the
+//! baseline.
+//!
+//! `--smoke` (or `IDEA_BENCH_SMOKE=1`) shrinks the record count so CI
+//! finishes in seconds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use idea_adm::{Datatype, TypeTag, Value};
+use idea_storage::dataset::{Dataset, DatasetConfig};
+use idea_storage::lsm::{LsmConfig, MergePolicyConfig};
+use idea_storage::maintenance::MaintenanceScheduler;
+
+/// Small memtable budget so seal/flush boundaries land well inside the
+/// p99 window (roughly one seal per ~50 puts at this record size).
+const MEMTABLE_BUDGET: usize = 8 * 1024;
+/// Deep sealed queue so the background writer is not throttled waiting
+/// on flushes (the synchronous baseline never queues sealed memtables —
+/// it flushes inline).
+const MAX_SEALED: usize = 8;
+
+fn tweet_type() -> Datatype {
+    Datatype::new("TweetType")
+        .field("id", TypeTag::Int64)
+        .field("text", TypeTag::String)
+        .field("country", TypeTag::String)
+}
+
+fn tweet(id: i64) -> Value {
+    Value::object([
+        ("id", Value::Int(id)),
+        ("text", Value::str(format!("tweet number {id} with a realistic payload body"))),
+        ("country", Value::str(if id % 7 == 0 { "US" } else { "CA" })),
+    ])
+}
+
+#[derive(Debug)]
+struct LatencyStats {
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    max_us: f64,
+}
+
+fn stats(samples: &mut [f64]) -> LatencyStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LatencyStats {
+        p50_us: percentile(samples, 0.50),
+        p99_us: percentile(samples, 0.99),
+        p999_us: percentile(samples, 0.999),
+        max_us: samples.last().copied().unwrap_or(0.0),
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+struct RunResult {
+    mode: &'static str,
+    policy: &'static str,
+    records: usize,
+    ingest_ms: f64,
+    drained_ms: f64,
+    records_per_sec: f64,
+    put: LatencyStats,
+    /// p99 put latency "at merge points": for the synchronous run, the
+    /// p99 over puts that performed a flush or merge inline; for
+    /// background runs every put is a plain memtable insert (merges run
+    /// concurrently), so this is the overall put p99.
+    merge_point_p99_us: f64,
+    probes: u64,
+    probe_p99_us: f64,
+    write_amp: f64,
+    flushes: u64,
+    merges: u64,
+    components: usize,
+}
+
+/// Ingests `records` tweets while a probe thread does continuous point
+/// lookups (the enrichment UDF's reference-data access pattern).
+fn run_ingest(
+    mode: &'static str,
+    policy: MergePolicyConfig,
+    scheduler: Option<&Arc<MaintenanceScheduler>>,
+    records: usize,
+) -> RunResult {
+    let ds = Arc::new(Dataset::new(
+        "Tweets",
+        tweet_type(),
+        "id",
+        DatasetConfig {
+            lsm: LsmConfig {
+                memtable_budget_bytes: MEMTABLE_BUDGET,
+                max_sealed_memtables: MAX_SEALED,
+                merge_policy: policy,
+            },
+            skip_validation: false,
+        },
+    ));
+    if let Some(s) = scheduler {
+        ds.attach_maintenance(Arc::clone(s));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let probe_count = Arc::new(AtomicU64::new(0));
+    let probe_lat = {
+        let ds = Arc::clone(&ds);
+        let stop = Arc::clone(&stop);
+        let probe_count = Arc::clone(&probe_count);
+        let span = records as u64;
+        std::thread::spawn(move || {
+            let mut seed = 0xabcd_ef01u64;
+            let mut lat = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                let k = (seed % span) as i64;
+                let t = Instant::now();
+                let _ = ds.get(&Value::Int(k));
+                lat.push(t.elapsed().as_secs_f64() * 1e6);
+                probe_count.fetch_add(1, Ordering::Relaxed);
+            }
+            lat
+        })
+    };
+
+    let mut put_us = Vec::with_capacity(records);
+    let mut boundary_us = Vec::new();
+    let t0 = Instant::now();
+    for i in 0..records as i64 {
+        let rec = tweet(i);
+        let maint_before = ds.flush_count() + ds.merge_count();
+        let t = Instant::now();
+        ds.upsert(rec).unwrap();
+        let lat = t.elapsed().as_secs_f64() * 1e6;
+        put_us.push(lat);
+        // In the synchronous run maintenance counters only move inside
+        // a put — those are the merge-point puts.
+        if ds.flush_count() + ds.merge_count() != maint_before {
+            boundary_us.push(lat);
+        }
+    }
+    let ingest = t0.elapsed();
+    if let Some(s) = scheduler {
+        s.drain();
+    }
+    let drained = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let mut probe_us = probe_lat.join().unwrap();
+
+    RunResult {
+        mode,
+        policy: match policy {
+            MergePolicyConfig::NoMerge => "no-merge",
+            MergePolicyConfig::Constant { .. } => "constant",
+            MergePolicyConfig::Prefix { .. } => "prefix",
+            MergePolicyConfig::Tiered { .. } => "tiered",
+        },
+        records,
+        ingest_ms: ingest.as_secs_f64() * 1e3,
+        drained_ms: drained.as_secs_f64() * 1e3,
+        records_per_sec: records as f64 / ingest.as_secs_f64(),
+        merge_point_p99_us: if scheduler.is_none() {
+            boundary_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile(&boundary_us, 0.99)
+        } else {
+            let mut all = put_us.clone();
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            percentile(&all, 0.99)
+        },
+        put: stats(&mut put_us),
+        probes: probe_count.load(Ordering::Relaxed),
+        probe_p99_us: percentile(
+            {
+                probe_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                &probe_us
+            },
+            0.99,
+        ),
+        write_amp: ds.write_amp(),
+        flushes: ds.flush_count(),
+        merges: ds.merge_count(),
+        components: ds.component_count(),
+    }
+}
+
+fn json_run(r: &RunResult) -> String {
+    format!(
+        concat!(
+            "{{\"mode\": \"{}\", \"policy\": \"{}\", \"records\": {}, ",
+            "\"ingest_ms\": {:.2}, \"drained_ms\": {:.2}, \"records_per_sec\": {:.1}, ",
+            "\"put_p50_us\": {:.2}, \"put_p99_us\": {:.2}, \"put_p999_us\": {:.2}, ",
+            "\"merge_point_p99_us\": {:.2}, ",
+            "\"put_max_us\": {:.2}, \"probes\": {}, \"probe_p99_us\": {:.2}, ",
+            "\"write_amp\": {:.3}, \"flushes\": {}, \"merges\": {}, \"components\": {}}}"
+        ),
+        r.mode,
+        r.policy,
+        r.records,
+        r.ingest_ms,
+        r.drained_ms,
+        r.records_per_sec,
+        r.put.p50_us,
+        r.put.p99_us,
+        r.put.p999_us,
+        r.merge_point_p99_us,
+        r.put.max_us,
+        r.probes,
+        r.probe_p99_us,
+        r.write_amp,
+        r.flushes,
+        r.merges,
+        r.components,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("IDEA_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let records = if smoke { 8_000 } else { 60_000 };
+
+    eprintln!("== storage maintenance ({records} records, concurrent probes) ==");
+    let baseline =
+        run_ingest("sync", MergePolicyConfig::Constant { max_components: 4 }, None, records);
+
+    let sched = MaintenanceScheduler::new(4);
+    let prefix = run_ingest(
+        "background",
+        MergePolicyConfig::Prefix {
+            max_mergable_entries: records / 2,
+            max_tolerance_components: 4,
+        },
+        Some(&sched),
+        records,
+    );
+    let tiered = run_ingest(
+        "background",
+        MergePolicyConfig::Tiered { size_ratio: 1.2, min_merge: 3, max_merge: 10 },
+        Some(&sched),
+        records,
+    );
+    sched.shutdown();
+
+    for r in [&baseline, &prefix, &tiered] {
+        eprintln!(
+            "{:<10} {:<9} {:>9.0} rec/s  put p99 {:>8.1}us max {:>9.1}us  wa {:.2}  ({} flushes, {} merges)",
+            r.mode, r.policy, r.records_per_sec, r.put.p99_us, r.put.max_us, r.write_amp,
+            r.flushes, r.merges
+        );
+    }
+    let p99_reduction = baseline.merge_point_p99_us / prefix.merge_point_p99_us.max(0.001);
+    let speedup = prefix.records_per_sec / baseline.records_per_sec;
+    eprintln!("merge-point p99 put reduction (sync/background-prefix): {p99_reduction:.1}x");
+    eprintln!("ingest speedup under probes (background-prefix/sync): {speedup:.2}x");
+
+    let out = std::env::args().nth(1).filter(|a| a != "--smoke");
+    let path = out.unwrap_or_else(|| "BENCH_storage.json".to_string());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"smoke\": {},\n",
+            "  \"memtable_budget_bytes\": {},\n",
+            "  \"runs\": [\n    {},\n    {},\n    {}\n  ],\n",
+            "  \"merge_point_p99_put_reduction\": {:.2},\n",
+            "  \"ingest_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        smoke,
+        MEMTABLE_BUDGET,
+        json_run(&baseline),
+        json_run(&prefix),
+        json_run(&tiered),
+        p99_reduction,
+        speedup,
+    );
+    std::fs::write(&path, json).expect("write BENCH_storage.json");
+    eprintln!("wrote {path}");
+
+    // Acceptance bars: moving maintenance off the writer's critical
+    // path must cut tail put latency at merge points by at least 5x and
+    // lift ingest throughput under concurrent probes by at least 1.3x.
+    assert!(
+        p99_reduction >= 5.0,
+        "background merge-point p99 reduction {p99_reduction:.2}x is below the 5x acceptance bar"
+    );
+    assert!(
+        speedup >= 1.3,
+        "background ingest speedup {speedup:.2}x is below the 1.3x acceptance bar"
+    );
+}

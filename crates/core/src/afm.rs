@@ -151,6 +151,25 @@ impl ActiveFeedManager {
         );
         let registry = MetricsRegistry::new();
         cluster.attach_metrics(registry.clone());
+        // Engine-wide view of the background flush/merge pool, if the
+        // catalog has one installed.
+        if let Some(sched) = catalog.maintenance() {
+            use idea_obs::names;
+            type SchedProbe = fn(&idea_storage::MaintenanceScheduler) -> i64;
+            for (name, f) in [
+                (names::MAINT_QUEUE_DEPTH, (|s| s.queue_depth() as i64) as SchedProbe),
+                (names::MAINT_SUBMITTED, |s: &idea_storage::MaintenanceScheduler| {
+                    s.submitted() as i64
+                }),
+                (names::MAINT_COMPLETED, |s| s.completed() as i64),
+                (names::MAINT_FLUSH_TASKS, |s| s.flush_tasks() as i64),
+                (names::MAINT_MERGE_TASKS, |s| s.merge_tasks() as i64),
+                (names::MAINT_QUEUE_WAIT_NANOS, |s| s.queue_wait_nanos() as i64),
+            ] {
+                let weak = Arc::downgrade(&sched);
+                registry.probe(name, move || weak.upgrade().map_or(0, |s| f(&s)));
+            }
+        }
         ActiveFeedManager { cluster, catalog, registry, active: Mutex::new(HashMap::new()) }
     }
 
@@ -200,6 +219,10 @@ impl ActiveFeedManager {
             ("flushes", idea_storage::Dataset::flush_count as fn(&idea_storage::Dataset) -> u64),
             ("merges", idea_storage::Dataset::merge_count),
             ("components", |d: &idea_storage::Dataset| d.component_count() as u64),
+            ("live", |d: &idea_storage::Dataset| d.len() as u64),
+            ("bytes_ingested", idea_storage::Dataset::bytes_ingested),
+            ("bytes_written", idea_storage::Dataset::bytes_written),
+            ("put_stall_nanos", idea_storage::Dataset::stall_nanos),
         ] {
             let weak = Arc::downgrade(&dataset);
             self.registry.probe(format!("storage/{}/{metric}", spec.dataset), move || {
@@ -215,6 +238,21 @@ impl ActiveFeedManager {
             inj.attach_obs(&obs.scope("faults/injected"));
             inj
         });
+        // Slow-storage faults also hit background maintenance: flushes
+        // and merges for a partition on a slowed node are delayed just
+        // like the writer path. Keyed by feed name; removed with the
+        // feed.
+        if let (Some(inj), Some(sched)) = (&injector, self.catalog.maintenance()) {
+            let inj = inj.clone();
+            sched.set_fault_hook(
+                spec.name.clone(),
+                Arc::new(move |_kind, node| {
+                    if let Some(delay) = node.and_then(|n| inj.storage_delay(n)) {
+                        std::thread::sleep(delay);
+                    }
+                }),
+            );
+        }
 
         // Dead-letter capture: auto-create the dataset (and its type) so
         // poison records are queryable through ordinary SQL++.
@@ -290,6 +328,9 @@ impl ActiveFeedManager {
     /// Forgets a finished feed (called by `wait_feed`).
     pub fn remove(&self, name: &str) {
         self.active.lock().remove(name);
+        if let Some(sched) = self.catalog.maintenance() {
+            sched.clear_fault_hook(name);
+        }
     }
 
     /// Stops a feed, waits for it, and removes it.
@@ -562,7 +603,18 @@ fn checkpoint_quiesced(
             let emitted = shared.ckpt.emitted_total() - base_emitted;
             let acked = shared.metrics.storage_acked.get() - acked_base;
             if emitted == irecv && irecv == itaken && srecv == staken && staken == acked {
+                // Pause background maintenance across the commit so the
+                // committed offsets pair with a stable component stack.
+                // Only at the commit point: the pipeline is quiesced, so
+                // no put can be stalled waiting on a paused flush.
+                let maint = shared.catalog.maintenance();
+                if let Some(m) = &maint {
+                    m.pause();
+                }
                 shared.ckpt.commit();
+                if let Some(m) = &maint {
+                    m.resume();
+                }
                 shared.metrics.checkpoints.inc();
                 return Ok(true);
             }

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use idea_hyracks::Cluster;
 use idea_query::ast::Statement;
 use idea_query::{Catalog, Session, StatementResult};
+use idea_storage::MaintenanceScheduler;
 use parking_lot::Mutex;
 
 use crate::adapter::{AdapterFactory, SocketAdapter};
@@ -46,14 +47,22 @@ pub struct IngestionEngine {
     catalog: Arc<Catalog>,
     session: Session,
     afm: ActiveFeedManager,
+    maintenance: Arc<MaintenanceScheduler>,
     adapters: Mutex<HashMap<String, AdapterFactory>>,
     feeds: Mutex<HashMap<String, FeedDecl>>,
 }
 
 impl IngestionEngine {
     /// Builds an engine over an existing cluster/catalog pair (their
-    /// partition counts must agree).
+    /// partition counts must agree). The engine owns the background
+    /// flush/merge pool; every dataset in the catalog routes its LSM
+    /// maintenance through it.
     pub fn new(cluster: Arc<Cluster>, catalog: Arc<Catalog>) -> Arc<IngestionEngine> {
+        let maintenance = catalog.maintenance().unwrap_or_else(|| {
+            let sched = MaintenanceScheduler::new(cluster.node_count().min(4));
+            catalog.set_maintenance(sched.clone());
+            sched
+        });
         let afm = ActiveFeedManager::new(cluster.clone(), catalog.clone());
         let session = Session::with_cluster(catalog.clone(), cluster.clone());
         Arc::new(IngestionEngine {
@@ -61,6 +70,7 @@ impl IngestionEngine {
             catalog,
             session,
             afm,
+            maintenance,
             adapters: Mutex::new(HashMap::new()),
             feeds: Mutex::new(HashMap::new()),
         })
@@ -112,6 +122,22 @@ impl IngestionEngine {
     /// Stops a feed and waits for it to drain.
     pub fn stop_feed(&self, name: &str) -> Result<IngestionReport> {
         self.afm.stop_and_wait(name)
+    }
+
+    /// The engine's background flush/merge pool.
+    pub fn maintenance(&self) -> &Arc<MaintenanceScheduler> {
+        &self.maintenance
+    }
+
+    /// Shuts the engine down deterministically: stops every active feed,
+    /// then drains and joins the maintenance pool. After this no worker
+    /// thread of the engine is left running; datasets fall back to
+    /// inline flush/merge. Idempotent.
+    pub fn shutdown(&self) {
+        for name in self.afm.active_feeds() {
+            let _ = self.afm.stop_and_wait(&name);
+        }
+        self.maintenance.shutdown();
     }
 
     /// Executes a script of `;`-separated statements.
@@ -228,6 +254,14 @@ impl IngestionEngine {
         }
         apply_supervision_options(&mut spec, &decl.options)?;
         Ok(spec)
+    }
+}
+
+impl Drop for IngestionEngine {
+    fn drop(&mut self) {
+        // The catalog (and its datasets) may outlive the engine; the
+        // pool must not — join its workers now.
+        self.maintenance.shutdown();
     }
 }
 

@@ -19,3 +19,18 @@ pub const QUERY_SCAN_ROWS: &str = "query/scan/rows";
 pub const QUERY_EXCHANGE_ROWS: &str = "query/exchange/rows";
 /// Rows received by the final merge stage.
 pub const QUERY_MERGE_ROWS: &str = "query/merge/rows";
+
+// ---- background storage maintenance (engine-wide pool) ---------------
+
+/// Flush/merge tasks queued but not yet picked up by a worker.
+pub const MAINT_QUEUE_DEPTH: &str = "storage/maintenance/queue_depth";
+/// Maintenance tasks submitted to the pool since engine start.
+pub const MAINT_SUBMITTED: &str = "storage/maintenance/submitted";
+/// Maintenance tasks completed by the pool since engine start.
+pub const MAINT_COMPLETED: &str = "storage/maintenance/completed";
+/// Completed tasks that were memtable flushes.
+pub const MAINT_FLUSH_TASKS: &str = "storage/maintenance/flushes";
+/// Completed tasks that were component merges.
+pub const MAINT_MERGE_TASKS: &str = "storage/maintenance/merges";
+/// Cumulative nanoseconds tasks spent queued before running.
+pub const MAINT_QUEUE_WAIT_NANOS: &str = "storage/maintenance/queue_wait_nanos";

@@ -165,8 +165,15 @@ pub enum IndexKindAst {
 pub enum Statement {
     /// `CREATE TYPE name AS OPEN { field: type, ... }`
     CreateType { name: String, fields: Vec<(String, String)> },
-    /// `CREATE DATASET name(TypeName) PRIMARY KEY field`
-    CreateDataset { name: String, type_name: String, primary_key: String },
+    /// `CREATE DATASET name(TypeName) PRIMARY KEY field
+    ///  [WITH { "merge-policy": "...", ... }]` — options configure the
+    /// dataset's LSM tree (merge policy and its knobs, memtable budget).
+    CreateDataset {
+        name: String,
+        type_name: String,
+        primary_key: String,
+        options: Vec<(String, String)>,
+    },
     /// `CREATE INDEX name ON dataset(field) TYPE BTREE|RTREE`
     CreateIndex { name: String, dataset: String, field: String, kind: IndexKindAst },
     /// `CREATE FUNCTION name(params) { body }`

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use idea_adm::{Datatype, TypeTag};
 use idea_storage::dataset::DatasetConfig;
 use idea_storage::index::{IndexDef, IndexKind};
+use idea_storage::maintenance::MaintenanceScheduler;
 use idea_storage::PartitionedDataset;
 use parking_lot::RwLock;
 
@@ -27,6 +28,9 @@ pub struct Catalog {
     partitions: usize,
     dataset_config: DatasetConfig,
     inner: RwLock<Inner>,
+    /// Background flush/merge pool; attached to every dataset (existing
+    /// and future) once the engine installs it.
+    maintenance: RwLock<Option<Arc<MaintenanceScheduler>>>,
     /// Bumped on every DDL mutation; cached plans (and predeployed
     /// query jobs) compiled against an older version are stale.
     version: AtomicU64,
@@ -51,6 +55,7 @@ impl Catalog {
             partitions,
             dataset_config,
             inner: RwLock::new(Inner::default()),
+            maintenance: RwLock::new(None),
             version: AtomicU64::new(0),
         })
     }
@@ -106,22 +111,50 @@ impl Catalog {
     // ---- datasets -----------------------------------------------------
 
     pub fn create_dataset(&self, name: &str, type_name: &str, primary_key: &str) -> Result<()> {
+        self.create_dataset_with_options(name, type_name, primary_key, &[])
+    }
+
+    /// `CREATE DATASET ... WITH { ... }`: the options tune the dataset's
+    /// LSM config (merge policy and its knobs, memtable budget) before
+    /// the partitions are built.
+    pub fn create_dataset_with_options(
+        &self,
+        name: &str,
+        type_name: &str,
+        primary_key: &str,
+        options: &[(String, String)],
+    ) -> Result<()> {
         let dt = self.get_type(type_name)?;
+        let mut config = self.dataset_config.clone();
+        config
+            .apply_options(options)
+            .map_err(|e| QueryError::Invalid(format!("dataset {name}: {e}")))?;
         let mut inner = self.inner.write();
         if inner.datasets.contains_key(name) {
             return Err(QueryError::Invalid(format!("dataset {name} already exists")));
         }
-        let ds = PartitionedDataset::new(
-            name,
-            dt,
-            primary_key,
-            self.partitions,
-            self.dataset_config.clone(),
-        );
+        let ds = PartitionedDataset::new(name, dt, primary_key, self.partitions, config);
+        if let Some(sched) = self.maintenance.read().as_ref() {
+            ds.attach_maintenance(sched);
+        }
         inner.datasets.insert(name.to_owned(), Arc::new(ds));
         drop(inner);
         self.bump_version();
         Ok(())
+    }
+
+    /// Installs the engine's background maintenance pool: every dataset
+    /// (existing and future) routes its flushes and merges through it.
+    pub fn set_maintenance(&self, scheduler: Arc<MaintenanceScheduler>) {
+        for ds in self.inner.read().datasets.values() {
+            ds.attach_maintenance(&scheduler);
+        }
+        *self.maintenance.write() = Some(scheduler);
+    }
+
+    /// The installed maintenance pool, if any.
+    pub fn maintenance(&self) -> Option<Arc<MaintenanceScheduler>> {
+        self.maintenance.read().clone()
     }
 
     /// Drops a dataset (its partitions and indexes go with it).

@@ -413,7 +413,7 @@ fn fetch_candidates(
                         let snaps = ctx.snapshots_for(name)?;
                         let mut rows = Vec::new();
                         for s in snaps.iter() {
-                            rows.extend(s.iter().cloned().map(Arc::new));
+                            rows.extend(s.iter().cloned());
                         }
                         ctx.stats.rows_scanned += rows.len() as u64;
                         return Ok(CandList::Owned(apply_filters(
@@ -464,11 +464,11 @@ fn fetch_candidates(
             let ds = ctx.catalog.dataset(ds_name)?;
             ctx.stats.index_probes += 1;
             let rows: Vec<Arc<Value>> = match target {
-                IndexTarget::Primary => ds.get(&key).map(Arc::new).into_iter().collect(),
+                IndexTarget::Primary => ds.get(&key).into_iter().collect(),
                 IndexTarget::Secondary(index) => {
                     let mut out = Vec::new();
                     for p in ds.partitions() {
-                        out.extend(p.index_lookup(index, &key)?.into_iter().map(Arc::new));
+                        out.extend(p.index_lookup(index, &key)?);
                     }
                     out
                 }
@@ -486,18 +486,18 @@ fn fetch_candidates(
             match region {
                 Value::Circle(c) => {
                     for p in ds.partitions() {
-                        rows.extend(p.index_query_circle(index, &c)?.into_iter().map(Arc::new));
+                        rows.extend(p.index_query_circle(index, &c)?);
                     }
                 }
                 Value::Rectangle(r) => {
                     for p in ds.partitions() {
-                        rows.extend(p.index_query_rect(index, &r)?.into_iter().map(Arc::new));
+                        rows.extend(p.index_query_rect(index, &r)?);
                     }
                 }
                 Value::Point(pt) => {
                     let c = Circle::new(pt, 0.0);
                     for p in ds.partitions() {
-                        rows.extend(p.index_query_circle(index, &c)?.into_iter().map(Arc::new));
+                        rows.extend(p.index_query_circle(index, &c)?);
                     }
                 }
                 Value::Missing | Value::Null => {}
@@ -554,7 +554,7 @@ fn materialize(
     let snaps = ctx.snapshots_for(ds_name)?;
     let mut rows = Vec::new();
     for s in snaps.iter() {
-        rows.extend(s.iter().cloned().map(Arc::new));
+        rows.extend(s.iter().cloned());
     }
     ctx.stats.rows_scanned += rows.len() as u64;
     ctx.stats.materializations += 1;
@@ -586,7 +586,7 @@ fn hash_build(
     for s in snaps.iter() {
         'row: for rec in s.iter() {
             n_rows += 1;
-            let rec = Arc::new(rec.clone());
+            let rec = rec.clone();
             let env = base.bind(alias.clone(), rec.clone());
             for f in &fp.self_filter {
                 if !eval_expr(f, &env, ctx)?.is_true() {

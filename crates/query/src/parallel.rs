@@ -256,7 +256,7 @@ impl ScanOp {
         let mut rows = Vec::new();
         'rec: for rec in snap.iter() {
             xctx.stats.rows_scanned += 1;
-            let rec = Arc::new(rec.clone());
+            let rec = rec.clone();
             let fenv = filter_base.bind(item.alias.clone(), rec.clone());
             for f in &fp0.self_filter {
                 if !eval_expr(f, &fenv, xctx)?.is_true() {

@@ -247,7 +247,11 @@ impl Parser {
             self.expect_kw("primary")?;
             self.expect_kw("key")?;
             let primary_key = self.expect_ident()?;
-            return Ok(Statement::CreateDataset { name, type_name, primary_key });
+            // AsterixDB-style storage options: WITH { "merge-policy":
+            // "prefix", ... } configures the dataset's LSM tree.
+            let options =
+                if self.eat_kw("with") { self.parse_options_block()? } else { Vec::new() };
+            return Ok(Statement::CreateDataset { name, type_name, primary_key, options });
         }
         if self.eat_kw("index") {
             let name = self.expect_ident()?;
@@ -291,23 +295,30 @@ impl Parser {
         if self.eat_kw("feed") {
             let name = self.expect_ident()?;
             self.expect_kw("with")?;
-            self.expect(&Token::LBrace)?;
-            let mut options = Vec::new();
-            if !self.eat(&Token::RBrace) {
-                loop {
-                    let k = self.expect_string()?;
-                    self.expect(&Token::Colon)?;
-                    let v = self.expect_string()?;
-                    options.push((k, v));
-                    if self.eat(&Token::RBrace) {
-                        break;
-                    }
-                    self.expect(&Token::Comma)?;
-                }
-            }
+            let options = self.parse_options_block()?;
             return Ok(Statement::CreateFeed { name, options });
         }
         Err(QueryError::Syntax(format!("unexpected CREATE target: {:?}", self.peek())))
+    }
+
+    /// `{ "key": "value", ... }` — the option block shared by
+    /// `CREATE FEED ... WITH` and `CREATE DATASET ... WITH`.
+    fn parse_options_block(&mut self) -> Result<Vec<(String, String)>> {
+        self.expect(&Token::LBrace)?;
+        let mut options = Vec::new();
+        if !self.eat(&Token::RBrace) {
+            loop {
+                let k = self.expect_string()?;
+                self.expect(&Token::Colon)?;
+                let v = self.expect_string()?;
+                options.push((k, v));
+                if self.eat(&Token::RBrace) {
+                    break;
+                }
+                self.expect(&Token::Comma)?;
+            }
+        }
+        Ok(options)
     }
 
     /// A select block (possibly LET-first, as the paper writes UDF
@@ -731,8 +742,28 @@ mod tests {
         assert_eq!(stmts.len(), 2);
         assert!(matches!(&stmts[0], Statement::CreateType { name, fields }
             if name == "TweetType" && fields.len() == 2));
-        assert!(matches!(&stmts[1], Statement::CreateDataset { primary_key, .. }
-            if primary_key == "id"));
+        assert!(matches!(&stmts[1], Statement::CreateDataset { primary_key, options, .. }
+            if primary_key == "id" && options.is_empty()));
+    }
+
+    #[test]
+    fn parse_dataset_with_storage_options() {
+        let stmt = parse_statement(
+            r#"CREATE DATASET Tweets(TweetType) PRIMARY KEY id
+               WITH { "merge-policy": "tiered", "memtable-budget-bytes": "65536" };"#,
+        )
+        .unwrap();
+        let Statement::CreateDataset { name, options, .. } = stmt else {
+            panic!("expected CreateDataset")
+        };
+        assert_eq!(name, "Tweets");
+        assert_eq!(
+            options,
+            vec![
+                ("merge-policy".to_string(), "tiered".to_string()),
+                ("memtable-budget-bytes".to_string(), "65536".to_string()),
+            ]
+        );
     }
 
     #[test]

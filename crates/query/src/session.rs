@@ -187,8 +187,9 @@ impl Session {
                 self.catalog.create_type_from_ddl(name, fields)?;
                 Ok(StatementResult::Ok)
             }
-            Statement::CreateDataset { name, type_name, primary_key } => {
-                self.catalog.create_dataset(name, type_name, primary_key)?;
+            Statement::CreateDataset { name, type_name, primary_key, options } => {
+                self.catalog
+                    .create_dataset_with_options(name, type_name, primary_key, options)?;
                 Ok(StatementResult::Ok)
             }
             Statement::CreateIndex { name, dataset, field, kind } => {
@@ -241,7 +242,7 @@ impl Session {
                             let keep = match where_clause {
                                 None => true,
                                 Some(w) => {
-                                    let env = base.bind_value(alias.clone(), rec.clone());
+                                    let env = base.bind(alias.clone(), rec.clone());
                                     eval_expr(w, &env, &mut ctx)?.is_true()
                                 }
                             };

@@ -10,7 +10,8 @@ use parking_lot::RwLock;
 
 use crate::error::StorageError;
 use crate::index::{IndexDef, IndexKind, SecondaryIndex};
-use crate::lsm::{Component, LsmConfig, LsmTree};
+use crate::lsm::{Entry, LsmConfig, LsmTree, TreeSnapshot};
+use crate::maintenance::MaintenanceScheduler;
 use crate::stats::StorageStats;
 use crate::Result;
 
@@ -23,27 +24,42 @@ pub struct DatasetConfig {
     pub skip_validation: bool,
 }
 
+impl DatasetConfig {
+    /// Applies dataset DDL `WITH` options (`merge-policy`,
+    /// `memtable-budget-bytes`, …). `merge-policy` is applied first so
+    /// policy-specific knobs land on the right policy regardless of
+    /// option order.
+    pub fn apply_options(&mut self, options: &[(String, String)]) -> Result<()> {
+        for (k, v) in options.iter().filter(|(k, _)| k == "merge-policy") {
+            self.lsm.apply_option(k, v)?;
+        }
+        for (k, v) in options.iter().filter(|(k, _)| k != "merge-policy") {
+            self.lsm.apply_option(k, v)?;
+        }
+        Ok(())
+    }
+}
+
 /// A dataset: `CREATE DATASET Tweets(TweetType) PRIMARY KEY id`.
 ///
-/// Thread-safe: writers and readers synchronize on one `RwLock`, exactly
-/// like a storage partition in the paper's storage job. Enrichment-side
-/// reads take the read lock (shared), so concurrent reference-data
-/// updates (paper §7.3) contend with them — that contention is part of
-/// what Figure 27 measures.
+/// Thread-safe. The LSM tree is internally synchronized, so point
+/// lookups and snapshot scans (the enrichment-UDF hot path, paper §7.3)
+/// never wait on writers or on background maintenance; they share the
+/// record allocations via `Arc<Value>` instead of deep-cloning. Writers
+/// serialize on the secondary-index lock to keep tree and indexes
+/// mutually consistent.
 #[derive(Debug)]
 pub struct Dataset {
     name: String,
     datatype: Datatype,
     pk_field: FieldPath,
     config: DatasetConfig,
-    inner: RwLock<Inner>,
+    tree: Arc<LsmTree>,
+    /// Secondary indexes. Doubles as the writer lock: every mutation
+    /// holds the write guard, so index maintenance and the tree update
+    /// are atomic with respect to other writers.
+    indexes: RwLock<Vec<(IndexDef, SecondaryIndex)>>,
     stats: StorageStats,
-}
-
-#[derive(Debug)]
-struct Inner {
-    tree: LsmTree,
-    indexes: Vec<(IndexDef, SecondaryIndex)>,
 }
 
 impl Dataset {
@@ -57,11 +73,9 @@ impl Dataset {
             name: name.into(),
             datatype,
             pk_field: FieldPath::parse(pk_field),
-            inner: RwLock::new(Inner {
-                tree: LsmTree::new(config.lsm.clone()),
-                indexes: Vec::new(),
-            }),
+            tree: LsmTree::new(config.lsm),
             config,
+            indexes: RwLock::new(Vec::new()),
             stats: StorageStats::default(),
         }
     }
@@ -80,6 +94,28 @@ impl Dataset {
 
     pub fn stats(&self) -> &StorageStats {
         &self.stats
+    }
+
+    pub fn lsm_config(&self) -> &LsmConfig {
+        self.tree.config()
+    }
+
+    /// The merge policy's name (for metrics and bench reports).
+    pub fn merge_policy_name(&self) -> &'static str {
+        self.tree.policy_name()
+    }
+
+    /// Routes this dataset's flushes/merges through a shared background
+    /// scheduler (engine-owned). Without one, maintenance runs inline on
+    /// the writer thread.
+    pub fn attach_maintenance(&self, scheduler: Arc<MaintenanceScheduler>) {
+        self.tree.attach_maintenance(scheduler);
+    }
+
+    /// Tags maintenance with the cluster node hosting this partition
+    /// (fault-injection target).
+    pub fn set_node_hint(&self, node: usize) {
+        self.tree.set_node_hint(node);
     }
 
     fn extract_pk(&self, record: &Value) -> Result<Value> {
@@ -104,71 +140,84 @@ impl Dataset {
         self.datatype.validate(record).map_err(|e| StorageError::Type(e.to_string()))
     }
 
+    fn record_put(&self, key: Value, value: Entry) {
+        let stalled = self.tree.put(key, value);
+        if !stalled.is_zero() {
+            self.stats.record_put_stall(stalled.as_nanos() as u64);
+        }
+    }
+
     /// `INSERT`: fails on duplicate primary key.
     pub fn insert(&self, record: Value) -> Result<()> {
         self.validate(&record)?;
         let pk = self.extract_pk(&record)?;
-        let mut inner = self.inner.write();
-        if inner.tree.contains(&pk) {
+        let mut indexes = self.indexes.write();
+        if self.tree.contains(&pk) {
             return Err(StorageError::DuplicateKey(pk.to_string()));
         }
-        for (def, ix) in &mut inner.indexes {
+        for (def, ix) in indexes.iter_mut() {
             ix.insert(def, &pk, &record)?;
         }
-        inner.tree.put(pk, Some(record));
+        drop(indexes);
+        self.record_put(pk, Some(Arc::new(record)));
         self.stats.record_insert();
         Ok(())
     }
 
     /// `UPSERT`: "inserts an object if there is no other object with the
     /// specified key; if not, it replaces the previous object" (paper
-    /// §3.3 footnote).
+    /// §3.3 footnote). The old record is only looked up when secondary
+    /// indexes need de-maintenance — the common no-index ingestion path
+    /// is a blind write.
     pub fn upsert(&self, record: Value) -> Result<()> {
         self.validate(&record)?;
         let pk = self.extract_pk(&record)?;
-        let mut inner = self.inner.write();
-        let old = inner.tree.get(&pk).cloned();
-        if let Some(old) = &old {
-            for (def, ix) in &mut inner.indexes {
-                ix.remove(def, &pk, old);
+        let mut indexes = self.indexes.write();
+        if !indexes.is_empty() {
+            if let Some(old) = self.tree.get(&pk) {
+                for (def, ix) in indexes.iter_mut() {
+                    ix.remove(def, &pk, &old);
+                }
+            }
+            for (def, ix) in indexes.iter_mut() {
+                ix.insert(def, &pk, &record)?;
             }
         }
-        for (def, ix) in &mut inner.indexes {
-            ix.insert(def, &pk, &record)?;
-        }
-        inner.tree.put(pk, Some(record));
+        drop(indexes);
+        self.record_put(pk, Some(Arc::new(record)));
         self.stats.record_upsert();
         Ok(())
     }
 
     /// `DELETE` by primary key; returns whether a record was visible.
     pub fn delete(&self, pk: &Value) -> Result<bool> {
-        let mut inner = self.inner.write();
-        let old = inner.tree.get(pk).cloned();
-        let Some(old) = old else { return Ok(false) };
-        for (def, ix) in &mut inner.indexes {
+        let mut indexes = self.indexes.write();
+        let Some(old) = self.tree.get(pk) else { return Ok(false) };
+        for (def, ix) in indexes.iter_mut() {
             ix.remove(def, pk, &old);
         }
-        inner.tree.put(pk.clone(), None);
+        drop(indexes);
+        self.record_put(pk.clone(), None);
         self.stats.record_delete();
         Ok(true)
     }
 
-    /// Point lookup by primary key.
-    pub fn get(&self, pk: &Value) -> Option<Value> {
+    /// Point lookup by primary key. Clone-free: the returned `Arc`
+    /// shares the stored record. Never blocks on writers or maintenance.
+    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
         self.stats.record_lookup();
-        self.inner.read().tree.get(pk).cloned()
+        self.tree.get(pk)
     }
 
     /// Bulk-loads records straight into an immutable component (initial
     /// reference-data load), bypassing the memtable like AsterixDB's
     /// `LOAD DATASET`. Fails if the dataset is non-empty.
     pub fn bulk_load(&self, records: Vec<Value>) -> Result<()> {
-        let mut pairs: Vec<(Value, Option<Value>)> = Vec::with_capacity(records.len());
+        let mut pairs: Vec<(Value, Entry)> = Vec::with_capacity(records.len());
         for r in records {
             self.validate(&r)?;
             let pk = self.extract_pk(&r)?;
-            pairs.push((pk, Some(r)));
+            pairs.push((pk, Some(Arc::new(r))));
         }
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         for w in pairs.windows(2) {
@@ -176,8 +225,8 @@ impl Dataset {
                 return Err(StorageError::DuplicateKey(w[0].0.to_string()));
             }
         }
-        let mut inner = self.inner.write();
-        if inner.tree.live_count() != 0 || inner.tree.memtable_len() != 0 {
+        let mut indexes = self.indexes.write();
+        if self.tree.live_count() != 0 || self.tree.memtable_len() != 0 {
             return Err(StorageError::BadPrimaryKey(format!(
                 "bulk load into non-empty dataset {}",
                 self.name
@@ -185,43 +234,37 @@ impl Dataset {
         }
         for (pk, rec) in &pairs {
             let rec = rec.as_ref().unwrap();
-            for (def, ix) in &mut inner.indexes {
+            for (def, ix) in indexes.iter_mut() {
                 ix.insert(def, pk, rec)?;
             }
         }
         let n = pairs.len() as u64;
-        inner
-            .tree
-            .components
-            .insert(0, Arc::new(Component::from_sorted(u64::MAX, pairs)));
+        self.tree.bulk_install(pairs);
+        drop(indexes);
         self.stats.record_bulk_load(n);
         Ok(())
     }
 
     /// Creates a secondary index, building it over the current contents.
     pub fn create_index(&self, def: IndexDef) -> Result<()> {
-        let mut inner = self.inner.write();
-        if inner.indexes.iter().any(|(d, _)| d.name == def.name) {
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|(d, _)| d.name == def.name) {
             return Err(StorageError::BadIndex(format!("index {} already exists", def.name)));
         }
         let mut ix = SecondaryIndex::new(&def);
-        // Build over a private copy of the live view to avoid aliasing
-        // the tree borrow.
-        let live: Vec<(Value, Value)> =
-            inner.tree.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
-        for (pk, rec) in &live {
+        for (pk, rec) in self.tree.snapshot().iter() {
             ix.insert(&def, pk, rec)?;
         }
-        inner.indexes.push((def, ix));
+        indexes.push((def, ix));
         Ok(())
     }
 
     /// Drops a secondary index.
     pub fn drop_index(&self, name: &str) -> Result<()> {
-        let mut inner = self.inner.write();
-        let before = inner.indexes.len();
-        inner.indexes.retain(|(d, _)| d.name != name);
-        if inner.indexes.len() == before {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|(d, _)| d.name != name);
+        if indexes.len() == before {
             return Err(StorageError::UnknownIndex(name.to_owned()));
         }
         Ok(())
@@ -229,34 +272,32 @@ impl Dataset {
 
     /// The names and definitions of all secondary indexes.
     pub fn index_defs(&self) -> Vec<IndexDef> {
-        self.inner.read().indexes.iter().map(|(d, _)| d.clone()).collect()
+        self.indexes.read().iter().map(|(d, _)| d.clone()).collect()
     }
 
     /// Finds an index of `kind` on `field`, if any (the optimizer's
     /// access-method selection consults this).
     pub fn find_index(&self, field: &FieldPath, kind: IndexKind) -> Option<String> {
-        self.inner
+        self.indexes
             .read()
-            .indexes
             .iter()
             .find(|(d, _)| d.kind == kind && &d.field == field)
             .map(|(d, _)| d.name.clone())
     }
 
     /// Equality probe through a secondary B-tree index: returns matching
-    /// records.
-    pub fn index_lookup(&self, index: &str, key: &Value) -> Result<Vec<Value>> {
+    /// records (`Arc`-shared, not cloned).
+    pub fn index_lookup(&self, index: &str, key: &Value) -> Result<Vec<Arc<Value>>> {
         self.stats.record_index_probe();
-        let inner = self.inner.read();
-        let (_, ix) = inner
-            .indexes
+        let indexes = self.indexes.read();
+        let (_, ix) = indexes
             .iter()
             .find(|(d, _)| d.name == index)
             .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
         let SecondaryIndex::BTree(btree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not a B-tree index")));
         };
-        Ok(btree.lookup(key).iter().filter_map(|pk| inner.tree.get(pk).cloned()).collect())
+        Ok(btree.lookup(key).iter().filter_map(|pk| self.tree.get(pk)).collect())
     }
 
     /// Spatial probe through an R-tree index: records whose indexed point
@@ -265,31 +306,25 @@ impl Dataset {
         &self,
         index: &str,
         rect: &idea_adm::value::Rectangle,
-    ) -> Result<Vec<Value>> {
+    ) -> Result<Vec<Arc<Value>>> {
         self.stats.record_index_probe();
-        let inner = self.inner.read();
-        let (_, ix) = inner
-            .indexes
+        let indexes = self.indexes.read();
+        let (_, ix) = indexes
             .iter()
             .find(|(d, _)| d.name == index)
             .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
         let SecondaryIndex::RTree(rtree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not an R-tree index")));
         };
-        Ok(rtree
-            .query_rect(rect)
-            .into_iter()
-            .filter_map(|pk| inner.tree.get(pk).cloned())
-            .collect())
+        Ok(rtree.query_rect(rect).into_iter().filter_map(|pk| self.tree.get(pk)).collect())
     }
 
     /// Spatial probe through an R-tree index: records whose indexed point
     /// lies within `circle`.
-    pub fn index_query_circle(&self, index: &str, circle: &Circle) -> Result<Vec<Value>> {
+    pub fn index_query_circle(&self, index: &str, circle: &Circle) -> Result<Vec<Arc<Value>>> {
         self.stats.record_index_probe();
-        let inner = self.inner.read();
-        let (_, ix) = inner
-            .indexes
+        let indexes = self.indexes.read();
+        let (_, ix) = indexes
             .iter()
             .find(|(d, _)| d.name == index)
             .ok_or_else(|| StorageError::UnknownIndex(index.to_owned()))?;
@@ -299,150 +334,112 @@ impl Dataset {
         Ok(rtree
             .query_circle(circle)
             .into_iter()
-            .filter_map(|(_, pk)| inner.tree.get(pk).cloned())
+            .filter_map(|(_, pk)| self.tree.get(pk))
             .collect())
     }
 
     /// Takes a consistent snapshot for scanning (record-level
     /// consistency: the snapshot pins the current components and copies
-    /// the — normally small — active memtable; writes after the snapshot
+    /// the — normally small — memtable view; writes after the snapshot
     /// are invisible to it, i.e. are "picked up by the next invocation",
     /// paper §5.1).
     pub fn snapshot(&self) -> DatasetSnapshot {
         self.stats.record_scan();
-        let inner = self.inner.read();
-        DatasetSnapshot {
-            mem: inner.tree.memtable.iter().map(|(k, e)| (k.clone(), e.clone())).collect(),
-            components: inner.tree.component_snapshot(),
-        }
+        DatasetSnapshot { snap: self.tree.snapshot() }
     }
 
-    /// Number of live records (linear; for tests/stats, not hot paths).
+    /// Number of live records. O(1): the tree maintains the count.
     pub fn len(&self) -> usize {
-        self.inner.read().tree.live_count()
+        self.tree.live_count()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Forces a memtable flush.
+    /// Forces a synchronous memtable flush (all buffered writes land in
+    /// components before this returns).
     pub fn flush(&self) {
-        self.inner.write().tree.flush();
+        self.tree.flush();
     }
 
-    /// Forces a full merge of immutable components.
+    /// Forces a synchronous full merge of immutable components.
     pub fn merge(&self) {
-        self.inner.write().tree.merge_all();
+        self.tree.merge_all();
     }
 
     /// `(memtable entries, component count)` — test/diagnostic hook.
     pub fn lsm_shape(&self) -> (usize, usize) {
-        let inner = self.inner.read();
-        (inner.tree.memtable_len(), inner.tree.component_count())
+        (self.tree.memtable_len(), self.tree.component_count())
     }
 
     /// Lifetime memtable-flush count (observability probe source).
     pub fn flush_count(&self) -> u64 {
-        self.inner.read().tree.flush_count()
+        self.tree.flush_count()
     }
 
     /// Lifetime component-merge count (observability probe source).
     pub fn merge_count(&self) -> u64 {
-        self.inner.read().tree.merge_count()
+        self.tree.merge_count()
     }
 
     /// Current number of immutable disk components.
     pub fn component_count(&self) -> usize {
-        self.inner.read().tree.component_count()
+        self.tree.component_count()
+    }
+
+    /// Bytes accepted by `put`/`bulk_load` (write-amp denominator).
+    pub fn bytes_ingested(&self) -> u64 {
+        self.tree.bytes_ingested()
+    }
+
+    /// Bytes written by flushes and merges (write-amp numerator).
+    pub fn bytes_written(&self) -> u64 {
+        self.tree.bytes_written()
+    }
+
+    /// Write amplification: maintenance bytes per ingested byte.
+    pub fn write_amp(&self) -> f64 {
+        self.tree.write_amp()
+    }
+
+    /// Total writer time spent stalled on flush back-pressure.
+    pub fn stall_nanos(&self) -> u64 {
+        self.tree.stall_nanos()
     }
 }
 
 /// A pinned, immutable view of a dataset used by scans: reference-data
-/// reads inside one computing-job invocation all see this view.
+/// reads inside one computing-job invocation all see this view. Records
+/// are `Arc`-shared with the store.
 #[derive(Debug, Clone)]
 pub struct DatasetSnapshot {
-    mem: Vec<(Value, Option<Value>)>,
-    components: Vec<Arc<Component>>,
+    snap: TreeSnapshot,
 }
 
 impl DatasetSnapshot {
     /// Iterates live records in primary-key order.
-    pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        SnapshotIter::new(self)
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Value>> {
+        self.snap.iter().map(|(_, v)| v)
+    }
+
+    /// Iterates `(primary key, record)` pairs in primary-key order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&Value, &Arc<Value>)> {
+        self.snap.iter()
     }
 
     /// Point lookup within the snapshot.
-    pub fn get(&self, pk: &Value) -> Option<&Value> {
-        if let Ok(i) = self.mem.binary_search_by(|(k, _)| k.cmp(pk)) {
-            return self.mem[i].1.as_ref();
-        }
-        for c in &self.components {
-            if let Some(entry) = c.get(pk) {
-                return entry.as_ref();
-            }
-        }
-        None
+    pub fn get(&self, pk: &Value) -> Option<&Arc<Value>> {
+        self.snap.get(pk)
     }
 
     /// Live record count (linear).
     pub fn len(&self) -> usize {
-        self.iter().count()
+        self.snap.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.iter().next().is_none()
-    }
-}
-
-type EntryIter<'a> =
-    std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>;
-
-struct SnapshotIter<'a> {
-    sources: Vec<EntryIter<'a>>,
-}
-
-impl<'a> SnapshotIter<'a> {
-    fn new(snap: &'a DatasetSnapshot) -> Self {
-        let mut sources: Vec<EntryIter<'a>> = Vec::with_capacity(snap.components.len() + 1);
-        let mem: Box<dyn Iterator<Item = _>> = Box::new(snap.mem.iter().map(|(k, e)| (k, e)));
-        sources.push(mem.peekable());
-        for c in &snap.components {
-            let it: Box<dyn Iterator<Item = _>> = Box::new(c.iter());
-            sources.push(it.peekable());
-        }
-        SnapshotIter { sources }
-    }
-}
-
-impl<'a> Iterator for SnapshotIter<'a> {
-    type Item = &'a Value;
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let mut best: Option<(usize, &'a Value)> = None;
-            for (i, src) in self.sources.iter_mut().enumerate() {
-                if let Some((k, _)) = src.peek() {
-                    match best {
-                        None => best = Some((i, k)),
-                        Some((_, bk)) if *k < bk => best = Some((i, k)),
-                        _ => {}
-                    }
-                }
-            }
-            let (winner, key) = best?;
-            let (_, entry) = self.sources[winner].next().unwrap();
-            for (i, src) in self.sources.iter_mut().enumerate() {
-                if i != winner {
-                    while matches!(src.peek(), Some((k, _)) if *k == key) {
-                        src.next();
-                    }
-                }
-            }
-            if let Some(v) = entry.as_ref() {
-                return Some(v);
-            }
-        }
+        self.snap.is_empty()
     }
 }
 
@@ -501,6 +498,15 @@ mod tests {
         let mut rec = word(1, "US", "bomb");
         rec.as_object_mut().unwrap().remove("wid");
         assert!(ds.insert(rec).is_err());
+    }
+
+    #[test]
+    fn get_shares_the_stored_allocation() {
+        let ds = words_dataset();
+        ds.insert(word(1, "US", "bomb")).unwrap();
+        let a = ds.get(&Value::Int(1)).unwrap();
+        let b = ds.get(&Value::Int(1)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "point lookups must not deep-clone");
     }
 
     #[test]
@@ -609,5 +615,33 @@ mod tests {
         let snap = ds.snapshot();
         let r = snap.get(&Value::Int(5)).unwrap();
         assert_eq!(r.as_object().unwrap().get("word"), Some(&Value::str("updated")));
+    }
+
+    #[test]
+    fn upsert_after_bulk_load_keeps_len_exact() {
+        // The maintained live counter must see through components: an
+        // upsert of a bulk-loaded key is a replacement, not an addition.
+        let ds = words_dataset();
+        ds.bulk_load((0..100).map(|i| word(i, "US", "w")).collect()).unwrap();
+        ds.upsert(word(5, "US", "updated")).unwrap();
+        ds.upsert(word(100, "US", "fresh")).unwrap();
+        ds.delete(&Value::Int(6)).unwrap();
+        assert_eq!(ds.len(), 100);
+    }
+
+    #[test]
+    fn dataset_config_options() {
+        let mut cfg = DatasetConfig::default();
+        cfg.apply_options(&[
+            // Knob listed before the policy: must still apply cleanly.
+            ("merge-max-components".into(), "7".into()),
+            ("merge-policy".into(), "constant".into()),
+        ])
+        .unwrap();
+        assert!(matches!(
+            cfg.lsm.merge_policy,
+            crate::lsm::MergePolicyConfig::Constant { max_components: 7 }
+        ));
+        assert!(DatasetConfig::default().apply_options(&[("bad".into(), "1".into())]).is_err());
     }
 }

@@ -18,6 +18,9 @@ pub enum StorageError {
     BadIndex(String),
     /// No such index.
     UnknownIndex(String),
+    /// A bad `LsmConfig` / dataset `WITH` option (e.g. an unknown merge
+    /// policy name or a non-numeric knob value).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for StorageError {
@@ -28,6 +31,7 @@ impl fmt::Display for StorageError {
             StorageError::Type(m) => write!(f, "type error: {m}"),
             StorageError::BadIndex(m) => write!(f, "bad index: {m}"),
             StorageError::UnknownIndex(m) => write!(f, "unknown index: {m}"),
+            StorageError::InvalidConfig(m) => write!(f, "invalid storage config: {m}"),
         }
     }
 }

@@ -6,10 +6,15 @@
 //! enrichment UDFs read from:
 //!
 //! * [`lsm`] — memtable + sorted immutable components, tombstones,
-//!   flush, and a constant (stack) merge policy;
+//!   sealed-memtable flushing, and pluggable merge policies (constant,
+//!   prefix, size-tiered); the component stack is an atomically
+//!   swappable snapshot, so reads never block on maintenance;
+//! * [`maintenance`] — the engine-owned background worker pool that
+//!   runs flushes and merges off the writer's critical path, with
+//!   deterministic drain/shutdown and checkpoint pause;
 //! * [`Dataset`] — a primary-keyed record store over one LSM tree, with
-//!   insert/upsert/delete, point lookup, snapshot scans, and maintained
-//!   secondary indexes;
+//!   insert/upsert/delete, clone-free (`Arc<Value>`) point lookup,
+//!   snapshot scans, and maintained secondary indexes;
 //! * [`index`] — secondary B-tree index (value → primary keys) and an
 //!   R-tree spatial index (point → primary keys) used by
 //!   index-nested-loop joins (paper §4.3.4 case 3, Nearby Monuments);
@@ -26,12 +31,15 @@ pub mod dataset;
 pub mod error;
 pub mod index;
 pub mod lsm;
+pub mod maintenance;
 pub mod partitioned;
 pub mod stats;
 
 pub use dataset::{Dataset, DatasetConfig, DatasetSnapshot};
 pub use error::StorageError;
 pub use index::{BTreeIndex, IndexDef, IndexKind, RTree};
+pub use lsm::{Entry, LsmConfig, MergePolicy, MergePolicyConfig};
+pub use maintenance::{MaintKind, MaintenanceScheduler};
 pub use partitioned::PartitionedDataset;
 pub use stats::StorageStats;
 

@@ -5,39 +5,56 @@ use std::sync::Arc;
 use idea_adm::Value;
 
 use super::bloom::BloomFilter;
-use super::Memtable;
+use super::{Entry, Memtable};
 
 /// An immutable, sorted run of `(key, entry)` pairs produced by a flush
 /// or a merge. Lookup consults a Bloom filter, then binary-searches the
-/// key column.
+/// key column. Entries are `Arc<Value>` so merges and reads share the
+/// record allocations with the memtable they were flushed from.
 #[derive(Debug)]
 pub struct Component {
     id: u64,
     keys: Vec<Value>,
-    entries: Vec<Option<Value>>,
+    entries: Vec<Entry>,
     bloom: BloomFilter,
+    approx_bytes: usize,
 }
 
 impl Component {
-    /// Freezes a memtable into a component.
+    fn from_columns(id: u64, keys: Vec<Value>, entries: Vec<Entry>) -> Self {
+        let bloom = BloomFilter::build(keys.iter());
+        let approx_bytes = keys
+            .iter()
+            .zip(entries.iter())
+            .map(|(k, e)| k.approx_size() + e.as_ref().map(|v| v.approx_size()).unwrap_or(1))
+            .sum();
+        Component { id, keys, entries, bloom, approx_bytes }
+    }
+
+    /// Freezes a (sealed) memtable into a component. Keys are cloned,
+    /// record payloads are shared via `Arc`.
+    pub fn from_frozen(id: u64, mem: &Memtable) -> Self {
+        let mut keys = Vec::with_capacity(mem.len());
+        let mut entries = Vec::with_capacity(mem.len());
+        for (k, e) in mem.iter() {
+            keys.push(k.clone());
+            entries.push(e.clone());
+        }
+        Component::from_columns(id, keys, entries)
+    }
+
+    /// Consumes a memtable into a component.
     pub fn from_memtable(id: u64, mem: Memtable) -> Self {
         let pairs = mem.into_entries();
-        let mut keys = Vec::with_capacity(pairs.len());
-        let mut entries = Vec::with_capacity(pairs.len());
-        for (k, e) in pairs {
-            keys.push(k);
-            entries.push(e);
-        }
-        let bloom = BloomFilter::build(keys.iter());
-        Component { id, keys, entries, bloom }
+        Component::from_sorted(id, pairs)
     }
 
     /// Builds a component directly from sorted, deduplicated pairs
     /// (bulk load).
-    pub fn from_sorted(id: u64, pairs: Vec<(Value, Option<Value>)>) -> Self {
+    pub fn from_sorted(id: u64, pairs: Vec<(Value, Entry)>) -> Self {
         debug_assert!(
             pairs.windows(2).all(|w| w[0].0 < w[1].0),
-            "bulk load requires sorted unique keys"
+            "component build requires sorted unique keys"
         );
         let mut keys = Vec::with_capacity(pairs.len());
         let mut entries = Vec::with_capacity(pairs.len());
@@ -45,13 +62,15 @@ impl Component {
             keys.push(k);
             entries.push(e);
         }
-        let bloom = BloomFilter::build(keys.iter());
-        Component { id, keys, entries, bloom }
+        Component::from_columns(id, keys, entries)
     }
 
-    /// Merges components (index 0 = newest) into one, dropping tombstones
-    /// (a full merge makes tombstones unnecessary).
-    pub fn merge(id: u64, components: &[Arc<Component>]) -> Component {
+    /// Merges components (index 0 = newest) into one; the newest entry
+    /// per key wins. Tombstones are dropped only when `drop_tombstones`
+    /// — safe only when the merge includes the *oldest* component of the
+    /// tree, otherwise a dropped tombstone would resurrect an older
+    /// shadowed entry.
+    pub fn merge(id: u64, components: &[Arc<Component>], drop_tombstones: bool) -> Component {
         let mut iters: Vec<_> = components.iter().map(|c| c.iter().peekable()).collect();
         let mut keys = Vec::new();
         let mut entries = Vec::new();
@@ -76,13 +95,12 @@ impl Component {
                     }
                 }
             }
-            if entry.is_some() {
+            if entry.is_some() || !drop_tombstones {
                 keys.push(key);
                 entries.push(entry.clone());
             }
         }
-        let bloom = BloomFilter::build(keys.iter());
-        Component { id, keys, entries, bloom }
+        Component::from_columns(id, keys, entries)
     }
 
     pub fn id(&self) -> u64 {
@@ -97,10 +115,16 @@ impl Component {
         self.keys.is_empty()
     }
 
+    /// Approximate payload footprint, used by size-based merge policies
+    /// and the write-amplification accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
     /// Entry lookup: `None` = key not in this component,
     /// `Some(None)` = tombstone. The Bloom filter short-circuits probes
     /// for keys the component cannot hold.
-    pub fn get(&self, key: &Value) -> Option<&Option<Value>> {
+    pub fn get(&self, key: &Value) -> Option<&Entry> {
         if !self.bloom.may_contain(key) {
             return None;
         }
@@ -108,7 +132,7 @@ impl Component {
     }
 
     /// Iterates `(key, entry)` pairs in key order, tombstones included.
-    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Option<Value>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Entry)> {
         self.keys.iter().zip(self.entries.iter())
     }
 }
@@ -120,14 +144,17 @@ mod tests {
     fn comp(id: u64, pairs: Vec<(i64, Option<&str>)>) -> Arc<Component> {
         Arc::new(Component::from_sorted(
             id,
-            pairs.into_iter().map(|(k, v)| (Value::Int(k), v.map(Value::str))).collect(),
+            pairs
+                .into_iter()
+                .map(|(k, v)| (Value::Int(k), v.map(|s| Arc::new(Value::str(s)))))
+                .collect(),
         ))
     }
 
     #[test]
     fn binary_search_get() {
         let c = comp(0, vec![(1, Some("a")), (3, Some("b")), (5, None)]);
-        assert_eq!(c.get(&Value::Int(3)), Some(&Some(Value::str("b"))));
+        assert_eq!(c.get(&Value::Int(3)), Some(&Some(Arc::new(Value::str("b")))));
         assert_eq!(c.get(&Value::Int(5)), Some(&None));
         assert_eq!(c.get(&Value::Int(2)), None);
     }
@@ -136,20 +163,36 @@ mod tests {
     fn merge_newest_wins_and_drops_tombstones() {
         let newest = comp(2, vec![(1, Some("new")), (2, None)]);
         let oldest = comp(1, vec![(1, Some("old")), (2, Some("gone")), (3, Some("keep"))]);
-        let merged = Component::merge(3, &[newest, oldest]);
+        let merged = Component::merge(3, &[newest, oldest], true);
         let got: Vec<(i64, String)> = merged
             .iter()
-            .map(|(k, e)| (k.as_int().unwrap(), e.clone().unwrap().as_str().unwrap().to_owned()))
+            .map(|(k, e)| (k.as_int().unwrap(), e.as_ref().unwrap().as_str().unwrap().to_owned()))
             .collect();
         assert_eq!(got, vec![(1, "new".to_owned()), (3, "keep".to_owned())]);
+    }
+
+    #[test]
+    fn partial_merge_keeps_tombstones() {
+        let newest = comp(2, vec![(1, Some("new")), (2, None)]);
+        let middle = comp(1, vec![(2, Some("shadowed"))]);
+        let merged = Component::merge(3, &[newest, middle], false);
+        assert_eq!(merged.get(&Value::Int(2)), Some(&None), "tombstone must survive");
+        assert_eq!(merged.len(), 2);
     }
 
     #[test]
     fn merge_of_disjoint_interleaves() {
         let a = comp(1, vec![(1, Some("a")), (4, Some("d"))]);
         let b = comp(0, vec![(2, Some("b")), (3, Some("c"))]);
-        let merged = Component::merge(2, &[a, b]);
+        let merged = Component::merge(2, &[a, b], true);
         let keys: Vec<i64> = merged.iter().map(|(k, _)| k.as_int().unwrap()).collect();
         assert_eq!(keys, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_payload() {
+        let small = comp(0, vec![(1, Some("x"))]);
+        let big = comp(1, vec![(1, Some("a much longer payload string")), (2, Some("y"))]);
+        assert!(big.approx_bytes() > small.approx_bytes());
     }
 }

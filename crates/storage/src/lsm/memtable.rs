@@ -4,11 +4,15 @@ use std::collections::BTreeMap;
 
 use idea_adm::Value;
 
+use super::Entry;
+
 /// In-memory write buffer: primary key → entry, where `None` is a
-/// tombstone. Tracks an approximate byte footprint for flush decisions.
+/// tombstone. Records are reference-counted ([`Arc<Value>`]) so flushes,
+/// snapshots and point reads share one allocation instead of deep-
+/// cloning. Tracks an approximate byte footprint for flush decisions.
 #[derive(Debug, Default)]
 pub struct Memtable {
-    map: BTreeMap<Value, Option<Value>>,
+    map: BTreeMap<Value, Entry>,
     approx_bytes: usize,
 }
 
@@ -17,20 +21,25 @@ impl Memtable {
         Memtable::default()
     }
 
-    /// Inserts or replaces the entry for `key`.
-    pub fn put(&mut self, key: Value, value: Option<Value>) {
+    /// Inserts or replaces the entry for `key`, returning the prior
+    /// entry (`None` = the key was absent) so callers can maintain
+    /// live-entry counts.
+    pub fn put(&mut self, key: Value, value: Entry) -> Option<Entry> {
         let key_size = key.approx_size();
-        let val_size = value.as_ref().map(Value::approx_size).unwrap_or(1);
-        if let Some(old) = self.map.insert(key, value) {
-            let removed = old.as_ref().map(Value::approx_size).unwrap_or(1);
-            self.approx_bytes = self.approx_bytes.saturating_sub(removed) + val_size;
-        } else {
-            self.approx_bytes += key_size + val_size + 32;
+        let val_size = value.as_ref().map(|v| v.approx_size()).unwrap_or(1);
+        let old = self.map.insert(key, value);
+        match &old {
+            Some(prev) => {
+                let removed = prev.as_ref().map(|v| v.approx_size()).unwrap_or(1);
+                self.approx_bytes = self.approx_bytes.saturating_sub(removed) + val_size;
+            }
+            None => self.approx_bytes += key_size + val_size + 32,
         }
+        old
     }
 
     /// Entry lookup: `None` = not present, `Some(None)` = tombstone.
-    pub fn get(&self, key: &Value) -> Option<&Option<Value>> {
+    pub fn get(&self, key: &Value) -> Option<&Entry> {
         self.map.get(key)
     }
 
@@ -47,12 +56,12 @@ impl Memtable {
     }
 
     /// Iterates entries in key order (tombstones included).
-    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Option<Value>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Entry)> {
         self.map.iter()
     }
 
     /// Consumes the memtable into its sorted entries.
-    pub fn into_entries(self) -> Vec<(Value, Option<Value>)> {
+    pub fn into_entries(self) -> Vec<(Value, Entry)> {
         self.map.into_iter().collect()
     }
 }
@@ -60,13 +69,27 @@ impl Memtable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+
+    fn rec(s: &str) -> Entry {
+        Some(Arc::new(Value::str(s)))
+    }
 
     #[test]
     fn put_get() {
         let mut m = Memtable::new();
-        m.put(Value::Int(1), Some(Value::str("a")));
-        assert_eq!(m.get(&Value::Int(1)), Some(&Some(Value::str("a"))));
+        m.put(Value::Int(1), rec("a"));
+        assert_eq!(m.get(&Value::Int(1)), Some(&rec("a")));
         assert_eq!(m.get(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn put_returns_prior_entry() {
+        let mut m = Memtable::new();
+        assert_eq!(m.put(Value::Int(1), rec("a")), None);
+        assert_eq!(m.put(Value::Int(1), rec("b")), Some(rec("a")));
+        assert_eq!(m.put(Value::Int(1), None), Some(rec("b")));
+        assert_eq!(m.put(Value::Int(1), rec("c")), Some(None));
     }
 
     #[test]
@@ -80,7 +103,7 @@ mod tests {
     fn bytes_grow_with_entries() {
         let mut m = Memtable::new();
         let before = m.approx_bytes();
-        m.put(Value::Int(1), Some(Value::str("hello world")));
+        m.put(Value::Int(1), rec("hello world"));
         assert!(m.approx_bytes() > before);
     }
 
@@ -88,7 +111,7 @@ mod tests {
     fn iteration_sorted() {
         let mut m = Memtable::new();
         for i in [3i64, 1, 2] {
-            m.put(Value::Int(i), Some(Value::Int(i)));
+            m.put(Value::Int(i), Some(Arc::new(Value::Int(i))));
         }
         let keys: Vec<i64> = m.iter().map(|(k, _)| k.as_int().unwrap()).collect();
         assert_eq!(keys, vec![1, 2, 3]);

@@ -1,86 +1,535 @@
-//! Log-structured merge-tree internals.
+//! Log-structured merge-tree internals, with background maintenance.
 //!
-//! The tree holds an active in-memory component (the [`Memtable`]) plus
-//! a stack of sorted immutable components, newest first. Writes go to
-//! the memtable; when it exceeds its byte budget it is *flushed* into a
-//! new immutable component. When the stack grows past the merge
-//! threshold, all immutable components are merged into one (AsterixDB's
-//! "constant" merge policy is the default in the paper's era).
+//! AsterixDB stores every dataset in an LSM B-tree: writes land in an
+//! in-memory component and are periodically flushed into immutable
+//! sorted disk components, which background jobs merge under a pluggable
+//! merge policy (Alsubaiee et al., "Storage Management in AsterixDB").
+//! This module mirrors that shape in memory:
 //!
-//! Deletes write tombstones; a key's newest entry (memtable, then
-//! newest-to-oldest component) wins on read.
+//! * the **active memtable** absorbs writes; when it exceeds its byte
+//!   budget it is *sealed* (an O(1) pointer swap) onto a bounded queue
+//!   of frozen memtables — `put()` never builds a component;
+//! * a [`MaintenanceScheduler`](crate::maintenance::MaintenanceScheduler)
+//!   (when attached) turns sealed memtables into immutable
+//!   [`Component`]s and runs policy-selected merges off-thread; without
+//!   a scheduler the same passes run inline, so a standalone tree stays
+//!   synchronous and deterministic;
+//! * the immutable component stack is an atomically swappable snapshot
+//!   (`Arc<Vec<Arc<Component>>>`): readers clone the `Arc` under a
+//!   brief read lock and then probe entirely lock-free, so a merge in
+//!   flight never blocks (or tears) a point lookup;
+//! * entries are `Option<Arc<Value>>` end-to-end — a point `get`, an
+//!   index probe or a snapshot scan shares the record allocation
+//!   instead of deep-cloning it.
+//!
+//! Writers only stall when `max_sealed_memtables` frozen memtables are
+//! already waiting on the flush queue (back-pressure); stall time is
+//! recorded for the `storage/*` metrics and the storage bench.
 
 mod bloom;
 mod component;
 mod memtable;
+pub mod policy;
 
 pub use bloom::BloomFilter;
 pub use component::Component;
 pub use memtable::Memtable;
+pub use policy::{MergePolicy, MergePolicyConfig};
 
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::iter::Peekable;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
+use std::time::{Duration, Instant};
 
 use idea_adm::Value;
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::StorageError;
+use crate::maintenance::{MaintKind, MaintenanceScheduler};
+
+/// A stored entry: `Some(record)` or `None` for a tombstone. Records
+/// are reference-counted so reads never deep-clone.
+pub type Entry = Option<Arc<Value>>;
+
+/// Node-hint sentinel meaning "not placed on any cluster node".
+const NO_NODE: usize = usize::MAX;
 
 /// Tuning knobs for one LSM tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LsmConfig {
-    /// Flush the memtable once its approximate footprint exceeds this.
+    /// Seal the active memtable once it holds roughly this many bytes.
     pub memtable_budget_bytes: usize,
-    /// Merge all immutable components once there are more than this many.
-    pub merge_threshold: usize,
+    /// How many sealed memtables may queue for flushing before writers
+    /// stall (back-pressure toward the maintenance pool).
+    pub max_sealed_memtables: usize,
+    /// Which components to merge, and when.
+    pub merge_policy: MergePolicyConfig,
 }
 
 impl Default for LsmConfig {
     fn default() -> Self {
-        LsmConfig { memtable_budget_bytes: 4 << 20, merge_threshold: 4 }
+        LsmConfig {
+            memtable_budget_bytes: 4 << 20,
+            max_sealed_memtables: 2,
+            merge_policy: MergePolicyConfig::default(),
+        }
     }
 }
 
-/// One LSM tree: the active memtable plus immutable components
-/// (index 0 = newest). Not internally synchronized; [`crate::Dataset`]
-/// wraps it in a lock.
+impl LsmConfig {
+    /// Applies one dataset DDL `WITH` option. `merge-policy` must be
+    /// applied before policy-specific knobs (callers do two passes).
+    pub fn apply_option(&mut self, key: &str, value: &str) -> Result<(), StorageError> {
+        fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, StorageError> {
+            value.parse().map_err(|_| {
+                StorageError::InvalidConfig(format!("option {key:?}: bad numeric value {value:?}"))
+            })
+        }
+        fn wrong_policy(key: &str, policy: &MergePolicyConfig) -> StorageError {
+            StorageError::InvalidConfig(format!(
+                "option {key:?} does not apply to the {} merge policy",
+                policy.name()
+            ))
+        }
+        match key {
+            "merge-policy" => self.merge_policy = MergePolicyConfig::from_name(value)?,
+            "memtable-budget-bytes" => self.memtable_budget_bytes = num(key, value)?,
+            "max-sealed-memtables" => {
+                self.max_sealed_memtables = num::<usize>(key, value)?.max(1);
+            }
+            "merge-max-components" => match &mut self.merge_policy {
+                MergePolicyConfig::Constant { max_components } => {
+                    *max_components = num(key, value)?;
+                }
+                p => return Err(wrong_policy(key, p)),
+            },
+            "merge-max-entries" => match &mut self.merge_policy {
+                MergePolicyConfig::Prefix { max_mergable_entries, .. } => {
+                    *max_mergable_entries = num(key, value)?;
+                }
+                p => return Err(wrong_policy(key, p)),
+            },
+            "merge-tolerance" => match &mut self.merge_policy {
+                MergePolicyConfig::Prefix { max_tolerance_components, .. } => {
+                    *max_tolerance_components = num(key, value)?;
+                }
+                p => return Err(wrong_policy(key, p)),
+            },
+            "merge-size-ratio" => match &mut self.merge_policy {
+                MergePolicyConfig::Tiered { size_ratio, .. } => {
+                    *size_ratio = num(key, value)?;
+                }
+                p => return Err(wrong_policy(key, p)),
+            },
+            other => {
+                return Err(StorageError::InvalidConfig(format!(
+                    "unknown storage option {other:?}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mutable tree state behind one short-lived lock. Readers hold it only
+/// long enough to probe the memtables and clone the component-stack
+/// `Arc`.
 #[derive(Debug)]
+struct TreeState {
+    active: Memtable,
+    /// Sealed memtables waiting to be flushed, newest first.
+    sealed: Vec<Arc<Memtable>>,
+    /// Immutable components, newest first. Swapped atomically as a
+    /// whole; never mutated in place.
+    components: Arc<Vec<Arc<Component>>>,
+}
+
+/// One LSM tree. Internally synchronized — shared as `Arc<LsmTree>`
+/// across writers, readers and the maintenance pool.
 pub struct LsmTree {
-    pub(crate) memtable: Memtable,
-    /// Immutable components, newest first.
-    pub(crate) components: Vec<Arc<Component>>,
+    me: Weak<LsmTree>,
     config: LsmConfig,
-    next_component_id: u64,
-    flushes: u64,
-    merges: u64,
+    policy: Arc<dyn MergePolicy>,
+    state: RwLock<TreeState>,
+    /// Serializes flush passes so components install in seal order.
+    flush_lock: Mutex<()>,
+    /// At most one merge in flight per tree (keeps the oldest-component
+    /// tombstone-drop rule trivially correct).
+    merge_in_flight: AtomicBool,
+    /// Deduplicates queued flush tasks.
+    flush_pending: AtomicBool,
+    /// Back-pressure: sealed-memtable count mirrored under a std mutex
+    /// so stalled writers can wait on a condvar.
+    sealed_ctl: StdMutex<usize>,
+    sealed_cv: Condvar,
+    maintenance: RwLock<Option<Arc<MaintenanceScheduler>>>,
+    node_hint: AtomicUsize,
+    next_component_id: AtomicU64,
+    flushes: AtomicU64,
+    merges: AtomicU64,
+    live: AtomicI64,
+    bytes_ingested: AtomicU64,
+    bytes_flushed: AtomicU64,
+    bytes_merged: AtomicU64,
+    stall_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for LsmTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmTree")
+            .field("config", &self.config)
+            .field("policy", &self.policy.name())
+            .field("components", &self.component_count())
+            .field("live", &self.live_count())
+            .finish()
+    }
 }
 
 impl LsmTree {
-    pub fn new(config: LsmConfig) -> Self {
-        LsmTree {
-            memtable: Memtable::new(),
-            components: Vec::new(),
+    pub fn new(config: LsmConfig) -> Arc<LsmTree> {
+        let policy = config.merge_policy.build();
+        Arc::new_cyclic(|me| LsmTree {
+            me: me.clone(),
             config,
-            next_component_id: 0,
-            flushes: 0,
-            merges: 0,
+            policy,
+            state: RwLock::new(TreeState {
+                active: Memtable::new(),
+                sealed: Vec::new(),
+                components: Arc::new(Vec::new()),
+            }),
+            flush_lock: Mutex::new(()),
+            merge_in_flight: AtomicBool::new(false),
+            flush_pending: AtomicBool::new(false),
+            sealed_ctl: StdMutex::new(0),
+            sealed_cv: Condvar::new(),
+            maintenance: RwLock::new(None),
+            node_hint: AtomicUsize::new(NO_NODE),
+            next_component_id: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            merges: AtomicU64::new(0),
+            live: AtomicI64::new(0),
+            bytes_ingested: AtomicU64::new(0),
+            bytes_flushed: AtomicU64::new(0),
+            bytes_merged: AtomicU64::new(0),
+            stall_nanos: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &LsmConfig {
+        &self.config
+    }
+
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Routes this tree's maintenance through a shared scheduler.
+    /// Without one, flushes and merges run inline on the writer thread.
+    pub fn attach_maintenance(&self, scheduler: Arc<MaintenanceScheduler>) {
+        *self.maintenance.write() = Some(scheduler);
+    }
+
+    /// Tags maintenance tasks with the cluster node hosting this tree's
+    /// partition, so fault injection (slow storage) can target them.
+    pub fn set_node_hint(&self, node: usize) {
+        self.node_hint.store(node, Ordering::Relaxed);
+    }
+
+    fn node_hint(&self) -> Option<usize> {
+        match self.node_hint.load(Ordering::Relaxed) {
+            NO_NODE => None,
+            n => Some(n),
         }
     }
 
-    /// Writes a record (or tombstone when `value` is `None`) under `key`,
-    /// then flushes/merges if budgets are exceeded.
-    pub fn put(&mut self, key: Value, value: Option<Value>) {
-        self.memtable.put(key, value);
-        if self.memtable.approx_bytes() > self.config.memtable_budget_bytes {
-            self.flush();
+    /// Writes a record (or tombstone when `value` is `None`) under
+    /// `key`. Returns how long the writer stalled on flush back-pressure
+    /// (zero in the common case). The write path never builds or merges
+    /// components.
+    pub fn put(&self, key: Value, value: Entry) -> Duration {
+        self.bytes_ingested.fetch_add(
+            (key.approx_size() + value.as_ref().map(|v| v.approx_size()).unwrap_or(1)) as u64,
+            Ordering::Relaxed,
+        );
+        let need_seal = {
+            let mut st = self.state.write();
+            let was_live = match st.active.get(&key) {
+                Some(e) => e.is_some(),
+                None => self.probe_frozen(&st, &key).is_some_and(|e| e.is_some()),
+            };
+            let now_live = value.is_some();
+            st.active.put(key, value);
+            match (was_live, now_live) {
+                (false, true) => {
+                    self.live.fetch_add(1, Ordering::Relaxed);
+                }
+                (true, false) => {
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            st.active.approx_bytes() >= self.config.memtable_budget_bytes
+        };
+        if need_seal {
+            self.seal_active()
+        } else {
+            Duration::ZERO
         }
     }
 
-    /// Newest visible entry for `key`: `None` = never written or
-    /// tombstoned away.
-    pub fn get(&self, key: &Value) -> Option<&Value> {
-        if let Some(entry) = self.memtable.get(key) {
-            return entry.as_ref();
+    /// Latest frozen entry for `key` (sealed memtables, then
+    /// components), ignoring the active memtable.
+    fn probe_frozen(&self, st: &TreeState, key: &Value) -> Option<Entry> {
+        for m in &st.sealed {
+            if let Some(e) = m.get(key) {
+                return Some(e.clone());
+            }
         }
-        for c in &self.components {
-            if let Some(entry) = c.get(key) {
-                return entry.as_ref();
+        for c in st.components.iter() {
+            if let Some(e) = c.get(key) {
+                return Some(e.clone());
+            }
+        }
+        None
+    }
+
+    /// Seals the active memtable onto the flush queue, stalling if the
+    /// queue is full, then kicks a flush. Returns time spent stalled.
+    fn seal_active(&self) -> Duration {
+        let mut stalled = Duration::ZERO;
+        loop {
+            let sealed_now = {
+                let mut st = self.state.write();
+                if st.active.is_empty()
+                    || st.active.approx_bytes() < self.config.memtable_budget_bytes
+                {
+                    return stalled; // another writer already sealed
+                }
+                let mut ctl = self.sealed_ctl.lock().unwrap();
+                if *ctl < self.config.max_sealed_memtables {
+                    *ctl += 1;
+                    let frozen = std::mem::take(&mut st.active);
+                    st.sealed.insert(0, Arc::new(frozen));
+                    true
+                } else {
+                    false
+                }
+            };
+            if sealed_now {
+                self.kick_flush();
+                return stalled;
+            }
+            let start = Instant::now();
+            let mut ctl = self.sealed_ctl.lock().unwrap();
+            while *ctl >= self.config.max_sealed_memtables {
+                ctl = self.sealed_cv.wait(ctl).unwrap();
+            }
+            drop(ctl);
+            let waited = start.elapsed();
+            self.stall_nanos.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            stalled += waited;
+        }
+    }
+
+    /// Schedules a flush pass (or runs it inline without a scheduler).
+    fn kick_flush(&self) {
+        let sched = self.maintenance.read().clone();
+        match sched {
+            Some(s) => {
+                if self
+                    .flush_pending
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    match self.me.upgrade() {
+                        Some(me) => {
+                            let node = self.node_hint();
+                            s.submit(MaintKind::Flush, node, move || {
+                                me.flush_pending.store(false, Ordering::Release);
+                                me.flush_pass();
+                            });
+                        }
+                        None => self.flush_pending.store(false, Ordering::Release),
+                    }
+                }
+            }
+            None => self.flush_pass(),
+        }
+    }
+
+    /// Drains the sealed queue oldest-first, building one component per
+    /// sealed memtable and installing it at the head of the stack
+    /// (every existing component is older than any sealed memtable).
+    /// Serialized by `flush_lock` so concurrent passes cannot install
+    /// out of seal order.
+    fn flush_pass(&self) {
+        let guard = self.flush_lock.lock();
+        loop {
+            let mem = {
+                let st = self.state.read();
+                match st.sealed.last() {
+                    Some(m) => Arc::clone(m),
+                    None => break,
+                }
+            };
+            let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
+            let comp = Arc::new(Component::from_frozen(id, &mem));
+            self.bytes_flushed.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
+            {
+                let mut st = self.state.write();
+                let popped = st.sealed.pop().expect("sealed queue emptied under flush_lock");
+                debug_assert!(Arc::ptr_eq(&popped, &mem));
+                let mut comps = st.components.as_ref().clone();
+                comps.insert(0, comp);
+                st.components = Arc::new(comps);
+            }
+            {
+                let mut ctl = self.sealed_ctl.lock().unwrap();
+                *ctl -= 1;
+            }
+            self.sealed_cv.notify_all();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(guard);
+        self.maybe_schedule_merge();
+    }
+
+    /// Asks the merge policy for work; at most one merge runs at a time.
+    /// Without a scheduler, merges cascade inline until the policy is
+    /// satisfied.
+    fn maybe_schedule_merge(&self) {
+        loop {
+            if self
+                .merge_in_flight
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                return;
+            }
+            let snapshot = self.state.read().components.clone();
+            let range = match self.policy.select(&snapshot) {
+                Some(r) if r.len() >= 2 && r.end <= snapshot.len() => r,
+                _ => {
+                    self.merge_in_flight.store(false, Ordering::Release);
+                    return;
+                }
+            };
+            // Tombstones may drop only when the merge reaches the oldest
+            // component; flushes only prepend, so this holds for the
+            // merge's whole lifetime.
+            let drop_tombstones = range.end == snapshot.len();
+            let victims: Vec<Arc<Component>> = snapshot[range].to_vec();
+            let sched = self.maintenance.read().clone();
+            match (sched, self.me.upgrade()) {
+                (Some(s), Some(me)) => {
+                    let node = self.node_hint();
+                    s.submit(MaintKind::Merge, node, move || {
+                        me.run_merge(victims, drop_tombstones);
+                        me.maybe_schedule_merge();
+                    });
+                    return;
+                }
+                _ => {
+                    self.run_merge(victims, drop_tombstones);
+                    // Loop: the policy may want another round.
+                }
+            }
+        }
+    }
+
+    /// Merges `victims` (contiguous in the stack) into one component and
+    /// splices it in place. Readers keep serving from the old snapshot
+    /// until the single `Arc` swap. Clears the merge-in-flight token.
+    fn run_merge(&self, victims: Vec<Arc<Component>>, drop_tombstones: bool) {
+        let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
+        let merged = Arc::new(Component::merge(id, &victims, drop_tombstones));
+        self.bytes_merged.fetch_add(merged.approx_bytes() as u64, Ordering::Relaxed);
+        {
+            let mut st = self.state.write();
+            let mut comps = st.components.as_ref().clone();
+            let first = victims[0].id();
+            let pos = comps
+                .iter()
+                .position(|c| c.id() == first)
+                .expect("merge victims vanished from component stack");
+            comps.splice(pos..pos + victims.len(), std::iter::once(merged));
+            st.components = Arc::new(comps);
+        }
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        self.merge_in_flight.store(false, Ordering::Release);
+    }
+
+    /// Synchronous flush: seals whatever the active memtable holds and
+    /// drains the whole sealed queue inline. Deterministic — on return
+    /// every buffered write lives in a component.
+    pub fn flush(&self) {
+        {
+            let mut st = self.state.write();
+            if !st.active.is_empty() {
+                let mut ctl = self.sealed_ctl.lock().unwrap();
+                *ctl += 1; // explicit flush may exceed the stall limit briefly
+                let frozen = std::mem::take(&mut st.active);
+                st.sealed.insert(0, Arc::new(frozen));
+            }
+        }
+        self.flush_pass();
+    }
+
+    /// Synchronous full merge: collapses the entire component stack into
+    /// one, regardless of policy. Waits out any in-flight background
+    /// merge first.
+    pub fn merge_all(&self) {
+        while self
+            .merge_in_flight
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            std::thread::yield_now();
+        }
+        let snapshot = self.state.read().components.clone();
+        if snapshot.len() >= 2 {
+            self.run_merge(snapshot.as_ref().clone(), true);
+        } else {
+            self.merge_in_flight.store(false, Ordering::Release);
+        }
+    }
+
+    /// Installs pre-sorted pairs as a single component (bulk load). The
+    /// component id comes from the tree's allocator like any other.
+    pub fn bulk_install(&self, pairs: Vec<(Value, Entry)>) {
+        let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
+        let live = pairs.iter().filter(|(_, e)| e.is_some()).count() as i64;
+        let comp = Arc::new(Component::from_sorted(id, pairs));
+        self.bytes_ingested.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
+        self.bytes_flushed.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
+        self.live.fetch_add(live, Ordering::Relaxed);
+        let mut st = self.state.write();
+        let mut comps = st.components.as_ref().clone();
+        comps.insert(0, comp);
+        st.components = Arc::new(comps);
+    }
+
+    /// Newest visible entry for `key`: active memtable → sealed
+    /// memtables → components, newest first. `None` = never written or
+    /// tombstoned away. Never blocks on maintenance: the component probe
+    /// runs on a cloned stack snapshot, outside any lock.
+    pub fn get(&self, key: &Value) -> Option<Arc<Value>> {
+        let components = {
+            let st = self.state.read();
+            if let Some(e) = st.active.get(key) {
+                return e.clone();
+            }
+            for m in &st.sealed {
+                if let Some(e) = m.get(key) {
+                    return e.clone();
+                }
+            }
+            Arc::clone(&st.components)
+        };
+        for c in components.iter() {
+            if let Some(e) = c.get(key) {
+                return e.clone();
             }
         }
         None
@@ -91,118 +540,162 @@ impl LsmTree {
         self.get(key).is_some()
     }
 
-    /// Forces the memtable into a new immutable component (no-op when
-    /// empty), merging afterwards if the component stack is too tall.
-    pub fn flush(&mut self) {
-        if self.memtable.is_empty() {
-            return;
+    /// A consistent point-in-time view: memtable contents are copied
+    /// (keys cloned, records `Arc`-shared); the component stack is
+    /// pinned by cloning its `Arc`.
+    pub fn snapshot(&self) -> TreeSnapshot {
+        let st = self.state.read();
+        let mut map: BTreeMap<Value, Entry> = BTreeMap::new();
+        for m in st.sealed.iter().rev() {
+            for (k, e) in m.iter() {
+                map.insert(k.clone(), e.clone());
+            }
         }
-        let mem = std::mem::replace(&mut self.memtable, Memtable::new());
-        let id = self.next_component_id;
-        self.next_component_id += 1;
-        self.components.insert(0, Arc::new(Component::from_memtable(id, mem)));
-        self.flushes += 1;
-        if self.components.len() > self.config.merge_threshold {
-            self.merge_all();
+        for (k, e) in st.active.iter() {
+            map.insert(k.clone(), e.clone());
         }
+        TreeSnapshot { mem: map.into_iter().collect(), components: Arc::clone(&st.components) }
     }
 
-    /// Merges every immutable component into a single one (newest entry
-    /// per key wins; tombstones for keys absent elsewhere are dropped).
-    pub fn merge_all(&mut self) {
-        if self.components.len() < 2 {
-            return;
-        }
-        let id = self.next_component_id;
-        self.next_component_id += 1;
-        let merged = Component::merge(id, &self.components);
-        self.components = vec![Arc::new(merged)];
-        self.merges += 1;
-    }
-
-    /// Snapshot of the current component stack (cheap: Arc clones).
-    pub fn component_snapshot(&self) -> Vec<Arc<Component>> {
-        self.components.clone()
-    }
-
-    /// Number of live (non-tombstone) entries, counting overwrites once.
-    /// Linear in total entries; used by stats and tests, not hot paths.
+    /// Number of live (non-tombstone, non-shadowed) entries. O(1): the
+    /// counter is maintained on every `put`/`bulk_install`.
     pub fn live_count(&self) -> usize {
-        self.iter_live().count()
+        self.live.load(Ordering::Relaxed).max(0) as usize
     }
 
-    /// Iterates all visible `(key, value)` pairs in key order.
-    pub fn iter_live(&self) -> impl Iterator<Item = (&Value, &Value)> {
-        LiveIter::new(self)
-    }
-
+    /// Entries buffered in memtables (active + sealed), including
+    /// tombstones and shadowed versions.
     pub fn memtable_len(&self) -> usize {
-        self.memtable.len()
+        let st = self.state.read();
+        st.active.len() + st.sealed.iter().map(|m| m.len()).sum::<usize>()
     }
 
     pub fn component_count(&self) -> usize {
-        self.components.len()
+        self.state.read().components.len()
+    }
+
+    /// Pins the current component stack (cheap: one `Arc` clone).
+    pub fn component_snapshot(&self) -> Arc<Vec<Arc<Component>>> {
+        Arc::clone(&self.state.read().components)
     }
 
     pub fn flush_count(&self) -> u64 {
-        self.flushes
+        self.flushes.load(Ordering::Relaxed)
     }
 
     pub fn merge_count(&self) -> u64 {
-        self.merges
+        self.merges.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_ingested(&self) -> u64 {
+        self.bytes_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written by maintenance (flushes + merges). The ratio to
+    /// `bytes_ingested` is the tree's write amplification.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_flushed.load(Ordering::Relaxed) + self.bytes_merged.load(Ordering::Relaxed)
+    }
+
+    /// Write amplification: maintenance bytes per ingested byte.
+    pub fn write_amp(&self) -> f64 {
+        let ingested = self.bytes_ingested.load(Ordering::Relaxed);
+        if ingested == 0 {
+            return 0.0;
+        }
+        self.bytes_written() as f64 / ingested as f64
+    }
+
+    /// Total writer time spent stalled on flush back-pressure.
+    pub fn stall_nanos(&self) -> u64 {
+        self.stall_nanos.load(Ordering::Relaxed)
     }
 }
 
-/// K-way merging iterator over memtable + components yielding the newest
-/// visible entry per key, in key order.
-type EntryIter<'a> =
-    std::iter::Peekable<Box<dyn Iterator<Item = (&'a Value, &'a Option<Value>)> + 'a>>;
-
-struct LiveIter<'a> {
-    // Each source is a peekable iterator over (key, entry), plus its
-    // priority (0 = memtable = newest).
-    sources: Vec<EntryIter<'a>>,
+/// A consistent view of the tree at snapshot time. Iteration yields
+/// live entries in key order, newest version winning.
+#[derive(Debug, Clone)]
+pub struct TreeSnapshot {
+    /// Merged memtable contents at snapshot time, sorted by key.
+    mem: Vec<(Value, Entry)>,
+    /// Pinned component stack, newest first.
+    components: Arc<Vec<Arc<Component>>>,
 }
 
-impl<'a> LiveIter<'a> {
-    fn new(tree: &'a LsmTree) -> Self {
-        let mut sources: Vec<EntryIter<'a>> = Vec::with_capacity(tree.components.len() + 1);
-        let mem: Box<dyn Iterator<Item = _>> = Box::new(tree.memtable.iter());
+impl TreeSnapshot {
+    /// Point lookup within the snapshot. `None` for absent/tombstone.
+    pub fn get(&self, key: &Value) -> Option<&Arc<Value>> {
+        if let Ok(i) = self.mem.binary_search_by(|(k, _)| k.cmp(key)) {
+            return self.mem[i].1.as_ref();
+        }
+        for c in self.components.iter() {
+            if let Some(e) = c.get(key) {
+                return e.as_ref();
+            }
+        }
+        None
+    }
+
+    /// Live entries in key order (k-way merge, newest version wins,
+    /// tombstones skipped).
+    pub fn iter(&self) -> SnapshotIter<'_> {
+        let mut sources: Vec<Peekable<EntrySource<'_>>> =
+            Vec::with_capacity(1 + self.components.len());
+        let mem: EntrySource<'_> = Box::new(self.mem.iter().map(|(k, e)| (k, e)));
         sources.push(mem.peekable());
-        for c in &tree.components {
-            let it: Box<dyn Iterator<Item = _>> = Box::new(c.iter());
+        for c in self.components.iter() {
+            let it: EntrySource<'_> = Box::new(c.iter());
             sources.push(it.peekable());
         }
-        LiveIter { sources }
+        SnapshotIter { sources }
+    }
+
+    /// Live-entry count (linear in snapshot size).
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
     }
 }
 
-impl<'a> Iterator for LiveIter<'a> {
-    type Item = (&'a Value, &'a Value);
+type EntrySource<'a> = Box<dyn Iterator<Item = (&'a Value, &'a Entry)> + 'a>;
+
+/// K-way merging iterator over a [`TreeSnapshot`]. Source 0 (the
+/// memtable view) is newest; ties on key resolve to the lowest source
+/// index.
+pub struct SnapshotIter<'a> {
+    sources: Vec<Peekable<EntrySource<'a>>>,
+}
+
+impl<'a> Iterator for SnapshotIter<'a> {
+    type Item = (&'a Value, &'a Arc<Value>);
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
-            // Find the smallest key across sources; among equal keys the
-            // lowest source index (newest data) wins.
-            let mut best: Option<(usize, &'a Value)> = None;
+            // Smallest key across sources; among equal keys the lowest
+            // source index (newest data) wins. Items are copied out of
+            // peek() so the borrows don't pin `sources`.
+            let mut best: Option<(usize, (&'a Value, &'a Entry))> = None;
             for (i, src) in self.sources.iter_mut().enumerate() {
-                if let Some((k, _)) = src.peek() {
-                    match best {
-                        None => best = Some((i, k)),
-                        Some((_, bk)) if *k < bk => best = Some((i, k)),
-                        _ => {}
+                if let Some(item) = src.peek().copied() {
+                    match &best {
+                        Some((_, (bk, _))) if item.0 >= *bk => {}
+                        _ => best = Some((i, item)),
                     }
                 }
             }
-            let (winner, key) = best?;
-            let (_, entry) = self.sources[winner].next().unwrap();
-            // Advance every other source past this key (shadowed entries).
+            let (winner, (key, entry)) = best?;
             for (i, src) in self.sources.iter_mut().enumerate() {
                 if i == winner {
-                    continue;
-                }
-                while matches!(src.peek(), Some((k, _)) if *k == key) {
                     src.next();
+                } else {
+                    // Advance every other source past this key
+                    // (shadowed entries).
+                    while matches!(src.peek(), Some((k, _)) if *k == key) {
+                        src.next();
+                    }
                 }
             }
             if let Some(v) = entry.as_ref() {
@@ -217,84 +710,183 @@ impl<'a> Iterator for LiveIter<'a> {
 mod tests {
     use super::*;
 
-    fn small_tree() -> LsmTree {
-        LsmTree::new(LsmConfig { memtable_budget_bytes: 200, merge_threshold: 3 })
+    fn rec(s: &str) -> Entry {
+        Some(Arc::new(Value::str(s)))
+    }
+
+    fn tiny_config() -> LsmConfig {
+        LsmConfig {
+            memtable_budget_bytes: 256,
+            max_sealed_memtables: 2,
+            merge_policy: MergePolicyConfig::Constant { max_components: 3 },
+        }
     }
 
     #[test]
     fn put_get_overwrite() {
-        let mut t = LsmTree::new(LsmConfig::default());
-        t.put(Value::Int(1), Some(Value::str("a")));
-        t.put(Value::Int(1), Some(Value::str("b")));
-        assert_eq!(t.get(&Value::Int(1)), Some(&Value::str("b")));
+        let t = LsmTree::new(LsmConfig::default());
+        t.put(Value::Int(1), rec("a"));
+        t.put(Value::Int(1), rec("b"));
+        assert_eq!(t.get(&Value::Int(1)).unwrap().as_str(), Some("b"));
         assert_eq!(t.get(&Value::Int(2)), None);
+        assert_eq!(t.live_count(), 1);
     }
 
     #[test]
     fn tombstone_hides_older_component_entry() {
-        let mut t = small_tree();
-        t.put(Value::Int(1), Some(Value::str("a")));
+        let t = LsmTree::new(LsmConfig::default());
+        t.put(Value::Int(7), rec("old"));
         t.flush();
-        t.put(Value::Int(1), None);
-        assert_eq!(t.get(&Value::Int(1)), None);
+        t.put(Value::Int(7), None);
+        assert_eq!(t.get(&Value::Int(7)), None);
+        assert_eq!(t.live_count(), 0);
         t.flush();
-        assert_eq!(t.get(&Value::Int(1)), None);
+        assert_eq!(t.get(&Value::Int(7)), None, "tombstone must survive its own flush");
     }
 
     #[test]
     fn auto_flush_on_budget() {
-        let mut t = small_tree();
+        let t = LsmTree::new(tiny_config());
         for i in 0..100 {
-            t.put(Value::Int(i), Some(Value::str("x".repeat(20))));
+            t.put(Value::Int(i), Some(Arc::new(Value::str("x".repeat(20)))));
         }
         assert!(t.flush_count() > 0, "memtable budget should force flushes");
         for i in 0..100 {
             assert!(t.contains(&Value::Int(i)), "key {i} lost across flush");
         }
+        assert_eq!(t.live_count(), 100);
     }
 
     #[test]
-    fn merge_collapses_components() {
-        let mut t = small_tree();
+    fn constant_policy_caps_components() {
+        let t = LsmTree::new(tiny_config());
         for round in 0..5 {
             for i in 0..10 {
-                t.put(Value::Int(i), Some(Value::Int(round)));
+                t.put(Value::Int(i), Some(Arc::new(Value::Int(round))));
             }
             t.flush();
         }
         assert!(t.component_count() <= 3);
         assert!(t.merge_count() > 0);
         for i in 0..10 {
-            assert_eq!(t.get(&Value::Int(i)), Some(&Value::Int(4)), "newest round wins");
-        }
-    }
-
-    #[test]
-    fn iter_live_in_key_order_newest_wins() {
-        let mut t = small_tree();
-        t.put(Value::Int(2), Some(Value::str("old2")));
-        t.put(Value::Int(3), Some(Value::str("three")));
-        t.flush();
-        t.put(Value::Int(2), Some(Value::str("new2")));
-        t.put(Value::Int(1), Some(Value::str("one")));
-        t.put(Value::Int(3), None); // delete
-        let got: Vec<(Value, Value)> = t.iter_live().map(|(k, v)| (k.clone(), v.clone())).collect();
-        assert_eq!(
-            got,
-            vec![(Value::Int(1), Value::str("one")), (Value::Int(2), Value::str("new2")),]
-        );
-    }
-
-    #[test]
-    fn live_count_ignores_shadowed() {
-        let mut t = small_tree();
-        for i in 0..10 {
-            t.put(Value::Int(i), Some(Value::Int(i)));
-        }
-        t.flush();
-        for i in 0..10 {
-            t.put(Value::Int(i), Some(Value::Int(-i)));
+            assert_eq!(t.get(&Value::Int(i)).unwrap().as_int(), Some(4), "newest round wins");
         }
         assert_eq!(t.live_count(), 10);
+    }
+
+    #[test]
+    fn merge_all_collapses_stack() {
+        let t = LsmTree::new(LsmConfig {
+            merge_policy: MergePolicyConfig::NoMerge,
+            ..LsmConfig::default()
+        });
+        for batch in 0..4 {
+            t.put(Value::Int(batch), rec("v"));
+            t.flush();
+        }
+        assert_eq!(t.component_count(), 4);
+        t.merge_all();
+        assert_eq!(t.component_count(), 1);
+        assert_eq!(t.merge_count(), 1);
+        assert_eq!(t.live_count(), 4);
+    }
+
+    #[test]
+    fn snapshot_iter_in_key_order_newest_wins() {
+        let t = LsmTree::new(LsmConfig::default());
+        t.put(Value::Int(2), rec("old2"));
+        t.put(Value::Int(3), rec("three"));
+        t.flush();
+        t.put(Value::Int(2), rec("new2"));
+        t.put(Value::Int(1), rec("one"));
+        t.put(Value::Int(3), None); // delete
+        let snap = t.snapshot();
+        let got: Vec<(i64, String)> = snap
+            .iter()
+            .map(|(k, v)| (k.as_int().unwrap(), v.as_str().unwrap().to_owned()))
+            .collect();
+        assert_eq!(got, vec![(1, "one".to_owned()), (2, "new2".to_owned())]);
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_writes() {
+        let t = LsmTree::new(LsmConfig::default());
+        t.put(Value::Int(1), rec("v1"));
+        t.flush();
+        let snap = t.snapshot();
+        t.put(Value::Int(1), rec("v2"));
+        t.put(Value::Int(2), rec("other"));
+        t.merge_all();
+        assert_eq!(snap.get(&Value::Int(1)).unwrap().as_str(), Some("v1"));
+        assert_eq!(snap.get(&Value::Int(2)), None);
+    }
+
+    #[test]
+    fn live_count_tracks_deletes_and_reinserts() {
+        let t = LsmTree::new(LsmConfig::default());
+        for i in 0..10 {
+            t.put(Value::Int(i), rec("v"));
+        }
+        t.flush();
+        t.put(Value::Int(3), None); // delete a flushed key
+        t.put(Value::Int(3), None); // double-delete is a no-op
+        t.put(Value::Int(11), rec("new"));
+        t.put(Value::Int(4), rec("overwrite"));
+        assert_eq!(t.live_count(), 10);
+        t.flush();
+        t.merge_all();
+        assert_eq!(t.live_count(), 10);
+        assert_eq!(t.snapshot().iter().count(), 10);
+    }
+
+    #[test]
+    fn bulk_install_counts_live_and_allocates_real_ids() {
+        let t = LsmTree::new(LsmConfig::default());
+        let pairs: Vec<(Value, Entry)> = (0..5).map(|i| (Value::Int(i), rec("bulk"))).collect();
+        t.bulk_install(pairs);
+        assert_eq!(t.live_count(), 5);
+        assert_eq!(t.component_count(), 1);
+        // The id allocator must have advanced past the bulk component.
+        t.put(Value::Int(100), rec("after"));
+        t.flush();
+        let comps = t.component_snapshot();
+        assert_ne!(comps[0].id(), comps[1].id());
+        assert!(comps.iter().all(|c| c.id() != u64::MAX));
+    }
+
+    #[test]
+    fn write_amp_accounts_merges() {
+        let t = LsmTree::new(LsmConfig {
+            merge_policy: MergePolicyConfig::NoMerge,
+            ..LsmConfig::default()
+        });
+        for i in 0..50 {
+            t.put(Value::Int(i), rec("some payload here"));
+        }
+        t.flush();
+        let before = t.write_amp();
+        for i in 50..100 {
+            t.put(Value::Int(i), rec("some payload here"));
+        }
+        t.flush();
+        t.merge_all();
+        assert!(t.write_amp() > before, "merge must increase write amplification");
+        assert!(t.bytes_ingested() > 0);
+    }
+
+    #[test]
+    fn apply_option_round_trip() {
+        let mut c = LsmConfig::default();
+        c.apply_option("merge-policy", "tiered").unwrap();
+        c.apply_option("merge-size-ratio", "1.5").unwrap();
+        assert!(matches!(
+            c.merge_policy,
+            MergePolicyConfig::Tiered { size_ratio, .. } if (size_ratio - 1.5).abs() < 1e-9
+        ));
+        c.apply_option("memtable-budget-bytes", "1024").unwrap();
+        assert_eq!(c.memtable_budget_bytes, 1024);
+        assert!(c.apply_option("merge-max-components", "3").is_err(), "wrong-policy knob");
+        assert!(c.apply_option("nope", "1").is_err());
+        assert!(c.apply_option("memtable-budget-bytes", "abc").is_err());
     }
 }

@@ -1,0 +1,273 @@
+//! Pluggable merge policies, modeled on AsterixDB's `constant`,
+//! `prefix` and size-tiered ("concurrent") policies.
+//!
+//! A policy inspects the immutable component stack (index 0 = newest)
+//! and nominates a contiguous range of components to merge, or `None`
+//! when the stack is healthy. Policies never mutate the tree; the
+//! [`LsmTree`](super::LsmTree) validates the range against the live
+//! stack before running the merge, and drops tombstones only when the
+//! range reaches the oldest component.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+
+use super::component::Component;
+
+/// Selects which contiguous slice of the component stack to merge next.
+/// `components` is ordered newest → oldest; a returned range must be
+/// non-empty, within bounds, and of length ≥ 2.
+pub trait MergePolicy: Send + Sync + fmt::Debug {
+    fn name(&self) -> &'static str;
+    fn select(&self, components: &[Arc<Component>]) -> Option<Range<usize>>;
+}
+
+/// Never merges. Useful for bulk-load phases and as the degenerate
+/// baseline in benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct NoMergePolicy;
+
+impl MergePolicy for NoMergePolicy {
+    fn name(&self) -> &'static str {
+        "no-merge"
+    }
+
+    fn select(&self, _components: &[Arc<Component>]) -> Option<Range<usize>> {
+        None
+    }
+}
+
+/// AsterixDB's `constant` policy: keep at most `max_components` on
+/// disk; when exceeded, merge *everything* into one component. Matches
+/// the repo's original merge-all-past-threshold behaviour, so it doubles
+/// as the synchronous baseline for the storage bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantMergePolicy {
+    pub max_components: usize,
+}
+
+impl MergePolicy for ConstantMergePolicy {
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+
+    fn select(&self, components: &[Arc<Component>]) -> Option<Range<usize>> {
+        (components.len() > self.max_components).then_some(0..components.len())
+    }
+}
+
+/// AsterixDB's `prefix` policy: merge the longest *suffix* of small
+/// components (a prefix of the flush order) whose cumulative entry
+/// count stays under `max_mergable_entries`, but only once more than
+/// `max_tolerance_components` such components have accumulated. Large
+/// components age out of the merge range and are never rewritten again.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixMergePolicy {
+    pub max_mergable_entries: usize,
+    pub max_tolerance_components: usize,
+}
+
+impl MergePolicy for PrefixMergePolicy {
+    fn name(&self) -> &'static str {
+        "prefix"
+    }
+
+    fn select(&self, components: &[Arc<Component>]) -> Option<Range<usize>> {
+        // Longest newest-first run of small components whose cumulative
+        // entry count fits the budget; the first oversized (or
+        // budget-busting) component freezes everything older than it.
+        let mut end = 0usize;
+        let mut total = 0usize;
+        for (i, c) in components.iter().enumerate() {
+            if c.len() > self.max_mergable_entries || total + c.len() > self.max_mergable_entries {
+                break;
+            }
+            total += c.len();
+            end = i + 1;
+        }
+        if end > self.max_tolerance_components && end >= 2 {
+            Some(0..end)
+        } else {
+            None
+        }
+    }
+}
+
+/// Size-tiered policy: group components into size tiers (each tier
+/// `size_ratio`× bigger than the previous); when a tier accumulates
+/// `min_merge` components of similar size, merge up to `max_merge` of
+/// them. Bounds per-merge work and yields logarithmic write
+/// amplification, at the price of more components on disk.
+#[derive(Debug, Clone, Copy)]
+pub struct TieredMergePolicy {
+    pub size_ratio: f64,
+    pub min_merge: usize,
+    pub max_merge: usize,
+}
+
+impl MergePolicy for TieredMergePolicy {
+    fn name(&self) -> &'static str {
+        "tiered"
+    }
+
+    fn select(&self, components: &[Arc<Component>]) -> Option<Range<usize>> {
+        if components.len() < self.min_merge {
+            return None;
+        }
+        // Scan newest → oldest for a run of ≥ min_merge components of
+        // similar size (each within size_ratio of the run's smallest).
+        let mut run_start = 0usize;
+        let mut run_min = f64::MAX;
+        for (i, c) in components.iter().enumerate() {
+            let sz = c.approx_bytes().max(1) as f64;
+            if sz <= run_min * self.size_ratio {
+                run_min = run_min.min(sz);
+            } else {
+                // Component too large for the current run: close it.
+                let run = run_start..i;
+                if run.len() >= self.min_merge {
+                    return Some(run.start..run.end.min(run.start + self.max_merge));
+                }
+                run_start = i;
+                run_min = sz;
+            }
+        }
+        let run = run_start..components.len();
+        if run.len() >= self.min_merge {
+            Some(run.start..run.end.min(run.start + self.max_merge))
+        } else {
+            None
+        }
+    }
+}
+
+/// Serializable policy configuration, settable per dataset via
+/// `LsmConfig` or DDL `WITH {"merge-policy": ...}` options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergePolicyConfig {
+    NoMerge,
+    Constant { max_components: usize },
+    Prefix { max_mergable_entries: usize, max_tolerance_components: usize },
+    Tiered { size_ratio: f64, min_merge: usize, max_merge: usize },
+}
+
+impl Default for MergePolicyConfig {
+    fn default() -> Self {
+        MergePolicyConfig::Prefix { max_mergable_entries: 65_536, max_tolerance_components: 4 }
+    }
+}
+
+impl MergePolicyConfig {
+    /// Parses a policy name as used in DDL `WITH` options.
+    pub fn from_name(name: &str) -> Result<Self, StorageError> {
+        match name {
+            "no-merge" | "none" => Ok(MergePolicyConfig::NoMerge),
+            "constant" => Ok(MergePolicyConfig::Constant { max_components: 4 }),
+            "prefix" => Ok(MergePolicyConfig::default()),
+            "tiered" | "concurrent" => {
+                Ok(MergePolicyConfig::Tiered { size_ratio: 1.2, min_merge: 3, max_merge: 10 })
+            }
+            other => Err(StorageError::InvalidConfig(format!(
+                "unknown merge policy {other:?} (expected no-merge, constant, prefix or tiered)"
+            ))),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            MergePolicyConfig::NoMerge => "no-merge",
+            MergePolicyConfig::Constant { .. } => "constant",
+            MergePolicyConfig::Prefix { .. } => "prefix",
+            MergePolicyConfig::Tiered { .. } => "tiered",
+        }
+    }
+
+    pub fn build(&self) -> Arc<dyn MergePolicy> {
+        match *self {
+            MergePolicyConfig::NoMerge => Arc::new(NoMergePolicy),
+            MergePolicyConfig::Constant { max_components } => {
+                Arc::new(ConstantMergePolicy { max_components })
+            }
+            MergePolicyConfig::Prefix { max_mergable_entries, max_tolerance_components } => {
+                Arc::new(PrefixMergePolicy { max_mergable_entries, max_tolerance_components })
+            }
+            MergePolicyConfig::Tiered { size_ratio, min_merge, max_merge } => {
+                Arc::new(TieredMergePolicy { size_ratio, min_merge, max_merge })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use idea_adm::Value;
+
+    fn comp_with_entries(id: u64, n: usize) -> Arc<Component> {
+        let pairs = (0..n)
+            .map(|i| {
+                (Value::Int((id as i64) * 1_000_000 + i as i64), Some(Arc::new(Value::Int(1))))
+            })
+            .collect();
+        Arc::new(Component::from_sorted(id, pairs))
+    }
+
+    #[test]
+    fn constant_merges_everything_past_threshold() {
+        let p = ConstantMergePolicy { max_components: 2 };
+        let stack: Vec<_> = (0..3).map(|i| comp_with_entries(i, 4)).collect();
+        assert_eq!(p.select(&stack), Some(0..3));
+        assert_eq!(p.select(&stack[..2]), None);
+    }
+
+    #[test]
+    fn prefix_skips_oversized_old_components() {
+        let p = PrefixMergePolicy { max_mergable_entries: 100, max_tolerance_components: 2 };
+        // Oldest component is huge (frozen), three small new ones.
+        let stack = vec![
+            comp_with_entries(4, 5),
+            comp_with_entries(3, 5),
+            comp_with_entries(2, 5),
+            comp_with_entries(1, 500),
+        ];
+        assert_eq!(p.select(&stack), Some(0..3), "must not touch the oversized component");
+    }
+
+    #[test]
+    fn prefix_waits_for_tolerance() {
+        let p = PrefixMergePolicy { max_mergable_entries: 100, max_tolerance_components: 3 };
+        let stack: Vec<_> = (0..3).map(|i| comp_with_entries(i, 5)).collect();
+        assert_eq!(p.select(&stack), None);
+    }
+
+    #[test]
+    fn tiered_merges_similar_sized_run() {
+        let p = TieredMergePolicy { size_ratio: 1.5, min_merge: 3, max_merge: 10 };
+        // Three similar small components, then one far larger.
+        let stack = vec![
+            comp_with_entries(4, 4),
+            comp_with_entries(3, 4),
+            comp_with_entries(2, 5),
+            comp_with_entries(1, 500),
+        ];
+        assert_eq!(p.select(&stack), Some(0..3));
+    }
+
+    #[test]
+    fn tiered_caps_at_max_merge() {
+        let p = TieredMergePolicy { size_ratio: 2.0, min_merge: 2, max_merge: 3 };
+        let stack: Vec<_> = (0..6).map(|i| comp_with_entries(i, 4)).collect();
+        let r = p.select(&stack).unwrap();
+        assert!(r.len() <= 3);
+    }
+
+    #[test]
+    fn policy_config_parses_names() {
+        assert_eq!(MergePolicyConfig::from_name("none").unwrap(), MergePolicyConfig::NoMerge);
+        assert_eq!(MergePolicyConfig::from_name("prefix").unwrap().name(), "prefix");
+        assert_eq!(MergePolicyConfig::from_name("tiered").unwrap().name(), "tiered");
+        assert!(MergePolicyConfig::from_name("bogus").is_err());
+    }
+}

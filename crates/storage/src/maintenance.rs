@@ -1,0 +1,416 @@
+//! Shared background-maintenance pool for LSM flushes and merges.
+//!
+//! AsterixDB runs component flushes and merges as asynchronous jobs on a
+//! bounded thread pool so the ingestion pipeline's writers (and the
+//! enrichment UDFs probing reference datasets) never wait on storage
+//! maintenance. This module is that pool: the engine owns one
+//! [`MaintenanceScheduler`] and attaches it to every dataset partition's
+//! [`LsmTree`](crate::lsm::LsmTree).
+//!
+//! Lifecycle guarantees:
+//!
+//! * **Deterministic drain** — [`drain`](MaintenanceScheduler::drain)
+//!   blocks until the queue is empty *and* no task is running; cascaded
+//!   tasks (a merge scheduling the next merge) are submitted from inside
+//!   the running task, so quiescence cannot be observed between a task
+//!   and its follow-up.
+//! * **Deterministic shutdown** — [`shutdown`](MaintenanceScheduler::shutdown)
+//!   lets workers finish the queue, then joins every worker thread; no
+//!   threads leak past it. Submissions after shutdown run inline on the
+//!   caller, so late maintenance still completes.
+//! * **Checkpoint pause** — [`pause`](MaintenanceScheduler::pause) stops
+//!   dispatch and waits for in-flight tasks, giving checkpoints a stable
+//!   view of component stacks; [`resume`](MaintenanceScheduler::resume)
+//!   reopens the valve.
+//! * **Fault interplay** — per-feed fault hooks observe every task's
+//!   `(kind, node)` before it runs; idea-core installs hooks that apply
+//!   the fault injector's slow-storage delay to maintenance targeting a
+//!   degraded node.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+/// What a maintenance task does, for fault hooks and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintKind {
+    Flush,
+    Merge,
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Observes `(kind, node)` before a task runs; may sleep to emulate slow
+/// storage.
+pub type FaultHook = Arc<dyn Fn(MaintKind, Option<usize>) + Send + Sync>;
+
+struct QueuedTask {
+    kind: MaintKind,
+    node: Option<usize>,
+    enqueued: Instant,
+    job: Job,
+}
+
+struct SchedState {
+    queue: VecDeque<QueuedTask>,
+    running: usize,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// Bounded worker pool executing LSM maintenance tasks in submission
+/// order. Shared engine-wide; cheap to clone behind an `Arc`.
+pub struct MaintenanceScheduler {
+    state: Mutex<SchedState>,
+    /// Wakes workers for new work / resume / shutdown.
+    work_cv: Condvar,
+    /// Wakes `drain`/`pause` waiters when the pool goes quiet.
+    idle_cv: Condvar,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    hooks: RwLock<HashMap<String, FaultHook>>,
+    worker_count: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    flush_tasks: AtomicU64,
+    merge_tasks: AtomicU64,
+    queue_wait_nanos: AtomicU64,
+}
+
+impl std::fmt::Debug for MaintenanceScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceScheduler")
+            .field("workers", &self.worker_count)
+            .field("queue_depth", &self.queue_depth())
+            .field("submitted", &self.submitted.load(Ordering::Relaxed))
+            .field("completed", &self.completed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl MaintenanceScheduler {
+    /// Spawns a pool with `workers` threads (minimum one).
+    pub fn new(workers: usize) -> Arc<MaintenanceScheduler> {
+        let workers = workers.max(1);
+        let sched = Arc::new(MaintenanceScheduler {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::new(),
+                running: 0,
+                paused: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+            workers: Mutex::new(Vec::with_capacity(workers)),
+            hooks: RwLock::new(HashMap::new()),
+            worker_count: workers,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            flush_tasks: AtomicU64::new(0),
+            merge_tasks: AtomicU64::new(0),
+            queue_wait_nanos: AtomicU64::new(0),
+        });
+        let mut handles = sched.workers.lock().unwrap();
+        for i in 0..workers {
+            let me = Arc::clone(&sched);
+            let h = std::thread::Builder::new()
+                .name(format!("idea-maint-{i}"))
+                .spawn(move || me.worker_loop())
+                .expect("spawn maintenance worker");
+            handles.push(h);
+        }
+        drop(handles);
+        sched
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if !st.paused || st.shutdown {
+                        if let Some(t) = st.queue.pop_front() {
+                            st.running += 1;
+                            break Some(t);
+                        }
+                        if st.shutdown {
+                            break None;
+                        }
+                    }
+                    st = self.work_cv.wait(st).unwrap();
+                }
+            };
+            let Some(task) = task else { return };
+            self.queue_wait_nanos
+                .fetch_add(task.enqueued.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            self.run_task(task);
+            let st = self.state.lock().unwrap();
+            if st.running == 0 {
+                self.idle_cv.notify_all();
+            }
+        }
+    }
+
+    /// Runs one task: fault hooks first, then the job. `running` is
+    /// decremented only after the job returns, so any task the job
+    /// cascades (submits) is enqueued before the pool can look idle.
+    fn run_task(&self, task: QueuedTask) {
+        let hooks: Vec<FaultHook> = self.hooks.read().values().cloned().collect();
+        for hook in hooks {
+            hook(task.kind, task.node);
+        }
+        (task.job)();
+        match task.kind {
+            MaintKind::Flush => self.flush_tasks.fetch_add(1, Ordering::Relaxed),
+            MaintKind::Merge => self.merge_tasks.fetch_add(1, Ordering::Relaxed),
+        };
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        drop(st);
+    }
+
+    /// Enqueues a maintenance task. After shutdown the task runs inline
+    /// on the caller (fault hooks skipped), so nothing is lost.
+    pub fn submit(
+        &self,
+        kind: MaintKind,
+        node: Option<usize>,
+        job: impl FnOnce() + Send + 'static,
+    ) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.state.lock().unwrap();
+            if !st.shutdown {
+                st.queue.push_back(QueuedTask {
+                    kind,
+                    node,
+                    enqueued: Instant::now(),
+                    job: Box::new(job),
+                });
+                drop(st);
+                self.work_cv.notify_one();
+                return;
+            }
+        }
+        job();
+        match kind {
+            MaintKind::Flush => self.flush_tasks.fetch_add(1, Ordering::Relaxed),
+            MaintKind::Merge => self.merge_tasks.fetch_add(1, Ordering::Relaxed),
+        };
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocks until the queue is empty and no task is running. New
+    /// submissions during the wait extend it.
+    pub fn drain(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !(st.queue.is_empty() && st.running == 0) {
+            assert!(
+                !st.paused || st.running > 0 || st.queue.is_empty(),
+                "drain() would hang: scheduler is paused with queued tasks"
+            );
+            st = self.idle_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Stops dispatching new tasks and waits for in-flight ones, giving
+    /// checkpoints a stable component-stack view. Queued tasks stay
+    /// queued until [`resume`](Self::resume).
+    pub fn pause(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = true;
+        while st.running > 0 {
+            st = self.idle_cv.wait(st).unwrap();
+        }
+    }
+
+    pub fn resume(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = false;
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    pub fn is_paused(&self) -> bool {
+        self.state.lock().unwrap().paused
+    }
+
+    /// Drains the queue and joins every worker thread. Idempotent; safe
+    /// to call while writers are still live (their later submissions run
+    /// inline).
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.shutdown = true;
+            st.paused = false;
+        }
+        self.work_cv.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        self.idle_cv.notify_all();
+    }
+
+    pub fn is_shut_down(&self) -> bool {
+        self.state.lock().unwrap().shutdown
+    }
+
+    /// Installs (or replaces) the fault hook registered under `key`
+    /// (one per supervised feed). The hook sees every task on the pool.
+    pub fn set_fault_hook(&self, key: impl Into<String>, hook: FaultHook) {
+        self.hooks.write().insert(key.into(), hook);
+    }
+
+    pub fn clear_fault_hook(&self, key: &str) {
+        self.hooks.write().remove(key);
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    pub fn running(&self) -> usize {
+        self.state.lock().unwrap().running
+    }
+
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    pub fn flush_tasks(&self) -> u64 {
+        self.flush_tasks.load(Ordering::Relaxed)
+    }
+
+    pub fn merge_tasks(&self) -> u64 {
+        self.merge_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative time tasks spent queued before a worker picked them up.
+    pub fn queue_wait_nanos(&self) -> u64 {
+        self.queue_wait_nanos.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for MaintenanceScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_tasks() {
+        let s = MaintenanceScheduler::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let h = Arc::clone(&hits);
+            s.submit(MaintKind::Flush, None, move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        s.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+        assert_eq!(s.completed(), 16);
+        assert_eq!(s.flush_tasks(), 16);
+    }
+
+    #[test]
+    fn drain_waits_for_cascaded_tasks() {
+        let s = MaintenanceScheduler::new(1);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&s);
+        let h = Arc::clone(&hits);
+        s.submit(MaintKind::Merge, None, move || {
+            std::thread::sleep(Duration::from_millis(20));
+            h.fetch_add(1, Ordering::SeqCst);
+            let h2 = Arc::clone(&h);
+            // Cascade from inside the running task, like a merge
+            // scheduling its follow-up.
+            s2.submit(MaintKind::Merge, None, move || {
+                h2.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        s.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 2, "drain returned before the cascade ran");
+    }
+
+    #[test]
+    fn shutdown_joins_workers_and_runs_queue() {
+        let s = MaintenanceScheduler::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let h = Arc::clone(&hits);
+            s.submit(MaintKind::Flush, None, move || {
+                std::thread::sleep(Duration::from_millis(5));
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        s.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 8, "queued work must finish before join");
+        assert!(s.is_shut_down());
+        // Late submissions run inline.
+        let h = Arc::clone(&hits);
+        s.submit(MaintKind::Merge, None, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 9);
+        s.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn pause_blocks_dispatch_until_resume() {
+        let s = MaintenanceScheduler::new(2);
+        s.pause();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        s.submit(MaintKind::Flush, None, move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(hits.load(Ordering::SeqCst), 0, "paused pool must not dispatch");
+        assert_eq!(s.queue_depth(), 1);
+        s.resume();
+        s.drain();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fault_hook_sees_kind_and_node() {
+        let s = MaintenanceScheduler::new(1);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        s.set_fault_hook(
+            "feed",
+            Arc::new(move |kind, node| {
+                seen2.lock().unwrap().push((kind, node));
+            }),
+        );
+        s.submit(MaintKind::Flush, Some(3), || {});
+        s.submit(MaintKind::Merge, None, || {});
+        s.drain();
+        let got = seen.lock().unwrap().clone();
+        assert_eq!(got, vec![(MaintKind::Flush, Some(3)), (MaintKind::Merge, None)]);
+        s.clear_fault_hook("feed");
+        s.submit(MaintKind::Flush, Some(1), || {});
+        s.drain();
+        assert_eq!(seen.lock().unwrap().len(), 2, "cleared hook must not fire");
+    }
+}

@@ -10,6 +10,7 @@ use idea_adm::{Datatype, Value};
 
 use crate::dataset::{Dataset, DatasetConfig, DatasetSnapshot};
 use crate::index::IndexDef;
+use crate::maintenance::MaintenanceScheduler;
 use crate::Result;
 
 /// A dataset split into `n` hash partitions.
@@ -38,14 +39,26 @@ impl PartitionedDataset {
         PartitionedDataset {
             partitions: (0..partitions)
                 .map(|p| {
-                    Arc::new(Dataset::new(
+                    let ds = Dataset::new(
                         format!("{name}#{p}"),
                         datatype.clone(),
                         pk_field,
                         config.clone(),
-                    ))
+                    );
+                    // Partition p lives on cluster node p; maintenance
+                    // tasks carry the hint for fault targeting.
+                    ds.set_node_hint(p);
+                    Arc::new(ds)
                 })
                 .collect(),
+        }
+    }
+
+    /// Routes every partition's flushes/merges through a shared
+    /// background scheduler.
+    pub fn attach_maintenance(&self, scheduler: &Arc<MaintenanceScheduler>) {
+        for p in &self.partitions {
+            p.attach_maintenance(Arc::clone(scheduler));
         }
     }
 
@@ -80,8 +93,9 @@ impl PartitionedDataset {
         self.partition_for(&pk).upsert(record)
     }
 
-    /// Routed point lookup.
-    pub fn get(&self, pk: &Value) -> Option<Value> {
+    /// Routed point lookup (clone-free: the `Arc` shares the stored
+    /// record).
+    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
         self.partition_for(pk).get(pk)
     }
 

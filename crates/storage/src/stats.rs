@@ -13,6 +13,8 @@ pub struct StorageStats {
     index_probes: AtomicU64,
     scans: AtomicU64,
     bulk_loaded: AtomicU64,
+    put_stalls: AtomicU64,
+    put_stall_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of [`StorageStats`].
@@ -25,6 +27,10 @@ pub struct StatsSnapshot {
     pub index_probes: u64,
     pub scans: u64,
     pub bulk_loaded: u64,
+    /// Writes that stalled on LSM flush back-pressure.
+    pub put_stalls: u64,
+    /// Cumulative time those writes spent stalled.
+    pub put_stall_nanos: u64,
 }
 
 impl StorageStats {
@@ -49,6 +55,11 @@ impl StorageStats {
     pub fn record_bulk_load(&self, n: u64) {
         self.bulk_loaded.fetch_add(n, Ordering::Relaxed);
     }
+    /// Records one write stalled on flush back-pressure for `nanos`.
+    pub fn record_put_stall(&self, nanos: u64) {
+        self.put_stalls.fetch_add(1, Ordering::Relaxed);
+        self.put_stall_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
 
     /// Copies the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -60,6 +71,8 @@ impl StorageStats {
             index_probes: self.index_probes.load(Ordering::Relaxed),
             scans: self.scans.load(Ordering::Relaxed),
             bulk_loaded: self.bulk_loaded.load(Ordering::Relaxed),
+            put_stalls: self.put_stalls.load(Ordering::Relaxed),
+            put_stall_nanos: self.put_stall_nanos.load(Ordering::Relaxed),
         }
     }
 }

@@ -2,12 +2,14 @@
 //! answers like a naive scan.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use idea_adm::value::{Circle, Point};
 use idea_adm::{Datatype, TypeTag, Value};
 use idea_storage::dataset::{Dataset, DatasetConfig};
 use idea_storage::index::RTree;
-use idea_storage::lsm::{LsmConfig, LsmTree};
+use idea_storage::lsm::{LsmConfig, LsmTree, MergePolicyConfig};
+use idea_storage::maintenance::MaintenanceScheduler;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -29,15 +31,20 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 proptest! {
     /// The LSM tree agrees with a BTreeMap model under any op sequence,
-    /// for both point gets and full live iteration.
+    /// for point gets, full live iteration, and the maintained live
+    /// counter.
     #[test]
     fn lsm_matches_model(ops in prop::collection::vec(arb_op(), 0..200)) {
-        let mut tree = LsmTree::new(LsmConfig { memtable_budget_bytes: 512, merge_threshold: 3 });
+        let tree = LsmTree::new(LsmConfig {
+            memtable_budget_bytes: 512,
+            max_sealed_memtables: 2,
+            merge_policy: MergePolicyConfig::Constant { max_components: 3 },
+        });
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    tree.put(Value::Int(k), Some(Value::Int(v)));
+                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v))));
                     model.insert(k, v);
                 }
                 Op::Delete(k) => {
@@ -49,15 +56,71 @@ proptest! {
             }
         }
         for k in 0i64..50 {
-            let got = tree.get(&Value::Int(k)).and_then(Value::as_int);
+            let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
             prop_assert_eq!(got, model.get(&k).copied(), "get({})", k);
         }
-        let live: Vec<(i64, i64)> = tree
-            .iter_live()
+        let snap = tree.snapshot();
+        let live: Vec<(i64, i64)> = snap
+            .iter()
             .map(|(k, v)| (k.as_int().unwrap(), v.as_int().unwrap()))
             .collect();
         let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         prop_assert_eq!(live, want);
+        prop_assert_eq!(tree.live_count(), model.len(), "maintained live counter");
+    }
+
+    /// Tiered merging plus background flush/merge on a scheduler keeps
+    /// `get`/iteration equivalent to the sequential oracle once drained.
+    #[test]
+    fn background_tiered_matches_model(ops in prop::collection::vec(arb_op(), 0..200)) {
+        let sched = MaintenanceScheduler::new(2);
+        let tree = LsmTree::new(LsmConfig {
+            memtable_budget_bytes: 256,
+            max_sealed_memtables: 2,
+            merge_policy: MergePolicyConfig::Tiered {
+                size_ratio: 1.5,
+                min_merge: 2,
+                max_merge: 4,
+            },
+        });
+        tree.attach_maintenance(Arc::clone(&sched));
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v))));
+                    model.insert(k, v);
+                }
+                Op::Delete(k) => {
+                    tree.put(Value::Int(k), None);
+                    model.remove(&k);
+                }
+                Op::Flush => tree.flush(),
+                Op::Merge => tree.merge_all(),
+                // Reads stay correct even while maintenance is queued;
+                // spot-check a few mid-stream.
+            }
+            if model.len().is_multiple_of(17) {
+                for k in [0i64, 7, 23] {
+                    let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
+                    prop_assert_eq!(got, model.get(&k).copied(), "mid-stream get({})", k);
+                }
+            }
+        }
+        sched.drain();
+        for k in 0i64..50 {
+            let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
+            prop_assert_eq!(got, model.get(&k).copied(), "drained get({})", k);
+        }
+        let snap = tree.snapshot();
+        let live: Vec<(i64, i64)> = snap
+            .iter()
+            .map(|(k, v)| (k.as_int().unwrap(), v.as_int().unwrap()))
+            .collect();
+        let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(live, want);
+        prop_assert_eq!(tree.live_count(), model.len());
+        sched.shutdown();
     }
 
     /// R-tree query results equal a naive scan after arbitrary
@@ -112,7 +175,10 @@ proptest! {
             "T",
             dt,
             "id",
-            DatasetConfig { lsm: LsmConfig { memtable_budget_bytes: 512, merge_threshold: 2 }, skip_validation: false },
+            DatasetConfig {
+                lsm: LsmConfig { memtable_budget_bytes: 512, ..LsmConfig::default() },
+                skip_validation: false,
+            },
         );
         ds.create_index(idea_storage::index::IndexDef::btree("grp_ix", "grp")).unwrap();
         let mut model: BTreeMap<i64, String> = BTreeMap::new();

@@ -6,6 +6,10 @@
 #  * query_bench — parallel partitioned query execution vs. the
 #    sequential evaluator; writes BENCH_query.json and (in full runs)
 #    fails if the scan/GROUP BY query does not beat sequential.
+#  * storage_bench — background LSM maintenance vs. synchronous
+#    flush/merge on the writer path; writes BENCH_storage.json and
+#    fails if the merge-point p99 put reduction is below 5x or the
+#    ingest speedup under concurrent probes is below 1.3x.
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts / dataset sizes for CI
@@ -20,3 +24,4 @@ fi
 
 cargo run --release --offline -p idea-bench --bin ingest_bench -- ${args[@]+"${args[@]}"}
 cargo run --release --offline -p idea-bench --bin query_bench -- ${args[@]+"${args[@]}"}
+cargo run --release --offline -p idea-bench --bin storage_bench -- ${args[@]+"${args[@]}"}

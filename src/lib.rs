@@ -30,7 +30,8 @@
 //!
 //! let engine = IngestionEngine::with_nodes(1);
 //! let snapshot = engine.metrics().snapshot();
-//! assert!(snapshot.entries.is_empty());
+//! // The background flush/merge pool is instrumented from the start.
+//! assert!(snapshot.entries.iter().any(|e| e.name.starts_with("storage/maintenance/")));
 //! ```
 
 pub use idea_adm as adm;

@@ -220,6 +220,19 @@ fn chaos_six_node_feed_survives_scripted_faults() {
         .query(r#"SELECT VALUE d.feed FROM chaos_dead_letters d WHERE d.stage = "parse""#)
         .unwrap();
     assert_eq!(v.as_array().unwrap().len(), poisons as usize);
+
+    // Engine shutdown deterministically drains the background flush/
+    // merge pool even after a chaos run: no queued task survives, every
+    // submitted task ran, all worker threads are joined.
+    engine.shutdown();
+    let maint = engine.maintenance();
+    assert!(maint.is_shut_down());
+    assert_eq!(maint.queue_depth(), 0, "no maintenance task leaked past shutdown");
+    assert_eq!(maint.completed(), maint.submitted(), "every maintenance task drained");
+    assert_eq!(maint.running(), 0);
+    // Storage stays fully usable (maintenance degrades to inline).
+    let stored_after = engine.catalog().dataset("Tweets").unwrap().len();
+    assert_eq!(stored_after, stored, "shutdown lost records");
 }
 
 #[test]

@@ -120,6 +120,53 @@ fn measure_invoke_overhead(iterations: usize) -> InvokeOverhead {
     InvokeOverhead { iterations, tasks: NODES * 2, pooled, spawned, speedup }
 }
 
+struct UndeployOverhead {
+    iterations: usize,
+    workers: usize,
+    sync: LatencyStats,
+    deferred: LatencyStats,
+    speedup: f64,
+}
+
+/// Times what the feed driver pays to tear a predeployed job down —
+/// the synchronous `undeploy_job` (joins every pool worker before
+/// returning) against `undeploy_job_deferred` (sends shutdown, hands
+/// the joins to a reaper thread). This sits on the feed's timed window
+/// once per feed run, so it is the direct measure of the deferred-
+/// teardown fix.
+fn measure_undeploy(iterations: usize) -> UndeployOverhead {
+    const NODES: usize = 6;
+    let cluster = Cluster::with_nodes(NODES);
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut sync = Vec::with_capacity(iterations);
+    let mut deferred = Vec::with_capacity(iterations);
+    let mut workers = 0;
+    for _ in 0..iterations {
+        let id = cluster.deploy_job(emit_count_spec(16, counter.clone()));
+        workers = cluster.deployed_jobs().resident_workers();
+        cluster.invoke_deployed(id, Value::Missing).unwrap().join().unwrap();
+        let t = Instant::now();
+        cluster.undeploy_job(id);
+        sync.push(t.elapsed());
+
+        let id = cluster.deploy_job(emit_count_spec(16, counter.clone()));
+        cluster.invoke_deployed(id, Value::Missing).unwrap().join().unwrap();
+        let t = Instant::now();
+        cluster.undeploy_job_deferred(id);
+        deferred.push(t.elapsed());
+        // Wait for the reaper so the next deploy's spawns don't contend
+        // with exiting workers (that interference is real, but it would
+        // land in the *deploy* sample, muddying both columns).
+        while cluster.deployed_jobs().resident_workers() > 0 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    let sync = stats(&sync);
+    let deferred = stats(&deferred);
+    let speedup = sync.mean_us / deferred.mean_us;
+    UndeployOverhead { iterations, workers, sync, deferred, speedup }
+}
+
 struct IngestResult {
     mode: &'static str,
     tweets: u64,
@@ -128,11 +175,15 @@ struct IngestResult {
     records_per_sec: f64,
     computing_jobs: u64,
     batch: LatencyStats,
+    /// Per-repeat throughput, ascending — the reported run is the
+    /// median of these.
+    samples_rps: Vec<f64>,
 }
 
 /// Fixed-seed end-to-end ingestion (no UDF, decoupled pipeline); the
 /// per-batch durations are the computing job's invoke latencies.
-fn measure_ingestion(tweets: u64, predeploy: bool) -> IngestResult {
+///
+fn run_ingestion_once(tweets: u64, predeploy: bool) -> IngestResult {
     let mut run = EnrichmentRun::new(None, tweets, WorkloadScale::scaled(0.01));
     run.predeploy = predeploy;
     // Cut batches so the run spans ~12 computing-job invocations —
@@ -147,7 +198,32 @@ fn measure_ingestion(tweets: u64, predeploy: bool) -> IngestResult {
         records_per_sec: report.throughput,
         computing_jobs: report.computing_jobs,
         batch: stats(&report.batch_durations),
+        samples_rps: Vec::new(),
     }
+}
+
+fn median_run(mut results: Vec<IngestResult>) -> IngestResult {
+    results.sort_by(|a, b| a.records_per_sec.partial_cmp(&b.records_per_sec).unwrap());
+    let samples: Vec<f64> = results.iter().map(|r| r.records_per_sec).collect();
+    let mut median = results.swap_remove(results.len() / 2);
+    median.samples_rps = samples;
+    median
+}
+
+/// One end-to-end run is a single wall-clock sample and each run stands
+/// up a fresh engine (dozens of thread spawns), so scheduler noise on a
+/// small host easily swamps a ~15% effect. Run `repeats` times per mode
+/// — *interleaved*, so slow host drift lands on both modes equally —
+/// and report the median-throughput run of each, with every sample in
+/// the JSON.
+fn measure_ingestion(tweets: u64, repeats: usize) -> (IngestResult, IngestResult) {
+    let mut pooled = Vec::with_capacity(repeats);
+    let mut spawned = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        pooled.push(run_ingestion_once(tweets, true));
+        spawned.push(run_ingestion_once(tweets, false));
+    }
+    (median_run(pooled), median_run(spawned))
 }
 
 fn json_latency(s: &LatencyStats) -> String {
@@ -162,7 +238,8 @@ fn json_ingest(r: &IngestResult) -> String {
         concat!(
             "{{\"mode\": \"{}\", \"tweets\": {}, \"records_stored\": {}, ",
             "\"elapsed_ms\": {:.2}, \"records_per_sec\": {:.1}, ",
-            "\"computing_jobs\": {}, \"invoke_latency\": {}}}"
+            "\"computing_jobs\": {}, \"invoke_latency\": {}, ",
+            "\"throughput_samples\": [{}]}}"
         ),
         r.mode,
         r.tweets,
@@ -170,14 +247,15 @@ fn json_ingest(r: &IngestResult) -> String {
         r.elapsed_ms,
         r.records_per_sec,
         r.computing_jobs,
-        json_latency(&r.batch)
+        json_latency(&r.batch),
+        r.samples_rps.iter().map(|s| format!("{s:.1}")).collect::<Vec<_>>().join(", ")
     )
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke")
         || std::env::var("IDEA_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
-    let (iterations, tweets) = if smoke { (50, 1_200) } else { (300, 10_000) };
+    let (iterations, tweets, repeats) = if smoke { (50, 1_200, 2) } else { (300, 10_000, 7) };
 
     eprintln!("== invoke overhead ({iterations} iterations) ==");
     let overhead = measure_invoke_overhead(iterations);
@@ -191,9 +269,20 @@ fn main() {
     );
     eprintln!("speedup  {:.2}x", overhead.speedup);
 
-    eprintln!("== ingestion ({tweets} tweets, seed 42) ==");
-    let pooled_run = measure_ingestion(tweets, true);
-    let spawned_run = measure_ingestion(tweets, false);
+    eprintln!("== undeploy overhead ({} iterations) ==", iterations / 10);
+    let undeploy = measure_undeploy(iterations / 10);
+    eprintln!(
+        "sync     mean {:.1}us  p50 {:.1}us  p99 {:.1}us  ({} workers joined inline)",
+        undeploy.sync.mean_us, undeploy.sync.p50_us, undeploy.sync.p99_us, undeploy.workers
+    );
+    eprintln!(
+        "deferred mean {:.1}us  p50 {:.1}us  p99 {:.1}us  (joins on reaper thread)",
+        undeploy.deferred.mean_us, undeploy.deferred.p50_us, undeploy.deferred.p99_us
+    );
+    eprintln!("speedup  {:.2}x", undeploy.speedup);
+
+    eprintln!("== ingestion ({tweets} tweets, seed 42, interleaved median of {repeats}) ==");
+    let (pooled_run, spawned_run) = measure_ingestion(tweets, repeats);
     for r in [&pooled_run, &spawned_run] {
         eprintln!(
             "{:<14} {:>9.1} rec/s  invoke p50 {:.1}us p99 {:.1}us  ({} jobs)",
@@ -213,6 +302,12 @@ fn main() {
             "    \"spawn_per_run\": {},\n",
             "    \"speedup\": {:.2}\n",
             "  }},\n",
+            "  \"undeploy_overhead\": {{\n",
+            "    \"iterations\": {}, \"workers\": {},\n",
+            "    \"sync\": {},\n",
+            "    \"deferred\": {},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
             "  \"ingestion\": [\n    {},\n    {}\n  ]\n",
             "}}\n"
         ),
@@ -222,6 +317,11 @@ fn main() {
         json_latency(&overhead.pooled),
         json_latency(&overhead.spawned),
         overhead.speedup,
+        undeploy.iterations,
+        undeploy.workers,
+        json_latency(&undeploy.sync),
+        json_latency(&undeploy.deferred),
+        undeploy.speedup,
         json_ingest(&pooled_run),
         json_ingest(&spawned_run)
     );

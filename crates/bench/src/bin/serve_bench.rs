@@ -1,0 +1,352 @@
+//! `scripts/bench.sh` entry point: load-tests the network serving
+//! layer and writes `BENCH_serve.json`.
+//!
+//! Tiers of concurrent TCP connections (100 / 1000 / 5000 on a full
+//! run) hammer one server with a validated streaming query. Every
+//! response is checked against an oracle computed up front — the run
+//! fails on a single wrong result. Shed responses (rate-limit /
+//! overload / drain `E` frames) are legitimate backpressure and are
+//! reported as a shed rate per tier alongside p50/p99 latency.
+//!
+//! The bench also asserts the streaming contract directly: the bench
+//! query through [`Session::stream_statement`] — the exact call the
+//! server's workers make — must report a peak resident row count no
+//! larger than one batch, i.e. the server never materializes a
+//! streamable result.
+//!
+//! `--smoke` (or `IDEA_BENCH_SMOKE=1`) shrinks the tiers for CI.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use idea_adm::Value;
+use idea_core::IngestionEngine;
+use idea_query::parser::parse_statements;
+use idea_query::SessionConfig;
+use idea_serve::{AdmissionConfig, Client, Server, ServerConfig};
+
+const ROWS: i64 = 5_000;
+/// The benchmark query: a streamable selective scan (no sort, group,
+/// or limit), so the server streams it batch by batch.
+const QUERY: &str = "SELECT VALUE t.id FROM Tweets t WHERE t.score < 20";
+const BATCH_SIZE: usize = 64;
+
+fn setup_engine() -> Arc<IngestionEngine> {
+    let engine = IngestionEngine::with_nodes(2);
+    engine
+        .run_sqlpp(
+            r#"
+            CREATE TYPE TweetType AS OPEN { id: int64, score: int64 };
+            CREATE DATASET Tweets(TweetType) PRIMARY KEY id;
+            "#,
+        )
+        .expect("DDL");
+    let tweets = engine.catalog().dataset("Tweets").expect("Tweets");
+    let mut state = 7u64;
+    for id in 0..ROWS {
+        // splitmix64 — deterministic scores without an RNG dependency.
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        let score = ((z ^ (z >> 31)) % 100) as i64;
+        tweets
+            .insert(Value::object([("id", Value::Int(id)), ("score", Value::Int(score))]))
+            .expect("insert");
+    }
+    engine
+}
+
+/// The oracle: expected row count and id-sum of the bench query,
+/// computed once through the in-process session.
+fn oracle(engine: &IngestionEngine) -> (u64, i64) {
+    let rows = engine.new_session(SessionConfig::new()).query(QUERY).expect("oracle");
+    let rows = rows.as_array().expect("array");
+    let sum = rows.iter().map(|v| v.as_int().expect("int id")).sum();
+    (rows.len() as u64, sum)
+}
+
+/// Asserts the server-side streaming contract on the exact session
+/// call the workers make: peak resident rows ≤ one batch.
+fn assert_streaming(engine: &IngestionEngine, expected_rows: u64) {
+    let session = engine.new_session(SessionConfig::new().result_batch_size(BATCH_SIZE));
+    let stmts = parse_statements(QUERY).expect("parse");
+    let mut stream = session.stream_statement(&stmts[0]).expect("stream");
+    assert!(stream.is_streaming(), "bench query must take the streaming path");
+    let mut rows = 0u64;
+    while let Some(batch) = stream.next_batch().expect("batch") {
+        rows += batch.len() as u64;
+    }
+    assert_eq!(rows, expected_rows);
+    assert!(
+        stream.peak_resident() <= BATCH_SIZE,
+        "server-side peak resident {} rows exceeds one batch ({BATCH_SIZE}): \
+         the result was materialized",
+        stream.peak_resident()
+    );
+    eprintln!(
+        "streaming contract: {rows} rows served with peak resident {} (batch {BATCH_SIZE})",
+        stream.peak_resident()
+    );
+}
+
+struct TierOutcome {
+    connections: usize,
+    requests_per_conn: usize,
+    succeeded: u64,
+    shed: u64,
+    wrong: u64,
+    io_errors: u64,
+    connect_failures: u64,
+    p50_us: f64,
+    p99_us: f64,
+    elapsed_ms: u128,
+}
+
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_us.len() as f64 * q).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+/// One load tier: `connections` client threads, each holding its
+/// connection open for `requests_per_conn` sequential queries.
+fn run_tier(
+    addr: SocketAddr,
+    connections: usize,
+    requests_per_conn: usize,
+    expected: (u64, i64),
+) -> TierOutcome {
+    let succeeded = Arc::new(AtomicU64::new(0));
+    let shed = Arc::new(AtomicU64::new(0));
+    let wrong = Arc::new(AtomicU64::new(0));
+    let io_errors = Arc::new(AtomicU64::new(0));
+    let connect_failures = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let mut handles = Vec::with_capacity(connections);
+    for c in 0..connections {
+        let (succeeded, shed, wrong, io_errors, connect_failures) = (
+            succeeded.clone(),
+            shed.clone(),
+            wrong.clone(),
+            io_errors.clone(),
+            connect_failures.clone(),
+        );
+        let handle = thread::Builder::new()
+            .stack_size(192 * 1024)
+            .name(format!("bench-conn-{c}"))
+            .spawn(move || -> Vec<f64> {
+                // Retry the connect: with thousands of simultaneous
+                // SYNs the accept backlog overflows transiently.
+                let mut client = None;
+                for attempt in 0..5 {
+                    match Client::connect_timeout(&addr, "bench", Duration::from_secs(10)) {
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(20 << attempt)),
+                    }
+                }
+                let Some(mut client) = client else {
+                    connect_failures.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                };
+                let mut latencies = Vec::with_capacity(requests_per_conn);
+                for _ in 0..requests_per_conn {
+                    let t = Instant::now();
+                    let mut rows = 0u64;
+                    let mut sum = 0i64;
+                    let res = client.query_streamed(QUERY, |batch| {
+                        rows += batch.len() as u64;
+                        sum += batch.iter().filter_map(Value::as_int).sum::<i64>();
+                    });
+                    match res {
+                        Ok(_) => {
+                            latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                            if (rows, sum) == expected {
+                                succeeded.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                wrong.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(e) if e.is_shed() => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            io_errors.fetch_add(1, Ordering::Relaxed);
+                            return latencies; // connection unusable
+                        }
+                    }
+                }
+                latencies
+            })
+            .expect("spawn bench client");
+        handles.push(handle);
+        // Ramp in waves so the SYN backlog keeps up.
+        if c % 200 == 199 {
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("bench client panicked"));
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    TierOutcome {
+        connections,
+        requests_per_conn,
+        succeeded: succeeded.load(Ordering::Relaxed),
+        shed: shed.load(Ordering::Relaxed),
+        wrong: wrong.load(Ordering::Relaxed),
+        io_errors: io_errors.load(Ordering::Relaxed),
+        connect_failures: connect_failures.load(Ordering::Relaxed),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        elapsed_ms: start.elapsed().as_millis(),
+    }
+}
+
+fn json_tier(t: &TierOutcome) -> String {
+    let total = (t.succeeded + t.shed + t.wrong + t.io_errors).max(1);
+    format!(
+        concat!(
+            "{{\"connections\": {}, \"requests_per_conn\": {}, \"succeeded\": {}, ",
+            "\"shed\": {}, \"wrong\": {}, \"io_errors\": {}, \"connect_failures\": {}, ",
+            "\"shed_rate\": {:.4}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"elapsed_ms\": {}}}"
+        ),
+        t.connections,
+        t.requests_per_conn,
+        t.succeeded,
+        t.shed,
+        t.wrong,
+        t.io_errors,
+        t.connect_failures,
+        t.shed as f64 / total as f64,
+        t.p50_us,
+        t.p99_us,
+        t.elapsed_ms
+    )
+}
+
+/// The soft fd limit, read without libc; connections are skipped, not
+/// silently truncated, when the budget cannot hold a tier.
+fn fd_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(1024)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("IDEA_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+    // (connections, requests per connection)
+    let tiers: &[(usize, usize)] =
+        if smoke { &[(50, 4), (200, 2)] } else { &[(100, 20), (1_000, 5), (5_000, 2)] };
+
+    let engine = setup_engine();
+    let expected = oracle(&engine);
+    eprintln!(
+        "== serve bench ({} rows, oracle: {} rows / sum {}) ==",
+        ROWS, expected.0, expected.1
+    );
+    assert_streaming(&engine, expected.0);
+
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let config = ServerConfig {
+        admission: AdmissionConfig {
+            max_concurrency: cores.max(4),
+            per_tenant_concurrency: cores.max(4),
+            queue_capacity: 2_048,
+            per_tenant_queue: 2_048,
+            queue_timeout: Duration::from_secs(30),
+            rate_limit: None,
+        },
+        result_batch_size: BATCH_SIZE,
+        ..Default::default()
+    };
+    let server = Server::start(engine.clone(), config).expect("start server");
+    let addr = server.local_addr();
+
+    // Steady-state fds per in-process connection: 2 server-side (socket
+    // + shutdown-registry clone) + 1 client-side, plus headroom for
+    // transient worker clones and the process itself.
+    let limit = fd_limit();
+    let budget = |conns: usize| conns * 3 + 256;
+
+    let mut outcomes: Vec<TierOutcome> = Vec::new();
+    let mut skipped: Vec<usize> = Vec::new();
+    for &(conns, reqs) in tiers {
+        if budget(conns) > limit {
+            eprintln!("tier {conns}: skipped — needs ~{} fds, limit is {limit}", budget(conns));
+            skipped.push(conns);
+            continue;
+        }
+        let t = run_tier(addr, conns, reqs, expected);
+        eprintln!(
+            "tier {:>5} conns × {} req: ok {:>6}  shed {:>5} ({:>5.1}%)  wrong {}  \
+             p50 {:>9.1}us  p99 {:>9.1}us  ({} ms)",
+            t.connections,
+            t.requests_per_conn,
+            t.succeeded,
+            t.shed,
+            100.0 * t.shed as f64 / (t.succeeded + t.shed).max(1) as f64,
+            t.wrong,
+            t.p50_us,
+            t.p99_us,
+            t.elapsed_ms
+        );
+        outcomes.push(t);
+    }
+    server.shutdown();
+
+    let body: Vec<String> = outcomes.iter().map(|t| format!("    {}", json_tier(t))).collect();
+    let json = format!(
+        concat!(
+            "{{\n  \"smoke\": {},\n  \"rows\": {},\n  \"cores\": {},\n  \"batch_size\": {},\n",
+            "  \"fd_limit\": {},\n  \"skipped_tiers\": {:?},\n  \"tiers\": [\n{}\n  ]\n}}\n"
+        ),
+        smoke,
+        ROWS,
+        cores,
+        BATCH_SIZE,
+        limit,
+        skipped,
+        body.join(",\n")
+    );
+    std::fs::write("BENCH_serve.json", json).expect("write BENCH_serve.json");
+    eprintln!("wrote BENCH_serve.json");
+
+    // Acceptance bars: zero wrong results anywhere; on a full run the
+    // 1k-connection tier must complete with every request answered.
+    for t in &outcomes {
+        assert_eq!(t.wrong, 0, "tier {}: wrong results over the wire", t.connections);
+        assert_eq!(t.connect_failures, 0, "tier {}: clients never connected", t.connections);
+        assert_eq!(t.io_errors, 0, "tier {}: connections died mid-run", t.connections);
+    }
+    if !smoke {
+        let t1k = outcomes
+            .iter()
+            .find(|t| t.connections >= 1_000)
+            .expect("full run must include the 1k-connection tier");
+        let answered = t1k.succeeded + t1k.shed;
+        assert_eq!(
+            answered,
+            (t1k.connections * t1k.requests_per_conn) as u64,
+            "1k tier: every request must be answered (result or typed shed)"
+        );
+    }
+}

@@ -424,8 +424,12 @@ fn drive_attempt(cluster: &Arc<Cluster>, rt: &FeedRuntime, shared: &Arc<FeedShar
 
     let run_result = drive_batches(cluster, rt, shared, acked_base, &intake, &storage, deployed);
 
+    // Deferred teardown: the batch loop has joined every invocation, so
+    // the pool is idle — sending shutdown and letting a reaper thread
+    // join the workers keeps ~one serial join per (stage, partition)
+    // out of the feed's timed window.
     if let Some(id) = deployed {
-        cluster.undeploy_job(id);
+        cluster.undeploy_job_deferred(id);
     }
 
     // On a failure nothing consumes the intake holders any more; poison

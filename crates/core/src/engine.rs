@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use idea_hyracks::Cluster;
 use idea_query::ast::Statement;
-use idea_query::{Catalog, Session, StatementResult};
+use idea_query::{Catalog, Session, SessionConfig, StatementResult};
 use idea_storage::MaintenanceScheduler;
 use parking_lot::Mutex;
 
@@ -93,12 +93,24 @@ impl IngestionEngine {
         &self.afm
     }
 
-    /// The engine's SQL++ session: shared plan cache, prepared-statement
-    /// parameters, and the execution-mode knob (switch it to
-    /// [`idea_query::ExecMode::Parallel`] to run eligible queries as
-    /// partitioned Hyracks jobs on the engine's cluster).
+    /// The engine's shared default SQL++ session.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a configured session with IngestionEngine::new_session instead of \
+                mutating the engine-wide shared one"
+    )]
     pub fn session(&self) -> &Session {
         &self.session
+    }
+
+    /// Builds a new SQL++ session over the engine's catalog and cluster
+    /// from an explicit [`SessionConfig`] (execution mode, parameter
+    /// defaults, tenant id, result batch size). Sessions are
+    /// independent; all of them see the same data and share compiled
+    /// plans when given a [shared plan
+    /// cache](SessionConfig::shared_plan_cache).
+    pub fn new_session(&self, config: SessionConfig) -> Session {
+        config.build_on(self.catalog.clone(), self.cluster.clone())
     }
 
     /// The engine-wide metrics registry: per-feed pipeline counters,

@@ -44,7 +44,7 @@ pub use adapter::{
 };
 pub use afm::{ActiveFeedManager, FeedHandle};
 pub use engine::{ExecOutcome, IngestionEngine};
-pub use error::IngestError;
+pub use error::{Error, ErrorCode, IngestError};
 pub use idea_ft::{
     ErrorPolicy, Fallback, Fault, FaultPlan, RestartPolicy, RetryPolicy, SupervisionSpec,
 };

@@ -7,10 +7,18 @@
 //! calling thread, so the merge stage ends in a [`CollectorOp`] writing
 //! into a [`ResultChannel`] the caller holds the other end of.
 //!
+//! The channel speaks a small message protocol: zero or more
+//! [`ResultMsg::Batch`] frames followed by one [`ResultMsg::End`] per
+//! invocation. A *buffered* collector (built with a finisher, e.g. for
+//! ORDER BY / LIMIT / DISTINCT) sends one batch at close; a *streaming*
+//! collector forwards every input frame as its own batch the moment it
+//! arrives, which is what lets `RowStream` consumers start reading merge
+//! output before the job has finished.
+//!
 //! The channel is unbounded: the collector runs as the single task of
-//! the last stage, sends exactly one result set per invocation, and the
-//! pool serializes invocations — so at most one result is in flight and
-//! the send can never block a pool worker.
+//! the last stage and the pool serializes invocations — so at most one
+//! invocation's messages are in flight and a send can never block a pool
+//! worker, even when the caller is slow to read.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -23,16 +31,28 @@ use crate::job::TaskContext;
 use crate::operator::{FrameSink, Operator};
 use crate::{HyracksError, Result};
 
-/// Finalization applied to the collected rows before they are sent
-/// (sort/limit/distinct for queries; identity for plain collection).
+/// Transformation applied to collected rows before they are sent.
+///
+/// Buffered collectors apply it once over the full result set
+/// (sort/limit/distinct for queries); streaming collectors apply it to
+/// each batch independently (decode/projection only).
 pub type Finisher = Arc<dyn Fn(Vec<Value>, &TaskContext) -> Result<Vec<Value>> + Send + Sync>;
 
-/// The caller-side half of a collector: one `Vec<Value>` result set per
-/// job invocation.
+/// One message of an invocation's result stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultMsg {
+    /// A batch of result rows, in output order.
+    Batch(Vec<Value>),
+    /// The invocation produced no further rows.
+    End,
+}
+
+/// The caller-side half of a collector: per job invocation, a stream of
+/// [`ResultMsg::Batch`] messages terminated by [`ResultMsg::End`].
 #[derive(Debug)]
 pub struct ResultChannel {
-    tx: Sender<Vec<Value>>,
-    rx: Receiver<Vec<Value>>,
+    tx: Sender<ResultMsg>,
+    rx: Receiver<ResultMsg>,
 }
 
 impl ResultChannel {
@@ -41,42 +61,80 @@ impl ResultChannel {
         Arc::new(ResultChannel { tx, rx })
     }
 
-    /// Sends one invocation's result set (collector side).
-    pub fn send(&self, rows: Vec<Value>) -> Result<()> {
-        self.tx.send(rows).map_err(|_| HyracksError::Disconnected("result channel"))
+    /// Sends one batch of result rows (collector side).
+    pub fn send_batch(&self, rows: Vec<Value>) -> Result<()> {
+        self.tx
+            .send(ResultMsg::Batch(rows))
+            .map_err(|_| HyracksError::Disconnected("result channel"))
     }
 
-    /// Receives one invocation's result set (caller side). The timeout
-    /// guards against wiring bugs; a completed invocation has already
-    /// sent by the time its handle joins.
-    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<Value>> {
+    /// Marks the current invocation's stream complete (collector side).
+    pub fn end(&self) -> Result<()> {
+        self.tx
+            .send(ResultMsg::End)
+            .map_err(|_| HyracksError::Disconnected("result channel"))
+    }
+
+    /// Receives the next message of the current invocation (caller
+    /// side). The timeout guards against wiring bugs; a completed
+    /// invocation has already sent `End` by the time its handle joins.
+    pub fn recv_msg(&self, timeout: Duration) -> Result<ResultMsg> {
         self.rx
             .recv_timeout(timeout)
             .map_err(|_| HyracksError::Disconnected("result channel (recv timeout)"))
     }
 
-    /// Discards any buffered result sets (after a failed invocation, so
-    /// a partial result cannot be mistaken for the next invocation's).
+    /// Receives and concatenates every batch up to `End`: the
+    /// materialized view of one invocation's stream.
+    pub fn recv_all(&self, timeout: Duration) -> Result<Vec<Value>> {
+        let mut rows = Vec::new();
+        loop {
+            match self.recv_msg(timeout)? {
+                ResultMsg::Batch(mut b) => rows.append(&mut b),
+                ResultMsg::End => return Ok(rows),
+            }
+        }
+    }
+
+    /// Discards any buffered messages (after a failed invocation, so a
+    /// partial result stream cannot be mistaken for the next
+    /// invocation's). Returns the number of messages dropped.
     pub fn drain(&self) -> usize {
         self.rx.try_iter().count()
     }
 }
 
-/// Terminal operator: buffers every input record, applies the finisher
-/// at close, and sends the finished rows through the result channel.
+enum Mode {
+    /// Buffer every record; at close apply the finisher over the full
+    /// set and send it as a single batch.
+    Buffered { buf: Vec<Value>, finisher: Option<Finisher> },
+    /// Forward each input frame as its own batch as soon as it arrives,
+    /// mapped through the (stateless, per-batch) finisher.
+    Streaming { mapper: Option<Finisher> },
+}
+
+/// Terminal operator feeding a [`ResultChannel`].
 pub struct CollectorOp {
-    buf: Vec<Value>,
+    mode: Mode,
     chan: Arc<ResultChannel>,
-    finisher: Option<Finisher>,
 }
 
 impl CollectorOp {
+    /// A buffered collector with no finalization.
     pub fn new(chan: Arc<ResultChannel>) -> CollectorOp {
-        CollectorOp { buf: Vec::new(), chan, finisher: None }
+        CollectorOp { mode: Mode::Buffered { buf: Vec::new(), finisher: None }, chan }
     }
 
+    /// A buffered collector: collects everything, finishes at close.
     pub fn with_finisher(chan: Arc<ResultChannel>, finisher: Finisher) -> CollectorOp {
-        CollectorOp { buf: Vec::new(), chan, finisher: Some(finisher) }
+        CollectorOp { mode: Mode::Buffered { buf: Vec::new(), finisher: Some(finisher) }, chan }
+    }
+
+    /// A streaming collector: each input frame becomes one result batch
+    /// immediately, mapped through `mapper` (which must therefore be a
+    /// pure per-row decode — no sorting, limiting or deduplication).
+    pub fn streaming(chan: Arc<ResultChannel>, mapper: Finisher) -> CollectorOp {
+        CollectorOp { mode: Mode::Streaming { mapper: Some(mapper) }, chan }
     }
 }
 
@@ -85,19 +143,37 @@ impl Operator for CollectorOp {
         &mut self,
         frame: Frame,
         _out: &mut dyn FrameSink,
-        _ctx: &mut TaskContext,
+        ctx: &mut TaskContext,
     ) -> Result<()> {
-        self.buf.extend(frame.into_records());
-        Ok(())
+        match &mut self.mode {
+            Mode::Buffered { buf, .. } => {
+                buf.extend(frame.into_records());
+                Ok(())
+            }
+            Mode::Streaming { mapper } => {
+                let rows = frame.into_records();
+                let rows = match mapper {
+                    Some(m) => m(rows, ctx)?,
+                    None => rows,
+                };
+                self.chan.send_batch(rows)
+            }
+        }
     }
 
     fn close(&mut self, _out: &mut dyn FrameSink, ctx: &mut TaskContext) -> Result<()> {
-        let rows = std::mem::take(&mut self.buf);
-        let rows = match &self.finisher {
-            Some(f) => f(rows, ctx)?,
-            None => rows,
-        };
-        self.chan.send(rows)
+        match &mut self.mode {
+            Mode::Buffered { buf, finisher } => {
+                let rows = std::mem::take(buf);
+                let rows = match finisher {
+                    Some(f) => f(rows, ctx)?,
+                    None => rows,
+                };
+                self.chan.send_batch(rows)?;
+            }
+            Mode::Streaming { .. } => {}
+        }
+        self.chan.end()
     }
 }
 
@@ -110,49 +186,78 @@ mod tests {
     use crate::operator::FnSource;
     use crate::Cluster;
 
+    fn emit_stage(spec: JobSpec, connector: ConnectorSpec) -> JobSpec {
+        spec.stage(
+            "emit",
+            connector,
+            Arc::new(|ctx: &TaskContext| {
+                let base = ctx.partition as i64 * 10;
+                Box::new(FnSource(move |sink: &mut dyn FrameSink, _: &mut TaskContext| {
+                    sink.push(Frame::from_records((base..base + 3).map(Value::Int).collect()))
+                })) as Box<dyn Operator>
+            }),
+        )
+    }
+
     #[test]
     fn collector_returns_rows_to_caller() {
         let cluster = Cluster::with_nodes(3);
         let chan = ResultChannel::new();
         let chan2 = chan.clone();
-        let spec = JobSpec::new("collect")
-            .stage(
-                "emit",
-                ConnectorSpec::RoundRobin,
-                Arc::new(|ctx: &TaskContext| {
-                    let base = ctx.partition as i64 * 10;
-                    Box::new(FnSource(move |sink: &mut dyn FrameSink, _: &mut TaskContext| {
-                        sink.push(Frame::from_records((base..base + 3).map(Value::Int).collect()))
-                    })) as Box<dyn Operator>
-                }),
-            )
-            .stage_on(
-                "collect",
-                vec![0],
-                ConnectorSpec::OneToOne,
-                Arc::new(move |_: &TaskContext| {
-                    Box::new(CollectorOp::with_finisher(
-                        chan2.clone(),
-                        Arc::new(|mut rows, _| {
-                            rows.sort();
-                            Ok(rows)
-                        }),
-                    )) as Box<dyn Operator>
-                }),
-            );
+        let spec = emit_stage(JobSpec::new("collect"), ConnectorSpec::RoundRobin).stage_on(
+            "collect",
+            vec![0],
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_: &TaskContext| {
+                Box::new(CollectorOp::with_finisher(
+                    chan2.clone(),
+                    Arc::new(|mut rows, _| {
+                        rows.sort();
+                        Ok(rows)
+                    }),
+                )) as Box<dyn Operator>
+            }),
+        );
         run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
-        let rows = chan.recv_timeout(Duration::from_secs(5)).unwrap();
+        let rows = chan.recv_all(Duration::from_secs(5)).unwrap();
         assert_eq!(rows.len(), 9);
         assert_eq!(rows[0], Value::Int(0));
         assert_eq!(rows[8], Value::Int(22));
     }
 
     #[test]
+    fn streaming_collector_emits_batches_then_end() {
+        let cluster = Cluster::with_nodes(3);
+        let chan = ResultChannel::new();
+        let chan2 = chan.clone();
+        let spec = emit_stage(JobSpec::new("stream"), ConnectorSpec::RoundRobin).stage_on(
+            "collect",
+            vec![0],
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_: &TaskContext| {
+                Box::new(CollectorOp::streaming(chan2.clone(), Arc::new(|rows, _| Ok(rows))))
+                    as Box<dyn Operator>
+            }),
+        );
+        run_job(&cluster, &spec, Value::Missing).unwrap().join().unwrap();
+        let mut rows = Vec::new();
+        let mut batches = 0;
+        while let ResultMsg::Batch(mut b) = chan.recv_msg(Duration::from_secs(5)).unwrap() {
+            batches += 1;
+            rows.append(&mut b);
+        }
+        assert!(batches >= 3, "one batch per upstream frame, got {batches}");
+        rows.sort();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[8], Value::Int(22));
+    }
+
+    #[test]
     fn drain_discards_stale_results() {
         let chan = ResultChannel::new();
-        chan.send(vec![Value::Int(1)]).unwrap();
-        chan.send(vec![Value::Int(2)]).unwrap();
+        chan.send_batch(vec![Value::Int(1)]).unwrap();
+        chan.end().unwrap();
         assert_eq!(chan.drain(), 2);
-        assert!(chan.recv_timeout(Duration::from_millis(10)).is_err());
+        assert!(chan.recv_msg(Duration::from_millis(10)).is_err());
     }
 }

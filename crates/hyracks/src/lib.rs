@@ -42,7 +42,7 @@ pub mod pool;
 pub mod predeploy;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use collector::{CollectorOp, ResultChannel};
+pub use collector::{CollectorOp, ResultChannel, ResultMsg};
 pub use connector::ConnectorSpec;
 pub use error::HyracksError;
 pub use executor::{run_job, JobHandle};

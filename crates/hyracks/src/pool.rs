@@ -349,6 +349,18 @@ impl TaskPool {
         Ok(JobHandle::pooled(self.name.clone(), inv))
     }
 
+    /// Sends the shutdown command to every worker without joining them;
+    /// the workers begin exiting immediately while the joins happen in a
+    /// later [`shutdown`](Self::shutdown) (usually via `Drop`). Safe to
+    /// call more than once: a worker that already exited has dropped its
+    /// command receiver, and sends to disconnected channels are
+    /// discarded.
+    pub(crate) fn begin_shutdown(&self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(PoolCmd::Shutdown);
+        }
+    }
+
     fn shutdown(&mut self) {
         for w in &self.workers {
             let _ = w.cmd.send(PoolCmd::Shutdown);

@@ -139,6 +139,30 @@ impl Cluster {
         // registry users.
         entry.is_some()
     }
+
+    /// Removes a deployed job like [`Cluster::undeploy_job`] but keeps
+    /// the worker joins off the caller's path: the registry entry is
+    /// gone and shutdown commands go out before this returns (no new
+    /// invocation can start, workers begin exiting immediately), while
+    /// a detached reaper thread performs the joins. The feed driver
+    /// uses this so pool teardown is not charged to the feed's
+    /// ingestion window; `resident_workers` drains shortly after
+    /// rather than by the time this returns.
+    pub fn undeploy_job_deferred(&self, id: DeployedJobId) -> bool {
+        let Some(entry) = self.deployed_jobs().jobs.write().remove(&id.0) else {
+            return false;
+        };
+        if let Some(pool) = entry.pool {
+            pool.begin_shutdown();
+            // If the spawn fails, the closure (and the pool Arc inside
+            // it) drops right here, joining the workers inline — the
+            // synchronous path, just like `undeploy_job`.
+            let _ = std::thread::Builder::new()
+                .name(format!("{pool:?}-reaper"))
+                .spawn(move || drop(pool));
+        }
+        true
+    }
 }
 
 #[cfg(test)]

@@ -34,3 +34,32 @@ pub const MAINT_FLUSH_TASKS: &str = "storage/maintenance/flushes";
 pub const MAINT_MERGE_TASKS: &str = "storage/maintenance/merges";
 /// Cumulative nanoseconds tasks spent queued before running.
 pub const MAINT_QUEUE_WAIT_NANOS: &str = "storage/maintenance/queue_wait_nanos";
+
+// ---- network serving layer (idea-serve) ------------------------------
+
+/// Currently open client connections.
+pub const SERVE_CONNECTIONS: &str = "serve/connections";
+/// Connections accepted since the server started.
+pub const SERVE_CONNECTIONS_TOTAL: &str = "serve/connections_total";
+/// Query frames admitted and executed (successfully or not).
+pub const SERVE_QUERIES: &str = "serve/queries";
+/// Query frames that ended in an error frame (excluding sheds).
+pub const SERVE_ERRORS: &str = "serve/errors";
+/// Requests shed by the per-tenant token bucket.
+pub const SERVE_SHED_RATE_LIMITED: &str = "serve/shed/rate_limited";
+/// Requests shed because the admission queue was full or timed out.
+pub const SERVE_SHED_OVERLOADED: &str = "serve/shed/overloaded";
+/// Requests rejected because the server was draining.
+pub const SERVE_SHED_SHUTTING_DOWN: &str = "serve/shed/shutting_down";
+/// Queries currently holding an admission permit.
+pub const SERVE_ACTIVE_QUERIES: &str = "serve/active_queries";
+/// Requests currently waiting in the admission queue.
+pub const SERVE_ADMISSION_QUEUE_DEPTH: &str = "serve/admission_queue_depth";
+/// End-to-end latency of admitted queries (admission to done frame).
+pub const SERVE_LATENCY: &str = "serve/latency";
+/// Result rows streamed to clients.
+pub const SERVE_ROWS_STREAMED: &str = "serve/rows_streamed";
+/// Statement-cache hits (parsed AST reused; enables plan-cache hits).
+pub const SERVE_STMT_CACHE_HITS: &str = "serve/stmt_cache/hits";
+/// Statement-cache misses (statement parsed fresh).
+pub const SERVE_STMT_CACHE_MISSES: &str = "serve/stmt_cache/misses";

@@ -18,7 +18,10 @@
 //!   execution (`CREATE TYPE/DATASET/INDEX/FUNCTION`, `DROP
 //!   DATASET/INDEX`, `INSERT`/`UPSERT`/`DELETE`, queries) with a shared
 //!   plan cache, prepared-statement parameters, and an execution-mode
-//!   knob;
+//!   knob — built up front via [`session::SessionConfig`];
+//! * [`stream::RowStream`] — the streaming result surface: pull-based
+//!   batches from a lazy scan, a live parallel merge, or a re-chunked
+//!   materialized fallback;
 //! * [`parallel`] — compiles eligible query blocks into partitioned
 //!   `idea-hyracks` jobs (per-partition scans, hash exchanges for GROUP
 //!   BY, a merge stage), predeployed on the cluster's task pools.
@@ -39,7 +42,6 @@
 
 pub mod ast;
 pub mod catalog;
-pub mod ddl;
 pub mod error;
 pub mod exec;
 pub mod expr;
@@ -48,16 +50,16 @@ pub mod parallel;
 pub mod parser;
 pub mod plan;
 pub mod session;
+pub mod stream;
 pub mod udf;
 
 pub use catalog::Catalog;
-#[allow(deprecated)]
-pub use ddl::{execute, run_query, run_sqlpp};
 pub use error::QueryError;
 pub use exec::{Env, ExecContext, ExecStats, PlanCache};
 pub use expr::{apply_function, eval_expr};
 pub use parallel::{ParallelRuntime, ParallelShape};
-pub use session::{ExecMode, Session, StatementResult};
+pub use session::{ExecMode, Session, SessionConfig, StatementResult};
+pub use stream::RowStream;
 pub use udf::{FunctionDef, NativeUdf, NativeUdfFactory};
 
 /// Crate-wide result alias.

@@ -7,8 +7,10 @@
 //!
 //! * a **scan stage**, one task per storage partition, pinned to its
 //!   node: each task pins *only its own partition's snapshot*
-//!   ([`PartitionedDataset::snapshot_partition`]), applies the planner's
-//!   pushed-down filters ([`FromPlan::self_filter`] / residuals), and
+//!   ([`idea_storage::PartitionedDataset::snapshot_partition`]),
+//!   applies the planner's
+//!   pushed-down filters ([`crate::plan::FromPlan::self_filter`] /
+//!   residuals), and
 //!   completes the remaining join items and LET/WHERE pipeline with the
 //!   same code the sequential evaluator uses (reference datasets build
 //!   their hash tables per task — a replicated/broadcast build);
@@ -34,10 +36,9 @@ use std::time::{Duration, Instant};
 
 use idea_adm::Value;
 use idea_hyracks::collector::CollectorOp;
-use idea_hyracks::DeployedJobId;
 use idea_hyracks::{
-    Cluster, ConnectorSpec, Frame, FrameSink, HyracksError, JobSpec, Operator, ResultChannel,
-    TaskContext,
+    Cluster, ConnectorSpec, DeployedJobId, Frame, FrameSink, HyracksError, JobHandle, JobSpec,
+    Operator, ResultChannel, ResultMsg, TaskContext,
 };
 use idea_obs::names;
 use parking_lot::Mutex;
@@ -124,6 +125,19 @@ pub fn parallel_shape(
     } else {
         ParallelShape::Plain
     })
+}
+
+/// Whether the merge stage for `block` can stream: a [`Plain`] shape
+/// with no global sort, limit or dedup needs no cross-batch state at
+/// merge, so the collector forwards each upstream frame the moment it
+/// arrives instead of buffering the result set.
+///
+/// [`Plain`]: ParallelShape::Plain
+pub(crate) fn merge_streamable(block: &SelectBlock, shape: ParallelShape) -> bool {
+    matches!(shape, ParallelShape::Plain)
+        && block.order_by.is_empty()
+        && block.limit.is_none()
+        && !block.distinct
 }
 
 fn op_err(e: QueryError) -> HyracksError {
@@ -546,17 +560,51 @@ fn build_spec(
         );
     }
 
-    let finisher = merge_finisher(block.clone(), catalog.clone(), plan_cache.clone(), shape);
     let chan = chan.clone();
-    spec.stage_on(
-        "merge",
-        vec![0],
-        ConnectorSpec::OneToOne,
-        Arc::new(move |_ctx: &TaskContext| {
-            Box::new(CollectorOp::with_finisher(chan.clone(), finisher.clone()))
-                as Box<dyn Operator>
-        }),
-    )
+    if merge_streamable(block, shape) {
+        // No cross-batch state at merge: decode each frame's records and
+        // forward them immediately, so callers can consume merge output
+        // while the scan stage is still running.
+        let mapper = streaming_decode_mapper();
+        spec.stage_on(
+            "merge",
+            vec![0],
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(CollectorOp::streaming(chan.clone(), mapper.clone())) as Box<dyn Operator>
+            }),
+        )
+    } else {
+        let finisher = merge_finisher(block.clone(), catalog.clone(), plan_cache.clone(), shape);
+        spec.stage_on(
+            "merge",
+            vec![0],
+            ConnectorSpec::OneToOne,
+            Arc::new(move |_ctx: &TaskContext| {
+                Box::new(CollectorOp::with_finisher(chan.clone(), finisher.clone()))
+                    as Box<dyn Operator>
+            }),
+        )
+    }
+}
+
+/// Per-batch mapper for the streaming merge collector: strips the
+/// `{s, r}` exchange encoding and counts merge rows. Stateless, so it
+/// may legally run once per frame rather than once per invocation.
+fn streaming_decode_mapper() -> idea_hyracks::collector::Finisher {
+    Arc::new(move |rows: Vec<Value>, tctx: &TaskContext| {
+        if let Some(m) = tctx.cluster.metrics() {
+            m.counter(names::QUERY_MERGE_ROWS).add(rows.len() as u64);
+        }
+        rows.into_iter()
+            .map(|rec| {
+                let obj = rec
+                    .as_object()
+                    .ok_or_else(|| HyracksError::Operator("malformed merge record".into()))?;
+                Ok(obj.get(ROW_FIELD).cloned().unwrap_or(Value::Missing))
+            })
+            .collect::<idea_hyracks::Result<_>>()
+    })
 }
 
 #[derive(Debug)]
@@ -631,12 +679,47 @@ impl ParallelRuntime {
             chan.drain();
             return Err(runtime_err(e));
         }
-        let rows = chan.recv_timeout(RESULT_TIMEOUT).map_err(runtime_err)?;
+        let rows = chan.recv_all(RESULT_TIMEOUT).map_err(runtime_err)?;
         if let Some(m) = self.cluster.metrics() {
             m.counter(names::QUERY_PARALLEL_INVOCATIONS).inc();
             m.histogram(names::QUERY_PARALLEL_LATENCY).record(started.elapsed());
         }
         Ok(rows)
+    }
+
+    /// Runs `block` as a partitioned job whose merge output is consumed
+    /// incrementally. `None`: not eligible for *streaming* parallel
+    /// execution (the caller picks another strategy); `Some(Err)`: the
+    /// invocation could not be started.
+    pub(crate) fn execute_block_stream(
+        &self,
+        block: &Arc<SelectBlock>,
+        catalog: &Arc<Catalog>,
+        plan_cache: &Arc<PlanCache>,
+        params: &HashMap<String, Value>,
+    ) -> Option<Result<ParallelStream>> {
+        let plan = {
+            let mut ctx = ExecContext::with_plan_cache(catalog.clone(), plan_cache.clone());
+            ctx.plan_for(block).ok()?
+        };
+        let shape = parallel_shape(block, &plan, catalog, &self.cluster)?;
+        if !merge_streamable(block, shape) {
+            return None;
+        }
+        let (job, chan) = self.deployed_job(block, shape, catalog, plan_cache);
+        let param = Value::Object(params.iter().map(|(k, v)| (k.clone(), v.clone())).collect());
+        let started = Instant::now();
+        let handle = match self.cluster.invoke_deployed(job, param) {
+            Ok(h) => h,
+            Err(e) => return Some(Err(runtime_err(e))),
+        };
+        Some(Ok(ParallelStream {
+            chan,
+            handle: Some(handle),
+            cluster: self.cluster.clone(),
+            started,
+            done: false,
+        }))
     }
 
     /// The predeployed job for `block`, deploying (or redeploying after
@@ -685,6 +768,69 @@ impl Drop for ParallelRuntime {
         let cache = self.cache.get_mut();
         for (_, job) in cache.jobs.drain() {
             self.cluster.undeploy_job(job.id);
+        }
+    }
+}
+
+/// A live parallel invocation consumed batch-by-batch: the caller pulls
+/// merge output through the [`ResultChannel`] while scan tasks are still
+/// running, and the job handle is joined when the stream ends.
+///
+/// Failure semantics: an upstream task failure still closes the merge
+/// collector (workers drain and propagate EOS), so a failed invocation
+/// can deliver a *truncated* stream followed by `End`. The handle join
+/// at end-of-stream turns that into an error — consumers see the
+/// failure after the last batch rather than silently-short results.
+pub(crate) struct ParallelStream {
+    chan: Arc<ResultChannel>,
+    handle: Option<JobHandle>,
+    cluster: Arc<Cluster>,
+    started: Instant,
+    done: bool,
+}
+
+impl ParallelStream {
+    /// The next batch of merge output, or `None` once the invocation has
+    /// completed successfully.
+    pub(crate) fn next_batch(&mut self) -> Result<Option<Vec<Value>>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.chan.recv_msg(RESULT_TIMEOUT) {
+            Ok(ResultMsg::Batch(rows)) => Ok(Some(rows)),
+            Ok(ResultMsg::End) => {
+                self.done = true;
+                if let Some(h) = self.handle.take() {
+                    h.join().map_err(runtime_err)?;
+                }
+                if let Some(m) = self.cluster.metrics() {
+                    m.counter(names::QUERY_PARALLEL_INVOCATIONS).inc();
+                    m.histogram(names::QUERY_PARALLEL_LATENCY).record(self.started.elapsed());
+                }
+                Ok(None)
+            }
+            Err(e) => {
+                self.done = true;
+                if let Some(h) = self.handle.take() {
+                    // Prefer the job's own failure over the channel error.
+                    h.join().map_err(runtime_err)?;
+                }
+                Err(runtime_err(e))
+            }
+        }
+    }
+}
+
+impl Drop for ParallelStream {
+    fn drop(&mut self) {
+        if !self.done {
+            // Abandoned mid-stream: wait the invocation out, then clear
+            // its leftover messages so the channel (shared by the cached
+            // deployed job) starts the next invocation empty.
+            if let Some(h) = self.handle.take() {
+                let _ = h.join();
+            }
+            self.chan.drain();
         }
     }
 }

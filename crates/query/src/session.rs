@@ -38,8 +38,108 @@ use crate::exec::{eval_block, Env, ExecContext, ExecStats, PlanCache};
 use crate::expr::eval_expr;
 use crate::parallel::ParallelRuntime;
 use crate::parser::parse_statements;
+use crate::stream::{scan_streamable, RowStream, ScanStream, DEFAULT_BATCH_SIZE};
 use crate::udf::FunctionDef;
 use crate::Result;
+
+/// Builder for a [`Session`]: the one place a caller states how the
+/// session should execute before it exists, replacing the pre-redesign
+/// pattern of mutating a shared session through ad-hoc knobs.
+///
+/// ```
+/// use idea_query::{Catalog, ExecMode, SessionConfig};
+///
+/// let catalog = Catalog::new(2);
+/// let session = SessionConfig::new()
+///     .mode(ExecMode::Sequential)
+///     .result_batch_size(64)
+///     .tenant("analytics")
+///     .build(catalog);
+/// assert_eq!(session.tenant(), Some("analytics"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    mode: ExecMode,
+    params: HashMap<String, Value>,
+    tenant: Option<String>,
+    batch_size: usize,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            mode: ExecMode::Sequential,
+            params: HashMap::new(),
+            tenant: None,
+            batch_size: DEFAULT_BATCH_SIZE,
+            plan_cache: None,
+        }
+    }
+}
+
+impl SessionConfig {
+    pub fn new() -> SessionConfig {
+        SessionConfig::default()
+    }
+
+    /// Initial execution mode (default: [`ExecMode::Sequential`]).
+    pub fn mode(mut self, mode: ExecMode) -> SessionConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Pre-binds a `$name` prepared-statement parameter.
+    pub fn param(mut self, name: impl Into<String>, value: Value) -> SessionConfig {
+        self.params.insert(name.into(), value);
+        self
+    }
+
+    /// Tags the session with a tenant id (used by the serving layer's
+    /// per-tenant admission control and metrics).
+    pub fn tenant(mut self, tenant: impl Into<String>) -> SessionConfig {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Target rows per [`RowStream`] batch (default
+    /// [`DEFAULT_BATCH_SIZE`]; clamped to ≥ 1).
+    pub fn result_batch_size(mut self, n: usize) -> SessionConfig {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Shares a compiled-plan cache with other sessions (a server's
+    /// session pool passes one cache so every connection reuses plans).
+    pub fn shared_plan_cache(mut self, cache: Arc<PlanCache>) -> SessionConfig {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Builds a sequential-only session (no cluster attached).
+    pub fn build(self, catalog: Arc<Catalog>) -> Session {
+        self.finish(catalog, None)
+    }
+
+    /// Builds a session that can run eligible queries as partitioned
+    /// jobs on `cluster`.
+    pub fn build_on(self, catalog: Arc<Catalog>, cluster: Arc<Cluster>) -> Session {
+        self.finish(catalog, Some(cluster))
+    }
+
+    fn finish(self, catalog: Arc<Catalog>, cluster: Option<Arc<Cluster>>) -> Session {
+        Session {
+            catalog,
+            plan_cache: self.plan_cache.unwrap_or_default(),
+            params: Mutex::new(self.params),
+            mode: Mutex::new(self.mode),
+            parallel: cluster.map(ParallelRuntime::new),
+            last_stats: Mutex::new(ExecStats::default()),
+            tenant: self.tenant,
+            batch_size: self.batch_size,
+        }
+    }
+}
 
 /// Result of executing one statement.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +186,8 @@ pub struct Session {
     mode: Mutex<ExecMode>,
     parallel: Option<ParallelRuntime>,
     last_stats: Mutex<ExecStats>,
+    tenant: Option<String>,
+    batch_size: usize,
 }
 
 impl std::fmt::Debug for Session {
@@ -98,29 +200,32 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
-    /// A sequential-only session (no cluster attached).
+    /// A sequential-only session (no cluster attached) with default
+    /// configuration. Use [`SessionConfig`] to set anything up front.
     pub fn new(catalog: Arc<Catalog>) -> Session {
-        Session {
-            catalog,
-            plan_cache: PlanCache::new(),
-            params: Mutex::new(HashMap::new()),
-            mode: Mutex::new(ExecMode::Sequential),
-            parallel: None,
-            last_stats: Mutex::new(ExecStats::default()),
-        }
+        SessionConfig::default().build(catalog)
     }
 
     /// A session that *can* run queries as partitioned jobs on
     /// `cluster`. Starts in [`ExecMode::Sequential`]; opt in with
-    /// [`Session::set_mode`].
+    /// [`Session::set_mode`] or build via
+    /// [`SessionConfig::mode`] + [`SessionConfig::build_on`].
     pub fn with_cluster(catalog: Arc<Catalog>, cluster: Arc<Cluster>) -> Session {
-        let mut s = Session::new(catalog);
-        s.parallel = Some(ParallelRuntime::new(cluster));
-        s
+        SessionConfig::default().build_on(catalog, cluster)
     }
 
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
+    }
+
+    /// The tenant id this session was built with, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// Target rows per [`RowStream`] batch for this session.
+    pub fn result_batch_size(&self) -> usize {
+        self.batch_size
     }
 
     pub fn mode(&self) -> ExecMode {
@@ -163,6 +268,72 @@ impl Session {
             Some(StatementResult::Value(v)) if results.is_empty() => Ok(v),
             _ => Err(QueryError::Invalid("expected a single query".into())),
         }
+    }
+
+    /// Parses a single query and returns its result as a [`RowStream`].
+    ///
+    /// Streamable blocks (see [`crate::stream`]) evaluate lazily — only
+    /// one batch of rows is ever materialized at a time; on a parallel
+    /// session, eligible blocks stream live from the merge collector of
+    /// a partitioned job. Everything else falls back to the
+    /// materializing evaluator and re-chunks the finished result, so
+    /// this is total over the same query set as [`Session::query`].
+    pub fn query_stream(&self, text: &str) -> Result<RowStream> {
+        let mut stmts = parse_statements(text)?;
+        let stmt = match (stmts.pop(), stmts.is_empty()) {
+            (Some(s), true) => s,
+            _ => return Err(QueryError::Invalid("expected a single query".into())),
+        };
+        self.stream_statement(&stmt)
+    }
+
+    /// Streams an already-parsed query statement. This is the entry
+    /// point for servers that cache parsed statements: reusing the same
+    /// AST keeps block ids stable, which is what makes a [shared plan
+    /// cache](SessionConfig::shared_plan_cache) hit across connections.
+    pub fn stream_statement(&self, stmt: &Statement) -> Result<RowStream> {
+        let Statement::Query(e) = stmt else {
+            return Err(QueryError::Invalid("expected a single query".into()));
+        };
+        let Expr::Subquery(block) = e else {
+            // A bare expression produces one row.
+            let mut ctx = self.fresh_context();
+            let v = eval_expr(e, &Env::new(), &mut ctx)?;
+            self.finish(ctx);
+            return Ok(RowStream::materialized(vec![v], self.batch_size));
+        };
+        let block = block.clone();
+
+        if self.mode() == ExecMode::Parallel {
+            if let Some(rt) = &self.parallel {
+                let params = self.params.lock().clone();
+                match rt.execute_block_stream(&block, &self.catalog, &self.plan_cache, &params) {
+                    Some(Ok(stream)) => return Ok(RowStream::parallel(stream, self.batch_size)),
+                    Some(Err(err)) => {
+                        if let Some(m) = rt.cluster().metrics() {
+                            m.counter(names::QUERY_PARALLEL_FALLBACKS).inc();
+                        }
+                        log_fallback(&err);
+                    }
+                    None => {} // not eligible for streaming parallel execution
+                }
+            }
+        }
+
+        let mut ctx = self.fresh_context();
+        let plan = ctx.plan_for(&block)?;
+        if scan_streamable(&block, &plan) {
+            return Ok(RowStream::scan(ScanStream::new(block, ctx, self.batch_size)?));
+        }
+        // Not streamable: materialize (possibly via the parallel path,
+        // which handles sorts/groups at the merge stage) and re-chunk.
+        drop(ctx);
+        let v = self.run_query_expr(e)?;
+        let rows = match v {
+            Value::Array(rows) => rows,
+            other => vec![other],
+        };
+        Ok(RowStream::materialized(rows, self.batch_size))
     }
 
     /// A statement-scoped execution context: shares the session's plan

@@ -663,11 +663,66 @@ fn session_params_feed_prepared_statements() {
 }
 
 #[test]
-fn deprecated_free_functions_still_work() {
-    #[allow(deprecated)]
-    {
-        let c = setup_words(1);
-        let v = idea_query::run_query(&c, "SELECT VALUE count(*) FROM SensitiveWords w").unwrap();
-        assert_eq!(v.as_array().unwrap()[0], Value::Int(3));
+fn session_config_builder_applies_up_front() {
+    let c = setup_words(1);
+    let session = idea_query::SessionConfig::new()
+        .tenant("t1")
+        .result_batch_size(2)
+        .param("ctry", Value::str("US"))
+        .build(c);
+    assert_eq!(session.tenant(), Some("t1"));
+    assert_eq!(session.result_batch_size(), 2);
+    let v = session
+        .query(r#"SELECT VALUE w.word FROM SensitiveWords w WHERE w.country = $ctry"#)
+        .unwrap();
+    assert_eq!(v.as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn row_stream_matches_materialized_query() {
+    let c = setup_words(1);
+    let session = idea_query::SessionConfig::new().result_batch_size(1).build(c);
+    for q in [
+        "SELECT VALUE w.word FROM SensitiveWords w",
+        r#"SELECT VALUE w.word FROM SensitiveWords w WHERE w.country = "US""#,
+        // Not scan-streamable (ORDER BY): must fall back, same rows.
+        "SELECT VALUE w.word FROM SensitiveWords w ORDER BY w.word",
+        "SELECT w.country AS c, count(*) AS n FROM SensitiveWords w GROUP BY w.country",
+    ] {
+        let materialized = session.query(q).unwrap();
+        let streamed = session.query_stream(q).unwrap().collect_value().unwrap();
+        assert_eq!(streamed, materialized, "query: {q}");
     }
+}
+
+#[test]
+fn scan_stream_is_lazy_and_limit_stops_early() {
+    let c = setup_words(1);
+    let session = idea_query::SessionConfig::new().result_batch_size(1).build(c.clone());
+    let mut stream = session.query_stream("SELECT VALUE w.word FROM SensitiveWords w").unwrap();
+    assert!(stream.is_streaming());
+    let mut rows = 0;
+    while let Some(b) = stream.next_batch().unwrap() {
+        rows += b.len();
+    }
+    assert_eq!(rows, 3);
+    // Never more than one output batch resident at a time.
+    assert!(stream.peak_resident() <= 1, "peak {}", stream.peak_resident());
+
+    let mut limited = session
+        .query_stream("SELECT VALUE w.word FROM SensitiveWords w LIMIT 2")
+        .unwrap();
+    let mut rows = 0;
+    while let Some(b) = limited.next_batch().unwrap() {
+        rows += b.len();
+    }
+    assert_eq!(rows, 2);
+
+    // Row-at-a-time iteration sees the same rows.
+    let collected: Vec<_> = session
+        .query_stream("SELECT VALUE w.word FROM SensitiveWords w")
+        .unwrap()
+        .map(Result::unwrap)
+        .collect();
+    assert_eq!(collected.len(), 3);
 }

@@ -1,0 +1,30 @@
+//! # idea-serve — the network SQL++ frontend
+//!
+//! Serves an [`IngestionEngine`](idea_core::IngestionEngine) over TCP:
+//! a length-prefixed frame protocol carries SQL++ text in and streamed
+//! ADM result frames out (see [`protocol`] for the wire format).
+//!
+//! The server ([`Server`]) is built on blocking `std::net` I/O:
+//! acceptor threads feed per-connection reader threads, which hand
+//! admitted requests to a sized pool of worker sessions sharing one
+//! plan cache. Before any request executes it passes the per-tenant
+//! [`AdmissionController`] — token-bucket rate limits, bounded queueing
+//! with backpressure, and concurrency caps; shed requests get a
+//! 429-style error frame with a stable [`ErrorCode`](idea_core::ErrorCode)
+//! instead of a hung or dropped connection.
+//!
+//! Results stream: a query's rows leave the server one
+//! [`RowStream`](idea_query::RowStream) batch at a time and are never
+//! materialized server-side when the plan is streamable.
+//!
+//! [`Client`] is the matching blocking client.
+
+pub mod admission;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use admission::{AdmissionConfig, AdmissionController, Permit, RateLimit};
+pub use client::{Client, QuerySummary};
+pub use protocol::{read_frame, write_frame, Frame, MAX_FRAME};
+pub use server::{Server, ServerConfig};

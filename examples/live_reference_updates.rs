@@ -24,9 +24,10 @@ fn slow_feed(n: i64, per_second: f64) -> AdapterFactory {
 }
 
 fn run(engine: &IngestionEngine, name: &str, model: ComputingModel) -> (u64, usize) {
+    let session = engine.new_session(SessionConfig::new());
     // Reset the keyword list: "train" is NOT sensitive yet.
-    engine.session().run_script(r#"DELETE FROM SensitiveWords w;"#).unwrap();
-    engine.session().run_script(r#"DELETE FROM Tweets t;"#).unwrap();
+    session.run_script(r#"DELETE FROM SensitiveWords w;"#).unwrap();
+    session.run_script(r#"DELETE FROM Tweets t;"#).unwrap();
 
     let spec = FeedSpec::new(name, "Tweets", slow_feed(200, 400.0))
         .with_function("tweetSafetyCheck")
@@ -37,16 +38,14 @@ fn run(engine: &IngestionEngine, name: &str, model: ComputingModel) -> (u64, usi
     // Mid-feed, the reference data changes: "train" becomes sensitive
     // for DE (an analyst reacting to events, §3.3's UPSERT path).
     std::thread::sleep(std::time::Duration::from_millis(150));
-    engine
-        .session()
+    session
         .run_script(
             r#"UPSERT INTO SensitiveWords ([{"wid": 1, "country": "DE", "word": "train"}]);"#,
         )
         .unwrap();
 
     let report = handle.wait().unwrap();
-    let reds = engine
-        .session()
+    let reds = session
         .query(r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#)
         .unwrap();
     (report.records_stored, reds.as_array().unwrap().len())
@@ -55,7 +54,7 @@ fn run(engine: &IngestionEngine, name: &str, model: ComputingModel) -> (u64, usi
 fn main() {
     let engine = IngestionEngine::with_nodes(2);
     engine
-        .session()
+        .new_session(SessionConfig::new())
         .run_script(
             r#"
         CREATE TYPE TweetType AS OPEN { id: int64, text: string };

@@ -52,7 +52,7 @@ fn main() {
     // The paper's Figure 9 analytical query — over already-enriched data,
     // so no UDF evaluation at query time.
     let result = engine
-        .session()
+        .new_session(SessionConfig::new())
         .query(
             r#"SELECT t.country Country, count(t) Num
            FROM Tweets t

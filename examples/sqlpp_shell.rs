@@ -1,5 +1,11 @@
-//! A minimal interactive SQL++ shell over the engine — type DDL, DML,
-//! queries, and feed statements against an in-process cluster.
+//! An interactive SQL++ shell speaking the serve wire protocol over a
+//! real TCP connection.
+//!
+//! With no arguments it starts an in-process 2-node engine, serves it
+//! on an ephemeral localhost port, and connects to itself; pass an
+//! address (`host:port`) to connect to an already-running server
+//! instead. Either way every statement travels the full network path:
+//! framed request out, streamed result batches back.
 //!
 //! Run with: `cargo run --example sqlpp_shell`
 //! Then try:
@@ -16,8 +22,23 @@ use std::io::{BufRead, Write};
 use idea::prelude::*;
 
 fn main() {
-    let engine = IngestionEngine::with_nodes(2);
-    println!("idea SQL++ shell — 2-node in-process cluster. Statements end with ';'.");
+    // Keep the in-process server (when used) alive for the whole REPL.
+    let mut _local: Option<(std::sync::Arc<IngestionEngine>, Server)> = None;
+    let addr = match std::env::args().nth(1) {
+        Some(addr) => addr,
+        None => {
+            let engine = IngestionEngine::with_nodes(2);
+            let server = Server::start(engine.clone(), ServerConfig::default())
+                .expect("start in-process server");
+            let addr = server.local_addr().to_string();
+            println!("serving an in-process 2-node cluster on {addr}");
+            _local = Some((engine, server));
+            addr
+        }
+    };
+
+    let mut client = Client::connect(&addr, "shell").expect("connect");
+    println!("idea SQL++ shell — connected to {addr}. Statements end with ';'.");
     println!("Ctrl-D to exit.\n");
 
     let stdin = std::io::stdin();
@@ -43,39 +64,15 @@ fn main() {
             continue;
         }
         let statement = std::mem::take(&mut buffer);
-        match engine.run_sqlpp(&statement) {
-            Ok(outcomes) => {
-                for outcome in outcomes {
-                    match outcome {
-                        ExecOutcome::Statement(idea::query::StatementResult::Value(v)) => {
-                            match v.as_array() {
-                                Some(rows) => {
-                                    for row in rows {
-                                        println!("{row}");
-                                    }
-                                    println!("({} row(s))", rows.len());
-                                }
-                                None => println!("{v}"),
-                            }
-                        }
-                        ExecOutcome::Statement(idea::query::StatementResult::Count(n)) => {
-                            println!("OK, {n} record(s)");
-                        }
-                        ExecOutcome::Statement(idea::query::StatementResult::Ok) => {
-                            println!("OK");
-                        }
-                        ExecOutcome::FeedCreated => println!("feed created"),
-                        ExecOutcome::FeedConnected => println!("feed connected"),
-                        ExecOutcome::FeedStarted => println!("feed started"),
-                        ExecOutcome::FeedStopped(report) => {
-                            println!(
-                                "feed stopped: {} records in {:?} ({:.0} rec/s)",
-                                report.records_stored, report.elapsed, report.throughput
-                            );
-                        }
-                    }
-                }
+        // Stream: each batch prints as it arrives off the socket.
+        let summary = client.query_streamed(&statement, |batch| {
+            for row in batch {
+                println!("{row}");
             }
+        });
+        match summary {
+            Ok(s) => println!("({} row(s) in {} batch(es))", s.rows, s.batches),
+            Err(e) if e.is_shed() => eprintln!("shed: {e} — retry with backoff"),
             Err(e) => eprintln!("error: {e}"),
         }
     }

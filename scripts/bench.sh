@@ -10,6 +10,10 @@
 #    flush/merge on the writer path; writes BENCH_storage.json and
 #    fails if the merge-point p99 put reduction is below 5x or the
 #    ingest speedup under concurrent probes is below 1.3x.
+#  * serve_bench — concurrent TCP clients against the network SQL++
+#    frontend; writes BENCH_serve.json and fails on any wrong result,
+#    or (full runs) if the 1k-connection tier leaves requests
+#    unanswered.
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   shrink iteration counts / dataset sizes for CI
@@ -25,3 +29,4 @@ fi
 cargo run --release --offline -p idea-bench --bin ingest_bench -- ${args[@]+"${args[@]}"}
 cargo run --release --offline -p idea-bench --bin query_bench -- ${args[@]+"${args[@]}"}
 cargo run --release --offline -p idea-bench --bin storage_bench -- ${args[@]+"${args[@]}"}
+cargo run --release --offline -p idea-bench --bin serve_bench -- ${args[@]+"${args[@]}"}

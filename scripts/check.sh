@@ -14,5 +14,9 @@ run cargo test --offline -q
 run cargo test --offline --workspace -q
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
+# Public-API docs must build clean: broken intra-doc links or missing
+# docs on the facade are release blockers for the serving layer.
+echo "==> cargo doc (warnings as errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p idea -p idea-serve -p idea-query -p idea-core
 
 echo "==> all checks passed"

@@ -19,6 +19,8 @@
 //! * [`ft`] — the fault-tolerance subsystem (deterministic fault
 //!   injection, per-stage error policies, dead-letter capture,
 //!   ingestion checkpoints);
+//! * [`serve`] — the network SQL++ frontend: TCP server with streamed
+//!   results, per-tenant admission control, and a blocking client;
 //! * [`workload`] — synthetic tweets, reference data and the paper's
 //!   eight enrichment scenarios;
 //! * [`clustersim`] — discrete-event cluster model for scale-out studies.
@@ -41,6 +43,7 @@ pub use idea_ft as ft;
 pub use idea_hyracks as hyracks;
 pub use idea_obs as obs;
 pub use idea_query as query;
+pub use idea_serve as serve;
 pub use idea_storage as storage;
 pub use idea_workload as workload;
 
@@ -49,12 +52,14 @@ pub use idea_workload as workload;
 pub mod prelude {
     pub use idea_adm::{Datatype, Value};
     pub use idea_core::{
-        ActiveFeedManager, Adapter, AdapterFactory, ComputingModel, ExecOutcome, FeedHandle,
-        FeedSpec, GeneratorAdapter, IngestError, IngestionEngine, IngestionReport, PipelineMode,
-        RateLimitedAdapter, SocketAdapter, VecAdapter,
+        ActiveFeedManager, Adapter, AdapterFactory, ComputingModel, Error, ErrorCode, ExecOutcome,
+        FeedHandle, FeedSpec, GeneratorAdapter, IngestError, IngestionEngine, IngestionReport,
+        PipelineMode, RateLimitedAdapter, SocketAdapter, VecAdapter,
     };
     pub use idea_ft::{
         ErrorPolicy, Fallback, Fault, FaultPlan, RestartPolicy, RetryPolicy, SupervisionSpec,
     };
     pub use idea_obs::{MetricsRegistry, MetricsScope, Snapshot};
+    pub use idea_query::{ExecMode, RowStream, Session, SessionConfig, StatementResult};
+    pub use idea_serve::{AdmissionConfig, Client, RateLimit, Server, ServerConfig};
 }

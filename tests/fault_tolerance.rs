@@ -14,7 +14,7 @@ use idea::prelude::*;
 fn setup(nodes: usize) -> Arc<IngestionEngine> {
     let engine = IngestionEngine::with_nodes(nodes);
     engine
-        .session()
+        .new_session(SessionConfig::new())
         .run_script(
             r#"
         CREATE TYPE TweetType AS OPEN { id: int64, text: string };
@@ -75,7 +75,10 @@ fn poison_records_land_in_queryable_dead_letter_dataset() {
     // The dead letters are real catalog data, queryable with SQL++.
     let dlq = engine.catalog().dataset("pf_dead_letters").unwrap();
     assert_eq!(dlq.len(), 2);
-    let v = engine.session().query("SELECT VALUE d.stage FROM pf_dead_letters d").unwrap();
+    let v = engine
+        .new_session(SessionConfig::new())
+        .query("SELECT VALUE d.stage FROM pf_dead_letters d")
+        .unwrap();
     let stages = v.as_array().unwrap();
     assert_eq!(stages.len(), 2);
     assert!(stages.iter().all(|s| s.as_str() == Some("parse")), "{stages:?}");
@@ -216,7 +219,7 @@ fn chaos_six_node_feed_survives_scripted_faults() {
 
     // Dead letters carry the feed/stage metadata for SQL++ triage.
     let v = engine
-        .session()
+        .new_session(SessionConfig::new())
         .query(r#"SELECT VALUE d.feed FROM chaos_dead_letters d WHERE d.stage = "parse""#)
         .unwrap();
     assert_eq!(v.as_array().unwrap().len(), poisons as usize);

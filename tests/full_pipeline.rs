@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use idea::adm::Value;
 use idea::ingestion::{ComputingModel, FeedSpec, IngestionEngine, PipelineMode, VecAdapter};
+use idea::query::SessionConfig;
 use idea::workload::scenarios::{setup_scenario, setup_tweet_datasets};
 use idea::workload::{ScenarioKey, TweetGenerator, WorkloadScale};
 
@@ -58,7 +59,7 @@ fn enriched_data_supports_analytics_without_re_enrichment() {
     // Option 2 of §4: the enrichment is persisted, so analytical queries
     // read it directly.
     let v = engine
-        .session()
+        .new_session(SessionConfig::new())
         .query(
             "SELECT r AS rating, count(*) AS n
          FROM Tweets t LET r = t.safety_rating[0]
@@ -89,7 +90,7 @@ fn per_record_and_per_batch_agree_on_static_reference_data() {
             .with_model(model);
         engine.start_feed(spec).unwrap().wait().unwrap();
         let mut reds: Vec<i64> = engine
-            .session()
+            .new_session(SessionConfig::new())
             .query(r#"SELECT VALUE t.id FROM Tweets t WHERE t.safety_check_flag = "Red""#)
             .unwrap()
             .as_array()
@@ -136,7 +137,7 @@ fn static_and_decoupled_store_identical_enrichment() {
             .with_mode(mode);
         engine.start_feed(spec).unwrap().wait().unwrap();
         let mut rows: Vec<(i64, String)> = engine
-            .session()
+            .new_session(SessionConfig::new())
             .query("SELECT VALUE [t.id, t.safety_rating[0]] FROM Tweets t")
             .unwrap()
             .as_array()

@@ -151,6 +151,33 @@ fn undeploy_reaps_parked_workers() {
 }
 
 #[test]
+fn deferred_undeploy_removes_immediately_and_drains_workers() {
+    let cluster = Cluster::with_nodes(3);
+    let id = cluster.deploy_job(emit_collect_spec(
+        Arc::new(Mutex::new(Vec::new())),
+        Arc::new(Mutex::new(Vec::new())),
+    ));
+    cluster.invoke_deployed(id, Value::Int(1)).unwrap().join().unwrap();
+
+    // The entry is gone synchronously — no new invocation can start —
+    // but the joins ride on a reaper thread, so the worker count only
+    // has to *drain* to zero, not be zero on return.
+    assert!(cluster.undeploy_job_deferred(id));
+    assert!(!cluster.undeploy_job_deferred(id));
+    assert!(cluster.invoke_deployed(id, Value::Int(2)).is_err());
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while cluster.deployed_jobs().resident_workers() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(
+        cluster.deployed_jobs().resident_workers(),
+        0,
+        "deferred undeploy must still reap every worker"
+    );
+}
+
+#[test]
 fn kill_node_fails_invocations_and_teardown_stays_clean() {
     let cluster = Cluster::with_nodes(3);
     let out = Arc::new(Mutex::new(Vec::new()));

@@ -69,6 +69,25 @@ impl TypeTag {
             _ => return None,
         })
     }
+
+    /// The canonical DDL spelling; `from_ddl_name(tag.ddl_name())` is
+    /// always `Some(tag)` (dataset metadata persists these names).
+    pub fn ddl_name(&self) -> &'static str {
+        match self {
+            TypeTag::Boolean => "boolean",
+            TypeTag::Int64 => "int64",
+            TypeTag::Double => "double",
+            TypeTag::String => "string",
+            TypeTag::DateTime => "datetime",
+            TypeTag::Duration => "duration",
+            TypeTag::Point => "point",
+            TypeTag::Rectangle => "rectangle",
+            TypeTag::Circle => "circle",
+            TypeTag::Array => "array",
+            TypeTag::Object => "object",
+            TypeTag::Any => "any",
+        }
+    }
 }
 
 /// One required field of an open datatype.
@@ -182,5 +201,21 @@ mod tests {
         assert_eq!(TypeTag::from_ddl_name("int64"), Some(TypeTag::Int64));
         assert_eq!(TypeTag::from_ddl_name("STRING"), Some(TypeTag::String));
         assert_eq!(TypeTag::from_ddl_name("pointy"), None);
+        for tag in [
+            TypeTag::Boolean,
+            TypeTag::Int64,
+            TypeTag::Double,
+            TypeTag::String,
+            TypeTag::DateTime,
+            TypeTag::Duration,
+            TypeTag::Point,
+            TypeTag::Rectangle,
+            TypeTag::Circle,
+            TypeTag::Array,
+            TypeTag::Object,
+            TypeTag::Any,
+        ] {
+            assert_eq!(TypeTag::from_ddl_name(tag.ddl_name()), Some(tag));
+        }
     }
 }

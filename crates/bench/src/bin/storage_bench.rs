@@ -19,6 +19,12 @@
 //! ingest throughput under concurrent probes at least 1.3x the
 //! baseline.
 //!
+//! A fourth section (`"disk"`) benchmarks the durable-storage path:
+//! WAL on/off ingest throughput, a group-commit batch-size sweep over
+//! writer counts with fsync on every commit, and recovery time vs.
+//! ingested volume (manifest load + component open + WAL replay on a
+//! cold reopen, asserted lossless).
+//!
 //! `--smoke` (or `IDEA_BENCH_SMOKE=1`) shrinks the record count so CI
 //! finishes in seconds.
 
@@ -30,6 +36,7 @@ use idea_adm::{Datatype, TypeTag, Value};
 use idea_storage::dataset::{Dataset, DatasetConfig};
 use idea_storage::lsm::{LsmConfig, MergePolicyConfig};
 use idea_storage::maintenance::MaintenanceScheduler;
+use idea_storage::{DurabilityConfig, FsyncPolicy, TempDir};
 
 /// Small memtable budget so seal/flush boundaries land well inside the
 /// p99 window (roughly one seal per ~50 puts at this record size).
@@ -119,6 +126,7 @@ fn run_ingest(
                 memtable_budget_bytes: MEMTABLE_BUDGET,
                 max_sealed_memtables: MAX_SEALED,
                 merge_policy: policy,
+                durability: DurabilityConfig::default(),
             },
             skip_validation: false,
         },
@@ -211,6 +219,145 @@ fn run_ingest(
     }
 }
 
+/// One durable-mode ingest run: `writers` threads upsert into a
+/// WAL-logged, on-disk dataset rooted in a fresh tmpdir.
+struct DiskRunResult {
+    writers: usize,
+    wal: bool,
+    fsync: &'static str,
+    records: usize,
+    ingest_ms: f64,
+    records_per_sec: f64,
+    /// Achieved group-commit batch size (commits per leader flush).
+    group_commit_batch: f64,
+    wal_bytes: u64,
+    flushes: u64,
+}
+
+fn disk_config(wal: bool, fsync: FsyncPolicy) -> DatasetConfig {
+    DatasetConfig {
+        lsm: LsmConfig {
+            // Larger than the in-memory runs: disk runs measure the
+            // logging path, not seal churn.
+            memtable_budget_bytes: 256 * 1024,
+            max_sealed_memtables: 4,
+            merge_policy: MergePolicyConfig::Prefix {
+                max_mergable_entries: 1 << 20,
+                max_tolerance_components: 6,
+            },
+            durability: DurabilityConfig { wal, fsync, ..DurabilityConfig::default() },
+        },
+        skip_validation: false,
+    }
+}
+
+fn run_disk_ingest(
+    wal: bool,
+    fsync: FsyncPolicy,
+    fsync_name: &'static str,
+    records: usize,
+    writers: usize,
+    scheduler: &Arc<MaintenanceScheduler>,
+) -> DiskRunResult {
+    let tmp = TempDir::new("bench-disk");
+    let ds = Arc::new(
+        Dataset::open_durable("Tweets", tweet_type(), "id", disk_config(wal, fsync), tmp.path())
+            .expect("open durable bench dataset"),
+    );
+    ds.attach_maintenance(Arc::clone(scheduler));
+    let per = records / writers;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            let ds = Arc::clone(&ds);
+            s.spawn(move || {
+                for i in 0..per {
+                    ds.upsert(tweet((w * per + i) as i64)).unwrap();
+                }
+            });
+        }
+    });
+    let ingest = t0.elapsed();
+    scheduler.drain();
+    let wal_stats = ds.wal_stats();
+    DiskRunResult {
+        writers,
+        wal,
+        fsync: fsync_name,
+        records: per * writers,
+        ingest_ms: ingest.as_secs_f64() * 1e3,
+        records_per_sec: (per * writers) as f64 / ingest.as_secs_f64(),
+        group_commit_batch: wal_stats
+            .map(|w| w.commits as f64 / w.flush_rounds.max(1) as f64)
+            .unwrap_or(0.0),
+        wal_bytes: wal_stats.map(|w| w.bytes_appended).unwrap_or(0),
+        flushes: ds.flush_count(),
+    }
+}
+
+struct RecoveryResult {
+    records: usize,
+    recovery_ms: u64,
+    replayed_records: u64,
+    components_loaded: u64,
+}
+
+/// Ingests `records`, drops the engine without a clean flush, reopens,
+/// and reports how long recovery (manifest + component opens + WAL
+/// replay) took. fsync stays off: the data never leaves the OS page
+/// cache, which is exactly the recovery-path cost we want to isolate.
+fn run_recovery(records: usize) -> RecoveryResult {
+    let tmp = TempDir::new("bench-recover");
+    let cfg = disk_config(true, FsyncPolicy::Never);
+    {
+        let ds = Dataset::open_durable("Tweets", tweet_type(), "id", cfg.clone(), tmp.path())
+            .expect("open durable bench dataset");
+        for i in 0..records as i64 {
+            ds.upsert(tweet(i)).unwrap();
+        }
+        // Dropped hot: the memtable tail exists only in the WAL.
+    }
+    let ds = Dataset::open_durable("Tweets", tweet_type(), "id", cfg, tmp.path())
+        .expect("reopen durable bench dataset");
+    assert_eq!(ds.len(), records, "recovery lost records");
+    let stats = ds.recovery_stats().expect("durable dataset has recovery stats");
+    RecoveryResult {
+        records,
+        recovery_ms: stats.millis,
+        replayed_records: stats.replayed_records,
+        components_loaded: stats.components_loaded,
+    }
+}
+
+fn json_disk_run(r: &DiskRunResult) -> String {
+    format!(
+        concat!(
+            "{{\"writers\": {}, \"wal\": {}, \"fsync\": \"{}\", \"records\": {}, ",
+            "\"ingest_ms\": {:.2}, \"records_per_sec\": {:.1}, ",
+            "\"group_commit_batch\": {:.2}, \"wal_bytes\": {}, \"flushes\": {}}}"
+        ),
+        r.writers,
+        r.wal,
+        r.fsync,
+        r.records,
+        r.ingest_ms,
+        r.records_per_sec,
+        r.group_commit_batch,
+        r.wal_bytes,
+        r.flushes,
+    )
+}
+
+fn json_recovery(r: &RecoveryResult) -> String {
+    format!(
+        concat!(
+            "{{\"records\": {}, \"recovery_ms\": {}, ",
+            "\"replayed_records\": {}, \"components_loaded\": {}}}"
+        ),
+        r.records, r.recovery_ms, r.replayed_records, r.components_loaded,
+    )
+}
+
 fn json_run(r: &RunResult) -> String {
     format!(
         concat!(
@@ -266,7 +413,46 @@ fn main() {
         Some(&sched),
         records,
     );
+
+    // Disk mode: WAL on/off throughput, then a group-commit sweep over
+    // writer counts with the fsync-per-commit path engaged.
+    let disk_records = if smoke { 4_000 } else { 30_000 };
+    eprintln!("== durable storage ({disk_records} records on disk) ==");
+    let wal_on = run_disk_ingest(true, FsyncPolicy::Never, "never", disk_records, 1, &sched);
+    let wal_off = run_disk_ingest(false, FsyncPolicy::Never, "never", disk_records, 1, &sched);
+    let sweep: Vec<DiskRunResult> = [1usize, 4, 8]
+        .iter()
+        .map(|&w| {
+            run_disk_ingest(
+                true,
+                FsyncPolicy::Always,
+                "always",
+                if smoke { 2_000 } else { 8_000 },
+                w,
+                &sched,
+            )
+        })
+        .collect();
     sched.shutdown();
+    for r in [&wal_on, &wal_off].into_iter().chain(sweep.iter()) {
+        eprintln!(
+            "disk wal={:<5} fsync={:<6} writers={} {:>9.0} rec/s  group-commit batch {:>5.2}  ({} flushes)",
+            r.wal, r.fsync, r.writers, r.records_per_sec, r.group_commit_batch, r.flushes
+        );
+    }
+
+    // Recovery time as data volume grows.
+    let recovery: Vec<RecoveryResult> =
+        if smoke { vec![2_000, 4_000] } else { vec![10_000, 20_000, 40_000] }
+            .into_iter()
+            .map(run_recovery)
+            .collect();
+    for r in &recovery {
+        eprintln!(
+            "recovery {:>6} records: {:>5} ms  ({} replayed from WAL, {} components)",
+            r.records, r.recovery_ms, r.replayed_records, r.components_loaded
+        );
+    }
 
     for r in [&baseline, &prefix, &tiered] {
         eprintln!(
@@ -282,12 +468,27 @@ fn main() {
 
     let out = std::env::args().nth(1).filter(|a| a != "--smoke");
     let path = out.unwrap_or_else(|| "BENCH_storage.json".to_string());
+    let disk_json = format!(
+        concat!(
+            "{{\n",
+            "    \"wal_on\": {},\n",
+            "    \"wal_off\": {},\n",
+            "    \"group_commit_sweep\": [\n      {}\n    ],\n",
+            "    \"recovery\": [\n      {}\n    ]\n",
+            "  }}"
+        ),
+        json_disk_run(&wal_on),
+        json_disk_run(&wal_off),
+        sweep.iter().map(json_disk_run).collect::<Vec<_>>().join(",\n      "),
+        recovery.iter().map(json_recovery).collect::<Vec<_>>().join(",\n      "),
+    );
     let json = format!(
         concat!(
             "{{\n",
             "  \"smoke\": {},\n",
             "  \"memtable_budget_bytes\": {},\n",
             "  \"runs\": [\n    {},\n    {},\n    {}\n  ],\n",
+            "  \"disk\": {},\n",
             "  \"merge_point_p99_put_reduction\": {:.2},\n",
             "  \"ingest_speedup\": {:.2}\n",
             "}}\n"
@@ -297,6 +498,7 @@ fn main() {
         json_run(&baseline),
         json_run(&prefix),
         json_run(&tiered),
+        disk_json,
         p99_reduction,
         speedup,
     );

@@ -230,6 +230,38 @@ impl ActiveFeedManager {
                     .map_or(0, |ds| ds.partitions().iter().map(|p| f(p)).sum::<u64>() as i64)
             });
         }
+        if dataset.partitions()[0].is_durable() {
+            use idea_obs::names;
+            type DurableProbe = fn(&idea_storage::Dataset) -> u64;
+            for (metric, f) in [
+                (names::WAL_APPENDS, (|d| d.wal_stats().map_or(0, |w| w.appends)) as DurableProbe),
+                (names::WAL_COMMITS, |d| d.wal_stats().map_or(0, |w| w.commits)),
+                (names::WAL_FLUSH_ROUNDS, |d| d.wal_stats().map_or(0, |w| w.flush_rounds)),
+                (names::WAL_FSYNCS, |d| d.wal_stats().map_or(0, |w| w.fsyncs)),
+                (names::WAL_BYTES, |d| d.wal_stats().map_or(0, |w| w.bytes_appended)),
+                (names::WAL_SEGMENTS_RETIRED, |d| d.wal_stats().map_or(0, |w| w.segments_retired)),
+                (names::CACHE_HITS, |d| d.cache_stats().map_or(0, |c| c.hits)),
+                (names::CACHE_MISSES, |d| d.cache_stats().map_or(0, |c| c.misses)),
+                (names::CACHE_READ_ERRORS, |d| d.cache_stats().map_or(0, |c| c.read_errors)),
+                (names::RECOVERY_COMPONENTS, |d| {
+                    d.recovery_stats().map_or(0, |r| r.components_loaded)
+                }),
+                (names::RECOVERY_REPLAYED, |d| {
+                    d.recovery_stats().map_or(0, |r| r.replayed_records)
+                }),
+                (names::RECOVERY_TRUNCATED_BYTES, |d| {
+                    d.recovery_stats().map_or(0, |r| r.truncated_bytes)
+                }),
+                (names::RECOVERY_MILLIS, |d| d.recovery_stats().map_or(0, |r| r.millis)),
+                (names::STORAGE_IO_ERRORS, idea_storage::Dataset::io_error_count),
+            ] {
+                let weak = Arc::downgrade(&dataset);
+                self.registry.probe(format!("storage/{}/{metric}", spec.dataset), move || {
+                    weak.upgrade()
+                        .map_or(0, |ds| ds.partitions().iter().map(|p| f(p)).sum::<u64>() as i64)
+                });
+            }
+        }
 
         // Fault injection: fired-state lives here, so a fault fires once
         // per feed run no matter how many attempts replay its offset.
@@ -278,7 +310,16 @@ impl ActiveFeedManager {
         };
 
         let datatype = dataset.partitions()[0].datatype().clone();
-        let ckpt = Arc::new(CheckpointStore::new(spec.intake_nodes.len()));
+        // With a durable-storage root, checkpoints survive restarts: a
+        // re-started feed resumes from the last committed offsets
+        // instead of replaying the adapter from zero.
+        let ckpt = Arc::new(match self.catalog.storage_root() {
+            Some(root) => CheckpointStore::persistent(
+                spec.intake_nodes.len(),
+                root.join("checkpoints").join(format!("{}.ckpt", spec.name)),
+            ),
+            None => CheckpointStore::new(spec.intake_nodes.len()),
+        });
         let rt = Arc::new(FeedRuntime {
             spec: Arc::new(spec),
             catalog: self.catalog.clone(),

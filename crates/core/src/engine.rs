@@ -81,6 +81,19 @@ impl IngestionEngine {
         IngestionEngine::new(Cluster::with_nodes(n), Catalog::new(n))
     }
 
+    /// An `n`-node engine with a durable-storage root: datasets created
+    /// `WITH {"storage": "disk"}` persist under `root`, previously
+    /// persisted datasets are recovered before the engine serves its
+    /// first statement, and feed checkpoints survive restarts.
+    pub fn with_storage_root(
+        n: usize,
+        root: impl Into<std::path::PathBuf>,
+    ) -> Result<Arc<IngestionEngine>> {
+        let catalog = Catalog::new(n);
+        catalog.set_storage_root(root)?;
+        Ok(IngestionEngine::new(Cluster::with_nodes(n), catalog))
+    }
+
     pub fn cluster(&self) -> &Arc<Cluster> {
         &self.cluster
     }

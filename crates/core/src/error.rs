@@ -37,6 +37,10 @@ pub enum ErrorCode {
     InvalidRequest = 1004,
     /// Storage-layer failure.
     Storage = 2001,
+    /// Storage-layer disk I/O failure (WAL, component file, manifest).
+    StorageIo = 2002,
+    /// Persisted storage data failed a checksum or decode (corruption).
+    Corrupt = 2003,
     /// Dataflow (Hyracks) runtime failure.
     Runtime = 3001,
     /// Feed configuration/lifecycle misuse.
@@ -70,6 +74,8 @@ impl ErrorCode {
             1003 => ErrorCode::Eval,
             1004 => ErrorCode::InvalidRequest,
             2001 => ErrorCode::Storage,
+            2002 => ErrorCode::StorageIo,
+            2003 => ErrorCode::Corrupt,
             3001 => ErrorCode::Runtime,
             4001 => ErrorCode::Feed,
             4290 => ErrorCode::RateLimited,
@@ -90,6 +96,8 @@ impl ErrorCode {
             ErrorCode::Eval => "eval",
             ErrorCode::InvalidRequest => "invalid_request",
             ErrorCode::Storage => "storage",
+            ErrorCode::StorageIo => "storage_io",
+            ErrorCode::Corrupt => "corrupt",
             ErrorCode::Runtime => "runtime",
             ErrorCode::Feed => "feed",
             ErrorCode::RateLimited => "rate_limited",
@@ -173,11 +181,12 @@ impl From<QueryError> for Error {
 
 impl From<StorageError> for Error {
     fn from(e: StorageError) -> Error {
-        Error {
-            code: ErrorCode::Storage,
-            message: e.to_string(),
-            source: Some(Box::new(IngestError::Storage(e))),
-        }
+        let code = match &e {
+            StorageError::Io(_) => ErrorCode::StorageIo,
+            StorageError::Corrupt(_) => ErrorCode::Corrupt,
+            _ => ErrorCode::Storage,
+        };
+        Error { code, message: e.to_string(), source: Some(Box::new(IngestError::Storage(e))) }
     }
 }
 
@@ -296,6 +305,8 @@ mod tests {
             ErrorCode::Eval,
             ErrorCode::InvalidRequest,
             ErrorCode::Storage,
+            ErrorCode::StorageIo,
+            ErrorCode::Corrupt,
             ErrorCode::Runtime,
             ErrorCode::Feed,
             ErrorCode::RateLimited,
@@ -310,6 +321,19 @@ mod tests {
         assert_eq!(ErrorCode::from_u16(1), None);
         assert!(ErrorCode::RateLimited.is_shed());
         assert!(!ErrorCode::Eval.is_shed());
+    }
+
+    #[test]
+    fn storage_io_and_corruption_map_to_their_own_codes() {
+        let e: Error = StorageError::Io("fsync wal: disk full".into()).into();
+        assert_eq!(e.code(), ErrorCode::StorageIo);
+        assert_eq!(e.code().as_u16(), 2002);
+        let e: Error = StorageError::Corrupt("block 3 checksum mismatch".into()).into();
+        assert_eq!(e.code(), ErrorCode::Corrupt);
+        assert_eq!(e.code().as_u16(), 2003);
+        // Other storage failures keep the generic code.
+        let e: Error = StorageError::DuplicateKey("7".into()).into();
+        assert_eq!(e.code(), ErrorCode::Storage);
     }
 
     #[test]

@@ -19,18 +19,56 @@
 //! at-least-once delivery, made effectively exactly-once by the
 //! primary-key upserts in the storage job.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use idea_storage::persist::codec::crc32;
+
+/// Magic prefix of a persisted checkpoint file ("IDKP").
+const CKPT_MAGIC: u32 = 0x4944_4B50;
+
 /// Per-intake-partition record offsets: a `live` counter each adapter
 /// bumps as it emits, and a `committed` snapshot updated only at
-/// quiescent checkpoints.
+/// quiescent checkpoints. A store built with [`persistent`]
+/// (`Self::persistent`) additionally rewrites an on-disk file (crc'd,
+/// atomic tmp+rename) on every commit and reloads it on restart, so
+/// committed offsets survive a crash of the whole engine.
 #[derive(Debug)]
 pub struct CheckpointStore {
     live: Vec<AtomicU64>,
     committed: Vec<AtomicU64>,
     commits: AtomicU64,
+    /// When set, every commit atomically rewrites this file.
+    path: Option<PathBuf>,
+    save_errors: AtomicU64,
+}
+
+/// Reads a persisted checkpoint file. Missing, truncated, corrupt, or
+/// partition-count-mismatched files all yield `None` — a restart then
+/// begins at offset zero, which at-least-once delivery tolerates.
+fn load_checkpoint_file(path: &Path, partitions: usize) -> Option<Vec<u64>> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < 12 {
+        return None;
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_le_bytes(tail.try_into().ok()?);
+    if crc32(payload) != crc {
+        return None;
+    }
+    let magic = u32::from_le_bytes(payload[0..4].try_into().ok()?);
+    let n = u32::from_le_bytes(payload[4..8].try_into().ok()?) as usize;
+    if magic != CKPT_MAGIC || n != partitions || payload.len() != 8 + 8 * n {
+        return None;
+    }
+    Some(
+        payload[8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
 }
 
 impl CheckpointStore {
@@ -39,7 +77,56 @@ impl CheckpointStore {
             live: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
             committed: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
             commits: AtomicU64::new(0),
+            path: None,
+            save_errors: AtomicU64::new(0),
         }
+    }
+
+    /// A store backed by `path`: loads previously committed offsets (if
+    /// a valid file exists) and rewrites the file on every commit.
+    pub fn persistent(partitions: usize, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let store =
+            CheckpointStore { path: Some(path.clone()), ..CheckpointStore::new(partitions) };
+        if let Some(offsets) = load_checkpoint_file(&path, partitions) {
+            for (i, v) in offsets.iter().enumerate() {
+                store.live[i].store(*v, Ordering::Release);
+                store.committed[i].store(*v, Ordering::Release);
+            }
+        }
+        store
+    }
+
+    /// Where commits are persisted, if anywhere.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Commits that failed to reach disk (the commit itself still
+    /// succeeded in memory; a crash before the next successful save
+    /// replays from the previous on-disk offsets).
+    pub fn save_error_count(&self) -> u64 {
+        self.save_errors.load(Ordering::Acquire)
+    }
+
+    fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut payload = Vec::with_capacity(8 + 8 * self.committed.len() + 4);
+        payload.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        payload.extend_from_slice(&(self.committed.len() as u32).to_le_bytes());
+        for c in &self.committed {
+            payload.extend_from_slice(&c.load(Ordering::Acquire).to_le_bytes());
+        }
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &payload)?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
     }
 
     pub fn partitions(&self) -> usize {
@@ -80,6 +167,11 @@ impl CheckpointStore {
             committed.store(live.load(Ordering::Acquire), Ordering::Release);
         }
         self.commits.fetch_add(1, Ordering::Release);
+        if let Some(path) = &self.path {
+            if self.save(path).is_err() {
+                self.save_errors.fetch_add(1, Ordering::Release);
+            }
+        }
     }
 
     /// Number of commits so far (the `faults/checkpoints` counter's
@@ -208,6 +300,38 @@ mod tests {
         s.note_emitted(0);
         s.rewind();
         assert_eq!(s.live(0), 2, "rewind drops uncommitted emissions");
+    }
+
+    #[test]
+    fn persistent_store_survives_restart() {
+        let tmp = idea_storage::TempDir::new("ckpt");
+        let path = tmp.path().join("feed.ckpt");
+        {
+            let s = CheckpointStore::persistent(3, &path);
+            s.note_emitted(0);
+            s.note_emitted(0);
+            s.note_emitted(2);
+            s.commit();
+            s.note_emitted(1); // uncommitted: must NOT survive
+            assert_eq!(s.save_error_count(), 0);
+        }
+        let s = CheckpointStore::persistent(3, &path);
+        assert_eq!(s.committed_snapshot(), vec![2, 0, 1]);
+        assert_eq!(s.live(1), 0, "uncommitted emission did not persist");
+
+        // A corrupt file degrades to offset zero, never to wrong data.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 6] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let s = CheckpointStore::persistent(3, &path);
+        assert_eq!(s.committed_snapshot(), vec![0, 0, 0]);
+
+        // Partition-count changes also invalidate the file.
+        let s = CheckpointStore::persistent(3, &path);
+        s.commit();
+        let s = CheckpointStore::persistent(4, &path);
+        assert_eq!(s.committed_snapshot(), vec![0, 0, 0, 0]);
     }
 
     #[test]

@@ -35,6 +35,40 @@ pub const MAINT_MERGE_TASKS: &str = "storage/maintenance/merges";
 /// Cumulative nanoseconds tasks spent queued before running.
 pub const MAINT_QUEUE_WAIT_NANOS: &str = "storage/maintenance/queue_wait_nanos";
 
+// ---- durable storage (WAL, recovery, block cache) --------------------
+// Per-dataset probes are published as `storage/<dataset>/<leaf>` with
+// these leaf names; the totals below aggregate across a feed's target.
+
+/// WAL records appended (leaf: per-dataset probe suffix).
+pub const WAL_APPENDS: &str = "wal/appends";
+/// WAL records made durable by a group-commit flush.
+pub const WAL_COMMITS: &str = "wal/commits";
+/// Group-commit flush rounds (commits / rounds = achieved batch size).
+pub const WAL_FLUSH_ROUNDS: &str = "wal/flush_rounds";
+/// fsync calls issued by the WAL.
+pub const WAL_FSYNCS: &str = "wal/fsyncs";
+/// Bytes appended to the WAL.
+pub const WAL_BYTES: &str = "wal/bytes";
+/// WAL segment files retired after their records were flushed.
+pub const WAL_SEGMENTS_RETIRED: &str = "wal/segments_retired";
+/// Block-cache hits across a dataset's partitions.
+pub const CACHE_HITS: &str = "cache/hits";
+/// Block-cache misses across a dataset's partitions.
+pub const CACHE_MISSES: &str = "cache/misses";
+/// Block reads that failed (I/O or checksum); served as absent.
+pub const CACHE_READ_ERRORS: &str = "cache/read_errors";
+/// On-disk components loaded by the last recovery.
+pub const RECOVERY_COMPONENTS: &str = "recovery/components_loaded";
+/// WAL records replayed by the last recovery.
+pub const RECOVERY_REPLAYED: &str = "recovery/replayed_records";
+/// Torn-tail bytes truncated from the WAL by the last recovery.
+pub const RECOVERY_TRUNCATED_BYTES: &str = "recovery/truncated_bytes";
+/// Wall-clock milliseconds the last recovery took.
+pub const RECOVERY_MILLIS: &str = "recovery/millis";
+/// Background durable-storage I/O errors (failed flush/merge writes,
+/// manifest saves, WAL retirements) absorbed without data loss.
+pub const STORAGE_IO_ERRORS: &str = "io_errors";
+
 // ---- network serving layer (idea-serve) ------------------------------
 
 /// Currently open client connections.

@@ -6,6 +6,7 @@
 //! are [`PartitionedDataset`]s — one storage partition per cluster node.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -34,6 +35,10 @@ pub struct Catalog {
     /// Bumped on every DDL mutation; cached plans (and predeployed
     /// query jobs) compiled against an older version are stale.
     version: AtomicU64,
+    /// Root directory for durable datasets. Datasets created
+    /// `WITH {"storage": "disk"}` live under `<root>/datasets/<name>/`
+    /// and are recovered when the root is (re)installed.
+    storage_root: RwLock<Option<PathBuf>>,
 }
 
 #[derive(Debug, Default)]
@@ -57,6 +62,7 @@ impl Catalog {
             inner: RwLock::new(Inner::default()),
             maintenance: RwLock::new(None),
             version: AtomicU64::new(0),
+            storage_root: RwLock::new(None),
         })
     }
 
@@ -115,8 +121,11 @@ impl Catalog {
     }
 
     /// `CREATE DATASET ... WITH { ... }`: the options tune the dataset's
-    /// LSM config (merge policy and its knobs, memtable budget) before
-    /// the partitions are built.
+    /// LSM config (merge policy and its knobs, memtable budget,
+    /// durability knobs) before the partitions are built.
+    /// `{"storage": "disk"}` makes the dataset durable — WAL-logged
+    /// writes, on-disk components, recovery at engine restart — rooted
+    /// under the catalog's storage root.
     pub fn create_dataset_with_options(
         &self,
         name: &str,
@@ -125,15 +134,61 @@ impl Catalog {
         options: &[(String, String)],
     ) -> Result<()> {
         let dt = self.get_type(type_name)?;
+        // `storage` selects the backing and is handled here; everything
+        // else flows into the LSM/durability config.
+        let mut durable = false;
+        let mut lsm_options: Vec<(String, String)> = Vec::new();
+        for (k, v) in options {
+            if k == "storage" {
+                durable = match v.as_str() {
+                    "disk" => true,
+                    "memory" => false,
+                    other => {
+                        return Err(QueryError::Invalid(format!(
+                            "dataset {name}: option \"storage\": expected disk/memory, got {other:?}"
+                        )));
+                    }
+                };
+            } else {
+                lsm_options.push((k.clone(), v.clone()));
+            }
+        }
         let mut config = self.dataset_config.clone();
         config
-            .apply_options(options)
+            .apply_options(&lsm_options)
             .map_err(|e| QueryError::Invalid(format!("dataset {name}: {e}")))?;
+        let dataset_dir = if durable {
+            let root = self.storage_root.read().clone().ok_or_else(|| {
+                QueryError::Invalid(format!(
+                    "dataset {name}: {{\"storage\": \"disk\"}} requires an engine storage root"
+                ))
+            })?;
+            Some(root.join("datasets").join(name))
+        } else {
+            None
+        };
         let mut inner = self.inner.write();
         if inner.datasets.contains_key(name) {
             return Err(QueryError::Invalid(format!("dataset {name} already exists")));
         }
-        let ds = PartitionedDataset::new(name, dt, primary_key, self.partitions, config);
+        let ds = match &dataset_dir {
+            Some(dir) => {
+                let ds = PartitionedDataset::open_durable(
+                    name,
+                    dt.clone(),
+                    primary_key,
+                    self.partitions,
+                    config,
+                    dir,
+                )?;
+                write_dataset_meta(dir, name, &dt, primary_key, self.partitions, &lsm_options)
+                    .map_err(|e| {
+                        QueryError::Invalid(format!("dataset {name}: write metadata: {e}"))
+                    })?;
+                ds
+            }
+            None => PartitionedDataset::new(name, dt, primary_key, self.partitions, config),
+        };
         if let Some(sched) = self.maintenance.read().as_ref() {
             ds.attach_maintenance(sched);
         }
@@ -141,6 +196,70 @@ impl Catalog {
         drop(inner);
         self.bump_version();
         Ok(())
+    }
+
+    /// Installs the durable-storage root and recovers every dataset
+    /// persisted under it (`<root>/datasets/*/dataset.meta`). Returns
+    /// how many datasets were recovered. Also re-registers their
+    /// datatypes when absent, so recovered datasets are queryable
+    /// without re-running type DDL.
+    pub fn set_storage_root(&self, root: impl Into<PathBuf>) -> Result<usize> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("datasets"))
+            .map_err(|e| QueryError::Invalid(format!("storage root {root:?}: {e}")))?;
+        *self.storage_root.write() = Some(root.clone());
+        self.recover_datasets(&root)
+    }
+
+    /// The installed durable-storage root, if any.
+    pub fn storage_root(&self) -> Option<PathBuf> {
+        self.storage_root.read().clone()
+    }
+
+    fn recover_datasets(&self, root: &Path) -> Result<usize> {
+        let datasets_dir = root.join("datasets");
+        let entries = std::fs::read_dir(&datasets_dir)
+            .map_err(|e| QueryError::Invalid(format!("read {datasets_dir:?}: {e}")))?;
+        let mut recovered = 0;
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            let meta_path = dir.join("dataset.meta");
+            if !meta_path.is_file() {
+                continue;
+            }
+            let meta = read_dataset_meta(&meta_path)
+                .map_err(|e| QueryError::Invalid(format!("recover {meta_path:?}: {e}")))?;
+            if self.inner.read().datasets.contains_key(&meta.name) {
+                continue; // already live (idempotent re-install)
+            }
+            let mut config = self.dataset_config.clone();
+            config
+                .apply_options(&meta.options)
+                .map_err(|e| QueryError::Invalid(format!("recover {}: {e}", meta.name)))?;
+            let ds = PartitionedDataset::open_durable(
+                &meta.name,
+                meta.datatype.clone(),
+                &meta.primary_key,
+                meta.partitions,
+                config,
+                &dir,
+            )?;
+            if let Some(sched) = self.maintenance.read().as_ref() {
+                ds.attach_maintenance(sched);
+            }
+            let mut inner = self.inner.write();
+            inner
+                .types
+                .entry(meta.datatype.name.clone())
+                .or_insert_with(|| meta.datatype.clone());
+            inner.datasets.insert(meta.name.clone(), Arc::new(ds));
+            drop(inner);
+            recovered += 1;
+        }
+        if recovered > 0 {
+            self.bump_version();
+        }
+        Ok(recovered)
     }
 
     /// Installs the engine's background maintenance pool: every dataset
@@ -157,11 +276,22 @@ impl Catalog {
         self.maintenance.read().clone()
     }
 
-    /// Drops a dataset (its partitions and indexes go with it).
+    /// Drops a dataset (its partitions and indexes go with it). A
+    /// durable dataset's on-disk directory is removed too — DROP is a
+    /// deliberate destruction of the data, not a detach.
     pub fn drop_dataset(&self, name: &str) -> Result<()> {
         let removed = self.inner.write().datasets.remove(name);
-        if removed.is_none() {
+        let Some(ds) = removed else {
             return Err(QueryError::Unresolved(format!("dataset {name}")));
+        };
+        if ds.partitions()[0].is_durable() {
+            if let Some(root) = self.storage_root.read().as_ref() {
+                let dir = root.join("datasets").join(name);
+                // Keep the memtables' view alive for open snapshots; the
+                // files can go now (open fds keep reads working on POSIX).
+                std::fs::remove_dir_all(&dir)
+                    .map_err(|e| QueryError::Invalid(format!("drop dataset {name}: {e}")))?;
+            }
         }
         self.bump_version();
         Ok(())
@@ -252,6 +382,116 @@ impl Catalog {
     }
 }
 
+/// Everything needed to reopen a durable dataset without re-running its
+/// DDL: the dataset identity plus the datatype definition and the LSM
+/// options it was created with.
+struct DatasetMeta {
+    name: String,
+    datatype: Datatype,
+    primary_key: String,
+    partitions: usize,
+    options: Vec<(String, String)>,
+}
+
+/// Writes `<dir>/dataset.meta` atomically (tmp + fsync + rename). The
+/// format is line-based and versioned:
+///
+/// ```text
+/// idea-dataset v1
+/// name <dataset>
+/// type <typename>
+/// pk <field>
+/// partitions <n>
+/// field <name> <ddl-type>      (one per declared field)
+/// option <key> <value>         (one per LSM/durability option)
+/// ```
+fn write_dataset_meta(
+    dir: &Path,
+    name: &str,
+    dt: &Datatype,
+    primary_key: &str,
+    partitions: usize,
+    options: &[(String, String)],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut text = String::new();
+    text.push_str("idea-dataset v1\n");
+    text.push_str(&format!("name {name}\n"));
+    text.push_str(&format!("type {}\n", dt.name));
+    text.push_str(&format!("pk {primary_key}\n"));
+    text.push_str(&format!("partitions {partitions}\n"));
+    for f in &dt.fields {
+        text.push_str(&format!("field {} {}\n", f.name, f.tag.ddl_name()));
+    }
+    for (k, v) in options {
+        text.push_str(&format!("option {k} {v}\n"));
+    }
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join("dataset.meta.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join("dataset.meta"))
+}
+
+fn read_dataset_meta(path: &Path) -> std::result::Result<DatasetMeta, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut lines = text.lines();
+    if lines.next() != Some("idea-dataset v1") {
+        return Err("unrecognized dataset.meta header".into());
+    }
+    let mut name = None;
+    let mut type_name = None;
+    let mut pk = None;
+    let mut partitions = None;
+    let mut fields: Vec<(String, TypeTag)> = Vec::new();
+    let mut options = Vec::new();
+    for line in lines {
+        let Some((key, rest)) = line.split_once(' ') else {
+            return Err(format!("malformed line {line:?}"));
+        };
+        match key {
+            "name" => name = Some(rest.to_owned()),
+            "type" => type_name = Some(rest.to_owned()),
+            "pk" => pk = Some(rest.to_owned()),
+            "partitions" => {
+                partitions =
+                    Some(rest.parse::<usize>().map_err(|_| format!("bad partitions {rest:?}"))?);
+            }
+            "field" => {
+                let (fname, ftype) =
+                    rest.split_once(' ').ok_or_else(|| format!("malformed field {rest:?}"))?;
+                let tag = TypeTag::from_ddl_name(ftype)
+                    .ok_or_else(|| format!("unknown field type {ftype:?}"))?;
+                fields.push((fname.to_owned(), tag));
+            }
+            "option" => {
+                let (k, v) =
+                    rest.split_once(' ').ok_or_else(|| format!("malformed option {rest:?}"))?;
+                options.push((k.to_owned(), v.to_owned()));
+            }
+            other => return Err(format!("unknown key {other:?}")),
+        }
+    }
+    let mut dt = Datatype::new(type_name.ok_or("missing type")?);
+    for (fname, tag) in fields {
+        dt = dt.field(fname, tag);
+    }
+    let partitions = partitions.ok_or("missing partitions")?;
+    if partitions == 0 {
+        return Err("partitions must be > 0".into());
+    }
+    Ok(DatasetMeta {
+        name: name.ok_or("missing name")?,
+        datatype: dt,
+        primary_key: pk.ok_or("missing pk")?,
+        partitions,
+        options,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +514,93 @@ mod tests {
     fn unknown_ddl_type_rejected() {
         let c = Catalog::new(1);
         assert!(c.create_type_from_ddl("T", &[("x".into(), "floaty".into())]).is_err());
+    }
+
+    #[test]
+    fn durable_dataset_lifecycle_and_recovery() {
+        let tmp = idea_storage::TempDir::new("catalog-durable");
+        let opts = vec![
+            ("storage".to_owned(), "disk".to_owned()),
+            ("fsync".to_owned(), "never".to_owned()),
+        ];
+
+        // Disk datasets require a storage root.
+        let c = Catalog::new(2);
+        c.create_type_from_ddl("T", &[("id".into(), "int64".into())]).unwrap();
+        assert!(c.create_dataset_with_options("D", "T", "id", &opts).is_err());
+
+        assert_eq!(c.set_storage_root(tmp.path()).unwrap(), 0);
+        c.create_dataset_with_options("D", "T", "id", &opts).unwrap();
+        let ds = c.dataset("D").unwrap();
+        assert!(ds.partitions()[0].is_durable());
+        for i in 0..100 {
+            ds.insert(Value::object([("id", Value::Int(i)), ("p", Value::Int(i * 2))]))
+                .unwrap();
+        }
+        drop(ds);
+        drop(c);
+
+        // A fresh catalog recovers the dataset — and its datatype — from
+        // the storage root alone.
+        let c2 = Catalog::new(2);
+        assert_eq!(c2.set_storage_root(tmp.path()).unwrap(), 1);
+        let ds = c2.dataset("D").unwrap();
+        assert_eq!(ds.len(), 100);
+        let rec = ds.get(&Value::Int(41)).unwrap();
+        assert_eq!(rec.as_object().unwrap().get("p"), Some(&Value::Int(82)));
+        assert!(c2.get_type("T").is_ok());
+        // Recovery re-applied the persisted options (schema validation
+        // still works: "id" is required).
+        assert!(ds.insert(Value::object([("nope", Value::Int(1))])).is_err());
+
+        // DROP deletes the on-disk directory: a third open sees nothing.
+        c2.drop_dataset("D").unwrap();
+        let c3 = Catalog::new(2);
+        assert_eq!(c3.set_storage_root(tmp.path()).unwrap(), 0);
+        assert!(c3.dataset("D").is_err());
+    }
+
+    #[test]
+    fn storage_option_memory_and_invalid_values() {
+        let c = Catalog::new(1);
+        c.create_type_from_ddl("T", &[("id".into(), "int64".into())]).unwrap();
+        // "memory" is the default and needs no root.
+        c.create_dataset_with_options(
+            "M",
+            "T",
+            "id",
+            &[("storage".to_owned(), "memory".to_owned())],
+        )
+        .unwrap();
+        assert!(!c.dataset("M").unwrap().partitions()[0].is_durable());
+        let err = c
+            .create_dataset_with_options(
+                "B",
+                "T",
+                "id",
+                &[("storage".to_owned(), "tape".to_owned())],
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("disk/memory"));
+    }
+
+    #[test]
+    fn dataset_meta_round_trips() {
+        let tmp = idea_storage::TempDir::new("catalog-meta");
+        let dt = Datatype::new("SensorType")
+            .field("id", TypeTag::Int64)
+            .field("loc", TypeTag::Point);
+        let opts = vec![("merge-policy".to_owned(), "prefix".to_owned())];
+        write_dataset_meta(tmp.path(), "Sensors", &dt, "id", 4, &opts).unwrap();
+        let meta = read_dataset_meta(&tmp.path().join("dataset.meta")).unwrap();
+        assert_eq!(meta.name, "Sensors");
+        assert_eq!(meta.datatype, dt);
+        assert_eq!(meta.primary_key, "id");
+        assert_eq!(meta.partitions, 4);
+        assert_eq!(meta.options, opts);
+
+        std::fs::write(tmp.path().join("dataset.meta"), "who knows\n").unwrap();
+        assert!(read_dataset_meta(&tmp.path().join("dataset.meta")).is_err());
     }
 
     #[test]

@@ -413,7 +413,7 @@ fn fetch_candidates(
                         let snaps = ctx.snapshots_for(name)?;
                         let mut rows = Vec::new();
                         for s in snaps.iter() {
-                            rows.extend(s.iter().cloned());
+                            rows.extend(s.iter());
                         }
                         ctx.stats.rows_scanned += rows.len() as u64;
                         return Ok(CandList::Owned(apply_filters(
@@ -554,7 +554,7 @@ fn materialize(
     let snaps = ctx.snapshots_for(ds_name)?;
     let mut rows = Vec::new();
     for s in snaps.iter() {
-        rows.extend(s.iter().cloned());
+        rows.extend(s.iter());
     }
     ctx.stats.rows_scanned += rows.len() as u64;
     ctx.stats.materializations += 1;

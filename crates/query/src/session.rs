@@ -418,7 +418,7 @@ impl Session {
                                 }
                             };
                             if keep {
-                                pks.push(pk_field.get(rec).clone());
+                                pks.push(pk_field.get(&rec).clone());
                             }
                         }
                     }

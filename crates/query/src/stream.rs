@@ -113,7 +113,7 @@ impl ScanStream {
         loop {
             if self.pending.is_empty() {
                 let part = self.parts.pop()?;
-                self.pending = part.iter().cloned().collect();
+                self.pending = part.iter().collect();
                 self.pending.reverse();
                 continue;
             }

@@ -1,6 +1,7 @@
 //! A primary-keyed dataset over one LSM tree, with maintained secondary
 //! indexes and snapshot scans.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use idea_adm::path::FieldPath;
@@ -10,7 +11,7 @@ use parking_lot::RwLock;
 
 use crate::error::StorageError;
 use crate::index::{IndexDef, IndexKind, SecondaryIndex};
-use crate::lsm::{Entry, LsmConfig, LsmTree, TreeSnapshot};
+use crate::lsm::{CacheStats, Entry, LsmConfig, LsmTree, RecoveryStats, TreeSnapshot, WalStats};
 use crate::maintenance::MaintenanceScheduler;
 use crate::stats::StorageStats;
 use crate::Result;
@@ -80,6 +81,53 @@ impl Dataset {
         }
     }
 
+    /// Opens (or creates) a durable dataset rooted at `dir`: WAL-logged
+    /// writes, on-disk components, crash recovery on reopen. Secondary
+    /// indexes are rebuilt from the recovered data (they are derived
+    /// state and are not logged).
+    pub fn open_durable(
+        name: impl Into<String>,
+        datatype: Datatype,
+        pk_field: &str,
+        config: DatasetConfig,
+        dir: &Path,
+    ) -> Result<Dataset> {
+        Ok(Dataset {
+            name: name.into(),
+            datatype,
+            pk_field: FieldPath::parse(pk_field),
+            tree: LsmTree::open_durable(config.lsm, dir)?,
+            config,
+            indexes: RwLock::new(Vec::new()),
+            stats: StorageStats::default(),
+        })
+    }
+
+    /// Whether the dataset has a disk presence (WAL + component files).
+    pub fn is_durable(&self) -> bool {
+        self.tree.is_durable()
+    }
+
+    /// Recovery statistics from the durable open, if any.
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.tree.recovery_stats()
+    }
+
+    /// WAL activity counters (durable datasets with the WAL enabled).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.tree.wal_stats()
+    }
+
+    /// Block-cache counters (durable datasets only).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.tree.cache_stats()
+    }
+
+    /// Maintenance-path I/O failures absorbed without data loss.
+    pub fn io_error_count(&self) -> u64 {
+        self.tree.io_error_count()
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }
@@ -140,11 +188,12 @@ impl Dataset {
         self.datatype.validate(record).map_err(|e| StorageError::Type(e.to_string()))
     }
 
-    fn record_put(&self, key: Value, value: Entry) {
-        let stalled = self.tree.put(key, value);
+    fn record_put(&self, key: Value, value: Entry) -> Result<()> {
+        let stalled = self.tree.put(key, value)?;
         if !stalled.is_zero() {
             self.stats.record_put_stall(stalled.as_nanos() as u64);
         }
+        Ok(())
     }
 
     /// `INSERT`: fails on duplicate primary key.
@@ -159,7 +208,7 @@ impl Dataset {
             ix.insert(def, &pk, &record)?;
         }
         drop(indexes);
-        self.record_put(pk, Some(Arc::new(record)));
+        self.record_put(pk, Some(Arc::new(record)))?;
         self.stats.record_insert();
         Ok(())
     }
@@ -184,7 +233,7 @@ impl Dataset {
             }
         }
         drop(indexes);
-        self.record_put(pk, Some(Arc::new(record)));
+        self.record_put(pk, Some(Arc::new(record)))?;
         self.stats.record_upsert();
         Ok(())
     }
@@ -197,7 +246,7 @@ impl Dataset {
             ix.remove(def, pk, &old);
         }
         drop(indexes);
-        self.record_put(pk.clone(), None);
+        self.record_put(pk.clone(), None)?;
         self.stats.record_delete();
         Ok(true)
     }
@@ -239,7 +288,7 @@ impl Dataset {
             }
         }
         let n = pairs.len() as u64;
-        self.tree.bulk_install(pairs);
+        self.tree.bulk_install(pairs)?;
         drop(indexes);
         self.stats.record_bulk_load(n);
         Ok(())
@@ -253,7 +302,7 @@ impl Dataset {
         }
         let mut ix = SecondaryIndex::new(&def);
         for (pk, rec) in self.tree.snapshot().iter() {
-            ix.insert(&def, pk, rec)?;
+            ix.insert(&def, &pk, &rec)?;
         }
         indexes.push((def, ix));
         Ok(())
@@ -418,18 +467,20 @@ pub struct DatasetSnapshot {
 }
 
 impl DatasetSnapshot {
-    /// Iterates live records in primary-key order.
-    pub fn iter(&self) -> impl Iterator<Item = &Arc<Value>> {
+    /// Iterates live records in primary-key order. Records are
+    /// `Arc`-shared (or block-cache-shared for disk components), never
+    /// deep-cloned.
+    pub fn iter(&self) -> impl Iterator<Item = Arc<Value>> + '_ {
         self.snap.iter().map(|(_, v)| v)
     }
 
     /// Iterates `(primary key, record)` pairs in primary-key order.
-    pub fn iter_entries(&self) -> impl Iterator<Item = (&Value, &Arc<Value>)> {
+    pub fn iter_entries(&self) -> impl Iterator<Item = (Value, Arc<Value>)> + '_ {
         self.snap.iter()
     }
 
     /// Point lookup within the snapshot.
-    pub fn get(&self, pk: &Value) -> Option<&Arc<Value>> {
+    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
         self.snap.get(pk)
     }
 
@@ -532,9 +583,9 @@ mod tests {
         ds.upsert(word(2, "US", "b2")).unwrap();
         ds.insert(word(3, "US", "c")).unwrap();
         let snap = ds.snapshot();
-        let words: Vec<&str> = snap
+        let words: Vec<String> = snap
             .iter()
-            .map(|r| r.as_object().unwrap().get("word").unwrap().as_str().unwrap())
+            .map(|r| r.as_object().unwrap().get("word").unwrap().as_str().unwrap().to_owned())
             .collect();
         assert_eq!(words, vec!["a", "b2", "c"]);
     }

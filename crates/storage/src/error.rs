@@ -21,6 +21,21 @@ pub enum StorageError {
     /// A bad `LsmConfig` / dataset `WITH` option (e.g. an unknown merge
     /// policy name or a non-numeric knob value).
     InvalidConfig(String),
+    /// An I/O failure in the durable-storage layer (WAL append, component
+    /// file write, manifest rename, …). Carries the failing operation and
+    /// the OS error text.
+    Io(String),
+    /// On-disk data failed a checksum or structural check during open or
+    /// read. Distinct from [`StorageError::Io`]: the bytes arrived, but
+    /// they are wrong.
+    Corrupt(String),
+}
+
+impl StorageError {
+    /// Wraps an [`std::io::Error`] with the operation that failed.
+    pub fn io(op: impl std::fmt::Display, e: std::io::Error) -> StorageError {
+        StorageError::Io(format!("{op}: {e}"))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -32,6 +47,8 @@ impl fmt::Display for StorageError {
             StorageError::BadIndex(m) => write!(f, "bad index: {m}"),
             StorageError::UnknownIndex(m) => write!(f, "unknown index: {m}"),
             StorageError::InvalidConfig(m) => write!(f, "invalid storage config: {m}"),
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt storage data: {m}"),
         }
     }
 }

@@ -33,6 +33,7 @@ pub mod index;
 pub mod lsm;
 pub mod maintenance;
 pub mod partitioned;
+pub mod persist;
 pub mod stats;
 
 pub use dataset::{Dataset, DatasetConfig, DatasetSnapshot};
@@ -41,6 +42,7 @@ pub use index::{BTreeIndex, IndexDef, IndexKind, RTree};
 pub use lsm::{Entry, LsmConfig, MergePolicy, MergePolicyConfig};
 pub use maintenance::{MaintKind, MaintenanceScheduler};
 pub use partitioned::PartitionedDataset;
+pub use persist::{DurabilityConfig, FsyncPolicy, TempDir};
 pub use stats::StorageStats;
 
 /// Crate-wide result alias.

@@ -67,6 +67,18 @@ impl BloomFilter {
     pub fn nbits(&self) -> u64 {
         self.nbits
     }
+
+    /// The raw bit words, for persistence in a component-file footer.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reconstructs a filter from persisted words (see [`Self::words`]).
+    /// `nbits` must match the value the filter was built with, or probes
+    /// would index different bits than inserts did.
+    pub fn from_words(nbits: u64, bits: Vec<u64>) -> Self {
+        BloomFilter { bits, nbits: nbits.max(1) }
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,12 @@
-//! Immutable sorted LSM components.
+//! Immutable sorted LSM components, memory- or disk-backed.
+//!
+//! Both backings present one API: the key column and Bloom filter are
+//! always resident (they are what a point lookup touches first); entry
+//! payloads either live in memory (`Backing::Mem`, the default) or stay
+//! in a component file and are fetched block-at-a-time through the
+//! tree's shared [`BlockCache`] (`Backing::Disk`). Accessors return
+//! *owned* entries (`Arc` clones) so a disk-backed read does not need to
+//! borrow from an evicting cache.
 
 use std::sync::Arc;
 
@@ -6,16 +14,35 @@ use idea_adm::Value;
 
 use super::bloom::BloomFilter;
 use super::{Entry, Memtable};
+use crate::persist::{BlockCache, ComponentFile, OpenComponent};
+
+/// Where a component's entry payloads live.
+enum Backing {
+    /// Entries resident in memory (in-memory trees, and the fallback
+    /// when a durable flush cannot write its file).
+    Mem(Vec<Entry>),
+    /// Entries in a component file, read through the shared block cache.
+    Disk { file: Arc<ComponentFile>, cache: Arc<BlockCache> },
+}
+
+impl std::fmt::Debug for Backing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backing::Mem(e) => write!(f, "Mem({} entries)", e.len()),
+            Backing::Disk { file, .. } => write!(f, "Disk({:?})", file.path()),
+        }
+    }
+}
 
 /// An immutable, sorted run of `(key, entry)` pairs produced by a flush
 /// or a merge. Lookup consults a Bloom filter, then binary-searches the
-/// key column. Entries are `Arc<Value>` so merges and reads share the
-/// record allocations with the memtable they were flushed from.
+/// key column. Records are `Arc<Value>` so reads share allocations
+/// instead of deep-cloning.
 #[derive(Debug)]
 pub struct Component {
     id: u64,
     keys: Vec<Value>,
-    entries: Vec<Entry>,
+    backing: Backing,
     bloom: BloomFilter,
     approx_bytes: usize,
 }
@@ -28,7 +55,7 @@ impl Component {
             .zip(entries.iter())
             .map(|(k, e)| k.approx_size() + e.as_ref().map(|v| v.approx_size()).unwrap_or(1))
             .sum();
-        Component { id, keys, entries, bloom, approx_bytes }
+        Component { id, keys, backing: Backing::Mem(entries), bloom, approx_bytes }
     }
 
     /// Freezes a (sealed) memtable into a component. Keys are cloned,
@@ -65,40 +92,28 @@ impl Component {
         Component::from_columns(id, keys, entries)
     }
 
-    /// Merges components (index 0 = newest) into one; the newest entry
-    /// per key wins. Tombstones are dropped only when `drop_tombstones`
-    /// — safe only when the merge includes the *oldest* component of the
-    /// tree, otherwise a dropped tombstone would resurrect an older
-    /// shadowed entry.
+    /// Wraps an opened (or freshly written) component file. The key
+    /// column and Bloom filter came from the file's footer; entry reads
+    /// go through `cache`.
+    pub fn from_open(open: OpenComponent, cache: Arc<BlockCache>) -> Self {
+        Component {
+            id: open.id,
+            keys: open.keys,
+            backing: Backing::Disk { file: open.file, cache },
+            bloom: open.bloom,
+            approx_bytes: open.approx_bytes,
+        }
+    }
+
+    /// Merges components (index 0 = newest) into one in-memory
+    /// component. The durable path streams [`merge_iter`] straight into
+    /// a file writer instead.
     pub fn merge(id: u64, components: &[Arc<Component>], drop_tombstones: bool) -> Component {
-        let mut iters: Vec<_> = components.iter().map(|c| c.iter().peekable()).collect();
         let mut keys = Vec::new();
         let mut entries = Vec::new();
-        loop {
-            let mut best: Option<(usize, &Value)> = None;
-            for (i, it) in iters.iter_mut().enumerate() {
-                if let Some((k, _)) = it.peek() {
-                    match best {
-                        None => best = Some((i, k)),
-                        Some((_, bk)) if *k < bk => best = Some((i, k)),
-                        _ => {}
-                    }
-                }
-            }
-            let Some((winner, key)) = best else { break };
-            let key = key.clone();
-            let (_, entry) = iters[winner].next().unwrap();
-            for (i, it) in iters.iter_mut().enumerate() {
-                if i != winner {
-                    while matches!(it.peek(), Some((k, _)) if **k == key) {
-                        it.next();
-                    }
-                }
-            }
-            if entry.is_some() || !drop_tombstones {
-                keys.push(key);
-                entries.push(entry.clone());
-            }
+        for (k, e) in merge_iter(components, drop_tombstones) {
+            keys.push(k);
+            entries.push(e);
         }
         Component::from_columns(id, keys, entries)
     }
@@ -115,25 +130,172 @@ impl Component {
         self.keys.is_empty()
     }
 
+    /// Whether the entries are backed by a component file.
+    pub fn is_disk(&self) -> bool {
+        matches!(self.backing, Backing::Disk { .. })
+    }
+
+    /// The backing file, when disk-backed (manifest bookkeeping and
+    /// retired-file deletion).
+    pub fn file(&self) -> Option<&Arc<ComponentFile>> {
+        match &self.backing {
+            Backing::Mem(_) => None,
+            Backing::Disk { file, .. } => Some(file),
+        }
+    }
+
     /// Approximate payload footprint, used by size-based merge policies
     /// and the write-amplification accounting.
     pub fn approx_bytes(&self) -> usize {
         self.approx_bytes
     }
 
+    /// Entry at key-column position `index`. Disk-backed components
+    /// fetch the containing block through the cache; an unreadable block
+    /// is recorded on the cache and surfaces as "absent" (the WAL and
+    /// manifest still hold the truth for recovery).
+    fn entry_at(&self, index: usize) -> Option<Entry> {
+        match &self.backing {
+            Backing::Mem(entries) => Some(entries[index].clone()),
+            Backing::Disk { file, cache } => {
+                let (block, offset) = file.locate(index);
+                let key = (file.uid(), block);
+                let decoded = match cache.get(key) {
+                    Some(b) => b,
+                    None => match file.read_block(block) {
+                        Ok(entries) => {
+                            let b = Arc::new(entries);
+                            cache.insert(key, Arc::clone(&b));
+                            b
+                        }
+                        Err(_) => {
+                            cache.note_read_error();
+                            return None;
+                        }
+                    },
+                };
+                decoded.get(offset).cloned()
+            }
+        }
+    }
+
     /// Entry lookup: `None` = key not in this component,
     /// `Some(None)` = tombstone. The Bloom filter short-circuits probes
     /// for keys the component cannot hold.
-    pub fn get(&self, key: &Value) -> Option<&Entry> {
+    pub fn get(&self, key: &Value) -> Option<Entry> {
         if !self.bloom.may_contain(key) {
             return None;
         }
-        self.keys.binary_search_by(|k| k.cmp(key)).ok().map(|i| &self.entries[i])
+        let i = self.keys.binary_search_by(|k| k.cmp(key)).ok()?;
+        self.entry_at(i)
     }
 
     /// Iterates `(key, entry)` pairs in key order, tombstones included.
-    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Entry)> {
-        self.keys.iter().zip(self.entries.iter())
+    /// Disk-backed components stream blocks sequentially; a scan probes
+    /// the cache but does not populate it (scan resistance).
+    pub fn iter(&self) -> ComponentIter<'_> {
+        ComponentIter { comp: self, index: 0, block: None }
+    }
+}
+
+/// Owned iterator over one component's `(key, entry)` pairs.
+pub struct ComponentIter<'a> {
+    comp: &'a Component,
+    index: usize,
+    /// Current decoded block for disk backings: (block idx, entries).
+    block: Option<(u32, Arc<Vec<Entry>>)>,
+}
+
+impl Iterator for ComponentIter<'_> {
+    type Item = (Value, Entry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.index >= self.comp.keys.len() {
+            return None;
+        }
+        let key = self.comp.keys[self.index].clone();
+        let entry = match &self.comp.backing {
+            Backing::Mem(entries) => entries[self.index].clone(),
+            Backing::Disk { file, cache } => {
+                let (block, offset) = file.locate(self.index);
+                let need_load = match &self.block {
+                    Some((b, _)) => *b != block,
+                    None => true,
+                };
+                if need_load {
+                    let loaded = match cache.get((file.uid(), block)) {
+                        Some(b) => b,
+                        None => match file.read_block(block) {
+                            Ok(entries) => Arc::new(entries),
+                            Err(_) => {
+                                // A corrupt block ends the scan early;
+                                // the error is counted, and recovery
+                                // still has the WAL + manifest.
+                                cache.note_read_error();
+                                self.index = self.comp.keys.len();
+                                return None;
+                            }
+                        },
+                    };
+                    self.block = Some((block, loaded));
+                }
+                self.block.as_ref().unwrap().1[offset].clone()
+            }
+        };
+        self.index += 1;
+        Some((key, entry))
+    }
+}
+
+/// K-way merge over components (index 0 = newest); the newest entry per
+/// key wins. Tombstones are dropped only when `drop_tombstones` — safe
+/// only when the merge includes the *oldest* component of the tree,
+/// otherwise a dropped tombstone would resurrect an older shadowed
+/// entry.
+pub fn merge_iter<'a>(
+    components: &'a [Arc<Component>],
+    drop_tombstones: bool,
+) -> impl Iterator<Item = (Value, Entry)> + 'a {
+    MergeIter { iters: components.iter().map(|c| c.iter().peekable()).collect(), drop_tombstones }
+}
+
+struct MergeIter<'a> {
+    /// Peekable per-component iterators, newest first.
+    iters: Vec<std::iter::Peekable<ComponentIter<'a>>>,
+    drop_tombstones: bool,
+}
+
+impl Iterator for MergeIter<'_> {
+    type Item = (Value, Entry);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let mut best: Option<(usize, Value)> = None;
+            for (i, it) in self.iters.iter_mut().enumerate() {
+                if let Some((k, _)) = it.peek() {
+                    let better = match &best {
+                        None => true,
+                        Some((_, bk)) => k < bk,
+                    };
+                    if better {
+                        best = Some((i, k.clone()));
+                    }
+                }
+            }
+            let (winner, key) = best?;
+            let (_, entry) = self.iters[winner].next().unwrap();
+            for (i, it) in self.iters.iter_mut().enumerate() {
+                if i != winner {
+                    while matches!(it.peek(), Some((k, _)) if *k == key) {
+                        it.next();
+                    }
+                }
+            }
+            if entry.is_some() || !self.drop_tombstones {
+                return Some((key, entry));
+            }
+            // Dropped tombstone: keep going.
+        }
     }
 }
 
@@ -154,8 +316,8 @@ mod tests {
     #[test]
     fn binary_search_get() {
         let c = comp(0, vec![(1, Some("a")), (3, Some("b")), (5, None)]);
-        assert_eq!(c.get(&Value::Int(3)), Some(&Some(Arc::new(Value::str("b")))));
-        assert_eq!(c.get(&Value::Int(5)), Some(&None));
+        assert_eq!(c.get(&Value::Int(3)), Some(Some(Arc::new(Value::str("b")))));
+        assert_eq!(c.get(&Value::Int(5)), Some(None));
         assert_eq!(c.get(&Value::Int(2)), None);
     }
 
@@ -176,7 +338,7 @@ mod tests {
         let newest = comp(2, vec![(1, Some("new")), (2, None)]);
         let middle = comp(1, vec![(2, Some("shadowed"))]);
         let merged = Component::merge(3, &[newest, middle], false);
-        assert_eq!(merged.get(&Value::Int(2)), Some(&None), "tombstone must survive");
+        assert_eq!(merged.get(&Value::Int(2)), Some(None), "tombstone must survive");
         assert_eq!(merged.len(), 2);
     }
 
@@ -194,5 +356,35 @@ mod tests {
         let small = comp(0, vec![(1, Some("x"))]);
         let big = comp(1, vec![(1, Some("a much longer payload string")), (2, Some("y"))]);
         assert!(big.approx_bytes() > small.approx_bytes());
+    }
+
+    #[test]
+    fn disk_backed_component_reads_like_memory() {
+        use crate::persist::{component_file_name, ComponentFileWriter, TempDir};
+        let tmp = TempDir::new("component-disk");
+        let mem =
+            comp(7, (0..200).map(|i| (i, if i % 9 == 0 { None } else { Some("v") })).collect());
+        let path = tmp.path().join(component_file_name(7));
+        let mut w = ComponentFileWriter::create(&path, 7, 512).unwrap();
+        for (k, e) in mem.iter() {
+            w.push(k, &e).unwrap();
+        }
+        let open = w.finish(false).unwrap();
+        let cache = Arc::new(BlockCache::new(4));
+        let disk = Component::from_open(open, Arc::clone(&cache));
+        assert!(disk.is_disk());
+        assert_eq!(disk.len(), mem.len());
+        assert_eq!(disk.approx_bytes(), mem.approx_bytes());
+        for i in 0..200 {
+            assert_eq!(disk.get(&Value::Int(i)), mem.get(&Value::Int(i)), "key {i}");
+        }
+        assert!(cache.hits() > 0, "point reads should hit cached blocks");
+        // Full scans agree too.
+        let a: Vec<_> = disk.iter().collect();
+        let b: Vec<_> = mem.iter().collect();
+        assert_eq!(a, b);
+        // And merging across backings works.
+        let merged = Component::merge(8, &[Arc::new(disk), mem], true);
+        assert_eq!(merged.len(), 200 - 23, "tombstones dropped"); // 0,9,..,198 → 23 keys
     }
 }

@@ -1,10 +1,11 @@
-//! Log-structured merge-tree internals, with background maintenance.
+//! Log-structured merge-tree internals, with background maintenance and
+//! optional durability.
 //!
 //! AsterixDB stores every dataset in an LSM B-tree: writes land in an
 //! in-memory component and are periodically flushed into immutable
 //! sorted disk components, which background jobs merge under a pluggable
 //! merge policy (Alsubaiee et al., "Storage Management in AsterixDB").
-//! This module mirrors that shape in memory:
+//! This module mirrors that shape:
 //!
 //! * the **active memtable** absorbs writes; when it exceeds its byte
 //!   budget it is *sealed* (an O(1) pointer swap) onto a bounded queue
@@ -22,6 +23,14 @@
 //!   index probe or a snapshot scan shares the record allocation
 //!   instead of deep-cloning it.
 //!
+//! A tree opened with [`LsmTree::open_durable`] additionally has a disk
+//! presence under one directory: every `put` appends to a write-ahead
+//! log *before* the memtable apply and acknowledges only after a group
+//! commit; flushes and merges write sealed component files and swing
+//! the manifest atomically; reopening the directory replays the WAL
+//! tail over the manifest's component stack and resumes exactly where
+//! the crash left off (see `persist/` and DESIGN.md "Durable storage").
+//!
 //! Writers only stall when `max_sealed_memtables` frozen memtables are
 //! already waiting on the flush queue (back-pressure); stall time is
 //! recorded for the `storage/*` metrics and the storage bench.
@@ -32,12 +41,13 @@ mod memtable;
 pub mod policy;
 
 pub use bloom::BloomFilter;
-pub use component::Component;
+pub use component::{merge_iter, Component, ComponentIter};
 pub use memtable::Memtable;
 pub use policy::{MergePolicy, MergePolicyConfig};
 
 use std::collections::BTreeMap;
 use std::iter::Peekable;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, Weak};
 use std::time::{Duration, Instant};
@@ -47,6 +57,10 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::error::StorageError;
 use crate::maintenance::{MaintKind, MaintenanceScheduler};
+use crate::persist::{
+    component_file_name, BlockCache, ComponentFile, ComponentFileWriter, DurabilityConfig,
+    FsyncPolicy, Manifest, Wal, WalConfig,
+};
 
 /// A stored entry: `Some(record)` or `None` for a tombstone. Records
 /// are reference-counted so reads never deep-clone.
@@ -65,6 +79,9 @@ pub struct LsmConfig {
     pub max_sealed_memtables: usize,
     /// Which components to merge, and when.
     pub merge_policy: MergePolicyConfig,
+    /// Disk-mode knobs (WAL, fsync, block/cache sizing); consulted only
+    /// by [`LsmTree::open_durable`].
+    pub durability: DurabilityConfig,
 }
 
 impl Default for LsmConfig {
@@ -73,6 +90,7 @@ impl Default for LsmConfig {
             memtable_budget_bytes: 4 << 20,
             max_sealed_memtables: 2,
             merge_policy: MergePolicyConfig::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -91,6 +109,9 @@ impl LsmConfig {
                 "option {key:?} does not apply to the {} merge policy",
                 policy.name()
             ))
+        }
+        if self.durability.apply_option(key, value)? {
+            return Ok(());
         }
         match key {
             "merge-policy" => self.merge_policy = MergePolicyConfig::from_name(value)?,
@@ -132,14 +153,82 @@ impl LsmConfig {
     }
 }
 
+/// What recovery did when a durable tree was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Component files reopened from the manifest.
+    pub components_loaded: u64,
+    /// WAL records replayed into the memtable (at/after the manifest's
+    /// replay point).
+    pub replayed_records: u64,
+    /// Bytes dropped from a torn WAL tail.
+    pub truncated_bytes: u64,
+    /// Wall-clock recovery time (manifest + components + replay + live
+    /// recount).
+    pub millis: u64,
+}
+
+/// WAL activity counters (the `storage/wal/*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    pub appends: u64,
+    pub commits: u64,
+    /// Leader flush rounds; `commits / flush_rounds` is the achieved
+    /// group-commit batch size.
+    pub flush_rounds: u64,
+    pub fsyncs: u64,
+    pub bytes_appended: u64,
+    pub segments_retired: u64,
+}
+
+/// Block-cache counters (the `storage/cache/*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub read_errors: u64,
+}
+
+/// The disk half of a durable tree.
+struct PersistState {
+    dir: PathBuf,
+    durability: DurabilityConfig,
+    wal: Option<Wal>,
+    cache: Arc<BlockCache>,
+    /// Serializes manifest writes; holds the manifest's current
+    /// `wal_start_lsn`.
+    manifest_ctl: Mutex<u64>,
+    /// Ceiling on `wal_start_lsn` advances. Normally `u64::MAX`; when a
+    /// flush fails to write its component file the tree falls back to a
+    /// memory-backed component and pins this floor, so later manifest
+    /// updates can never declare the un-persisted operations covered.
+    wal_floor: AtomicU64,
+    /// Maintenance-path I/O failures absorbed without data loss
+    /// (degraded durability; the `storage/wal/io_errors` metric).
+    io_errors: AtomicU64,
+    recovery: RecoveryStats,
+}
+
+impl std::fmt::Debug for PersistState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistState")
+            .field("dir", &self.dir)
+            .field("durability", &self.durability)
+            .field("recovery", &self.recovery)
+            .finish()
+    }
+}
+
 /// Mutable tree state behind one short-lived lock. Readers hold it only
 /// long enough to probe the memtables and clone the component-stack
 /// `Arc`.
 #[derive(Debug)]
 struct TreeState {
     active: Memtable,
-    /// Sealed memtables waiting to be flushed, newest first.
-    sealed: Vec<Arc<Memtable>>,
+    /// Sealed memtables waiting to be flushed, newest first, each with
+    /// its WAL watermark: every operation it holds has an LSN strictly
+    /// below the watermark (0 for in-memory trees).
+    sealed: Vec<(Arc<Memtable>, u64)>,
     /// Immutable components, newest first. Swapped atomically as a
     /// whole; never mutated in place.
     components: Arc<Vec<Arc<Component>>>,
@@ -152,6 +241,8 @@ pub struct LsmTree {
     config: LsmConfig,
     policy: Arc<dyn MergePolicy>,
     state: RwLock<TreeState>,
+    /// Disk presence; `None` for a purely in-memory tree.
+    persist: Option<PersistState>,
     /// Serializes flush passes so components install in seal order.
     flush_lock: Mutex<()>,
     /// At most one merge in flight per tree (keeps the oldest-component
@@ -180,6 +271,7 @@ impl std::fmt::Debug for LsmTree {
         f.debug_struct("LsmTree")
             .field("config", &self.config)
             .field("policy", &self.policy.name())
+            .field("durable", &self.persist.is_some())
             .field("components", &self.component_count())
             .field("live", &self.live_count())
             .finish()
@@ -188,16 +280,98 @@ impl std::fmt::Debug for LsmTree {
 
 impl LsmTree {
     pub fn new(config: LsmConfig) -> Arc<LsmTree> {
+        Self::build(config, None, Memtable::new(), Vec::new(), 0, 0)
+    }
+
+    /// Opens (or creates) a durable tree rooted at `dir`: loads the
+    /// manifest, reopens the listed component files, replays the WAL
+    /// tail into the memtable, recounts live entries, and resumes
+    /// logging. A crash at any earlier point replays to exactly the
+    /// state every acknowledged `put` implied.
+    pub fn open_durable(config: LsmConfig, dir: &Path) -> Result<Arc<LsmTree>, StorageError> {
+        let started = Instant::now();
+        std::fs::create_dir_all(dir).map_err(|e| StorageError::io(format!("mkdir {dir:?}"), e))?;
+        let d = config.durability;
+        let cache = Arc::new(BlockCache::new(d.cache_blocks));
+        let manifest = Manifest::load(dir)?.unwrap_or_default();
+        let mut components: Vec<Arc<Component>> = Vec::with_capacity(manifest.components.len());
+        let mut next_id = manifest.next_component_id;
+        for id in &manifest.components {
+            let open = ComponentFile::open(&dir.join(component_file_name(*id)))?;
+            next_id = next_id.max(*id + 1);
+            components.push(Arc::new(Component::from_open(open, Arc::clone(&cache))));
+        }
+        let (replay, _) = Wal::replay_dir(dir)?;
+        let mut active = Memtable::new();
+        let mut replayed = 0u64;
+        for (lsn, key, entry) in &replay.records {
+            if *lsn >= manifest.wal_start_lsn {
+                active.put(key.clone(), entry.clone());
+                replayed += 1;
+            }
+        }
+        let wal = if d.wal {
+            Some(Wal::open(
+                dir,
+                WalConfig { fsync: d.fsync, segment_bytes: d.wal_segment_bytes },
+                &replay,
+            )?)
+        } else {
+            None
+        };
+        let components = Arc::new(components);
+        // Recount live entries through a snapshot of the recovered state
+        // (the counter is maintained incrementally from here on).
+        let live = TreeSnapshot {
+            mem: active.iter().map(|(k, e)| (k.clone(), e.clone())).collect(),
+            components: Arc::clone(&components),
+        }
+        .iter()
+        .count() as i64;
+        let persist = PersistState {
+            dir: dir.to_path_buf(),
+            durability: d,
+            wal,
+            cache,
+            manifest_ctl: Mutex::new(manifest.wal_start_lsn),
+            wal_floor: AtomicU64::new(u64::MAX),
+            io_errors: AtomicU64::new(0),
+            recovery: RecoveryStats {
+                components_loaded: manifest.components.len() as u64,
+                replayed_records: replayed,
+                truncated_bytes: replay.truncated_bytes,
+                millis: started.elapsed().as_millis() as u64,
+            },
+        };
+        Ok(Self::build(
+            config,
+            Some(persist),
+            active,
+            Arc::try_unwrap(components).unwrap_or_else(|a| a.as_ref().clone()),
+            next_id,
+            live,
+        ))
+    }
+
+    fn build(
+        config: LsmConfig,
+        persist: Option<PersistState>,
+        active: Memtable,
+        components: Vec<Arc<Component>>,
+        next_component_id: u64,
+        live: i64,
+    ) -> Arc<LsmTree> {
         let policy = config.merge_policy.build();
         Arc::new_cyclic(|me| LsmTree {
             me: me.clone(),
             config,
             policy,
             state: RwLock::new(TreeState {
-                active: Memtable::new(),
+                active,
                 sealed: Vec::new(),
-                components: Arc::new(Vec::new()),
+                components: Arc::new(components),
             }),
+            persist,
             flush_lock: Mutex::new(()),
             merge_in_flight: AtomicBool::new(false),
             flush_pending: AtomicBool::new(false),
@@ -205,10 +379,10 @@ impl LsmTree {
             sealed_cv: Condvar::new(),
             maintenance: RwLock::new(None),
             node_hint: AtomicUsize::new(NO_NODE),
-            next_component_id: AtomicU64::new(0),
+            next_component_id: AtomicU64::new(next_component_id),
             flushes: AtomicU64::new(0),
             merges: AtomicU64::new(0),
-            live: AtomicI64::new(0),
+            live: AtomicI64::new(live),
             bytes_ingested: AtomicU64::new(0),
             bytes_flushed: AtomicU64::new(0),
             bytes_merged: AtomicU64::new(0),
@@ -222,6 +396,43 @@ impl LsmTree {
 
     pub fn policy_name(&self) -> &'static str {
         self.policy.name()
+    }
+
+    /// Whether the tree has a disk presence (WAL + component files).
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Recovery statistics from `open_durable` (durable trees only).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.persist.as_ref().map(|p| p.recovery)
+    }
+
+    /// WAL activity counters (durable trees with the WAL enabled).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        let wal = self.persist.as_ref()?.wal.as_ref()?;
+        Some(WalStats {
+            appends: wal.appends(),
+            commits: wal.commits(),
+            flush_rounds: wal.flush_rounds(),
+            fsyncs: wal.fsyncs(),
+            bytes_appended: wal.bytes_appended(),
+            segments_retired: wal.segments_retired(),
+        })
+    }
+
+    /// Block-cache counters (durable trees only).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.persist.as_ref().map(|p| CacheStats {
+            hits: p.cache.hits(),
+            misses: p.cache.misses(),
+            read_errors: p.cache.read_errors(),
+        })
+    }
+
+    /// Maintenance-path I/O failures absorbed without data loss.
+    pub fn io_error_count(&self) -> u64 {
+        self.persist.as_ref().map(|p| p.io_errors.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// Routes this tree's maintenance through a shared scheduler.
@@ -244,16 +455,23 @@ impl LsmTree {
     }
 
     /// Writes a record (or tombstone when `value` is `None`) under
-    /// `key`. Returns how long the writer stalled on flush back-pressure
-    /// (zero in the common case). The write path never builds or merges
-    /// components.
-    pub fn put(&self, key: Value, value: Entry) -> Duration {
+    /// `key`. On a durable tree the operation is WAL-appended before the
+    /// memtable apply (under the same lock, so log order = apply order)
+    /// and group-committed before returning. Returns how long the writer
+    /// stalled on flush back-pressure (zero in the common case). The
+    /// write path never builds or merges components.
+    pub fn put(&self, key: Value, value: Entry) -> Result<Duration, StorageError> {
         self.bytes_ingested.fetch_add(
             (key.approx_size() + value.as_ref().map(|v| v.approx_size()).unwrap_or(1)) as u64,
             Ordering::Relaxed,
         );
-        let need_seal = {
+        let wal = self.persist.as_ref().and_then(|p| p.wal.as_ref());
+        let (need_seal, lsn) = {
             let mut st = self.state.write();
+            let lsn = match wal {
+                Some(w) => Some(w.append(&key, &value)?),
+                None => None,
+            };
             let was_live = match st.active.get(&key) {
                 Some(e) => e.is_some(),
                 None => self.probe_frozen(&st, &key).is_some_and(|e| e.is_some()),
@@ -269,29 +487,43 @@ impl LsmTree {
                 }
                 _ => {}
             }
-            st.active.approx_bytes() >= self.config.memtable_budget_bytes
+            (st.active.approx_bytes() >= self.config.memtable_budget_bytes, lsn)
         };
+        if let (Some(w), Some(lsn)) = (wal, lsn) {
+            w.commit(lsn)?;
+        }
         if need_seal {
-            self.seal_active()
+            Ok(self.seal_active())
         } else {
-            Duration::ZERO
+            Ok(Duration::ZERO)
         }
     }
 
     /// Latest frozen entry for `key` (sealed memtables, then
     /// components), ignoring the active memtable.
     fn probe_frozen(&self, st: &TreeState, key: &Value) -> Option<Entry> {
-        for m in &st.sealed {
+        for (m, _) in &st.sealed {
             if let Some(e) = m.get(key) {
                 return Some(e.clone());
             }
         }
         for c in st.components.iter() {
             if let Some(e) = c.get(key) {
-                return Some(e.clone());
+                return Some(e);
             }
         }
         None
+    }
+
+    /// The WAL watermark to stamp on a memtable sealed *now*: one past
+    /// the newest appended LSN. Callers hold the state write lock, so no
+    /// later operation can slip under the watermark.
+    fn seal_watermark(&self) -> u64 {
+        self.persist
+            .as_ref()
+            .and_then(|p| p.wal.as_ref())
+            .map(|w| w.next_lsn())
+            .unwrap_or(0)
     }
 
     /// Seals the active memtable onto the flush queue, stalling if the
@@ -309,8 +541,9 @@ impl LsmTree {
                 let mut ctl = self.sealed_ctl.lock().unwrap();
                 if *ctl < self.config.max_sealed_memtables {
                     *ctl += 1;
+                    let watermark = self.seal_watermark();
                     let frozen = std::mem::take(&mut st.active);
-                    st.sealed.insert(0, Arc::new(frozen));
+                    st.sealed.insert(0, (Arc::new(frozen), watermark));
                     true
                 } else {
                     false
@@ -358,27 +591,99 @@ impl LsmTree {
         }
     }
 
+    /// Writes `entries` (in key order) to component file `id` and wraps
+    /// it as a disk-backed component.
+    fn write_component_file(
+        p: &PersistState,
+        id: u64,
+        entries: impl Iterator<Item = (Value, Entry)>,
+    ) -> Result<Component, StorageError> {
+        let path = p.dir.join(component_file_name(id));
+        let mut w = ComponentFileWriter::create(&path, id, p.durability.block_bytes)?;
+        for (k, e) in entries {
+            w.push(k, &e)?;
+        }
+        let open = w.finish(p.durability.fsync == FsyncPolicy::Always)?;
+        Ok(Component::from_open(open, Arc::clone(&p.cache)))
+    }
+
+    /// Builds the component for a flushed memtable: a component file on
+    /// durable trees, falling back to a memory backing (with the WAL
+    /// replay point pinned, so nothing is lost) if the write fails.
+    fn build_flush_component(&self, id: u64, mem: &Memtable) -> Component {
+        if let Some(p) = &self.persist {
+            let entries = mem.iter().map(|(k, e)| (k.clone(), e.clone()));
+            match Self::write_component_file(p, id, entries) {
+                Ok(c) => return c,
+                Err(_) => {
+                    p.io_errors.fetch_add(1, Ordering::Relaxed);
+                    // Pin the replay point: the manifest may never claim
+                    // this memtable's operations are covered on disk.
+                    let stored = *p.manifest_ctl.lock();
+                    p.wal_floor.fetch_min(stored, Ordering::Relaxed);
+                }
+            }
+        }
+        Component::from_frozen(id, mem)
+    }
+
+    /// Atomically rewrites the manifest from the current component
+    /// stack. `advance_wal_start_to` moves the WAL replay point forward
+    /// (flush path); merges pass `None`. Returns the persisted replay
+    /// point, or `None` when the save failed (counted, not fatal: the
+    /// previous manifest remains valid).
+    fn save_manifest(&self, p: &PersistState, advance_wal_start_to: Option<u64>) -> Option<u64> {
+        let mut stored = p.manifest_ctl.lock();
+        let ids: Vec<u64> = {
+            let st = self.state.read();
+            st.components.iter().filter(|c| c.is_disk()).map(|c| c.id()).collect()
+        };
+        let proposed = match advance_wal_start_to {
+            Some(w) => w.max(*stored),
+            None => *stored,
+        };
+        let wal_start = proposed.min(p.wal_floor.load(Ordering::Relaxed));
+        let manifest = Manifest {
+            components: ids,
+            next_component_id: self.next_component_id.load(Ordering::Relaxed),
+            wal_start_lsn: wal_start,
+        };
+        match manifest.save(&p.dir) {
+            Ok(()) => {
+                *stored = wal_start;
+                Some(wal_start)
+            }
+            Err(_) => {
+                p.io_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Drains the sealed queue oldest-first, building one component per
     /// sealed memtable and installing it at the head of the stack
     /// (every existing component is older than any sealed memtable).
     /// Serialized by `flush_lock` so concurrent passes cannot install
-    /// out of seal order.
+    /// out of seal order. On durable trees the pass ends by swinging the
+    /// manifest to the newest flushed watermark and retiring covered WAL
+    /// segments.
     fn flush_pass(&self) {
         let guard = self.flush_lock.lock();
+        let mut flushed_watermark: Option<u64> = None;
         loop {
-            let mem = {
+            let (mem, watermark) = {
                 let st = self.state.read();
                 match st.sealed.last() {
-                    Some(m) => Arc::clone(m),
+                    Some((m, w)) => (Arc::clone(m), *w),
                     None => break,
                 }
             };
             let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
-            let comp = Arc::new(Component::from_frozen(id, &mem));
+            let comp = Arc::new(self.build_flush_component(id, &mem));
             self.bytes_flushed.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
             {
                 let mut st = self.state.write();
-                let popped = st.sealed.pop().expect("sealed queue emptied under flush_lock");
+                let (popped, _) = st.sealed.pop().expect("sealed queue emptied under flush_lock");
                 debug_assert!(Arc::ptr_eq(&popped, &mem));
                 let mut comps = st.components.as_ref().clone();
                 comps.insert(0, comp);
@@ -390,8 +695,18 @@ impl LsmTree {
             }
             self.sealed_cv.notify_all();
             self.flushes.fetch_add(1, Ordering::Relaxed);
+            flushed_watermark = Some(watermark);
         }
         drop(guard);
+        if let (Some(p), Some(watermark)) = (self.persist.as_ref(), flushed_watermark) {
+            if let Some(wal_start) = self.save_manifest(p, Some(watermark)) {
+                if let Some(wal) = &p.wal {
+                    if wal.retire_upto(wal_start).is_err() {
+                        p.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
         self.maybe_schedule_merge();
     }
 
@@ -440,10 +755,28 @@ impl LsmTree {
 
     /// Merges `victims` (contiguous in the stack) into one component and
     /// splices it in place. Readers keep serving from the old snapshot
-    /// until the single `Arc` swap. Clears the merge-in-flight token.
+    /// until the single `Arc` swap. On durable trees the merged run is
+    /// *streamed* to a new component file, the manifest swings, and the
+    /// victims' files are deleted (open snapshots keep reading them via
+    /// their still-open descriptors). A failed merge write abandons the
+    /// merge — the victims simply stay. Clears the merge-in-flight
+    /// token.
     fn run_merge(&self, victims: Vec<Arc<Component>>, drop_tombstones: bool) {
         let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
-        let merged = Arc::new(Component::merge(id, &victims, drop_tombstones));
+        let merged = match &self.persist {
+            Some(p) => {
+                match Self::write_component_file(p, id, merge_iter(&victims, drop_tombstones)) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        p.io_errors.fetch_add(1, Ordering::Relaxed);
+                        self.merge_in_flight.store(false, Ordering::Release);
+                        return;
+                    }
+                }
+            }
+            None => Component::merge(id, &victims, drop_tombstones),
+        };
+        let merged = Arc::new(merged);
         self.bytes_merged.fetch_add(merged.approx_bytes() as u64, Ordering::Relaxed);
         {
             let mut st = self.state.write();
@@ -457,6 +790,21 @@ impl LsmTree {
             st.components = Arc::new(comps);
         }
         self.merges.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.persist {
+            // Delete victim files only once the manifest stopped
+            // referencing them; on a failed save they stay (recovery
+            // would reopen the pre-merge stack, which is equivalent).
+            if self.save_manifest(p, None).is_some() {
+                for v in &victims {
+                    if let Some(f) = v.file() {
+                        p.cache.evict_file(f.uid());
+                        if std::fs::remove_file(f.path()).is_err() {
+                            p.io_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
         self.merge_in_flight.store(false, Ordering::Release);
     }
 
@@ -469,8 +817,9 @@ impl LsmTree {
             if !st.active.is_empty() {
                 let mut ctl = self.sealed_ctl.lock().unwrap();
                 *ctl += 1; // explicit flush may exceed the stall limit briefly
+                let watermark = self.seal_watermark();
                 let frozen = std::mem::take(&mut st.active);
-                st.sealed.insert(0, Arc::new(frozen));
+                st.sealed.insert(0, (Arc::new(frozen), watermark));
             }
         }
         self.flush_pass();
@@ -496,18 +845,35 @@ impl LsmTree {
     }
 
     /// Installs pre-sorted pairs as a single component (bulk load). The
-    /// component id comes from the tree's allocator like any other.
-    pub fn bulk_install(&self, pairs: Vec<(Value, Entry)>) {
+    /// component id comes from the tree's allocator like any other. On
+    /// durable trees the component is written to disk and recorded in
+    /// the manifest before the call returns (bulk loads bypass the WAL,
+    /// so the file write must succeed).
+    pub fn bulk_install(&self, pairs: Vec<(Value, Entry)>) -> Result<(), StorageError> {
         let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
         let live = pairs.iter().filter(|(_, e)| e.is_some()).count() as i64;
-        let comp = Arc::new(Component::from_sorted(id, pairs));
+        let comp = match &self.persist {
+            Some(p) => Arc::new(Self::write_component_file(p, id, pairs.into_iter())?),
+            None => Arc::new(Component::from_sorted(id, pairs)),
+        };
         self.bytes_ingested.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
         self.bytes_flushed.fetch_add(comp.approx_bytes() as u64, Ordering::Relaxed);
         self.live.fetch_add(live, Ordering::Relaxed);
-        let mut st = self.state.write();
-        let mut comps = st.components.as_ref().clone();
-        comps.insert(0, comp);
-        st.components = Arc::new(comps);
+        {
+            let mut st = self.state.write();
+            let mut comps = st.components.as_ref().clone();
+            comps.insert(0, comp);
+            st.components = Arc::new(comps);
+        }
+        if let Some(p) = &self.persist {
+            if self.save_manifest(p, None).is_none() {
+                return Err(StorageError::Io(format!(
+                    "bulk load into {:?}: manifest update failed",
+                    p.dir
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Newest visible entry for `key`: active memtable → sealed
@@ -520,7 +886,7 @@ impl LsmTree {
             if let Some(e) = st.active.get(key) {
                 return e.clone();
             }
-            for m in &st.sealed {
+            for (m, _) in &st.sealed {
                 if let Some(e) = m.get(key) {
                     return e.clone();
                 }
@@ -529,7 +895,7 @@ impl LsmTree {
         };
         for c in components.iter() {
             if let Some(e) = c.get(key) {
-                return e.clone();
+                return e;
             }
         }
         None
@@ -546,7 +912,7 @@ impl LsmTree {
     pub fn snapshot(&self) -> TreeSnapshot {
         let st = self.state.read();
         let mut map: BTreeMap<Value, Entry> = BTreeMap::new();
-        for m in st.sealed.iter().rev() {
+        for (m, _) in st.sealed.iter().rev() {
             for (k, e) in m.iter() {
                 map.insert(k.clone(), e.clone());
             }
@@ -558,7 +924,8 @@ impl LsmTree {
     }
 
     /// Number of live (non-tombstone, non-shadowed) entries. O(1): the
-    /// counter is maintained on every `put`/`bulk_install`.
+    /// counter is maintained on every `put`/`bulk_install` (recomputed
+    /// once at recovery).
     pub fn live_count(&self) -> usize {
         self.live.load(Ordering::Relaxed).max(0) as usize
     }
@@ -567,7 +934,7 @@ impl LsmTree {
     /// tombstones and shadowed versions.
     pub fn memtable_len(&self) -> usize {
         let st = self.state.read();
-        st.active.len() + st.sealed.iter().map(|m| m.len()).sum::<usize>()
+        st.active.len() + st.sealed.iter().map(|(m, _)| m.len()).sum::<usize>()
     }
 
     pub fn component_count(&self) -> usize {
@@ -613,7 +980,9 @@ impl LsmTree {
 }
 
 /// A consistent view of the tree at snapshot time. Iteration yields
-/// live entries in key order, newest version winning.
+/// live entries in key order, newest version winning. Accessors return
+/// owned values (`Arc` clones): a disk-backed component fetches entries
+/// through the block cache, so nothing can be borrowed from it.
 #[derive(Debug, Clone)]
 pub struct TreeSnapshot {
     /// Merged memtable contents at snapshot time, sorted by key.
@@ -624,13 +993,13 @@ pub struct TreeSnapshot {
 
 impl TreeSnapshot {
     /// Point lookup within the snapshot. `None` for absent/tombstone.
-    pub fn get(&self, key: &Value) -> Option<&Arc<Value>> {
+    pub fn get(&self, key: &Value) -> Option<Arc<Value>> {
         if let Ok(i) = self.mem.binary_search_by(|(k, _)| k.cmp(key)) {
-            return self.mem[i].1.as_ref();
+            return self.mem[i].1.clone();
         }
         for c in self.components.iter() {
             if let Some(e) = c.get(key) {
-                return e.as_ref();
+                return e;
             }
         }
         None
@@ -641,7 +1010,7 @@ impl TreeSnapshot {
     pub fn iter(&self) -> SnapshotIter<'_> {
         let mut sources: Vec<Peekable<EntrySource<'_>>> =
             Vec::with_capacity(1 + self.components.len());
-        let mem: EntrySource<'_> = Box::new(self.mem.iter().map(|(k, e)| (k, e)));
+        let mem: EntrySource<'_> = Box::new(self.mem.iter().map(|(k, e)| (k.clone(), e.clone())));
         sources.push(mem.peekable());
         for c in self.components.iter() {
             let it: EntrySource<'_> = Box::new(c.iter());
@@ -660,7 +1029,7 @@ impl TreeSnapshot {
     }
 }
 
-type EntrySource<'a> = Box<dyn Iterator<Item = (&'a Value, &'a Entry)> + 'a>;
+type EntrySource<'a> = Box<dyn Iterator<Item = (Value, Entry)> + 'a>;
 
 /// K-way merging iterator over a [`TreeSnapshot`]. Source 0 (the
 /// memtable view) is newest; ties on key resolve to the lowest source
@@ -669,28 +1038,30 @@ pub struct SnapshotIter<'a> {
     sources: Vec<Peekable<EntrySource<'a>>>,
 }
 
-impl<'a> Iterator for SnapshotIter<'a> {
-    type Item = (&'a Value, &'a Arc<Value>);
+impl Iterator for SnapshotIter<'_> {
+    type Item = (Value, Arc<Value>);
 
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             // Smallest key across sources; among equal keys the lowest
-            // source index (newest data) wins. Items are copied out of
-            // peek() so the borrows don't pin `sources`.
-            let mut best: Option<(usize, (&'a Value, &'a Entry))> = None;
+            // source index (newest data) wins. The candidate key is
+            // cloned out of peek() so the borrow doesn't pin `sources`.
+            let mut best: Option<(usize, Value)> = None;
             for (i, src) in self.sources.iter_mut().enumerate() {
-                if let Some(item) = src.peek().copied() {
-                    match &best {
-                        Some((_, (bk, _))) if item.0 >= *bk => {}
-                        _ => best = Some((i, item)),
+                if let Some((k, _)) = src.peek() {
+                    let better = match &best {
+                        None => true,
+                        Some((_, bk)) => k < bk,
+                    };
+                    if better {
+                        best = Some((i, k.clone()));
                     }
                 }
             }
-            let (winner, (key, entry)) = best?;
+            let (winner, key) = best?;
+            let entry = self.sources[winner].next().unwrap().1;
             for (i, src) in self.sources.iter_mut().enumerate() {
-                if i == winner {
-                    src.next();
-                } else {
+                if i != winner {
                     // Advance every other source past this key
                     // (shadowed entries).
                     while matches!(src.peek(), Some((k, _)) if *k == key) {
@@ -698,7 +1069,7 @@ impl<'a> Iterator for SnapshotIter<'a> {
                     }
                 }
             }
-            if let Some(v) = entry.as_ref() {
+            if let Some(v) = entry {
                 return Some((key, v));
             }
             // Tombstone: skip and continue.
@@ -719,14 +1090,15 @@ mod tests {
             memtable_budget_bytes: 256,
             max_sealed_memtables: 2,
             merge_policy: MergePolicyConfig::Constant { max_components: 3 },
+            durability: DurabilityConfig::default(),
         }
     }
 
     #[test]
     fn put_get_overwrite() {
         let t = LsmTree::new(LsmConfig::default());
-        t.put(Value::Int(1), rec("a"));
-        t.put(Value::Int(1), rec("b"));
+        t.put(Value::Int(1), rec("a")).unwrap();
+        t.put(Value::Int(1), rec("b")).unwrap();
         assert_eq!(t.get(&Value::Int(1)).unwrap().as_str(), Some("b"));
         assert_eq!(t.get(&Value::Int(2)), None);
         assert_eq!(t.live_count(), 1);
@@ -735,9 +1107,9 @@ mod tests {
     #[test]
     fn tombstone_hides_older_component_entry() {
         let t = LsmTree::new(LsmConfig::default());
-        t.put(Value::Int(7), rec("old"));
+        t.put(Value::Int(7), rec("old")).unwrap();
         t.flush();
-        t.put(Value::Int(7), None);
+        t.put(Value::Int(7), None).unwrap();
         assert_eq!(t.get(&Value::Int(7)), None);
         assert_eq!(t.live_count(), 0);
         t.flush();
@@ -748,7 +1120,7 @@ mod tests {
     fn auto_flush_on_budget() {
         let t = LsmTree::new(tiny_config());
         for i in 0..100 {
-            t.put(Value::Int(i), Some(Arc::new(Value::str("x".repeat(20)))));
+            t.put(Value::Int(i), Some(Arc::new(Value::str("x".repeat(20))))).unwrap();
         }
         assert!(t.flush_count() > 0, "memtable budget should force flushes");
         for i in 0..100 {
@@ -762,7 +1134,7 @@ mod tests {
         let t = LsmTree::new(tiny_config());
         for round in 0..5 {
             for i in 0..10 {
-                t.put(Value::Int(i), Some(Arc::new(Value::Int(round))));
+                t.put(Value::Int(i), Some(Arc::new(Value::Int(round)))).unwrap();
             }
             t.flush();
         }
@@ -781,7 +1153,7 @@ mod tests {
             ..LsmConfig::default()
         });
         for batch in 0..4 {
-            t.put(Value::Int(batch), rec("v"));
+            t.put(Value::Int(batch), rec("v")).unwrap();
             t.flush();
         }
         assert_eq!(t.component_count(), 4);
@@ -794,12 +1166,12 @@ mod tests {
     #[test]
     fn snapshot_iter_in_key_order_newest_wins() {
         let t = LsmTree::new(LsmConfig::default());
-        t.put(Value::Int(2), rec("old2"));
-        t.put(Value::Int(3), rec("three"));
+        t.put(Value::Int(2), rec("old2")).unwrap();
+        t.put(Value::Int(3), rec("three")).unwrap();
         t.flush();
-        t.put(Value::Int(2), rec("new2"));
-        t.put(Value::Int(1), rec("one"));
-        t.put(Value::Int(3), None); // delete
+        t.put(Value::Int(2), rec("new2")).unwrap();
+        t.put(Value::Int(1), rec("one")).unwrap();
+        t.put(Value::Int(3), None).unwrap(); // delete
         let snap = t.snapshot();
         let got: Vec<(i64, String)> = snap
             .iter()
@@ -811,11 +1183,11 @@ mod tests {
     #[test]
     fn snapshot_isolated_from_later_writes() {
         let t = LsmTree::new(LsmConfig::default());
-        t.put(Value::Int(1), rec("v1"));
+        t.put(Value::Int(1), rec("v1")).unwrap();
         t.flush();
         let snap = t.snapshot();
-        t.put(Value::Int(1), rec("v2"));
-        t.put(Value::Int(2), rec("other"));
+        t.put(Value::Int(1), rec("v2")).unwrap();
+        t.put(Value::Int(2), rec("other")).unwrap();
         t.merge_all();
         assert_eq!(snap.get(&Value::Int(1)).unwrap().as_str(), Some("v1"));
         assert_eq!(snap.get(&Value::Int(2)), None);
@@ -825,13 +1197,13 @@ mod tests {
     fn live_count_tracks_deletes_and_reinserts() {
         let t = LsmTree::new(LsmConfig::default());
         for i in 0..10 {
-            t.put(Value::Int(i), rec("v"));
+            t.put(Value::Int(i), rec("v")).unwrap();
         }
         t.flush();
-        t.put(Value::Int(3), None); // delete a flushed key
-        t.put(Value::Int(3), None); // double-delete is a no-op
-        t.put(Value::Int(11), rec("new"));
-        t.put(Value::Int(4), rec("overwrite"));
+        t.put(Value::Int(3), None).unwrap(); // delete a flushed key
+        t.put(Value::Int(3), None).unwrap(); // double-delete is a no-op
+        t.put(Value::Int(11), rec("new")).unwrap();
+        t.put(Value::Int(4), rec("overwrite")).unwrap();
         assert_eq!(t.live_count(), 10);
         t.flush();
         t.merge_all();
@@ -843,11 +1215,11 @@ mod tests {
     fn bulk_install_counts_live_and_allocates_real_ids() {
         let t = LsmTree::new(LsmConfig::default());
         let pairs: Vec<(Value, Entry)> = (0..5).map(|i| (Value::Int(i), rec("bulk"))).collect();
-        t.bulk_install(pairs);
+        t.bulk_install(pairs).unwrap();
         assert_eq!(t.live_count(), 5);
         assert_eq!(t.component_count(), 1);
         // The id allocator must have advanced past the bulk component.
-        t.put(Value::Int(100), rec("after"));
+        t.put(Value::Int(100), rec("after")).unwrap();
         t.flush();
         let comps = t.component_snapshot();
         assert_ne!(comps[0].id(), comps[1].id());
@@ -861,12 +1233,12 @@ mod tests {
             ..LsmConfig::default()
         });
         for i in 0..50 {
-            t.put(Value::Int(i), rec("some payload here"));
+            t.put(Value::Int(i), rec("some payload here")).unwrap();
         }
         t.flush();
         let before = t.write_amp();
         for i in 50..100 {
-            t.put(Value::Int(i), rec("some payload here"));
+            t.put(Value::Int(i), rec("some payload here")).unwrap();
         }
         t.flush();
         t.merge_all();
@@ -888,5 +1260,20 @@ mod tests {
         assert!(c.apply_option("merge-max-components", "3").is_err(), "wrong-policy knob");
         assert!(c.apply_option("nope", "1").is_err());
         assert!(c.apply_option("memtable-budget-bytes", "abc").is_err());
+        // Durability knobs route through the same entry point.
+        c.apply_option("fsync", "never").unwrap();
+        assert_eq!(c.durability.fsync, FsyncPolicy::Never);
+        c.apply_option("wal", "off").unwrap();
+        assert!(!c.durability.wal);
+    }
+
+    #[test]
+    fn in_memory_tree_reports_no_durable_stats() {
+        let t = LsmTree::new(LsmConfig::default());
+        assert!(!t.is_durable());
+        assert!(t.wal_stats().is_none());
+        assert!(t.cache_stats().is_none());
+        assert!(t.recovery_stats().is_none());
+        assert_eq!(t.io_error_count(), 0);
     }
 }

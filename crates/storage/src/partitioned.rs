@@ -4,6 +4,7 @@
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::path::Path;
 use std::sync::Arc;
 
 use idea_adm::{Datatype, Value};
@@ -52,6 +53,34 @@ impl PartitionedDataset {
                 })
                 .collect(),
         }
+    }
+
+    /// Opens (or creates) a durable partitioned dataset under `base`:
+    /// each partition recovers from (and logs to) its own directory,
+    /// `base/p0`, `base/p1`, … — per-partition WALs, as in AsterixDB's
+    /// per-partition transaction logs.
+    pub fn open_durable(
+        name: &str,
+        datatype: Datatype,
+        pk_field: &str,
+        partitions: usize,
+        config: DatasetConfig,
+        base: &Path,
+    ) -> Result<Self> {
+        assert!(partitions > 0, "need at least one partition");
+        let mut parts = Vec::with_capacity(partitions);
+        for p in 0..partitions {
+            let ds = Dataset::open_durable(
+                format!("{name}#{p}"),
+                datatype.clone(),
+                pk_field,
+                config.clone(),
+                &base.join(format!("p{p}")),
+            )?;
+            ds.set_node_hint(p);
+            parts.push(Arc::new(ds));
+        }
+        Ok(PartitionedDataset { partitions: parts })
     }
 
     /// Routes every partition's flushes/merges through a shared

@@ -1,0 +1,441 @@
+//! The on-disk sealed-component format.
+//!
+//! A component file holds the entry payloads of one immutable LSM
+//! component in checksummed blocks, with everything a reader needs to
+//! navigate them — the sorted key column, per-block index, Bloom filter
+//! — gathered in a footer:
+//!
+//! ```text
+//! ┌──────────┬─────────────────────────┬────────┬───────────────────┐
+//! │ "IDACMP1" │ block*                 │ footer │ len · crc · magic │
+//! └──────────┴─────────────────────────┴────────┴───────────────────┘
+//! block  = u32 payload_len · u32 crc32 · payload(u32 count · entry*)
+//! footer = id · entry_count · approx_bytes · block index · bloom · keys
+//! ```
+//!
+//! The key column and Bloom filter are loaded at open and stay resident
+//! (they are what point lookups touch first); entry blocks are fetched
+//! on demand through the shared [`BlockCache`](super::BlockCache).
+//! Every frame is CRC-32–checked, so a torn write or bit rot surfaces
+//! as [`StorageError::Corrupt`], never as silently wrong data.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use idea_adm::Value;
+
+use super::codec;
+use crate::error::StorageError;
+use crate::lsm::{BloomFilter, Entry};
+
+const HEADER_MAGIC: &[u8; 8] = b"IDACMP1\n";
+const FOOTER_MAGIC: u64 = 0x4944_4143_4654_5231; // "IDACFTR1" folded
+
+/// Process-unique ids for open files, used as block-cache keys so a
+/// reopened path never aliases stale cached blocks.
+static NEXT_FILE_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Location of one entry block inside the file.
+#[derive(Debug, Clone, Copy)]
+struct BlockMeta {
+    offset: u64,
+    payload_len: u32,
+    /// Index (into the component's key column) of the block's first
+    /// entry; `entry index → block` is a binary search over these.
+    first_index: u32,
+}
+
+/// An open, immutable component file: navigation metadata in memory,
+/// entry payloads on disk. Reads use positioned I/O (`read_exact_at`),
+/// so concurrent block fetches never contend on a seek cursor.
+#[derive(Debug)]
+pub struct ComponentFile {
+    path: PathBuf,
+    file: File,
+    uid: u64,
+    blocks: Vec<BlockMeta>,
+    entry_count: usize,
+}
+
+/// Everything `ComponentFile::open` recovers (and a writer's `finish`
+/// produces): the file handle plus the resident key column, Bloom
+/// filter and size accounting the in-memory `Component` wrapper needs.
+#[derive(Debug)]
+pub struct OpenComponent {
+    pub file: Arc<ComponentFile>,
+    pub id: u64,
+    pub keys: Vec<Value>,
+    pub bloom: BloomFilter,
+    pub approx_bytes: usize,
+}
+
+impl ComponentFile {
+    /// Opens an existing component file, verifying the footer checksum
+    /// and loading the key column + Bloom filter.
+    pub fn open(path: &Path) -> Result<OpenComponent, StorageError> {
+        let file = File::open(path).map_err(|e| StorageError::io(format!("open {path:?}"), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::io(format!("stat {path:?}"), e))?
+            .len();
+        let trailer_at = len.checked_sub(16).ok_or_else(|| {
+            StorageError::Corrupt(format!("component file {path:?} too short ({len} bytes)"))
+        })?;
+        let mut trailer = [0u8; 16];
+        file.read_exact_at(&mut trailer, trailer_at)
+            .map_err(|e| StorageError::io(format!("read trailer of {path:?}"), e))?;
+        let footer_len = u32::from_le_bytes(trailer[0..4].try_into().unwrap()) as u64;
+        let footer_crc = u32::from_le_bytes(trailer[4..8].try_into().unwrap());
+        let magic = u64::from_le_bytes(trailer[8..16].try_into().unwrap());
+        if magic != FOOTER_MAGIC {
+            return Err(StorageError::Corrupt(format!("bad footer magic in {path:?}")));
+        }
+        let footer_at = trailer_at.checked_sub(footer_len).ok_or_else(|| {
+            StorageError::Corrupt(format!("footer length {footer_len} exceeds file {path:?}"))
+        })?;
+        let mut footer = vec![0u8; footer_len as usize];
+        file.read_exact_at(&mut footer, footer_at)
+            .map_err(|e| StorageError::io(format!("read footer of {path:?}"), e))?;
+        if codec::crc32(&footer) != footer_crc {
+            return Err(StorageError::Corrupt(format!("footer checksum mismatch in {path:?}")));
+        }
+
+        let mut r = codec::Reader::new(&footer);
+        let id = r.u64()?;
+        let entry_count = r.u64()? as usize;
+        let approx_bytes = r.u64()? as usize;
+        let nblocks = r.u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks);
+        for _ in 0..nblocks {
+            blocks.push(BlockMeta {
+                offset: r.u64()?,
+                payload_len: r.u32()?,
+                first_index: r.u32()?,
+            });
+        }
+        let nbits = r.u64()?;
+        let nwords = r.u32()? as usize;
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(r.u64()?);
+        }
+        let bloom = BloomFilter::from_words(nbits, words);
+        let mut keys = Vec::with_capacity(entry_count);
+        for _ in 0..entry_count {
+            keys.push(codec::decode_value(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(StorageError::Corrupt(format!("trailing footer bytes in {path:?}")));
+        }
+        let file = ComponentFile {
+            path: path.to_path_buf(),
+            file,
+            uid: NEXT_FILE_UID.fetch_add(1, Ordering::Relaxed),
+            blocks,
+            entry_count,
+        };
+        Ok(OpenComponent { file: Arc::new(file), id, keys, bloom, approx_bytes })
+    }
+
+    /// Process-unique id for cache keying.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+
+    /// The block holding entry `index`, and the entry's offset within it.
+    pub fn locate(&self, index: usize) -> (u32, usize) {
+        let block = match self.blocks.binary_search_by(|b| (b.first_index as usize).cmp(&index)) {
+            Ok(b) => b,
+            Err(b) => b - 1, // b >= 1: block 0 always has first_index 0
+        };
+        (block as u32, index - self.blocks[block].first_index as usize)
+    }
+
+    /// Reads and decodes one block, verifying its checksum.
+    pub fn read_block(&self, block: u32) -> Result<Vec<Entry>, StorageError> {
+        let meta = self.blocks.get(block as usize).ok_or_else(|| {
+            StorageError::Corrupt(format!("block {block} out of range in {:?}", self.path))
+        })?;
+        let mut framed = vec![0u8; 8 + meta.payload_len as usize];
+        self.file
+            .read_exact_at(&mut framed, meta.offset)
+            .map_err(|e| StorageError::io(format!("read block {block} of {:?}", self.path), e))?;
+        let len = u32::from_le_bytes(framed[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(framed[4..8].try_into().unwrap());
+        let payload = &framed[8..];
+        if len != meta.payload_len || codec::crc32(payload) != crc {
+            return Err(StorageError::Corrupt(format!(
+                "block {block} checksum mismatch in {:?}",
+                self.path
+            )));
+        }
+        let mut r = codec::Reader::new(payload);
+        let count = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            entries.push(codec::decode_entry(&mut r)?);
+        }
+        if !r.is_empty() {
+            return Err(StorageError::Corrupt(format!(
+                "trailing bytes in block {block} of {:?}",
+                self.path
+            )));
+        }
+        Ok(entries)
+    }
+}
+
+/// Streaming writer: entries arrive in key order (from a frozen memtable
+/// or a k-way merge), blocks spill as they fill, and `finish` writes the
+/// footer and reopens the result for reading. A merge therefore never
+/// materializes the merged component in memory.
+pub struct ComponentFileWriter {
+    path: PathBuf,
+    file: File,
+    id: u64,
+    block_budget: usize,
+    offset: u64,
+    blocks: Vec<BlockMeta>,
+    // Current block under construction.
+    block_buf: Vec<u8>,
+    block_count: u32,
+    // Resident column accumulated alongside the data blocks.
+    keys: Vec<Value>,
+    approx_bytes: usize,
+}
+
+impl ComponentFileWriter {
+    /// Starts writing component `id` to `path` (truncating any previous
+    /// file there — component ids are never reused, so a leftover can
+    /// only be debris from a crashed, unreferenced write).
+    pub fn create(path: &Path, id: u64, block_budget: usize) -> Result<Self, StorageError> {
+        // read+write: `finish` reuses this descriptor for block reads.
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("create {path:?}"), e))?;
+        file.write_all(HEADER_MAGIC)
+            .map_err(|e| StorageError::io(format!("write header of {path:?}"), e))?;
+        Ok(ComponentFileWriter {
+            path: path.to_path_buf(),
+            file,
+            id,
+            block_budget: block_budget.max(512),
+            offset: HEADER_MAGIC.len() as u64,
+            blocks: Vec::new(),
+            block_buf: Vec::new(),
+            block_count: 0,
+            keys: Vec::new(),
+            approx_bytes: 0,
+        })
+    }
+
+    /// Appends the next `(key, entry)` pair; keys must arrive in
+    /// strictly ascending order.
+    pub fn push(&mut self, key: Value, entry: &Entry) -> Result<(), StorageError> {
+        debug_assert!(self.keys.last().map(|last| *last < key).unwrap_or(true));
+        self.approx_bytes +=
+            key.approx_size() + entry.as_ref().map(|v| v.approx_size()).unwrap_or(1);
+        codec::encode_entry(&mut self.block_buf, entry);
+        self.block_count += 1;
+        self.keys.push(key);
+        if self.block_buf.len() >= self.block_budget {
+            self.spill_block()?;
+        }
+        Ok(())
+    }
+
+    fn spill_block(&mut self) -> Result<(), StorageError> {
+        if self.block_count == 0 {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(4 + self.block_buf.len());
+        codec::put_u32(&mut payload, self.block_count);
+        payload.extend_from_slice(&self.block_buf);
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        codec::put_u32(&mut framed, payload.len() as u32);
+        codec::put_u32(&mut framed, codec::crc32(&payload));
+        framed.extend_from_slice(&payload);
+        self.file
+            .write_all(&framed)
+            .map_err(|e| StorageError::io(format!("write block to {:?}", self.path), e))?;
+        let first_index = (self.keys.len() - self.block_count as usize) as u32;
+        self.blocks.push(BlockMeta {
+            offset: self.offset,
+            payload_len: payload.len() as u32,
+            first_index,
+        });
+        self.offset += framed.len() as u64;
+        self.block_buf.clear();
+        self.block_count = 0;
+        Ok(())
+    }
+
+    /// Seals the file: writes the footer (+ trailer), optionally fsyncs,
+    /// and reopens the result for reading.
+    pub fn finish(mut self, sync: bool) -> Result<OpenComponent, StorageError> {
+        self.spill_block()?;
+        let mut footer = Vec::new();
+        codec::put_u64(&mut footer, self.id);
+        codec::put_u64(&mut footer, self.keys.len() as u64);
+        codec::put_u64(&mut footer, self.approx_bytes as u64);
+        codec::put_u32(&mut footer, self.blocks.len() as u32);
+        for b in &self.blocks {
+            codec::put_u64(&mut footer, b.offset);
+            codec::put_u32(&mut footer, b.payload_len);
+            codec::put_u32(&mut footer, b.first_index);
+        }
+        let bloom = BloomFilter::build(self.keys.iter());
+        codec::put_u64(&mut footer, bloom.nbits());
+        codec::put_u32(&mut footer, bloom.words().len() as u32);
+        for w in bloom.words() {
+            codec::put_u64(&mut footer, *w);
+        }
+        for k in &self.keys {
+            codec::encode_value(&mut footer, k);
+        }
+        let mut tail = Vec::with_capacity(footer.len() + 16);
+        tail.extend_from_slice(&footer);
+        codec::put_u32(&mut tail, footer.len() as u32);
+        codec::put_u32(&mut tail, codec::crc32(&footer));
+        codec::put_u64(&mut tail, FOOTER_MAGIC);
+        self.file
+            .write_all(&tail)
+            .map_err(|e| StorageError::io(format!("write footer of {:?}", self.path), e))?;
+        if sync {
+            self.file
+                .sync_all()
+                .map_err(|e| StorageError::io(format!("fsync {:?}", self.path), e))?;
+        }
+        let file = ComponentFile {
+            path: self.path,
+            file: self.file,
+            uid: NEXT_FILE_UID.fetch_add(1, Ordering::Relaxed),
+            blocks: self.blocks,
+            entry_count: self.keys.len(),
+        };
+        Ok(OpenComponent {
+            file: Arc::new(file),
+            id: self.id,
+            keys: self.keys,
+            bloom,
+            approx_bytes: self.approx_bytes,
+        })
+    }
+}
+
+/// The conventional file name for component `id` inside a partition dir.
+pub fn component_file_name(id: u64) -> String {
+    format!("c{id:012}.cmp")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::TempDir;
+
+    fn write_component(path: &Path, id: u64, n: i64, block_budget: usize) -> OpenComponent {
+        let mut w = ComponentFileWriter::create(path, id, block_budget).unwrap();
+        for i in 0..n {
+            let entry = if i % 7 == 3 {
+                None // sprinkle tombstones through the run
+            } else {
+                Some(Arc::new(Value::object([
+                    ("id", Value::Int(i)),
+                    ("text", Value::str(format!("record {i}"))),
+                ])))
+            };
+            w.push(Value::Int(i), &entry).unwrap();
+        }
+        w.finish(false).unwrap()
+    }
+
+    #[test]
+    fn write_then_reopen_round_trips() {
+        let tmp = TempDir::new("blockfile");
+        let path = tmp.path().join(component_file_name(3));
+        let written = write_component(&path, 3, 100, 256);
+        assert!(written.file.block_count() > 1, "budget should split blocks");
+
+        let opened = ComponentFile::open(&path).unwrap();
+        assert_eq!(opened.id, 3);
+        assert_eq!(opened.keys, written.keys);
+        assert_eq!(opened.approx_bytes, written.approx_bytes);
+        assert_eq!(opened.file.entry_count(), 100);
+        // Every entry must come back exactly, through locate + read_block.
+        for i in 0..100usize {
+            let (block, off) = opened.file.locate(i);
+            let entries = opened.file.read_block(block).unwrap();
+            let entry = &entries[off];
+            if i % 7 == 3 {
+                assert!(entry.is_none(), "tombstone at {i}");
+            } else {
+                let obj = entry.as_ref().unwrap();
+                assert_eq!(obj.as_object().unwrap().get("id"), Some(&Value::Int(i as i64)));
+            }
+        }
+        // Bloom filter survived: present keys always pass.
+        for i in 0..100 {
+            assert!(opened.bloom.may_contain(&Value::Int(i)));
+        }
+    }
+
+    #[test]
+    fn corrupt_block_detected() {
+        let tmp = TempDir::new("blockfile-corrupt");
+        let path = tmp.path().join(component_file_name(0));
+        write_component(&path, 0, 50, 256);
+        // Flip a byte inside the first block's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_MAGIC.len() + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let opened = ComponentFile::open(&path).unwrap();
+        assert!(matches!(opened.file.read_block(0), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_footer_detected_at_open() {
+        let tmp = TempDir::new("blockfile-footer");
+        let path = tmp.path().join(component_file_name(0));
+        write_component(&path, 0, 10, 1 << 14);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 40] ^= 0xFF; // somewhere inside the footer payload
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(ComponentFile::open(&path), Err(StorageError::Corrupt(_))));
+        // And a truncated file is Corrupt too, not a panic.
+        std::fs::write(&path, &bytes[..8]).unwrap();
+        assert!(matches!(ComponentFile::open(&path), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_component_is_valid() {
+        let tmp = TempDir::new("blockfile-empty");
+        let path = tmp.path().join(component_file_name(9));
+        let w = ComponentFileWriter::create(&path, 9, 4096).unwrap();
+        let written = w.finish(true).unwrap();
+        assert_eq!(written.keys.len(), 0);
+        let opened = ComponentFile::open(&path).unwrap();
+        assert_eq!(opened.file.entry_count(), 0);
+        assert_eq!(opened.file.block_count(), 0);
+    }
+}

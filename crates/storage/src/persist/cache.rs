@@ -1,0 +1,158 @@
+//! A small shared LRU cache of decoded component blocks.
+//!
+//! Disk components keep their key column and Bloom filter resident but
+//! leave entry payloads on disk; point reads fetch one block through
+//! this cache. Entries are `Arc<Vec<Entry>>`, so a cached block is
+//! shared with every in-flight reader and eviction never invalidates a
+//! handed-out block. Hit/miss counters feed the `storage/cache/*`
+//! metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lsm::Entry;
+
+/// Cache key: a per-open-file unique id plus the block index. File ids
+/// come from a process-wide counter, so re-opening a file never aliases
+/// stale cache entries.
+pub type BlockKey = (u64, u32);
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// block → (decoded entries, last-touched tick).
+    map: HashMap<BlockKey, (Arc<Vec<Entry>>, u64)>,
+    tick: u64,
+}
+
+/// Shared LRU block cache. One instance per LSM tree (all of its
+/// components share it), sized in blocks.
+#[derive(Debug)]
+pub struct BlockCache {
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    read_errors: AtomicU64,
+}
+
+impl BlockCache {
+    pub fn new(capacity_blocks: usize) -> BlockCache {
+        BlockCache {
+            capacity: capacity_blocks.max(1),
+            inner: Mutex::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a block, counting the hit/miss.
+    pub fn get(&self, key: BlockKey) -> Option<Arc<Vec<Entry>>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some((block, touched)) => {
+                *touched = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(block))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a freshly decoded block, evicting the least-recently-used
+    /// one when full. The capacity is small (hundreds of blocks), so the
+    /// linear eviction scan is cheaper than maintaining an intrusive
+    /// list.
+    pub fn insert(&self, key: BlockKey, block: Arc<Vec<Entry>>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| *k) {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, (block, tick));
+    }
+
+    /// Drops every cached block belonging to file `file_id` (called when
+    /// a merge retires a component file).
+    pub fn evict_file(&self, file_id: u64) {
+        self.inner.lock().map.retain(|(f, _), _| *f != file_id);
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Records a block that could not be read or failed its checksum
+    /// (surfaced through the `storage/cache/read_errors` metric).
+    pub fn note_read_error(&self) {
+        self.read_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: i64) -> Arc<Vec<Entry>> {
+        Arc::new(vec![Some(Arc::new(idea_adm::Value::Int(n)))])
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let c = BlockCache::new(4);
+        assert!(c.get((1, 0)).is_none());
+        c.insert((1, 0), block(1));
+        assert!(c.get((1, 0)).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let c = BlockCache::new(2);
+        c.insert((1, 0), block(1));
+        c.insert((1, 1), block(2));
+        c.get((1, 0)); // touch block 0 so block 1 is coldest
+        c.insert((1, 2), block(3));
+        assert!(c.get((1, 0)).is_some(), "recently used survives");
+        assert!(c.get((1, 1)).is_none(), "coldest evicted");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evict_file_removes_only_that_file() {
+        let c = BlockCache::new(8);
+        c.insert((1, 0), block(1));
+        c.insert((2, 0), block(2));
+        c.evict_file(1);
+        assert!(c.get((1, 0)).is_none());
+        assert!(c.get((2, 0)).is_some());
+    }
+}

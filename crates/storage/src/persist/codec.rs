@@ -1,0 +1,350 @@
+//! Binary encoding shared by the WAL, component files and the manifest.
+//!
+//! The on-disk formats need a *full-fidelity* `Value` codec — the JSON
+//! printer loses spatial and temporal types — plus a checksum. Both are
+//! hand-rolled here: a tag-byte + little-endian layout for values, and
+//! table-driven CRC-32 (the IEEE polynomial) for block/record checksums.
+//! The encoding is part of the on-disk format: once shipped, tag values
+//! never change meaning.
+
+use idea_adm::value::{Circle, Object, Point, Rectangle};
+use idea_adm::Value;
+
+use crate::error::StorageError;
+
+// ---- CRC-32 (IEEE, reflected) ---------------------------------------
+
+/// 256-entry lookup table for the reflected IEEE polynomial 0xEDB88320.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 checksum of `data` (IEEE polynomial, standard init/final xor).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---- primitive read/write helpers -----------------------------------
+
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// A cursor over encoded bytes; every read is bounds-checked and a short
+/// buffer surfaces as [`StorageError::Corrupt`], never a panic.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(StorageError::Corrupt(format!(
+                "short read: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn i64(&mut self) -> Result<i64, StorageError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, StorageError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, StorageError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StorageError::Corrupt("non-UTF-8 string payload".into()))
+    }
+}
+
+// ---- Value codec ----------------------------------------------------
+
+// Tag bytes — stable, part of the on-disk format.
+const TAG_MISSING: u8 = 0;
+const TAG_NULL: u8 = 1;
+const TAG_FALSE: u8 = 2;
+const TAG_TRUE: u8 = 3;
+const TAG_INT: u8 = 4;
+const TAG_DOUBLE: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_DATETIME: u8 = 7;
+const TAG_DURATION: u8 = 8;
+const TAG_POINT: u8 = 9;
+const TAG_RECTANGLE: u8 = 10;
+const TAG_CIRCLE: u8 = 11;
+const TAG_ARRAY: u8 = 12;
+const TAG_OBJECT: u8 = 13;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends the binary encoding of `v` to `out`.
+pub fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Missing => out.push(TAG_MISSING),
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        Value::DateTime(ms) => {
+            out.push(TAG_DATETIME);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        Value::Duration(ms) => {
+            out.push(TAG_DURATION);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        Value::Point(p) => {
+            out.push(TAG_POINT);
+            out.extend_from_slice(&p.x.to_le_bytes());
+            out.extend_from_slice(&p.y.to_le_bytes());
+        }
+        Value::Rectangle(r) => {
+            out.push(TAG_RECTANGLE);
+            out.extend_from_slice(&r.low.x.to_le_bytes());
+            out.extend_from_slice(&r.low.y.to_le_bytes());
+            out.extend_from_slice(&r.high.x.to_le_bytes());
+            out.extend_from_slice(&r.high.y.to_le_bytes());
+        }
+        Value::Circle(c) => {
+            out.push(TAG_CIRCLE);
+            out.extend_from_slice(&c.center.x.to_le_bytes());
+            out.extend_from_slice(&c.center.y.to_le_bytes());
+            out.extend_from_slice(&c.radius.to_le_bytes());
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                encode_value(out, item);
+            }
+        }
+        Value::Object(obj) => {
+            out.push(TAG_OBJECT);
+            put_u32(out, obj.len() as u32);
+            for (k, field) in obj.iter() {
+                put_str(out, k);
+                encode_value(out, field);
+            }
+        }
+    }
+}
+
+/// Decodes one value from the reader, advancing it.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value, StorageError> {
+    Ok(match r.u8()? {
+        TAG_MISSING => Value::Missing,
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(r.i64()?),
+        TAG_DOUBLE => Value::Double(r.f64()?),
+        TAG_STR => Value::Str(r.str()?),
+        TAG_DATETIME => Value::DateTime(r.i64()?),
+        TAG_DURATION => Value::Duration(r.i64()?),
+        TAG_POINT => Value::Point(Point::new(r.f64()?, r.f64()?)),
+        TAG_RECTANGLE => {
+            let low = Point::new(r.f64()?, r.f64()?);
+            let high = Point::new(r.f64()?, r.f64()?);
+            Value::Rectangle(Rectangle::new(low, high))
+        }
+        TAG_CIRCLE => {
+            let center = Point::new(r.f64()?, r.f64()?);
+            Value::Circle(Circle::new(center, r.f64()?))
+        }
+        TAG_ARRAY => {
+            let n = r.u32()? as usize;
+            if n > r.remaining() {
+                return Err(StorageError::Corrupt(format!("array length {n} exceeds payload")));
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(r)?);
+            }
+            Value::Array(items)
+        }
+        TAG_OBJECT => {
+            let n = r.u32()? as usize;
+            if n > r.remaining() {
+                return Err(StorageError::Corrupt(format!("object length {n} exceeds payload")));
+            }
+            let mut obj = Object::with_capacity(n);
+            for _ in 0..n {
+                let len = r.u32()? as usize;
+                let key = String::from_utf8(r.take(len)?.to_vec())
+                    .map_err(|_| StorageError::Corrupt("non-UTF-8 field name".into()))?;
+                obj.push_unchecked(key, decode_value(r)?);
+            }
+            Value::Object(obj)
+        }
+        t => return Err(StorageError::Corrupt(format!("unknown value tag {t}"))),
+    })
+}
+
+/// Convenience: encodes `v` into a fresh buffer.
+pub fn value_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_value(&mut out, v);
+    out
+}
+
+// ---- Entry codec (tombstone-aware) ----------------------------------
+
+const ENTRY_TOMBSTONE: u8 = 0;
+const ENTRY_RECORD: u8 = 1;
+
+/// Appends an LSM entry: a tombstone marker or a marker + record.
+pub fn encode_entry(out: &mut Vec<u8>, entry: &crate::lsm::Entry) {
+    match entry {
+        None => out.push(ENTRY_TOMBSTONE),
+        Some(v) => {
+            out.push(ENTRY_RECORD);
+            encode_value(out, v);
+        }
+    }
+}
+
+/// Decodes one LSM entry written by [`encode_entry`].
+pub fn decode_entry(r: &mut Reader<'_>) -> Result<crate::lsm::Entry, StorageError> {
+    match r.u8()? {
+        ENTRY_TOMBSTONE => Ok(None),
+        ENTRY_RECORD => Ok(Some(std::sync::Arc::new(decode_value(r)?))),
+        t => Err(StorageError::Corrupt(format!("unknown entry tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: Value) {
+        let bytes = value_bytes(&v);
+        let mut r = Reader::new(&bytes);
+        let got = decode_value(&mut r).unwrap();
+        assert!(r.is_empty(), "trailing bytes after {v:?}");
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Value::Missing);
+        round_trip(Value::Null);
+        round_trip(Value::Bool(true));
+        round_trip(Value::Bool(false));
+        round_trip(Value::Int(-42));
+        round_trip(Value::Int(i64::MAX));
+        round_trip(Value::Double(3.25));
+        round_trip(Value::Double(f64::NEG_INFINITY));
+        round_trip(Value::str("héllo wörld"));
+        round_trip(Value::str(""));
+        round_trip(Value::DateTime(1_565_000_000_000));
+        round_trip(Value::Duration(-3_600_000));
+        round_trip(Value::point(1.5, -2.5));
+        round_trip(Value::Rectangle(Rectangle::new(Point::new(0.0, 0.0), Point::new(2.0, 3.0))));
+        round_trip(Value::Circle(Circle::new(Point::new(1.0, 1.0), 0.5)));
+        round_trip(Value::Array(vec![Value::Int(1), Value::str("x"), Value::Null]));
+        round_trip(Value::object([
+            ("id", Value::Int(7)),
+            ("loc", Value::point(40.0, -73.0)),
+            ("tags", Value::Array(vec![Value::str("a")])),
+            ("nested", Value::object([("deep", Value::Bool(true))])),
+        ]));
+    }
+
+    #[test]
+    fn nan_doubles_survive() {
+        let bytes = value_bytes(&Value::Double(f64::NAN));
+        let got = decode_value(&mut Reader::new(&bytes)).unwrap();
+        assert!(matches!(got, Value::Double(d) if d.is_nan()));
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_are_corrupt_not_panics() {
+        let bytes = value_bytes(&Value::str("hello"));
+        for cut in 0..bytes.len() {
+            let r = decode_value(&mut Reader::new(&bytes[..cut]));
+            assert!(matches!(r, Err(StorageError::Corrupt(_))), "cut at {cut}");
+        }
+        assert!(decode_value(&mut Reader::new(&[0xFF])).is_err());
+        // A huge claimed array length must not cause a capacity blowup.
+        let mut evil = vec![12u8]; // TAG_ARRAY
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_value(&mut Reader::new(&evil)).is_err());
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

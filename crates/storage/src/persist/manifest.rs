@@ -1,0 +1,133 @@
+//! The per-partition manifest: which component files are live.
+//!
+//! Flush and merge change the component stack; the manifest makes that
+//! transition crash-atomic with the classic write-temp → fsync → rename
+//! → fsync-dir protocol. A reader (recovery) therefore sees either the
+//! old stack or the new one, never a half-written list. The manifest
+//! also records `wal_start_lsn` — the replay point: every operation
+//! below it lives in a listed component, everything at or above it must
+//! be replayed from the WAL.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+use super::codec;
+use crate::error::StorageError;
+
+const MANIFEST_MAGIC: u64 = 0x4944_414D_4E46_5431; // "IDAMNFT1" folded
+const FILE_NAME: &str = "MANIFEST";
+const TMP_NAME: &str = "MANIFEST.tmp";
+
+/// One partition's durable state summary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Live component ids, newest first (stack order).
+    pub components: Vec<u64>,
+    /// Next component id to allocate (monotonic across restarts so
+    /// retired ids never come back).
+    pub next_component_id: u64,
+    /// WAL replay starts here; segments wholly below it are retired.
+    pub wal_start_lsn: u64,
+}
+
+impl Manifest {
+    /// Atomically replaces the manifest in `dir`.
+    pub fn save(&self, dir: &Path) -> Result<(), StorageError> {
+        let mut payload = Vec::with_capacity(32 + 8 * self.components.len());
+        codec::put_u64(&mut payload, MANIFEST_MAGIC);
+        codec::put_u64(&mut payload, self.next_component_id);
+        codec::put_u64(&mut payload, self.wal_start_lsn);
+        codec::put_u32(&mut payload, self.components.len() as u32);
+        for id in &self.components {
+            codec::put_u64(&mut payload, *id);
+        }
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        codec::put_u32(&mut framed, payload.len() as u32);
+        codec::put_u32(&mut framed, codec::crc32(&payload));
+        framed.extend_from_slice(&payload);
+
+        let tmp = dir.join(TMP_NAME);
+        let target = dir.join(FILE_NAME);
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| StorageError::io(format!("create {tmp:?}"), e))?;
+        f.write_all(&framed)
+            .map_err(|e| StorageError::io(format!("write {tmp:?}"), e))?;
+        f.sync_all().map_err(|e| StorageError::io(format!("fsync {tmp:?}"), e))?;
+        drop(f);
+        fs::rename(&tmp, &target)
+            .map_err(|e| StorageError::io(format!("rename {tmp:?} -> {target:?}"), e))?;
+        // fsync the directory so the rename itself is durable.
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| StorageError::io(format!("fsync dir {dir:?}"), e))?;
+        Ok(())
+    }
+
+    /// Loads the manifest from `dir`; `None` when the partition has
+    /// never flushed (a fresh or WAL-only partition).
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StorageError> {
+        let path = dir.join(FILE_NAME);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StorageError::io(format!("read {path:?}"), e)),
+        };
+        let mut r = codec::Reader::new(&bytes);
+        let len = r.u32()? as usize;
+        let crc = r.u32()?;
+        let payload = r.take(len)?;
+        if codec::crc32(payload) != crc {
+            return Err(StorageError::Corrupt(format!("manifest checksum mismatch in {path:?}")));
+        }
+        let mut pr = codec::Reader::new(payload);
+        if pr.u64()? != MANIFEST_MAGIC {
+            return Err(StorageError::Corrupt(format!("bad manifest magic in {path:?}")));
+        }
+        let next_component_id = pr.u64()?;
+        let wal_start_lsn = pr.u64()?;
+        let n = pr.u32()? as usize;
+        let mut components = Vec::with_capacity(n.min(pr.remaining()));
+        for _ in 0..n {
+            components.push(pr.u64()?);
+        }
+        Ok(Some(Manifest { components, next_component_id, wal_start_lsn }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::TempDir;
+
+    #[test]
+    fn save_load_round_trip_and_overwrite() {
+        let tmp = TempDir::new("manifest");
+        assert_eq!(Manifest::load(tmp.path()).unwrap(), None);
+        let m1 = Manifest { components: vec![4, 2, 0], next_component_id: 5, wal_start_lsn: 17 };
+        m1.save(tmp.path()).unwrap();
+        assert_eq!(Manifest::load(tmp.path()).unwrap(), Some(m1));
+        let m2 = Manifest { components: vec![5], next_component_id: 6, wal_start_lsn: 40 };
+        m2.save(tmp.path()).unwrap();
+        assert_eq!(Manifest::load(tmp.path()).unwrap(), Some(m2));
+        assert!(!tmp.path().join(TMP_NAME).exists(), "tmp file renamed away");
+    }
+
+    #[test]
+    fn corrupt_manifest_detected() {
+        let tmp = TempDir::new("manifest-corrupt");
+        Manifest { components: vec![1, 0], next_component_id: 2, wal_start_lsn: 3 }
+            .save(tmp.path())
+            .unwrap();
+        let path = tmp.path().join(FILE_NAME);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Manifest::load(tmp.path()), Err(StorageError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,87 @@
+//! Unique temporary directories for disk-mode tests and benchmarks.
+//!
+//! Every user gets its own directory (pid + counter + wall clock), so
+//! parallel test binaries never collide. Cleanup policy: removed on
+//! drop when the test passed, *preserved* when the thread is panicking
+//! or `IDEA_KEEP_TMPDIR=1` is set — a failing disk test leaves its
+//! evidence behind and prints where.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// Env var: when set (to anything non-empty), temp dirs are never
+/// removed on drop.
+pub const KEEP_ENV: &str = "IDEA_KEEP_TMPDIR";
+
+/// A uniquely named directory under the system temp dir, removed on
+/// drop unless the test failed (see module docs).
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Creates `<tmp>/idea-<label>-<pid>-<seq>-<nanos>`.
+    pub fn new(label: &str) -> TempDir {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let path = std::env::temp_dir().join(format!(
+            "idea-{label}-{}-{}-{nanos}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir { path, keep: false }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Marks the directory to be preserved regardless of outcome.
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+
+    /// Detaches the path from cleanup and returns it (for handing a
+    /// directory to a child process that outlives this guard).
+    pub fn into_path(mut self) -> PathBuf {
+        self.keep = true;
+        self.path.clone()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let keep_env = std::env::var(KEEP_ENV).map(|v| !v.is_empty()).unwrap_or(false);
+        if self.keep || keep_env || std::thread::panicking() {
+            eprintln!("preserving temp dir {:?}", self.path);
+        } else {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_paths_and_cleanup() {
+        let a = TempDir::new("t");
+        let b = TempDir::new("t");
+        assert_ne!(a.path(), b.path());
+        let pa = a.path().to_path_buf();
+        std::fs::write(pa.join("f"), b"x").unwrap();
+        drop(a);
+        assert!(!pa.exists(), "removed on clean drop");
+        let pb = b.into_path();
+        assert!(pb.exists(), "into_path detaches cleanup");
+        std::fs::remove_dir_all(pb).unwrap();
+    }
+}

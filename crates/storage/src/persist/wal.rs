@@ -1,0 +1,619 @@
+//! Per-partition write-ahead log with group commit.
+//!
+//! Every put/upsert/delete appends one record here *before* it is
+//! applied to the memtable (appends happen under the tree's write lock,
+//! so WAL order equals apply order). `put` then acknowledges only after
+//! [`Wal::commit`] — a group-commit latch: the first committer becomes
+//! the *leader* and flushes everything appended so far (one fsync covers
+//! every waiter that piled up behind it), followers just wait for the
+//! durable-LSN watermark to pass their record.
+//!
+//! Layout: numbered segment files `wal-<first_lsn>.log`, each a run of
+//! `u32 len · u32 crc32 · payload` records with payload
+//! `u64 lsn · op · key [· record]`. Segments rotate at a size budget and
+//! are deleted once a flushed component covers their LSN range
+//! ([`Wal::retire_upto`]). Replay tolerates a torn final record — it is
+//! truncated, not fatal — but a bad checksum in the *middle* of the log
+//! is real corruption and surfaces as an error.
+//!
+//! [`FsyncPolicy::Never`] (the CI/bench setting) skips fsync but still
+//! pushes bytes into the OS page cache at commit, which survives a
+//! `kill -9` (only machine/power loss can drop it).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+use idea_adm::Value;
+use parking_lot::Mutex;
+
+use super::codec;
+use crate::error::StorageError;
+use crate::lsm::Entry;
+
+/// When the WAL calls fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync on every group commit: survives power loss.
+    Always,
+    /// Flush to the OS only: survives process death (`kill -9`) but not
+    /// machine loss. The CI and benchmark setting.
+    Never,
+}
+
+impl FsyncPolicy {
+    pub fn from_option(value: &str) -> Result<FsyncPolicy, StorageError> {
+        match value {
+            "always" => Ok(FsyncPolicy::Always),
+            "never" => Ok(FsyncPolicy::Never),
+            other => Err(StorageError::InvalidConfig(format!(
+                "option \"fsync\": expected \"always\" or \"never\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// WAL tuning (a slice of the tree's `DurabilityConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct WalConfig {
+    pub fsync: FsyncPolicy,
+    pub segment_bytes: u64,
+}
+
+/// A closed (no longer written) segment, kept until retirement.
+#[derive(Debug, Clone)]
+struct Segment {
+    path: PathBuf,
+    /// LSN of the first record in the segment.
+    first_lsn: u64,
+    /// One past the last record's LSN.
+    end_lsn: u64,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    writer: BufWriter<File>,
+    active_path: PathBuf,
+    active_first_lsn: u64,
+    active_bytes: u64,
+    next_lsn: u64,
+    sealed: Vec<Segment>,
+}
+
+#[derive(Debug, Default)]
+struct CommitState {
+    durable_lsn: u64,
+    flush_in_flight: bool,
+    /// An error hit by a leader flush, reported to every waiter of that
+    /// round (durability can't be claimed for any of them).
+    failed: Option<StorageError>,
+}
+
+/// One partition's write-ahead log.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    cfg: WalConfig,
+    inner: Mutex<WalInner>,
+    commit_ctl: StdMutex<CommitState>,
+    commit_cv: Condvar,
+    appends: AtomicU64,
+    commits: AtomicU64,
+    fsyncs: AtomicU64,
+    flushes: AtomicU64,
+    bytes_appended: AtomicU64,
+    segments_retired: AtomicU64,
+}
+
+/// What [`Wal::replay_dir`] recovered.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Replayed records in LSN order.
+    pub records: Vec<(u64, Value, Entry)>,
+    /// One past the highest LSN seen (0 when the log is empty).
+    pub next_lsn: u64,
+    /// Bytes dropped from a torn tail, if any.
+    pub truncated_bytes: u64,
+    segments: Vec<Segment>,
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
+    dir.join(format!("wal-{first_lsn:016}.log"))
+}
+
+fn open_segment(path: &Path) -> Result<BufWriter<File>, StorageError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| StorageError::io(format!("open WAL segment {path:?}"), e))?;
+    Ok(BufWriter::new(file))
+}
+
+impl Wal {
+    /// Opens a WAL for appending, starting a fresh segment at
+    /// `next_lsn`. Called after [`Wal::replay_dir`] (which supplies
+    /// `replay`); a brand-new tree passes the default (empty) replay.
+    pub fn open(dir: &Path, cfg: WalConfig, replay: &WalReplay) -> Result<Wal, StorageError> {
+        fs::create_dir_all(dir).map_err(|e| StorageError::io(format!("mkdir {dir:?}"), e))?;
+        let next_lsn = replay.next_lsn;
+        let active_path = segment_path(dir, next_lsn);
+        // Replayed segments stay sealed (never appended to again), so a
+        // truncated tail can't be overwritten in place; a name collision
+        // only happens when the last segment is empty — reuse is safe.
+        let mut sealed: Vec<Segment> =
+            replay.segments.iter().filter(|s| s.path != active_path).cloned().collect();
+        sealed.sort_by_key(|s| s.first_lsn);
+        let writer = open_segment(&active_path)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            cfg,
+            inner: Mutex::new(WalInner {
+                writer,
+                active_path,
+                active_first_lsn: next_lsn,
+                active_bytes: 0,
+                next_lsn,
+                sealed,
+            }),
+            commit_ctl: StdMutex::new(CommitState {
+                durable_lsn: next_lsn.saturating_sub(1),
+                ..CommitState::default()
+            }),
+            commit_cv: Condvar::new(),
+            appends: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            bytes_appended: AtomicU64::new(0),
+            segments_retired: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one operation, returning its LSN. The record is buffered;
+    /// durability requires a subsequent [`Wal::commit`].
+    pub fn append(&self, key: &Value, entry: &Entry) -> Result<u64, StorageError> {
+        let mut payload = Vec::with_capacity(32);
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        codec::put_u64(&mut payload, lsn);
+        match entry {
+            Some(v) => {
+                payload.push(OP_PUT);
+                codec::encode_value(&mut payload, key);
+                codec::encode_value(&mut payload, v);
+            }
+            None => {
+                payload.push(OP_DELETE);
+                codec::encode_value(&mut payload, key);
+            }
+        }
+        let mut framed = Vec::with_capacity(8 + payload.len());
+        codec::put_u32(&mut framed, payload.len() as u32);
+        codec::put_u32(&mut framed, codec::crc32(&payload));
+        framed.extend_from_slice(&payload);
+
+        if inner.active_bytes >= self.cfg.segment_bytes && inner.active_bytes > 0 {
+            self.rotate(&mut inner)?;
+        }
+        inner
+            .writer
+            .write_all(&framed)
+            .map_err(|e| StorageError::io(format!("append to {:?}", inner.active_path), e))?;
+        inner.active_bytes += framed.len() as u64;
+        inner.next_lsn = lsn + 1;
+        drop(inner);
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended.fetch_add(framed.len() as u64, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Seals the active segment and starts a new one. The sealed file is
+    /// flushed (and fsynced under `Always`) so retirement never races an
+    /// unflushed buffer.
+    fn rotate(&self, inner: &mut WalInner) -> Result<(), StorageError> {
+        inner
+            .writer
+            .flush()
+            .map_err(|e| StorageError::io(format!("flush {:?}", inner.active_path), e))?;
+        if self.cfg.fsync == FsyncPolicy::Always {
+            inner
+                .writer
+                .get_ref()
+                .sync_data()
+                .map_err(|e| StorageError::io(format!("fsync {:?}", inner.active_path), e))?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        let sealed = Segment {
+            path: inner.active_path.clone(),
+            first_lsn: inner.active_first_lsn,
+            end_lsn: inner.next_lsn,
+        };
+        inner.sealed.push(sealed);
+        inner.active_first_lsn = inner.next_lsn;
+        inner.active_path = segment_path(&self.dir, inner.next_lsn);
+        inner.active_bytes = 0;
+        inner.writer = open_segment(&inner.active_path)?;
+        Ok(())
+    }
+
+    /// Group commit: returns once every record up to `lsn` is durable
+    /// (flushed, and fsynced under [`FsyncPolicy::Always`]). The first
+    /// caller in leads a flush round; arrivals during the round are
+    /// batched into the next one.
+    pub fn commit(&self, lsn: u64) -> Result<(), StorageError> {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        let mut ctl = self.commit_ctl.lock().unwrap();
+        loop {
+            if ctl.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if let Some(e) = &ctl.failed {
+                return Err(e.clone());
+            }
+            if !ctl.flush_in_flight {
+                ctl.flush_in_flight = true;
+                drop(ctl);
+                let (upto, result) = {
+                    let mut inner = self.inner.lock();
+                    let upto = inner.next_lsn.saturating_sub(1);
+                    let mut result = inner
+                        .writer
+                        .flush()
+                        .map_err(|e| StorageError::io(format!("flush {:?}", inner.active_path), e));
+                    if result.is_ok() && self.cfg.fsync == FsyncPolicy::Always {
+                        result = inner.writer.get_ref().sync_data().map_err(|e| {
+                            StorageError::io(format!("fsync {:?}", inner.active_path), e)
+                        });
+                        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    (upto, result)
+                };
+                self.flushes.fetch_add(1, Ordering::Relaxed);
+                ctl = self.commit_ctl.lock().unwrap();
+                ctl.flush_in_flight = false;
+                match result {
+                    Ok(()) => {
+                        ctl.durable_lsn = ctl.durable_lsn.max(upto);
+                        ctl.failed = None;
+                    }
+                    Err(e) => ctl.failed = Some(e),
+                }
+                self.commit_cv.notify_all();
+                // Loop: re-check under the updated state (handles both
+                // success and the error path uniformly).
+            } else {
+                ctl = self.commit_cv.wait(ctl).unwrap();
+            }
+        }
+    }
+
+    /// One past the LSN of the most recent append — the watermark a
+    /// memtable records when it is sealed: every operation the memtable
+    /// holds has an LSN below it.
+    pub fn next_lsn(&self) -> u64 {
+        self.inner.lock().next_lsn
+    }
+
+    /// Deletes sealed segments entirely below `lsn` (their operations
+    /// all live in flushed components now). Returns how many files went.
+    pub fn retire_upto(&self, lsn: u64) -> Result<usize, StorageError> {
+        let mut inner = self.inner.lock();
+        let mut retired = 0;
+        let mut keep = Vec::with_capacity(inner.sealed.len());
+        for seg in inner.sealed.drain(..) {
+            if seg.end_lsn <= lsn {
+                fs::remove_file(&seg.path)
+                    .map_err(|e| StorageError::io(format!("retire {:?}", seg.path), e))?;
+                retired += 1;
+            } else {
+                keep.push(seg);
+            }
+        }
+        inner.sealed = keep;
+        drop(inner);
+        self.segments_retired.fetch_add(retired as u64, Ordering::Relaxed);
+        Ok(retired)
+    }
+
+    // ---- counters for the storage/wal/* metrics ----------------------
+
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Leader flush rounds; `commits / flush_rounds` is the achieved
+    /// group-commit batch size.
+    pub fn flush_rounds(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended.load(Ordering::Relaxed)
+    }
+
+    pub fn segments_retired(&self) -> u64 {
+        self.segments_retired.load(Ordering::Relaxed)
+    }
+
+    /// Scans a WAL directory, decoding every record in LSN order. A torn
+    /// or corrupt *final* record (plus anything after it in that file)
+    /// is truncated away; corruption anywhere else is fatal. Returns the
+    /// duration of the scan alongside the records for recovery metrics.
+    pub fn replay_dir(dir: &Path) -> Result<(WalReplay, std::time::Duration), StorageError> {
+        let started = Instant::now();
+        let mut replay = WalReplay::default();
+        if !dir.exists() {
+            return Ok((replay, started.elapsed()));
+        }
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+            .map_err(|e| StorageError::io(format!("read WAL dir {dir:?}"), e))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("wal-") && n.ends_with(".log"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        paths.sort();
+        for (fi, path) in paths.iter().enumerate() {
+            let last_file = fi == paths.len() - 1;
+            let mut bytes = Vec::new();
+            File::open(path)
+                .and_then(|mut f| f.read_to_end(&mut bytes))
+                .map_err(|e| StorageError::io(format!("read WAL segment {path:?}"), e))?;
+            let mut pos = 0usize;
+            let mut first_lsn = None;
+            loop {
+                let rest = &bytes[pos..];
+                if rest.is_empty() {
+                    break;
+                }
+                let record = (|| -> Result<(usize, u64, Value, Entry), StorageError> {
+                    let mut r = codec::Reader::new(rest);
+                    let len = r.u32()? as usize;
+                    let crc = r.u32()?;
+                    let payload = r.take(len)?;
+                    if codec::crc32(payload) != crc {
+                        return Err(StorageError::Corrupt("record checksum mismatch".into()));
+                    }
+                    let mut pr = codec::Reader::new(payload);
+                    let lsn = pr.u64()?;
+                    let (key, entry) = match pr.u8()? {
+                        OP_PUT => {
+                            let key = codec::decode_value(&mut pr)?;
+                            let value = codec::decode_value(&mut pr)?;
+                            (key, Some(std::sync::Arc::new(value)))
+                        }
+                        OP_DELETE => (codec::decode_value(&mut pr)?, None),
+                        op => {
+                            return Err(StorageError::Corrupt(format!("unknown WAL op {op}")));
+                        }
+                    };
+                    if !pr.is_empty() {
+                        return Err(StorageError::Corrupt("trailing record bytes".into()));
+                    }
+                    Ok((8 + len, lsn, key, entry))
+                })();
+                match record {
+                    Ok((consumed, lsn, key, entry)) => {
+                        if first_lsn.is_none() {
+                            first_lsn = Some(lsn);
+                        }
+                        replay.next_lsn = replay.next_lsn.max(lsn + 1);
+                        replay.records.push((lsn, key, entry));
+                        pos += consumed;
+                    }
+                    Err(_) if last_file => {
+                        // Torn tail: drop it from disk so the damage
+                        // cannot be misread as mid-log corruption later.
+                        let dropped = (bytes.len() - pos) as u64;
+                        replay.truncated_bytes += dropped;
+                        let f = OpenOptions::new().write(true).open(path).map_err(|e| {
+                            StorageError::io(format!("open {path:?} for truncation"), e)
+                        })?;
+                        f.set_len(pos as u64)
+                            .map_err(|e| StorageError::io(format!("truncate {path:?}"), e))?;
+                        break;
+                    }
+                    Err(e) => {
+                        return Err(StorageError::Corrupt(format!(
+                            "WAL segment {path:?} corrupt before the final record: {e}"
+                        )));
+                    }
+                }
+            }
+            replay.segments.push(Segment {
+                path: path.clone(),
+                first_lsn: first_lsn.unwrap_or(replay.next_lsn),
+                end_lsn: replay.next_lsn,
+            });
+        }
+        replay.records.sort_by_key(|(lsn, _, _)| *lsn);
+        Ok((replay, started.elapsed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persist::TempDir;
+    use std::sync::Arc;
+
+    fn cfg() -> WalConfig {
+        WalConfig { fsync: FsyncPolicy::Never, segment_bytes: 1 << 20 }
+    }
+
+    fn rec(i: i64) -> Entry {
+        Some(Arc::new(Value::object([("id", Value::Int(i))])))
+    }
+
+    #[test]
+    fn append_commit_replay_round_trip() {
+        let tmp = TempDir::new("wal-rt");
+        let wal = Wal::open(tmp.path(), cfg(), &WalReplay::default()).unwrap();
+        for i in 0..50 {
+            let lsn = wal.append(&Value::Int(i), &rec(i)).unwrap();
+            assert_eq!(lsn, i as u64);
+        }
+        wal.append(&Value::Int(7), &None).unwrap(); // delete
+        wal.commit(wal.next_lsn() - 1).unwrap();
+        drop(wal);
+
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(replay.records.len(), 51);
+        assert_eq!(replay.next_lsn, 51);
+        assert_eq!(replay.truncated_bytes, 0);
+        let (lsn, key, entry) = &replay.records[50];
+        assert_eq!((*lsn, key), (50, &Value::Int(7)));
+        assert!(entry.is_none());
+    }
+
+    #[test]
+    fn torn_tail_truncated_not_fatal() {
+        let tmp = TempDir::new("wal-torn");
+        let wal = Wal::open(tmp.path(), cfg(), &WalReplay::default()).unwrap();
+        for i in 0..10 {
+            wal.append(&Value::Int(i), &rec(i)).unwrap();
+        }
+        wal.commit(9).unwrap();
+        drop(wal);
+        // Simulate a torn write: append garbage to the newest segment.
+        let seg = segment_path(tmp.path(), 0);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0x55; 13]).unwrap();
+        drop(f);
+
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(replay.records.len(), 10, "committed records all survive");
+        assert_eq!(replay.truncated_bytes, 13);
+        // The file was physically truncated: a second replay is clean.
+        let (again, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.records.len(), 10);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_fatal() {
+        let tmp = TempDir::new("wal-midcorrupt");
+        let wal = Wal::open(tmp.path(), cfg(), &WalReplay::default()).unwrap();
+        for i in 0..5 {
+            wal.append(&Value::Int(i), &rec(i)).unwrap();
+        }
+        wal.commit(4).unwrap();
+        drop(wal);
+        let seg = segment_path(tmp.path(), 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes[10] ^= 0xFF; // corrupt the first record
+        fs::write(&seg, &bytes).unwrap();
+        // Add a newer segment so the damaged one is not the last file.
+        fs::write(segment_path(tmp.path(), 5), b"").unwrap();
+        assert!(matches!(Wal::replay_dir(tmp.path()), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rotation_and_retirement() {
+        let tmp = TempDir::new("wal-rotate");
+        let wal = Wal::open(
+            tmp.path(),
+            WalConfig { fsync: FsyncPolicy::Never, segment_bytes: 256 },
+            &WalReplay::default(),
+        )
+        .unwrap();
+        for i in 0..100 {
+            wal.append(&Value::Int(i), &rec(i)).unwrap();
+        }
+        wal.commit(99).unwrap();
+        let files = || {
+            fs::read_dir(tmp.path())
+                .unwrap()
+                .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("wal-"))
+                .count()
+        };
+        assert!(files() > 1, "segment budget should rotate");
+        let before = files();
+        let retired = wal.retire_upto(50).unwrap();
+        assert!(retired > 0);
+        assert_eq!(files(), before - retired);
+        // Everything at/after LSN 50 must still replay.
+        drop(wal);
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert!(replay.records.iter().any(|(lsn, _, _)| *lsn == 50));
+        assert_eq!(replay.next_lsn, 100);
+    }
+
+    #[test]
+    fn reopen_continues_lsn_sequence() {
+        let tmp = TempDir::new("wal-reopen");
+        {
+            let wal = Wal::open(tmp.path(), cfg(), &WalReplay::default()).unwrap();
+            for i in 0..5 {
+                wal.append(&Value::Int(i), &rec(i)).unwrap();
+            }
+            wal.commit(4).unwrap();
+        }
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        let wal = Wal::open(tmp.path(), cfg(), &replay).unwrap();
+        assert_eq!(wal.append(&Value::Int(5), &rec(5)).unwrap(), 5);
+        wal.commit(5).unwrap();
+        drop(wal);
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(replay.records.len(), 6);
+        let lsns: Vec<u64> = replay.records.iter().map(|(l, _, _)| *l).collect();
+        assert_eq!(lsns, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_writers() {
+        let tmp = TempDir::new("wal-group");
+        let wal = Arc::new(
+            Wal::open(
+                tmp.path(),
+                WalConfig { fsync: FsyncPolicy::Always, segment_bytes: 1 << 20 },
+                &WalReplay::default(),
+            )
+            .unwrap(),
+        );
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let lsn = wal.append(&Value::Int(t * 1000 + i), &rec(i)).unwrap();
+                        wal.commit(lsn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wal.commits(), 400);
+        assert_eq!(wal.appends(), 400);
+        // The latch must have merged at least some commits into shared
+        // flush rounds (8 writers pounding one latch).
+        assert!(
+            wal.flush_rounds() < 400,
+            "expected batching, got {} rounds for 400 commits",
+            wal.flush_rounds()
+        );
+        drop(wal);
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(replay.records.len(), 400);
+    }
+}

@@ -39,16 +39,17 @@ proptest! {
             memtable_budget_bytes: 512,
             max_sealed_memtables: 2,
             merge_policy: MergePolicyConfig::Constant { max_components: 3 },
+            durability: Default::default(),
         });
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v))));
+                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v)))).unwrap();
                     model.insert(k, v);
                 }
                 Op::Delete(k) => {
-                    tree.put(Value::Int(k), None);
+                    tree.put(Value::Int(k), None).unwrap();
                     model.remove(&k);
                 }
                 Op::Flush => tree.flush(),
@@ -82,17 +83,18 @@ proptest! {
                 min_merge: 2,
                 max_merge: 4,
             },
+            durability: Default::default(),
         });
         tree.attach_maintenance(Arc::clone(&sched));
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
         for op in ops {
             match op {
                 Op::Put(k, v) => {
-                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v))));
+                    tree.put(Value::Int(k), Some(Arc::new(Value::Int(v)))).unwrap();
                     model.insert(k, v);
                 }
                 Op::Delete(k) => {
-                    tree.put(Value::Int(k), None);
+                    tree.put(Value::Int(k), None).unwrap();
                     model.remove(&k);
                 }
                 Op::Flush => tree.flush(),

@@ -12,6 +12,14 @@ run() {
 run cargo build --release --offline
 run cargo test --offline -q
 run cargo test --offline --workspace -q
+# Durable-storage recovery smoke: kill-9 crash recovery + the
+# differential-oracle reopen tests. Both run with fsync relaxed
+# ("fsync": "never"), so they are fast enough to gate every change;
+# kill-9 durability still holds because SIGKILL leaves the kernel page
+# cache intact. Failing runs preserve their /tmp/idea-* scratch dirs
+# for inspection (export IDEA_KEEP_TMPDIR=1 to always keep them).
+run cargo test --offline -q --test crash_recovery
+run cargo test --offline -q -p idea-storage --test durability
 run cargo clippy --offline --workspace --all-targets -- -D warnings
 run cargo fmt --check
 # Public-API docs must build clean: broken intra-doc links or missing

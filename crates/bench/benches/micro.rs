@@ -44,7 +44,7 @@ fn bench_lsm(c: &mut Criterion) {
     c.bench_function("lsm_point_get", |b| {
         let mut i = 0i64;
         b.iter(|| {
-            std::hint::black_box(ds.get(&Value::Int(i % 10_000)));
+            std::hint::black_box(ds.get(&Value::Int(i % 10_000)).unwrap());
             i += 7;
         })
     });

@@ -73,7 +73,9 @@ impl DeadLetterSink {
     /// — the dead-letter path must never take the feed down.
     pub fn push(&self, stage: &str, error: &str, payload: &str) {
         let id = self.dl_id(stage, payload);
-        let fresh = self.dataset.get(&Value::str(id.clone())).is_none();
+        // Best-effort: a read error counts as "seen" so the counter
+        // never double-counts.
+        let fresh = matches!(self.dataset.get(&Value::str(id.clone())), Ok(None));
         let record = Value::object([
             ("dl_id", Value::str(id)),
             ("feed", Value::str(self.feed.clone())),

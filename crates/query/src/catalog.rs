@@ -48,6 +48,22 @@ struct Inner {
     functions: HashMap<String, FunctionDef>,
 }
 
+/// Dataset names become on-disk directory names under the storage root
+/// (`<root>/datasets/<name>`), so anything that could traverse out of
+/// it — path separators, `.`/`..`, NULs — is rejected before a path is
+/// ever built from the name. Enforced at create, recover, *and* drop:
+/// `drop_dataset` runs `remove_dir_all` on the derived path, and a
+/// traversal there would delete arbitrary directories.
+fn validate_dataset_name(name: &str) -> Result<()> {
+    let bad = name.is_empty() || name == "." || name == ".." || name.contains(['/', '\\', '\0']);
+    if bad {
+        return Err(QueryError::Invalid(format!(
+            "invalid dataset name {name:?}: must be non-empty and contain no path separators"
+        )));
+    }
+    Ok(())
+}
+
 impl Catalog {
     /// A catalog whose datasets have `partitions` storage partitions.
     pub fn new(partitions: usize) -> Arc<Catalog> {
@@ -133,6 +149,7 @@ impl Catalog {
         primary_key: &str,
         options: &[(String, String)],
     ) -> Result<()> {
+        validate_dataset_name(name)?;
         let dt = self.get_type(type_name)?;
         // `storage` selects the backing and is handled here; everything
         // else flows into the LSM/durability config.
@@ -229,6 +246,10 @@ impl Catalog {
             }
             let meta = read_dataset_meta(&meta_path)
                 .map_err(|e| QueryError::Invalid(format!("recover {meta_path:?}: {e}")))?;
+            // A tampered meta file must not smuggle in a name that later
+            // resolves outside the storage root (drop_dataset derives a
+            // remove_dir_all path from it).
+            validate_dataset_name(&meta.name)?;
             if self.inner.read().datasets.contains_key(&meta.name) {
                 continue; // already live (idempotent re-install)
             }
@@ -280,6 +301,7 @@ impl Catalog {
     /// durable dataset's on-disk directory is removed too — DROP is a
     /// deliberate destruction of the data, not a detach.
     pub fn drop_dataset(&self, name: &str) -> Result<()> {
+        validate_dataset_name(name)?;
         let removed = self.inner.write().datasets.remove(name);
         let Some(ds) = removed else {
             return Err(QueryError::Unresolved(format!("dataset {name}")));
@@ -511,6 +533,20 @@ mod tests {
     }
 
     #[test]
+    fn dataset_names_with_path_separators_rejected() {
+        let c = Catalog::new(1);
+        c.create_type_from_ddl("T", &[("id".into(), "int64".into())]).unwrap();
+        for bad in ["", ".", "..", "../evil", "a/b", "a\\b", "nul\0byte"] {
+            let err = c.create_dataset(bad, "T", "id").unwrap_err();
+            assert!(err.to_string().contains("invalid dataset name"), "create {bad:?}: {err}");
+            // drop must refuse before it ever builds a filesystem path.
+            assert!(c.drop_dataset(bad).is_err(), "drop {bad:?} accepted");
+        }
+        // A normal name still works.
+        c.create_dataset("ok_name-1", "T", "id").unwrap();
+    }
+
+    #[test]
     fn unknown_ddl_type_rejected() {
         let c = Catalog::new(1);
         assert!(c.create_type_from_ddl("T", &[("x".into(), "floaty".into())]).is_err());
@@ -546,7 +582,7 @@ mod tests {
         assert_eq!(c2.set_storage_root(tmp.path()).unwrap(), 1);
         let ds = c2.dataset("D").unwrap();
         assert_eq!(ds.len(), 100);
-        let rec = ds.get(&Value::Int(41)).unwrap();
+        let rec = ds.get(&Value::Int(41)).unwrap().unwrap();
         assert_eq!(rec.as_object().unwrap().get("p"), Some(&Value::Int(82)));
         assert!(c2.get_type("T").is_ok());
         // Recovery re-applied the persisted options (schema validation

@@ -464,7 +464,7 @@ fn fetch_candidates(
             let ds = ctx.catalog.dataset(ds_name)?;
             ctx.stats.index_probes += 1;
             let rows: Vec<Arc<Value>> = match target {
-                IndexTarget::Primary => ds.get(&key).into_iter().collect(),
+                IndexTarget::Primary => ds.get(&key)?.into_iter().collect(),
                 IndexTarget::Secondary(index) => {
                     let mut out = Vec::new();
                     for p in ds.partitions() {

@@ -201,7 +201,7 @@ impl Dataset {
         self.validate(&record)?;
         let pk = self.extract_pk(&record)?;
         let mut indexes = self.indexes.write();
-        if self.tree.contains(&pk) {
+        if self.tree.contains(&pk)? {
             return Err(StorageError::DuplicateKey(pk.to_string()));
         }
         for (def, ix) in indexes.iter_mut() {
@@ -223,7 +223,7 @@ impl Dataset {
         let pk = self.extract_pk(&record)?;
         let mut indexes = self.indexes.write();
         if !indexes.is_empty() {
-            if let Some(old) = self.tree.get(&pk) {
+            if let Some(old) = self.tree.get(&pk)? {
                 for (def, ix) in indexes.iter_mut() {
                     ix.remove(def, &pk, &old);
                 }
@@ -241,7 +241,7 @@ impl Dataset {
     /// `DELETE` by primary key; returns whether a record was visible.
     pub fn delete(&self, pk: &Value) -> Result<bool> {
         let mut indexes = self.indexes.write();
-        let Some(old) = self.tree.get(pk) else { return Ok(false) };
+        let Some(old) = self.tree.get(pk)? else { return Ok(false) };
         for (def, ix) in indexes.iter_mut() {
             ix.remove(def, pk, &old);
         }
@@ -253,7 +253,9 @@ impl Dataset {
 
     /// Point lookup by primary key. Clone-free: the returned `Arc`
     /// shares the stored record. Never blocks on writers or maintenance.
-    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
+    /// An I/O or checksum failure on a disk component surfaces as an
+    /// error instead of a false "absent".
+    pub fn get(&self, pk: &Value) -> Result<Option<Arc<Value>>> {
         self.stats.record_lookup();
         self.tree.get(pk)
     }
@@ -346,7 +348,13 @@ impl Dataset {
         let SecondaryIndex::BTree(btree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not a B-tree index")));
         };
-        Ok(btree.lookup(key).iter().filter_map(|pk| self.tree.get(pk)).collect())
+        let mut out = Vec::new();
+        for pk in btree.lookup(key) {
+            if let Some(rec) = self.tree.get(pk)? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
     }
 
     /// Spatial probe through an R-tree index: records whose indexed point
@@ -365,7 +373,13 @@ impl Dataset {
         let SecondaryIndex::RTree(rtree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not an R-tree index")));
         };
-        Ok(rtree.query_rect(rect).into_iter().filter_map(|pk| self.tree.get(pk)).collect())
+        let mut out = Vec::new();
+        for pk in rtree.query_rect(rect) {
+            if let Some(rec) = self.tree.get(pk)? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
     }
 
     /// Spatial probe through an R-tree index: records whose indexed point
@@ -380,11 +394,13 @@ impl Dataset {
         let SecondaryIndex::RTree(rtree) = ix else {
             return Err(StorageError::BadIndex(format!("{index} is not an R-tree index")));
         };
-        Ok(rtree
-            .query_circle(circle)
-            .into_iter()
-            .filter_map(|(_, pk)| self.tree.get(pk))
-            .collect())
+        let mut out = Vec::new();
+        for (_, pk) in rtree.query_circle(circle) {
+            if let Some(rec) = self.tree.get(pk)? {
+                out.push(rec);
+            }
+        }
+        Ok(out)
     }
 
     /// Takes a consistent snapshot for scanning (record-level
@@ -479,8 +495,10 @@ impl DatasetSnapshot {
         self.snap.iter()
     }
 
-    /// Point lookup within the snapshot.
-    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
+    /// Point lookup within the snapshot. An I/O or checksum failure on
+    /// a disk component surfaces as an error instead of a false
+    /// "absent".
+    pub fn get(&self, pk: &Value) -> Result<Option<Arc<Value>>> {
         self.snap.get(pk)
     }
 
@@ -521,7 +539,7 @@ mod tests {
         ds.insert(word(1, "US", "bomb")).unwrap();
         assert!(matches!(ds.insert(word(1, "US", "other")), Err(StorageError::DuplicateKey(_))));
         ds.upsert(word(1, "US", "threat")).unwrap();
-        let got = ds.get(&Value::Int(1)).unwrap();
+        let got = ds.get(&Value::Int(1)).unwrap().unwrap();
         assert_eq!(got.as_object().unwrap().get("word"), Some(&Value::str("threat")));
         assert_eq!(ds.len(), 1);
     }
@@ -532,7 +550,7 @@ mod tests {
         ds.insert(word(1, "US", "bomb")).unwrap();
         assert!(ds.delete(&Value::Int(1)).unwrap());
         assert!(!ds.delete(&Value::Int(1)).unwrap());
-        assert!(ds.get(&Value::Int(1)).is_none());
+        assert!(ds.get(&Value::Int(1)).unwrap().is_none());
         assert_eq!(ds.len(), 0);
     }
 
@@ -555,8 +573,8 @@ mod tests {
     fn get_shares_the_stored_allocation() {
         let ds = words_dataset();
         ds.insert(word(1, "US", "bomb")).unwrap();
-        let a = ds.get(&Value::Int(1)).unwrap();
-        let b = ds.get(&Value::Int(1)).unwrap();
+        let a = ds.get(&Value::Int(1)).unwrap().unwrap();
+        let b = ds.get(&Value::Int(1)).unwrap().unwrap();
         assert!(Arc::ptr_eq(&a, &b), "point lookups must not deep-clone");
     }
 
@@ -568,7 +586,7 @@ mod tests {
         ds.insert(word(2, "FR", "bombe")).unwrap();
         ds.upsert(word(1, "US", "changed")).unwrap();
         assert_eq!(snap.len(), 1);
-        let rec = snap.get(&Value::Int(1)).unwrap();
+        let rec = snap.get(&Value::Int(1)).unwrap().unwrap();
         assert_eq!(rec.as_object().unwrap().get("word"), Some(&Value::str("bomb")));
         // A fresh snapshot (the next computing job) sees both.
         assert_eq!(ds.snapshot().len(), 2);
@@ -641,7 +659,7 @@ mod tests {
         let recs: Vec<Value> = (0..1000).map(|i| word(i, "US", "w")).collect();
         ds.bulk_load(recs).unwrap();
         assert_eq!(ds.len(), 1000);
-        assert!(ds.get(&Value::Int(500)).is_some());
+        assert!(ds.get(&Value::Int(500)).unwrap().is_some());
         let (mem, comps) = ds.lsm_shape();
         assert_eq!(mem, 0, "bulk load bypasses the memtable");
         assert_eq!(comps, 1);
@@ -664,7 +682,7 @@ mod tests {
         ds.upsert(word(5, "US", "updated")).unwrap();
         assert_eq!(ds.lsm_shape().0, 1);
         let snap = ds.snapshot();
-        let r = snap.get(&Value::Int(5)).unwrap();
+        let r = snap.get(&Value::Int(5)).unwrap().unwrap();
         assert_eq!(r.as_object().unwrap().get("word"), Some(&Value::str("updated")));
     }
 

@@ -14,6 +14,7 @@ use idea_adm::Value;
 
 use super::bloom::BloomFilter;
 use super::{Entry, Memtable};
+use crate::error::StorageError;
 use crate::persist::{BlockCache, ComponentFile, OpenComponent};
 
 /// Where a component's entry payloads live.
@@ -151,12 +152,13 @@ impl Component {
     }
 
     /// Entry at key-column position `index`. Disk-backed components
-    /// fetch the containing block through the cache; an unreadable block
-    /// is recorded on the cache and surfaces as "absent" (the WAL and
-    /// manifest still hold the truth for recovery).
-    fn entry_at(&self, index: usize) -> Option<Entry> {
+    /// fetch the containing block through the cache; an unreadable or
+    /// corrupt block is recorded on the cache and surfaces as an error —
+    /// never as "absent", which would let the lookup fall through to an
+    /// older component and serve a stale or resurrected value.
+    fn entry_at(&self, index: usize) -> Result<Entry, StorageError> {
         match &self.backing {
-            Backing::Mem(entries) => Some(entries[index].clone()),
+            Backing::Mem(entries) => Ok(entries[index].clone()),
             Backing::Disk { file, cache } => {
                 let (block, offset) = file.locate(index);
                 let key = (file.uid(), block);
@@ -168,33 +170,45 @@ impl Component {
                             cache.insert(key, Arc::clone(&b));
                             b
                         }
-                        Err(_) => {
+                        Err(e) => {
                             cache.note_read_error();
-                            return None;
+                            return Err(e);
                         }
                     },
                 };
-                decoded.get(offset).cloned()
+                decoded.get(offset).cloned().ok_or_else(|| {
+                    StorageError::Corrupt(format!(
+                        "component {:?}: block {block} too short for offset {offset}",
+                        file.path()
+                    ))
+                })
             }
         }
     }
 
-    /// Entry lookup: `None` = key not in this component,
-    /// `Some(None)` = tombstone. The Bloom filter short-circuits probes
-    /// for keys the component cannot hold.
-    pub fn get(&self, key: &Value) -> Option<Entry> {
+    /// Entry lookup: `Ok(None)` = key not in this component,
+    /// `Ok(Some(None))` = tombstone. The Bloom filter short-circuits
+    /// probes for keys the component cannot hold. An I/O or checksum
+    /// failure on the backing file is an error, not "absent".
+    pub fn get(&self, key: &Value) -> Result<Option<Entry>, StorageError> {
         if !self.bloom.may_contain(key) {
-            return None;
+            return Ok(None);
         }
-        let i = self.keys.binary_search_by(|k| k.cmp(key)).ok()?;
-        self.entry_at(i)
+        match self.keys.binary_search_by(|k| k.cmp(key)) {
+            Ok(i) => self.entry_at(i).map(Some),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Iterates `(key, entry)` pairs in key order, tombstones included.
     /// Disk-backed components stream blocks sequentially; a scan probes
-    /// the cache but does not populate it (scan resistance).
+    /// the cache but does not populate it (scan resistance). A block
+    /// read failure ends the iteration and is recorded on the iterator
+    /// ([`ComponentIter::error`]) — consumers that produce durable state
+    /// from a scan (merges) must check it and treat a partial stream as
+    /// a failure, never as a complete one.
     pub fn iter(&self) -> ComponentIter<'_> {
-        ComponentIter { comp: self, index: 0, block: None }
+        ComponentIter { comp: self, index: 0, block: None, error: None }
     }
 }
 
@@ -204,6 +218,17 @@ pub struct ComponentIter<'a> {
     index: usize,
     /// Current decoded block for disk backings: (block idx, entries).
     block: Option<(u32, Arc<Vec<Entry>>)>,
+    /// Set when a block read failed; the iteration ended early.
+    error: Option<StorageError>,
+}
+
+impl ComponentIter<'_> {
+    /// The read error that cut the iteration short, if any. While set,
+    /// the pairs yielded so far are a *prefix* of the component, not the
+    /// whole of it.
+    pub fn error(&self) -> Option<&StorageError> {
+        self.error.as_ref()
+    }
 }
 
 impl Iterator for ComponentIter<'_> {
@@ -227,11 +252,13 @@ impl Iterator for ComponentIter<'_> {
                         Some(b) => b,
                         None => match file.read_block(block) {
                             Ok(entries) => Arc::new(entries),
-                            Err(_) => {
+                            Err(e) => {
                                 // A corrupt block ends the scan early;
-                                // the error is counted, and recovery
-                                // still has the WAL + manifest.
+                                // the error is counted and recorded so
+                                // the consumer can tell this stream is
+                                // a prefix, not the full component.
                                 cache.note_read_error();
+                                self.error = Some(e);
                                 self.index = self.comp.keys.len();
                                 return None;
                             }
@@ -252,17 +279,52 @@ impl Iterator for ComponentIter<'_> {
 /// only when the merge includes the *oldest* component of the tree,
 /// otherwise a dropped tombstone would resurrect an older shadowed
 /// entry.
-pub fn merge_iter<'a>(
-    components: &'a [Arc<Component>],
-    drop_tombstones: bool,
-) -> impl Iterator<Item = (Value, Entry)> + 'a {
-    MergeIter { iters: components.iter().map(|c| c.iter().peekable()).collect(), drop_tombstones }
+///
+/// A source that hits a block read error ends early; the merged stream
+/// is then silently missing that source's tail. Consumers that persist
+/// the merged output **must** check [`MergeIter::error`] after draining
+/// and discard the output if it is set.
+pub fn merge_iter<'a>(components: &'a [Arc<Component>], drop_tombstones: bool) -> MergeIter<'a> {
+    MergeIter {
+        sources: components.iter().map(|c| MergeSource::new(c.iter())).collect(),
+        drop_tombstones,
+    }
 }
 
-struct MergeIter<'a> {
-    /// Peekable per-component iterators, newest first.
-    iters: Vec<std::iter::Peekable<ComponentIter<'a>>>,
+/// One source of a [`MergeIter`]: a component iterator plus a one-item
+/// lookahead (a hand-rolled `Peekable` that keeps the underlying
+/// iterator — and its error state — reachable).
+struct MergeSource<'a> {
+    iter: ComponentIter<'a>,
+    head: Option<(Value, Entry)>,
+}
+
+impl<'a> MergeSource<'a> {
+    fn new(mut iter: ComponentIter<'a>) -> Self {
+        let head = iter.next();
+        MergeSource { iter, head }
+    }
+
+    fn advance(&mut self) -> Option<(Value, Entry)> {
+        let next = self.iter.next();
+        std::mem::replace(&mut self.head, next)
+    }
+}
+
+/// K-way merging iterator returned by [`merge_iter`].
+pub struct MergeIter<'a> {
+    /// Per-component sources, newest first.
+    sources: Vec<MergeSource<'a>>,
     drop_tombstones: bool,
+}
+
+impl MergeIter<'_> {
+    /// The first read error hit by any source, if one occurred. While
+    /// set, the merged output is a truncated view of the inputs and must
+    /// not be installed as a replacement for them.
+    pub fn error(&self) -> Option<&StorageError> {
+        self.sources.iter().find_map(|s| s.iter.error())
+    }
 }
 
 impl Iterator for MergeIter<'_> {
@@ -271,8 +333,8 @@ impl Iterator for MergeIter<'_> {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let mut best: Option<(usize, Value)> = None;
-            for (i, it) in self.iters.iter_mut().enumerate() {
-                if let Some((k, _)) = it.peek() {
+            for (i, src) in self.sources.iter().enumerate() {
+                if let Some((k, _)) = &src.head {
                     let better = match &best {
                         None => true,
                         Some((_, bk)) => k < bk,
@@ -283,11 +345,11 @@ impl Iterator for MergeIter<'_> {
                 }
             }
             let (winner, key) = best?;
-            let (_, entry) = self.iters[winner].next().unwrap();
-            for (i, it) in self.iters.iter_mut().enumerate() {
+            let (_, entry) = self.sources[winner].advance().unwrap();
+            for (i, src) in self.sources.iter_mut().enumerate() {
                 if i != winner {
-                    while matches!(it.peek(), Some((k, _)) if *k == key) {
-                        it.next();
+                    while matches!(&src.head, Some((k, _)) if *k == key) {
+                        src.advance();
                     }
                 }
             }
@@ -316,9 +378,9 @@ mod tests {
     #[test]
     fn binary_search_get() {
         let c = comp(0, vec![(1, Some("a")), (3, Some("b")), (5, None)]);
-        assert_eq!(c.get(&Value::Int(3)), Some(Some(Arc::new(Value::str("b")))));
-        assert_eq!(c.get(&Value::Int(5)), Some(None));
-        assert_eq!(c.get(&Value::Int(2)), None);
+        assert_eq!(c.get(&Value::Int(3)).unwrap(), Some(Some(Arc::new(Value::str("b")))));
+        assert_eq!(c.get(&Value::Int(5)).unwrap(), Some(None));
+        assert_eq!(c.get(&Value::Int(2)).unwrap(), None);
     }
 
     #[test]
@@ -338,7 +400,7 @@ mod tests {
         let newest = comp(2, vec![(1, Some("new")), (2, None)]);
         let middle = comp(1, vec![(2, Some("shadowed"))]);
         let merged = Component::merge(3, &[newest, middle], false);
-        assert_eq!(merged.get(&Value::Int(2)), Some(None), "tombstone must survive");
+        assert_eq!(merged.get(&Value::Int(2)).unwrap(), Some(None), "tombstone must survive");
         assert_eq!(merged.len(), 2);
     }
 
@@ -376,7 +438,11 @@ mod tests {
         assert_eq!(disk.len(), mem.len());
         assert_eq!(disk.approx_bytes(), mem.approx_bytes());
         for i in 0..200 {
-            assert_eq!(disk.get(&Value::Int(i)), mem.get(&Value::Int(i)), "key {i}");
+            assert_eq!(
+                disk.get(&Value::Int(i)).unwrap(),
+                mem.get(&Value::Int(i)).unwrap(),
+                "key {i}"
+            );
         }
         assert!(cache.hits() > 0, "point reads should hit cached blocks");
         // Full scans agree too.

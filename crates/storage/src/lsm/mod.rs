@@ -468,13 +468,16 @@ impl LsmTree {
         let wal = self.persist.as_ref().and_then(|p| p.wal.as_ref());
         let (need_seal, lsn) = {
             let mut st = self.state.write();
+            // Probe *before* the WAL append: a failed probe must not
+            // leave an un-applied operation in the log (replay would
+            // apply what the caller saw fail).
+            let was_live = match st.active.get(&key) {
+                Some(e) => e.is_some(),
+                None => self.probe_frozen(&st, &key)?.is_some_and(|e| e.is_some()),
+            };
             let lsn = match wal {
                 Some(w) => Some(w.append(&key, &value)?),
                 None => None,
-            };
-            let was_live = match st.active.get(&key) {
-                Some(e) => e.is_some(),
-                None => self.probe_frozen(&st, &key).is_some_and(|e| e.is_some()),
             };
             let now_live = value.is_some();
             st.active.put(key, value);
@@ -501,18 +504,18 @@ impl LsmTree {
 
     /// Latest frozen entry for `key` (sealed memtables, then
     /// components), ignoring the active memtable.
-    fn probe_frozen(&self, st: &TreeState, key: &Value) -> Option<Entry> {
+    fn probe_frozen(&self, st: &TreeState, key: &Value) -> Result<Option<Entry>, StorageError> {
         for (m, _) in &st.sealed {
             if let Some(e) = m.get(key) {
-                return Some(e.clone());
+                return Ok(Some(e.clone()));
             }
         }
         for c in st.components.iter() {
-            if let Some(e) = c.get(key) {
-                return Some(e);
+            if let Some(e) = c.get(key)? {
+                return Ok(Some(e));
             }
         }
-        None
+        Ok(None)
     }
 
     /// The WAL watermark to stamp on a memtable sealed *now*: one past
@@ -758,17 +761,23 @@ impl LsmTree {
     /// until the single `Arc` swap. On durable trees the merged run is
     /// *streamed* to a new component file, the manifest swings, and the
     /// victims' files are deleted (open snapshots keep reading them via
-    /// their still-open descriptors). A failed merge write abandons the
-    /// merge — the victims simply stay. Clears the merge-in-flight
-    /// token.
+    /// their still-open descriptors). A failed merge — the output write
+    /// errored, *or* any victim hit a read error so the stream is a
+    /// truncated view of the inputs — abandons the merge: the partial
+    /// output file is removed and the victims simply stay (their WAL
+    /// coverage is long gone, so installing a truncated merge would be
+    /// permanent silent data loss). Clears the merge-in-flight token.
     fn run_merge(&self, victims: Vec<Arc<Component>>, drop_tombstones: bool) {
         let id = self.next_component_id.fetch_add(1, Ordering::Relaxed);
         let merged = match &self.persist {
             Some(p) => {
-                match Self::write_component_file(p, id, merge_iter(&victims, drop_tombstones)) {
-                    Ok(c) => c,
-                    Err(_) => {
+                let mut source = merge_iter(&victims, drop_tombstones);
+                let written = Self::write_component_file(p, id, &mut source);
+                match written {
+                    Ok(c) if source.error().is_none() => c,
+                    _ => {
                         p.io_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::fs::remove_file(p.dir.join(component_file_name(id)));
                         self.merge_in_flight.store(false, Ordering::Release);
                         return;
                     }
@@ -877,33 +886,36 @@ impl LsmTree {
     }
 
     /// Newest visible entry for `key`: active memtable → sealed
-    /// memtables → components, newest first. `None` = never written or
-    /// tombstoned away. Never blocks on maintenance: the component probe
-    /// runs on a cloned stack snapshot, outside any lock.
-    pub fn get(&self, key: &Value) -> Option<Arc<Value>> {
+    /// memtables → components, newest first. `Ok(None)` = never written
+    /// or tombstoned away; an I/O or checksum failure on a disk
+    /// component is an error (falling through to an older component
+    /// could serve a stale shadowed value or resurrect a delete). Never
+    /// blocks on maintenance: the component probe runs on a cloned stack
+    /// snapshot, outside any lock.
+    pub fn get(&self, key: &Value) -> Result<Option<Arc<Value>>, StorageError> {
         let components = {
             let st = self.state.read();
             if let Some(e) = st.active.get(key) {
-                return e.clone();
+                return Ok(e.clone());
             }
             for (m, _) in &st.sealed {
                 if let Some(e) = m.get(key) {
-                    return e.clone();
+                    return Ok(e.clone());
                 }
             }
             Arc::clone(&st.components)
         };
         for c in components.iter() {
-            if let Some(e) = c.get(key) {
-                return e;
+            if let Some(e) = c.get(key)? {
+                return Ok(e);
             }
         }
-        None
+        Ok(None)
     }
 
     /// Whether `key` has a visible (non-tombstone) entry.
-    pub fn contains(&self, key: &Value) -> bool {
-        self.get(key).is_some()
+    pub fn contains(&self, key: &Value) -> Result<bool, StorageError> {
+        Ok(self.get(key)?.is_some())
     }
 
     /// A consistent point-in-time view: memtable contents are copied
@@ -992,17 +1004,19 @@ pub struct TreeSnapshot {
 }
 
 impl TreeSnapshot {
-    /// Point lookup within the snapshot. `None` for absent/tombstone.
-    pub fn get(&self, key: &Value) -> Option<Arc<Value>> {
+    /// Point lookup within the snapshot. `Ok(None)` for
+    /// absent/tombstone; a disk-component read failure is an error, not
+    /// "absent".
+    pub fn get(&self, key: &Value) -> Result<Option<Arc<Value>>, StorageError> {
         if let Ok(i) = self.mem.binary_search_by(|(k, _)| k.cmp(key)) {
-            return self.mem[i].1.clone();
+            return Ok(self.mem[i].1.clone());
         }
         for c in self.components.iter() {
-            if let Some(e) = c.get(key) {
-                return e;
+            if let Some(e) = c.get(key)? {
+                return Ok(e);
             }
         }
-        None
+        Ok(None)
     }
 
     /// Live entries in key order (k-way merge, newest version wins,
@@ -1099,8 +1113,8 @@ mod tests {
         let t = LsmTree::new(LsmConfig::default());
         t.put(Value::Int(1), rec("a")).unwrap();
         t.put(Value::Int(1), rec("b")).unwrap();
-        assert_eq!(t.get(&Value::Int(1)).unwrap().as_str(), Some("b"));
-        assert_eq!(t.get(&Value::Int(2)), None);
+        assert_eq!(t.get(&Value::Int(1)).unwrap().unwrap().as_str(), Some("b"));
+        assert_eq!(t.get(&Value::Int(2)).unwrap(), None);
         assert_eq!(t.live_count(), 1);
     }
 
@@ -1110,10 +1124,10 @@ mod tests {
         t.put(Value::Int(7), rec("old")).unwrap();
         t.flush();
         t.put(Value::Int(7), None).unwrap();
-        assert_eq!(t.get(&Value::Int(7)), None);
+        assert_eq!(t.get(&Value::Int(7)).unwrap(), None);
         assert_eq!(t.live_count(), 0);
         t.flush();
-        assert_eq!(t.get(&Value::Int(7)), None, "tombstone must survive its own flush");
+        assert_eq!(t.get(&Value::Int(7)).unwrap(), None, "tombstone must survive its own flush");
     }
 
     #[test]
@@ -1124,7 +1138,7 @@ mod tests {
         }
         assert!(t.flush_count() > 0, "memtable budget should force flushes");
         for i in 0..100 {
-            assert!(t.contains(&Value::Int(i)), "key {i} lost across flush");
+            assert!(t.contains(&Value::Int(i)).unwrap(), "key {i} lost across flush");
         }
         assert_eq!(t.live_count(), 100);
     }
@@ -1141,7 +1155,11 @@ mod tests {
         assert!(t.component_count() <= 3);
         assert!(t.merge_count() > 0);
         for i in 0..10 {
-            assert_eq!(t.get(&Value::Int(i)).unwrap().as_int(), Some(4), "newest round wins");
+            assert_eq!(
+                t.get(&Value::Int(i)).unwrap().unwrap().as_int(),
+                Some(4),
+                "newest round wins"
+            );
         }
         assert_eq!(t.live_count(), 10);
     }
@@ -1189,8 +1207,8 @@ mod tests {
         t.put(Value::Int(1), rec("v2")).unwrap();
         t.put(Value::Int(2), rec("other")).unwrap();
         t.merge_all();
-        assert_eq!(snap.get(&Value::Int(1)).unwrap().as_str(), Some("v1"));
-        assert_eq!(snap.get(&Value::Int(2)), None);
+        assert_eq!(snap.get(&Value::Int(1)).unwrap().unwrap().as_str(), Some("v1"));
+        assert_eq!(snap.get(&Value::Int(2)).unwrap(), None);
     }
 
     #[test]
@@ -1265,6 +1283,60 @@ mod tests {
         assert_eq!(c.durability.fsync, FsyncPolicy::Never);
         c.apply_option("wal", "off").unwrap();
         assert!(!c.durability.wal);
+    }
+
+    #[test]
+    fn merge_abandons_on_victim_read_error() {
+        use crate::persist::{FsyncPolicy, TempDir};
+        let tmp = TempDir::new("merge-abandon");
+        let config = LsmConfig {
+            merge_policy: MergePolicyConfig::NoMerge,
+            durability: DurabilityConfig { fsync: FsyncPolicy::Never, ..Default::default() },
+            ..LsmConfig::default()
+        };
+        let t = LsmTree::open_durable(config, tmp.path()).unwrap();
+        for i in 0..50 {
+            t.put(Value::Int(i), rec("first")).unwrap();
+        }
+        t.flush();
+        for i in 50..100 {
+            t.put(Value::Int(i), rec("second")).unwrap();
+        }
+        t.flush();
+        assert_eq!(t.component_count(), 2);
+
+        // Corrupt a payload byte in the older component's first block
+        // (8-byte header magic + 12). Its WAL coverage is already
+        // retired, so a merge that trusted this truncated stream would
+        // lose keys 0..50 permanently.
+        let victim = tmp.path().join(component_file_name(0));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        bytes[8 + 12] ^= 0xFF;
+        std::fs::write(&victim, &bytes).unwrap();
+
+        let files_before: Vec<_> = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|n| n.to_string_lossy().starts_with("component-"))
+            .collect();
+        t.merge_all();
+
+        // The merge must be abandoned: stack untouched, victims' files
+        // still on disk, no partial output left behind.
+        assert_eq!(t.component_count(), 2, "truncated merge was installed");
+        assert_eq!(t.merge_count(), 0);
+        assert!(t.io_error_count() >= 1, "abandoned merge must be counted");
+        let files_after: Vec<_> = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.file_name()))
+            .filter(|n| n.to_string_lossy().starts_with("component-"))
+            .collect();
+        assert_eq!(files_before, files_after, "merge abandon must not touch victim files");
+
+        // Reads against the intact component still work; reads that need
+        // the corrupt block surface the error instead of "absent".
+        assert_eq!(t.get(&Value::Int(70)).unwrap().as_deref(), Some(&Value::str("second")));
+        assert!(t.get(&Value::Int(7)).is_err(), "corrupt block must not read as a miss");
     }
 
     #[test]

@@ -123,8 +123,9 @@ impl PartitionedDataset {
     }
 
     /// Routed point lookup (clone-free: the `Arc` shares the stored
-    /// record).
-    pub fn get(&self, pk: &Value) -> Option<Arc<Value>> {
+    /// record). A disk-component read failure is an error, not
+    /// "absent".
+    pub fn get(&self, pk: &Value) -> Result<Option<Arc<Value>>> {
         self.partition_for(pk).get(pk)
     }
 
@@ -205,7 +206,7 @@ mod tests {
         }
         assert_eq!(d.len(), 300);
         for i in 0..300 {
-            assert!(d.get(&Value::Int(i)).is_some(), "tweet {i} routed consistently");
+            assert!(d.get(&Value::Int(i)).unwrap().is_some(), "tweet {i} routed consistently");
         }
         // All partitions should receive a nontrivial share.
         for p in 0..3 {
@@ -219,7 +220,7 @@ mod tests {
         let d = pd(4);
         d.bulk_load((0..100).map(tweet).collect()).unwrap();
         assert_eq!(d.len(), 100);
-        assert!(d.get(&Value::Int(42)).is_some());
+        assert!(d.get(&Value::Int(42)).unwrap().is_some());
     }
 
     #[test]

@@ -85,11 +85,20 @@ struct WalInner {
 
 #[derive(Debug, Default)]
 struct CommitState {
-    durable_lsn: u64,
+    /// Every record with an LSN *below* this watermark is durable
+    /// ("durable up to", exclusive). Starts at the replay watermark —
+    /// replayed records were read back from disk; a fresh log starts at
+    /// 0 with nothing durable, so the very first commit must flush.
+    durable_upto: u64,
     flush_in_flight: bool,
-    /// An error hit by a leader flush, reported to every waiter of that
-    /// round (durability can't be claimed for any of them).
-    failed: Option<StorageError>,
+    /// Completed flush rounds. Waiters compare against it to tell
+    /// whether a round finished while they slept.
+    rounds: u64,
+    /// Error from the most recent flush round, tagged with that round's
+    /// number. It fails only the waiters of that round; the next commit
+    /// starts a fresh round and may succeed, so a transient error (e.g.
+    /// momentary ENOSPC) does not wedge the partition.
+    failed: Option<(u64, StorageError)>,
 }
 
 /// One partition's write-ahead log.
@@ -163,7 +172,7 @@ impl Wal {
                 sealed,
             }),
             commit_ctl: StdMutex::new(CommitState {
-                durable_lsn: next_lsn.saturating_sub(1),
+                durable_upto: next_lsn,
                 ..CommitState::default()
             }),
             commit_cv: Condvar::new(),
@@ -251,18 +260,15 @@ impl Wal {
         self.commits.fetch_add(1, Ordering::Relaxed);
         let mut ctl = self.commit_ctl.lock().unwrap();
         loop {
-            if ctl.durable_lsn >= lsn {
+            if ctl.durable_upto > lsn {
                 return Ok(());
-            }
-            if let Some(e) = &ctl.failed {
-                return Err(e.clone());
             }
             if !ctl.flush_in_flight {
                 ctl.flush_in_flight = true;
                 drop(ctl);
                 let (upto, result) = {
                     let mut inner = self.inner.lock();
-                    let upto = inner.next_lsn.saturating_sub(1);
+                    let upto = inner.next_lsn;
                     let mut result = inner
                         .writer
                         .flush()
@@ -278,18 +284,33 @@ impl Wal {
                 self.flushes.fetch_add(1, Ordering::Relaxed);
                 ctl = self.commit_ctl.lock().unwrap();
                 ctl.flush_in_flight = false;
+                ctl.rounds += 1;
                 match result {
                     Ok(()) => {
-                        ctl.durable_lsn = ctl.durable_lsn.max(upto);
+                        ctl.durable_upto = ctl.durable_upto.max(upto);
                         ctl.failed = None;
+                        self.commit_cv.notify_all();
+                        // Loop: the leader's own record was appended
+                        // before commit, so the re-check succeeds.
                     }
-                    Err(e) => ctl.failed = Some(e),
+                    Err(e) => {
+                        ctl.failed = Some((ctl.rounds, e.clone()));
+                        self.commit_cv.notify_all();
+                        return Err(e);
+                    }
                 }
-                self.commit_cv.notify_all();
-                // Loop: re-check under the updated state (handles both
-                // success and the error path uniformly).
             } else {
+                let waited_round = ctl.rounds;
                 ctl = self.commit_cv.wait(ctl).unwrap();
+                // A round that completed while we slept and failed
+                // covers our record: durability cannot be claimed.
+                // (An error from an *older* round means a spurious
+                // wakeup — loop and keep waiting.)
+                if let Some((round, e)) = &ctl.failed {
+                    if *round > waited_round {
+                        return Err(e.clone());
+                    }
+                }
             }
         }
     }
@@ -482,6 +503,24 @@ mod tests {
         let (lsn, key, entry) = &replay.records[50];
         assert_eq!((*lsn, key), (50, &Value::Int(7)));
         assert!(entry.is_none());
+    }
+
+    #[test]
+    fn first_commit_on_fresh_wal_really_flushes() {
+        // Regression: with an inclusive durable-LSN watermark initialized
+        // to 0, commit(0) on a brand-new log returned without flushing and
+        // the first acknowledged write sat in the BufWriter only.
+        let tmp = TempDir::new("wal-first-commit");
+        let wal = Wal::open(tmp.path(), cfg(), &WalReplay::default()).unwrap();
+        let lsn = wal.append(&Value::Int(1), &rec(1)).unwrap();
+        assert_eq!(lsn, 0);
+        wal.commit(lsn).unwrap();
+        assert!(wal.flush_rounds() >= 1, "commit(0) must lead a flush round");
+        // The record must be on disk *without* dropping the writer (a
+        // kill -9 would never run the drop).
+        let (replay, _) = Wal::replay_dir(tmp.path()).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].0, 0);
     }
 
     #[test]

@@ -97,7 +97,8 @@ fn point_lookups_return_during_in_flight_background_merge() {
     let start = Instant::now();
     for batch in 0..3i64 {
         for i in 0..50 {
-            let got = ds.get(&Value::Int(batch * 100 + i)).expect("key visible during merge");
+            let got =
+                ds.get(&Value::Int(batch * 100 + i)).unwrap().expect("key visible during merge");
             assert_eq!(got.as_object().unwrap().get("text"), Some(&Value::str("payload")));
         }
     }
@@ -115,7 +116,7 @@ fn point_lookups_return_during_in_flight_background_merge() {
     assert_eq!(ds.merge_count(), 1);
     assert_eq!(ds.component_count(), 1, "constant policy collapses the stack");
     assert_eq!(
-        ds.get(&Value::Int(9999)).unwrap().as_object().unwrap().get("text"),
+        ds.get(&Value::Int(9999)).unwrap().unwrap().as_object().unwrap().get("text"),
         Some(&Value::str("written-during-merge"))
     );
     assert_eq!(ds.len(), 151);
@@ -155,7 +156,7 @@ fn shutdown_drains_the_pool_deterministically() {
     ds.flush();
     assert_eq!(ds.len(), 2000);
     for i in (0..2000i64).step_by(97) {
-        assert!(ds.get(&Value::Int(i)).is_some(), "key {i} lost across shutdown");
+        assert!(ds.get(&Value::Int(i)).unwrap().is_some(), "key {i} lost across shutdown");
     }
 }
 
@@ -236,7 +237,7 @@ fn seeded_readers_see_no_torn_views_under_background_merge() {
                 seed ^= seed >> 7;
                 seed ^= seed << 17;
                 let k = (seed % KEYS as u64) as i64;
-                match ds.get(&Value::Int(k)) {
+                match ds.get(&Value::Int(k)).unwrap() {
                     None => {
                         torn.fetch_add(1, Ordering::Relaxed);
                     }
@@ -267,7 +268,7 @@ fn seeded_readers_see_no_torn_views_under_background_merge() {
     assert_eq!(torn.load(Ordering::Relaxed), 0, "readers observed torn views");
     assert_eq!(ds.len() as i64, KEYS, "maintained live counter after concurrent run");
     for k in 0..KEYS {
-        let rec = ds.get(&Value::Int(k)).expect("key lost");
+        let rec = ds.get(&Value::Int(k)).unwrap().expect("key lost");
         assert_eq!(rec.as_object().unwrap().get("text"), Some(&Value::str("v2")));
     }
     assert!(ds.merge_count() > 0, "test exercised background merging");

@@ -50,7 +50,7 @@ fn open(dir: &std::path::Path) -> Dataset {
 fn assert_matches(ds: &Dataset, oracle: &BTreeMap<i64, i64>) {
     assert_eq!(ds.len(), oracle.len());
     for (&id, &v) in oracle {
-        let rec = ds.get(&Value::Int(id)).unwrap_or_else(|| panic!("id {id} missing"));
+        let rec = ds.get(&Value::Int(id)).unwrap().unwrap_or_else(|| panic!("id {id} missing"));
         assert_eq!(rec.as_object().unwrap().get("v"), Some(&Value::Int(v)), "id {id}");
     }
     let mut scanned = 0usize;

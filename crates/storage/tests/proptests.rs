@@ -57,7 +57,7 @@ proptest! {
             }
         }
         for k in 0i64..50 {
-            let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
+            let got = tree.get(&Value::Int(k)).unwrap().and_then(|v| v.as_int());
             prop_assert_eq!(got, model.get(&k).copied(), "get({})", k);
         }
         let snap = tree.snapshot();
@@ -104,14 +104,14 @@ proptest! {
             }
             if model.len().is_multiple_of(17) {
                 for k in [0i64, 7, 23] {
-                    let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
+                    let got = tree.get(&Value::Int(k)).unwrap().and_then(|v| v.as_int());
                     prop_assert_eq!(got, model.get(&k).copied(), "mid-stream get({})", k);
                 }
             }
         }
         sched.drain();
         for k in 0i64..50 {
-            let got = tree.get(&Value::Int(k)).and_then(|v| v.as_int());
+            let got = tree.get(&Value::Int(k)).unwrap().and_then(|v| v.as_int());
             prop_assert_eq!(got, model.get(&k).copied(), "drained get({})", k);
         }
         let snap = tree.snapshot();

@@ -218,7 +218,7 @@ fn kill_nine_mid_feed_recovers_every_committed_record() {
     for (p, &upto) in committed.iter().enumerate() {
         for k in 0..upto {
             let id = (k as usize * INTAKES + p) as i64;
-            let rec = ds.get(&Value::Int(id)).unwrap_or_else(|| {
+            let rec = ds.get(&Value::Int(id)).unwrap().unwrap_or_else(|| {
                 panic!("committed record id {id} (intake {p}, offset {k}/{upto}) lost")
             });
             assert_eq!(rec.as_object().unwrap().get("sig"), Some(&Value::Int(sig_for(id))));
@@ -267,7 +267,7 @@ fn torn_wal_tail_is_truncated_not_fatal() {
     let ds = Dataset::open_durable("t", dt.clone(), "id", config.clone(), tmp.path()).unwrap();
     assert_eq!(ds.len(), 100, "torn tail must not lose committed records");
     for i in 0..100 {
-        let rec = ds.get(&Value::Int(i)).unwrap();
+        let rec = ds.get(&Value::Int(i)).unwrap().unwrap();
         assert_eq!(rec.as_object().unwrap().get("v"), Some(&Value::Int(i * i)));
     }
     let stats = ds.recovery_stats().unwrap();
